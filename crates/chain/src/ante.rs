@@ -1,0 +1,173 @@
+//! The ante handler: admission checks run before message execution.
+//!
+//! The sequence check here is the mechanism behind the paper's
+//! "account sequence mismatch" deployment challenge (§V): an account's next
+//! transaction must carry exactly the committed sequence number, which forces
+//! clients that cannot observe their own in-flight transactions to wait one
+//! block between submissions.
+
+use crate::account::{AccountKeeper, AccountId};
+use crate::tx::Tx;
+
+/// Cosmos SDK error code for an incorrect account sequence.
+pub const CODE_SEQUENCE_MISMATCH: u32 = 32;
+/// Cosmos SDK error code for an unknown account.
+pub const CODE_UNKNOWN_ACCOUNT: u32 = 9;
+/// Cosmos SDK error code for an invalid signature.
+pub const CODE_UNAUTHORIZED: u32 = 4;
+/// Cosmos SDK error code for insufficient fee funds.
+pub const CODE_INSUFFICIENT_FUNDS: u32 = 5;
+/// Error code for an empty transaction.
+pub const CODE_EMPTY_TX: u32 = 2;
+
+/// Failures detected by the ante handler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnteError {
+    /// The transaction carries no messages.
+    EmptyTx,
+    /// The signer account does not exist on this chain.
+    UnknownAccount {
+        /// The unknown signer.
+        signer: AccountId,
+    },
+    /// The transaction's sequence does not match the account's expected
+    /// sequence.
+    SequenceMismatch {
+        /// Sequence the account expects next.
+        expected: u64,
+        /// Sequence the transaction carried.
+        got: u64,
+    },
+    /// The signature does not verify against the transaction contents.
+    InvalidSignature,
+}
+
+impl AnteError {
+    /// The ABCI error code corresponding to this failure.
+    pub fn code(&self) -> u32 {
+        match self {
+            AnteError::EmptyTx => CODE_EMPTY_TX,
+            AnteError::UnknownAccount { .. } => CODE_UNKNOWN_ACCOUNT,
+            AnteError::SequenceMismatch { .. } => CODE_SEQUENCE_MISMATCH,
+            AnteError::InvalidSignature => CODE_UNAUTHORIZED,
+        }
+    }
+}
+
+impl std::fmt::Display for AnteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AnteError::EmptyTx => write!(f, "transaction contains no messages"),
+            AnteError::UnknownAccount { signer } => write!(f, "unknown account {signer}"),
+            AnteError::SequenceMismatch { expected, got } => write!(
+                f,
+                "account sequence mismatch, expected {expected}, got {got}: incorrect account sequence"
+            ),
+            AnteError::InvalidSignature => write!(f, "signature verification failed: unauthorized"),
+        }
+    }
+}
+
+impl std::error::Error for AnteError {}
+
+/// Runs the ante checks against the given account state and, on success,
+/// increments the signer's sequence in that state.
+///
+/// The same routine is used for `CheckTx` (against the mempool's check state)
+/// and `DeliverTx` (against the committed state), mirroring the Cosmos SDK.
+///
+/// # Errors
+///
+/// Returns the first failed check; the account state is left untouched on
+/// failure.
+pub fn ante_handle(accounts: &mut AccountKeeper, tx: &Tx) -> Result<(), AnteError> {
+    if tx.msgs.is_empty() {
+        return Err(AnteError::EmptyTx);
+    }
+    let Some(account) = accounts.get(&tx.signer) else {
+        return Err(AnteError::UnknownAccount { signer: tx.signer.clone() });
+    };
+    if account.sequence != tx.sequence {
+        return Err(AnteError::SequenceMismatch {
+            expected: account.sequence,
+            got: tx.sequence,
+        });
+    }
+    if !tx.verify_signature() {
+        return Err(AnteError::InvalidSignature);
+    }
+    accounts.increment_sequence(&tx.signer);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coin::Coin;
+    use crate::msg::Msg;
+
+    fn keeper_with(addr: &str) -> AccountKeeper {
+        let mut keeper = AccountKeeper::new();
+        keeper.get_or_create(&addr.into());
+        keeper
+    }
+
+    fn send_tx(signer: &str, sequence: u64) -> Tx {
+        Tx::new(
+            signer.into(),
+            sequence,
+            vec![Msg::BankSend { from: signer.into(), to: "bob".into(), amount: Coin::new("uatom", 1) }],
+            "uatom",
+        )
+    }
+
+    #[test]
+    fn valid_tx_passes_and_bumps_sequence() {
+        let mut keeper = keeper_with("alice");
+        ante_handle(&mut keeper, &send_tx("alice", 0)).unwrap();
+        assert_eq!(keeper.sequence(&"alice".into()), 1);
+        ante_handle(&mut keeper, &send_tx("alice", 1)).unwrap();
+        assert_eq!(keeper.sequence(&"alice".into()), 2);
+    }
+
+    #[test]
+    fn replaying_the_same_sequence_is_the_paper_error() {
+        let mut keeper = keeper_with("alice");
+        ante_handle(&mut keeper, &send_tx("alice", 0)).unwrap();
+        let err = ante_handle(&mut keeper, &send_tx("alice", 0)).unwrap_err();
+        assert_eq!(err, AnteError::SequenceMismatch { expected: 1, got: 0 });
+        assert_eq!(err.code(), CODE_SEQUENCE_MISMATCH);
+        assert!(err.to_string().contains("account sequence mismatch"));
+        // Failure does not consume the sequence.
+        assert_eq!(keeper.sequence(&"alice".into()), 1);
+    }
+
+    #[test]
+    fn future_sequences_are_also_rejected() {
+        let mut keeper = keeper_with("alice");
+        let err = ante_handle(&mut keeper, &send_tx("alice", 5)).unwrap_err();
+        assert_eq!(err, AnteError::SequenceMismatch { expected: 0, got: 5 });
+    }
+
+    #[test]
+    fn unknown_account_and_empty_tx_are_rejected() {
+        let mut keeper = AccountKeeper::new();
+        let err = ante_handle(&mut keeper, &send_tx("ghost", 0)).unwrap_err();
+        assert_eq!(err.code(), CODE_UNKNOWN_ACCOUNT);
+
+        let mut keeper = keeper_with("alice");
+        let empty = Tx::new("alice".into(), 0, vec![], "uatom");
+        assert_eq!(ante_handle(&mut keeper, &empty).unwrap_err(), AnteError::EmptyTx);
+    }
+
+    #[test]
+    fn tampered_signature_is_rejected() {
+        let mut keeper = keeper_with("alice");
+        let mut tx = send_tx("alice", 0);
+        tx.sequence = 0;
+        tx.signature = xcc_tendermint::hash::sha256(b"forged");
+        let err = ante_handle(&mut keeper, &tx).unwrap_err();
+        assert_eq!(err, AnteError::InvalidSignature);
+        assert_eq!(err.code(), CODE_UNAUTHORIZED);
+    }
+}

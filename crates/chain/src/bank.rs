@@ -1,0 +1,239 @@
+//! The bank module: balances, transfers, minting and burning.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::account::AccountId;
+use crate::coin::Coin;
+use xcc_ibc::transfer::BankKeeper;
+use xcc_tendermint::hash::{hash_fields, Hash};
+
+/// Errors raised by bank operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BankError {
+    /// The sender does not hold enough of the denomination.
+    InsufficientFunds {
+        /// The account that attempted to spend.
+        address: AccountId,
+        /// The denomination involved.
+        denom: String,
+        /// Balance actually held.
+        held: u128,
+        /// Amount required.
+        required: u128,
+    },
+}
+
+impl std::fmt::Display for BankError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BankError::InsufficientFunds { address, denom, held, required } => write!(
+                f,
+                "insufficient funds: {address} holds {held}{denom}, needs {required}{denom}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BankError {}
+
+/// The bank module state: per-account balances and total supply tracking.
+///
+/// # Example
+///
+/// ```rust
+/// use xcc_chain::bank::BankModule;
+/// use xcc_chain::coin::Coin;
+///
+/// let mut bank = BankModule::new();
+/// bank.mint_coins(&"alice".into(), &Coin::new("uatom", 100));
+/// bank.transfer(&"alice".into(), &"bob".into(), &Coin::new("uatom", 40)).unwrap();
+/// assert_eq!(bank.balance(&"bob".into(), "uatom"), 40);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankModule {
+    balances: BTreeMap<(AccountId, String), u128>,
+    supply: BTreeMap<String, u128>,
+}
+
+impl BankModule {
+    /// Creates an empty bank.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The balance an account holds in a denomination.
+    pub fn balance(&self, address: &AccountId, denom: &str) -> u128 {
+        *self
+            .balances
+            .get(&(address.clone(), denom.to_string()))
+            .unwrap_or(&0)
+    }
+
+    /// All balances of an account, in denomination order.
+    pub fn balances_of(&self, address: &AccountId) -> Vec<Coin> {
+        self.balances
+            .iter()
+            .filter(|((a, _), amount)| a == address && **amount > 0)
+            .map(|((_, denom), amount)| Coin::new(denom.clone(), *amount))
+            .collect()
+    }
+
+    /// Total minted supply of a denomination.
+    pub fn total_supply(&self, denom: &str) -> u128 {
+        *self.supply.get(denom).unwrap_or(&0)
+    }
+
+    /// Mints new coins into an account (genesis allocation and IBC vouchers).
+    pub fn mint_coins(&mut self, to: &AccountId, coin: &Coin) {
+        *self
+            .balances
+            .entry((to.clone(), coin.denom.clone()))
+            .or_insert(0) += coin.amount;
+        *self.supply.entry(coin.denom.clone()).or_insert(0) += coin.amount;
+    }
+
+    /// Burns coins from an account.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the account's balance is insufficient.
+    pub fn burn_coins(&mut self, from: &AccountId, coin: &Coin) -> Result<(), BankError> {
+        let key = (from.clone(), coin.denom.clone());
+        let held = *self.balances.get(&key).unwrap_or(&0);
+        if held < coin.amount {
+            return Err(BankError::InsufficientFunds {
+                address: from.clone(),
+                denom: coin.denom.clone(),
+                held,
+                required: coin.amount,
+            });
+        }
+        self.balances.insert(key, held - coin.amount);
+        if let Some(supply) = self.supply.get_mut(&coin.denom) {
+            *supply = supply.saturating_sub(coin.amount);
+        }
+        Ok(())
+    }
+
+    /// Transfers coins between two accounts.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the sender's balance is insufficient.
+    pub fn transfer(&mut self, from: &AccountId, to: &AccountId, coin: &Coin) -> Result<(), BankError> {
+        let from_key = (from.clone(), coin.denom.clone());
+        let held = *self.balances.get(&from_key).unwrap_or(&0);
+        if held < coin.amount {
+            return Err(BankError::InsufficientFunds {
+                address: from.clone(),
+                denom: coin.denom.clone(),
+                held,
+                required: coin.amount,
+            });
+        }
+        self.balances.insert(from_key, held - coin.amount);
+        *self
+            .balances
+            .entry((to.clone(), coin.denom.clone()))
+            .or_insert(0) += coin.amount;
+        Ok(())
+    }
+
+    /// A digest of the bank state, folded into the application hash.
+    pub fn state_hash(&self) -> Hash {
+        let mut fields: Vec<Vec<u8>> = Vec::with_capacity(self.balances.len());
+        for ((addr, denom), amount) in &self.balances {
+            let mut bytes = addr.as_str().as_bytes().to_vec();
+            bytes.push(0);
+            bytes.extend_from_slice(denom.as_bytes());
+            bytes.extend_from_slice(&amount.to_be_bytes());
+            fields.push(bytes);
+        }
+        let refs: Vec<&[u8]> = fields.iter().map(|f| f.as_slice()).collect();
+        hash_fields(&refs)
+    }
+}
+
+impl BankKeeper for BankModule {
+    fn send(&mut self, from: &str, to: &str, denom: &str, amount: u128) -> Result<(), String> {
+        self.transfer(&AccountId::from(from), &AccountId::from(to), &Coin::new(denom, amount))
+            .map_err(|e| e.to_string())
+    }
+
+    fn mint(&mut self, to: &str, denom: &str, amount: u128) {
+        self.mint_coins(&AccountId::from(to), &Coin::new(denom, amount));
+    }
+
+    fn burn(&mut self, from: &str, denom: &str, amount: u128) -> Result<(), String> {
+        self.burn_coins(&AccountId::from(from), &Coin::new(denom, amount))
+            .map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mint_transfer_burn_roundtrip() {
+        let mut bank = BankModule::new();
+        let alice: AccountId = "alice".into();
+        let bob: AccountId = "bob".into();
+        bank.mint_coins(&alice, &Coin::new("uatom", 1_000));
+        assert_eq!(bank.total_supply("uatom"), 1_000);
+
+        bank.transfer(&alice, &bob, &Coin::new("uatom", 300)).unwrap();
+        assert_eq!(bank.balance(&alice, "uatom"), 700);
+        assert_eq!(bank.balance(&bob, "uatom"), 300);
+        // Transfers do not change supply.
+        assert_eq!(bank.total_supply("uatom"), 1_000);
+
+        bank.burn_coins(&bob, &Coin::new("uatom", 100)).unwrap();
+        assert_eq!(bank.balance(&bob, "uatom"), 200);
+        assert_eq!(bank.total_supply("uatom"), 900);
+    }
+
+    #[test]
+    fn overdraft_is_rejected_with_details() {
+        let mut bank = BankModule::new();
+        let err = bank
+            .transfer(&"alice".into(), &"bob".into(), &Coin::new("uatom", 10))
+            .unwrap_err();
+        assert!(matches!(err, BankError::InsufficientFunds { held: 0, required: 10, .. }));
+        assert!(err.to_string().contains("insufficient funds"));
+        assert!(bank.burn_coins(&"alice".into(), &Coin::new("uatom", 1)).is_err());
+    }
+
+    #[test]
+    fn balances_of_lists_only_positive_amounts() {
+        let mut bank = BankModule::new();
+        let alice: AccountId = "alice".into();
+        bank.mint_coins(&alice, &Coin::new("uatom", 5));
+        bank.mint_coins(&alice, &Coin::new("transfer/channel-0/stake", 7));
+        bank.burn_coins(&alice, &Coin::new("uatom", 5)).unwrap();
+        let coins = bank.balances_of(&alice);
+        assert_eq!(coins, vec![Coin::new("transfer/channel-0/stake", 7)]);
+    }
+
+    #[test]
+    fn state_hash_tracks_balances() {
+        let mut bank = BankModule::new();
+        let h0 = bank.state_hash();
+        bank.mint_coins(&"alice".into(), &Coin::new("uatom", 1));
+        let h1 = bank.state_hash();
+        assert_ne!(h0, h1);
+    }
+
+    #[test]
+    fn bank_keeper_trait_is_wired_to_module() {
+        let mut bank = BankModule::new();
+        BankKeeper::mint(&mut bank, "alice", "uatom", 50);
+        BankKeeper::send(&mut bank, "alice", "bob", "uatom", 20).unwrap();
+        assert!(BankKeeper::send(&mut bank, "alice", "bob", "uatom", 500).is_err());
+        BankKeeper::burn(&mut bank, "bob", "uatom", 20).unwrap();
+        assert_eq!(bank.balance(&"alice".into(), "uatom"), 30);
+        assert_eq!(bank.balance(&"bob".into(), "uatom"), 0);
+    }
+}

@@ -1,0 +1,53 @@
+//! Coins: denominated token amounts.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An amount of a single denomination.
+///
+/// # Example
+///
+/// ```rust
+/// use xcc_chain::coin::Coin;
+///
+/// let c = Coin::new("uatom", 1_000);
+/// assert_eq!(c.to_string(), "1000uatom");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Coin {
+    /// The denomination, e.g. `uatom` or an IBC voucher denom.
+    pub denom: String,
+    /// The amount.
+    pub amount: u128,
+}
+
+impl Coin {
+    /// Creates a coin.
+    pub fn new(denom: impl Into<String>, amount: u128) -> Self {
+        Coin { denom: denom.into(), amount }
+    }
+}
+
+impl fmt::Display for Coin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.amount, self.denom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_amount_then_denom() {
+        assert_eq!(Coin::new("stake", 42).to_string(), "42stake");
+    }
+
+    #[test]
+    fn equality_covers_both_fields() {
+        assert_eq!(Coin::new("uatom", 1), Coin::new("uatom", 1));
+        assert_ne!(Coin::new("uatom", 1), Coin::new("uatom", 2));
+        assert_ne!(Coin::new("uatom", 1), Coin::new("stake", 1));
+    }
+}

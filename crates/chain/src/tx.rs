@@ -1,0 +1,191 @@
+//! Transactions: a signed batch of messages.
+
+use serde::{Deserialize, Serialize};
+
+use crate::account::{sign, AccountId};
+use crate::coin::Coin;
+use crate::gas;
+use crate::msg::Msg;
+use xcc_tendermint::block::RawTx;
+use xcc_tendermint::hash::{hash_fields, sha256, Hash};
+
+/// A transaction: one signer, a sequence number, a fee, and a batch of
+/// messages.
+///
+/// The paper's workloads batch exactly 100 `MsgTransfer` messages per
+/// transaction, the maximum Hermes allows, to work around the
+/// one-transaction-per-account-per-block limitation (§III-D).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tx {
+    /// The messages to execute, in order.
+    pub msgs: Vec<Msg>,
+    /// The fee-paying signer.
+    pub signer: AccountId,
+    /// The signer's account sequence this transaction consumes.
+    pub sequence: u64,
+    /// Gas limit requested.
+    pub gas_limit: u64,
+    /// Fee offered.
+    pub fee: Coin,
+    /// Free-form memo.
+    pub memo: String,
+    /// Simulated signature over the transaction body.
+    pub signature: Hash,
+}
+
+/// Errors produced when decoding a transaction from raw bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxDecodeError {
+    /// Description of the malformation.
+    pub reason: String,
+}
+
+impl std::fmt::Display for TxDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "failed to decode tx: {}", self.reason)
+    }
+}
+
+impl std::error::Error for TxDecodeError {}
+
+impl Tx {
+    /// Builds and signs a transaction.
+    ///
+    /// The gas limit and fee are derived from the message batch using the
+    /// calibrated per-message costs and the configured gas price.
+    pub fn new(signer: AccountId, sequence: u64, msgs: Vec<Msg>, fee_denom: &str) -> Self {
+        let gas_limit = gas::TX_BASE_GAS + msgs.iter().map(Msg::gas_cost).sum::<u64>();
+        let fee = Coin::new(fee_denom, gas::fee_for_gas(gas_limit));
+        let body_digest = Self::body_digest(&signer, sequence, &msgs, &fee);
+        let signature = sign(&signer, sequence, &body_digest);
+        Tx {
+            msgs,
+            signer,
+            sequence,
+            gas_limit,
+            fee,
+            memo: String::new(),
+            signature,
+        }
+    }
+
+    fn body_digest(signer: &AccountId, sequence: u64, msgs: &[Msg], fee: &Coin) -> Hash {
+        let mut fields: Vec<Vec<u8>> = Vec::with_capacity(msgs.len() + 3);
+        fields.push(signer.as_str().as_bytes().to_vec());
+        fields.push(sequence.to_be_bytes().to_vec());
+        fields.push(fee.to_string().into_bytes());
+        for msg in msgs {
+            let mut bytes = msg.type_url().as_bytes().to_vec();
+            bytes.extend_from_slice(&(msg.encoded_size() as u64).to_be_bytes());
+            fields.push(bytes);
+        }
+        let refs: Vec<&[u8]> = fields.iter().map(|f| f.as_slice()).collect();
+        hash_fields(&refs)
+    }
+
+    /// Whether the transaction's signature matches its contents and claimed
+    /// signer.
+    pub fn verify_signature(&self) -> bool {
+        let digest = Self::body_digest(&self.signer, self.sequence, &self.msgs, &self.fee);
+        self.signature == sign(&self.signer, self.sequence, &digest)
+    }
+
+    /// Serialises the transaction into opaque bytes for inclusion in a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if serialisation fails, which would indicate a bug in the
+    /// message definitions rather than a runtime condition.
+    pub fn encode(&self) -> RawTx {
+        let json = serde_json::to_vec(self).expect("tx serialisation cannot fail");
+        RawTx::new(json)
+    }
+
+    /// Decodes a transaction previously produced by [`Tx::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when the bytes are not a valid encoded transaction.
+    pub fn decode(raw: &RawTx) -> Result<Self, TxDecodeError> {
+        serde_json::from_slice(raw.as_bytes())
+            .map_err(|e| TxDecodeError { reason: e.to_string() })
+    }
+
+    /// The transaction hash (identical to the hash of its encoding).
+    pub fn hash(&self) -> Hash {
+        sha256(self.encode().as_bytes())
+    }
+
+    /// Number of messages in the transaction.
+    pub fn msg_count(&self) -> usize {
+        self.msgs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xcc_ibc::height::Height;
+    use xcc_ibc::ids::{ChannelId, PortId};
+    use xcc_ibc::module::TransferParams;
+    use xcc_sim::SimTime;
+
+    fn transfer(amount: u128) -> Msg {
+        Msg::IbcTransfer(TransferParams {
+            source_port: PortId::transfer(),
+            source_channel: ChannelId::with_index(0),
+            denom: "uatom".into(),
+            amount,
+            sender: "alice".into(),
+            receiver: "bob".into(),
+            timeout_height: Height::at(500),
+            timeout_timestamp: SimTime::ZERO,
+        })
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let tx = Tx::new("alice".into(), 3, vec![transfer(10), transfer(20)], "uatom");
+        let raw = tx.encode();
+        let decoded = Tx::decode(&raw).unwrap();
+        assert_eq!(decoded, tx);
+        assert_eq!(decoded.msg_count(), 2);
+        assert_eq!(tx.hash(), sha256(raw.as_bytes()));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let err = Tx::decode(&RawTx::new(b"not json".to_vec())).unwrap_err();
+        assert!(err.to_string().contains("failed to decode"));
+    }
+
+    #[test]
+    fn gas_limit_matches_paper_for_hundred_transfers() {
+        let msgs: Vec<Msg> = (0..100).map(|i| transfer(i as u128 + 1)).collect();
+        let tx = Tx::new("alice".into(), 0, msgs, "uatom");
+        let diff = (tx.gas_limit as f64 - 3_669_161.0).abs() / 3_669_161.0;
+        assert!(diff < 0.01, "gas limit {} deviates from the paper by {:.2}%", tx.gas_limit, diff * 100.0);
+        assert_eq!(tx.fee.amount, gas::fee_for_gas(tx.gas_limit));
+    }
+
+    #[test]
+    fn signature_verifies_and_detects_tampering() {
+        let tx = Tx::new("alice".into(), 1, vec![transfer(5)], "uatom");
+        assert!(tx.verify_signature());
+
+        let mut forged = tx.clone();
+        forged.signer = "mallory".into();
+        assert!(!forged.verify_signature());
+
+        let mut replayed = tx.clone();
+        replayed.sequence = 2;
+        assert!(!replayed.verify_signature());
+    }
+
+    #[test]
+    fn different_contents_give_different_hashes() {
+        let a = Tx::new("alice".into(), 0, vec![transfer(1)], "uatom");
+        let b = Tx::new("alice".into(), 0, vec![transfer(2)], "uatom");
+        assert_ne!(a.hash(), b.hash());
+    }
+}

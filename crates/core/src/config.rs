@@ -1,0 +1,162 @@
+//! Experiment configuration: deployment and workload parameters.
+//!
+//! These two structs correspond to the "Deployment configuration" and
+//! "Workload configuration" inputs of the framework's Setup and Benchmark
+//! modules (Fig. 5 of the paper). The defaults reproduce the paper's
+//! experiment settings (§III-C/D).
+
+use serde::{Deserialize, Serialize};
+
+use xcc_sim::SimDuration;
+
+/// Parameters of the deployed testnet (the Setup module's input).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeploymentConfig {
+    /// Identifier of the source chain.
+    pub source_chain_id: String,
+    /// Identifier of the destination chain.
+    pub destination_chain_id: String,
+    /// Number of validators per chain (the paper uses 5).
+    pub validators_per_chain: usize,
+    /// Emulated round-trip network latency in milliseconds (0 or 200 in the
+    /// paper).
+    pub network_rtt_ms: u64,
+    /// Minimum block interval (the paper configures 5 seconds).
+    pub min_block_interval: SimDuration,
+    /// Number of relayer instances serving the single cross-chain channel.
+    pub relayer_count: usize,
+    /// Number of funded user accounts available to the workload generator.
+    pub user_accounts: usize,
+    /// Initial balance of every funded account (fee denomination).
+    pub account_balance: u128,
+    /// Seed for all randomness in the experiment.
+    pub seed: u64,
+}
+
+impl Default for DeploymentConfig {
+    fn default() -> Self {
+        DeploymentConfig {
+            source_chain_id: "ibc-0".to_string(),
+            destination_chain_id: "ibc-1".to_string(),
+            validators_per_chain: 5,
+            network_rtt_ms: 200,
+            min_block_interval: SimDuration::from_secs(5),
+            relayer_count: 1,
+            user_accounts: 64,
+            account_balance: 1_000_000_000_000,
+            seed: 42,
+        }
+    }
+}
+
+/// Parameters of the benchmark workload (the Benchmark module's input).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Total number of cross-chain transfers to request.
+    pub total_transfers: u64,
+    /// Number of transfer messages batched per transaction (the paper uses
+    /// 100, the Hermes maximum).
+    pub transfers_per_tx: usize,
+    /// Number of consecutive block windows the submission is spread over
+    /// (Fig. 13 varies this from 1 to 64).
+    pub submission_blocks: u64,
+    /// Length of the measurement window in source-chain blocks (15 for the
+    /// Tendermint experiments, 50 for the relayer experiments).
+    pub measurement_blocks: u64,
+    /// Packet timeout expressed in destination-chain blocks (0 disables the
+    /// height timeout).
+    pub timeout_blocks: u64,
+    /// CPU time the submitting CLI spends building and signing one
+    /// transaction.
+    pub cli_cost_per_tx: SimDuration,
+    /// If true, keep producing blocks after the measurement window until all
+    /// in-flight transfers either complete or time out (used by the latency
+    /// experiments).
+    pub run_to_completion: bool,
+    /// Hard cap on additional blocks produced while running to completion.
+    pub completion_grace_blocks: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            total_transfers: 5_000,
+            transfers_per_tx: 100,
+            submission_blocks: 1,
+            measurement_blocks: 50,
+            timeout_blocks: 0,
+            cli_cost_per_tx: SimDuration::from_millis(12),
+            run_to_completion: true,
+            completion_grace_blocks: 400,
+        }
+    }
+}
+
+impl WorkloadConfig {
+    /// A workload expressed as the paper's "input rate": `rate` requests per
+    /// second sustained for `measurement_blocks` windows of the nominal
+    /// 5-second block interval.
+    pub fn from_input_rate(rate_rps: u64, measurement_blocks: u64) -> Self {
+        let transfers_per_window = rate_rps * 5;
+        WorkloadConfig {
+            total_transfers: transfers_per_window * measurement_blocks,
+            submission_blocks: measurement_blocks,
+            measurement_blocks,
+            ..WorkloadConfig::default()
+        }
+    }
+
+    /// Transfers submitted per block window.
+    pub fn transfers_per_window(&self) -> u64 {
+        self.total_transfers.div_ceil(self.submission_blocks.max(1))
+    }
+
+    /// Transactions submitted per block window.
+    pub fn txs_per_window(&self) -> u64 {
+        self.transfers_per_window().div_ceil(self.transfers_per_tx as u64)
+    }
+
+    /// The nominal input rate in requests (transfers) per second assuming
+    /// 5-second blocks, as the paper defines it.
+    pub fn input_rate_rps(&self) -> f64 {
+        self.transfers_per_window() as f64 / 5.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_settings() {
+        let d = DeploymentConfig::default();
+        assert_eq!(d.validators_per_chain, 5);
+        assert_eq!(d.network_rtt_ms, 200);
+        assert_eq!(d.min_block_interval, SimDuration::from_secs(5));
+        let w = WorkloadConfig::default();
+        assert_eq!(w.transfers_per_tx, 100);
+    }
+
+    #[test]
+    fn input_rate_conversion_matches_paper_examples() {
+        // "a request rate of 1,000 transfers per second corresponds to a
+        // batch of 5,000 transfers being submitted every 5 seconds".
+        let w = WorkloadConfig::from_input_rate(1_000, 15);
+        assert_eq!(w.transfers_per_window(), 5_000);
+        assert_eq!(w.txs_per_window(), 50);
+        assert_eq!(w.total_transfers, 75_000);
+        assert!((w.input_rate_rps() - 1_000.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn window_computations_round_up() {
+        let w = WorkloadConfig {
+            total_transfers: 250,
+            transfers_per_tx: 100,
+            submission_blocks: 2,
+            ..WorkloadConfig::default()
+        };
+        assert_eq!(w.transfers_per_window(), 125);
+        assert_eq!(w.txs_per_window(), 2);
+    }
+}

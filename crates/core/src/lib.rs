@@ -1,0 +1,43 @@
+//! The cross-chain performance evaluation framework — the paper's primary
+//! contribution (Fig. 5).
+//!
+//! The framework has the three modules the paper describes:
+//!
+//! * **Setup** ([`testnet`]): deploys two simulated Cosmos Gaia chains,
+//!   opens the IBC clients/connection/channel between them and instantiates
+//!   the configured number of Hermes-like relayers (the Cross-chain
+//!   Communicator).
+//! * **Benchmark** ([`workload`], [`runner`]): the Cross-chain Workload
+//!   Connector submits batched `MsgTransfer` workloads through the relayer
+//!   CLI path while the experiment driver advances both chains and the
+//!   relayers in virtual time.
+//! * **Analysis** ([`analysis`], [`report`]): the Cross-chain Data and Event
+//!   Connectors collect chain data and relayer telemetry; the Event Processor
+//!   aggregates them into the throughput, latency, completion-status and
+//!   scalability metrics the paper reports, emitted as execution reports.
+//!
+//! [`scenarios`] packages each of the paper's experiments (Table I,
+//! Figs. 6–13, and the §V WebSocket-limit challenge) as a parameterised
+//! function; the `bench` crate sweeps them to regenerate every table and
+//! figure.
+//!
+//! # Example
+//!
+//! ```rust,no_run
+//! use xcc_framework::scenarios;
+//!
+//! // One point of Fig. 8: 60 requests/second, one relayer, 200 ms RTT.
+//! let result = scenarios::relayer_throughput(60, 1, 200, 10, 42);
+//! println!("completed {} transfers at {:.1} TFPS", result.completed, result.throughput_tfps);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod config;
+pub mod report;
+pub mod runner;
+pub mod scenarios;
+pub mod testnet;
+pub mod workload;

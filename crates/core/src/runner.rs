@@ -1,0 +1,270 @@
+//! The experiment driver: advances both chains, the relayers and the
+//! workload generator in virtual time and collects the raw data the Analysis
+//! module consumes.
+
+use xcc_chain::chain::SharedChain;
+use xcc_ibc::events as ibc_events;
+use xcc_relayer::relayer::RelayerStats;
+use xcc_relayer::telemetry::{TelemetryLog, TransferStep};
+use xcc_sim::{Scheduler, SimDuration, SimTime};
+
+use crate::config::{DeploymentConfig, WorkloadConfig};
+use crate::testnet::{make_rpc, Testnet};
+use crate::workload::{SubmissionRecord, SubmissionStats, WorkloadConnector};
+
+/// One committed block as observed by the driver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BlockRecord {
+    /// Height of the block.
+    pub height: u64,
+    /// When the proposer started assembling it.
+    pub proposed_at: SimTime,
+    /// When consensus on it completed.
+    pub committed_at: SimTime,
+    /// Number of transactions included.
+    pub tx_count: usize,
+    /// Number of ABCI events emitted by its transactions (a proxy for the
+    /// amount of IBC work in the block).
+    pub events: u64,
+    /// Interval since the previous block's commit.
+    pub interval: SimDuration,
+}
+
+/// Everything an experiment run produced, handed to the Analysis module.
+pub struct RunOutput {
+    /// Blocks committed on the source chain, in order.
+    pub blocks_a: Vec<BlockRecord>,
+    /// Blocks committed on the destination chain, in order.
+    pub blocks_b: Vec<BlockRecord>,
+    /// Merged relayer telemetry plus the workload's transfer-broadcast times.
+    pub telemetry: TelemetryLog,
+    /// Workload submission statistics.
+    pub submission: SubmissionStats,
+    /// Per-transaction submission records.
+    pub submission_records: Vec<SubmissionRecord>,
+    /// Per-relayer activity counters.
+    pub relayer_stats: Vec<RelayerStats>,
+    /// The source chain at the end of the run.
+    pub chain_a: SharedChain,
+    /// The destination chain at the end of the run.
+    pub chain_b: SharedChain,
+    /// The relay path used.
+    pub path: xcc_relayer::relayer::RelayPath,
+    /// Commit time of the first measurement block (the window start).
+    pub measurement_start: SimTime,
+    /// Commit time of the last measurement block (the window end).
+    pub measurement_end: SimTime,
+    /// The workload configuration that was executed.
+    pub workload: WorkloadConfig,
+    /// The deployment configuration that was executed.
+    pub deployment: DeploymentConfig,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    BlockA,
+    BlockB,
+}
+
+/// Runs one experiment: deploys the testnet, drives block production on both
+/// chains, feeds events to the relayers, submits the workload and returns the
+/// collected raw data.
+pub fn run_experiment(deployment: &DeploymentConfig, workload_config: &WorkloadConfig) -> RunOutput {
+    let mut testnet = Testnet::build(deployment);
+    let workload_rpc = make_rpc(&testnet.chain_a, deployment, &testnet.rng, "workload-cli");
+    let mut workload = WorkloadConnector::new(
+        workload_config.clone(),
+        testnet.path.clone(),
+        workload_rpc,
+        deployment.user_accounts,
+    );
+
+    let min_interval = deployment.min_block_interval;
+    let mut sched: Scheduler<Ev> = Scheduler::new();
+    // Both chains committed block 1 during setup at t = 0.
+    sched.schedule_at(SimTime::ZERO + min_interval, Ev::BlockA);
+    sched.schedule_at(SimTime::ZERO + min_interval, Ev::BlockB);
+
+    let mut blocks_a: Vec<BlockRecord> = Vec::new();
+    let mut blocks_b: Vec<BlockRecord> = Vec::new();
+    let mut last_commit_a = SimTime::ZERO;
+    let mut last_commit_b = SimTime::ZERO;
+    let mut measurement_start = SimTime::ZERO;
+    let mut measurement_end = SimTime::ZERO;
+
+    // The first workload window is submitted right away so that its
+    // transactions are available for the first measurement block.
+    workload.submit_window(SimTime::ZERO, testnet.chain_b.borrow().height());
+
+    let target_blocks = workload_config.measurement_blocks;
+    let grace_blocks = workload_config.completion_grace_blocks;
+    let mut source_running = true;
+
+    while let Some((t, ev)) = sched.pop() {
+        match ev {
+            Ev::BlockA => {
+                let outcome = testnet.chain_a.borrow_mut().produce_block(t);
+                let record = BlockRecord {
+                    height: outcome.height,
+                    proposed_at: t,
+                    committed_at: outcome.committed_at,
+                    tx_count: outcome.tx_count,
+                    events: outcome.included_messages,
+                    interval: outcome.committed_at - last_commit_a,
+                };
+                last_commit_a = outcome.committed_at;
+                blocks_a.push(record);
+
+                for relayer in &mut testnet.relayers {
+                    relayer.on_source_block(outcome.height, outcome.committed_at);
+                }
+
+                // Measurement bookkeeping: block 2 is the first block that can
+                // contain workload transactions.
+                let measured = blocks_a.len() as u64; // block heights 2, 3, …
+                if measured == 1 {
+                    measurement_start = outcome.committed_at;
+                }
+                if measured == target_blocks {
+                    measurement_end = outcome.committed_at;
+                }
+
+                if !workload.finished_submitting() {
+                    workload.submit_window(outcome.committed_at, testnet.chain_b.borrow().height());
+                }
+
+                let stop = if measured < target_blocks {
+                    false
+                } else if !workload_config.run_to_completion {
+                    true
+                } else {
+                    let chain = testnet.chain_a.borrow();
+                    let ibc = chain.app().ibc();
+                    let sent = ibc.sent_sequences(&testnet.path.port, &testnet.path.src_channel);
+                    let outstanding = ibc
+                        .unacknowledged_packets(&testnet.path.port, &testnet.path.src_channel, &sent)
+                        .len();
+                    let done = workload.finished_submitting() && outstanding == 0;
+                    done || measured >= target_blocks + grace_blocks
+                };
+                if !stop {
+                    sched.schedule_at(outcome.committed_at.max(t + min_interval), Ev::BlockA);
+                } else {
+                    source_running = false;
+                    if measurement_end == SimTime::ZERO {
+                        measurement_end = outcome.committed_at;
+                    }
+                }
+            }
+            Ev::BlockB => {
+                let outcome = testnet.chain_b.borrow_mut().produce_block(t);
+                let record = BlockRecord {
+                    height: outcome.height,
+                    proposed_at: t,
+                    committed_at: outcome.committed_at,
+                    tx_count: outcome.tx_count,
+                    events: outcome.included_messages,
+                    interval: outcome.committed_at - last_commit_b,
+                };
+                last_commit_b = outcome.committed_at;
+                blocks_b.push(record);
+
+                for relayer in &mut testnet.relayers {
+                    relayer.on_dest_block(outcome.height, outcome.committed_at);
+                }
+
+                // The destination chain keeps producing blocks for as long as
+                // the source side is still running; once the source side has
+                // stopped, pending recvs can no longer complete anyway.
+                if source_running {
+                    sched.schedule_at(outcome.committed_at.max(t + min_interval), Ev::BlockB);
+                }
+            }
+        }
+    }
+
+    // Merge telemetry from every relayer and attach the workload's broadcast
+    // timestamps to the packet sequences each committed transaction created.
+    let mut telemetry = TelemetryLog::new();
+    let mut relayer_stats = Vec::new();
+    for relayer in &testnet.relayers {
+        telemetry.merge(relayer.telemetry());
+        relayer_stats.push(*relayer.stats());
+    }
+    {
+        let chain = testnet.chain_a.borrow();
+        for record in workload.records() {
+            if !record.accepted {
+                continue;
+            }
+            let Some((_, _, result)) = chain.find_tx(&record.tx_hash) else {
+                continue;
+            };
+            for event in &result.events {
+                if event.kind == ibc_events::SEND_PACKET {
+                    if let Some(packet) = ibc_events::packet_from_event(event) {
+                        telemetry.record(packet.sequence, TransferStep::TransferBroadcast, record.broadcast_at);
+                    }
+                }
+            }
+        }
+    }
+
+    RunOutput {
+        blocks_a,
+        blocks_b,
+        telemetry,
+        submission: workload.stats(),
+        submission_records: workload.records().to_vec(),
+        relayer_stats,
+        chain_a: testnet.chain_a.clone(),
+        chain_b: testnet.chain_b.clone(),
+        path: testnet.path.clone(),
+        measurement_start,
+        measurement_end,
+        workload: workload_config.clone(),
+        deployment: deployment.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a_small_run_completes_transfers_end_to_end() {
+        let deployment = DeploymentConfig {
+            user_accounts: 4,
+            relayer_count: 1,
+            network_rtt_ms: 0,
+            ..DeploymentConfig::default()
+        };
+        let workload = WorkloadConfig {
+            total_transfers: 200,
+            submission_blocks: 1,
+            measurement_blocks: 4,
+            run_to_completion: true,
+            completion_grace_blocks: 40,
+            ..WorkloadConfig::default()
+        };
+        let run = run_experiment(&deployment, &workload);
+        assert_eq!(run.submission.submitted, 200);
+        // All 200 transfers eventually acknowledge back on the source chain.
+        assert_eq!(run.telemetry.count_for_step(TransferStep::AckConfirmation), 200);
+        assert!(run.blocks_a.len() >= 4);
+        assert!(!run.blocks_b.is_empty());
+        assert!(run.measurement_end > run.measurement_start);
+        // Funds actually moved: vouchers exist on chain B.
+        let voucher = format!("transfer/{}/uatom", run.path.dst_channel);
+        let total: u128 = (0..4)
+            .map(|i| {
+                run.chain_b
+                    .borrow()
+                    .app()
+                    .bank()
+                    .balance(&format!("user-{i}").into(), &voucher)
+            })
+            .sum();
+        assert_eq!(total, 200);
+    }
+}

@@ -1,0 +1,286 @@
+//! The paper's experiments, packaged as reusable scenario functions.
+//!
+//! Each function deploys a fresh testnet, executes one configuration of one
+//! experiment and returns the metrics that the corresponding table or figure
+//! reports. The `bench` crate sweeps these functions over the paper's
+//! parameter ranges to regenerate every table and figure.
+
+use serde::{Deserialize, Serialize};
+
+use crate::analysis;
+use crate::config::{DeploymentConfig, WorkloadConfig};
+use crate::report::ExecutionReport;
+use crate::runner::{run_experiment, RunOutput};
+
+/// One row of the Tendermint throughput experiments (Table I, Figs. 6 and 7).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TendermintRunResult {
+    /// The configured input rate in requests (transfers) per second.
+    pub input_rate_rps: u64,
+    /// Committed transfer messages per second over the window (Fig. 6).
+    pub throughput_tfps: f64,
+    /// Average block interval in seconds (Fig. 7).
+    pub avg_block_interval_secs: f64,
+    /// Transfers requested from the CLI (Table I "Requests made").
+    pub requests_made: u64,
+    /// Transfers accepted into the mempool (Table I "Submitted").
+    pub submitted: u64,
+    /// Transfers committed on chain (Table I "Committed").
+    pub committed: u64,
+}
+
+/// Runs one Tendermint-throughput configuration: `input_rate_rps` sustained
+/// for 15 consecutive blocks, no relaying (the paper only measures inclusion
+/// of `MsgTransfer`).
+pub fn tendermint_throughput(input_rate_rps: u64, rtt_ms: u64, seed: u64) -> TendermintRunResult {
+    let workload = WorkloadConfig {
+        run_to_completion: false,
+        ..WorkloadConfig::from_input_rate(input_rate_rps, 15)
+    };
+    let deployment = DeploymentConfig {
+        relayer_count: 0,
+        network_rtt_ms: rtt_ms,
+        user_accounts: workload.txs_per_window().max(1) as usize,
+        seed,
+        ..DeploymentConfig::default()
+    };
+    let run = run_experiment(&deployment, &workload);
+    TendermintRunResult {
+        input_rate_rps,
+        throughput_tfps: analysis::tendermint_throughput_tfps(&run),
+        avg_block_interval_secs: analysis::average_block_interval_secs(&run),
+        requests_made: run.submission.requests_made,
+        submitted: run.submission.submitted,
+        committed: analysis::committed_transfers(&run),
+    }
+}
+
+/// One data point of the relayer throughput / completion experiments
+/// (Figs. 8–11).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RelayerRunResult {
+    /// The configured input rate in transfers per second.
+    pub input_rate_rps: u64,
+    /// Number of relayer instances serving the channel.
+    pub relayer_count: usize,
+    /// Emulated round-trip latency in milliseconds.
+    pub rtt_ms: u64,
+    /// Completed transfers per second over the 50-block window (Figs. 8/9).
+    pub throughput_tfps: f64,
+    /// Transfer completion breakdown at the end of the window (Figs. 10/11).
+    pub completed: u64,
+    /// Partially completed transfers (transfer + receive only).
+    pub partial: u64,
+    /// Transfers that were only initiated.
+    pub initiated: u64,
+    /// Transfers never committed to the source chain.
+    pub not_committed: u64,
+    /// Occurrences of redundant packet messages (multi-relayer effect).
+    pub redundant_packet_errors: u64,
+}
+
+/// Runs one relayer-throughput configuration: `input_rate_rps` sustained over
+/// `measurement_blocks` source blocks with `relayer_count` relayers.
+pub fn relayer_throughput(
+    input_rate_rps: u64,
+    relayer_count: usize,
+    rtt_ms: u64,
+    measurement_blocks: u64,
+    seed: u64,
+) -> RelayerRunResult {
+    let workload = WorkloadConfig {
+        run_to_completion: false,
+        ..WorkloadConfig::from_input_rate(input_rate_rps, measurement_blocks)
+    };
+    let deployment = DeploymentConfig {
+        relayer_count,
+        network_rtt_ms: rtt_ms,
+        user_accounts: workload.txs_per_window().max(1) as usize,
+        seed,
+        ..DeploymentConfig::default()
+    };
+    let run = run_experiment(&deployment, &workload);
+    let breakdown = analysis::completion_breakdown(&run);
+    RelayerRunResult {
+        input_rate_rps,
+        relayer_count,
+        rtt_ms,
+        throughput_tfps: analysis::throughput_tfps(&run),
+        completed: breakdown.completed,
+        partial: breakdown.partial,
+        initiated: breakdown.initiated,
+        not_committed: breakdown.not_committed,
+        redundant_packet_errors: analysis::redundant_packet_errors(&run),
+    }
+}
+
+/// The result of the latency-breakdown experiment (Fig. 12) and of each point
+/// of the submission-strategy experiment (Fig. 13).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyRunResult {
+    /// Number of transfers submitted.
+    pub transfers: u64,
+    /// Number of block windows the submission was spread over.
+    pub submission_blocks: u64,
+    /// Completion latency of the whole batch in seconds.
+    pub completion_latency_secs: f64,
+    /// Duration of the transfer phase (steps 1–4) in seconds.
+    pub transfer_phase_secs: f64,
+    /// Duration of the receive phase (steps 5–9) in seconds.
+    pub recv_phase_secs: f64,
+    /// Duration of the acknowledgement phase (steps 10–13) in seconds.
+    pub ack_phase_secs: f64,
+    /// Time spent in the transfer data-pull step, in seconds.
+    pub transfer_pull_secs: f64,
+    /// Time spent in the receive data-pull step, in seconds.
+    pub recv_pull_secs: f64,
+    /// Fraction of the total time spent in RPC data pulls (the paper reports
+    /// ≈0.69 for the 5,000-transfer single-block case).
+    pub data_pull_share: f64,
+}
+
+/// Runs the latency experiment: `transfers` cross-chain transfers submitted
+/// over `submission_blocks` block windows, measured to full completion
+/// (Figs. 12 and 13).
+pub fn latency_run(transfers: u64, submission_blocks: u64, rtt_ms: u64, seed: u64) -> LatencyRunResult {
+    let workload = WorkloadConfig {
+        total_transfers: transfers,
+        submission_blocks,
+        measurement_blocks: submission_blocks.max(1),
+        run_to_completion: true,
+        completion_grace_blocks: 600,
+        ..WorkloadConfig::default()
+    };
+    let deployment = DeploymentConfig {
+        relayer_count: 1,
+        network_rtt_ms: rtt_ms,
+        user_accounts: workload.txs_per_window().max(1) as usize,
+        seed,
+        ..DeploymentConfig::default()
+    };
+    let run = run_experiment(&deployment, &workload);
+    let steps = analysis::step_breakdown(&run);
+    LatencyRunResult {
+        transfers,
+        submission_blocks,
+        completion_latency_secs: analysis::completion_latency(&run).unwrap_or(steps.total_secs),
+        transfer_phase_secs: steps.transfer_phase_secs,
+        recv_phase_secs: steps.recv_phase_secs,
+        ack_phase_secs: steps.ack_phase_secs,
+        transfer_pull_secs: steps.transfer_pull_secs,
+        recv_pull_secs: steps.recv_pull_secs,
+        data_pull_share: steps.data_pull_share(),
+    }
+}
+
+/// Result of the WebSocket frame-limit experiment (§V, "WebSocket space
+/// limit").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WebSocketLimitResult {
+    /// Transfers requested.
+    pub requested: u64,
+    /// Transfers that completed despite the failure.
+    pub completed: u64,
+    /// Transfers stuck: committed on the source chain but neither relayed nor
+    /// timed out.
+    pub stuck: u64,
+    /// How many blocks failed event collection.
+    pub event_collection_failures: u64,
+}
+
+/// Reproduces the WebSocket-limit deployment challenge: a block carrying far
+/// more IBC events than the 16 MiB frame limit allows, with the packet-clear
+/// interval disabled, leaving most transfers stuck.
+pub fn websocket_limit_run(transfers: u64, seed: u64) -> WebSocketLimitResult {
+    let workload = WorkloadConfig {
+        total_transfers: transfers,
+        submission_blocks: 1,
+        measurement_blocks: 12,
+        timeout_blocks: 6,
+        run_to_completion: false,
+        ..WorkloadConfig::default()
+    };
+    let deployment = DeploymentConfig {
+        relayer_count: 1,
+        network_rtt_ms: 0,
+        user_accounts: workload.txs_per_window().max(1) as usize,
+        seed,
+        ..DeploymentConfig::default()
+    };
+    let run = run_experiment(&deployment, &workload);
+    let breakdown = analysis::completion_breakdown(&run);
+    WebSocketLimitResult {
+        requested: run.submission.requests_made,
+        completed: breakdown.completed,
+        stuck: breakdown.initiated + breakdown.partial,
+        event_collection_failures: run.relayer_stats.iter().map(|s| s.event_collection_failures).sum(),
+    }
+}
+
+/// Builds an [`ExecutionReport`] from any run output, used by examples and by
+/// the report binaries.
+pub fn report_for(name: &str, run: &RunOutput) -> ExecutionReport {
+    let mut report = ExecutionReport::new(name);
+    let breakdown = analysis::completion_breakdown(run);
+    report.set_metric("throughput_tfps", analysis::throughput_tfps(run));
+    report.set_metric("tendermint_throughput_tfps", analysis::tendermint_throughput_tfps(run));
+    report.set_metric("avg_block_interval_secs", analysis::average_block_interval_secs(run));
+    report.set_metric("completed", breakdown.completed as f64);
+    report.set_metric("partial", breakdown.partial as f64);
+    report.set_metric("initiated", breakdown.initiated as f64);
+    report.set_metric("not_committed", breakdown.not_committed as f64);
+    report.set_metric("requests_made", run.submission.requests_made as f64);
+    report.set_metric("submitted", run.submission.submitted as f64);
+    report.set_metric("redundant_packet_errors", analysis::redundant_packet_errors(run) as f64);
+    report.add_note(format!(
+        "{} relayer(s), {} ms RTT, seed {}",
+        run.deployment.relayer_count, run.deployment.network_rtt_ms, run.deployment.seed
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_tendermint_run_commits_requested_transfers() {
+        let result = tendermint_throughput(40, 0, 1);
+        assert_eq!(result.requests_made, 40 * 5 * 15);
+        assert_eq!(result.submitted, result.requests_made);
+        assert!(result.committed > 0);
+        assert!(result.throughput_tfps > 0.0);
+        assert!(result.avg_block_interval_secs >= 5.0);
+    }
+
+    #[test]
+    fn small_relayer_run_completes_transfers() {
+        let result = relayer_throughput(20, 1, 0, 6, 1);
+        assert!(result.completed > 0, "completed = {}", result.completed);
+        assert!(result.throughput_tfps > 0.0);
+        assert_eq!(
+            result.completed + result.partial + result.initiated + result.not_committed,
+            20 * 5 * 6
+        );
+    }
+
+    #[test]
+    fn latency_run_reports_phase_breakdown() {
+        let result = latency_run(300, 1, 0, 1);
+        assert!(result.completion_latency_secs > 0.0);
+        assert!(result.recv_phase_secs >= 0.0);
+        assert!(result.data_pull_share > 0.0 && result.data_pull_share < 1.0);
+    }
+
+    #[test]
+    fn splitting_submission_reduces_latency_for_large_batches() {
+        let single = latency_run(1_200, 1, 0, 7);
+        let split = latency_run(1_200, 4, 0, 7);
+        assert!(
+            split.completion_latency_secs < single.completion_latency_secs,
+            "split {} vs single {}",
+            split.completion_latency_secs,
+            single.completion_latency_secs
+        );
+    }
+}

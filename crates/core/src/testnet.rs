@@ -1,0 +1,221 @@
+//! The Setup module: deploys two chains, opens the IBC channel between them
+//! and instantiates the relayers — the automated equivalent of the paper's
+//! testnet deployment scripts.
+
+use xcc_chain::chain::{Chain, SharedChain};
+use xcc_chain::genesis::GenesisConfig;
+use xcc_ibc::channel::Order;
+use xcc_ibc::ids::PortId;
+use xcc_relayer::config::RelayerConfig;
+use xcc_relayer::relayer::{RelayPath, Relayer};
+use xcc_rpc::cost::RpcCostModel;
+use xcc_rpc::endpoint::RpcEndpoint;
+use xcc_sim::{DetRng, LatencyModel, SimTime};
+use xcc_tendermint::mempool::MempoolConfig;
+use xcc_tendermint::params::{ConsensusParams, ConsensusTimingModel};
+
+use crate::config::DeploymentConfig;
+
+/// A fully deployed cross-chain testnet: two chains, an open transfer
+/// channel, and the configured number of relayer instances.
+pub struct Testnet {
+    /// The source chain (transfers originate here).
+    pub chain_a: SharedChain,
+    /// The destination chain.
+    pub chain_b: SharedChain,
+    /// The relayer instances serving the channel.
+    pub relayers: Vec<Relayer>,
+    /// The relay path (port, channels, clients).
+    pub path: RelayPath,
+    /// The deployment configuration used.
+    pub deployment: DeploymentConfig,
+    /// The experiment's root random stream.
+    pub rng: DetRng,
+}
+
+/// Builds an RPC endpoint for a chain using the deployment's latency model.
+pub fn make_rpc(chain: &SharedChain, deployment: &DeploymentConfig, rng: &DetRng, label: &str) -> RpcEndpoint {
+    RpcEndpoint::new(
+        chain.clone(),
+        RpcCostModel::default(),
+        LatencyModel::constant_rtt_ms(deployment.network_rtt_ms),
+        rng.fork(label),
+    )
+}
+
+impl Testnet {
+    /// Deploys the testnet described by `deployment`.
+    ///
+    /// Both chains produce their first (empty) block, light clients of each
+    /// other are created from those headers, and the connection and channel
+    /// handshakes are executed so that the transfer channel is `Open` on both
+    /// ends before the benchmark starts — the work the paper's Setup module
+    /// automates.
+    pub fn build(deployment: &DeploymentConfig) -> Self {
+        let rng = DetRng::new(deployment.seed);
+
+        let mut genesis_a = GenesisConfig::new(deployment.source_chain_id.clone())
+            .with_validators(deployment.validators_per_chain)
+            .with_funded_accounts("user", deployment.user_accounts, deployment.account_balance);
+        let mut genesis_b = GenesisConfig::new(deployment.destination_chain_id.clone())
+            .with_validators(deployment.validators_per_chain)
+            .with_funded_accounts("user", deployment.user_accounts, deployment.account_balance);
+        for r in 0..deployment.relayer_count.max(1) {
+            genesis_a = genesis_a.with_account(format!("relayer-{r}"), deployment.account_balance);
+            genesis_b = genesis_b.with_account(format!("relayer-{r}"), deployment.account_balance);
+        }
+
+        let params = ConsensusParams {
+            min_block_interval: deployment.min_block_interval,
+            ..ConsensusParams::default()
+        };
+        let chain_a = Chain::with_params(
+            genesis_a,
+            params.clone(),
+            ConsensusTimingModel::default(),
+            MempoolConfig::default(),
+        )
+        .into_shared();
+        let chain_b = Chain::with_params(
+            genesis_b,
+            params,
+            ConsensusTimingModel::default(),
+            MempoolConfig::default(),
+        )
+        .into_shared();
+
+        // Both chains commit their genesis block so that light clients can be
+        // bootstrapped from a real header.
+        chain_a.borrow_mut().produce_block(SimTime::ZERO);
+        chain_b.borrow_mut().produce_block(SimTime::ZERO);
+
+        let path = open_channel(&chain_a, &chain_b);
+
+        let mut relayers = Vec::with_capacity(deployment.relayer_count);
+        for r in 0..deployment.relayer_count {
+            let config = RelayerConfig {
+                source_account: format!("relayer-{r}").into(),
+                destination_account: format!("relayer-{r}").into(),
+                ..RelayerConfig::default()
+            };
+            let src_rpc = make_rpc(&chain_a, deployment, &rng, &format!("relayer-{r}-src"));
+            let dst_rpc = make_rpc(&chain_b, deployment, &rng, &format!("relayer-{r}-dst"));
+            relayers.push(Relayer::new(r, config, path.clone(), src_rpc, dst_rpc));
+        }
+
+        Testnet {
+            chain_a,
+            chain_b,
+            relayers,
+            path,
+            deployment: deployment.clone(),
+            rng,
+        }
+    }
+}
+
+/// Creates the clients, connection and unordered transfer channel between two
+/// freshly started chains, returning the relay path.
+pub fn open_channel(chain_a: &SharedChain, chain_b: &SharedChain) -> RelayPath {
+    let header_a = chain_a
+        .borrow()
+        .block_at(1)
+        .expect("chain A produced its genesis block")
+        .block
+        .header
+        .clone();
+    let header_b = chain_b
+        .borrow()
+        .block_at(1)
+        .expect("chain B produced its genesis block")
+        .block
+        .header
+        .clone();
+    let root_a = chain_a.borrow().app().ibc().commitment_root();
+    let root_b = chain_b.borrow().app().ibc().commitment_root();
+
+    let mut a = chain_a.borrow_mut();
+    let mut b = chain_b.borrow_mut();
+    let ibc_a = a.app_mut().ibc_mut();
+    let ibc_b = b.app_mut().ibc_mut();
+
+    // ICS-02: clients of each other.
+    let (client_on_a, _) = ibc_a.create_client(&header_b, root_b);
+    let (client_on_b, _) = ibc_b.create_client(&header_a, root_a);
+
+    // ICS-03: connection handshake.
+    let (conn_a, _) = ibc_a
+        .conn_open_init(&client_on_a, &client_on_b)
+        .expect("client exists on chain A");
+    let (conn_b, _) = ibc_b
+        .conn_open_try(&client_on_b, &client_on_a, &conn_a)
+        .expect("client exists on chain B");
+    ibc_a.conn_open_ack(&conn_a, &conn_b).expect("connection in Init");
+    ibc_b.conn_open_confirm(&conn_b).expect("connection in TryOpen");
+
+    // ICS-04: unordered transfer channel, as in the paper's deployment.
+    let port = PortId::transfer();
+    let (chan_a, _) = ibc_a
+        .chan_open_init(&port, &conn_a, &port, Order::Unordered)
+        .expect("connection open on chain A");
+    let (chan_b, _) = ibc_b
+        .chan_open_try(&port, &conn_b, &port, &chan_a, Order::Unordered)
+        .expect("connection open on chain B");
+    ibc_a.chan_open_ack(&port, &chan_a, &chan_b).expect("channel in Init");
+    ibc_b.chan_open_confirm(&port, &chan_b).expect("channel in TryOpen");
+
+    RelayPath {
+        port,
+        src_channel: chan_a,
+        dst_channel: chan_b,
+        client_on_dst: client_on_b,
+        client_on_src: client_on_a,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_opens_the_channel_on_both_ends() {
+        let deployment = DeploymentConfig {
+            relayer_count: 2,
+            user_accounts: 4,
+            ..DeploymentConfig::default()
+        };
+        let testnet = Testnet::build(&deployment);
+        let a = testnet.chain_a.borrow();
+        let b = testnet.chain_b.borrow();
+        assert_eq!(a.height(), 1);
+        assert_eq!(b.height(), 1);
+        assert!(a
+            .app()
+            .ibc()
+            .channel(&testnet.path.port, &testnet.path.src_channel)
+            .unwrap()
+            .is_open());
+        assert!(b
+            .app()
+            .ibc()
+            .channel(&testnet.path.port, &testnet.path.dst_channel)
+            .unwrap()
+            .is_open());
+        assert_eq!(testnet.relayers.len(), 2);
+        // Relayer accounts are funded on both chains.
+        assert!(a.app().bank().balance(&"relayer-0".into(), "uatom") > 0);
+        assert!(b.app().bank().balance(&"relayer-1".into(), "uatom") > 0);
+    }
+
+    #[test]
+    fn builds_are_deterministic_for_a_seed() {
+        let deployment = DeploymentConfig { user_accounts: 2, ..DeploymentConfig::default() };
+        let t1 = Testnet::build(&deployment);
+        let t2 = Testnet::build(&deployment);
+        assert_eq!(
+            t1.chain_a.borrow().latest_block().unwrap().block.header.hash(),
+            t2.chain_a.borrow().latest_block().unwrap().block.header.hash()
+        );
+        assert_eq!(t1.path, t2.path);
+    }
+}

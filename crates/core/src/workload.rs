@@ -1,0 +1,271 @@
+//! The Benchmark module's Cross-chain Workload Connector.
+//!
+//! Submits cross-chain fungible-token transfer requests to the source chain
+//! the way the paper's tool does: through the relayer CLI path, batching 100
+//! `MsgTransfer` messages per transaction, using one account per transaction
+//! within a block window to work around the per-account sequence limitation.
+
+use std::collections::BTreeMap;
+
+use xcc_chain::account::AccountId;
+use xcc_chain::msg::Msg;
+use xcc_chain::tx::Tx;
+use xcc_ibc::height::Height;
+use xcc_ibc::module::TransferParams;
+use xcc_rpc::endpoint::RpcEndpoint;
+use xcc_sim::{SimDuration, SimTime};
+use xcc_tendermint::hash::Hash;
+
+use crate::config::WorkloadConfig;
+use xcc_relayer::relayer::RelayPath;
+
+/// The record of one submitted (or attempted) transfer transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubmissionRecord {
+    /// Hash of the transaction (present even if the broadcast failed).
+    pub tx_hash: Hash,
+    /// When the CLI broadcast the transaction.
+    pub broadcast_at: SimTime,
+    /// Number of transfer messages inside.
+    pub transfers: usize,
+    /// Whether `broadcast_tx_sync` accepted it into the mempool.
+    pub accepted: bool,
+    /// The error message when the broadcast was rejected.
+    pub error: Option<String>,
+}
+
+/// Aggregate submission statistics (the "Requests made / Submitted" columns
+/// of Table I).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SubmissionStats {
+    /// Transfers the workload asked the CLI to make.
+    pub requests_made: u64,
+    /// Transfers accepted into the source chain's mempool.
+    pub submitted: u64,
+    /// Transfers whose broadcast was rejected.
+    pub rejected: u64,
+}
+
+/// The workload generator bound to the relayer CLI / source-chain RPC.
+pub struct WorkloadConnector {
+    config: WorkloadConfig,
+    path: RelayPath,
+    rpc: RpcEndpoint,
+    users: Vec<AccountId>,
+    next_user: usize,
+    fee_denom: String,
+    /// The CLI is a single sequential process; this is when it next becomes
+    /// free.
+    cli_free: SimTime,
+    remaining: u64,
+    windows_submitted: u64,
+    records: Vec<SubmissionRecord>,
+    stats: SubmissionStats,
+    /// Locally cached account sequences, refreshed through the RPC.
+    cached_seqs: BTreeMap<AccountId, u64>,
+}
+
+impl WorkloadConnector {
+    /// Creates a workload connector submitting through `rpc` (a full node of
+    /// the source chain).
+    pub fn new(config: WorkloadConfig, path: RelayPath, rpc: RpcEndpoint, user_count: usize) -> Self {
+        let fee_denom = rpc.chain().borrow().app().fee_denom().to_string();
+        WorkloadConnector {
+            remaining: config.total_transfers,
+            config,
+            path,
+            rpc,
+            users: (0..user_count.max(1)).map(|i| AccountId::new(format!("user-{i}"))).collect(),
+            next_user: 0,
+            fee_denom,
+            cli_free: SimTime::ZERO,
+            windows_submitted: 0,
+            records: Vec::new(),
+            stats: SubmissionStats::default(),
+            cached_seqs: BTreeMap::new(),
+        }
+    }
+
+    /// Whether all configured submission windows have been issued.
+    pub fn finished_submitting(&self) -> bool {
+        self.windows_submitted >= self.config.submission_blocks || self.remaining == 0
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> SubmissionStats {
+        self.stats
+    }
+
+    /// The per-transaction submission log.
+    pub fn records(&self) -> &[SubmissionRecord] {
+        &self.records
+    }
+
+    /// Submits the next window's worth of transfers, starting no earlier than
+    /// `window_start`. `dest_height` is the destination chain's current
+    /// height, used to derive packet timeouts.
+    pub fn submit_window(&mut self, window_start: SimTime, dest_height: u64) {
+        if self.finished_submitting() {
+            return;
+        }
+        self.windows_submitted += 1;
+        let mut to_submit = self
+            .config
+            .transfers_per_window()
+            .min(self.remaining);
+        let timeout_height = if self.config.timeout_blocks == 0 {
+            Height::ZERO
+        } else {
+            Height::at(dest_height + self.config.timeout_blocks)
+        };
+
+        let mut t = self.cli_free.max(window_start);
+        while to_submit > 0 {
+            let batch = (self.config.transfers_per_tx as u64).min(to_submit) as usize;
+            to_submit -= batch as u64;
+            self.remaining -= batch as u64;
+
+            let user = self.users[self.next_user % self.users.len()].clone();
+            self.next_user += 1;
+
+            // The CLI queries the account's committed sequence before signing,
+            // exactly like `hermes tx ft-transfer`. A transaction still waiting
+            // in the mempool is invisible to this query, which is what causes
+            // the account-sequence errors the paper describes (§V) when an
+            // account is reused before its previous transaction commits.
+            let seq_resp = self.rpc.account_sequence(t, &user);
+            t = seq_resp.ready_at;
+            let sequence = seq_resp.value;
+            self.cached_seqs.insert(user.clone(), sequence);
+
+            // Building and signing the transaction costs CLI time.
+            t += self.config.cli_cost_per_tx
+                + SimDuration::from_micros(40) * batch as u64;
+
+            let msgs: Vec<Msg> = (0..batch)
+                .map(|_| {
+                    Msg::IbcTransfer(TransferParams {
+                        source_port: self.path.port.clone(),
+                        source_channel: self.path.src_channel.clone(),
+                        denom: self.fee_denom.clone(),
+                        amount: 1,
+                        sender: user.to_string(),
+                        receiver: "user-0".to_string(),
+                        timeout_height,
+                        timeout_timestamp: SimTime::ZERO,
+                    })
+                })
+                .collect();
+            let tx = Tx::new(user.clone(), sequence, msgs, &self.fee_denom);
+            let tx_hash = tx.hash();
+            let resp = self.rpc.broadcast_tx_sync(t, &tx);
+            t = resp.ready_at;
+
+            self.stats.requests_made += batch as u64;
+            match resp.value {
+                Ok(_) => {
+                    self.stats.submitted += batch as u64;
+                    self.cached_seqs.insert(user.clone(), sequence + 1);
+                    self.records.push(SubmissionRecord {
+                        tx_hash,
+                        broadcast_at: t,
+                        transfers: batch,
+                        accepted: true,
+                        error: None,
+                    });
+                }
+                Err(err) => {
+                    self.stats.rejected += batch as u64;
+                    self.records.push(SubmissionRecord {
+                        tx_hash,
+                        broadcast_at: t,
+                        transfers: batch,
+                        accepted: false,
+                        error: Some(err.to_string()),
+                    });
+                }
+            }
+        }
+        self.cli_free = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeploymentConfig;
+    use crate::testnet::{make_rpc, Testnet};
+
+    fn small_testnet(users: usize) -> (Testnet, RpcEndpoint) {
+        let deployment = DeploymentConfig {
+            user_accounts: users,
+            relayer_count: 1,
+            network_rtt_ms: 0,
+            ..DeploymentConfig::default()
+        };
+        let testnet = Testnet::build(&deployment);
+        let rpc = make_rpc(&testnet.chain_a, &deployment, &testnet.rng, "workload");
+        (testnet, rpc)
+    }
+
+    #[test]
+    fn submits_batches_of_one_hundred_transfers() {
+        let (testnet, rpc) = small_testnet(8);
+        let config = WorkloadConfig {
+            total_transfers: 300,
+            submission_blocks: 1,
+            ..WorkloadConfig::default()
+        };
+        let mut workload = WorkloadConnector::new(config, testnet.path.clone(), rpc, 8);
+        workload.submit_window(SimTime::from_secs(5), 1);
+        assert!(workload.finished_submitting());
+        let stats = workload.stats();
+        assert_eq!(stats.requests_made, 300);
+        assert_eq!(stats.submitted, 300);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(workload.records().len(), 3);
+        assert!(workload.records().iter().all(|r| r.accepted));
+        // The transactions actually sit in the source chain's mempool.
+        assert_eq!(testnet.chain_a.borrow().mempool_size(), 3);
+    }
+
+    #[test]
+    fn reusing_an_account_within_a_window_hits_sequence_mismatch() {
+        let (testnet, rpc) = small_testnet(1);
+        let config = WorkloadConfig {
+            total_transfers: 200,
+            submission_blocks: 1,
+            ..WorkloadConfig::default()
+        };
+        // Only one user for two transactions in the same window: the second
+        // broadcast reuses the committed sequence and is rejected.
+        let mut workload = WorkloadConnector::new(config, testnet.path.clone(), rpc, 1);
+        workload.submit_window(SimTime::from_secs(5), 1);
+        let stats = workload.stats();
+        assert_eq!(stats.requests_made, 200);
+        assert_eq!(stats.submitted, 100);
+        assert_eq!(stats.rejected, 100);
+        let error = workload.records()[1].error.as_ref().unwrap();
+        assert!(error.contains("account sequence mismatch"), "{error}");
+        drop(testnet);
+    }
+
+    #[test]
+    fn spreads_submission_over_multiple_windows() {
+        let (testnet, rpc) = small_testnet(4);
+        let config = WorkloadConfig {
+            total_transfers: 400,
+            submission_blocks: 4,
+            ..WorkloadConfig::default()
+        };
+        let mut workload = WorkloadConnector::new(config, testnet.path.clone(), rpc, 4);
+        for w in 0..4 {
+            assert!(!workload.finished_submitting());
+            workload.submit_window(SimTime::from_secs(5 * (w + 1)), 1);
+        }
+        assert!(workload.finished_submitting());
+        assert_eq!(workload.stats().requests_made, 400);
+        assert_eq!(workload.records().len(), 4);
+        drop(testnet);
+    }
+}

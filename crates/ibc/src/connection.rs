@@ -1,0 +1,100 @@
+//! ICS-03 connection semantics: connection ends and the four-step handshake.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{ClientId, ConnectionId};
+
+/// The lifecycle state of a connection end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ConnectionState {
+    /// `ConnOpenInit` has been executed on this chain.
+    Init,
+    /// `ConnOpenTry` has been executed on this chain.
+    TryOpen,
+    /// The handshake completed; the connection is usable.
+    Open,
+}
+
+/// The counterparty of a connection end.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnectionCounterparty {
+    /// The counterparty chain's client that tracks *this* chain.
+    pub client_id: ClientId,
+    /// The counterparty's connection identifier, once known.
+    pub connection_id: Option<ConnectionId>,
+}
+
+/// One end of an IBC connection.
+///
+/// # Example
+///
+/// ```rust
+/// use xcc_ibc::connection::{ConnectionCounterparty, ConnectionEnd, ConnectionState};
+/// use xcc_ibc::ids::{ClientId, ConnectionId};
+///
+/// let end = ConnectionEnd::new(
+///     ConnectionState::Init,
+///     ClientId::with_index(0),
+///     ConnectionCounterparty { client_id: ClientId::with_index(0), connection_id: None },
+/// );
+/// assert!(!end.is_open());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnectionEnd {
+    /// Current handshake state.
+    pub state: ConnectionState,
+    /// The local client tracking the counterparty chain.
+    pub client_id: ClientId,
+    /// Counterparty information.
+    pub counterparty: ConnectionCounterparty,
+    /// Supported connection versions (informational).
+    pub versions: Vec<String>,
+    /// Minimum delay before packets over this connection may be relayed, in
+    /// nanoseconds (0 in all of the paper's experiments).
+    pub delay_period_nanos: u64,
+}
+
+impl ConnectionEnd {
+    /// Creates a connection end with the default version and no delay.
+    pub fn new(
+        state: ConnectionState,
+        client_id: ClientId,
+        counterparty: ConnectionCounterparty,
+    ) -> Self {
+        ConnectionEnd {
+            state,
+            client_id,
+            counterparty,
+            versions: vec!["1".to_string()],
+            delay_period_nanos: 0,
+        }
+    }
+
+    /// `true` once the handshake has completed on this end.
+    pub fn is_open(&self) -> bool {
+        self.state == ConnectionState::Open
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connection_end_state_transitions() {
+        let mut end = ConnectionEnd::new(
+            ConnectionState::Init,
+            ClientId::with_index(0),
+            ConnectionCounterparty {
+                client_id: ClientId::with_index(1),
+                connection_id: None,
+            },
+        );
+        assert!(!end.is_open());
+        end.state = ConnectionState::Open;
+        end.counterparty.connection_id = Some(ConnectionId::with_index(0));
+        assert!(end.is_open());
+        assert_eq!(end.versions, vec!["1".to_string()]);
+        assert_eq!(end.delay_period_nanos, 0);
+    }
+}

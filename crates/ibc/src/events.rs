@@ -1,0 +1,236 @@
+//! IBC ABCI events and their parsing.
+//!
+//! Relayers never see chain state directly: they learn about pending packets
+//! by scanning the ABCI events emitted during transaction execution
+//! (`send_packet`, `recv_packet`, `write_acknowledgement`, …) and then pull
+//! the packet data back out of those events. The emitters and parsers here
+//! are the two halves of that contract.
+
+use crate::height::Height;
+use crate::ids::{ChannelId, PortId, Sequence};
+use crate::packet::{Acknowledgement, Packet};
+use xcc_sim::SimTime;
+use xcc_tendermint::abci::Event;
+
+/// Event type emitted when a packet is sent.
+pub const SEND_PACKET: &str = "send_packet";
+/// Event type emitted when a packet is received.
+pub const RECV_PACKET: &str = "recv_packet";
+/// Event type emitted when an acknowledgement is written by the receiver.
+pub const WRITE_ACK: &str = "write_acknowledgement";
+/// Event type emitted when an acknowledgement is processed by the sender.
+pub const ACK_PACKET: &str = "acknowledge_packet";
+/// Event type emitted when a packet times out.
+pub const TIMEOUT_PACKET: &str = "timeout_packet";
+
+fn packet_attrs(event: Event, packet: &Packet) -> Event {
+    event
+        .with_attr("packet_sequence", packet.sequence.to_string())
+        .with_attr("packet_src_port", packet.source_port.as_str())
+        .with_attr("packet_src_channel", packet.source_channel.as_str())
+        .with_attr("packet_dst_port", packet.destination_port.as_str())
+        .with_attr("packet_dst_channel", packet.destination_channel.as_str())
+        .with_attr("packet_timeout_height", packet.timeout_height.to_string())
+        .with_attr(
+            "packet_timeout_timestamp",
+            packet.timeout_timestamp.as_nanos().to_string(),
+        )
+}
+
+fn encode_data(data: &[u8]) -> String {
+    // Hex keeps the attribute printable while staying proportional in size to
+    // the real payload, which matters for the WebSocket frame accounting.
+    let mut s = String::with_capacity(data.len() * 2);
+    for b in data {
+        s.push(char::from_digit((b >> 4) as u32, 16).expect("nibble"));
+        s.push(char::from_digit((b & 0xf) as u32, 16).expect("nibble"));
+    }
+    s
+}
+
+fn decode_data(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push((hi * 16 + lo) as u8);
+    }
+    Some(out)
+}
+
+/// Builds the `send_packet` event for a freshly sent packet.
+pub fn send_packet_event(packet: &Packet) -> Event {
+    packet_attrs(Event::new(SEND_PACKET), packet)
+        .with_attr("packet_data_hex", encode_data(&packet.data))
+}
+
+/// Builds the `recv_packet` event for a received packet.
+pub fn recv_packet_event(packet: &Packet) -> Event {
+    packet_attrs(Event::new(RECV_PACKET), packet)
+        .with_attr("packet_data_hex", encode_data(&packet.data))
+}
+
+/// Builds the `write_acknowledgement` event.
+pub fn write_ack_event(packet: &Packet, ack: &Acknowledgement) -> Event {
+    let ack_text = match ack {
+        Acknowledgement::Success { .. } => "success".to_string(),
+        Acknowledgement::Error { error } => format!("error:{error}"),
+    };
+    packet_attrs(Event::new(WRITE_ACK), packet)
+        .with_attr("packet_data_hex", encode_data(&packet.data))
+        .with_attr("packet_ack", ack_text)
+}
+
+/// Builds the `acknowledge_packet` event.
+pub fn ack_packet_event(packet: &Packet) -> Event {
+    packet_attrs(Event::new(ACK_PACKET), packet)
+}
+
+/// Builds the `timeout_packet` event.
+pub fn timeout_packet_event(packet: &Packet) -> Event {
+    packet_attrs(Event::new(TIMEOUT_PACKET), packet)
+}
+
+/// Reconstructs a [`Packet`] from a packet-carrying event (`send_packet`,
+/// `recv_packet`, `write_acknowledgement`, `acknowledge_packet` or
+/// `timeout_packet`).
+///
+/// Returns `None` for events of other types or with missing attributes.
+/// Acknowledge/timeout events carry no payload, so the reconstructed packet's
+/// `data` is empty for those kinds. This is exactly the "message extraction"
+/// step of the relayer pipeline.
+pub fn packet_from_event(event: &Event) -> Option<Packet> {
+    if !matches!(
+        event.kind.as_str(),
+        SEND_PACKET | RECV_PACKET | WRITE_ACK | ACK_PACKET | TIMEOUT_PACKET
+    ) {
+        return None;
+    }
+    let timeout = event.attr("packet_timeout_height")?;
+    let (revision, height) = timeout.split_once('-')?;
+    Some(Packet {
+        sequence: Sequence::from(event.attr("packet_sequence")?.parse::<u64>().ok()?),
+        source_port: event.attr("packet_src_port")?.parse().ok()?,
+        source_channel: event.attr("packet_src_channel")?.parse().ok()?,
+        destination_port: event.attr("packet_dst_port")?.parse().ok()?,
+        destination_channel: event.attr("packet_dst_channel")?.parse().ok()?,
+        data: decode_data(event.attr("packet_data_hex").unwrap_or(""))?,
+        timeout_height: Height::new(revision.parse().ok()?, height.parse().ok()?),
+        timeout_timestamp: SimTime::from_nanos(
+            event.attr("packet_timeout_timestamp")?.parse().ok()?,
+        ),
+    })
+}
+
+/// Extracts the acknowledgement from a `write_acknowledgement` event.
+pub fn ack_from_event(event: &Event) -> Option<Acknowledgement> {
+    if event.kind != WRITE_ACK {
+        return None;
+    }
+    let text = event.attr("packet_ack")?;
+    if text == "success" {
+        Some(Acknowledgement::success())
+    } else {
+        Some(Acknowledgement::error(
+            text.strip_prefix("error:").unwrap_or(text),
+        ))
+    }
+}
+
+/// Helper for filtering a transaction's events down to the ones a relayer for
+/// a given source channel cares about.
+pub fn is_for_channel(event: &Event, port: &PortId, channel: &ChannelId) -> bool {
+    match event.kind.as_str() {
+        SEND_PACKET | ACK_PACKET | TIMEOUT_PACKET => {
+            event.attr("packet_src_port") == Some(port.as_str())
+                && event.attr("packet_src_channel") == Some(channel.as_str())
+        }
+        RECV_PACKET | WRITE_ACK => {
+            event.attr("packet_dst_port") == Some(port.as_str())
+                && event.attr("packet_dst_channel") == Some(channel.as_str())
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_packet() -> Packet {
+        Packet {
+            sequence: Sequence::from(12),
+            source_port: PortId::transfer(),
+            source_channel: ChannelId::with_index(0),
+            destination_port: PortId::transfer(),
+            destination_channel: ChannelId::with_index(5),
+            data: b"{\"denom\":\"uatom\",\"amount\":\"10\"}".to_vec(),
+            timeout_height: Height::new(0, 500),
+            timeout_timestamp: SimTime::from_secs(1_000),
+        }
+    }
+
+    #[test]
+    fn send_packet_event_roundtrips() {
+        let packet = sample_packet();
+        let event = send_packet_event(&packet);
+        assert_eq!(event.kind, SEND_PACKET);
+        let parsed = packet_from_event(&event).unwrap();
+        assert_eq!(parsed, packet);
+    }
+
+    #[test]
+    fn write_ack_event_roundtrips_packet_and_ack() {
+        let packet = sample_packet();
+        let event = write_ack_event(&packet, &Acknowledgement::success());
+        assert_eq!(packet_from_event(&event).unwrap(), packet);
+        assert!(ack_from_event(&event).unwrap().is_success());
+
+        let err_event = write_ack_event(&packet, &Acknowledgement::error("denied"));
+        match ack_from_event(&err_event).unwrap() {
+            Acknowledgement::Error { error } => assert_eq!(error, "denied"),
+            _ => panic!("expected error ack"),
+        }
+    }
+
+    #[test]
+    fn non_packet_events_do_not_parse() {
+        let event = Event::new("transfer").with_attr("amount", "10uatom");
+        assert!(packet_from_event(&event).is_none());
+        assert!(ack_from_event(&event).is_none());
+    }
+
+    #[test]
+    fn ack_packet_event_has_no_data_attribute() {
+        let packet = sample_packet();
+        let event = ack_packet_event(&packet);
+        assert_eq!(event.kind, ACK_PACKET);
+        assert!(event.attr("packet_data_hex").is_none());
+        assert_eq!(event.attr("packet_sequence"), Some("12"));
+    }
+
+    #[test]
+    fn channel_filtering_uses_source_or_destination_as_appropriate() {
+        let packet = sample_packet();
+        let send = send_packet_event(&packet);
+        let recv = recv_packet_event(&packet);
+        let src_chan = ChannelId::with_index(0);
+        let dst_chan = ChannelId::with_index(5);
+        assert!(is_for_channel(&send, &PortId::transfer(), &src_chan));
+        assert!(!is_for_channel(&send, &PortId::transfer(), &dst_chan));
+        assert!(is_for_channel(&recv, &PortId::transfer(), &dst_chan));
+        assert!(!is_for_channel(&recv, &PortId::transfer(), &src_chan));
+    }
+
+    #[test]
+    fn hex_data_encoding_roundtrips_arbitrary_bytes() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(decode_data(&encode_data(&data)).unwrap(), data);
+        assert!(decode_data("abc").is_none());
+        assert!(decode_data("zz").is_none());
+    }
+}

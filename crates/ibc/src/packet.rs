@@ -1,0 +1,204 @@
+//! IBC packets, timeouts, commitments and acknowledgements (ICS-04).
+
+use serde::{Deserialize, Serialize};
+
+use crate::height::Height;
+use crate::ids::{ChannelId, PortId, Sequence};
+use xcc_sim::SimTime;
+use xcc_tendermint::hash::{hash_fields, Hash};
+
+/// An IBC packet: opaque application data routed between two channel ends.
+///
+/// # Example
+///
+/// ```rust
+/// use xcc_ibc::height::Height;
+/// use xcc_ibc::ids::{ChannelId, PortId, Sequence};
+/// use xcc_ibc::packet::Packet;
+/// use xcc_sim::SimTime;
+///
+/// let packet = Packet {
+///     sequence: Sequence::FIRST,
+///     source_port: PortId::transfer(),
+///     source_channel: ChannelId::with_index(0),
+///     destination_port: PortId::transfer(),
+///     destination_channel: ChannelId::with_index(0),
+///     data: b"{\"amount\":\"1\"}".to_vec(),
+///     timeout_height: Height::at(1_000),
+///     timeout_timestamp: SimTime::ZERO,
+/// };
+/// assert!(!packet.commitment().is_zero());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Sequence number on the sending channel end.
+    pub sequence: Sequence,
+    /// Port the packet was sent from.
+    pub source_port: PortId,
+    /// Channel the packet was sent from.
+    pub source_channel: ChannelId,
+    /// Port the packet is addressed to.
+    pub destination_port: PortId,
+    /// Channel the packet is addressed to.
+    pub destination_channel: ChannelId,
+    /// Application-opaque payload.
+    pub data: Vec<u8>,
+    /// Height on the destination chain after which the packet times out
+    /// (zero for no height timeout).
+    pub timeout_height: Height,
+    /// Destination-chain timestamp after which the packet times out
+    /// ([`SimTime::ZERO`] for no timestamp timeout).
+    pub timeout_timestamp: SimTime,
+}
+
+impl Packet {
+    /// The commitment to this packet stored by the sending chain: a digest of
+    /// the timeout and the payload, as prescribed by ICS-04.
+    pub fn commitment(&self) -> Hash {
+        hash_fields(&[
+            b"packet-commitment",
+            &self.timeout_height.revision.to_be_bytes(),
+            &self.timeout_height.height.to_be_bytes(),
+            &self.timeout_timestamp.as_nanos().to_be_bytes(),
+            &self.data,
+        ])
+    }
+
+    /// Whether the packet has timed out with respect to the destination
+    /// chain's current height and time.
+    pub fn has_timed_out(&self, dest_height: Height, dest_time: SimTime) -> bool {
+        let height_expired = !self.timeout_height.is_zero() && dest_height >= self.timeout_height;
+        let time_expired =
+            self.timeout_timestamp != SimTime::ZERO && dest_time >= self.timeout_timestamp;
+        height_expired || time_expired
+    }
+
+    /// Approximate encoded size in bytes, used by the RPC response-size cost
+    /// model.
+    pub fn encoded_size(&self) -> usize {
+        self.data.len()
+            + self.source_port.as_str().len()
+            + self.source_channel.as_str().len()
+            + self.destination_port.as_str().len()
+            + self.destination_channel.as_str().len()
+            + 64
+    }
+}
+
+/// The acknowledgement an application writes after receiving a packet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Acknowledgement {
+    /// The application processed the packet successfully.
+    Success {
+        /// Application-defined result bytes (ICS-20 writes `AQ==`, i.e. `[1]`).
+        result: Vec<u8>,
+    },
+    /// The application rejected the packet.
+    Error {
+        /// Human-readable error description.
+        error: String,
+    },
+}
+
+impl Acknowledgement {
+    /// The standard ICS-20 success acknowledgement.
+    pub fn success() -> Self {
+        Acknowledgement::Success { result: vec![1] }
+    }
+
+    /// An error acknowledgement with the given reason.
+    pub fn error(reason: impl Into<String>) -> Self {
+        Acknowledgement::Error { error: reason.into() }
+    }
+
+    /// `true` for a success acknowledgement.
+    pub fn is_success(&self) -> bool {
+        matches!(self, Acknowledgement::Success { .. })
+    }
+
+    /// The commitment to this acknowledgement stored by the receiving chain.
+    pub fn commitment(&self) -> Hash {
+        match self {
+            Acknowledgement::Success { result } => hash_fields(&[b"ack-success", result]),
+            Acknowledgement::Error { error } => hash_fields(&[b"ack-error", error.as_bytes()]),
+        }
+    }
+
+    /// Approximate encoded size in bytes.
+    pub fn encoded_size(&self) -> usize {
+        match self {
+            Acknowledgement::Success { result } => result.len() + 16,
+            Acknowledgement::Error { error } => error.len() + 16,
+        }
+    }
+}
+
+/// A receipt recording that an unordered channel received a packet sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Receipt;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet(seq: u64, data: &[u8], timeout_height: u64) -> Packet {
+        Packet {
+            sequence: Sequence::from(seq),
+            source_port: PortId::transfer(),
+            source_channel: ChannelId::with_index(0),
+            destination_port: PortId::transfer(),
+            destination_channel: ChannelId::with_index(1),
+            data: data.to_vec(),
+            timeout_height: Height::at(timeout_height),
+            timeout_timestamp: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn commitment_binds_data_and_timeout() {
+        let a = packet(1, b"x", 100);
+        let b = packet(1, b"y", 100);
+        let c = packet(1, b"x", 101);
+        assert_ne!(a.commitment(), b.commitment());
+        assert_ne!(a.commitment(), c.commitment());
+        assert_eq!(a.commitment(), packet(2, b"x", 100).commitment(),
+            "the sequence is not part of the commitment value; it is part of the store path");
+    }
+
+    #[test]
+    fn timeout_by_height() {
+        let p = packet(1, b"x", 100);
+        assert!(!p.has_timed_out(Height::at(99), SimTime::ZERO));
+        assert!(p.has_timed_out(Height::at(100), SimTime::ZERO));
+        assert!(p.has_timed_out(Height::at(101), SimTime::ZERO));
+    }
+
+    #[test]
+    fn timeout_by_timestamp() {
+        let mut p = packet(1, b"x", 0);
+        p.timeout_timestamp = SimTime::from_secs(50);
+        assert!(!p.has_timed_out(Height::at(10), SimTime::from_secs(49)));
+        assert!(p.has_timed_out(Height::at(10), SimTime::from_secs(50)));
+    }
+
+    #[test]
+    fn no_timeout_when_both_zero() {
+        let p = packet(1, b"x", 0);
+        assert!(!p.has_timed_out(Height::at(u64::MAX), SimTime::from_secs(u64::MAX / 2_000_000_000)));
+    }
+
+    #[test]
+    fn acknowledgement_variants() {
+        let ok = Acknowledgement::success();
+        let err = Acknowledgement::error("insufficient funds");
+        assert!(ok.is_success());
+        assert!(!err.is_success());
+        assert_ne!(ok.commitment(), err.commitment());
+        assert!(ok.encoded_size() > 0 && err.encoded_size() > 0);
+    }
+
+    #[test]
+    fn encoded_size_grows_with_data() {
+        assert!(packet(1, &[0u8; 500], 10).encoded_size() > packet(1, &[0u8; 10], 10).encoded_size());
+    }
+}

@@ -1,0 +1,77 @@
+//! Relayer configuration.
+
+use serde::{Deserialize, Serialize};
+
+use xcc_chain::account::AccountId;
+use xcc_sim::SimDuration;
+
+/// Configuration of one Hermes-like relayer instance.
+///
+/// Defaults follow the paper's deployment: at most 100 messages per
+/// transaction, the relayer co-located with the full nodes it queries, and no
+/// packet-clear interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelayerConfig {
+    /// Maximum number of messages batched into one transaction (Hermes caps
+    /// this at 100).
+    pub max_msgs_per_tx: usize,
+    /// The relayer's fee-paying account on the source chain.
+    pub source_account: AccountId,
+    /// The relayer's fee-paying account on the destination chain.
+    pub destination_account: AccountId,
+    /// CPU time to build (encode, sign, assemble proofs into) one message.
+    pub build_cost_per_msg: SimDuration,
+    /// Fixed processing overhead when handling one block's event batch.
+    pub event_processing_overhead: SimDuration,
+    /// Extra processing stagger applied per relayer index, modelling the
+    /// slightly different event arrival and scheduling of independent relayer
+    /// processes.
+    pub per_instance_stagger: SimDuration,
+    /// Every how many source blocks the relayer performs a packet-clear scan
+    /// for packets it may have missed (0 disables clearing, as in the
+    /// paper's WebSocket-limit experiment).
+    pub clear_interval_blocks: u64,
+}
+
+impl Default for RelayerConfig {
+    fn default() -> Self {
+        RelayerConfig {
+            max_msgs_per_tx: 100,
+            source_account: AccountId::new("relayer"),
+            destination_account: AccountId::new("relayer"),
+            build_cost_per_msg: SimDuration::from_micros(1_500),
+            event_processing_overhead: SimDuration::from_millis(10),
+            per_instance_stagger: SimDuration::from_millis(35),
+            clear_interval_blocks: 0,
+        }
+    }
+}
+
+impl RelayerConfig {
+    /// Splits `count` messages into transaction-sized chunks.
+    pub fn chunks_for(&self, count: usize) -> usize {
+        count.div_ceil(self.max_msgs_per_tx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_hermes_limits() {
+        let cfg = RelayerConfig::default();
+        assert_eq!(cfg.max_msgs_per_tx, 100);
+        assert_eq!(cfg.clear_interval_blocks, 0);
+    }
+
+    #[test]
+    fn chunking_rounds_up() {
+        let cfg = RelayerConfig::default();
+        assert_eq!(cfg.chunks_for(0), 0);
+        assert_eq!(cfg.chunks_for(1), 1);
+        assert_eq!(cfg.chunks_for(100), 1);
+        assert_eq!(cfg.chunks_for(101), 2);
+        assert_eq!(cfg.chunks_for(5_000), 50);
+    }
+}

@@ -1,0 +1,29 @@
+//! A Hermes-like IBC relayer.
+//!
+//! The relayer is the paper's "Cross-chain Communicator": an off-chain
+//! process that watches both chains' event streams, pulls pending packet data
+//! and proofs out of the source chain's RPC endpoint, batches up to 100
+//! messages per transaction and submits receive / acknowledgement / timeout
+//! transactions to the appropriate chain.
+//!
+//! Structure (mirroring Fig. 4 of the paper):
+//!
+//! * [`config::RelayerConfig`] — batching limits, accounts and processing
+//!   overheads;
+//! * [`relayer::Relayer`] — the supervisor + packet-worker pipeline for one
+//!   channel, including redundant-packet detection, account-sequence
+//!   management and timeout relaying;
+//! * [`telemetry::TelemetryLog`] — per-packet timestamps for the 13 steps of
+//!   a cross-chain transfer (Fig. 12) plus the error log (redundant packets,
+//!   "Failed to collect events", sequence mismatches).
+//!
+//! Integration tests for the full relaying pipeline live in the workspace
+//! `tests/` directory and in the `xcc-framework` crate, which owns the
+//! experiment driver that feeds block events to relayer instances.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod relayer;
+pub mod telemetry;

@@ -1,0 +1,614 @@
+//! The Hermes-like relayer instance.
+//!
+//! The architecture mirrors Fig. 4 of the paper: a supervisor subscribed to
+//! both chains' WebSocket event streams hands each new block to the packet
+//! worker for the affected channel direction; the worker pulls packet data
+//! and proofs from the source chain's RPC endpoint (sequentially — this is
+//! the bottleneck), builds batched transactions of at most 100 messages, and
+//! submits them through the chain endpoint, tracking its own account
+//! sequence. Every step is timestamped into the telemetry log.
+
+use std::collections::{BTreeMap, HashSet};
+
+use xcc_chain::msg::Msg;
+use xcc_chain::tx::Tx;
+use xcc_ibc::commitment::CommitmentProof;
+use xcc_ibc::events as ibc_events;
+use xcc_ibc::height::Height;
+use xcc_ibc::ids::{ChannelId, ClientId, PortId, Sequence};
+use xcc_ibc::packet::{Acknowledgement, Packet};
+use xcc_rpc::endpoint::{BroadcastError, RpcEndpoint};
+use xcc_rpc::websocket::WebSocketSubscription;
+use xcc_sim::SimTime;
+
+use crate::config::RelayerConfig;
+use crate::telemetry::{TelemetryLog, TransferStep};
+
+/// Which side of the relay path a chain plays for this relayer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainRole {
+    /// The chain transfers originate from.
+    Source,
+    /// The chain transfers are delivered to.
+    Destination,
+}
+
+/// The identifiers of the channel the relayer serves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelayPath {
+    /// The port on both ends (`transfer` for ICS-20).
+    pub port: PortId,
+    /// Channel end on the source chain.
+    pub src_channel: ChannelId,
+    /// Channel end on the destination chain.
+    pub dst_channel: ChannelId,
+    /// The client hosted on the destination chain that tracks the source.
+    pub client_on_dst: ClientId,
+    /// The client hosted on the source chain that tracks the destination.
+    pub client_on_src: ClientId,
+}
+
+/// Aggregate counters describing one relayer's activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RelayerStats {
+    /// Receive transactions submitted to the destination chain.
+    pub recv_txs_submitted: u64,
+    /// Acknowledgement transactions submitted to the source chain.
+    pub ack_txs_submitted: u64,
+    /// Timeout transactions submitted to the source chain.
+    pub timeout_txs_submitted: u64,
+    /// Packets skipped because the destination already received them
+    /// (observed redundancy avoided before broadcast).
+    pub packets_skipped_already_relayed: u64,
+    /// Broadcast attempts that failed (sequence mismatches, full mempools…).
+    pub broadcast_failures: u64,
+    /// Blocks whose events could not be collected over the WebSocket.
+    pub event_collection_failures: u64,
+}
+
+/// A Hermes-like relayer serving one channel between two chains.
+pub struct Relayer {
+    id: usize,
+    config: RelayerConfig,
+    path: RelayPath,
+    src_rpc: RpcEndpoint,
+    dst_rpc: RpcEndpoint,
+    src_ws: WebSocketSubscription,
+    dst_ws: WebSocketSubscription,
+    src_account_seq: u64,
+    dst_account_seq: u64,
+    src_fee_denom: String,
+    dst_fee_denom: String,
+    worker_out_free: SimTime,
+    worker_back_free: SimTime,
+    telemetry: TelemetryLog,
+    stats: RelayerStats,
+    /// Packets this relayer has seen sent but not yet observed as received,
+    /// kept for timeout detection.
+    pending_delivery: BTreeMap<u64, Packet>,
+}
+
+impl Relayer {
+    /// Creates a relayer instance with its own RPC connections to both
+    /// chains' full nodes.
+    pub fn new(
+        id: usize,
+        config: RelayerConfig,
+        path: RelayPath,
+        mut src_rpc: RpcEndpoint,
+        mut dst_rpc: RpcEndpoint,
+    ) -> Self {
+        let src_account_seq = src_rpc.account_sequence(SimTime::ZERO, &config.source_account).value;
+        let dst_account_seq = dst_rpc
+            .account_sequence(SimTime::ZERO, &config.destination_account)
+            .value;
+        let src_fee_denom = src_rpc.chain().borrow().app().fee_denom().to_string();
+        let dst_fee_denom = dst_rpc.chain().borrow().app().fee_denom().to_string();
+        Relayer {
+            id,
+            config,
+            path,
+            src_rpc,
+            dst_rpc,
+            src_ws: WebSocketSubscription::default(),
+            dst_ws: WebSocketSubscription::default(),
+            src_account_seq,
+            dst_account_seq,
+            src_fee_denom,
+            dst_fee_denom,
+            worker_out_free: SimTime::ZERO,
+            worker_back_free: SimTime::ZERO,
+            telemetry: TelemetryLog::new(),
+            stats: RelayerStats::default(),
+            pending_delivery: BTreeMap::new(),
+        }
+    }
+
+    /// This relayer's index (0-based).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The relay path served.
+    pub fn path(&self) -> &RelayPath {
+        &self.path
+    }
+
+    /// The per-step telemetry collected so far.
+    pub fn telemetry(&self) -> &TelemetryLog {
+        &self.telemetry
+    }
+
+    /// Aggregate activity counters.
+    pub fn stats(&self) -> &RelayerStats {
+        &self.stats
+    }
+
+    /// The RPC endpoint this relayer uses towards the source chain.
+    pub fn src_rpc(&self) -> &RpcEndpoint {
+        &self.src_rpc
+    }
+
+    /// The RPC endpoint this relayer uses towards the destination chain.
+    pub fn dst_rpc(&self) -> &RpcEndpoint {
+        &self.dst_rpc
+    }
+
+    /// When a block delivered at `commit_time` is actually handed to this
+    /// relayer's workers: network delivery, event processing overhead and a
+    /// per-instance stagger.
+    fn event_arrival(&self, commit_time: SimTime) -> SimTime {
+        commit_time
+            + self.src_ws.delivery_overhead()
+            + self.config.event_processing_overhead
+            + self.config.per_instance_stagger * self.id as u64
+    }
+
+    /// Handles a newly committed block on the **source** chain: extracts
+    /// send-packet events, pulls packet data and proofs, and submits receive
+    /// transactions to the destination chain. Also records acknowledgement
+    /// confirmations observed in the block.
+    pub fn on_source_block(&mut self, height: u64, commit_time: SimTime) {
+        let event_time = self.event_arrival(commit_time);
+        let batch = match self.src_ws.collect_block_events(&self.src_rpc, height) {
+            Ok(batch) => batch,
+            Err(err) => {
+                self.stats.event_collection_failures += 1;
+                self.telemetry.record_error(event_time, err.to_string());
+                return;
+            }
+        };
+
+        let mut new_packets: Vec<Packet> = Vec::new();
+        for (_hash, code, events) in &batch.tx_events {
+            if *code != 0 {
+                continue;
+            }
+            for event in events {
+                if !ibc_events::is_for_channel(event, &self.path.port, &self.path.src_channel) {
+                    continue;
+                }
+                match event.kind.as_str() {
+                    ibc_events::SEND_PACKET => {
+                        if let Some(packet) = ibc_events::packet_from_event(event) {
+                            self.telemetry.record(
+                                packet.sequence,
+                                TransferStep::TransferMsgExtraction,
+                                event_time,
+                            );
+                            self.telemetry.record(
+                                packet.sequence,
+                                TransferStep::TransferConfirmation,
+                                event_time,
+                            );
+                            self.pending_delivery.insert(packet.sequence.value(), packet.clone());
+                            new_packets.push(packet);
+                        }
+                    }
+                    ibc_events::ACK_PACKET => {
+                        if let Some(packet) = ibc_events::packet_from_event(event) {
+                            self.telemetry.record(
+                                packet.sequence,
+                                TransferStep::AckMsgExtraction,
+                                commit_time,
+                            );
+                            self.telemetry.record(
+                                packet.sequence,
+                                TransferStep::AckConfirmation,
+                                commit_time,
+                            );
+                        }
+                    }
+                    ibc_events::TIMEOUT_PACKET => {
+                        if let Some(packet) = ibc_events::packet_from_event(event) {
+                            self.pending_delivery.remove(&packet.sequence.value());
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        if new_packets.is_empty() {
+            return;
+        }
+        self.relay_recv_batch(height, event_time, new_packets);
+    }
+
+    /// Handles a newly committed block on the **destination** chain: records
+    /// receive confirmations, pulls acknowledgement data, submits
+    /// acknowledgement transactions back to the source chain, and submits
+    /// timeouts for expired undelivered packets.
+    pub fn on_dest_block(&mut self, height: u64, commit_time: SimTime) {
+        let event_time = self.event_arrival(commit_time);
+        let batch = match self.dst_ws.collect_block_events(&self.dst_rpc, height) {
+            Ok(batch) => batch,
+            Err(err) => {
+                self.stats.event_collection_failures += 1;
+                self.telemetry.record_error(event_time, err.to_string());
+                return;
+            }
+        };
+
+        let mut acked_packets: Vec<(Packet, Acknowledgement)> = Vec::new();
+        for (_hash, code, events) in &batch.tx_events {
+            if *code != 0 {
+                continue;
+            }
+            for event in events {
+                if !ibc_events::is_for_channel(event, &self.path.port, &self.path.dst_channel) {
+                    continue;
+                }
+                if event.kind == ibc_events::WRITE_ACK {
+                    if let (Some(packet), Some(ack)) =
+                        (ibc_events::packet_from_event(event), ibc_events::ack_from_event(event))
+                    {
+                        self.telemetry.record(
+                            packet.sequence,
+                            TransferStep::RecvMsgExtraction,
+                            event_time,
+                        );
+                        self.telemetry.record(
+                            packet.sequence,
+                            TransferStep::RecvConfirmation,
+                            event_time,
+                        );
+                        self.pending_delivery.remove(&packet.sequence.value());
+                        acked_packets.push((packet, ack));
+                    }
+                }
+            }
+        }
+
+        let dest_height = height;
+        let dest_time = commit_time;
+        if !acked_packets.is_empty() {
+            self.relay_ack_batch(dest_height, event_time, acked_packets);
+        }
+        self.relay_timeouts(dest_height, dest_time, event_time);
+    }
+
+    /// Pulls data, builds and broadcasts `MsgRecvPacket` batches.
+    fn relay_recv_batch(&mut self, src_height: u64, event_time: SimTime, packets: Vec<Packet>) {
+        let mut t = event_time.max(self.worker_out_free);
+
+        // Skip packets the destination has already received (another relayer
+        // beat us to them).
+        let sequences: Vec<Sequence> = packets.iter().map(|p| p.sequence).collect();
+        let unreceived_resp =
+            self.dst_rpc
+                .unreceived_packets(t, &self.path.port, &self.path.dst_channel, &sequences);
+        t = unreceived_resp.ready_at;
+        let unreceived: HashSet<Sequence> = unreceived_resp.value.into_iter().collect();
+        let to_relay: Vec<&Packet> = packets.iter().filter(|p| unreceived.contains(&p.sequence)).collect();
+        let skipped = packets.len() - to_relay.len();
+        if skipped > 0 {
+            self.stats.packets_skipped_already_relayed += skipped as u64;
+            self.telemetry.record_error(
+                t,
+                format!("skipping {skipped} packets: packet messages are redundant"),
+            );
+        }
+        if to_relay.is_empty() {
+            self.worker_out_free = t;
+            return;
+        }
+
+        // Data pull: one query per source transaction (chunk of ≤100 packets),
+        // each priced against the size of the block being queried.
+        let mut proofs: BTreeMap<u64, CommitmentProof> = BTreeMap::new();
+        let chunk_size = self.config.max_msgs_per_tx;
+        for chunk in to_relay.chunks(chunk_size) {
+            let seqs: Vec<Sequence> = chunk.iter().map(|p| p.sequence).collect();
+            let pull = self.src_rpc.pull_packet_data(
+                t,
+                src_height,
+                &self.path.port,
+                &self.path.src_channel,
+                &seqs,
+            );
+            t = pull.ready_at;
+            for (packet, proof) in pull.value {
+                proofs.insert(packet.sequence.value(), proof);
+            }
+            for seq in &seqs {
+                self.telemetry.record(*seq, TransferStep::TransferDataPull, t);
+            }
+        }
+
+        // Client update for the destination-side client, then build+broadcast.
+        let update_resp = self.src_rpc.client_update_data(t);
+        t = update_resp.ready_at;
+        let Some(update) = update_resp.value else {
+            self.worker_out_free = t;
+            return;
+        };
+        let proof_height = Height::at(update.header.height);
+
+        // The client update travels in its own transaction ahead of the
+        // packet batches.
+        let update_tx_msgs = vec![Msg::IbcUpdateClient {
+            client_id: self.path.client_on_dst.clone(),
+            update: Box::new(update),
+            signer: self.config.destination_account.clone(),
+        }];
+        t = self.broadcast(ChainRole::Destination, t, update_tx_msgs, &[]);
+
+        let to_relay_owned: Vec<Packet> = to_relay.into_iter().cloned().collect();
+        for chunk in to_relay_owned.chunks(chunk_size) {
+            t += self.config.build_cost_per_msg * chunk.len() as u64;
+            let mut msgs = Vec::with_capacity(chunk.len());
+            let mut chunk_seqs = Vec::with_capacity(chunk.len());
+            for packet in chunk {
+                let Some(proof) = proofs.get(&packet.sequence.value()) else {
+                    continue;
+                };
+                chunk_seqs.push(packet.sequence);
+                self.telemetry.record(packet.sequence, TransferStep::RecvBuild, t);
+                msgs.push(Msg::IbcRecvPacket {
+                    packet: packet.clone(),
+                    proof_commitment: proof.clone(),
+                    proof_height,
+                    signer: self.config.destination_account.clone(),
+                });
+            }
+            if msgs.is_empty() {
+                continue;
+            }
+            t = self.broadcast(ChainRole::Destination, t, msgs, &chunk_seqs);
+            self.stats.recv_txs_submitted += 1;
+            for seq in &chunk_seqs {
+                self.telemetry.record(*seq, TransferStep::RecvBroadcast, t);
+            }
+        }
+        self.worker_out_free = t;
+    }
+
+    /// Pulls acknowledgement data, builds and broadcasts `MsgAcknowledgement`
+    /// batches back to the source chain.
+    fn relay_ack_batch(
+        &mut self,
+        dst_height: u64,
+        event_time: SimTime,
+        acked: Vec<(Packet, Acknowledgement)>,
+    ) {
+        let mut t = event_time.max(self.worker_back_free);
+
+        // Skip acknowledgements whose commitments are already cleared on the
+        // source chain (another relayer acknowledged them first).
+        let sequences: Vec<Sequence> = acked.iter().map(|(p, _)| p.sequence).collect();
+        let unacked_resp =
+            self.src_rpc
+                .unacknowledged_packets(t, &self.path.port, &self.path.src_channel, &sequences);
+        t = unacked_resp.ready_at;
+        let unacked: HashSet<Sequence> = unacked_resp.value.into_iter().collect();
+        let to_relay: Vec<&(Packet, Acknowledgement)> =
+            acked.iter().filter(|(p, _)| unacked.contains(&p.sequence)).collect();
+        let skipped = acked.len() - to_relay.len();
+        if skipped > 0 {
+            self.stats.packets_skipped_already_relayed += skipped as u64;
+            self.telemetry.record_error(
+                t,
+                format!("skipping {skipped} acknowledgements: packet messages are redundant"),
+            );
+        }
+        if to_relay.is_empty() {
+            self.worker_back_free = t;
+            return;
+        }
+
+        // Acknowledgement data pull (the dominant cost in Fig. 12).
+        let mut ack_proofs: BTreeMap<u64, (Acknowledgement, CommitmentProof)> = BTreeMap::new();
+        let chunk_size = self.config.max_msgs_per_tx;
+        for chunk in to_relay.chunks(chunk_size) {
+            let seqs: Vec<Sequence> = chunk.iter().map(|(p, _)| p.sequence).collect();
+            let pull = self.dst_rpc.pull_ack_data(
+                t,
+                dst_height,
+                &self.path.port,
+                &self.path.dst_channel,
+                &seqs,
+            );
+            t = pull.ready_at;
+            for (seq, ack, proof) in pull.value {
+                ack_proofs.insert(seq.value(), (ack, proof));
+            }
+            for seq in &seqs {
+                self.telemetry.record(*seq, TransferStep::RecvDataPull, t);
+            }
+        }
+
+        let update_resp = self.dst_rpc.client_update_data(t);
+        t = update_resp.ready_at;
+        let Some(update) = update_resp.value else {
+            self.worker_back_free = t;
+            return;
+        };
+        let proof_height = Height::at(update.header.height);
+        let update_msgs = vec![Msg::IbcUpdateClient {
+            client_id: self.path.client_on_src.clone(),
+            update: Box::new(update),
+            signer: self.config.source_account.clone(),
+        }];
+        t = self.broadcast(ChainRole::Source, t, update_msgs, &[]);
+
+        let to_relay_owned: Vec<(Packet, Acknowledgement)> = to_relay.into_iter().cloned().collect();
+        for chunk in to_relay_owned.chunks(chunk_size) {
+            t += self.config.build_cost_per_msg * chunk.len() as u64;
+            let mut msgs = Vec::with_capacity(chunk.len());
+            let mut chunk_seqs = Vec::with_capacity(chunk.len());
+            for (packet, _) in chunk {
+                let Some((ack, proof)) = ack_proofs.get(&packet.sequence.value()) else {
+                    continue;
+                };
+                chunk_seqs.push(packet.sequence);
+                self.telemetry.record(packet.sequence, TransferStep::AckBuild, t);
+                msgs.push(Msg::IbcAcknowledgement {
+                    packet: packet.clone(),
+                    acknowledgement: ack.clone(),
+                    proof_acked: proof.clone(),
+                    proof_height,
+                    signer: self.config.source_account.clone(),
+                });
+            }
+            if msgs.is_empty() {
+                continue;
+            }
+            t = self.broadcast(ChainRole::Source, t, msgs, &chunk_seqs);
+            self.stats.ack_txs_submitted += 1;
+            for seq in &chunk_seqs {
+                self.telemetry.record(*seq, TransferStep::AckBroadcast, t);
+            }
+        }
+        self.worker_back_free = t;
+    }
+
+    /// Detects packets that expired before delivery and submits `MsgTimeout`
+    /// for them on the source chain.
+    fn relay_timeouts(&mut self, dest_height: u64, dest_time: SimTime, event_time: SimTime) {
+        let expired: Vec<Packet> = self
+            .pending_delivery
+            .values()
+            .filter(|p| p.has_timed_out(Height::at(dest_height), dest_time))
+            .cloned()
+            .collect();
+        if expired.is_empty() {
+            return;
+        }
+        let mut t = event_time.max(self.worker_back_free);
+        let mut msgs = Vec::new();
+        let mut seqs = Vec::new();
+        for packet in expired.iter().take(self.config.max_msgs_per_tx) {
+            let proof_resp = self.dst_rpc.non_receipt_proof(
+                t,
+                &self.path.port,
+                &self.path.dst_channel,
+                packet.sequence,
+            );
+            t = proof_resp.ready_at;
+            let Some(proof) = proof_resp.value else {
+                // Already received on the destination: not a timeout.
+                self.pending_delivery.remove(&packet.sequence.value());
+                continue;
+            };
+            msgs.push(Msg::IbcTimeout {
+                packet: packet.clone(),
+                proof_unreceived: proof,
+                proof_height: Height::at(dest_height),
+                signer: self.config.source_account.clone(),
+            });
+            seqs.push(packet.sequence);
+        }
+        if msgs.is_empty() {
+            self.worker_back_free = t;
+            return;
+        }
+        // The source-side client needs to know about the destination height
+        // proving non-receipt.
+        let update_resp = self.dst_rpc.client_update_data(t);
+        t = update_resp.ready_at;
+        if let Some(update) = update_resp.value {
+            let update_msgs = vec![Msg::IbcUpdateClient {
+                client_id: self.path.client_on_src.clone(),
+                update: Box::new(update),
+                signer: self.config.source_account.clone(),
+            }];
+            t = self.broadcast(ChainRole::Source, t, update_msgs, &[]);
+        }
+        t = self.broadcast(ChainRole::Source, t, msgs, &seqs);
+        self.stats.timeout_txs_submitted += 1;
+        for seq in seqs {
+            self.pending_delivery.remove(&seq.value());
+        }
+        self.worker_back_free = t;
+    }
+
+    /// Builds, signs and broadcasts a transaction to one of the chains,
+    /// handling account-sequence mismatches by re-syncing and retrying once.
+    /// Returns the time at which the broadcast response was received.
+    fn broadcast(&mut self, to: ChainRole, at: SimTime, msgs: Vec<Msg>, _seqs: &[Sequence]) -> SimTime {
+        let (account, fee_denom, seq) = match to {
+            ChainRole::Source => (
+                self.config.source_account.clone(),
+                self.src_fee_denom.clone(),
+                self.src_account_seq,
+            ),
+            ChainRole::Destination => (
+                self.config.destination_account.clone(),
+                self.dst_fee_denom.clone(),
+                self.dst_account_seq,
+            ),
+        };
+        let tx = Tx::new(account.clone(), seq, msgs.clone(), &fee_denom);
+        let rpc = match to {
+            ChainRole::Source => &mut self.src_rpc,
+            ChainRole::Destination => &mut self.dst_rpc,
+        };
+        let resp = rpc.broadcast_tx_sync(at, &tx);
+        let mut ready = resp.ready_at;
+        match resp.value {
+            Ok(_) => {
+                match to {
+                    ChainRole::Source => self.src_account_seq += 1,
+                    ChainRole::Destination => self.dst_account_seq += 1,
+                }
+            }
+            Err(BroadcastError::CheckTxFailed { log, .. }) if log.contains("account sequence mismatch") => {
+                self.stats.broadcast_failures += 1;
+                self.telemetry.record_error(ready, log);
+                // Re-sync the sequence from the chain and retry once.
+                let seq_resp = rpc.account_sequence(ready, &account);
+                ready = seq_resp.ready_at;
+                let new_seq = seq_resp.value;
+                let retry_tx = Tx::new(account, new_seq, msgs, &fee_denom);
+                let retry = rpc.broadcast_tx_sync(ready, &retry_tx);
+                ready = retry.ready_at;
+                match retry.value {
+                    Ok(_) => match to {
+                        ChainRole::Source => self.src_account_seq = new_seq + 1,
+                        ChainRole::Destination => self.dst_account_seq = new_seq + 1,
+                    },
+                    Err(err) => {
+                        self.stats.broadcast_failures += 1;
+                        self.telemetry.record_error(ready, err.to_string());
+                    }
+                }
+            }
+            Err(err) => {
+                self.stats.broadcast_failures += 1;
+                self.telemetry.record_error(ready, err.to_string());
+            }
+        }
+        ready
+    }
+}
+
+impl std::fmt::Debug for Relayer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Relayer")
+            .field("id", &self.id)
+            .field("packets_tracked", &self.telemetry.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}

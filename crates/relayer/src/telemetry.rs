@@ -1,0 +1,245 @@
+//! Relayer telemetry: per-packet step timestamps and error log.
+//!
+//! The paper's latency analysis (Fig. 12) decomposes each cross-chain
+//! transfer into 13 steps, from the broadcast of the transfer message to the
+//! confirmation of the acknowledgement. The relayer records a timestamp for
+//! every step of every packet it handles; the framework's Analysis module
+//! consumes this log to rebuild the paper's figures.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use xcc_ibc::ids::Sequence;
+use xcc_sim::SimTime;
+
+/// The 13 steps of a complete cross-chain transfer (Fig. 12 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum TransferStep {
+    /// 1. The transfer transaction is broadcast to the source chain.
+    TransferBroadcast,
+    /// 2. The relayer extracts the transfer message from block events.
+    TransferMsgExtraction,
+    /// 3. The relayer confirms the transfer transaction was committed.
+    TransferConfirmation,
+    /// 4. The relayer pulls the packet data and proofs from the source chain.
+    TransferDataPull,
+    /// 5. The relayer builds the receive message.
+    RecvBuild,
+    /// 6. The receive transaction is broadcast to the destination chain.
+    RecvBroadcast,
+    /// 7. The relayer extracts the receive message from destination events.
+    RecvMsgExtraction,
+    /// 8. The relayer confirms the receive transaction was committed.
+    RecvConfirmation,
+    /// 9. The relayer pulls the acknowledgement data from the destination.
+    RecvDataPull,
+    /// 10. The relayer builds the acknowledgement message.
+    AckBuild,
+    /// 11. The acknowledgement transaction is broadcast to the source chain.
+    AckBroadcast,
+    /// 12. The relayer extracts the acknowledgement from source events.
+    AckMsgExtraction,
+    /// 13. The relayer confirms the acknowledgement was committed.
+    AckConfirmation,
+}
+
+impl TransferStep {
+    /// All steps in execution order.
+    pub const ALL: [TransferStep; 13] = [
+        TransferStep::TransferBroadcast,
+        TransferStep::TransferMsgExtraction,
+        TransferStep::TransferConfirmation,
+        TransferStep::TransferDataPull,
+        TransferStep::RecvBuild,
+        TransferStep::RecvBroadcast,
+        TransferStep::RecvMsgExtraction,
+        TransferStep::RecvConfirmation,
+        TransferStep::RecvDataPull,
+        TransferStep::AckBuild,
+        TransferStep::AckBroadcast,
+        TransferStep::AckMsgExtraction,
+        TransferStep::AckConfirmation,
+    ];
+
+    /// The 1-based index the paper uses for the step.
+    pub fn index(&self) -> usize {
+        Self::ALL.iter().position(|s| s == self).expect("step is in ALL") + 1
+    }
+
+    /// A short human-readable label matching the paper's legend.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TransferStep::TransferBroadcast => "Transfer broadcast",
+            TransferStep::TransferMsgExtraction => "Transfer msg. extraction",
+            TransferStep::TransferConfirmation => "Transfer confirmation",
+            TransferStep::TransferDataPull => "Transfer data pull",
+            TransferStep::RecvBuild => "Recv build",
+            TransferStep::RecvBroadcast => "Recv broadcast",
+            TransferStep::RecvMsgExtraction => "Recv msg. extraction",
+            TransferStep::RecvConfirmation => "Recv confirmation",
+            TransferStep::RecvDataPull => "Recv data pull",
+            TransferStep::AckBuild => "Ack build",
+            TransferStep::AckBroadcast => "Ack broadcast",
+            TransferStep::AckMsgExtraction => "Ack msg. extraction",
+            TransferStep::AckConfirmation => "Ack confirmation",
+        }
+    }
+}
+
+/// A logged relayer error (redundant packets, failed event collection,
+/// sequence mismatches…), mirroring Hermes' log lines.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RelayerError {
+    /// When the error occurred.
+    pub at: SimTime,
+    /// The error message.
+    pub message: String,
+}
+
+/// The per-packet step log of one relayer instance.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TelemetryLog {
+    steps: BTreeMap<u64, BTreeMap<TransferStep, SimTime>>,
+    errors: Vec<RelayerError>,
+}
+
+impl TelemetryLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records that `step` completed for packet `sequence` at `time`.
+    /// The earliest recorded time wins if a step is recorded twice.
+    pub fn record(&mut self, sequence: Sequence, step: TransferStep, time: SimTime) {
+        let entry = self.steps.entry(sequence.value()).or_default();
+        entry
+            .entry(step)
+            .and_modify(|t| {
+                if time < *t {
+                    *t = time;
+                }
+            })
+            .or_insert(time);
+    }
+
+    /// Records an error line.
+    pub fn record_error(&mut self, at: SimTime, message: impl Into<String>) {
+        self.errors.push(RelayerError { at, message: message.into() });
+    }
+
+    /// The recorded errors, in insertion order.
+    pub fn errors(&self) -> &[RelayerError] {
+        &self.errors
+    }
+
+    /// Number of errors whose message contains `needle`.
+    pub fn errors_containing(&self, needle: &str) -> usize {
+        self.errors.iter().filter(|e| e.message.contains(needle)).count()
+    }
+
+    /// The time at which `step` completed for `sequence`, if recorded.
+    pub fn step_time(&self, sequence: Sequence, step: TransferStep) -> Option<SimTime> {
+        self.steps.get(&sequence.value()).and_then(|m| m.get(&step)).copied()
+    }
+
+    /// All completion times recorded for `step`, one per packet, unordered.
+    pub fn times_for_step(&self, step: TransferStep) -> Vec<SimTime> {
+        self.steps.values().filter_map(|m| m.get(&step)).copied().collect()
+    }
+
+    /// Number of packets that completed `step`.
+    pub fn count_for_step(&self, step: TransferStep) -> usize {
+        self.steps.values().filter(|m| m.contains_key(&step)).count()
+    }
+
+    /// Sequences tracked by this log.
+    pub fn sequences(&self) -> Vec<Sequence> {
+        self.steps.keys().copied().map(Sequence::from).collect()
+    }
+
+    /// Number of packets tracked.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// `true` when no packets were tracked.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Merges another log into this one (used when aggregating the telemetry
+    /// of several relayer instances); per step, the earliest time wins.
+    pub fn merge(&mut self, other: &TelemetryLog) {
+        for (seq, steps) in &other.steps {
+            for (step, time) in steps {
+                self.record(Sequence::from(*seq), *step, *time);
+            }
+        }
+        self.errors.extend(other.errors.iter().cloned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steps_are_ordered_and_labelled() {
+        assert_eq!(TransferStep::ALL.len(), 13);
+        assert_eq!(TransferStep::TransferBroadcast.index(), 1);
+        assert_eq!(TransferStep::AckConfirmation.index(), 13);
+        assert_eq!(TransferStep::RecvDataPull.label(), "Recv data pull");
+    }
+
+    #[test]
+    fn record_keeps_earliest_time() {
+        let mut log = TelemetryLog::new();
+        let seq = Sequence::from(1);
+        log.record(seq, TransferStep::RecvBroadcast, SimTime::from_secs(20));
+        log.record(seq, TransferStep::RecvBroadcast, SimTime::from_secs(10));
+        log.record(seq, TransferStep::RecvBroadcast, SimTime::from_secs(30));
+        assert_eq!(log.step_time(seq, TransferStep::RecvBroadcast), Some(SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn counting_and_listing_steps() {
+        let mut log = TelemetryLog::new();
+        for i in 1..=5u64 {
+            log.record(Sequence::from(i), TransferStep::TransferBroadcast, SimTime::from_secs(i));
+        }
+        log.record(Sequence::from(1), TransferStep::AckConfirmation, SimTime::from_secs(100));
+        assert_eq!(log.count_for_step(TransferStep::TransferBroadcast), 5);
+        assert_eq!(log.count_for_step(TransferStep::AckConfirmation), 1);
+        assert_eq!(log.times_for_step(TransferStep::TransferBroadcast).len(), 5);
+        assert_eq!(log.sequences().len(), 5);
+        assert_eq!(log.len(), 5);
+        assert!(!log.is_empty());
+        assert_eq!(log.step_time(Sequence::from(9), TransferStep::RecvBuild), None);
+    }
+
+    #[test]
+    fn errors_are_logged_and_searchable() {
+        let mut log = TelemetryLog::new();
+        log.record_error(SimTime::from_secs(1), "packet messages are redundant");
+        log.record_error(SimTime::from_secs(2), "account sequence mismatch");
+        log.record_error(SimTime::from_secs(3), "packet messages are redundant");
+        assert_eq!(log.errors().len(), 3);
+        assert_eq!(log.errors_containing("redundant"), 2);
+    }
+
+    #[test]
+    fn merge_takes_earliest_and_concatenates_errors() {
+        let mut a = TelemetryLog::new();
+        let mut b = TelemetryLog::new();
+        a.record(Sequence::from(1), TransferStep::RecvBroadcast, SimTime::from_secs(10));
+        b.record(Sequence::from(1), TransferStep::RecvBroadcast, SimTime::from_secs(5));
+        b.record(Sequence::from(2), TransferStep::RecvBroadcast, SimTime::from_secs(7));
+        b.record_error(SimTime::from_secs(1), "x");
+        a.merge(&b);
+        assert_eq!(a.step_time(Sequence::from(1), TransferStep::RecvBroadcast), Some(SimTime::from_secs(5)));
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.errors().len(), 1);
+    }
+}

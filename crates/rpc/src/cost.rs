@@ -1,0 +1,214 @@
+//! The RPC cost model.
+//!
+//! The paper identifies the Tendermint RPC endpoint as the dominant
+//! cross-chain bottleneck: queries are served one at a time, and the queries
+//! the relayer uses to pull packet data back out of the chain return large
+//! responses whose service time grows with the amount of IBC data in the
+//! queried block (§IV-B, §V "Transaction data collection"). The model here is
+//! calibrated against the two measurements the paper reports: a block of 20
+//! transactions with 100 `MsgTransfer` each takes ≈2.9 s to query, and the
+//! same block shape with `MsgRecvPacket` takes ≈5.7 s.
+
+use serde::{Deserialize, Serialize};
+
+use xcc_sim::SimDuration;
+
+/// The kind of RPC request being served, which determines its cost profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RequestKind {
+    /// `broadcast_tx_sync`: submit a transaction and run `CheckTx`.
+    BroadcastTxSync,
+    /// `status` / small metadata queries.
+    Status,
+    /// `abci_query` for an account (sequence / balance lookups).
+    AccountQuery,
+    /// Packet-data pull: the `tx_search`-style query the relayer issues per
+    /// source transaction to rebuild packets, including proofs.
+    PacketDataPull,
+    /// Proof query for a single packet commitment or acknowledgement.
+    ProofQuery,
+    /// Header/commit/validator-set query used to build client updates.
+    ClientUpdateData,
+    /// `block_results`-style query for a whole block (analysis tooling).
+    BlockResults,
+    /// Unreceived-packet / unreceived-ack filter queries.
+    UnreceivedQuery,
+}
+
+/// Service-time parameters of the simulated RPC server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RpcCostModel {
+    /// Fixed cost of accepting and dispatching any request.
+    pub base: SimDuration,
+    /// Cost per kilobyte of response payload.
+    pub per_response_kilobyte: SimDuration,
+    /// Additional cost of a packet-data pull per IBC *message committed in
+    /// the queried block* when the messages are transfers. This is the
+    /// super-linear term that makes large submission batches so expensive
+    /// (Figs. 12 and 13).
+    pub data_pull_per_block_msg_transfer: SimDuration,
+    /// As above, for receive messages (larger responses: packets plus proofs
+    /// plus acknowledgements).
+    pub data_pull_per_block_msg_recv: SimDuration,
+    /// Cost of running `CheckTx` during `broadcast_tx_sync`, per message in
+    /// the submitted transaction.
+    pub broadcast_per_msg: SimDuration,
+}
+
+impl Default for RpcCostModel {
+    fn default() -> Self {
+        RpcCostModel {
+            base: SimDuration::from_millis(5),
+            per_response_kilobyte: SimDuration::from_micros(900),
+            // Calibrated so that 50 pulls over a 5,000-message block cost
+            // ≈110 s (transfer) and ≈207 s (recv), the Fig. 12 breakdown.
+            data_pull_per_block_msg_transfer: SimDuration::from_micros(439),
+            data_pull_per_block_msg_recv: SimDuration::from_micros(823),
+            broadcast_per_msg: SimDuration::from_micros(30),
+        }
+    }
+}
+
+/// Context describing the request being priced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestProfile {
+    /// What kind of request this is.
+    pub kind: RequestKind,
+    /// Estimated response payload in bytes.
+    pub response_bytes: usize,
+    /// For data pulls and broadcasts: the number of IBC messages in the
+    /// queried block / submitted transaction.
+    pub messages: usize,
+    /// For data pulls: whether the block being queried is dominated by
+    /// receive messages (larger per-message responses).
+    pub recv_heavy: bool,
+}
+
+impl RequestProfile {
+    /// A small fixed-size request (status, account query…).
+    pub fn small(kind: RequestKind) -> Self {
+        RequestProfile { kind, response_bytes: 512, messages: 0, recv_heavy: false }
+    }
+}
+
+impl RpcCostModel {
+    /// The server-side service time of a request.
+    pub fn service_time(&self, profile: &RequestProfile) -> SimDuration {
+        let size_cost = self.per_response_kilobyte * (profile.response_bytes as u64 / 1024);
+        let kind_cost = match profile.kind {
+            RequestKind::BroadcastTxSync => self.broadcast_per_msg * profile.messages as u64,
+            RequestKind::PacketDataPull => {
+                let per_msg = if profile.recv_heavy {
+                    self.data_pull_per_block_msg_recv
+                } else {
+                    self.data_pull_per_block_msg_transfer
+                };
+                per_msg * profile.messages as u64
+            }
+            RequestKind::BlockResults => {
+                // Whole-block queries pay the size cost twice: encoding and
+                // pagination overhead (the paper's 331,706-line responses).
+                size_cost
+            }
+            _ => SimDuration::ZERO,
+        };
+        self.base + size_cost + kind_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_reproduces_paper_block_query_costs() {
+        let model = RpcCostModel::default();
+        // A single data pull over a block holding 2,000 transfer messages
+        // (the paper's 20 × 100 example) should take roughly 2.9 s…
+        let transfer_pull = model.service_time(&RequestProfile {
+            kind: RequestKind::PacketDataPull,
+            response_bytes: 1_200_000,
+            messages: 2_000,
+            recv_heavy: false,
+        });
+        // …and the recv-heavy equivalent roughly 5.7 s.
+        let recv_pull = model.service_time(&RequestProfile {
+            kind: RequestKind::PacketDataPull,
+            response_bytes: 2_400_000,
+            messages: 2_000,
+            recv_heavy: true,
+        });
+        let t = transfer_pull.as_secs_f64();
+        let r = recv_pull.as_secs_f64();
+        assert!((1.5..4.5).contains(&t), "transfer pull {t}s");
+        assert!((3.5..8.0).contains(&r), "recv pull {r}s");
+        assert!(r > t * 1.5, "recv pulls must be substantially slower");
+    }
+
+    #[test]
+    fn fig12_scale_data_pull_costs() {
+        // 50 pulls over a 5,000-message block: ≈110 s for transfers and
+        // ≈207 s for receives (±20%).
+        let model = RpcCostModel::default();
+        let transfer_total: f64 = (0..50)
+            .map(|_| {
+                model
+                    .service_time(&RequestProfile {
+                        kind: RequestKind::PacketDataPull,
+                        response_bytes: 70_000,
+                        messages: 5_000,
+                        recv_heavy: false,
+                    })
+                    .as_secs_f64()
+            })
+            .sum();
+        let recv_total: f64 = (0..50)
+            .map(|_| {
+                model
+                    .service_time(&RequestProfile {
+                        kind: RequestKind::PacketDataPull,
+                        response_bytes: 140_000,
+                        messages: 5_000,
+                        recv_heavy: true,
+                    })
+                    .as_secs_f64()
+            })
+            .sum();
+        assert!((88.0..132.0).contains(&transfer_total), "transfer pulls total {transfer_total}s");
+        assert!((165.0..250.0).contains(&recv_total), "recv pulls total {recv_total}s");
+    }
+
+    #[test]
+    fn service_time_is_monotone_in_size_and_messages() {
+        let model = RpcCostModel::default();
+        let small = model.service_time(&RequestProfile::small(RequestKind::Status));
+        let big = model.service_time(&RequestProfile {
+            kind: RequestKind::BlockResults,
+            response_bytes: 10_000_000,
+            messages: 0,
+            recv_heavy: false,
+        });
+        assert!(big > small);
+
+        let few = model.service_time(&RequestProfile {
+            kind: RequestKind::BroadcastTxSync,
+            response_bytes: 1_000,
+            messages: 10,
+            recv_heavy: false,
+        });
+        let many = model.service_time(&RequestProfile {
+            kind: RequestKind::BroadcastTxSync,
+            response_bytes: 1_000,
+            messages: 100,
+            recv_heavy: false,
+        });
+        assert!(many > few);
+    }
+
+    #[test]
+    fn small_queries_cost_little() {
+        let model = RpcCostModel::default();
+        let status = model.service_time(&RequestProfile::small(RequestKind::Status));
+        assert!(status < SimDuration::from_millis(20));
+    }
+}

@@ -1,0 +1,581 @@
+//! The simulated Tendermint RPC endpoint served by a full node.
+//!
+//! All queries go through a single-server FIFO queue ([`FifoServer`]): the
+//! endpoint serves them one at a time, which is the root cause of the
+//! data-pull bottleneck the paper measures. Every method returns an
+//! [`RpcResponse`] carrying both the result and the simulated time at which
+//! the caller receives it (queueing + service + network round trip).
+
+use xcc_chain::account::AccountId;
+use xcc_chain::chain::SharedChain;
+use xcc_chain::tx::Tx;
+use xcc_ibc::client::ClientUpdate;
+use xcc_ibc::commitment::{CommitmentProof, NonMembershipProof};
+use xcc_ibc::events as ibc_events;
+use xcc_ibc::ids::{ChannelId, PortId, Sequence};
+use xcc_ibc::packet::{Acknowledgement, Packet};
+use xcc_sim::{DetRng, FifoServer, LatencyModel, SimDuration, SimTime};
+use xcc_tendermint::abci::Event;
+use xcc_tendermint::hash::Hash;
+use xcc_tendermint::node::TxStatus;
+
+use crate::cost::{RequestKind, RequestProfile, RpcCostModel};
+
+/// A response from the RPC endpoint: the value plus when it arrives at the
+/// caller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RpcResponse<T> {
+    /// The response payload.
+    pub value: T,
+    /// Simulated time at which the caller has the response in hand.
+    pub ready_at: SimTime,
+    /// Estimated size of the response in bytes.
+    pub response_bytes: usize,
+}
+
+/// Errors returned by `broadcast_tx_sync`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BroadcastError {
+    /// `CheckTx` rejected the transaction (code and log are included).
+    CheckTxFailed {
+        /// ABCI error code.
+        code: u32,
+        /// Error log, e.g. "account sequence mismatch…".
+        log: String,
+    },
+    /// The mempool refused the transaction (full or duplicate).
+    MempoolRejected {
+        /// Description of the rejection.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for BroadcastError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BroadcastError::CheckTxFailed { code, log } => write!(f, "broadcast failed (code {code}): {log}"),
+            BroadcastError::MempoolRejected { reason } => write!(f, "mempool rejected tx: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for BroadcastError {}
+
+/// The execution outcome of one committed transaction, as reported by
+/// `tx_search`-style queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TxResultView {
+    /// The transaction hash.
+    pub hash: Hash,
+    /// Height the transaction was committed at.
+    pub height: u64,
+    /// ABCI result code (0 = success).
+    pub code: u32,
+    /// Execution log (error message on failure).
+    pub log: String,
+    /// Events emitted by the transaction.
+    pub events: Vec<Event>,
+    /// Encoded size of the transaction in bytes.
+    pub tx_bytes: usize,
+}
+
+/// A Tendermint RPC endpoint bound to one chain's full node.
+#[derive(Debug)]
+pub struct RpcEndpoint {
+    chain: SharedChain,
+    queue: FifoServer,
+    cost: RpcCostModel,
+    latency: LatencyModel,
+    rng: DetRng,
+}
+
+impl RpcEndpoint {
+    /// Creates an endpoint for `chain` with the given cost and latency
+    /// models.
+    pub fn new(chain: SharedChain, cost: RpcCostModel, latency: LatencyModel, rng: DetRng) -> Self {
+        let name = format!("rpc-{}", chain.borrow().id());
+        RpcEndpoint {
+            chain,
+            queue: FifoServer::new(name),
+            cost,
+            latency,
+            rng,
+        }
+    }
+
+    /// The chain this endpoint serves.
+    pub fn chain(&self) -> &SharedChain {
+        &self.chain
+    }
+
+    /// Total number of queries served so far.
+    pub fn queries_served(&self) -> u64 {
+        self.queue.jobs_served()
+    }
+
+    /// Cumulative time the RPC server spent busy.
+    pub fn busy_time(&self) -> SimDuration {
+        self.queue.busy_time()
+    }
+
+    /// The queueing backlog a request arriving at `now` would face.
+    pub fn backlog_at(&self, now: SimTime) -> SimDuration {
+        self.queue.backlog_at(now)
+    }
+
+    fn respond<T>(&mut self, now: SimTime, profile: RequestProfile, value: T) -> RpcResponse<T> {
+        let service = self.cost.service_time(&profile);
+        let request_arrives = now + self.latency.sample_one_way(&mut self.rng);
+        let served_at = self.queue.submit(request_arrives, service);
+        let ready_at = served_at + self.latency.sample_one_way(&mut self.rng);
+        RpcResponse { value, ready_at, response_bytes: profile.response_bytes }
+    }
+
+    /// `status`: the chain id and latest committed height.
+    pub fn status(&mut self, now: SimTime) -> RpcResponse<(String, u64)> {
+        let (id, height) = {
+            let chain = self.chain.borrow();
+            (chain.id().to_string(), chain.height())
+        };
+        self.respond(now, RequestProfile::small(RequestKind::Status), (id, height))
+    }
+
+    /// Account sequence query, used by clients to sign their next
+    /// transaction.
+    pub fn account_sequence(&mut self, now: SimTime, address: &AccountId) -> RpcResponse<u64> {
+        let seq = self.chain.borrow().app().account_sequence(address);
+        self.respond(now, RequestProfile::small(RequestKind::AccountQuery), seq)
+    }
+
+    /// `broadcast_tx_sync`: submit a transaction to the mempool.
+    pub fn broadcast_tx_sync(
+        &mut self,
+        now: SimTime,
+        tx: &Tx,
+    ) -> RpcResponse<Result<Hash, BroadcastError>> {
+        let msg_count = tx.msg_count();
+        let raw = tx.encode();
+        // The transaction reaches the node one network hop after the caller
+        // sends it; blocks proposed before that instant cannot include it.
+        let arrival = now + self.latency.sample_one_way(&mut self.rng);
+        let result = {
+            let mut chain = self.chain.borrow_mut();
+            chain.submit_raw_tx(raw, arrival)
+        };
+        let value = result.map_err(|e| match e {
+            xcc_tendermint::node::SubmitError::CheckTxFailed { code, log } => {
+                BroadcastError::CheckTxFailed { code, log }
+            }
+            xcc_tendermint::node::SubmitError::Mempool(err) => {
+                BroadcastError::MempoolRejected { reason: err.to_string() }
+            }
+        });
+        self.respond(
+            now,
+            RequestProfile {
+                kind: RequestKind::BroadcastTxSync,
+                response_bytes: 256,
+                messages: msg_count,
+                recv_heavy: false,
+            },
+            value,
+        )
+    }
+
+    /// Whether a transaction is committed, pending or unknown.
+    pub fn tx_status(&mut self, now: SimTime, hash: &Hash) -> RpcResponse<TxStatus> {
+        let status = self.chain.borrow().tx_status(hash);
+        self.respond(now, RequestProfile::small(RequestKind::Status), status)
+    }
+
+    /// The execution results of every transaction committed at `height`
+    /// (the `tx_search tx.height=X` query the analysis tooling uses).
+    pub fn block_tx_results(&mut self, now: SimTime, height: u64) -> RpcResponse<Vec<TxResultView>> {
+        let (views, bytes) = self.collect_block_results(height);
+        self.respond(
+            now,
+            RequestProfile {
+                kind: RequestKind::BlockResults,
+                response_bytes: bytes,
+                messages: 0,
+                recv_heavy: false,
+            },
+            views,
+        )
+    }
+
+    fn collect_block_results(&self, height: u64) -> (Vec<TxResultView>, usize) {
+        let chain = self.chain.borrow();
+        let Some(block) = chain.block_at(height) else {
+            return (Vec::new(), 256);
+        };
+        let mut views = Vec::with_capacity(block.results.len());
+        let mut bytes = 512usize;
+        for (tx, result) in block.block.data.txs.iter().zip(&block.results) {
+            let view = TxResultView {
+                hash: tx.hash(),
+                height,
+                code: result.code,
+                log: result.log.clone(),
+                events: result.events.clone(),
+                tx_bytes: tx.len(),
+            };
+            bytes += tx.len() + result.encoded_size();
+            views.push(view);
+        }
+        (views, bytes)
+    }
+
+    /// The number of IBC messages committed in the block at `height`, used to
+    /// price data-pull queries against that block.
+    fn block_ibc_messages(&self, height: u64) -> usize {
+        let chain = self.chain.borrow();
+        chain
+            .block_at(height)
+            .map(|b| b.results.iter().map(|r| r.events.len()).sum())
+            .unwrap_or(0)
+    }
+
+    /// The relayer's packet data pull: reconstructs the packets and
+    /// commitment proofs for `sequences` sent over `(port, channel)`,
+    /// querying against the block at `height` (whose size drives the cost).
+    pub fn pull_packet_data(
+        &mut self,
+        now: SimTime,
+        height: u64,
+        port: &PortId,
+        channel: &ChannelId,
+        sequences: &[Sequence],
+    ) -> RpcResponse<Vec<(Packet, CommitmentProof)>> {
+        let mut out = Vec::with_capacity(sequences.len());
+        let mut bytes = 1024usize;
+        {
+            let chain = self.chain.borrow();
+            let ibc = chain.app().ibc();
+            for seq in sequences {
+                if let (Some(packet), Some(proof)) = (
+                    ibc.sent_packet(port, channel, *seq),
+                    ibc.prove_packet_commitment(port, channel, *seq),
+                ) {
+                    bytes += packet.encoded_size() + proof.encoded_size();
+                    out.push((packet.clone(), proof));
+                }
+            }
+        }
+        let block_msgs = self.block_ibc_messages(height);
+        self.respond(
+            now,
+            RequestProfile {
+                kind: RequestKind::PacketDataPull,
+                response_bytes: bytes,
+                messages: block_msgs,
+                recv_heavy: false,
+            },
+            out,
+        )
+    }
+
+    /// The relayer's acknowledgement data pull on the destination chain:
+    /// returns the acknowledgement and its proof for each received sequence,
+    /// priced against the (recv-heavy) block at `height`.
+    pub fn pull_ack_data(
+        &mut self,
+        now: SimTime,
+        height: u64,
+        port: &PortId,
+        channel: &ChannelId,
+        sequences: &[Sequence],
+    ) -> RpcResponse<Vec<(Sequence, Acknowledgement, CommitmentProof)>> {
+        let mut out = Vec::with_capacity(sequences.len());
+        let mut bytes = 1024usize;
+        {
+            let chain = self.chain.borrow();
+            let ibc = chain.app().ibc();
+            for seq in sequences {
+                if let (Some(ack), Some(proof)) = (
+                    ibc.packet_acknowledgement(port, channel, *seq),
+                    ibc.prove_packet_acknowledgement(port, channel, *seq),
+                ) {
+                    bytes += ack.encoded_size() + proof.encoded_size();
+                    out.push((*seq, ack.clone(), proof));
+                }
+            }
+        }
+        let block_msgs = self.block_ibc_messages(height);
+        self.respond(
+            now,
+            RequestProfile {
+                kind: RequestKind::PacketDataPull,
+                response_bytes: bytes,
+                messages: block_msgs,
+                recv_heavy: true,
+            },
+            out,
+        )
+    }
+
+    /// Header, commit, validator set and IBC root of the latest block,
+    /// packaged as the client update a relayer submits before proofs.
+    pub fn client_update_data(&mut self, now: SimTime) -> RpcResponse<Option<ClientUpdate>> {
+        let update = {
+            let chain = self.chain.borrow();
+            chain.latest_block().map(|latest| {
+                let height = latest.block.header.height;
+                ClientUpdate {
+                    header: latest.block.header.clone(),
+                    commit: chain.commit_for(height).cloned().expect("latest block has a commit"),
+                    validators: chain.validators().clone(),
+                    ibc_root: chain.app().ibc().commitment_root(),
+                }
+            })
+        };
+        self.respond(
+            now,
+            RequestProfile {
+                kind: RequestKind::ClientUpdateData,
+                response_bytes: 2_048,
+                messages: 0,
+                recv_heavy: false,
+            },
+            update,
+        )
+    }
+
+    /// Filters `sequences` down to packets not yet received on this chain.
+    pub fn unreceived_packets(
+        &mut self,
+        now: SimTime,
+        port: &PortId,
+        channel: &ChannelId,
+        sequences: &[Sequence],
+    ) -> RpcResponse<Vec<Sequence>> {
+        let unreceived = self
+            .chain
+            .borrow()
+            .app()
+            .ibc()
+            .unreceived_packets(port, channel, sequences);
+        self.respond(
+            now,
+            RequestProfile {
+                kind: RequestKind::UnreceivedQuery,
+                response_bytes: 128 + sequences.len() * 8,
+                messages: 0,
+                recv_heavy: false,
+            },
+            unreceived,
+        )
+    }
+
+    /// Filters `sequences` down to packets whose commitments still exist on
+    /// this chain, i.e. not yet acknowledged.
+    pub fn unacknowledged_packets(
+        &mut self,
+        now: SimTime,
+        port: &PortId,
+        channel: &ChannelId,
+        sequences: &[Sequence],
+    ) -> RpcResponse<Vec<Sequence>> {
+        let unacked = self
+            .chain
+            .borrow()
+            .app()
+            .ibc()
+            .unacknowledged_packets(port, channel, sequences);
+        self.respond(
+            now,
+            RequestProfile {
+                kind: RequestKind::UnreceivedQuery,
+                response_bytes: 128 + sequences.len() * 8,
+                messages: 0,
+                recv_heavy: false,
+            },
+            unacked,
+        )
+    }
+
+    /// A proof that this chain never received the given packet, used to build
+    /// `MsgTimeout` on the counterparty.
+    pub fn non_receipt_proof(
+        &mut self,
+        now: SimTime,
+        port: &PortId,
+        channel: &ChannelId,
+        sequence: Sequence,
+    ) -> RpcResponse<Option<NonMembershipProof>> {
+        let proof = self
+            .chain
+            .borrow()
+            .app()
+            .ibc()
+            .prove_packet_non_receipt(port, channel, sequence);
+        self.respond(now, RequestProfile::small(RequestKind::ProofQuery), proof)
+    }
+
+    /// The events emitted by every transaction at `height`, grouped per
+    /// transaction, along with the total encoded size. This is what the
+    /// WebSocket subscription delivers to the relayer when a new block is
+    /// committed; the frame-size limit is enforced by
+    /// [`crate::websocket::WebSocketSubscription`].
+    pub fn block_events(&self, height: u64) -> (Vec<(Hash, u32, Vec<Event>)>, usize) {
+        let chain = self.chain.borrow();
+        let Some(block) = chain.block_at(height) else {
+            return (Vec::new(), 0);
+        };
+        let mut out = Vec::with_capacity(block.results.len());
+        let mut bytes = 0usize;
+        for (tx, result) in block.block.data.txs.iter().zip(&block.results) {
+            bytes += result.encoded_size() + 64;
+            // The event subscription also carries the raw transaction bytes.
+            bytes += tx.len();
+            out.push((tx.hash(), result.code, result.events.clone()));
+        }
+        (out, bytes)
+    }
+
+    /// Extracts the IBC packets sent in the block at `height` over the given
+    /// channel end, in event order (used by tests and the analysis pipeline;
+    /// the relayer itself goes through the WebSocket path).
+    pub fn packets_sent_at(
+        &self,
+        height: u64,
+        port: &PortId,
+        channel: &ChannelId,
+    ) -> Vec<Packet> {
+        let (events, _) = self.block_events(height);
+        events
+            .iter()
+            .filter(|(_, code, _)| *code == 0)
+            .flat_map(|(_, _, events)| events.iter())
+            .filter(|e| e.kind == ibc_events::SEND_PACKET && ibc_events::is_for_channel(e, port, channel))
+            .filter_map(ibc_events::packet_from_event)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xcc_chain::chain::Chain;
+    use xcc_chain::genesis::GenesisConfig;
+    use xcc_chain::msg::Msg;
+    use xcc_chain::coin::Coin;
+
+    fn endpoint(latency_ms: u64) -> RpcEndpoint {
+        let chain = Chain::new(
+            GenesisConfig::new("chain-a").with_funded_accounts("user", 3, 100_000_000),
+        )
+        .into_shared();
+        RpcEndpoint::new(
+            chain,
+            RpcCostModel::default(),
+            LatencyModel::constant_rtt_ms(latency_ms),
+            DetRng::new(7),
+        )
+    }
+
+    fn bank_tx(seq: u64) -> Tx {
+        Tx::new(
+            "user-0".into(),
+            seq,
+            vec![Msg::BankSend { from: "user-0".into(), to: "user-1".into(), amount: Coin::new("uatom", 1) }],
+            "uatom",
+        )
+    }
+
+    #[test]
+    fn status_reports_chain_and_height() {
+        let mut rpc = endpoint(0);
+        let res = rpc.status(SimTime::ZERO);
+        assert_eq!(res.value, ("chain-a".to_string(), 0));
+        assert!(res.ready_at > SimTime::ZERO, "service time is never zero");
+    }
+
+    #[test]
+    fn broadcast_enters_mempool_and_reports_errors() {
+        let mut rpc = endpoint(0);
+        let ok = rpc.broadcast_tx_sync(SimTime::ZERO, &bank_tx(0));
+        assert!(ok.value.is_ok());
+        assert_eq!(rpc.chain().borrow().mempool_size(), 1);
+
+        // Stale sequence: the paper's "account sequence mismatch".
+        let err = rpc.broadcast_tx_sync(SimTime::ZERO, &bank_tx(0)).value.unwrap_err();
+        match err {
+            BroadcastError::MempoolRejected { .. } => panic!("expected CheckTx failure"),
+            BroadcastError::CheckTxFailed { log, .. } => assert!(log.contains("account sequence mismatch")),
+        }
+    }
+
+    #[test]
+    fn queries_are_served_sequentially() {
+        let mut rpc = endpoint(0);
+        // Two expensive queries issued at the same instant: the second waits.
+        rpc.chain().borrow_mut().produce_block(SimTime::from_secs(5));
+        let first = rpc.block_tx_results(SimTime::from_secs(5), 1);
+        let second = rpc.block_tx_results(SimTime::from_secs(5), 1);
+        assert!(second.ready_at > first.ready_at);
+        assert_eq!(rpc.queries_served(), 2);
+        assert!(rpc.busy_time() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn network_latency_adds_a_round_trip() {
+        let mut lan = endpoint(0);
+        let mut wan = endpoint(200);
+        let t0 = SimTime::ZERO;
+        let lan_ready = lan.status(t0).ready_at;
+        let wan_ready = wan.status(t0).ready_at;
+        let diff = (wan_ready - t0).as_millis() as i64 - (lan_ready - t0).as_millis() as i64;
+        assert!((195..=205).contains(&diff), "round trip difference was {diff}ms");
+    }
+
+    #[test]
+    fn account_sequence_tracks_commits() {
+        let mut rpc = endpoint(0);
+        assert_eq!(rpc.account_sequence(SimTime::ZERO, &"user-0".into()).value, 0);
+        rpc.broadcast_tx_sync(SimTime::ZERO, &bank_tx(0)).value.unwrap();
+        rpc.chain().borrow_mut().produce_block(SimTime::from_secs(5));
+        assert_eq!(rpc.account_sequence(SimTime::from_secs(5), &"user-0".into()).value, 1);
+    }
+
+    #[test]
+    fn block_tx_results_and_events_reflect_committed_txs() {
+        let mut rpc = endpoint(0);
+        let hash = rpc.broadcast_tx_sync(SimTime::ZERO, &bank_tx(0)).value.unwrap();
+        rpc.chain().borrow_mut().produce_block(SimTime::from_secs(5));
+        let results = rpc.block_tx_results(SimTime::from_secs(5), 1);
+        assert_eq!(results.value.len(), 1);
+        assert_eq!(results.value[0].hash, hash);
+        assert_eq!(results.value[0].code, 0);
+        assert!(!results.value[0].events.is_empty());
+
+        let (events, bytes) = rpc.block_events(1);
+        assert_eq!(events.len(), 1);
+        assert!(bytes > 0);
+        // Unknown heights return empty results rather than failing.
+        assert!(rpc.block_tx_results(SimTime::from_secs(5), 99).value.is_empty());
+        assert_eq!(rpc.block_events(99).0.len(), 0);
+    }
+
+    #[test]
+    fn tx_status_follows_lifecycle() {
+        let mut rpc = endpoint(0);
+        let tx = bank_tx(0);
+        let hash = tx.hash();
+        assert_eq!(rpc.tx_status(SimTime::ZERO, &hash).value, TxStatus::Unknown);
+        rpc.broadcast_tx_sync(SimTime::ZERO, &tx).value.unwrap();
+        assert_eq!(rpc.tx_status(SimTime::ZERO, &hash).value, TxStatus::Pending);
+        rpc.chain().borrow_mut().produce_block(SimTime::from_secs(5));
+        assert_eq!(rpc.tx_status(SimTime::from_secs(5), &hash).value, TxStatus::Committed);
+    }
+
+    #[test]
+    fn client_update_data_requires_a_block() {
+        let mut rpc = endpoint(0);
+        assert!(rpc.client_update_data(SimTime::ZERO).value.is_none());
+        rpc.chain().borrow_mut().produce_block(SimTime::from_secs(5));
+        let update = rpc.client_update_data(SimTime::from_secs(5)).value.unwrap();
+        assert_eq!(update.header.height, 1);
+        assert_eq!(update.commit.height, 1);
+    }
+}

@@ -1,0 +1,423 @@
+//! Metric recorders used by the analysis pipeline.
+//!
+//! The paper reports throughput distributions over 20 executions (violin
+//! plots with medians and quartiles), per-step latency breakdowns and time
+//! series of completion percentages. The types here provide the primitive
+//! statistics those reports are built from.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// A monotonically increasing named counter.
+///
+/// # Example
+///
+/// ```rust
+/// use xcc_sim::metrics::Counter;
+///
+/// let mut c = Counter::new("transfers_completed");
+/// c.inc();
+/// c.add(9);
+/// assert_eq!(c.value(), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Counter {
+    name: String,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a counter starting at zero.
+    pub fn new(name: impl Into<String>) -> Self {
+        Counter { name: name.into(), value: 0 }
+    }
+
+    /// The counter's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Increments by one.
+    pub fn inc(&mut self) {
+        self.value += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value = self.value.saturating_add(n);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.name, self.value)
+    }
+}
+
+/// Summary statistics over a set of floating-point samples.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean, or 0 when empty.
+    pub mean: f64,
+    /// Population standard deviation, or 0 when empty.
+    pub std_dev: f64,
+    /// Minimum sample, or 0 when empty.
+    pub min: f64,
+    /// Maximum sample, or 0 when empty.
+    pub max: f64,
+    /// Median (50th percentile), or 0 when empty.
+    pub median: f64,
+    /// Lower quartile (25th percentile), or 0 when empty.
+    pub lower_quartile: f64,
+    /// Upper quartile (75th percentile), or 0 when empty.
+    pub upper_quartile: f64,
+}
+
+impl Summary {
+    /// An all-zero summary for an empty sample set.
+    pub fn empty() -> Self {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            std_dev: 0.0,
+            min: 0.0,
+            max: 0.0,
+            median: 0.0,
+            lower_quartile: 0.0,
+            upper_quartile: 0.0,
+        }
+    }
+}
+
+/// A collection of floating-point samples with quantile queries.
+///
+/// Used for the per-input-rate throughput distributions of Figs. 6, 8 and 9
+/// (each violin in the paper is one `Histogram` of 20 executions).
+///
+/// # Example
+///
+/// ```rust
+/// use xcc_sim::metrics::Histogram;
+///
+/// let mut h = Histogram::new("throughput_tfps");
+/// for v in [10.0, 20.0, 30.0, 40.0] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.summary().median, 25.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    name: String,
+    samples: Vec<f64>,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new(name: impl Into<String>) -> Self {
+        Histogram { name: name.into(), samples: Vec::new() }
+    }
+
+    /// The histogram's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records one sample. Non-finite samples are ignored.
+    pub fn record(&mut self, value: f64) {
+        if value.is_finite() {
+            self.samples.push(value);
+        }
+    }
+
+    /// Records a duration sample in seconds.
+    pub fn record_duration(&mut self, value: SimDuration) {
+        self.record(value.as_secs_f64());
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The recorded samples in insertion order.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Linear-interpolation percentile, `p` in `[0, 100]`.
+    ///
+    /// Returns 0 for an empty histogram.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples are finite"));
+        let p = p.clamp(0.0, 100.0);
+        let rank = p / 100.0 * (sorted.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        if lo == hi {
+            sorted[lo]
+        } else {
+            let frac = rank - lo as f64;
+            sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+        }
+    }
+
+    /// Full summary statistics of the recorded samples.
+    pub fn summary(&self) -> Summary {
+        if self.samples.is_empty() {
+            return Summary::empty();
+        }
+        let n = self.samples.len() as f64;
+        let mean = self.samples.iter().sum::<f64>() / n;
+        let var = self.samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        let min = self.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = self.samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        Summary {
+            count: self.samples.len(),
+            mean,
+            std_dev: var.sqrt(),
+            min,
+            max,
+            median: self.percentile(50.0),
+            lower_quartile: self.percentile(25.0),
+            upper_quartile: self.percentile(75.0),
+        }
+    }
+}
+
+/// A time series of `(time, value)` points, e.g. the completion percentage
+/// curves of Figs. 12 and 13.
+///
+/// # Example
+///
+/// ```rust
+/// use xcc_sim::metrics::TimeSeries;
+/// use xcc_sim::SimTime;
+///
+/// let mut ts = TimeSeries::new("completed_pct");
+/// ts.push(SimTime::from_secs(10), 50.0);
+/// ts.push(SimTime::from_secs(20), 100.0);
+/// assert_eq!(ts.value_at(SimTime::from_secs(15)), Some(50.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    name: String,
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries { name: name.into(), points: Vec::new() }
+    }
+
+    /// The series' name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends a point. Points must be pushed in non-decreasing time order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` precedes the previously pushed point.
+    pub fn push(&mut self, time: SimTime, value: f64) {
+        if let Some((last, _)) = self.points.last() {
+            assert!(time >= *last, "time series points must be pushed in order");
+        }
+        self.points.push((time, value));
+    }
+
+    /// The raw points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when the series has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The last value at or before `time` (step interpolation), if any.
+    pub fn value_at(&self, time: SimTime) -> Option<f64> {
+        self.points
+            .iter()
+            .take_while(|(t, _)| *t <= time)
+            .last()
+            .map(|(_, v)| *v)
+    }
+
+    /// The earliest time at which the series reaches `threshold` or more.
+    pub fn first_time_at_least(&self, threshold: f64) -> Option<SimTime> {
+        self.points
+            .iter()
+            .find(|(_, v)| *v >= threshold)
+            .map(|(t, _)| *t)
+    }
+
+    /// The final value of the series, if any.
+    pub fn last_value(&self) -> Option<f64> {
+        self.points.last().map(|(_, v)| *v)
+    }
+}
+
+/// A registry grouping named histograms and counters for one experiment run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, Counter>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (creating on first use) the counter named `name`.
+    pub fn counter(&mut self, name: &str) -> &mut Counter {
+        self.counters
+            .entry(name.to_string())
+            .or_insert_with(|| Counter::new(name))
+    }
+
+    /// Returns (creating on first use) the histogram named `name`.
+    pub fn histogram(&mut self, name: &str) -> &mut Histogram {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(name))
+    }
+
+    /// Read-only access to a counter's value, 0 when absent.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).map(Counter::value).unwrap_or(0)
+    }
+
+    /// Read-only access to a histogram, if present.
+    pub fn get_histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates over all counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = &Counter> {
+        self.counters.values()
+    }
+
+    /// Iterates over all histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = &Histogram> {
+        self.histograms.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new("x");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.value(), 5);
+        assert_eq!(c.to_string(), "x=5");
+    }
+
+    #[test]
+    fn histogram_summary_matches_hand_computation() {
+        let mut h = Histogram::new("t");
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            h.record(v);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 8);
+        assert!((s.mean - 5.0).abs() < 1e-9);
+        assert!((s.std_dev - 2.0).abs() < 1e-9);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+    }
+
+    #[test]
+    fn histogram_percentiles_interpolate() {
+        let mut h = Histogram::new("t");
+        for v in [10.0, 20.0, 30.0, 40.0] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), 10.0);
+        assert_eq!(h.percentile(100.0), 40.0);
+        assert_eq!(h.percentile(50.0), 25.0);
+        assert_eq!(h.summary().lower_quartile, 17.5);
+    }
+
+    #[test]
+    fn histogram_ignores_non_finite() {
+        let mut h = Histogram::new("t");
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(1.0);
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn empty_histogram_summary_is_zero() {
+        let h = Histogram::new("t");
+        assert_eq!(h.summary(), Summary::empty());
+        assert_eq!(h.percentile(50.0), 0.0);
+    }
+
+    #[test]
+    fn time_series_step_lookup() {
+        let mut ts = TimeSeries::new("pct");
+        ts.push(SimTime::from_secs(5), 10.0);
+        ts.push(SimTime::from_secs(10), 60.0);
+        ts.push(SimTime::from_secs(20), 100.0);
+        assert_eq!(ts.value_at(SimTime::from_secs(1)), None);
+        assert_eq!(ts.value_at(SimTime::from_secs(7)), Some(10.0));
+        assert_eq!(ts.value_at(SimTime::from_secs(30)), Some(100.0));
+        assert_eq!(ts.first_time_at_least(50.0), Some(SimTime::from_secs(10)));
+        assert_eq!(ts.last_value(), Some(100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "pushed in order")]
+    fn time_series_rejects_unordered_points() {
+        let mut ts = TimeSeries::new("pct");
+        ts.push(SimTime::from_secs(10), 1.0);
+        ts.push(SimTime::from_secs(5), 2.0);
+    }
+
+    #[test]
+    fn registry_creates_on_demand() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("a").inc();
+        reg.histogram("h").record(3.0);
+        assert_eq!(reg.counter_value("a"), 1);
+        assert_eq!(reg.counter_value("missing"), 0);
+        assert_eq!(reg.get_histogram("h").unwrap().len(), 1);
+        assert_eq!(reg.counters().count(), 1);
+        assert_eq!(reg.histograms().count(), 1);
+    }
+}

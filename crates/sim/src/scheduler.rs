@@ -1,0 +1,224 @@
+//! Deterministic event scheduler.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// A pending event in the scheduler's queue.
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        // Ties are broken by insertion sequence for full determinism.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event scheduler.
+///
+/// Events are popped in non-decreasing time order; events scheduled for the
+/// same instant are delivered in insertion order, which makes simulation runs
+/// bit-for-bit reproducible for a given seed and workload.
+///
+/// The scheduler also tracks the current simulation time: popping an event
+/// advances the clock to that event's timestamp.
+///
+/// # Example
+///
+/// ```rust
+/// use xcc_sim::{Scheduler, SimDuration};
+///
+/// let mut sched = Scheduler::new();
+/// sched.schedule_in(SimDuration::from_secs(2), "second");
+/// sched.schedule_in(SimDuration::from_secs(1), "first");
+/// assert_eq!(sched.pop().unwrap().1, "first");
+/// assert_eq!(sched.now().as_secs_f64(), 1.0);
+/// ```
+pub struct Scheduler<E> {
+    queue: BinaryHeap<Scheduled<E>>,
+    now: SimTime,
+    next_seq: u64,
+    popped: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Scheduler {
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_seq: 0,
+            popped: 0,
+        }
+    }
+
+    /// The current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Total number of events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedules `payload` for delivery at the absolute instant `time`.
+    ///
+    /// Scheduling an event in the past is clamped to the current time; the
+    /// event will be delivered on the next pop.
+    pub fn schedule_at(&mut self, time: SimTime, payload: E) {
+        let time = time.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Scheduled { time, seq, payload });
+    }
+
+    /// Schedules `payload` for delivery `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, payload: E) {
+        self.schedule_at(self.now + delay, payload);
+    }
+
+    /// Removes and returns the next event, advancing the clock to its
+    /// timestamp. Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let ev = self.queue.pop()?;
+        debug_assert!(ev.time >= self.now, "scheduler time went backwards");
+        self.now = ev.time;
+        self.popped += 1;
+        Some((ev.time, ev.payload))
+    }
+
+    /// Returns the timestamp of the next pending event without removing it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.queue.peek().map(|e| e.time)
+    }
+
+    /// Drops every pending event, leaving the clock untouched.
+    pub fn clear(&mut self) {
+        self.queue.clear();
+    }
+}
+
+impl<E> std::fmt::Debug for Scheduler<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("delivered", &self.popped)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(3), 3u32);
+        s.schedule_at(SimTime::from_secs(1), 1u32);
+        s.schedule_at(SimTime::from_secs(2), 2u32);
+        let order: Vec<u32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_in_insertion_order() {
+        let mut s = Scheduler::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100u32 {
+            s.schedule_at(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut s = Scheduler::new();
+        s.schedule_in(SimDuration::from_secs(5), ());
+        assert_eq!(s.now(), SimTime::ZERO);
+        s.pop().unwrap();
+        assert_eq!(s.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn past_events_are_clamped_to_now() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(10), "later");
+        s.pop().unwrap();
+        // Scheduling before `now` must not rewind the clock.
+        s.schedule_at(SimTime::from_secs(1), "past");
+        let (t, e) = s.pop().unwrap();
+        assert_eq!(e, "past");
+        assert_eq!(t, SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut s = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(2), ());
+        assert_eq!(s.peek_time(), Some(SimTime::from_secs(2)));
+        assert_eq!(s.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn delivered_counts_pops() {
+        let mut s = Scheduler::new();
+        for i in 0..10u64 {
+            s.schedule_at(SimTime::from_secs(i), i);
+        }
+        while s.pop().is_some() {}
+        assert_eq!(s.delivered(), 10);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut s = Scheduler::new();
+        s.schedule_in(SimDuration::from_secs(1), ());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.pop(), None);
+    }
+}

@@ -1,0 +1,364 @@
+//! The transaction mempool.
+//!
+//! Transactions accepted by `CheckTx` wait here until a proposer reaps them
+//! into a block. The mempool is FIFO and bounded both in transaction count
+//! and in total bytes; when full, new submissions are rejected — which is one
+//! of the failure modes behind the submission drop-off at very high input
+//! rates in Table I of the paper.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use crate::block::RawTx;
+use crate::hash::Hash;
+use xcc_sim::SimTime;
+
+/// Configuration limits for the mempool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MempoolConfig {
+    /// Maximum number of transactions held at once (Tendermint default 5000).
+    pub max_txs: usize,
+    /// Maximum total bytes held at once.
+    pub max_total_bytes: usize,
+}
+
+impl Default for MempoolConfig {
+    fn default() -> Self {
+        MempoolConfig {
+            max_txs: 5_000,
+            max_total_bytes: 1024 * 1024 * 1024,
+        }
+    }
+}
+
+/// A transaction waiting in the mempool, together with its `CheckTx`
+/// metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PendingTx {
+    /// The raw transaction.
+    pub tx: RawTx,
+    /// The transaction hash.
+    pub hash: Hash,
+    /// Gas requested by the transaction.
+    pub gas_wanted: u64,
+    /// The fee-paying account.
+    pub sender: String,
+    /// The account sequence number carried by the transaction.
+    pub sequence: u64,
+    /// When the transaction entered the mempool.
+    pub received_at: SimTime,
+}
+
+/// Why a transaction was refused admission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MempoolError {
+    /// The mempool already holds `max_txs` transactions.
+    Full {
+        /// The configured limit that was hit.
+        max_txs: usize,
+    },
+    /// Admitting the transaction would exceed the byte limit.
+    TooManyBytes {
+        /// The configured byte limit.
+        max_total_bytes: usize,
+    },
+    /// The identical transaction is already pending.
+    AlreadyPending,
+}
+
+impl std::fmt::Display for MempoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MempoolError::Full { max_txs } => write!(f, "mempool is full ({max_txs} txs)"),
+            MempoolError::TooManyBytes { max_total_bytes } => {
+                write!(f, "mempool byte limit reached ({max_total_bytes} bytes)")
+            }
+            MempoolError::AlreadyPending => write!(f, "tx already exists in cache"),
+        }
+    }
+}
+
+impl std::error::Error for MempoolError {}
+
+/// A FIFO, bounded transaction mempool.
+///
+/// # Example
+///
+/// ```rust
+/// use xcc_tendermint::block::RawTx;
+/// use xcc_tendermint::mempool::{Mempool, MempoolConfig, PendingTx};
+/// use xcc_sim::SimTime;
+///
+/// let mut pool = Mempool::new(MempoolConfig::default());
+/// let tx = RawTx::new(b"tx".to_vec());
+/// pool.add(PendingTx {
+///     hash: tx.hash(),
+///     tx,
+///     gas_wanted: 100,
+///     sender: "alice".into(),
+///     sequence: 0,
+///     received_at: SimTime::ZERO,
+/// }).unwrap();
+/// assert_eq!(pool.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mempool {
+    config: MempoolConfig,
+    queue: VecDeque<PendingTx>,
+    hashes: HashSet<Hash>,
+    total_bytes: usize,
+    rejected_full: u64,
+}
+
+impl Mempool {
+    /// Creates an empty mempool with the given limits.
+    pub fn new(config: MempoolConfig) -> Self {
+        Mempool {
+            config,
+            queue: VecDeque::new(),
+            hashes: HashSet::new(),
+            total_bytes: 0,
+            rejected_full: 0,
+        }
+    }
+
+    /// The configured limits.
+    pub fn config(&self) -> &MempoolConfig {
+        &self.config
+    }
+
+    /// Number of pending transactions.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` when no transactions are pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Total bytes of pending transactions.
+    pub fn total_bytes(&self) -> usize {
+        self.total_bytes
+    }
+
+    /// How many submissions were rejected because the pool was full.
+    pub fn rejected_full(&self) -> u64 {
+        self.rejected_full
+    }
+
+    /// Whether a transaction with this hash is pending.
+    pub fn contains(&self, hash: &Hash) -> bool {
+        self.hashes.contains(hash)
+    }
+
+    /// Adds a checked transaction to the pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the pool is full, the byte limit would be
+    /// exceeded, or the transaction is already pending.
+    pub fn add(&mut self, tx: PendingTx) -> Result<(), MempoolError> {
+        if self.hashes.contains(&tx.hash) {
+            return Err(MempoolError::AlreadyPending);
+        }
+        if self.queue.len() >= self.config.max_txs {
+            self.rejected_full += 1;
+            return Err(MempoolError::Full { max_txs: self.config.max_txs });
+        }
+        if self.total_bytes + tx.tx.len() > self.config.max_total_bytes {
+            self.rejected_full += 1;
+            return Err(MempoolError::TooManyBytes {
+                max_total_bytes: self.config.max_total_bytes,
+            });
+        }
+        self.total_bytes += tx.tx.len();
+        self.hashes.insert(tx.hash);
+        self.queue.push_back(tx);
+        Ok(())
+    }
+
+    /// Selects transactions for the next block proposal, in FIFO order, up to
+    /// the given gas, byte and count limits (0 for `max_txs` means no count
+    /// limit). The selected transactions stay in the pool until
+    /// [`Mempool::remove_committed`] is called.
+    pub fn reap(&self, max_gas: u64, max_bytes: usize, max_txs: usize) -> Vec<PendingTx> {
+        self.reap_before(max_gas, max_bytes, max_txs, SimTime::MAX)
+    }
+
+    /// Like [`Mempool::reap`], but only considers transactions received at or
+    /// before `not_after`. The simulation driver uses this so a transaction
+    /// broadcast at a later virtual time can never appear in an earlier
+    /// block.
+    pub fn reap_before(
+        &self,
+        max_gas: u64,
+        max_bytes: usize,
+        max_txs: usize,
+        not_after: SimTime,
+    ) -> Vec<PendingTx> {
+        let mut selected = Vec::new();
+        let mut gas = 0u64;
+        let mut bytes = 0usize;
+        for tx in &self.queue {
+            if tx.received_at > not_after {
+                // Not visible to this proposal yet.
+                continue;
+            }
+            if max_txs != 0 && selected.len() >= max_txs {
+                break;
+            }
+            if gas + tx.gas_wanted > max_gas || bytes + tx.tx.len() > max_bytes {
+                // FIFO semantics: stop at the first transaction that does not
+                // fit, like Tendermint's proposer.
+                break;
+            }
+            gas += tx.gas_wanted;
+            bytes += tx.tx.len();
+            selected.push(tx.clone());
+        }
+        selected
+    }
+
+    /// Removes transactions that were committed in a block.
+    pub fn remove_committed(&mut self, hashes: &[Hash]) {
+        let committed: HashSet<&Hash> = hashes.iter().collect();
+        let mut removed_bytes = 0usize;
+        self.queue.retain(|tx| {
+            if committed.contains(&tx.hash) {
+                removed_bytes += tx.tx.len();
+                false
+            } else {
+                true
+            }
+        });
+        for h in hashes {
+            self.hashes.remove(h);
+        }
+        self.total_bytes -= removed_bytes;
+    }
+
+    /// Pending transaction counts per sender, useful for diagnosing
+    /// account-sequence congestion.
+    pub fn pending_by_sender(&self) -> HashMap<String, usize> {
+        let mut by_sender = HashMap::new();
+        for tx in &self.queue {
+            *by_sender.entry(tx.sender.clone()).or_insert(0) += 1;
+        }
+        by_sender
+    }
+
+    /// Iterates over pending transactions in FIFO order.
+    pub fn iter(&self) -> impl Iterator<Item = &PendingTx> {
+        self.queue.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(id: u8, size: usize, gas: u64, sender: &str) -> PendingTx {
+        let mut bytes = vec![id];
+        bytes.resize(size.max(1), 0);
+        let raw = RawTx::new(bytes);
+        PendingTx {
+            hash: raw.hash(),
+            tx: raw,
+            gas_wanted: gas,
+            sender: sender.to_string(),
+            sequence: 0,
+            received_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn add_and_reap_fifo_order() {
+        let mut pool = Mempool::new(MempoolConfig::default());
+        for i in 0..5u8 {
+            pool.add(tx(i, 10, 100, "a")).unwrap();
+        }
+        let reaped = pool.reap(1_000, 1_000, 0);
+        assert_eq!(reaped.len(), 5);
+        assert_eq!(reaped[0].tx.as_bytes()[0], 0);
+        assert_eq!(reaped[4].tx.as_bytes()[0], 4);
+        // Reaping does not remove.
+        assert_eq!(pool.len(), 5);
+    }
+
+    #[test]
+    fn reap_respects_gas_limit() {
+        let mut pool = Mempool::new(MempoolConfig::default());
+        for i in 0..10u8 {
+            pool.add(tx(i, 10, 100, "a")).unwrap();
+        }
+        let reaped = pool.reap(350, 100_000, 0);
+        assert_eq!(reaped.len(), 3);
+    }
+
+    #[test]
+    fn reap_respects_byte_limit_and_count_limit() {
+        let mut pool = Mempool::new(MempoolConfig::default());
+        for i in 0..10u8 {
+            pool.add(tx(i, 100, 1, "a")).unwrap();
+        }
+        assert_eq!(pool.reap(1_000_000, 250, 0).len(), 2);
+        assert_eq!(pool.reap(1_000_000, 1_000_000, 4).len(), 4);
+    }
+
+    #[test]
+    fn duplicate_txs_are_rejected() {
+        let mut pool = Mempool::new(MempoolConfig::default());
+        let t = tx(1, 10, 1, "a");
+        pool.add(t.clone()).unwrap();
+        assert_eq!(pool.add(t), Err(MempoolError::AlreadyPending));
+    }
+
+    #[test]
+    fn capacity_limits_are_enforced() {
+        let mut pool = Mempool::new(MempoolConfig { max_txs: 2, max_total_bytes: 1_000 });
+        pool.add(tx(1, 10, 1, "a")).unwrap();
+        pool.add(tx(2, 10, 1, "a")).unwrap();
+        assert!(matches!(pool.add(tx(3, 10, 1, "a")), Err(MempoolError::Full { .. })));
+        assert_eq!(pool.rejected_full(), 1);
+
+        let mut pool = Mempool::new(MempoolConfig { max_txs: 100, max_total_bytes: 25 });
+        pool.add(tx(1, 20, 1, "a")).unwrap();
+        assert!(matches!(
+            pool.add(tx(2, 20, 1, "a")),
+            Err(MempoolError::TooManyBytes { .. })
+        ));
+    }
+
+    #[test]
+    fn remove_committed_updates_bookkeeping() {
+        let mut pool = Mempool::new(MempoolConfig::default());
+        let a = tx(1, 10, 1, "a");
+        let b = tx(2, 10, 1, "b");
+        pool.add(a.clone()).unwrap();
+        pool.add(b.clone()).unwrap();
+        pool.remove_committed(&[a.hash]);
+        assert_eq!(pool.len(), 1);
+        assert!(!pool.contains(&a.hash));
+        assert!(pool.contains(&b.hash));
+        assert_eq!(pool.total_bytes(), b.tx.len());
+    }
+
+    #[test]
+    fn pending_by_sender_counts() {
+        let mut pool = Mempool::new(MempoolConfig::default());
+        pool.add(tx(1, 10, 1, "alice")).unwrap();
+        pool.add(tx(2, 10, 1, "alice")).unwrap();
+        pool.add(tx(3, 10, 1, "bob")).unwrap();
+        let by_sender = pool.pending_by_sender();
+        assert_eq!(by_sender["alice"], 2);
+        assert_eq!(by_sender["bob"], 1);
+    }
+
+    #[test]
+    fn error_display_messages() {
+        assert!(MempoolError::Full { max_txs: 5 }.to_string().contains("full"));
+        assert!(MempoolError::AlreadyPending.to_string().contains("already exists"));
+    }
+}

@@ -1,0 +1,232 @@
+//! Merkle tree over byte strings, as used for the `DataHash` of a block and
+//! for simple store commitment proofs.
+//!
+//! The construction follows the RFC 6962 style used by Tendermint: leaves are
+//! prefixed with `0x00` and inner nodes with `0x01` before hashing, and an
+//! unbalanced tree splits at the largest power of two smaller than the number
+//! of leaves.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hash::{sha256, Hash, Sha256};
+
+const LEAF_PREFIX: u8 = 0x00;
+const INNER_PREFIX: u8 = 0x01;
+
+fn leaf_hash(data: &[u8]) -> Hash {
+    let mut h = Sha256::new();
+    h.update(&[LEAF_PREFIX]);
+    h.update(data);
+    h.finalize()
+}
+
+fn inner_hash(left: &Hash, right: &Hash) -> Hash {
+    let mut h = Sha256::new();
+    h.update(&[INNER_PREFIX]);
+    h.update(left.as_bytes());
+    h.update(right.as_bytes());
+    h.finalize()
+}
+
+/// The largest power of two strictly less than `n` (for `n >= 2`).
+fn split_point(n: usize) -> usize {
+    debug_assert!(n >= 2);
+    let mut k = 1usize;
+    while k * 2 < n {
+        k *= 2;
+    }
+    k
+}
+
+/// Computes the Merkle root of a list of byte strings.
+///
+/// The root of an empty list is the hash of the empty string, matching
+/// Tendermint's convention.
+///
+/// # Example
+///
+/// ```rust
+/// use xcc_tendermint::merkle::simple_root;
+///
+/// let txs: Vec<Vec<u8>> = vec![b"tx1".to_vec(), b"tx2".to_vec()];
+/// let root = simple_root(txs.iter().map(|t| t.as_slice()));
+/// assert!(!root.is_zero());
+/// ```
+pub fn simple_root<'a, I>(leaves: I) -> Hash
+where
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    let hashed: Vec<Hash> = leaves.into_iter().map(leaf_hash).collect();
+    root_of(&hashed)
+}
+
+fn root_of(leaves: &[Hash]) -> Hash {
+    match leaves.len() {
+        0 => sha256(b""),
+        1 => leaves[0],
+        n => {
+            let k = split_point(n);
+            let left = root_of(&leaves[..k]);
+            let right = root_of(&leaves[k..]);
+            inner_hash(&left, &right)
+        }
+    }
+}
+
+/// A Merkle inclusion proof for a single leaf.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MerkleProof {
+    /// Index of the proven leaf.
+    pub index: usize,
+    /// Total number of leaves in the tree.
+    pub total: usize,
+    /// Sibling hashes from the leaf to the root.
+    pub siblings: Vec<Hash>,
+}
+
+impl MerkleProof {
+    /// Verifies that `leaf_data` at `self.index` is included in the tree with
+    /// the given `root`.
+    pub fn verify(&self, root: &Hash, leaf_data: &[u8]) -> bool {
+        if self.index >= self.total {
+            return false;
+        }
+        let computed = self.compute_root(leaf_hash(leaf_data), self.index, self.total, 0);
+        match computed {
+            Some((h, used)) if used == self.siblings.len() => &h == root,
+            _ => false,
+        }
+    }
+
+    /// Recomputes the root from the leaf, consuming siblings bottom-up.
+    fn compute_root(&self, leaf: Hash, index: usize, total: usize, used: usize) -> Option<(Hash, usize)> {
+        match total {
+            0 => None,
+            1 => Some((leaf, used)),
+            _ => {
+                let k = split_point(total);
+                if index < k {
+                    let (left, used) = self.compute_root(leaf, index, k, used)?;
+                    let right = *self.siblings.get(used)?;
+                    Some((inner_hash(&left, &right), used + 1))
+                } else {
+                    let (right, used) = self.compute_root(leaf, index - k, total - k, used)?;
+                    let left = *self.siblings.get(used)?;
+                    Some((inner_hash(&left, &right), used + 1))
+                }
+            }
+        }
+    }
+}
+
+/// Builds the root and an inclusion proof for the leaf at `index`.
+///
+/// Returns `None` if `index` is out of range.
+pub fn prove<'a, I>(leaves: I, index: usize) -> Option<(Hash, MerkleProof)>
+where
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    let hashed: Vec<Hash> = leaves.into_iter().map(leaf_hash).collect();
+    if index >= hashed.len() {
+        return None;
+    }
+    let mut siblings = Vec::new();
+    let root = build_proof(&hashed, index, &mut siblings);
+    Some((
+        root,
+        MerkleProof {
+            index,
+            total: hashed.len(),
+            siblings,
+        },
+    ))
+}
+
+fn build_proof(leaves: &[Hash], index: usize, siblings: &mut Vec<Hash>) -> Hash {
+    match leaves.len() {
+        0 => sha256(b""),
+        1 => leaves[0],
+        n => {
+            let k = split_point(n);
+            if index < k {
+                let left = build_proof(&leaves[..k], index, siblings);
+                let right = root_of(&leaves[k..]);
+                siblings.push(right);
+                inner_hash(&left, &right)
+            } else {
+                let right = build_proof(&leaves[k..], index - k, siblings);
+                let left = root_of(&leaves[..k]);
+                siblings.push(left);
+                inner_hash(&left, &right)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("leaf-{i}").into_bytes()).collect()
+    }
+
+    #[test]
+    fn empty_root_is_empty_hash() {
+        assert_eq!(simple_root(std::iter::empty()), sha256(b""));
+    }
+
+    #[test]
+    fn single_leaf_root_is_leaf_hash() {
+        let root = simple_root([b"only".as_slice()]);
+        assert_eq!(root, leaf_hash(b"only"));
+    }
+
+    #[test]
+    fn root_changes_with_content_and_order() {
+        let a = simple_root([b"x".as_slice(), b"y".as_slice()]);
+        let b = simple_root([b"y".as_slice(), b"x".as_slice()]);
+        let c = simple_root([b"x".as_slice(), b"z".as_slice()]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn proofs_verify_for_all_indices_and_sizes() {
+        for n in 1..=17 {
+            let data = leaves(n);
+            let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+            let expected_root = simple_root(refs.iter().copied());
+            for i in 0..n {
+                let (root, proof) = prove(refs.iter().copied(), i).expect("valid index");
+                assert_eq!(root, expected_root, "root mismatch for n={n}");
+                assert!(proof.verify(&root, &data[i]), "proof failed for n={n}, i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn proof_rejects_wrong_leaf_and_root() {
+        let data = leaves(8);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let (root, proof) = prove(refs.iter().copied(), 3).unwrap();
+        assert!(!proof.verify(&root, b"tampered"));
+        assert!(!proof.verify(&sha256(b"other root"), &data[3]));
+    }
+
+    #[test]
+    fn proof_with_out_of_range_index_is_none() {
+        let data = leaves(4);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        assert!(prove(refs.iter().copied(), 4).is_none());
+    }
+
+    #[test]
+    fn proof_index_beyond_total_fails_verification() {
+        let data = leaves(4);
+        let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+        let (root, mut proof) = prove(refs.iter().copied(), 1).unwrap();
+        proof.index = 10;
+        assert!(!proof.verify(&root, &data[1]));
+    }
+}

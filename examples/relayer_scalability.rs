@@ -1,0 +1,24 @@
+//! Compares one relayer against two uncoordinated relayers serving the same
+//! channel (the paper's Figs. 8 and 9 observation that a second relayer
+//! *decreases* throughput).
+//!
+//! Run with: `cargo run --release --example relayer_scalability`
+
+use xcc_framework::scenarios::relayer_throughput;
+
+fn main() {
+    let rate = 60;
+    let blocks = 12;
+    for relayers in [1usize, 2] {
+        let result = relayer_throughput(rate, relayers, 200, blocks, 7);
+        println!(
+            "{} relayer(s): {:.1} TFPS, completed {}, partial {}, initiated {}, redundant msgs {}",
+            relayers,
+            result.throughput_tfps,
+            result.completed,
+            result.partial,
+            result.initiated,
+            result.redundant_packet_errors
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Demonstrates the RPC bottleneck directly: the same packet-data pull issued
+//! against blocks of growing size on the sequential Tendermint RPC endpoint.
+//!
+//! Run with: `cargo run --release --example rpc_bottleneck`
+
+use xcc_rpc::cost::{RequestKind, RequestProfile, RpcCostModel};
+
+fn main() {
+    let model = RpcCostModel::default();
+    println!("service time of one packet-data pull vs. IBC messages in the queried block:");
+    for msgs in [100usize, 500, 1_000, 2_000, 5_000] {
+        let transfer = model.service_time(&RequestProfile {
+            kind: RequestKind::PacketDataPull,
+            response_bytes: msgs * 600,
+            messages: msgs,
+            recv_heavy: false,
+        });
+        let recv = model.service_time(&RequestProfile {
+            kind: RequestKind::PacketDataPull,
+            response_bytes: msgs * 1_200,
+            messages: msgs,
+            recv_heavy: true,
+        });
+        println!(
+            "  block with {:>5} msgs: transfer pull {:>6.2} s, recv pull {:>6.2} s",
+            msgs,
+            transfer.as_secs_f64(),
+            recv.as_secs_f64()
+        );
+    }
+    println!();
+    println!(
+        "A 5,000-transfer batch needs 50 pulls of each kind; with sequential RPC \
+         processing this alone accounts for roughly 69% of the 455 s completion \
+         latency the paper reports (Fig. 12)."
+    );
+}

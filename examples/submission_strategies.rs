@@ -1,0 +1,19 @@
+//! Sweeps the transaction submission strategy of Fig. 13: the same number of
+//! transfers spread over 1 to 16 block windows, showing the completion
+//! latency minimum in the middle of the range.
+//!
+//! Run with: `cargo run --release --example submission_strategies`
+
+use xcc_framework::scenarios::latency_run;
+
+fn main() {
+    let transfers = 1_500;
+    println!("{transfers} transfers, 200 ms RTT");
+    for blocks in [1u64, 2, 4, 8, 16] {
+        let result = latency_run(transfers, blocks, 200, 11);
+        println!(
+            "  submitted over {:>2} block(s): completion latency {:>7.1} s",
+            blocks, result.completion_latency_secs
+        );
+    }
+}

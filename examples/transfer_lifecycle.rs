@@ -1,0 +1,18 @@
+//! Traces the 13-step life cycle of a batch of cross-chain transfers
+//! (the paper's Fig. 12 view, at a small scale).
+//!
+//! Run with: `cargo run --release --example transfer_lifecycle`
+
+use xcc_framework::scenarios::latency_run;
+
+fn main() {
+    let result = latency_run(500, 1, 200, 42);
+    println!("transfers:                {}", result.transfers);
+    println!("completion latency:       {:.1} s", result.completion_latency_secs);
+    println!("transfer phase (1-4):     {:.1} s", result.transfer_phase_secs);
+    println!("receive phase (5-9):      {:.1} s", result.recv_phase_secs);
+    println!("ack phase (10-13):        {:.1} s", result.ack_phase_secs);
+    println!("transfer data pull:       {:.1} s", result.transfer_pull_secs);
+    println!("recv data pull:           {:.1} s", result.recv_pull_secs);
+    println!("share of time in RPC data pulls: {:.0}%", result.data_pull_share * 100.0);
+}

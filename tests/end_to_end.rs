@@ -1,0 +1,133 @@
+//! Cross-crate integration tests: full cross-chain transfer life cycles
+//! driven through the public API of the umbrella crate.
+
+use ibc_perf_repro::framework::analysis;
+use ibc_perf_repro::framework::config::{DeploymentConfig, WorkloadConfig};
+use ibc_perf_repro::framework::runner::run_experiment;
+use ibc_perf_repro::framework::scenarios;
+use ibc_perf_repro::relayer::telemetry::TransferStep;
+
+fn small_deployment(relayers: usize, rtt_ms: u64) -> DeploymentConfig {
+    DeploymentConfig {
+        relayer_count: relayers,
+        network_rtt_ms: rtt_ms,
+        user_accounts: 4,
+        ..DeploymentConfig::default()
+    }
+}
+
+#[test]
+fn transfers_complete_end_to_end_and_preserve_token_supply() {
+    let workload = WorkloadConfig {
+        total_transfers: 250,
+        submission_blocks: 1,
+        measurement_blocks: 4,
+        run_to_completion: true,
+        completion_grace_blocks: 60,
+        ..WorkloadConfig::default()
+    };
+    let run = run_experiment(&small_deployment(1, 200), &workload);
+
+    assert_eq!(run.submission.submitted, 250);
+    assert_eq!(run.telemetry.count_for_step(TransferStep::AckConfirmation), 250);
+    let breakdown = analysis::completion_breakdown(&run);
+    assert_eq!(breakdown.completed, 250);
+    assert_eq!(breakdown.partial + breakdown.initiated + breakdown.not_committed, 0);
+
+    // Escrowed tokens on the source chain equal the vouchers minted on the
+    // destination chain (ICS-20 conservation).
+    let escrow = ibc_perf_repro::ibc::transfer::escrow_address(&run.path.port, &run.path.src_channel);
+    let escrowed = run.chain_a.borrow().app().bank().balance(&escrow.as_str().into(), "uatom");
+    let voucher = format!("transfer/{}/uatom", run.path.dst_channel);
+    let minted = run.chain_b.borrow().app().bank().total_supply(&voucher);
+    assert_eq!(escrowed, 250);
+    assert_eq!(minted, 250);
+}
+
+#[test]
+fn every_lifecycle_step_is_ordered_for_every_packet() {
+    let workload = WorkloadConfig {
+        total_transfers: 120,
+        submission_blocks: 2,
+        measurement_blocks: 4,
+        run_to_completion: true,
+        completion_grace_blocks: 60,
+        ..WorkloadConfig::default()
+    };
+    let run = run_experiment(&small_deployment(1, 0), &workload);
+    let mut fully_completed = 0usize;
+    for seq in run.telemetry.sequences() {
+        let mut previous = None;
+        let mut present = 0;
+        for step in TransferStep::ALL {
+            let Some(time) = run.telemetry.step_time(seq, step) else {
+                continue;
+            };
+            present += 1;
+            if let Some(prev) = previous {
+                assert!(time >= prev, "step {step:?} of packet {seq} went backwards");
+            }
+            previous = Some(time);
+        }
+        // Every observed packet progressed at least through the transfer
+        // phase and the receive broadcast (steps 1-6).
+        assert!(present >= 6, "packet {seq} only recorded {present} steps");
+        if present == TransferStep::ALL.len() {
+            fully_completed += 1;
+        }
+    }
+    // And the majority of the batch runs through all 13 steps.
+    assert!(
+        fully_completed * 2 >= run.telemetry.len(),
+        "only {fully_completed} of {} packets completed all steps",
+        run.telemetry.len()
+    );
+}
+
+#[test]
+fn two_relayers_cause_redundancy_and_lower_throughput_than_one() {
+    let one = scenarios::relayer_throughput(60, 1, 200, 10, 3);
+    let two = scenarios::relayer_throughput(60, 2, 200, 10, 3);
+    assert!(two.redundant_packet_errors > 0, "two relayers must produce redundant work");
+    assert!(
+        two.throughput_tfps <= one.throughput_tfps * 1.05,
+        "a second relayer must not improve throughput (one: {:.1}, two: {:.1})",
+        one.throughput_tfps,
+        two.throughput_tfps
+    );
+}
+
+#[test]
+fn deterministic_runs_for_equal_seeds() {
+    let a = scenarios::relayer_throughput(40, 1, 200, 6, 9);
+    let b = scenarios::relayer_throughput(40, 1, 200, 6, 9);
+    assert_eq!(a, b);
+    let c = scenarios::relayer_throughput(40, 1, 200, 6, 10);
+    // A different seed may legitimately produce the same aggregate numbers,
+    // but the run must at least be well-formed.
+    assert!(c.completed + c.partial + c.initiated + c.not_committed == 40 * 5 * 6);
+}
+
+#[test]
+fn splitting_a_large_batch_reduces_completion_latency() {
+    let single = scenarios::latency_run(1_000, 1, 200, 5);
+    let split = scenarios::latency_run(1_000, 4, 200, 5);
+    assert!(single.completion_latency_secs > 0.0);
+    assert!(
+        split.completion_latency_secs < single.completion_latency_secs,
+        "splitting submission must reduce latency (1 block: {:.0}s, 4 blocks: {:.0}s)",
+        single.completion_latency_secs,
+        split.completion_latency_secs
+    );
+    // The receive phase dominates the transfer and ack phases, as in Fig. 12.
+    assert!(single.recv_phase_secs > single.ack_phase_secs);
+}
+
+#[test]
+fn tendermint_throughput_saturates_with_input_rate() {
+    let low = scenarios::tendermint_throughput(40, 200, 2);
+    let high = scenarios::tendermint_throughput(400, 200, 2);
+    assert!(high.throughput_tfps > low.throughput_tfps);
+    // At low rates everything requested is committed.
+    assert_eq!(low.committed, low.requests_made);
+}
