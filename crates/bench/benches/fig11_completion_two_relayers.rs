@@ -1,20 +1,8 @@
-//! Fig. 11: transfer completion status within the measurement window,
-//! two relayers, 200 ms latency.
-
-use xcc_framework::scenarios::relayer_throughput;
+//! Fig. 11: transfer completion status within the measurement window, two relayers, 200 ms latency.
+//!
+//! Sweep mode and output format come from `XCC_FULL_SWEEP` / `XCC_OUTPUT`
+//! (see `xcc_framework::sweep`).
 
 fn main() {
-    let full = std::env::var("XCC_FULL_SWEEP").is_ok();
-    let rates: Vec<u64> = if full {
-        vec![20, 40, 60, 80, 100, 120, 140, 160, 180, 200, 220, 240, 260, 280, 300]
-    } else {
-        vec![20, 60, 100, 160, 240, 300]
-    };
-    let blocks = if full { 50 } else { 15 };
-    println!("Fig. 11 — completion status, two relayers, 200 ms ({} blocks)", blocks);
-    println!("{:>12} | {:>10} | {:>10} | {:>10} | {:>14}", "rate (rps)", "completed", "partial", "initiated", "not committed");
-    for rate in rates {
-        let r = relayer_throughput(rate, 2, 200, blocks, 42);
-        println!("{:>12} | {:>10} | {:>10} | {:>10} | {:>14}", rate, r.completed, r.partial, r.initiated, r.not_committed);
-    }
+    xcc_bench::run_and_print("fig11");
 }

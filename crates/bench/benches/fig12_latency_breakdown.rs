@@ -1,17 +1,8 @@
-//! Fig. 12: breakdown of the operations executed to process a large batch of
-//! cross-chain transfers submitted within one block.
-
-use xcc_framework::scenarios::latency_run;
+//! Fig. 12: breakdown of the operations executed to process a large batch of cross-chain transfers submitted within one block.
+//!
+//! Sweep mode and output format come from `XCC_FULL_SWEEP` / `XCC_OUTPUT`
+//! (see `xcc_framework::sweep`).
 
 fn main() {
-    let transfers: u64 = if std::env::var("XCC_FULL_SWEEP").is_ok() { 5_000 } else { 1_000 };
-    let r = latency_run(transfers, 1, 200, 42);
-    println!("Fig. 12 — latency breakdown for {} transfers submitted in one block", transfers);
-    println!("  completion latency:    {:>8.1} s   (paper, 5,000 transfers: 455 s)", r.completion_latency_secs);
-    println!("  transfer phase (1-4):  {:>8.1} s   (paper: 126 s / 27.6%)", r.transfer_phase_secs);
-    println!("  receive phase  (5-9):  {:>8.1} s   (paper: 261 s / 57.3%)", r.recv_phase_secs);
-    println!("  ack phase    (10-13):  {:>8.1} s   (paper:  68 s / 14.9%)", r.ack_phase_secs);
-    println!("  transfer data pull:    {:>8.1} s   (paper: 110 s / 24%)", r.transfer_pull_secs);
-    println!("  recv data pull:        {:>8.1} s   (paper: 207 s / 45%)", r.recv_pull_secs);
-    println!("  data-pull share:       {:>8.0} %   (paper: ~69%)", r.data_pull_share * 100.0);
+    xcc_bench::run_and_print("fig12");
 }

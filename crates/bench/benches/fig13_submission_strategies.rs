@@ -1,17 +1,8 @@
-//! Fig. 13: completion latency of a fixed batch of transfers under different
-//! submission strategies (spread over 1..64 block windows).
-
-use xcc_framework::scenarios::latency_run;
+//! Fig. 13: completion latency of a fixed batch of transfers under different submission strategies (spread over 1..64 block windows).
+//!
+//! Sweep mode and output format come from `XCC_FULL_SWEEP` / `XCC_OUTPUT`
+//! (see `xcc_framework::sweep`).
 
 fn main() {
-    let full = std::env::var("XCC_FULL_SWEEP").is_ok();
-    let transfers: u64 = if full { 5_000 } else { 1_500 };
-    let strategies: Vec<u64> = if full { vec![1, 2, 4, 8, 16, 32, 64] } else { vec![1, 2, 4, 8, 16, 32] };
-    println!("Fig. 13 — completion latency vs submission strategy ({} transfers)", transfers);
-    println!("{:>14} | {:>22}", "blocks", "completion latency (s)");
-    for blocks in strategies {
-        let r = latency_run(transfers, blocks, 200, 42);
-        println!("{:>14} | {:>22.1}", blocks, r.completion_latency_secs);
-    }
-    println!("(paper, 5,000 transfers: 455 / 286 / 219 / 143 / 138 / 240 / 441 s for 1..64 blocks)");
+    xcc_bench::run_and_print("fig13");
 }

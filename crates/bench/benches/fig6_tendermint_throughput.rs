@@ -1,21 +1,8 @@
 //! Fig. 6: throughput achieved by the Tendermint blockchain vs input rate.
-
-use xcc_framework::scenarios::tendermint_throughput;
+//!
+//! Sweep mode and output format come from `XCC_FULL_SWEEP` / `XCC_OUTPUT`
+//! (see `xcc_framework::sweep`).
 
 fn main() {
-    let full = std::env::var("XCC_FULL_SWEEP").is_ok();
-    let rates: Vec<u64> = if full {
-        vec![250, 500, 750, 1_000, 2_000, 3_000, 4_000, 5_000, 6_000, 7_000, 8_000, 9_000, 10_000, 11_000, 12_000, 13_000]
-    } else {
-        vec![250, 500, 1_000, 2_000, 3_000, 5_000, 9_000, 13_000]
-    };
-    let seeds: Vec<u64> = if full { (0..20).collect() } else { vec![1, 2, 3] };
-    println!("Fig. 6 — Tendermint throughput (TFPS) vs input rate, {} seeds per rate", seeds.len());
-    println!("{:>12} | {:>10} | {:>10} | {:>10}", "rate (rps)", "median", "min", "max");
-    for rate in rates {
-        let mut samples: Vec<f64> = seeds.iter().map(|s| tendermint_throughput(rate, 200, *s).throughput_tfps).collect();
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let median = samples[samples.len() / 2];
-        println!("{:>12} | {:>10.0} | {:>10.0} | {:>10.0}", rate, median, samples[0], samples[samples.len() - 1]);
-    }
+    xcc_bench::run_and_print("fig6");
 }

@@ -1,18 +1,8 @@
 //! Fig. 7: average block interval vs cross-chain transfer input rate.
-
-use xcc_framework::scenarios::tendermint_throughput;
+//!
+//! Sweep mode and output format come from `XCC_FULL_SWEEP` / `XCC_OUTPUT`
+//! (see `xcc_framework::sweep`).
 
 fn main() {
-    let full = std::env::var("XCC_FULL_SWEEP").is_ok();
-    let rates: Vec<u64> = if full {
-        vec![250, 500, 750, 1_000, 2_000, 3_000, 4_000, 5_000, 6_000, 7_000, 8_000, 9_000, 10_000, 11_000, 12_000, 13_000]
-    } else {
-        vec![250, 1_000, 3_000, 6_000, 9_000, 13_000]
-    };
-    println!("Fig. 7 — average block interval vs input rate");
-    println!("{:>12} | {:>16}", "rate (rps)", "interval (s)");
-    for rate in rates {
-        let r = tendermint_throughput(rate, 200, 42);
-        println!("{:>12} | {:>16.1}", rate, r.avg_block_interval_secs);
-    }
+    xcc_bench::run_and_print("fig7");
 }

@@ -1,21 +1,8 @@
-//! Fig. 8: cross-chain transfer throughput with one Hermes relayer,
-//! at 0 ms and 200 ms network latency.
-
-use xcc_framework::scenarios::relayer_throughput;
+//! Fig. 8: cross-chain transfer throughput with one Hermes relayer, at 0 ms and 200 ms network latency.
+//!
+//! Sweep mode and output format come from `XCC_FULL_SWEEP` / `XCC_OUTPUT`
+//! (see `xcc_framework::sweep`).
 
 fn main() {
-    let full = std::env::var("XCC_FULL_SWEEP").is_ok();
-    let rates: Vec<u64> = if full {
-        vec![20, 40, 60, 80, 100, 120, 140, 160, 180, 200, 220, 240, 260, 280, 300]
-    } else {
-        vec![20, 60, 100, 140, 200, 300]
-    };
-    let blocks = if full { 50 } else { 15 };
-    println!("Fig. 8 — throughput with one relayer ({} source blocks)", blocks);
-    println!("{:>12} | {:>14} | {:>14}", "rate (rps)", "0 ms (TFPS)", "200 ms (TFPS)");
-    for rate in rates {
-        let lan = relayer_throughput(rate, 1, 0, blocks, 42);
-        let wan = relayer_throughput(rate, 1, 200, blocks, 42);
-        println!("{:>12} | {:>14.1} | {:>14.1}", rate, lan.throughput_tfps, wan.throughput_tfps);
-    }
+    xcc_bench::run_and_print("fig8");
 }

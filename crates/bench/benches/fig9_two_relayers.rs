@@ -1,21 +1,8 @@
-//! Fig. 9: cross-chain transfer throughput with two relayers serving a
-//! single channel (uncoordinated redundancy).
-
-use xcc_framework::scenarios::relayer_throughput;
+//! Fig. 9: cross-chain transfer throughput with two relayers serving a single channel (uncoordinated redundancy).
+//!
+//! Sweep mode and output format come from `XCC_FULL_SWEEP` / `XCC_OUTPUT`
+//! (see `xcc_framework::sweep`).
 
 fn main() {
-    let full = std::env::var("XCC_FULL_SWEEP").is_ok();
-    let rates: Vec<u64> = if full {
-        vec![20, 40, 60, 80, 100, 120, 140, 160, 180, 200, 220, 240, 260, 280, 300]
-    } else {
-        vec![20, 60, 100, 160, 240, 300]
-    };
-    let blocks = if full { 50 } else { 15 };
-    println!("Fig. 9 — throughput with two relayers ({} source blocks)", blocks);
-    println!("{:>12} | {:>14} | {:>14} | {:>16}", "rate (rps)", "0 ms (TFPS)", "200 ms (TFPS)", "redundant msgs");
-    for rate in rates {
-        let lan = relayer_throughput(rate, 2, 0, blocks, 42);
-        let wan = relayer_throughput(rate, 2, 200, blocks, 42);
-        println!("{:>12} | {:>14.1} | {:>14.1} | {:>16}", rate, lan.throughput_tfps, wan.throughput_tfps, wan.redundant_packet_errors);
-    }
+    xcc_bench::run_and_print("fig9");
 }

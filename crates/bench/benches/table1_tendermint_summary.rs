@@ -1,26 +1,8 @@
 //! Table I: execution summary for the Tendermint throughput experiments.
-//! Prints requests made / submitted / committed per input rate.
-
-use xcc_framework::scenarios::tendermint_throughput;
-
-fn rates() -> Vec<u64> {
-    if std::env::var("XCC_FULL_SWEEP").is_ok() {
-        vec![250, 1_000, 3_000, 6_000, 9_000, 10_000, 11_000, 12_000, 13_000, 14_000]
-    } else {
-        vec![250, 1_000, 3_000, 10_000, 12_000, 14_000]
-    }
-}
+//!
+//! Sweep mode and output format come from `XCC_FULL_SWEEP` / `XCC_OUTPUT`
+//! (see `xcc_framework::sweep`).
 
 fn main() {
-    println!("Table I — Tendermint throughput execution summary (simulated)");
-    println!("{:>12} | {:>14} | {:>22} | {:>22}", "rate (rps)", "requests made", "submitted (%)", "committed of submitted (%)");
-    for rate in rates() {
-        let r = tendermint_throughput(rate, 200, 42);
-        let submitted_pct = 100.0 * r.submitted as f64 / r.requests_made.max(1) as f64;
-        let committed_pct = 100.0 * r.committed as f64 / r.submitted.max(1) as f64;
-        println!(
-            "{:>12} | {:>14} | {:>12} ({:>5.1}%) | {:>12} ({:>5.1}%)",
-            rate, r.requests_made, r.submitted, submitted_pct, r.committed, committed_pct
-        );
-    }
+    xcc_bench::run_and_print("table1");
 }

@@ -1,14 +1,8 @@
-//! §V "WebSocket space limit": a block carrying more IBC events than the
-//! 16 MiB WebSocket frame allows leaves most transfers stuck.
-
-use xcc_framework::scenarios::websocket_limit_run;
+//! §V WebSocket space limit: a block carrying more IBC events than the 16 MiB WebSocket frame allows leaves most transfers stuck.
+//!
+//! Sweep mode and output format come from `XCC_FULL_SWEEP` / `XCC_OUTPUT`
+//! (see `xcc_framework::sweep`).
 
 fn main() {
-    let transfers: u64 = if std::env::var("XCC_FULL_SWEEP").is_ok() { 100_000 } else { 60_000 };
-    let r = websocket_limit_run(transfers, 42);
-    println!("WebSocket frame-limit experiment ({} transfers in one block window)", r.requested);
-    println!("  event collection failures: {}", r.event_collection_failures);
-    println!("  completed: {} ({:.1}%)", r.completed, 100.0 * r.completed as f64 / r.requested.max(1) as f64);
-    println!("  stuck:     {} ({:.1}%)", r.stuck, 100.0 * r.stuck as f64 / r.requested.max(1) as f64);
-    println!("(paper: 2.5% completed, 15.7% timed out, 81.8% stuck)");
+    xcc_bench::run_and_print("websocket_limit");
 }

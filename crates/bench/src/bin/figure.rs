@@ -1,0 +1,25 @@
+//! Runs any registered scenario by name:
+//!
+//! ```text
+//! cargo run --release -p xcc-bench --bin figure -- fig8
+//! cargo run --release -p xcc-bench --bin figure -- --list
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None | Some("--list") | Some("-l") => {
+            xcc_bench::print_scenario_list();
+        }
+        Some(name) => {
+            if xcc_framework::registry::get(name).is_none() {
+                eprintln!(
+                    "unknown scenario `{name}`; registered scenarios: {}",
+                    xcc_framework::registry::names().join(", ")
+                );
+                std::process::exit(2);
+            }
+            xcc_bench::run_and_print(name);
+        }
+    }
+}

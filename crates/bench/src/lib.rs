@@ -1,1 +1,52 @@
-//! Placeholder — implemented in a later step.
+//! Regenerates the paper's tables and figures from the scenario registry.
+//!
+//! Every bench binary is a one-liner over [`run_and_print`]; the `figure`
+//! binary runs any registered scenario by name. Sweep behaviour is
+//! controlled by the environment variables that
+//! [`xcc_framework::sweep`] owns:
+//!
+//! * `XCC_FULL_SWEEP` — use the paper's full parameter ranges;
+//! * `XCC_SWEEP_THREADS` — worker-pool size (default: all cores);
+//! * `XCC_OUTPUT` — `text` (default), `json` or `csv`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use xcc_framework::outcome;
+use xcc_framework::registry;
+use xcc_framework::sweep::{OutputFormat, SweepMode};
+
+/// Runs the named scenario with environment-configured mode/format and
+/// prints the result to stdout.
+///
+/// # Panics
+///
+/// Panics when `name` is not registered; the registry's names are printed in
+/// the message.
+pub fn run_and_print(name: &str) {
+    let entry = registry::get(name).unwrap_or_else(|| {
+        panic!(
+            "unknown scenario `{name}`; registered scenarios: {}",
+            registry::names().join(", ")
+        )
+    });
+    let mode = SweepMode::from_env();
+    let outcomes = entry.run(mode);
+    match OutputFormat::from_env() {
+        OutputFormat::Text => print!("{}", entry.render(&outcomes)),
+        OutputFormat::Json => {
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&outcomes).expect("outcomes serialize")
+            )
+        }
+        OutputFormat::Csv => print!("{}", outcome::csv_table(&outcomes)),
+    }
+}
+
+/// Prints the registry: one `name — title` line per scenario.
+pub fn print_scenario_list() {
+    for entry in registry::entries() {
+        println!("{:<16} {}", entry.name, entry.title);
+    }
+}

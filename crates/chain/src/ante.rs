@@ -6,7 +6,7 @@
 //! clients that cannot observe their own in-flight transactions to wait one
 //! block between submissions.
 
-use crate::account::{AccountKeeper, AccountId};
+use crate::account::{AccountId, AccountKeeper};
 use crate::tx::Tx;
 
 /// Cosmos SDK error code for an incorrect account sequence.
@@ -85,7 +85,9 @@ pub fn ante_handle(accounts: &mut AccountKeeper, tx: &Tx) -> Result<(), AnteErro
         return Err(AnteError::EmptyTx);
     }
     let Some(account) = accounts.get(&tx.signer) else {
-        return Err(AnteError::UnknownAccount { signer: tx.signer.clone() });
+        return Err(AnteError::UnknownAccount {
+            signer: tx.signer.clone(),
+        });
     };
     if account.sequence != tx.sequence {
         return Err(AnteError::SequenceMismatch {
@@ -116,7 +118,11 @@ mod tests {
         Tx::new(
             signer.into(),
             sequence,
-            vec![Msg::BankSend { from: signer.into(), to: "bob".into(), amount: Coin::new("uatom", 1) }],
+            vec![Msg::BankSend {
+                from: signer.into(),
+                to: "bob".into(),
+                amount: Coin::new("uatom", 1),
+            }],
             "uatom",
         )
     }
@@ -135,7 +141,13 @@ mod tests {
         let mut keeper = keeper_with("alice");
         ante_handle(&mut keeper, &send_tx("alice", 0)).unwrap();
         let err = ante_handle(&mut keeper, &send_tx("alice", 0)).unwrap_err();
-        assert_eq!(err, AnteError::SequenceMismatch { expected: 1, got: 0 });
+        assert_eq!(
+            err,
+            AnteError::SequenceMismatch {
+                expected: 1,
+                got: 0
+            }
+        );
         assert_eq!(err.code(), CODE_SEQUENCE_MISMATCH);
         assert!(err.to_string().contains("account sequence mismatch"));
         // Failure does not consume the sequence.
@@ -146,7 +158,13 @@ mod tests {
     fn future_sequences_are_also_rejected() {
         let mut keeper = keeper_with("alice");
         let err = ante_handle(&mut keeper, &send_tx("alice", 5)).unwrap_err();
-        assert_eq!(err, AnteError::SequenceMismatch { expected: 0, got: 5 });
+        assert_eq!(
+            err,
+            AnteError::SequenceMismatch {
+                expected: 0,
+                got: 5
+            }
+        );
     }
 
     #[test]
@@ -157,7 +175,10 @@ mod tests {
 
         let mut keeper = keeper_with("alice");
         let empty = Tx::new("alice".into(), 0, vec![], "uatom");
-        assert_eq!(ante_handle(&mut keeper, &empty).unwrap_err(), AnteError::EmptyTx);
+        assert_eq!(
+            ante_handle(&mut keeper, &empty).unwrap_err(),
+            AnteError::EmptyTx
+        );
     }
 
     #[test]

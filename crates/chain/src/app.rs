@@ -1,15 +1,15 @@
 //! The Gaia-like ABCI application: accounts, bank, gas and the embedded IBC
 //! module, wired into the Tendermint node via the [`Application`] trait.
 
-use crate::account::{AccountKeeper, AccountId};
+use crate::account::{AccountId, AccountKeeper};
 use crate::ante::{self, AnteError};
 use crate::bank::BankModule;
 use crate::gas;
 use crate::genesis::GenesisConfig;
 use crate::msg::Msg;
 use crate::tx::Tx;
-use xcc_ibc::module::{HostContext, IbcModule};
 use xcc_ibc::height::Height;
+use xcc_ibc::module::{HostContext, IbcModule};
 use xcc_sim::SimTime;
 use xcc_tendermint::abci::{Application, CheckTxResult, DeliverTxResult, Event};
 use xcc_tendermint::block::{Header, RawTx};
@@ -131,7 +131,9 @@ impl GaiaApp {
         let ctx = self.host_context();
         match msg {
             Msg::BankSend { from, to, amount } => {
-                self.bank.transfer(from, to, amount).map_err(|e| e.to_string())?;
+                self.bank
+                    .transfer(from, to, amount)
+                    .map_err(|e| e.to_string())?;
                 Ok(vec![Event::new("transfer")
                     .with_attr("sender", from.as_str())
                     .with_attr("recipient", to.as_str())
@@ -144,22 +146,59 @@ impl GaiaApp {
                     .map_err(|e| e.to_string())?;
                 Ok(events)
             }
-            Msg::IbcRecvPacket { packet, proof_commitment, proof_height, .. } => {
+            Msg::IbcRecvPacket {
+                packet,
+                proof_commitment,
+                proof_height,
+                ..
+            } => {
                 let (_ack, events) = self
                     .ibc
-                    .recv_packet(&ctx, &mut self.bank, packet, proof_commitment, *proof_height)
+                    .recv_packet(
+                        &ctx,
+                        &mut self.bank,
+                        packet,
+                        proof_commitment,
+                        *proof_height,
+                    )
                     .map_err(|e| e.to_string())?;
                 Ok(events)
             }
-            Msg::IbcAcknowledgement { packet, acknowledgement, proof_acked, proof_height, .. } => self
+            Msg::IbcAcknowledgement {
+                packet,
+                acknowledgement,
+                proof_acked,
+                proof_height,
+                ..
+            } => self
                 .ibc
-                .acknowledge_packet(&ctx, &mut self.bank, packet, acknowledgement, proof_acked, *proof_height)
+                .acknowledge_packet(
+                    &ctx,
+                    &mut self.bank,
+                    packet,
+                    acknowledgement,
+                    proof_acked,
+                    *proof_height,
+                )
                 .map_err(|e| e.to_string()),
-            Msg::IbcTimeout { packet, proof_unreceived, proof_height, .. } => self
+            Msg::IbcTimeout {
+                packet,
+                proof_unreceived,
+                proof_height,
+                ..
+            } => self
                 .ibc
-                .timeout_packet(&ctx, &mut self.bank, packet, proof_unreceived, *proof_height)
+                .timeout_packet(
+                    &ctx,
+                    &mut self.bank,
+                    packet,
+                    proof_unreceived,
+                    *proof_height,
+                )
                 .map_err(|e| e.to_string()),
-            Msg::IbcUpdateClient { client_id, update, .. } => self
+            Msg::IbcUpdateClient {
+                client_id, update, ..
+            } => self
                 .ibc
                 .update_client(client_id, update)
                 .map_err(|e| e.to_string()),
@@ -339,7 +378,11 @@ mod tests {
         Tx::new(
             from.into(),
             seq,
-            vec![Msg::BankSend { from: from.into(), to: to.into(), amount: Coin::new("uatom", amount) }],
+            vec![Msg::BankSend {
+                from: from.into(),
+                to: to.into(),
+                amount: Coin::new("uatom", amount),
+            }],
             "uatom",
         )
         .encode()
@@ -402,10 +445,16 @@ mod tests {
         app.end_block(1);
         app.commit();
 
-        let fee = gas::fee_for_gas(gas::TX_BASE_GAS + gas::MSG_BANK_SEND_GAS) ;
+        let fee = gas::fee_for_gas(gas::TX_BASE_GAS + gas::MSG_BANK_SEND_GAS);
         assert_eq!(app.bank().balance(&"relayer".into(), "uatom"), 1_000_500);
-        assert_eq!(app.bank().balance(&"user-0".into(), "uatom"), 1_000_000 - 500 - fee);
-        assert_eq!(app.bank().balance(&AccountId::new(FEE_COLLECTOR), "uatom"), fee);
+        assert_eq!(
+            app.bank().balance(&"user-0".into(), "uatom"),
+            1_000_000 - 500 - fee
+        );
+        assert_eq!(
+            app.bank().balance(&AccountId::new(FEE_COLLECTOR), "uatom"),
+            fee
+        );
         assert_eq!(app.account_sequence(&"user-0".into()), 1);
     }
 
@@ -413,7 +462,9 @@ mod tests {
     fn deliver_tx_with_stale_sequence_fails_with_code_32() {
         let mut app = funded_app("chain-a", 1, 1_000_000);
         app.begin_block(&header_at(&app, 1, 5));
-        assert!(app.deliver_tx(&bank_send_tx(&app, "user-0", "relayer", 1, 0)).is_ok());
+        assert!(app
+            .deliver_tx(&bank_send_tx(&app, "user-0", "relayer", 1, 0))
+            .is_ok());
         let res = app.deliver_tx(&bank_send_tx(&app, "user-0", "relayer", 1, 0));
         assert_eq!(res.code, ante::CODE_SEQUENCE_MISMATCH);
     }
@@ -445,7 +496,10 @@ mod tests {
         // Transfer effects reverted, but the fee is kept and the sequence is
         // consumed.
         let fee = gas::fee_for_gas(gas::TX_BASE_GAS + gas::MSG_TRANSFER_GAS);
-        assert_eq!(app.bank().balance(&"user-0".into(), "uatom"), 1_000_000 - fee);
+        assert_eq!(
+            app.bank().balance(&"user-0".into(), "uatom"),
+            1_000_000 - fee
+        );
         assert_eq!(app.account_sequence(&"user-0".into()), 1);
     }
 
@@ -465,7 +519,10 @@ mod tests {
         // Check state is ahead of committed state now; commit resets it.
         app.begin_block(&header_at(&app, 1, 5));
         let h1 = app.commit();
-        assert!(app.check_tx(&tx0).is_ok(), "after reset, sequence 0 is valid again in check state");
+        assert!(
+            app.check_tx(&tx0).is_ok(),
+            "after reset, sequence 0 is valid again in check state"
+        );
 
         app.begin_block(&header_at(&app, 2, 10));
         app.deliver_tx(&tx0);

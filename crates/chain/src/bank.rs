@@ -28,7 +28,12 @@ pub enum BankError {
 impl std::fmt::Display for BankError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BankError::InsufficientFunds { address, denom, held, required } => write!(
+            BankError::InsufficientFunds {
+                address,
+                denom,
+                held,
+                required,
+            } => write!(
                 f,
                 "insufficient funds: {address} holds {held}{denom}, needs {required}{denom}"
             ),
@@ -122,7 +127,12 @@ impl BankModule {
     /// # Errors
     ///
     /// Fails when the sender's balance is insufficient.
-    pub fn transfer(&mut self, from: &AccountId, to: &AccountId, coin: &Coin) -> Result<(), BankError> {
+    pub fn transfer(
+        &mut self,
+        from: &AccountId,
+        to: &AccountId,
+        coin: &Coin,
+    ) -> Result<(), BankError> {
         let from_key = (from.clone(), coin.denom.clone());
         let held = *self.balances.get(&from_key).unwrap_or(&0);
         if held < coin.amount {
@@ -158,8 +168,12 @@ impl BankModule {
 
 impl BankKeeper for BankModule {
     fn send(&mut self, from: &str, to: &str, denom: &str, amount: u128) -> Result<(), String> {
-        self.transfer(&AccountId::from(from), &AccountId::from(to), &Coin::new(denom, amount))
-            .map_err(|e| e.to_string())
+        self.transfer(
+            &AccountId::from(from),
+            &AccountId::from(to),
+            &Coin::new(denom, amount),
+        )
+        .map_err(|e| e.to_string())
     }
 
     fn mint(&mut self, to: &str, denom: &str, amount: u128) {
@@ -184,7 +198,8 @@ mod tests {
         bank.mint_coins(&alice, &Coin::new("uatom", 1_000));
         assert_eq!(bank.total_supply("uatom"), 1_000);
 
-        bank.transfer(&alice, &bob, &Coin::new("uatom", 300)).unwrap();
+        bank.transfer(&alice, &bob, &Coin::new("uatom", 300))
+            .unwrap();
         assert_eq!(bank.balance(&alice, "uatom"), 700);
         assert_eq!(bank.balance(&bob, "uatom"), 300);
         // Transfers do not change supply.
@@ -201,9 +216,18 @@ mod tests {
         let err = bank
             .transfer(&"alice".into(), &"bob".into(), &Coin::new("uatom", 10))
             .unwrap_err();
-        assert!(matches!(err, BankError::InsufficientFunds { held: 0, required: 10, .. }));
+        assert!(matches!(
+            err,
+            BankError::InsufficientFunds {
+                held: 0,
+                required: 10,
+                ..
+            }
+        ));
         assert!(err.to_string().contains("insufficient funds"));
-        assert!(bank.burn_coins(&"alice".into(), &Coin::new("uatom", 1)).is_err());
+        assert!(bank
+            .burn_coins(&"alice".into(), &Coin::new("uatom", 1))
+            .is_err());
     }
 
     #[test]

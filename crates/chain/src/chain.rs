@@ -63,7 +63,14 @@ impl Chain {
         let validators = ValidatorSet::with_equal_power(genesis.validator_count, 10);
         let app = GaiaApp::from_genesis(&genesis);
         Chain {
-            node: Node::new(genesis.chain_id.clone(), validators, params, timing, mempool, app),
+            node: Node::new(
+                genesis.chain_id.clone(),
+                validators,
+                params,
+                timing,
+                mempool,
+                app,
+            ),
         }
     }
 
@@ -158,7 +165,10 @@ impl Chain {
     }
 
     /// Looks up a committed transaction by hash.
-    pub fn find_tx(&self, hash: &Hash) -> Option<(u64, usize, &xcc_tendermint::abci::DeliverTxResult)> {
+    pub fn find_tx(
+        &self,
+        hash: &Hash,
+    ) -> Option<(u64, usize, &xcc_tendermint::abci::DeliverTxResult)> {
         self.node.find_tx(hash)
     }
 
@@ -187,7 +197,11 @@ mod tests {
         Tx::new(
             from.into(),
             seq,
-            vec![Msg::BankSend { from: from.into(), to: "relayer".into(), amount: Coin::new("uatom", 10) }],
+            vec![Msg::BankSend {
+                from: from.into(),
+                to: "relayer".into(),
+                amount: Coin::new("uatom", 10),
+            }],
             "uatom",
         )
     }
@@ -195,7 +209,9 @@ mod tests {
     #[test]
     fn blocks_include_submitted_txs_and_update_state() {
         let mut chain = funded_chain();
-        let hash = chain.submit_tx(&send_tx("user-0", 0), SimTime::ZERO).unwrap();
+        let hash = chain
+            .submit_tx(&send_tx("user-0", 0), SimTime::ZERO)
+            .unwrap();
         assert_eq!(chain.tx_status(&hash), TxStatus::Pending);
         assert_eq!(chain.mempool_size(), 1);
 
@@ -213,12 +229,18 @@ mod tests {
         let mut chain = funded_chain();
         // A client that always signs with the committed sequence (like the
         // paper's CLI users) can only get one transaction per block in.
-        chain.submit_tx(&send_tx("user-0", 0), SimTime::ZERO).unwrap();
-        let err = chain.submit_tx(&send_tx("user-0", 0), SimTime::ZERO).unwrap_err();
+        chain
+            .submit_tx(&send_tx("user-0", 0), SimTime::ZERO)
+            .unwrap();
+        let err = chain
+            .submit_tx(&send_tx("user-0", 0), SimTime::ZERO)
+            .unwrap_err();
         assert!(err.to_string().contains("account sequence mismatch"));
         chain.produce_block(SimTime::from_secs(5));
         // After the block commits, the next committed sequence works.
-        chain.submit_tx(&send_tx("user-0", 1), SimTime::from_secs(5)).unwrap();
+        chain
+            .submit_tx(&send_tx("user-0", 1), SimTime::from_secs(5))
+            .unwrap();
     }
 
     #[test]
@@ -245,7 +267,10 @@ mod tests {
     fn accessors_expose_consensus_configuration() {
         let chain = funded_chain();
         assert_eq!(chain.validators().len(), 5);
-        assert_eq!(chain.params().min_block_interval, xcc_sim::SimDuration::from_secs(5));
+        assert_eq!(
+            chain.params().min_block_interval,
+            xcc_sim::SimDuration::from_secs(5)
+        );
         assert!(chain.timing().consensus_latency(5).as_millis() < 100);
         assert!(chain.latest_block().is_none());
         assert!(chain.commit_for(0).is_none());

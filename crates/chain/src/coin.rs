@@ -25,7 +25,10 @@ pub struct Coin {
 impl Coin {
     /// Creates a coin.
     pub fn new(denom: impl Into<String>, amount: u128) -> Self {
-        Coin { denom: denom.into(), amount }
+        Coin {
+            denom: denom.into(),
+            amount,
+        }
     }
 }
 

@@ -44,7 +44,11 @@ pub struct OutOfGas {
 
 impl std::fmt::Display for OutOfGas {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "out of gas: limit {}, attempted {}", self.limit, self.attempted)
+        write!(
+            f,
+            "out of gas: limit {}, attempted {}",
+            self.limit, self.attempted
+        )
     }
 }
 
@@ -82,7 +86,10 @@ impl GasMeter {
     pub fn consume(&mut self, amount: u64) -> Result<(), OutOfGas> {
         let attempted = self.consumed.saturating_add(amount);
         if attempted > self.limit {
-            return Err(OutOfGas { limit: self.limit, attempted });
+            return Err(OutOfGas {
+                limit: self.limit,
+                attempted,
+            });
         }
         self.consumed = attempted;
         Ok(())
@@ -119,8 +126,12 @@ mod tests {
         let transfer_tx = TX_BASE_GAS + 100 * MSG_TRANSFER_GAS;
         let recv_tx = TX_BASE_GAS + 100 * MSG_RECV_PACKET_GAS;
         let ack_tx = TX_BASE_GAS + 100 * MSG_ACK_GAS;
-        let close = |ours: u64, paper: u64| ((ours as f64 - paper as f64).abs() / paper as f64) < 0.01;
-        assert!(close(transfer_tx, 3_669_161), "transfer tx gas {transfer_tx}");
+        let close =
+            |ours: u64, paper: u64| ((ours as f64 - paper as f64).abs() / paper as f64) < 0.01;
+        assert!(
+            close(transfer_tx, 3_669_161),
+            "transfer tx gas {transfer_tx}"
+        );
         assert!(close(recv_tx, 7_238_699), "recv tx gas {recv_tx}");
         assert!(close(ack_tx, 3_107_462), "ack tx gas {ack_tx}");
     }
@@ -130,7 +141,13 @@ mod tests {
         let mut m = GasMeter::new(1_000);
         m.consume(400).unwrap();
         let err = m.consume(700).unwrap_err();
-        assert_eq!(err, OutOfGas { limit: 1_000, attempted: 1_100 });
+        assert_eq!(
+            err,
+            OutOfGas {
+                limit: 1_000,
+                attempted: 1_100
+            }
+        );
         // Failed consumption leaves the meter untouched.
         assert_eq!(m.consumed(), 400);
         assert_eq!(m.remaining(), 600);
@@ -145,6 +162,11 @@ mod tests {
 
     #[test]
     fn out_of_gas_display() {
-        assert!(OutOfGas { limit: 5, attempted: 9 }.to_string().contains("out of gas"));
+        assert!(OutOfGas {
+            limit: 5,
+            attempted: 9
+        }
+        .to_string()
+        .contains("out of gas"));
     }
 }

@@ -114,11 +114,20 @@ impl Msg {
             // Recv/Ack/Timeout carry the packet plus a Merkle proof, which is
             // why the paper observes recv-heavy blocks producing much larger
             // query responses than transfer-heavy ones.
-            Msg::IbcRecvPacket { packet, proof_commitment, .. } => {
-                300 + packet.encoded_size() + proof_commitment.encoded_size()
-            }
-            Msg::IbcAcknowledgement { packet, acknowledgement, proof_acked, .. } => {
-                300 + packet.encoded_size() + acknowledgement.encoded_size() + proof_acked.encoded_size()
+            Msg::IbcRecvPacket {
+                packet,
+                proof_commitment,
+                ..
+            } => 300 + packet.encoded_size() + proof_commitment.encoded_size(),
+            Msg::IbcAcknowledgement {
+                packet,
+                acknowledgement,
+                proof_acked,
+                ..
+            } => {
+                300 + packet.encoded_size()
+                    + acknowledgement.encoded_size()
+                    + proof_acked.encoded_size()
             }
             Msg::IbcTimeout { packet, .. } => 300 + packet.encoded_size() + 96,
             Msg::IbcUpdateClient { .. } => 1_100,

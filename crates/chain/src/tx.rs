@@ -107,8 +107,9 @@ impl Tx {
     ///
     /// Fails when the bytes are not a valid encoded transaction.
     pub fn decode(raw: &RawTx) -> Result<Self, TxDecodeError> {
-        serde_json::from_slice(raw.as_bytes())
-            .map_err(|e| TxDecodeError { reason: e.to_string() })
+        serde_json::from_slice(raw.as_bytes()).map_err(|e| TxDecodeError {
+            reason: e.to_string(),
+        })
     }
 
     /// The transaction hash (identical to the hash of its encoding).
@@ -164,7 +165,12 @@ mod tests {
         let msgs: Vec<Msg> = (0..100).map(|i| transfer(i as u128 + 1)).collect();
         let tx = Tx::new("alice".into(), 0, msgs, "uatom");
         let diff = (tx.gas_limit as f64 - 3_669_161.0).abs() / 3_669_161.0;
-        assert!(diff < 0.01, "gas limit {} deviates from the paper by {:.2}%", tx.gas_limit, diff * 100.0);
+        assert!(
+            diff < 0.01,
+            "gas limit {} deviates from the paper by {:.2}%",
+            tx.gas_limit,
+            diff * 100.0
+        );
         assert_eq!(tx.fee.amount, gas::fee_for_gas(tx.gas_limit));
     }
 

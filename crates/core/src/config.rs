@@ -113,7 +113,8 @@ impl WorkloadConfig {
 
     /// Transactions submitted per block window.
     pub fn txs_per_window(&self) -> u64 {
-        self.transfers_per_window().div_ceil(self.transfers_per_tx as u64)
+        self.transfers_per_window()
+            .div_ceil(self.transfers_per_tx as u64)
     }
 
     /// The nominal input rate in requests (transfers) per second assuming

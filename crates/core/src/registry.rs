@@ -1,0 +1,629 @@
+//! Named scenario registry: every table and figure of the paper, runnable by
+//! name.
+//!
+//! Each entry pairs a parameter grid (quick and full ranges) with a renderer
+//! that formats the sweep's outcomes the way the paper's table or figure
+//! presents them. The bench binaries, the `figure` CLI and external callers
+//! all go through this registry:
+//!
+//! ```rust,no_run
+//! use xcc_framework::registry;
+//! use xcc_framework::sweep::SweepMode;
+//!
+//! let entry = registry::get("fig8").expect("fig8 is registered");
+//! let report = entry.report(SweepMode::Quick);
+//! println!("{report}");
+//! ```
+
+use crate::outcome::ScenarioOutcome;
+use crate::report::ExecutionReport;
+use crate::spec::ExperimentSpec;
+use crate::sweep::{SweepGrid, SweepMode};
+
+/// One named, registered scenario.
+pub struct ScenarioEntry {
+    /// The registry key (`fig6` … `fig13`, `table1`, `websocket_limit`).
+    pub name: &'static str,
+    /// One-line description shown by `--list`.
+    pub title: &'static str,
+    grid: fn(SweepMode) -> SweepGrid,
+    render: fn(&[ScenarioOutcome]) -> ExecutionReport,
+}
+
+impl ScenarioEntry {
+    /// The parameter grid this scenario sweeps in `mode`.
+    pub fn grid(&self, mode: SweepMode) -> SweepGrid {
+        (self.grid)(mode)
+    }
+
+    /// Runs the sweep on the default worker pool and returns raw outcomes.
+    pub fn run(&self, mode: SweepMode) -> Vec<ScenarioOutcome> {
+        self.grid(mode).run()
+    }
+
+    /// Formats already-computed outcomes as this scenario's table.
+    pub fn render(&self, outcomes: &[ScenarioOutcome]) -> ExecutionReport {
+        (self.render)(outcomes)
+    }
+
+    /// Runs the sweep and renders the figure in one step.
+    pub fn report(&self, mode: SweepMode) -> ExecutionReport {
+        self.render(&self.run(mode))
+    }
+}
+
+/// Every registered scenario, in paper order.
+pub fn entries() -> &'static [ScenarioEntry] {
+    &ENTRIES
+}
+
+/// The names of every registered scenario, in paper order.
+pub fn names() -> Vec<&'static str> {
+    ENTRIES.iter().map(|e| e.name).collect()
+}
+
+/// Looks a scenario up by name.
+pub fn get(name: &str) -> Option<&'static ScenarioEntry> {
+    ENTRIES.iter().find(|e| e.name == name)
+}
+
+static ENTRIES: [ScenarioEntry; 10] = [
+    ScenarioEntry {
+        name: "fig6",
+        title: "Tendermint throughput (TFPS) vs input rate",
+        grid: fig6_grid,
+        render: fig6_render,
+    },
+    ScenarioEntry {
+        name: "fig7",
+        title: "Average block interval vs input rate",
+        grid: fig7_grid,
+        render: fig7_render,
+    },
+    ScenarioEntry {
+        name: "fig8",
+        title: "Cross-chain throughput with one relayer",
+        grid: fig8_grid,
+        render: relayer_throughput_render,
+    },
+    ScenarioEntry {
+        name: "fig9",
+        title: "Cross-chain throughput with two relayers",
+        grid: fig9_grid,
+        render: relayer_throughput_render,
+    },
+    ScenarioEntry {
+        name: "fig10",
+        title: "Completion status, one relayer, 200 ms RTT",
+        grid: fig10_grid,
+        render: completion_render,
+    },
+    ScenarioEntry {
+        name: "fig11",
+        title: "Completion status, two relayers, 200 ms RTT",
+        grid: fig11_grid,
+        render: completion_render,
+    },
+    ScenarioEntry {
+        name: "fig12",
+        title: "Latency breakdown of one large batch",
+        grid: fig12_grid,
+        render: fig12_render,
+    },
+    ScenarioEntry {
+        name: "fig13",
+        title: "Completion latency vs submission strategy",
+        grid: fig13_grid,
+        render: fig13_render,
+    },
+    ScenarioEntry {
+        name: "table1",
+        title: "Tendermint throughput execution summary",
+        grid: table1_grid,
+        render: table1_render,
+    },
+    ScenarioEntry {
+        name: "websocket_limit",
+        title: "WebSocket 16 MiB frame-limit challenge",
+        grid: websocket_grid,
+        render: websocket_render,
+    },
+];
+
+// ---------------------------------------------------------------------------
+// Grids (the paper's parameter ranges; quick mode keeps CI fast)
+// ---------------------------------------------------------------------------
+
+fn tendermint_rates(mode: SweepMode) -> Vec<u64> {
+    mode.pick(
+        vec![250, 500, 1_000, 2_000, 3_000, 5_000, 9_000, 13_000],
+        vec![
+            250, 500, 750, 1_000, 2_000, 3_000, 4_000, 5_000, 6_000, 7_000, 8_000, 9_000, 10_000,
+            11_000, 12_000, 13_000,
+        ],
+    )
+}
+
+fn relayer_rates(mode: SweepMode) -> Vec<u64> {
+    mode.pick(
+        vec![20, 60, 100, 140, 200, 300],
+        vec![
+            20, 40, 60, 80, 100, 120, 140, 160, 180, 200, 220, 240, 260, 280, 300,
+        ],
+    )
+}
+
+fn relayer_blocks(mode: SweepMode) -> u64 {
+    mode.pick(15, 50)
+}
+
+fn fig6_grid(mode: SweepMode) -> SweepGrid {
+    SweepGrid::new(ExperimentSpec::tendermint_throughput().named("fig6"))
+        .input_rates(tendermint_rates(mode))
+        .seeds(mode.pick((1..=3).collect::<Vec<u64>>(), (0..20).collect()))
+}
+
+fn fig7_grid(mode: SweepMode) -> SweepGrid {
+    SweepGrid::new(
+        ExperimentSpec::tendermint_throughput()
+            .named("fig7")
+            .seed(42),
+    )
+    .input_rates(mode.pick(
+        vec![250, 1_000, 3_000, 6_000, 9_000, 13_000],
+        tendermint_rates(SweepMode::Full),
+    ))
+}
+
+fn fig8_grid(mode: SweepMode) -> SweepGrid {
+    SweepGrid::new(
+        ExperimentSpec::relayer_throughput()
+            .named("fig8")
+            .relayers(1)
+            .measurement_blocks(relayer_blocks(mode))
+            .seed(42),
+    )
+    .input_rates(relayer_rates(mode))
+    .rtts_ms([0, 200])
+}
+
+fn fig9_grid(mode: SweepMode) -> SweepGrid {
+    SweepGrid::new(
+        ExperimentSpec::relayer_throughput()
+            .named("fig9")
+            .relayers(2)
+            .measurement_blocks(relayer_blocks(mode))
+            .seed(42),
+    )
+    .input_rates(mode.pick(
+        vec![20, 60, 100, 160, 240, 300],
+        relayer_rates(SweepMode::Full),
+    ))
+    .rtts_ms([0, 200])
+}
+
+fn completion_grid(mode: SweepMode, name: &str, relayers: usize) -> SweepGrid {
+    SweepGrid::new(
+        ExperimentSpec::relayer_throughput()
+            .named(name)
+            .relayers(relayers)
+            .rtt_ms(200)
+            .measurement_blocks(relayer_blocks(mode))
+            .seed(42),
+    )
+    .input_rates(mode.pick(
+        vec![20, 60, 100, 160, 240, 300],
+        relayer_rates(SweepMode::Full),
+    ))
+}
+
+fn fig10_grid(mode: SweepMode) -> SweepGrid {
+    completion_grid(mode, "fig10", 1)
+}
+
+fn fig11_grid(mode: SweepMode) -> SweepGrid {
+    completion_grid(mode, "fig11", 2)
+}
+
+fn fig12_grid(mode: SweepMode) -> SweepGrid {
+    SweepGrid::new(
+        ExperimentSpec::latency()
+            .named("fig12")
+            .transfers(mode.pick(1_000, 5_000))
+            .submission_blocks(1)
+            .rtt_ms(200)
+            .seed(42),
+    )
+}
+
+fn fig13_grid(mode: SweepMode) -> SweepGrid {
+    SweepGrid::new(
+        ExperimentSpec::latency()
+            .named("fig13")
+            .transfers(mode.pick(1_500, 5_000))
+            .rtt_ms(200)
+            .seed(42),
+    )
+    .submission_blocks(mode.pick(vec![1, 2, 4, 8, 16, 32], vec![1, 2, 4, 8, 16, 32, 64]))
+}
+
+fn table1_grid(mode: SweepMode) -> SweepGrid {
+    SweepGrid::new(
+        ExperimentSpec::tendermint_throughput()
+            .named("table1")
+            .seed(42),
+    )
+    .input_rates(mode.pick(
+        vec![250, 1_000, 3_000, 10_000, 12_000, 14_000],
+        vec![
+            250, 1_000, 3_000, 6_000, 9_000, 10_000, 11_000, 12_000, 13_000, 14_000,
+        ],
+    ))
+}
+
+fn websocket_grid(mode: SweepMode) -> SweepGrid {
+    SweepGrid::new(
+        ExperimentSpec::websocket_limit()
+            .named("websocket_limit")
+            .transfers(mode.pick(60_000, 100_000))
+            .seed(42),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Renderers (the tables the old bench binaries printed)
+// ---------------------------------------------------------------------------
+
+fn rate_of(outcome: &ScenarioOutcome) -> u64 {
+    outcome.input_rate_rps() as u64
+}
+
+/// Groups outcomes by input rate, preserving first-seen rate order.
+fn group_by_rate(outcomes: &[ScenarioOutcome]) -> Vec<(u64, Vec<&ScenarioOutcome>)> {
+    let mut groups: Vec<(u64, Vec<&ScenarioOutcome>)> = Vec::new();
+    for outcome in outcomes {
+        let rate = rate_of(outcome);
+        match groups.iter_mut().find(|(r, _)| *r == rate) {
+            Some((_, group)) => group.push(outcome),
+            None => groups.push((rate, vec![outcome])),
+        }
+    }
+    groups
+}
+
+fn fig6_render(outcomes: &[ScenarioOutcome]) -> ExecutionReport {
+    let groups = group_by_rate(outcomes);
+    let seeds = groups.first().map(|(_, g)| g.len()).unwrap_or(0);
+    let mut report = ExecutionReport::new("fig6");
+    report.add_note(format!(
+        "Fig. 6 — Tendermint throughput (TFPS) vs input rate, {seeds} seeds per rate"
+    ));
+    report.add_row(format!(
+        "{:>12} | {:>10} | {:>10} | {:>10}",
+        "rate (rps)", "median", "min", "max"
+    ));
+    for (rate, group) in groups {
+        let mut samples: Vec<f64> = group
+            .iter()
+            .map(|o| o.tendermint_throughput_tfps())
+            .collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("throughput is never NaN"));
+        let median = samples[samples.len() / 2];
+        report.add_row(format!(
+            "{:>12} | {:>10.0} | {:>10.0} | {:>10.0}",
+            rate,
+            median,
+            samples[0],
+            samples[samples.len() - 1]
+        ));
+        report.set_metric(format!("median_tfps_at_{rate}"), median);
+    }
+    report
+}
+
+fn fig7_render(outcomes: &[ScenarioOutcome]) -> ExecutionReport {
+    let mut report = ExecutionReport::new("fig7");
+    report.add_note("Fig. 7 — average block interval vs input rate");
+    report.add_row(format!("{:>12} | {:>16}", "rate (rps)", "interval (s)"));
+    for outcome in outcomes {
+        report.add_row(format!(
+            "{:>12} | {:>16.1}",
+            rate_of(outcome),
+            outcome.avg_block_interval_secs()
+        ));
+        report.set_metric(
+            format!("block_interval_secs_at_{}", rate_of(outcome)),
+            outcome.avg_block_interval_secs(),
+        );
+    }
+    report
+}
+
+/// Figs. 8 and 9: one row per rate with 0 ms and 200 ms columns (and the
+/// redundant-message count when more than one relayer serves the channel).
+fn relayer_throughput_render(outcomes: &[ScenarioOutcome]) -> ExecutionReport {
+    let name = outcomes.first().map(fig_name).unwrap_or_default();
+    let relayers = outcomes
+        .first()
+        .map(|o| o.spec.deployment.relayer_count)
+        .unwrap_or(1);
+    let blocks = outcomes
+        .first()
+        .map(|o| o.spec.workload.measurement_blocks)
+        .unwrap_or(0);
+    let mut report = ExecutionReport::new(name.clone());
+    report.add_note(format!(
+        "{name} — throughput with {relayers} relayer(s) ({blocks} source blocks)"
+    ));
+    if relayers > 1 {
+        report.add_row(format!(
+            "{:>12} | {:>14} | {:>14} | {:>16}",
+            "rate (rps)", "0 ms (TFPS)", "200 ms (TFPS)", "redundant msgs"
+        ));
+    } else {
+        report.add_row(format!(
+            "{:>12} | {:>14} | {:>14}",
+            "rate (rps)", "0 ms (TFPS)", "200 ms (TFPS)"
+        ));
+    }
+    for (rate, group) in group_by_rate(outcomes) {
+        let at_rtt = |rtt: u64| {
+            group
+                .iter()
+                .find(|o| o.spec.deployment.network_rtt_ms == rtt)
+        };
+        let lan = at_rtt(0).map(|o| o.throughput_tfps()).unwrap_or(0.0);
+        let wan = at_rtt(200).map(|o| o.throughput_tfps()).unwrap_or(0.0);
+        if relayers > 1 {
+            let redundant = at_rtt(200)
+                .map(|o| o.redundant_packet_errors())
+                .unwrap_or(0);
+            report.add_row(format!(
+                "{rate:>12} | {lan:>14.1} | {wan:>14.1} | {redundant:>16}"
+            ));
+        } else {
+            report.add_row(format!("{rate:>12} | {lan:>14.1} | {wan:>14.1}"));
+        }
+        report.set_metric(format!("tfps_lan_at_{rate}"), lan);
+        report.set_metric(format!("tfps_wan_at_{rate}"), wan);
+    }
+    report
+}
+
+/// Figs. 10 and 11: completion-status breakdown per rate.
+fn completion_render(outcomes: &[ScenarioOutcome]) -> ExecutionReport {
+    let name = outcomes.first().map(fig_name).unwrap_or_default();
+    let relayers = outcomes
+        .first()
+        .map(|o| o.spec.deployment.relayer_count)
+        .unwrap_or(1);
+    let blocks = outcomes
+        .first()
+        .map(|o| o.spec.workload.measurement_blocks)
+        .unwrap_or(0);
+    let mut report = ExecutionReport::new(name.clone());
+    report.add_note(format!(
+        "{name} — completion status, {relayers} relayer(s), 200 ms ({blocks} blocks)"
+    ));
+    report.add_row(format!(
+        "{:>12} | {:>10} | {:>10} | {:>10} | {:>14}",
+        "rate (rps)", "completed", "partial", "initiated", "not committed"
+    ));
+    for outcome in outcomes {
+        report.add_row(format!(
+            "{:>12} | {:>10} | {:>10} | {:>10} | {:>14}",
+            rate_of(outcome),
+            outcome.completed(),
+            outcome.partial(),
+            outcome.initiated(),
+            outcome.not_committed()
+        ));
+        report.set_metric(
+            format!("completed_at_{}", rate_of(outcome)),
+            outcome.completed() as f64,
+        );
+    }
+    report
+}
+
+fn fig12_render(outcomes: &[ScenarioOutcome]) -> ExecutionReport {
+    let mut report = ExecutionReport::new("fig12");
+    let Some(o) = outcomes.first() else {
+        return report;
+    };
+    report.add_note(format!(
+        "Fig. 12 — latency breakdown for {} transfers submitted in one block",
+        o.spec.workload.total_transfers
+    ));
+    report.add_row(format!(
+        "completion latency:    {:>8.1} s   (paper, 5,000 transfers: 455 s)",
+        o.completion_latency_secs()
+    ));
+    report.add_row(format!(
+        "transfer phase (1-4):  {:>8.1} s   (paper: 126 s / 27.6%)",
+        o.transfer_phase_secs()
+    ));
+    report.add_row(format!(
+        "receive phase  (5-9):  {:>8.1} s   (paper: 261 s / 57.3%)",
+        o.recv_phase_secs()
+    ));
+    report.add_row(format!(
+        "ack phase    (10-13):  {:>8.1} s   (paper:  68 s / 14.9%)",
+        o.ack_phase_secs()
+    ));
+    report.add_row(format!(
+        "transfer data pull:    {:>8.1} s   (paper: 110 s / 24%)",
+        o.transfer_pull_secs()
+    ));
+    report.add_row(format!(
+        "recv data pull:        {:>8.1} s   (paper: 207 s / 45%)",
+        o.recv_pull_secs()
+    ));
+    report.add_row(format!(
+        "data-pull share:       {:>8.0} %   (paper: ~69%)",
+        o.data_pull_share() * 100.0
+    ));
+    for (key, value) in &o.metrics {
+        report.set_metric(key.clone(), *value);
+    }
+    report
+}
+
+fn fig13_render(outcomes: &[ScenarioOutcome]) -> ExecutionReport {
+    let transfers = outcomes
+        .first()
+        .map(|o| o.spec.workload.total_transfers)
+        .unwrap_or(0);
+    let mut report = ExecutionReport::new("fig13");
+    report.add_note(format!(
+        "Fig. 13 — completion latency vs submission strategy ({transfers} transfers)"
+    ));
+    report.add_row(format!(
+        "{:>14} | {:>22}",
+        "blocks", "completion latency (s)"
+    ));
+    for outcome in outcomes {
+        let blocks = outcome.spec.workload.submission_blocks;
+        report.add_row(format!(
+            "{:>14} | {:>22.1}",
+            blocks,
+            outcome.completion_latency_secs()
+        ));
+        report.set_metric(
+            format!("latency_secs_over_{blocks}_blocks"),
+            outcome.completion_latency_secs(),
+        );
+    }
+    report.add_note(
+        "paper, 5,000 transfers: 455 / 286 / 219 / 143 / 138 / 240 / 441 s for 1..64 blocks",
+    );
+    report
+}
+
+fn table1_render(outcomes: &[ScenarioOutcome]) -> ExecutionReport {
+    let mut report = ExecutionReport::new("table1");
+    report.add_note("Table I — Tendermint throughput execution summary (simulated)");
+    report.add_row(format!(
+        "{:>12} | {:>14} | {:>22} | {:>22}",
+        "rate (rps)", "requests made", "submitted (%)", "committed of submitted (%)"
+    ));
+    for outcome in outcomes {
+        let submitted_pct =
+            100.0 * outcome.submitted() as f64 / outcome.requests_made().max(1) as f64;
+        let committed_pct = 100.0 * outcome.committed() as f64 / outcome.submitted().max(1) as f64;
+        report.add_row(format!(
+            "{:>12} | {:>14} | {:>12} ({:>5.1}%) | {:>12} ({:>5.1}%)",
+            rate_of(outcome),
+            outcome.requests_made(),
+            outcome.submitted(),
+            submitted_pct,
+            outcome.committed(),
+            committed_pct
+        ));
+        report.set_metric(
+            format!("committed_at_{}", rate_of(outcome)),
+            outcome.committed() as f64,
+        );
+    }
+    report
+}
+
+fn websocket_render(outcomes: &[ScenarioOutcome]) -> ExecutionReport {
+    let mut report = ExecutionReport::new("websocket_limit");
+    let Some(o) = outcomes.first() else {
+        return report;
+    };
+    let requested = o.requests_made().max(1);
+    report.add_note(format!(
+        "WebSocket frame-limit experiment ({} transfers in one block window)",
+        o.requests_made()
+    ));
+    report.add_row(format!(
+        "event collection failures: {}",
+        o.event_collection_failures()
+    ));
+    report.add_row(format!(
+        "completed: {} ({:.1}%)",
+        o.completed(),
+        100.0 * o.completed() as f64 / requested as f64
+    ));
+    report.add_row(format!(
+        "stuck:     {} ({:.1}%)",
+        o.stuck(),
+        100.0 * o.stuck() as f64 / requested as f64
+    ));
+    report.add_note("paper: 2.5% completed, 15.7% timed out, 81.8% stuck");
+    for (key, value) in &o.metrics {
+        report.set_metric(key.clone(), *value);
+    }
+    report
+}
+
+/// The registry name embedded in a sweep point's name (`fig8/rate=60/...`).
+fn fig_name(outcome: &ScenarioOutcome) -> String {
+    outcome
+        .spec
+        .name
+        .split('/')
+        .next()
+        .unwrap_or_default()
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::run_parallel;
+
+    #[test]
+    fn registry_contains_every_figure_and_table() {
+        let expected = [
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "table1",
+            "websocket_limit",
+        ];
+        assert_eq!(names(), expected);
+        for name in expected {
+            let entry = get(name).unwrap_or_else(|| panic!("{name} not registered"));
+            assert_eq!(entry.name, name);
+            assert!(!entry.title.is_empty());
+            // Every grid expands to at least one runnable point in both modes.
+            for mode in [SweepMode::Quick, SweepMode::Full] {
+                assert!(!entry.grid(mode).points().is_empty());
+            }
+        }
+        assert!(get("fig99").is_none());
+    }
+
+    #[test]
+    fn full_grids_are_supersets_of_quick_grids() {
+        for entry in entries() {
+            let quick = entry.grid(SweepMode::Quick).points().len();
+            let full = entry.grid(SweepMode::Full).points().len();
+            assert!(full >= quick, "{}: full {full} < quick {quick}", entry.name);
+        }
+    }
+
+    #[test]
+    fn rendering_uses_sweep_outcomes() {
+        // Tiny synthetic sweep: run the cheapest entry end to end.
+        let entry = get("fig7").unwrap();
+        let grid = SweepGrid::new(
+            ExperimentSpec::tendermint_throughput()
+                .named("fig7")
+                .seed(1),
+        )
+        .input_rates([20, 40]);
+        let outcomes = run_parallel(&grid.points(), 2);
+        let report = entry.render(&outcomes);
+        assert_eq!(report.rows.len(), 3); // header + 2 rates
+        assert!(report.metric("block_interval_secs_at_20").is_some());
+    }
+}

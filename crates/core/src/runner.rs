@@ -69,7 +69,10 @@ enum Ev {
 /// Runs one experiment: deploys the testnet, drives block production on both
 /// chains, feeds events to the relayers, submits the workload and returns the
 /// collected raw data.
-pub fn run_experiment(deployment: &DeploymentConfig, workload_config: &WorkloadConfig) -> RunOutput {
+pub fn run_experiment(
+    deployment: &DeploymentConfig,
+    workload_config: &WorkloadConfig,
+) -> RunOutput {
     let mut testnet = Testnet::build(deployment);
     let workload_rpc = make_rpc(&testnet.chain_a, deployment, &testnet.rng, "workload-cli");
     let mut workload = WorkloadConnector::new(
@@ -142,7 +145,11 @@ pub fn run_experiment(deployment: &DeploymentConfig, workload_config: &WorkloadC
                     let ibc = chain.app().ibc();
                     let sent = ibc.sent_sequences(&testnet.path.port, &testnet.path.src_channel);
                     let outstanding = ibc
-                        .unacknowledged_packets(&testnet.path.port, &testnet.path.src_channel, &sent)
+                        .unacknowledged_packets(
+                            &testnet.path.port,
+                            &testnet.path.src_channel,
+                            &sent,
+                        )
                         .len();
                     let done = workload.finished_submitting() && outstanding == 0;
                     done || measured >= target_blocks + grace_blocks
@@ -203,7 +210,11 @@ pub fn run_experiment(deployment: &DeploymentConfig, workload_config: &WorkloadC
             for event in &result.events {
                 if event.kind == ibc_events::SEND_PACKET {
                     if let Some(packet) = ibc_events::packet_from_event(event) {
-                        telemetry.record(packet.sequence, TransferStep::TransferBroadcast, record.broadcast_at);
+                        telemetry.record(
+                            packet.sequence,
+                            TransferStep::TransferBroadcast,
+                            record.broadcast_at,
+                        );
                     }
                 }
             }
@@ -250,7 +261,10 @@ mod tests {
         let run = run_experiment(&deployment, &workload);
         assert_eq!(run.submission.submitted, 200);
         // All 200 transfers eventually acknowledge back on the source chain.
-        assert_eq!(run.telemetry.count_for_step(TransferStep::AckConfirmation), 200);
+        assert_eq!(
+            run.telemetry.count_for_step(TransferStep::AckConfirmation),
+            200
+        );
         assert!(run.blocks_a.len() >= 4);
         assert!(!run.blocks_b.is_empty());
         assert!(run.measurement_end > run.measurement_start);

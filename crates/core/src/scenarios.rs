@@ -1,18 +1,128 @@
-//! The paper's experiments, packaged as reusable scenario functions.
+//! Spec-driven scenario execution.
 //!
-//! Each function deploys a fresh testnet, executes one configuration of one
-//! experiment and returns the metrics that the corresponding table or figure
-//! reports. The `bench` crate sweeps these functions over the paper's
-//! parameter ranges to regenerate every table and figure.
+//! [`run`] takes an [`ExperimentSpec`], deploys a fresh testnet, executes the
+//! configured workload and returns the unified
+//! [`ScenarioOutcome`](crate::outcome::ScenarioOutcome) carrying every metric
+//! the paper reports. The positional-argument functions that earlier
+//! revisions exposed (`relayer_throughput(60, 1, 200, 10, 42)` — which one
+//! is the RTT?) survive as thin `#[deprecated]` wrappers over the builder
+//! API so old call sites keep compiling.
 
 use serde::{Deserialize, Serialize};
 
 use crate::analysis;
-use crate::config::{DeploymentConfig, WorkloadConfig};
+use crate::outcome::{keys, ScenarioOutcome};
 use crate::report::ExecutionReport;
 use crate::runner::{run_experiment, RunOutput};
+use crate::spec::ExperimentSpec;
+
+/// Executes a spec end to end and returns its raw data for custom analysis.
+///
+/// Most callers want [`run`]; this entry point exists for examples and tests
+/// that inspect chains, telemetry or block records directly.
+pub fn run_raw(spec: &ExperimentSpec) -> RunOutput {
+    run_experiment(&spec.resolved_deployment(), &spec.workload)
+}
+
+/// Computes the unified outcome of a finished run.
+///
+/// Every metric is computed for every scenario family — the spec's kind
+/// picks defaults at build time, never the shape of the result.
+pub fn outcome_from(spec: &ExperimentSpec, run: &RunOutput) -> ScenarioOutcome {
+    let mut outcome = ScenarioOutcome::new(spec.clone());
+    let breakdown = analysis::completion_breakdown(run);
+    let steps = analysis::step_breakdown(run);
+
+    outcome.set(keys::THROUGHPUT_TFPS, analysis::throughput_tfps(run));
+    outcome.set(
+        keys::TENDERMINT_THROUGHPUT_TFPS,
+        analysis::tendermint_throughput_tfps(run),
+    );
+    outcome.set(
+        keys::AVG_BLOCK_INTERVAL_SECS,
+        analysis::average_block_interval_secs(run),
+    );
+    outcome.set(keys::REQUESTS_MADE, run.submission.requests_made as f64);
+    outcome.set(keys::SUBMITTED, run.submission.submitted as f64);
+    outcome.set(keys::COMMITTED, analysis::committed_transfers(run) as f64);
+    outcome.set(keys::COMPLETED, breakdown.completed as f64);
+    outcome.set(keys::PARTIAL, breakdown.partial as f64);
+    outcome.set(keys::INITIATED, breakdown.initiated as f64);
+    outcome.set(keys::NOT_COMMITTED, breakdown.not_committed as f64);
+    outcome.set(
+        keys::REDUNDANT_PACKET_ERRORS,
+        analysis::redundant_packet_errors(run) as f64,
+    );
+    outcome.set(
+        keys::EVENT_COLLECTION_FAILURES,
+        run.relayer_stats
+            .iter()
+            .map(|s| s.event_collection_failures)
+            .sum::<u64>() as f64,
+    );
+    outcome.set(
+        keys::COMPLETION_LATENCY_SECS,
+        analysis::completion_latency(run).unwrap_or(steps.total_secs),
+    );
+    outcome.set(keys::TRANSFER_PHASE_SECS, steps.transfer_phase_secs);
+    outcome.set(keys::RECV_PHASE_SECS, steps.recv_phase_secs);
+    outcome.set(keys::ACK_PHASE_SECS, steps.ack_phase_secs);
+    outcome.set(keys::TRANSFER_PULL_SECS, steps.transfer_pull_secs);
+    outcome.set(keys::RECV_PULL_SECS, steps.recv_pull_secs);
+    outcome.set(keys::DATA_PULL_SHARE, steps.data_pull_share());
+    outcome
+}
+
+/// Deploys, executes and analyses one spec: the single entry point every
+/// figure, sweep and test goes through.
+pub fn run(spec: &ExperimentSpec) -> ScenarioOutcome {
+    let raw = run_raw(spec);
+    outcome_from(spec, &raw)
+}
+
+/// Builds an [`ExecutionReport`] from any run output.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `scenarios::outcome_from(spec, run).to_report()` — outcomes carry the full metric set"
+)]
+pub fn report_for(name: &str, run: &RunOutput) -> ExecutionReport {
+    let mut report = ExecutionReport::new(name);
+    let breakdown = analysis::completion_breakdown(run);
+    report.set_metric(keys::THROUGHPUT_TFPS, analysis::throughput_tfps(run));
+    report.set_metric(
+        keys::TENDERMINT_THROUGHPUT_TFPS,
+        analysis::tendermint_throughput_tfps(run),
+    );
+    report.set_metric(
+        keys::AVG_BLOCK_INTERVAL_SECS,
+        analysis::average_block_interval_secs(run),
+    );
+    report.set_metric(keys::COMPLETED, breakdown.completed as f64);
+    report.set_metric(keys::PARTIAL, breakdown.partial as f64);
+    report.set_metric(keys::INITIATED, breakdown.initiated as f64);
+    report.set_metric(keys::NOT_COMMITTED, breakdown.not_committed as f64);
+    report.set_metric(keys::REQUESTS_MADE, run.submission.requests_made as f64);
+    report.set_metric(keys::SUBMITTED, run.submission.submitted as f64);
+    report.set_metric(
+        keys::REDUNDANT_PACKET_ERRORS,
+        analysis::redundant_packet_errors(run) as f64,
+    );
+    report.add_note(format!(
+        "{} relayer(s), {} ms RTT, seed {}",
+        run.deployment.relayer_count, run.deployment.network_rtt_ms, run.deployment.seed
+    ));
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated positional-argument API
+// ---------------------------------------------------------------------------
 
 /// One row of the Tendermint throughput experiments (Table I, Figs. 6 and 7).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ExperimentSpec` + `scenarios::run` and read `ScenarioOutcome` accessors"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TendermintRunResult {
     /// The configured input rate in requests (transfers) per second.
@@ -29,34 +139,33 @@ pub struct TendermintRunResult {
     pub committed: u64,
 }
 
-/// Runs one Tendermint-throughput configuration: `input_rate_rps` sustained
-/// for 15 consecutive blocks, no relaying (the paper only measures inclusion
-/// of `MsgTransfer`).
+/// Runs one Tendermint-throughput configuration.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ExperimentSpec::tendermint_throughput().input_rate(..).rtt_ms(..).seed(..)` with `scenarios::run`"
+)]
+#[allow(deprecated)]
 pub fn tendermint_throughput(input_rate_rps: u64, rtt_ms: u64, seed: u64) -> TendermintRunResult {
-    let workload = WorkloadConfig {
-        run_to_completion: false,
-        ..WorkloadConfig::from_input_rate(input_rate_rps, 15)
-    };
-    let deployment = DeploymentConfig {
-        relayer_count: 0,
-        network_rtt_ms: rtt_ms,
-        user_accounts: workload.txs_per_window().max(1) as usize,
-        seed,
-        ..DeploymentConfig::default()
-    };
-    let run = run_experiment(&deployment, &workload);
+    let outcome = run(&ExperimentSpec::tendermint_throughput()
+        .input_rate(input_rate_rps)
+        .rtt_ms(rtt_ms)
+        .seed(seed));
     TendermintRunResult {
         input_rate_rps,
-        throughput_tfps: analysis::tendermint_throughput_tfps(&run),
-        avg_block_interval_secs: analysis::average_block_interval_secs(&run),
-        requests_made: run.submission.requests_made,
-        submitted: run.submission.submitted,
-        committed: analysis::committed_transfers(&run),
+        throughput_tfps: outcome.tendermint_throughput_tfps(),
+        avg_block_interval_secs: outcome.avg_block_interval_secs(),
+        requests_made: outcome.requests_made(),
+        submitted: outcome.submitted(),
+        committed: outcome.committed(),
     }
 }
 
 /// One data point of the relayer throughput / completion experiments
 /// (Figs. 8–11).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ExperimentSpec` + `scenarios::run` and read `ScenarioOutcome` accessors"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RelayerRunResult {
     /// The configured input rate in transfers per second.
@@ -65,7 +174,7 @@ pub struct RelayerRunResult {
     pub relayer_count: usize,
     /// Emulated round-trip latency in milliseconds.
     pub rtt_ms: u64,
-    /// Completed transfers per second over the 50-block window (Figs. 8/9).
+    /// Completed transfers per second over the window (Figs. 8/9).
     pub throughput_tfps: f64,
     /// Transfer completion breakdown at the end of the window (Figs. 10/11).
     pub completed: u64,
@@ -79,8 +188,12 @@ pub struct RelayerRunResult {
     pub redundant_packet_errors: u64,
 }
 
-/// Runs one relayer-throughput configuration: `input_rate_rps` sustained over
-/// `measurement_blocks` source blocks with `relayer_count` relayers.
+/// Runs one relayer-throughput configuration.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ExperimentSpec::relayer_throughput().input_rate(..).relayers(..).rtt_ms(..).measurement_blocks(..).seed(..)` with `scenarios::run`"
+)]
+#[allow(deprecated)]
 pub fn relayer_throughput(
     input_rate_rps: u64,
     relayer_count: usize,
@@ -88,34 +201,31 @@ pub fn relayer_throughput(
     measurement_blocks: u64,
     seed: u64,
 ) -> RelayerRunResult {
-    let workload = WorkloadConfig {
-        run_to_completion: false,
-        ..WorkloadConfig::from_input_rate(input_rate_rps, measurement_blocks)
-    };
-    let deployment = DeploymentConfig {
-        relayer_count,
-        network_rtt_ms: rtt_ms,
-        user_accounts: workload.txs_per_window().max(1) as usize,
-        seed,
-        ..DeploymentConfig::default()
-    };
-    let run = run_experiment(&deployment, &workload);
-    let breakdown = analysis::completion_breakdown(&run);
+    let outcome = run(&ExperimentSpec::relayer_throughput()
+        .input_rate(input_rate_rps)
+        .relayers(relayer_count)
+        .rtt_ms(rtt_ms)
+        .measurement_blocks(measurement_blocks)
+        .seed(seed));
     RelayerRunResult {
         input_rate_rps,
         relayer_count,
         rtt_ms,
-        throughput_tfps: analysis::throughput_tfps(&run),
-        completed: breakdown.completed,
-        partial: breakdown.partial,
-        initiated: breakdown.initiated,
-        not_committed: breakdown.not_committed,
-        redundant_packet_errors: analysis::redundant_packet_errors(&run),
+        throughput_tfps: outcome.throughput_tfps(),
+        completed: outcome.completed(),
+        partial: outcome.partial(),
+        initiated: outcome.initiated(),
+        not_committed: outcome.not_committed(),
+        redundant_packet_errors: outcome.redundant_packet_errors(),
     }
 }
 
 /// The result of the latency-breakdown experiment (Fig. 12) and of each point
 /// of the submission-strategy experiment (Fig. 13).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ExperimentSpec` + `scenarios::run` and read `ScenarioOutcome` accessors"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct LatencyRunResult {
     /// Number of transfers submitted.
@@ -134,47 +244,45 @@ pub struct LatencyRunResult {
     pub transfer_pull_secs: f64,
     /// Time spent in the receive data-pull step, in seconds.
     pub recv_pull_secs: f64,
-    /// Fraction of the total time spent in RPC data pulls (the paper reports
-    /// ≈0.69 for the 5,000-transfer single-block case).
+    /// Fraction of the total time spent in RPC data pulls.
     pub data_pull_share: f64,
 }
 
-/// Runs the latency experiment: `transfers` cross-chain transfers submitted
-/// over `submission_blocks` block windows, measured to full completion
-/// (Figs. 12 and 13).
-pub fn latency_run(transfers: u64, submission_blocks: u64, rtt_ms: u64, seed: u64) -> LatencyRunResult {
-    let workload = WorkloadConfig {
-        total_transfers: transfers,
-        submission_blocks,
-        measurement_blocks: submission_blocks.max(1),
-        run_to_completion: true,
-        completion_grace_blocks: 600,
-        ..WorkloadConfig::default()
-    };
-    let deployment = DeploymentConfig {
-        relayer_count: 1,
-        network_rtt_ms: rtt_ms,
-        user_accounts: workload.txs_per_window().max(1) as usize,
-        seed,
-        ..DeploymentConfig::default()
-    };
-    let run = run_experiment(&deployment, &workload);
-    let steps = analysis::step_breakdown(&run);
+/// Runs the latency experiment.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ExperimentSpec::latency().transfers(..).submission_blocks(..).rtt_ms(..).seed(..)` with `scenarios::run`"
+)]
+#[allow(deprecated)]
+pub fn latency_run(
+    transfers: u64,
+    submission_blocks: u64,
+    rtt_ms: u64,
+    seed: u64,
+) -> LatencyRunResult {
+    let outcome = run(&ExperimentSpec::latency()
+        .transfers(transfers)
+        .submission_blocks(submission_blocks)
+        .rtt_ms(rtt_ms)
+        .seed(seed));
     LatencyRunResult {
         transfers,
         submission_blocks,
-        completion_latency_secs: analysis::completion_latency(&run).unwrap_or(steps.total_secs),
-        transfer_phase_secs: steps.transfer_phase_secs,
-        recv_phase_secs: steps.recv_phase_secs,
-        ack_phase_secs: steps.ack_phase_secs,
-        transfer_pull_secs: steps.transfer_pull_secs,
-        recv_pull_secs: steps.recv_pull_secs,
-        data_pull_share: steps.data_pull_share(),
+        completion_latency_secs: outcome.completion_latency_secs(),
+        transfer_phase_secs: outcome.transfer_phase_secs(),
+        recv_phase_secs: outcome.recv_phase_secs(),
+        ack_phase_secs: outcome.ack_phase_secs(),
+        transfer_pull_secs: outcome.transfer_pull_secs(),
+        recv_pull_secs: outcome.recv_pull_secs(),
+        data_pull_share: outcome.data_pull_share(),
     }
 }
 
-/// Result of the WebSocket frame-limit experiment (§V, "WebSocket space
-/// limit").
+/// Result of the WebSocket frame-limit experiment (§V).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ExperimentSpec` + `scenarios::run` and read `ScenarioOutcome` accessors"
+)]
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct WebSocketLimitResult {
     /// Transfers requested.
@@ -188,55 +296,22 @@ pub struct WebSocketLimitResult {
     pub event_collection_failures: u64,
 }
 
-/// Reproduces the WebSocket-limit deployment challenge: a block carrying far
-/// more IBC events than the 16 MiB frame limit allows, with the packet-clear
-/// interval disabled, leaving most transfers stuck.
+/// Reproduces the WebSocket-limit deployment challenge.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `ExperimentSpec::websocket_limit().transfers(..).seed(..)` with `scenarios::run`"
+)]
+#[allow(deprecated)]
 pub fn websocket_limit_run(transfers: u64, seed: u64) -> WebSocketLimitResult {
-    let workload = WorkloadConfig {
-        total_transfers: transfers,
-        submission_blocks: 1,
-        measurement_blocks: 12,
-        timeout_blocks: 6,
-        run_to_completion: false,
-        ..WorkloadConfig::default()
-    };
-    let deployment = DeploymentConfig {
-        relayer_count: 1,
-        network_rtt_ms: 0,
-        user_accounts: workload.txs_per_window().max(1) as usize,
-        seed,
-        ..DeploymentConfig::default()
-    };
-    let run = run_experiment(&deployment, &workload);
-    let breakdown = analysis::completion_breakdown(&run);
+    let outcome = run(&ExperimentSpec::websocket_limit()
+        .transfers(transfers)
+        .seed(seed));
     WebSocketLimitResult {
-        requested: run.submission.requests_made,
-        completed: breakdown.completed,
-        stuck: breakdown.initiated + breakdown.partial,
-        event_collection_failures: run.relayer_stats.iter().map(|s| s.event_collection_failures).sum(),
+        requested: outcome.requests_made(),
+        completed: outcome.completed(),
+        stuck: outcome.stuck(),
+        event_collection_failures: outcome.event_collection_failures(),
     }
-}
-
-/// Builds an [`ExecutionReport`] from any run output, used by examples and by
-/// the report binaries.
-pub fn report_for(name: &str, run: &RunOutput) -> ExecutionReport {
-    let mut report = ExecutionReport::new(name);
-    let breakdown = analysis::completion_breakdown(run);
-    report.set_metric("throughput_tfps", analysis::throughput_tfps(run));
-    report.set_metric("tendermint_throughput_tfps", analysis::tendermint_throughput_tfps(run));
-    report.set_metric("avg_block_interval_secs", analysis::average_block_interval_secs(run));
-    report.set_metric("completed", breakdown.completed as f64);
-    report.set_metric("partial", breakdown.partial as f64);
-    report.set_metric("initiated", breakdown.initiated as f64);
-    report.set_metric("not_committed", breakdown.not_committed as f64);
-    report.set_metric("requests_made", run.submission.requests_made as f64);
-    report.set_metric("submitted", run.submission.submitted as f64);
-    report.set_metric("redundant_packet_errors", analysis::redundant_packet_errors(run) as f64);
-    report.add_note(format!(
-        "{} relayer(s), {} ms RTT, seed {}",
-        run.deployment.relayer_count, run.deployment.network_rtt_ms, run.deployment.seed
-    ));
-    report
 }
 
 #[cfg(test)]
@@ -245,42 +320,75 @@ mod tests {
 
     #[test]
     fn small_tendermint_run_commits_requested_transfers() {
-        let result = tendermint_throughput(40, 0, 1);
-        assert_eq!(result.requests_made, 40 * 5 * 15);
-        assert_eq!(result.submitted, result.requests_made);
-        assert!(result.committed > 0);
-        assert!(result.throughput_tfps > 0.0);
-        assert!(result.avg_block_interval_secs >= 5.0);
+        let outcome = run(&ExperimentSpec::tendermint_throughput()
+            .input_rate(40)
+            .rtt_ms(0)
+            .seed(1));
+        assert_eq!(outcome.requests_made(), 40 * 5 * 15);
+        assert_eq!(outcome.submitted(), outcome.requests_made());
+        assert!(outcome.committed() > 0);
+        assert!(outcome.tendermint_throughput_tfps() > 0.0);
+        assert!(outcome.avg_block_interval_secs() >= 5.0);
     }
 
     #[test]
     fn small_relayer_run_completes_transfers() {
-        let result = relayer_throughput(20, 1, 0, 6, 1);
-        assert!(result.completed > 0, "completed = {}", result.completed);
-        assert!(result.throughput_tfps > 0.0);
+        let outcome = run(&ExperimentSpec::relayer_throughput()
+            .input_rate(20)
+            .relayers(1)
+            .rtt_ms(0)
+            .measurement_blocks(6)
+            .seed(1));
+        assert!(
+            outcome.completed() > 0,
+            "completed = {}",
+            outcome.completed()
+        );
+        assert!(outcome.throughput_tfps() > 0.0);
         assert_eq!(
-            result.completed + result.partial + result.initiated + result.not_committed,
+            outcome.completed() + outcome.partial() + outcome.initiated() + outcome.not_committed(),
             20 * 5 * 6
         );
     }
 
     #[test]
     fn latency_run_reports_phase_breakdown() {
-        let result = latency_run(300, 1, 0, 1);
-        assert!(result.completion_latency_secs > 0.0);
-        assert!(result.recv_phase_secs >= 0.0);
-        assert!(result.data_pull_share > 0.0 && result.data_pull_share < 1.0);
+        let outcome = run(&ExperimentSpec::latency()
+            .transfers(300)
+            .submission_blocks(1)
+            .rtt_ms(0)
+            .seed(1));
+        assert!(outcome.completion_latency_secs() > 0.0);
+        assert!(outcome.recv_phase_secs() >= 0.0);
+        assert!(outcome.data_pull_share() > 0.0 && outcome.data_pull_share() < 1.0);
     }
 
     #[test]
     fn splitting_submission_reduces_latency_for_large_batches() {
-        let single = latency_run(1_200, 1, 0, 7);
-        let split = latency_run(1_200, 4, 0, 7);
+        let base = ExperimentSpec::latency().transfers(1_200).rtt_ms(0).seed(7);
+        let single = run(&base.clone().submission_blocks(1));
+        let split = run(&base.submission_blocks(4));
         assert!(
-            split.completion_latency_secs < single.completion_latency_secs,
+            split.completion_latency_secs() < single.completion_latency_secs(),
             "split {} vs single {}",
-            split.completion_latency_secs,
-            single.completion_latency_secs
+            split.completion_latency_secs(),
+            single.completion_latency_secs()
         );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_match_the_spec_api() {
+        let legacy = relayer_throughput(20, 1, 0, 4, 3);
+        let outcome = run(&ExperimentSpec::relayer_throughput()
+            .input_rate(20)
+            .relayers(1)
+            .rtt_ms(0)
+            .measurement_blocks(4)
+            .seed(3));
+        assert_eq!(legacy.throughput_tfps, outcome.throughput_tfps());
+        assert_eq!(legacy.completed, outcome.completed());
+        assert_eq!(legacy.partial, outcome.partial());
+        assert_eq!(legacy.not_committed, outcome.not_committed());
     }
 }

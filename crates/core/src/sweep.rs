@@ -1,0 +1,371 @@
+//! Declarative parameter sweeps executed on a worker pool.
+//!
+//! A [`SweepGrid`] is a base [`ExperimentSpec`] plus axes (input rates ×
+//! relayer counts × RTTs × submission strategies × transfer counts × seeds).
+//! [`SweepGrid::points`] expands the cartesian product into a deterministic,
+//! ordered list of specs; [`run_parallel`] executes any spec list on a
+//! `std::thread::scope` worker pool. Because every run is fully determined
+//! by its spec (all randomness flows from the seed), a parallel sweep
+//! produces outcomes identical to a sequential one — the engine asserts
+//! nothing less, and `tests/spec_api.rs` verifies it byte-for-byte.
+//!
+//! This module is also the single home of the sweep-related environment
+//! variables that the bench binaries used to parse individually:
+//!
+//! * `XCC_FULL_SWEEP` — when set, use the paper's full parameter ranges
+//!   ([`SweepMode::from_env`]);
+//! * `XCC_SWEEP_THREADS` — worker-pool size ([`worker_threads`]), defaulting
+//!   to the machine's available parallelism;
+//! * `XCC_OUTPUT` — `text` (default), `json` or `csv` figure output
+//!   ([`OutputFormat::from_env`]).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use crate::outcome::ScenarioOutcome;
+use crate::scenarios;
+use crate::spec::ExperimentSpec;
+
+/// Quick sweeps keep CI fast; full sweeps reproduce the paper's ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SweepMode {
+    /// Reduced parameter ranges (default).
+    Quick,
+    /// The paper's complete parameter ranges (`XCC_FULL_SWEEP`).
+    Full,
+}
+
+impl SweepMode {
+    /// Reads the mode from the `XCC_FULL_SWEEP` environment variable.
+    pub fn from_env() -> Self {
+        if std::env::var("XCC_FULL_SWEEP").is_ok() {
+            SweepMode::Full
+        } else {
+            SweepMode::Quick
+        }
+    }
+
+    /// Picks `full` in full mode, `quick` otherwise.
+    pub fn pick<T>(&self, quick: T, full: T) -> T {
+        match self {
+            SweepMode::Quick => quick,
+            SweepMode::Full => full,
+        }
+    }
+}
+
+/// How figure runners emit their results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputFormat {
+    /// The human-readable figure table (default).
+    Text,
+    /// One JSON document carrying every outcome (spec included).
+    Json,
+    /// A CSV table, one row per sweep point.
+    Csv,
+}
+
+impl OutputFormat {
+    /// Reads the format from the `XCC_OUTPUT` environment variable.
+    pub fn from_env() -> Self {
+        match std::env::var("XCC_OUTPUT").as_deref() {
+            Ok("json") => OutputFormat::Json,
+            Ok("csv") => OutputFormat::Csv,
+            _ => OutputFormat::Text,
+        }
+    }
+}
+
+/// The worker-pool size: `XCC_SWEEP_THREADS` if set, otherwise the machine's
+/// available parallelism.
+pub fn worker_threads() -> usize {
+    if let Ok(raw) = std::env::var("XCC_SWEEP_THREADS") {
+        if let Ok(n) = raw.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Deterministically derives the seed for sweep point `index` from a base
+/// seed (splitmix64 of the pair), so grids without an explicit seed axis
+/// still give every point an independent, reproducible random stream.
+pub fn derive_seed(base_seed: u64, index: u64) -> u64 {
+    let mut z = base_seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// `count` seeds derived from `base_seed` via [`derive_seed`].
+pub fn derived_seeds(base_seed: u64, count: usize) -> Vec<u64> {
+    (0..count as u64)
+        .map(|i| derive_seed(base_seed, i))
+        .collect()
+}
+
+/// A declarative parameter grid over one base spec.
+///
+/// Empty axes keep the base spec's value. [`points`](SweepGrid::points)
+/// iterates the cartesian product with input rate as the outermost axis and
+/// seed as the innermost, so outcomes group naturally per configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepGrid {
+    /// The spec every point starts from.
+    pub base: ExperimentSpec,
+    /// Input rates in transfers per second (rate-driven families).
+    pub input_rates: Vec<u64>,
+    /// Relayer counts.
+    pub relayer_counts: Vec<usize>,
+    /// Network round-trip times in milliseconds.
+    pub rtts_ms: Vec<u64>,
+    /// Submission strategies: block windows the batch is spread over.
+    pub submission_blocks: Vec<u64>,
+    /// Total transfer counts (latency / websocket families).
+    pub transfer_counts: Vec<u64>,
+    /// Explicit seeds; empty means "one point with the base seed".
+    pub seeds: Vec<u64>,
+}
+
+impl SweepGrid {
+    /// A grid with no axes: exactly one point, the base spec itself.
+    pub fn new(base: ExperimentSpec) -> Self {
+        SweepGrid {
+            base,
+            input_rates: Vec::new(),
+            relayer_counts: Vec::new(),
+            rtts_ms: Vec::new(),
+            submission_blocks: Vec::new(),
+            transfer_counts: Vec::new(),
+            seeds: Vec::new(),
+        }
+    }
+
+    /// Sets the input-rate axis.
+    pub fn input_rates(mut self, rates: impl IntoIterator<Item = u64>) -> Self {
+        self.input_rates = rates.into_iter().collect();
+        self
+    }
+
+    /// Sets the relayer-count axis.
+    pub fn relayer_counts(mut self, counts: impl IntoIterator<Item = usize>) -> Self {
+        self.relayer_counts = counts.into_iter().collect();
+        self
+    }
+
+    /// Sets the RTT axis.
+    pub fn rtts_ms(mut self, rtts: impl IntoIterator<Item = u64>) -> Self {
+        self.rtts_ms = rtts.into_iter().collect();
+        self
+    }
+
+    /// Sets the submission-strategy axis.
+    pub fn submission_blocks(mut self, blocks: impl IntoIterator<Item = u64>) -> Self {
+        self.submission_blocks = blocks.into_iter().collect();
+        self
+    }
+
+    /// Sets the transfer-count axis.
+    pub fn transfer_counts(mut self, counts: impl IntoIterator<Item = u64>) -> Self {
+        self.transfer_counts = counts.into_iter().collect();
+        self
+    }
+
+    /// Sets the seed axis.
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Sets the seed axis to `count` seeds derived from the base seed.
+    pub fn derived_seeds(self, count: usize) -> Self {
+        let base_seed = self.base.deployment.seed;
+        self.seeds(derived_seeds(base_seed, count))
+    }
+
+    /// The number of points the grid expands to.
+    pub fn len(&self) -> usize {
+        fn axis(len: usize) -> usize {
+            len.max(1)
+        }
+        axis(self.input_rates.len())
+            * axis(self.relayer_counts.len())
+            * axis(self.rtts_ms.len())
+            * axis(self.submission_blocks.len())
+            * axis(self.transfer_counts.len())
+            * axis(self.seeds.len())
+    }
+
+    /// Whether the grid expands to no points (never: it is at least 1).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Expands the grid into an ordered list of specs. Point names extend the
+    /// base name with the axis values that produced them, so sweep output is
+    /// self-describing.
+    pub fn points(&self) -> Vec<ExperimentSpec> {
+        fn axis<T: Copy>(values: &[T]) -> Vec<Option<T>> {
+            if values.is_empty() {
+                vec![None]
+            } else {
+                values.iter().copied().map(Some).collect()
+            }
+        }
+
+        let mut specs = Vec::with_capacity(self.len());
+        for rate in axis(&self.input_rates) {
+            for relayers in axis(&self.relayer_counts) {
+                for rtt in axis(&self.rtts_ms) {
+                    for blocks in axis(&self.submission_blocks) {
+                        for transfers in axis(&self.transfer_counts) {
+                            for seed in axis(&self.seeds) {
+                                let mut spec = self.base.clone();
+                                let mut name = spec.name.clone();
+                                if let Some(rate) = rate {
+                                    spec = spec.input_rate(rate);
+                                    name.push_str(&format!("/rate={rate}"));
+                                }
+                                if let Some(relayers) = relayers {
+                                    spec = spec.relayers(relayers);
+                                    name.push_str(&format!("/relayers={relayers}"));
+                                }
+                                if let Some(rtt) = rtt {
+                                    spec = spec.rtt_ms(rtt);
+                                    name.push_str(&format!("/rtt={rtt}"));
+                                }
+                                if let Some(transfers) = transfers {
+                                    spec = spec.transfers(transfers);
+                                    name.push_str(&format!("/transfers={transfers}"));
+                                }
+                                if let Some(blocks) = blocks {
+                                    spec = spec.submission_blocks(blocks);
+                                    name.push_str(&format!("/blocks={blocks}"));
+                                }
+                                if let Some(seed) = seed {
+                                    spec = spec.seed(seed);
+                                    name.push_str(&format!("/seed={seed}"));
+                                }
+                                specs.push(spec.named(name));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        specs
+    }
+
+    /// Runs the whole grid on the default worker pool.
+    pub fn run(&self) -> Vec<ScenarioOutcome> {
+        run_parallel(&self.points(), worker_threads())
+    }
+}
+
+/// Runs the specs sequentially, in order.
+pub fn run_sequential(specs: &[ExperimentSpec]) -> Vec<ScenarioOutcome> {
+    specs.iter().map(scenarios::run).collect()
+}
+
+/// Runs the specs on a pool of `threads` workers, returning outcomes in spec
+/// order. Every run is deterministic in its spec, so the result is identical
+/// to [`run_sequential`] regardless of scheduling.
+pub fn run_parallel(specs: &[ExperimentSpec], threads: usize) -> Vec<ScenarioOutcome> {
+    let threads = threads.max(1).min(specs.len().max(1));
+    if threads <= 1 {
+        return run_sequential(specs);
+    }
+
+    let next: AtomicUsize = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<ScenarioOutcome>>> =
+        specs.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = specs.get(index) else { break };
+                let outcome = scenarios::run(spec);
+                *slots[index].lock().expect("sweep slot poisoned") = Some(outcome);
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("sweep slot poisoned")
+                .expect("every sweep point was executed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_expansion_is_the_cartesian_product_in_order() {
+        let grid = SweepGrid::new(ExperimentSpec::relayer_throughput().measurement_blocks(4))
+            .input_rates([20, 40])
+            .rtts_ms([0, 200])
+            .seeds([1, 2]);
+        assert_eq!(grid.len(), 8);
+        let points = grid.points();
+        assert_eq!(points.len(), 8);
+        assert_eq!(points[0].name, "relayer_throughput/rate=20/rtt=0/seed=1");
+        assert_eq!(points[1].name, "relayer_throughput/rate=20/rtt=0/seed=2");
+        assert_eq!(points[2].name, "relayer_throughput/rate=20/rtt=200/seed=1");
+        assert_eq!(points[7].name, "relayer_throughput/rate=40/rtt=200/seed=2");
+        assert_eq!(points[7].deployment.seed, 2);
+        assert_eq!(points[7].deployment.network_rtt_ms, 200);
+        assert_eq!(points[7].workload.transfers_per_window(), 200);
+    }
+
+    #[test]
+    fn empty_axes_keep_the_base_spec() {
+        let base = ExperimentSpec::latency().transfers(100);
+        let grid = SweepGrid::new(base.clone());
+        assert_eq!(grid.len(), 1);
+        assert_eq!(grid.points(), vec![base]);
+    }
+
+    #[test]
+    fn derived_seeds_are_stable_and_distinct() {
+        let a = derived_seeds(42, 8);
+        let b = derived_seeds(42, 8);
+        assert_eq!(a, b);
+        let mut unique = a.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), 8);
+        assert_ne!(derived_seeds(43, 8), a);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_a_small_grid() {
+        let grid = SweepGrid::new(
+            ExperimentSpec::relayer_throughput()
+                .measurement_blocks(3)
+                .rtt_ms(0),
+        )
+        .input_rates([10, 20])
+        .seeds([1, 2]);
+        let specs = grid.points();
+        let sequential = run_sequential(&specs);
+        let parallel = run_parallel(&specs, 4);
+        assert_eq!(sequential, parallel);
+        assert_eq!(sequential.len(), 4);
+    }
+
+    #[test]
+    fn mode_pick_selects_by_variant() {
+        assert_eq!(SweepMode::Quick.pick(1, 2), 1);
+        assert_eq!(SweepMode::Full.pick(1, 2), 2);
+    }
+}

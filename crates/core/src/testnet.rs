@@ -34,7 +34,12 @@ pub struct Testnet {
 }
 
 /// Builds an RPC endpoint for a chain using the deployment's latency model.
-pub fn make_rpc(chain: &SharedChain, deployment: &DeploymentConfig, rng: &DetRng, label: &str) -> RpcEndpoint {
+pub fn make_rpc(
+    chain: &SharedChain,
+    deployment: &DeploymentConfig,
+    rng: &DetRng,
+    label: &str,
+) -> RpcEndpoint {
     RpcEndpoint::new(
         chain.clone(),
         RpcCostModel::default(),
@@ -150,8 +155,12 @@ pub fn open_channel(chain_a: &SharedChain, chain_b: &SharedChain) -> RelayPath {
     let (conn_b, _) = ibc_b
         .conn_open_try(&client_on_b, &client_on_a, &conn_a)
         .expect("client exists on chain B");
-    ibc_a.conn_open_ack(&conn_a, &conn_b).expect("connection in Init");
-    ibc_b.conn_open_confirm(&conn_b).expect("connection in TryOpen");
+    ibc_a
+        .conn_open_ack(&conn_a, &conn_b)
+        .expect("connection in Init");
+    ibc_b
+        .conn_open_confirm(&conn_b)
+        .expect("connection in TryOpen");
 
     // ICS-04: unordered transfer channel, as in the paper's deployment.
     let port = PortId::transfer();
@@ -161,8 +170,12 @@ pub fn open_channel(chain_a: &SharedChain, chain_b: &SharedChain) -> RelayPath {
     let (chan_b, _) = ibc_b
         .chan_open_try(&port, &conn_b, &port, &chan_a, Order::Unordered)
         .expect("connection open on chain B");
-    ibc_a.chan_open_ack(&port, &chan_a, &chan_b).expect("channel in Init");
-    ibc_b.chan_open_confirm(&port, &chan_b).expect("channel in TryOpen");
+    ibc_a
+        .chan_open_ack(&port, &chan_a, &chan_b)
+        .expect("channel in Init");
+    ibc_b
+        .chan_open_confirm(&port, &chan_b)
+        .expect("channel in TryOpen");
 
     RelayPath {
         port,
@@ -209,12 +222,27 @@ mod tests {
 
     #[test]
     fn builds_are_deterministic_for_a_seed() {
-        let deployment = DeploymentConfig { user_accounts: 2, ..DeploymentConfig::default() };
+        let deployment = DeploymentConfig {
+            user_accounts: 2,
+            ..DeploymentConfig::default()
+        };
         let t1 = Testnet::build(&deployment);
         let t2 = Testnet::build(&deployment);
         assert_eq!(
-            t1.chain_a.borrow().latest_block().unwrap().block.header.hash(),
-            t2.chain_a.borrow().latest_block().unwrap().block.header.hash()
+            t1.chain_a
+                .borrow()
+                .latest_block()
+                .unwrap()
+                .block
+                .header
+                .hash(),
+            t2.chain_a
+                .borrow()
+                .latest_block()
+                .unwrap()
+                .block
+                .header
+                .hash()
         );
         assert_eq!(t1.path, t2.path);
     }

@@ -68,14 +68,21 @@ pub struct WorkloadConnector {
 impl WorkloadConnector {
     /// Creates a workload connector submitting through `rpc` (a full node of
     /// the source chain).
-    pub fn new(config: WorkloadConfig, path: RelayPath, rpc: RpcEndpoint, user_count: usize) -> Self {
+    pub fn new(
+        config: WorkloadConfig,
+        path: RelayPath,
+        rpc: RpcEndpoint,
+        user_count: usize,
+    ) -> Self {
         let fee_denom = rpc.chain().borrow().app().fee_denom().to_string();
         WorkloadConnector {
             remaining: config.total_transfers,
             config,
             path,
             rpc,
-            users: (0..user_count.max(1)).map(|i| AccountId::new(format!("user-{i}"))).collect(),
+            users: (0..user_count.max(1))
+                .map(|i| AccountId::new(format!("user-{i}")))
+                .collect(),
             next_user: 0,
             fee_denom,
             cli_free: SimTime::ZERO,
@@ -109,10 +116,7 @@ impl WorkloadConnector {
             return;
         }
         self.windows_submitted += 1;
-        let mut to_submit = self
-            .config
-            .transfers_per_window()
-            .min(self.remaining);
+        let mut to_submit = self.config.transfers_per_window().min(self.remaining);
         let timeout_height = if self.config.timeout_blocks == 0 {
             Height::ZERO
         } else {
@@ -139,8 +143,7 @@ impl WorkloadConnector {
             self.cached_seqs.insert(user.clone(), sequence);
 
             // Building and signing the transaction costs CLI time.
-            t += self.config.cli_cost_per_tx
-                + SimDuration::from_micros(40) * batch as u64;
+            t += self.config.cli_cost_per_tx + SimDuration::from_micros(40) * batch as u64;
 
             let msgs: Vec<Msg> = (0..batch)
                 .map(|_| {

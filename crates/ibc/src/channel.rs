@@ -109,7 +109,10 @@ mod tests {
         let end = ChannelEnd::new(
             ChannelState::Init,
             Order::Unordered,
-            ChannelCounterparty { port_id: PortId::transfer(), channel_id: None },
+            ChannelCounterparty {
+                port_id: PortId::transfer(),
+                channel_id: None,
+            },
             ConnectionId::with_index(0),
         );
         assert!(!end.is_open());

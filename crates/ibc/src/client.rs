@@ -83,11 +83,7 @@ pub struct ClientRecord {
 
 impl ClientRecord {
     /// Creates a client from an initial trusted header (`MsgCreateClient`).
-    pub fn create(
-        client_id: ClientId,
-        initial_header: &Header,
-        ibc_root: CommitmentRoot,
-    ) -> Self {
+    pub fn create(client_id: ClientId, initial_header: &Header, ibc_root: CommitmentRoot) -> Self {
         let mut light_client = LightClient::new(initial_header.chain_id.clone());
         light_client.trust_initial(initial_header);
         let height = Height::at(initial_header.height);
@@ -120,7 +116,10 @@ impl ClientRecord {
 
     /// The newest consensus state at or below `height`, used when a proof was
     /// generated slightly behind the client's latest update.
-    pub fn consensus_state_at_or_below(&self, height: Height) -> Option<(&Height, &ConsensusState)> {
+    pub fn consensus_state_at_or_below(
+        &self,
+        height: Height,
+    ) -> Option<(&Height, &ConsensusState)> {
         self.consensus_states.range(..=height).next_back()
     }
 
@@ -138,7 +137,9 @@ impl ClientRecord {
         }
         self.light_client
             .update(&update.header, &update.commit, &update.validators)
-            .map_err(|e| IbcError::ClientUpdateFailed { reason: e.to_string() })?;
+            .map_err(|e| IbcError::ClientUpdateFailed {
+                reason: e.to_string(),
+            })?;
         let height = Height::at(update.header.height);
         self.consensus_states.insert(
             height,
@@ -165,20 +166,32 @@ mod tests {
     use super::*;
     use xcc_tendermint::abci::{Application, CheckTxResult, DeliverTxResult};
     use xcc_tendermint::block::RawTx;
+    use xcc_tendermint::hash::sha256;
     use xcc_tendermint::mempool::MempoolConfig;
     use xcc_tendermint::node::Node;
     use xcc_tendermint::params::{ConsensusParams, ConsensusTimingModel};
-    use xcc_tendermint::hash::sha256;
 
     #[derive(Default)]
     struct NullApp;
     impl Application for NullApp {
         fn check_tx(&mut self, _tx: &RawTx) -> CheckTxResult {
-            CheckTxResult { code: 0, log: String::new(), gas_wanted: 1, sender: "x".into(), sequence: 0 }
+            CheckTxResult {
+                code: 0,
+                log: String::new(),
+                gas_wanted: 1,
+                sender: "x".into(),
+                sequence: 0,
+            }
         }
         fn begin_block(&mut self, _header: &Header) {}
         fn deliver_tx(&mut self, _tx: &RawTx) -> DeliverTxResult {
-            DeliverTxResult { code: 0, log: String::new(), gas_used: 1, gas_wanted: 1, events: vec![] }
+            DeliverTxResult {
+                code: 0,
+                log: String::new(),
+                gas_used: 1,
+                gas_wanted: 1,
+                events: vec![],
+            }
         }
         fn end_block(&mut self, _height: u64) {}
         fn commit(&mut self) -> Hash {
@@ -214,18 +227,22 @@ mod tests {
     fn create_and_update_client() {
         let node = source_chain(3);
         let genesis_header = &node.block_at(1).unwrap().block.header;
-        let mut client = ClientRecord::create(
-            ClientId::with_index(0),
-            genesis_header,
-            sha256(b"root-1"),
-        );
+        let mut client =
+            ClientRecord::create(ClientId::with_index(0), genesis_header, sha256(b"root-1"));
         assert_eq!(client.latest_height(), Height::at(1));
 
-        let h = client.update(&update_for(&node, 2, sha256(b"root-2"))).unwrap();
+        let h = client
+            .update(&update_for(&node, 2, sha256(b"root-2")))
+            .unwrap();
         assert_eq!(h, Height::at(2));
-        client.update(&update_for(&node, 3, sha256(b"root-3"))).unwrap();
+        client
+            .update(&update_for(&node, 3, sha256(b"root-3")))
+            .unwrap();
         assert_eq!(client.latest_height(), Height::at(3));
-        assert_eq!(client.consensus_state(Height::at(2)).unwrap().root, sha256(b"root-2"));
+        assert_eq!(
+            client.consensus_state(Height::at(2)).unwrap().root,
+            sha256(b"root-2")
+        );
     }
 
     #[test]
@@ -236,9 +253,13 @@ mod tests {
             &node.block_at(1).unwrap().block.header,
             sha256(b"root-1"),
         );
-        client.update(&update_for(&node, 2, sha256(b"root-2"))).unwrap();
+        client
+            .update(&update_for(&node, 2, sha256(b"root-2")))
+            .unwrap();
         // Replaying height 2 fails (non-monotonic).
-        assert!(client.update(&update_for(&node, 2, sha256(b"root-2"))).is_err());
+        assert!(client
+            .update(&update_for(&node, 2, sha256(b"root-2")))
+            .is_err());
 
         client.freeze();
         assert!(matches!(
@@ -255,7 +276,9 @@ mod tests {
             &node.block_at(1).unwrap().block.header,
             sha256(b"root-1"),
         );
-        client.update(&update_for(&node, 3, sha256(b"root-3"))).unwrap();
+        client
+            .update(&update_for(&node, 3, sha256(b"root-3")))
+            .unwrap();
         // Height 2 was skipped: lookups at height 2 fall back to height 1.
         let (h, cs) = client.consensus_state_at_or_below(Height::at(2)).unwrap();
         assert_eq!(*h, Height::at(1));

@@ -68,7 +68,11 @@ impl CommitmentProof {
     /// Approximate encoded size of the proof in bytes, used by the RPC
     /// response-size cost model.
     pub fn encoded_size(&self) -> usize {
-        let branch = self.merkle.as_ref().map(|m| m.siblings.len() * 32).unwrap_or(0);
+        let branch = self
+            .merkle
+            .as_ref()
+            .map(|m| m.siblings.len() * 32)
+            .unwrap_or(0);
         self.path.len() + 32 + 32 + branch + 32
     }
 }
@@ -138,7 +142,10 @@ impl CommitmentStore {
     }
 
     /// Iterates over paths with the given prefix.
-    pub fn iter_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = (&'a String, &'a Hash)> + 'a {
+    pub fn iter_prefix<'a>(
+        &'a self,
+        prefix: &'a str,
+    ) -> impl Iterator<Item = (&'a String, &'a Hash)> + 'a {
         self.entries
             .range(prefix.to_string()..)
             .take_while(move |(k, _)| k.starts_with(prefix))
@@ -225,7 +232,10 @@ mod tests {
     fn membership_proofs_verify_against_matching_root_only() {
         let mut s = CommitmentStore::new();
         for i in 0..20 {
-            s.set(format!("commitments/{i}"), sha256(format!("v{i}").as_bytes()));
+            s.set(
+                format!("commitments/{i}"),
+                sha256(format!("v{i}").as_bytes()),
+            );
         }
         let root = s.root();
         let proof = s.prove_membership("commitments/7").unwrap();

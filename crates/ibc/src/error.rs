@@ -95,20 +95,32 @@ impl std::fmt::Display for IbcError {
             IbcError::ConnectionNotFound { connection_id } => {
                 write!(f, "connection {connection_id} not found")
             }
-            IbcError::ChannelNotFound { port_id, channel_id } => {
+            IbcError::ChannelNotFound {
+                port_id,
+                channel_id,
+            } => {
                 write!(f, "channel {port_id}/{channel_id} not found")
             }
             IbcError::InvalidState { reason } => write!(f, "invalid state: {reason}"),
             IbcError::ClientUpdateFailed { reason } => write!(f, "client update failed: {reason}"),
             IbcError::ConsensusStateNotFound { client_id, height } => {
-                write!(f, "no consensus state for client {client_id} at height {height}")
+                write!(
+                    f,
+                    "no consensus state for client {client_id} at height {height}"
+                )
             }
             IbcError::InvalidProof { context } => write!(f, "invalid proof: {context}"),
             IbcError::PacketAlreadyReceived { sequence } => {
-                write!(f, "packet messages are redundant: sequence {sequence} already received")
+                write!(
+                    f,
+                    "packet messages are redundant: sequence {sequence} already received"
+                )
             }
             IbcError::PacketAlreadyAcknowledged { sequence } => {
-                write!(f, "packet messages are redundant: sequence {sequence} already acknowledged")
+                write!(
+                    f,
+                    "packet messages are redundant: sequence {sequence} already acknowledged"
+                )
             }
             IbcError::PacketCommitmentNotFound { sequence } => {
                 write!(f, "packet commitment not found for sequence {sequence}")
@@ -116,7 +128,10 @@ impl std::fmt::Display for IbcError {
             IbcError::PacketCommitmentMismatch { sequence } => {
                 write!(f, "packet commitment mismatch for sequence {sequence}")
             }
-            IbcError::PacketTimedOut { sequence, timeout_height } => {
+            IbcError::PacketTimedOut {
+                sequence,
+                timeout_height,
+            } => {
                 write!(f, "packet {sequence} timed out at height {timeout_height}")
             }
             IbcError::TimeoutNotReached { sequence } => {
@@ -135,14 +150,19 @@ mod tests {
 
     #[test]
     fn redundant_packet_error_uses_hermes_wording() {
-        let err = IbcError::PacketAlreadyReceived { sequence: Sequence::from(5) };
+        let err = IbcError::PacketAlreadyReceived {
+            sequence: Sequence::from(5),
+        };
         assert!(err.to_string().contains("packet messages are redundant"));
     }
 
     #[test]
     fn display_covers_key_variants() {
-        let errors = vec![
-            IbcError::ClientNotFound { client_id: ClientId::with_index(0) }.to_string(),
+        let errors = [
+            IbcError::ClientNotFound {
+                client_id: ClientId::with_index(0),
+            }
+            .to_string(),
             IbcError::ChannelNotFound {
                 port_id: PortId::transfer(),
                 channel_id: ChannelId::with_index(2),
@@ -153,7 +173,10 @@ mod tests {
                 timeout_height: Height::at(100),
             }
             .to_string(),
-            IbcError::Transfer { reason: "insufficient funds".into() }.to_string(),
+            IbcError::Transfer {
+                reason: "insufficient funds".into(),
+            }
+            .to_string(),
         ];
         assert!(errors[0].contains("07-tendermint-0"));
         assert!(errors[1].contains("transfer/channel-2"));

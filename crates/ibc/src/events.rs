@@ -49,7 +49,7 @@ fn encode_data(data: &[u8]) -> String {
 }
 
 fn decode_data(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     let mut out = Vec::with_capacity(s.len() / 2);

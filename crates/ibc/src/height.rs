@@ -34,11 +34,17 @@ impl Height {
 
     /// A height in revision zero, the common case in this workspace.
     pub fn at(height: u64) -> Self {
-        Height { revision: 0, height }
+        Height {
+            revision: 0,
+            height,
+        }
     }
 
     /// The zero height, used to mean "no timeout height".
-    pub const ZERO: Height = Height { revision: 0, height: 0 };
+    pub const ZERO: Height = Height {
+        revision: 0,
+        height: 0,
+    };
 
     /// `true` if this is the zero sentinel.
     pub fn is_zero(&self) -> bool {
@@ -47,12 +53,18 @@ impl Height {
 
     /// The next consecutive height in the same revision.
     pub fn increment(&self) -> Height {
-        Height { revision: self.revision, height: self.height + 1 }
+        Height {
+            revision: self.revision,
+            height: self.height + 1,
+        }
     }
 
     /// Adds `n` blocks within the same revision.
     pub fn add(&self, n: u64) -> Height {
-        Height { revision: self.revision, height: self.height + n }
+        Height {
+            revision: self.revision,
+            height: self.height + n,
+        }
     }
 }
 

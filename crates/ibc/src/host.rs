@@ -29,7 +29,11 @@ pub fn channel_path(port_id: &PortId, channel_id: &ChannelId) -> String {
 }
 
 /// Path of a packet commitment.
-pub fn packet_commitment_path(port_id: &PortId, channel_id: &ChannelId, sequence: Sequence) -> String {
+pub fn packet_commitment_path(
+    port_id: &PortId,
+    channel_id: &ChannelId,
+    sequence: Sequence,
+) -> String {
     format!("commitments/ports/{port_id}/channels/{channel_id}/sequences/{sequence}")
 }
 
@@ -90,11 +94,19 @@ mod tests {
     #[test]
     fn commitment_paths_follow_ics24_shape() {
         assert_eq!(
-            packet_commitment_path(&PortId::transfer(), &ChannelId::with_index(0), Sequence::from(1)),
+            packet_commitment_path(
+                &PortId::transfer(),
+                &ChannelId::with_index(0),
+                Sequence::from(1)
+            ),
             "commitments/ports/transfer/channels/channel-0/sequences/1"
         );
         assert_eq!(
-            packet_acknowledgement_path(&PortId::transfer(), &ChannelId::with_index(3), Sequence::from(7)),
+            packet_acknowledgement_path(
+                &PortId::transfer(),
+                &ChannelId::with_index(3),
+                Sequence::from(7)
+            ),
             "acks/ports/transfer/channels/channel-3/sequences/7"
         );
     }

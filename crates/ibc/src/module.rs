@@ -103,7 +103,11 @@ impl IbcModule {
 
     /// Creates a light client from an initial trusted header of the
     /// counterparty chain (`MsgCreateClient`).
-    pub fn create_client(&mut self, initial_header: &Header, ibc_root: CommitmentRoot) -> (ClientId, Vec<Event>) {
+    pub fn create_client(
+        &mut self,
+        initial_header: &Header,
+        ibc_root: CommitmentRoot,
+    ) -> (ClientId, Vec<Event>) {
         let client_id = ClientId::with_index(self.client_counter);
         self.client_counter += 1;
         let record = ClientRecord::create(client_id.clone(), initial_header, ibc_root);
@@ -112,10 +116,8 @@ impl IbcModule {
             host::client_state_path(&client_id),
             hash_fields(&[b"client-state", initial_header.chain_id.as_bytes()]),
         );
-        self.store.set(
-            host::consensus_state_path(&client_id, height),
-            ibc_root,
-        );
+        self.store
+            .set(host::consensus_state_path(&client_id, height), ibc_root);
         self.clients.insert(client_id.clone(), record);
         let event = Event::new("create_client")
             .with_attr("client_id", client_id.as_str())
@@ -128,14 +130,22 @@ impl IbcModule {
     /// # Errors
     ///
     /// Fails when the client does not exist or header verification fails.
-    pub fn update_client(&mut self, client_id: &ClientId, update: &ClientUpdate) -> Result<Vec<Event>, IbcError> {
+    pub fn update_client(
+        &mut self,
+        client_id: &ClientId,
+        update: &ClientUpdate,
+    ) -> Result<Vec<Event>, IbcError> {
         let record = self
             .clients
             .get_mut(client_id)
-            .ok_or_else(|| IbcError::ClientNotFound { client_id: client_id.clone() })?;
+            .ok_or_else(|| IbcError::ClientNotFound {
+                client_id: client_id.clone(),
+            })?;
         let height = record.update(update)?;
-        self.store
-            .set(host::consensus_state_path(client_id, height), update.ibc_root);
+        self.store.set(
+            host::consensus_state_path(client_id, height),
+            update.ibc_root,
+        );
         Ok(vec![Event::new("update_client")
             .with_attr("client_id", client_id.as_str())
             .with_attr("consensus_height", height.to_string())])
@@ -208,7 +218,10 @@ impl IbcModule {
         self.write_connection(&connection_id, end);
         let event = Event::new("connection_open_try")
             .with_attr("connection_id", connection_id.as_str())
-            .with_attr("counterparty_connection_id", counterparty_connection_id.as_str());
+            .with_attr(
+                "counterparty_connection_id",
+                counterparty_connection_id.as_str(),
+            );
         Ok((connection_id, vec![event]))
     }
 
@@ -222,21 +235,26 @@ impl IbcModule {
         connection_id: &ConnectionId,
         counterparty_connection_id: &ConnectionId,
     ) -> Result<Vec<Event>, IbcError> {
-        let end = self
-            .connections
-            .get_mut(connection_id)
-            .ok_or_else(|| IbcError::ConnectionNotFound { connection_id: connection_id.clone() })?;
+        let end = self.connections.get_mut(connection_id).ok_or_else(|| {
+            IbcError::ConnectionNotFound {
+                connection_id: connection_id.clone(),
+            }
+        })?;
         if end.state != ConnectionState::Init {
             return Err(IbcError::InvalidState {
-                reason: format!("connection {connection_id} must be in Init to ack, is {:?}", end.state),
+                reason: format!(
+                    "connection {connection_id} must be in Init to ack, is {:?}",
+                    end.state
+                ),
             });
         }
         end.state = ConnectionState::Open;
         end.counterparty.connection_id = Some(counterparty_connection_id.clone());
         let end = end.clone();
         self.write_connection(connection_id, end);
-        Ok(vec![Event::new("connection_open_ack")
-            .with_attr("connection_id", connection_id.as_str())])
+        Ok(vec![
+            Event::new("connection_open_ack").with_attr("connection_id", connection_id.as_str())
+        ])
     }
 
     /// Completes the handshake on the responding chain (`ConnOpenConfirm`).
@@ -244,11 +262,15 @@ impl IbcModule {
     /// # Errors
     ///
     /// Fails when the connection does not exist or is not in `TryOpen` state.
-    pub fn conn_open_confirm(&mut self, connection_id: &ConnectionId) -> Result<Vec<Event>, IbcError> {
-        let end = self
-            .connections
-            .get_mut(connection_id)
-            .ok_or_else(|| IbcError::ConnectionNotFound { connection_id: connection_id.clone() })?;
+    pub fn conn_open_confirm(
+        &mut self,
+        connection_id: &ConnectionId,
+    ) -> Result<Vec<Event>, IbcError> {
+        let end = self.connections.get_mut(connection_id).ok_or_else(|| {
+            IbcError::ConnectionNotFound {
+                connection_id: connection_id.clone(),
+            }
+        })?;
         if end.state != ConnectionState::TryOpen {
             return Err(IbcError::InvalidState {
                 reason: format!(
@@ -291,7 +313,10 @@ impl IbcModule {
         let end = ChannelEnd::new(
             ChannelState::Init,
             ordering,
-            ChannelCounterparty { port_id: counterparty_port_id.clone(), channel_id: None },
+            ChannelCounterparty {
+                port_id: counterparty_port_id.clone(),
+                channel_id: None,
+            },
             connection_id.clone(),
         );
         self.write_channel(port_id, &channel_id, end);
@@ -348,7 +373,10 @@ impl IbcModule {
         let end = self.channel_mut(port_id, channel_id)?;
         if end.state != ChannelState::Init {
             return Err(IbcError::InvalidState {
-                reason: format!("channel {channel_id} must be in Init to ack, is {:?}", end.state),
+                reason: format!(
+                    "channel {channel_id} must be in Init to ack, is {:?}",
+                    end.state
+                ),
             });
         }
         end.state = ChannelState::Open;
@@ -365,11 +393,18 @@ impl IbcModule {
     /// # Errors
     ///
     /// Fails when the channel does not exist or is not in `TryOpen` state.
-    pub fn chan_open_confirm(&mut self, port_id: &PortId, channel_id: &ChannelId) -> Result<Vec<Event>, IbcError> {
+    pub fn chan_open_confirm(
+        &mut self,
+        port_id: &PortId,
+        channel_id: &ChannelId,
+    ) -> Result<Vec<Event>, IbcError> {
         let end = self.channel_mut(port_id, channel_id)?;
         if end.state != ChannelState::TryOpen {
             return Err(IbcError::InvalidState {
-                reason: format!("channel {channel_id} must be in TryOpen to confirm, is {:?}", end.state),
+                reason: format!(
+                    "channel {channel_id} must be in TryOpen to confirm, is {:?}",
+                    end.state
+                ),
             });
         }
         end.state = ChannelState::Open;
@@ -447,7 +482,11 @@ impl IbcModule {
         let end = end.clone();
         self.write_channel(&params.source_port, &params.source_channel, end);
         self.sent_packets.insert(
-            (params.source_port.clone(), params.source_channel.clone(), sequence),
+            (
+                params.source_port.clone(),
+                params.source_channel.clone(),
+                sequence,
+            ),
             packet.clone(),
         );
 
@@ -498,7 +537,9 @@ impl IbcModule {
             packet.sequence,
         );
         if self.store.contains(&receipt_path) {
-            return Err(IbcError::PacketAlreadyReceived { sequence: packet.sequence });
+            return Err(IbcError::PacketAlreadyReceived {
+                sequence: packet.sequence,
+            });
         }
 
         // Verify the commitment proof against the counterparty's root.
@@ -591,15 +632,20 @@ impl IbcModule {
             })?
             .clone();
 
-        let commitment_path =
-            host::packet_commitment_path(&packet.source_port, &packet.source_channel, packet.sequence);
-        let stored = self
-            .store
-            .get(&commitment_path)
-            .copied()
-            .ok_or(IbcError::PacketAlreadyAcknowledged { sequence: packet.sequence })?;
+        let commitment_path = host::packet_commitment_path(
+            &packet.source_port,
+            &packet.source_channel,
+            packet.sequence,
+        );
+        let stored = self.store.get(&commitment_path).copied().ok_or(
+            IbcError::PacketAlreadyAcknowledged {
+                sequence: packet.sequence,
+            },
+        )?;
         if stored != packet.commitment() {
-            return Err(IbcError::PacketCommitmentMismatch { sequence: packet.sequence });
+            return Err(IbcError::PacketCommitmentMismatch {
+                sequence: packet.sequence,
+            });
         }
 
         // Verify the acknowledgement proof against the counterparty root.
@@ -650,15 +696,20 @@ impl IbcModule {
             })?
             .clone();
 
-        let commitment_path =
-            host::packet_commitment_path(&packet.source_port, &packet.source_channel, packet.sequence);
-        let stored = self
-            .store
-            .get(&commitment_path)
-            .copied()
-            .ok_or(IbcError::PacketCommitmentNotFound { sequence: packet.sequence })?;
+        let commitment_path = host::packet_commitment_path(
+            &packet.source_port,
+            &packet.source_channel,
+            packet.sequence,
+        );
+        let stored = self.store.get(&commitment_path).copied().ok_or(
+            IbcError::PacketCommitmentNotFound {
+                sequence: packet.sequence,
+            },
+        )?;
         if stored != packet.commitment() {
-            return Err(IbcError::PacketCommitmentMismatch { sequence: packet.sequence });
+            return Err(IbcError::PacketCommitmentMismatch {
+                sequence: packet.sequence,
+            });
         }
 
         // The packet must have expired relative to the counterparty state the
@@ -666,11 +717,15 @@ impl IbcModule {
         let connection = self
             .connections
             .get(&channel.connection_id)
-            .ok_or_else(|| IbcError::ConnectionNotFound { connection_id: channel.connection_id.clone() })?;
-        let client = self
-            .clients
-            .get(&connection.client_id)
-            .ok_or_else(|| IbcError::ClientNotFound { client_id: connection.client_id.clone() })?;
+            .ok_or_else(|| IbcError::ConnectionNotFound {
+                connection_id: channel.connection_id.clone(),
+            })?;
+        let client =
+            self.clients
+                .get(&connection.client_id)
+                .ok_or_else(|| IbcError::ClientNotFound {
+                    client_id: connection.client_id.clone(),
+                })?;
         let consensus = client
             .consensus_state_at_or_below(proof_height)
             .ok_or(IbcError::ConsensusStateNotFound {
@@ -679,7 +734,9 @@ impl IbcModule {
             })?
             .1;
         if !packet.has_timed_out(proof_height, consensus.timestamp) {
-            return Err(IbcError::TimeoutNotReached { sequence: packet.sequence });
+            return Err(IbcError::TimeoutNotReached {
+                sequence: packet.sequence,
+            });
         }
         let root = consensus.root;
         if !proof_unreceived.verify(&root) {
@@ -710,8 +767,15 @@ impl IbcModule {
     // ------------------------------------------------------------------
 
     /// The stored commitment for a sent packet, if still present.
-    pub fn packet_commitment(&self, port: &PortId, channel: &ChannelId, seq: Sequence) -> Option<Hash> {
-        self.store.get(&host::packet_commitment_path(port, channel, seq)).copied()
+    pub fn packet_commitment(
+        &self,
+        port: &PortId,
+        channel: &ChannelId,
+        seq: Sequence,
+    ) -> Option<Hash> {
+        self.store
+            .get(&host::packet_commitment_path(port, channel, seq))
+            .copied()
     }
 
     /// A membership proof of a packet commitment.
@@ -721,7 +785,8 @@ impl IbcModule {
         channel: &ChannelId,
         seq: Sequence,
     ) -> Option<CommitmentProof> {
-        self.store.prove_membership(&host::packet_commitment_path(port, channel, seq))
+        self.store
+            .prove_membership(&host::packet_commitment_path(port, channel, seq))
     }
 
     /// The acknowledgement written for a received packet, if any.
@@ -758,7 +823,8 @@ impl IbcModule {
 
     /// Whether a receipt exists for the given packet (i.e. it was received).
     pub fn has_receipt(&self, port: &PortId, channel: &ChannelId, seq: Sequence) -> bool {
-        self.store.contains(&host::packet_receipt_path(port, channel, seq))
+        self.store
+            .contains(&host::packet_receipt_path(port, channel, seq))
     }
 
     /// Filters `sequences` down to those not yet received on this chain
@@ -793,7 +859,12 @@ impl IbcModule {
 
     /// The packet originally sent with the given sequence, if this chain sent
     /// it.
-    pub fn sent_packet(&self, port: &PortId, channel: &ChannelId, seq: Sequence) -> Option<&Packet> {
+    pub fn sent_packet(
+        &self,
+        port: &PortId,
+        channel: &ChannelId,
+        seq: Sequence,
+    ) -> Option<&Packet> {
         self.sent_packets.get(&(port.clone(), channel.clone(), seq))
     }
 
@@ -814,7 +885,9 @@ impl IbcModule {
         if self.clients.contains_key(client_id) {
             Ok(())
         } else {
-            Err(IbcError::ClientNotFound { client_id: client_id.clone() })
+            Err(IbcError::ClientNotFound {
+                client_id: client_id.clone(),
+            })
         }
     }
 
@@ -822,11 +895,17 @@ impl IbcModule {
         if self.connections.contains_key(connection_id) {
             Ok(())
         } else {
-            Err(IbcError::ConnectionNotFound { connection_id: connection_id.clone() })
+            Err(IbcError::ConnectionNotFound {
+                connection_id: connection_id.clone(),
+            })
         }
     }
 
-    fn channel_mut(&mut self, port_id: &PortId, channel_id: &ChannelId) -> Result<&mut ChannelEnd, IbcError> {
+    fn channel_mut(
+        &mut self,
+        port_id: &PortId,
+        channel_id: &ChannelId,
+    ) -> Result<&mut ChannelEnd, IbcError> {
         self.channels
             .get_mut(&(port_id.clone(), channel_id.clone()))
             .ok_or_else(|| IbcError::ChannelNotFound {
@@ -838,7 +917,11 @@ impl IbcModule {
     fn write_connection(&mut self, connection_id: &ConnectionId, end: ConnectionEnd) {
         self.store.set(
             host::connection_path(connection_id),
-            hash_fields(&[b"connection-end", connection_id.as_str().as_bytes(), &[end.state as u8]]),
+            hash_fields(&[
+                b"connection-end",
+                connection_id.as_str().as_bytes(),
+                &[end.state as u8],
+            ]),
         );
         self.connections.insert(connection_id.clone(), end);
     }
@@ -854,7 +937,8 @@ impl IbcModule {
                 &end.next_sequence_send.value().to_be_bytes(),
             ]),
         );
-        self.channels.insert((port_id.clone(), channel_id.clone()), end);
+        self.channels
+            .insert((port_id.clone(), channel_id.clone()), end);
     }
 
     /// Looks up the counterparty commitment root recorded by the client
@@ -864,14 +948,18 @@ impl IbcModule {
         connection_id: &ConnectionId,
         proof_height: Height,
     ) -> Result<CommitmentRoot, IbcError> {
-        let connection = self
-            .connections
-            .get(connection_id)
-            .ok_or_else(|| IbcError::ConnectionNotFound { connection_id: connection_id.clone() })?;
-        let client = self
-            .clients
-            .get(&connection.client_id)
-            .ok_or_else(|| IbcError::ClientNotFound { client_id: connection.client_id.clone() })?;
+        let connection =
+            self.connections
+                .get(connection_id)
+                .ok_or_else(|| IbcError::ConnectionNotFound {
+                    connection_id: connection_id.clone(),
+                })?;
+        let client =
+            self.clients
+                .get(&connection.client_id)
+                .ok_or_else(|| IbcError::ClientNotFound {
+                    client_id: connection.client_id.clone(),
+                })?;
         // Exact height first, then the closest below (proofs may be generated
         // a block behind the latest client update).
         if let Some(cs) = client.consensus_state(proof_height) {
@@ -963,12 +1051,16 @@ mod tests {
         let (client_on_b, _) = b.create_client(&dummy_header("chain-a", 1), a.commitment_root());
 
         let (conn_a, _) = a.conn_open_init(&client_on_a, &client_on_b).unwrap();
-        let (conn_b, _) = b.conn_open_try(&client_on_b, &client_on_a, &conn_a).unwrap();
+        let (conn_b, _) = b
+            .conn_open_try(&client_on_b, &client_on_a, &conn_a)
+            .unwrap();
         a.conn_open_ack(&conn_a, &conn_b).unwrap();
         b.conn_open_confirm(&conn_b).unwrap();
 
         let port = PortId::transfer();
-        let (chan_a, _) = a.chan_open_init(&port, &conn_a, &port, Order::Unordered).unwrap();
+        let (chan_a, _) = a
+            .chan_open_init(&port, &conn_a, &port, Order::Unordered)
+            .unwrap();
         let (chan_b, _) = b
             .chan_open_try(&port, &conn_b, &port, &chan_a, Order::Unordered)
             .unwrap();
@@ -999,7 +1091,10 @@ mod tests {
     }
 
     fn ctx(height: u64) -> HostContext {
-        HostContext { height: Height::at(height), time: SimTime::from_secs(height * 5) }
+        HostContext {
+            height: Height::at(height),
+            time: SimTime::from_secs(height * 5),
+        }
     }
 
     fn transfer_params(chan: &ChannelId, amount: u128, timeout_height: u64) -> TransferParams {
@@ -1021,8 +1116,14 @@ mod tests {
         let port = PortId::transfer();
         assert!(a.channel(&port, &chan_a).unwrap().is_open());
         assert!(b.channel(&port, &chan_b).unwrap().is_open());
-        assert!(a.connection(&ConnectionId::with_index(0)).unwrap().is_open());
-        assert!(b.connection(&ConnectionId::with_index(0)).unwrap().is_open());
+        assert!(a
+            .connection(&ConnectionId::with_index(0))
+            .unwrap()
+            .is_open());
+        assert!(b
+            .connection(&ConnectionId::with_index(0))
+            .unwrap()
+            .is_open());
         assert_eq!(a.client_count(), 1);
     }
 
@@ -1040,11 +1141,15 @@ mod tests {
             .unwrap();
         assert_eq!(events[0].kind, events::SEND_PACKET);
         assert_eq!(packet.destination_channel, chan_b);
-        assert!(a.packet_commitment(&port, &chan_a, packet.sequence).is_some());
+        assert!(a
+            .packet_commitment(&port, &chan_a, packet.sequence)
+            .is_some());
 
         // 2. Relayer: update B's client with A's new root, then MsgRecvPacket.
         sync_root(&mut b, &a, 3);
-        let proof = a.prove_packet_commitment(&port, &chan_a, packet.sequence).unwrap();
+        let proof = a
+            .prove_packet_commitment(&port, &chan_a, packet.sequence)
+            .unwrap();
         let (ack, recv_events) = b
             .recv_packet(&ctx(3), &mut bank_b, &packet, &proof, Height::at(3))
             .unwrap();
@@ -1056,13 +1161,24 @@ mod tests {
 
         // 3. Relayer: update A's client with B's new root, then MsgAcknowledgement.
         sync_root(&mut a, &b, 4);
-        let ack_proof = b.prove_packet_acknowledgement(&port, &chan_b, packet.sequence).unwrap();
+        let ack_proof = b
+            .prove_packet_acknowledgement(&port, &chan_b, packet.sequence)
+            .unwrap();
         let ack_events = a
-            .acknowledge_packet(&ctx(4), &mut bank_a, &packet, &ack, &ack_proof, Height::at(4))
+            .acknowledge_packet(
+                &ctx(4),
+                &mut bank_a,
+                &packet,
+                &ack,
+                &ack_proof,
+                Height::at(4),
+            )
             .unwrap();
         assert_eq!(ack_events[0].kind, events::ACK_PACKET);
         // Commitment deleted after acknowledgement.
-        assert!(a.packet_commitment(&port, &chan_a, packet.sequence).is_none());
+        assert!(a
+            .packet_commitment(&port, &chan_a, packet.sequence)
+            .is_none());
         // Funds: escrowed on A, minted on B.
         assert_eq!(bank_a.get("alice", "uatom"), 750);
     }
@@ -1079,8 +1195,11 @@ mod tests {
             .send_transfer(&ctx(2), &mut bank_a, &transfer_params(&chan_a, 10, 1_000))
             .unwrap();
         sync_root(&mut b, &a, 3);
-        let proof = a.prove_packet_commitment(&port, &chan_a, packet.sequence).unwrap();
-        b.recv_packet(&ctx(3), &mut bank_b, &packet, &proof, Height::at(3)).unwrap();
+        let proof = a
+            .prove_packet_commitment(&port, &chan_a, packet.sequence)
+            .unwrap();
+        b.recv_packet(&ctx(3), &mut bank_b, &packet, &proof, Height::at(3))
+            .unwrap();
 
         // A second relayer delivers the same packet: redundant.
         let err = b
@@ -1102,14 +1221,34 @@ mod tests {
             .send_transfer(&ctx(2), &mut bank_a, &transfer_params(&chan_a, 10, 1_000))
             .unwrap();
         sync_root(&mut b, &a, 3);
-        let proof = a.prove_packet_commitment(&port, &chan_a, packet.sequence).unwrap();
-        let (ack, _) = b.recv_packet(&ctx(3), &mut bank_b, &packet, &proof, Height::at(3)).unwrap();
-        sync_root(&mut a, &b, 4);
-        let ack_proof = b.prove_packet_acknowledgement(&port, &chan_b, packet.sequence).unwrap();
-        a.acknowledge_packet(&ctx(4), &mut bank_a, &packet, &ack, &ack_proof, Height::at(4))
+        let proof = a
+            .prove_packet_commitment(&port, &chan_a, packet.sequence)
             .unwrap();
+        let (ack, _) = b
+            .recv_packet(&ctx(3), &mut bank_b, &packet, &proof, Height::at(3))
+            .unwrap();
+        sync_root(&mut a, &b, 4);
+        let ack_proof = b
+            .prove_packet_acknowledgement(&port, &chan_b, packet.sequence)
+            .unwrap();
+        a.acknowledge_packet(
+            &ctx(4),
+            &mut bank_a,
+            &packet,
+            &ack,
+            &ack_proof,
+            Height::at(4),
+        )
+        .unwrap();
         let err = a
-            .acknowledge_packet(&ctx(4), &mut bank_a, &packet, &ack, &ack_proof, Height::at(4))
+            .acknowledge_packet(
+                &ctx(4),
+                &mut bank_a,
+                &packet,
+                &ack,
+                &ack_proof,
+                Height::at(4),
+            )
             .unwrap_err();
         assert!(matches!(err, IbcError::PacketAlreadyAcknowledged { .. }));
     }
@@ -1127,7 +1266,9 @@ mod tests {
             .send_transfer(&ctx(2), &mut bank_a, &transfer_params(&chan_a, 10, 3))
             .unwrap();
         sync_root(&mut b, &a, 3);
-        let proof = a.prove_packet_commitment(&port, &chan_a, packet.sequence).unwrap();
+        let proof = a
+            .prove_packet_commitment(&port, &chan_a, packet.sequence)
+            .unwrap();
         let err = b
             .recv_packet(&ctx(5), &mut bank_b, &packet, &proof, Height::at(3))
             .unwrap_err();
@@ -1148,7 +1289,9 @@ mod tests {
 
         // Not yet expired at the counterparty: timeout rejected.
         sync_root(&mut a, &b, 3);
-        let proof = b.prove_packet_non_receipt(&port, &chan_b, packet.sequence).unwrap();
+        let proof = b
+            .prove_packet_non_receipt(&port, &chan_b, packet.sequence)
+            .unwrap();
         let err = a
             .timeout_packet(&ctx(3), &mut bank_a, &packet, &proof, Height::at(3))
             .unwrap_err();
@@ -1156,13 +1299,17 @@ mod tests {
 
         // Expired at height 5: timeout succeeds and refunds.
         sync_root(&mut a, &b, 5);
-        let proof = b.prove_packet_non_receipt(&port, &chan_b, packet.sequence).unwrap();
+        let proof = b
+            .prove_packet_non_receipt(&port, &chan_b, packet.sequence)
+            .unwrap();
         let events = a
             .timeout_packet(&ctx(5), &mut bank_a, &packet, &proof, Height::at(5))
             .unwrap();
         assert_eq!(events[0].kind, events::TIMEOUT_PACKET);
         assert_eq!(bank_a.get("alice", "uatom"), 100);
-        assert!(a.packet_commitment(&port, &chan_a, packet.sequence).is_none());
+        assert!(a
+            .packet_commitment(&port, &chan_a, packet.sequence)
+            .is_none());
     }
 
     #[test]
@@ -1181,7 +1328,9 @@ mod tests {
             .send_transfer(&ctx(2), &mut bank_a, &transfer_params(&chan_a, 10, 1_000))
             .unwrap();
         sync_root(&mut b, &a, 3);
-        let wrong_proof = a.prove_packet_commitment(&port, &chan_a, packet2.sequence).unwrap();
+        let wrong_proof = a
+            .prove_packet_commitment(&port, &chan_a, packet2.sequence)
+            .unwrap();
         let err = b
             .recv_packet(&ctx(3), &mut bank_b, &packet, &wrong_proof, Height::at(3))
             .unwrap_err();
@@ -1224,9 +1373,14 @@ mod tests {
             vec![packet.sequence]
         );
         sync_root(&mut b, &a, 3);
-        let proof = a.prove_packet_commitment(&port, &chan_a, packet.sequence).unwrap();
-        b.recv_packet(&ctx(3), &mut bank_b, &packet, &proof, Height::at(3)).unwrap();
-        assert!(b.unreceived_packets(&port, &chan_b, &[packet.sequence]).is_empty());
+        let proof = a
+            .prove_packet_commitment(&port, &chan_a, packet.sequence)
+            .unwrap();
+        b.recv_packet(&ctx(3), &mut bank_b, &packet, &proof, Height::at(3))
+            .unwrap();
+        assert!(b
+            .unreceived_packets(&port, &chan_b, &[packet.sequence])
+            .is_empty());
     }
 
     #[test]
@@ -1234,7 +1388,11 @@ mod tests {
         let mut a = IbcModule::new("chain-a");
         let mut bank = TestBank::default();
         let err = a
-            .send_transfer(&ctx(1), &mut bank, &transfer_params(&ChannelId::with_index(0), 1, 10))
+            .send_transfer(
+                &ctx(1),
+                &mut bank,
+                &transfer_params(&ChannelId::with_index(0), 1, 10),
+            )
             .unwrap_err();
         assert!(matches!(err, IbcError::ChannelNotFound { .. }));
     }
@@ -1244,7 +1402,9 @@ mod tests {
         let (mut a, _b, chan_a, _) = connected_pair();
         let port = PortId::transfer();
         // Channel already open: a second ack must fail.
-        let err = a.chan_open_ack(&port, &chan_a, &ChannelId::with_index(9)).unwrap_err();
+        let err = a
+            .chan_open_ack(&port, &chan_a, &ChannelId::with_index(9))
+            .unwrap_err();
         assert!(matches!(err, IbcError::InvalidState { .. }));
         // Unknown connection for a new channel.
         let err = a

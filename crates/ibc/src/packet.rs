@@ -108,7 +108,9 @@ impl Acknowledgement {
 
     /// An error acknowledgement with the given reason.
     pub fn error(reason: impl Into<String>) -> Self {
-        Acknowledgement::Error { error: reason.into() }
+        Acknowledgement::Error {
+            error: reason.into(),
+        }
     }
 
     /// `true` for a success acknowledgement.
@@ -161,8 +163,11 @@ mod tests {
         let c = packet(1, b"x", 101);
         assert_ne!(a.commitment(), b.commitment());
         assert_ne!(a.commitment(), c.commitment());
-        assert_eq!(a.commitment(), packet(2, b"x", 100).commitment(),
-            "the sequence is not part of the commitment value; it is part of the store path");
+        assert_eq!(
+            a.commitment(),
+            packet(2, b"x", 100).commitment(),
+            "the sequence is not part of the commitment value; it is part of the store path"
+        );
     }
 
     #[test]
@@ -184,7 +189,10 @@ mod tests {
     #[test]
     fn no_timeout_when_both_zero() {
         let p = packet(1, b"x", 0);
-        assert!(!p.has_timed_out(Height::at(u64::MAX), SimTime::from_secs(u64::MAX / 2_000_000_000)));
+        assert!(!p.has_timed_out(
+            Height::at(u64::MAX),
+            SimTime::from_secs(u64::MAX / 2_000_000_000)
+        ));
     }
 
     #[test]
@@ -199,6 +207,8 @@ mod tests {
 
     #[test]
     fn encoded_size_grows_with_data() {
-        assert!(packet(1, &[0u8; 500], 10).encoded_size() > packet(1, &[0u8; 10], 10).encoded_size());
+        assert!(
+            packet(1, &[0u8; 500], 10).encoded_size() > packet(1, &[0u8; 10], 10).encoded_size()
+        );
     }
 }

@@ -77,13 +77,17 @@ impl FungibleTokenPacketData {
             }
         }
         match (denom, amount, sender, receiver) {
-            (Some(denom), Some(amount), Some(sender), Some(receiver)) => Ok(FungibleTokenPacketData {
-                denom,
-                amount,
-                sender,
-                receiver,
+            (Some(denom), Some(amount), Some(sender), Some(receiver)) => {
+                Ok(FungibleTokenPacketData {
+                    denom,
+                    amount,
+                    sender,
+                    receiver,
+                })
+            }
+            _ => Err(IbcError::Transfer {
+                reason: "malformed ICS-20 packet data".into(),
             }),
-            _ => Err(IbcError::Transfer { reason: "malformed ICS-20 packet data".into() }),
         }
     }
 }
@@ -110,7 +114,11 @@ pub trait BankKeeper {
 
 /// The escrow account that holds tokens sent over a channel.
 pub fn escrow_address(port_id: &PortId, channel_id: &ChannelId) -> String {
-    let digest = hash_fields(&[b"ics20-escrow", port_id.as_str().as_bytes(), channel_id.as_str().as_bytes()]);
+    let digest = hash_fields(&[
+        b"ics20-escrow",
+        port_id.as_str().as_bytes(),
+        channel_id.as_str().as_bytes(),
+    ]);
     format!("escrow-{}", digest.short())
 }
 
@@ -174,7 +182,11 @@ pub fn on_recv_packet(bank: &mut dyn BankKeeper, packet: &Packet) -> Acknowledge
         }
     } else {
         // Foreign token: mint a voucher carrying the destination trace.
-        let voucher = prefixed_denom(&packet.destination_port, &packet.destination_channel, &data.denom);
+        let voucher = prefixed_denom(
+            &packet.destination_port,
+            &packet.destination_channel,
+            &data.denom,
+        );
         bank.mint(&data.receiver, &voucher, data.amount);
         Acknowledgement::success()
     }
@@ -244,7 +256,9 @@ mod tests {
         fn send(&mut self, from: &str, to: &str, denom: &str, amount: u128) -> Result<(), String> {
             let have = self.get(from, denom);
             if have < amount {
-                return Err(format!("insufficient funds: {from} has {have} {denom}, needs {amount}"));
+                return Err(format!(
+                    "insufficient funds: {from} has {have} {denom}, needs {amount}"
+                ));
             }
             self.set(from, denom, have - amount);
             let to_have = self.get(to, denom);
@@ -286,7 +300,10 @@ mod tests {
             sender: "alice".into(),
             receiver: "bob".into(),
         };
-        assert_eq!(FungibleTokenPacketData::from_bytes(&data.to_bytes()).unwrap(), data);
+        assert_eq!(
+            FungibleTokenPacketData::from_bytes(&data.to_bytes()).unwrap(),
+            data
+        );
         assert!(FungibleTokenPacketData::from_bytes(b"garbage").is_err());
         assert!(FungibleTokenPacketData::from_bytes(&[0xff, 0xfe]).is_err());
     }
@@ -312,7 +329,13 @@ mod tests {
             receiver: "bob".into(),
         };
         // Chain A escrows.
-        send_coins(&mut bank_a, &PortId::transfer(), &ChannelId::with_index(0), &data).unwrap();
+        send_coins(
+            &mut bank_a,
+            &PortId::transfer(),
+            &ChannelId::with_index(0),
+            &data,
+        )
+        .unwrap();
         let escrow = escrow_address(&PortId::transfer(), &ChannelId::with_index(0));
         assert_eq!(bank_a.get("alice", "uatom"), 600);
         assert_eq!(bank_a.get(&escrow, "uatom"), 400);
@@ -343,7 +366,13 @@ mod tests {
             sender: "bob".into(),
             receiver: "alice".into(),
         };
-        send_coins(&mut bank_b, &PortId::transfer(), &ChannelId::with_index(1), &data).unwrap();
+        send_coins(
+            &mut bank_b,
+            &PortId::transfer(),
+            &ChannelId::with_index(1),
+            &data,
+        )
+        .unwrap();
         assert_eq!(bank_b.get("bob", "transfer/channel-1/uatom"), 250);
 
         // Chain A receives: denom is prefixed with the packet's source trace
@@ -380,7 +409,13 @@ mod tests {
             sender: "alice".into(),
             receiver: "bob".into(),
         };
-        send_coins(&mut bank_a, &PortId::transfer(), &ChannelId::with_index(0), &data).unwrap();
+        send_coins(
+            &mut bank_a,
+            &PortId::transfer(),
+            &ChannelId::with_index(0),
+            &data,
+        )
+        .unwrap();
         assert_eq!(bank_a.get("alice", "uatom"), 0);
 
         let p = packet(&data, 0, 1);
@@ -402,7 +437,13 @@ mod tests {
             sender: "bob".into(),
             receiver: "alice".into(),
         };
-        send_coins(&mut bank_b, &PortId::transfer(), &ChannelId::with_index(1), &data).unwrap();
+        send_coins(
+            &mut bank_b,
+            &PortId::transfer(),
+            &ChannelId::with_index(1),
+            &data,
+        )
+        .unwrap();
         assert_eq!(bank_b.get("bob", "transfer/channel-1/uatom"), 0);
         let p = packet(&data, 1, 0);
         refund(&mut bank_b, &p).unwrap();

@@ -98,7 +98,9 @@ impl Relayer {
         mut src_rpc: RpcEndpoint,
         mut dst_rpc: RpcEndpoint,
     ) -> Self {
-        let src_account_seq = src_rpc.account_sequence(SimTime::ZERO, &config.source_account).value;
+        let src_account_seq = src_rpc
+            .account_sequence(SimTime::ZERO, &config.source_account)
+            .value;
         let dst_account_seq = dst_rpc
             .account_sequence(SimTime::ZERO, &config.destination_account)
             .value;
@@ -201,7 +203,8 @@ impl Relayer {
                                 TransferStep::TransferConfirmation,
                                 event_time,
                             );
-                            self.pending_delivery.insert(packet.sequence.value(), packet.clone());
+                            self.pending_delivery
+                                .insert(packet.sequence.value(), packet.clone());
                             new_packets.push(packet);
                         }
                     }
@@ -260,9 +263,10 @@ impl Relayer {
                     continue;
                 }
                 if event.kind == ibc_events::WRITE_ACK {
-                    if let (Some(packet), Some(ack)) =
-                        (ibc_events::packet_from_event(event), ibc_events::ack_from_event(event))
-                    {
+                    if let (Some(packet), Some(ack)) = (
+                        ibc_events::packet_from_event(event),
+                        ibc_events::ack_from_event(event),
+                    ) {
                         self.telemetry.record(
                             packet.sequence,
                             TransferStep::RecvMsgExtraction,
@@ -300,7 +304,10 @@ impl Relayer {
                 .unreceived_packets(t, &self.path.port, &self.path.dst_channel, &sequences);
         t = unreceived_resp.ready_at;
         let unreceived: HashSet<Sequence> = unreceived_resp.value.into_iter().collect();
-        let to_relay: Vec<&Packet> = packets.iter().filter(|p| unreceived.contains(&p.sequence)).collect();
+        let to_relay: Vec<&Packet> = packets
+            .iter()
+            .filter(|p| unreceived.contains(&p.sequence))
+            .collect();
         let skipped = packets.len() - to_relay.len();
         if skipped > 0 {
             self.stats.packets_skipped_already_relayed += skipped as u64;
@@ -332,7 +339,8 @@ impl Relayer {
                 proofs.insert(packet.sequence.value(), proof);
             }
             for seq in &seqs {
-                self.telemetry.record(*seq, TransferStep::TransferDataPull, t);
+                self.telemetry
+                    .record(*seq, TransferStep::TransferDataPull, t);
             }
         }
 
@@ -364,7 +372,8 @@ impl Relayer {
                     continue;
                 };
                 chunk_seqs.push(packet.sequence);
-                self.telemetry.record(packet.sequence, TransferStep::RecvBuild, t);
+                self.telemetry
+                    .record(packet.sequence, TransferStep::RecvBuild, t);
                 msgs.push(Msg::IbcRecvPacket {
                     packet: packet.clone(),
                     proof_commitment: proof.clone(),
@@ -397,13 +406,18 @@ impl Relayer {
         // Skip acknowledgements whose commitments are already cleared on the
         // source chain (another relayer acknowledged them first).
         let sequences: Vec<Sequence> = acked.iter().map(|(p, _)| p.sequence).collect();
-        let unacked_resp =
-            self.src_rpc
-                .unacknowledged_packets(t, &self.path.port, &self.path.src_channel, &sequences);
+        let unacked_resp = self.src_rpc.unacknowledged_packets(
+            t,
+            &self.path.port,
+            &self.path.src_channel,
+            &sequences,
+        );
         t = unacked_resp.ready_at;
         let unacked: HashSet<Sequence> = unacked_resp.value.into_iter().collect();
-        let to_relay: Vec<&(Packet, Acknowledgement)> =
-            acked.iter().filter(|(p, _)| unacked.contains(&p.sequence)).collect();
+        let to_relay: Vec<&(Packet, Acknowledgement)> = acked
+            .iter()
+            .filter(|(p, _)| unacked.contains(&p.sequence))
+            .collect();
         let skipped = acked.len() - to_relay.len();
         if skipped > 0 {
             self.stats.packets_skipped_already_relayed += skipped as u64;
@@ -452,7 +466,8 @@ impl Relayer {
         }];
         t = self.broadcast(ChainRole::Source, t, update_msgs, &[]);
 
-        let to_relay_owned: Vec<(Packet, Acknowledgement)> = to_relay.into_iter().cloned().collect();
+        let to_relay_owned: Vec<(Packet, Acknowledgement)> =
+            to_relay.into_iter().cloned().collect();
         for chunk in to_relay_owned.chunks(chunk_size) {
             t += self.config.build_cost_per_msg * chunk.len() as u64;
             let mut msgs = Vec::with_capacity(chunk.len());
@@ -462,7 +477,8 @@ impl Relayer {
                     continue;
                 };
                 chunk_seqs.push(packet.sequence);
-                self.telemetry.record(packet.sequence, TransferStep::AckBuild, t);
+                self.telemetry
+                    .record(packet.sequence, TransferStep::AckBuild, t);
                 msgs.push(Msg::IbcAcknowledgement {
                     packet: packet.clone(),
                     acknowledgement: ack.clone(),
@@ -546,7 +562,13 @@ impl Relayer {
     /// Builds, signs and broadcasts a transaction to one of the chains,
     /// handling account-sequence mismatches by re-syncing and retrying once.
     /// Returns the time at which the broadcast response was received.
-    fn broadcast(&mut self, to: ChainRole, at: SimTime, msgs: Vec<Msg>, _seqs: &[Sequence]) -> SimTime {
+    fn broadcast(
+        &mut self,
+        to: ChainRole,
+        at: SimTime,
+        msgs: Vec<Msg>,
+        _seqs: &[Sequence],
+    ) -> SimTime {
         let (account, fee_denom, seq) = match to {
             ChainRole::Source => (
                 self.config.source_account.clone(),
@@ -567,13 +589,13 @@ impl Relayer {
         let resp = rpc.broadcast_tx_sync(at, &tx);
         let mut ready = resp.ready_at;
         match resp.value {
-            Ok(_) => {
-                match to {
-                    ChainRole::Source => self.src_account_seq += 1,
-                    ChainRole::Destination => self.dst_account_seq += 1,
-                }
-            }
-            Err(BroadcastError::CheckTxFailed { log, .. }) if log.contains("account sequence mismatch") => {
+            Ok(_) => match to {
+                ChainRole::Source => self.src_account_seq += 1,
+                ChainRole::Destination => self.dst_account_seq += 1,
+            },
+            Err(BroadcastError::CheckTxFailed { log, .. })
+                if log.contains("account sequence mismatch") =>
+            {
                 self.stats.broadcast_failures += 1;
                 self.telemetry.record_error(ready, log);
                 // Re-sync the sequence from the chain and retry once.

@@ -64,7 +64,11 @@ impl TransferStep {
 
     /// The 1-based index the paper uses for the step.
     pub fn index(&self) -> usize {
-        Self::ALL.iter().position(|s| s == self).expect("step is in ALL") + 1
+        Self::ALL
+            .iter()
+            .position(|s| s == self)
+            .expect("step is in ALL")
+            + 1
     }
 
     /// A short human-readable label matching the paper's legend.
@@ -126,7 +130,10 @@ impl TelemetryLog {
 
     /// Records an error line.
     pub fn record_error(&mut self, at: SimTime, message: impl Into<String>) {
-        self.errors.push(RelayerError { at, message: message.into() });
+        self.errors.push(RelayerError {
+            at,
+            message: message.into(),
+        });
     }
 
     /// The recorded errors, in insertion order.
@@ -136,22 +143,35 @@ impl TelemetryLog {
 
     /// Number of errors whose message contains `needle`.
     pub fn errors_containing(&self, needle: &str) -> usize {
-        self.errors.iter().filter(|e| e.message.contains(needle)).count()
+        self.errors
+            .iter()
+            .filter(|e| e.message.contains(needle))
+            .count()
     }
 
     /// The time at which `step` completed for `sequence`, if recorded.
     pub fn step_time(&self, sequence: Sequence, step: TransferStep) -> Option<SimTime> {
-        self.steps.get(&sequence.value()).and_then(|m| m.get(&step)).copied()
+        self.steps
+            .get(&sequence.value())
+            .and_then(|m| m.get(&step))
+            .copied()
     }
 
     /// All completion times recorded for `step`, one per packet, unordered.
     pub fn times_for_step(&self, step: TransferStep) -> Vec<SimTime> {
-        self.steps.values().filter_map(|m| m.get(&step)).copied().collect()
+        self.steps
+            .values()
+            .filter_map(|m| m.get(&step))
+            .copied()
+            .collect()
     }
 
     /// Number of packets that completed `step`.
     pub fn count_for_step(&self, step: TransferStep) -> usize {
-        self.steps.values().filter(|m| m.contains_key(&step)).count()
+        self.steps
+            .values()
+            .filter(|m| m.contains_key(&step))
+            .count()
     }
 
     /// Sequences tracked by this log.
@@ -200,23 +220,37 @@ mod tests {
         log.record(seq, TransferStep::RecvBroadcast, SimTime::from_secs(20));
         log.record(seq, TransferStep::RecvBroadcast, SimTime::from_secs(10));
         log.record(seq, TransferStep::RecvBroadcast, SimTime::from_secs(30));
-        assert_eq!(log.step_time(seq, TransferStep::RecvBroadcast), Some(SimTime::from_secs(10)));
+        assert_eq!(
+            log.step_time(seq, TransferStep::RecvBroadcast),
+            Some(SimTime::from_secs(10))
+        );
     }
 
     #[test]
     fn counting_and_listing_steps() {
         let mut log = TelemetryLog::new();
         for i in 1..=5u64 {
-            log.record(Sequence::from(i), TransferStep::TransferBroadcast, SimTime::from_secs(i));
+            log.record(
+                Sequence::from(i),
+                TransferStep::TransferBroadcast,
+                SimTime::from_secs(i),
+            );
         }
-        log.record(Sequence::from(1), TransferStep::AckConfirmation, SimTime::from_secs(100));
+        log.record(
+            Sequence::from(1),
+            TransferStep::AckConfirmation,
+            SimTime::from_secs(100),
+        );
         assert_eq!(log.count_for_step(TransferStep::TransferBroadcast), 5);
         assert_eq!(log.count_for_step(TransferStep::AckConfirmation), 1);
         assert_eq!(log.times_for_step(TransferStep::TransferBroadcast).len(), 5);
         assert_eq!(log.sequences().len(), 5);
         assert_eq!(log.len(), 5);
         assert!(!log.is_empty());
-        assert_eq!(log.step_time(Sequence::from(9), TransferStep::RecvBuild), None);
+        assert_eq!(
+            log.step_time(Sequence::from(9), TransferStep::RecvBuild),
+            None
+        );
     }
 
     #[test]
@@ -233,12 +267,27 @@ mod tests {
     fn merge_takes_earliest_and_concatenates_errors() {
         let mut a = TelemetryLog::new();
         let mut b = TelemetryLog::new();
-        a.record(Sequence::from(1), TransferStep::RecvBroadcast, SimTime::from_secs(10));
-        b.record(Sequence::from(1), TransferStep::RecvBroadcast, SimTime::from_secs(5));
-        b.record(Sequence::from(2), TransferStep::RecvBroadcast, SimTime::from_secs(7));
+        a.record(
+            Sequence::from(1),
+            TransferStep::RecvBroadcast,
+            SimTime::from_secs(10),
+        );
+        b.record(
+            Sequence::from(1),
+            TransferStep::RecvBroadcast,
+            SimTime::from_secs(5),
+        );
+        b.record(
+            Sequence::from(2),
+            TransferStep::RecvBroadcast,
+            SimTime::from_secs(7),
+        );
         b.record_error(SimTime::from_secs(1), "x");
         a.merge(&b);
-        assert_eq!(a.step_time(Sequence::from(1), TransferStep::RecvBroadcast), Some(SimTime::from_secs(5)));
+        assert_eq!(
+            a.step_time(Sequence::from(1), TransferStep::RecvBroadcast),
+            Some(SimTime::from_secs(5))
+        );
         assert_eq!(a.len(), 2);
         assert_eq!(a.errors().len(), 1);
     }

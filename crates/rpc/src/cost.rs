@@ -87,7 +87,12 @@ pub struct RequestProfile {
 impl RequestProfile {
     /// A small fixed-size request (status, account query…).
     pub fn small(kind: RequestKind) -> Self {
-        RequestProfile { kind, response_bytes: 512, messages: 0, recv_heavy: false }
+        RequestProfile {
+            kind,
+            response_bytes: 512,
+            messages: 0,
+            recv_heavy: false,
+        }
     }
 }
 
@@ -174,8 +179,14 @@ mod tests {
                     .as_secs_f64()
             })
             .sum();
-        assert!((88.0..132.0).contains(&transfer_total), "transfer pulls total {transfer_total}s");
-        assert!((165.0..250.0).contains(&recv_total), "recv pulls total {recv_total}s");
+        assert!(
+            (88.0..132.0).contains(&transfer_total),
+            "transfer pulls total {transfer_total}s"
+        );
+        assert!(
+            (165.0..250.0).contains(&recv_total),
+            "recv pulls total {recv_total}s"
+        );
     }
 
     #[test]

@@ -53,8 +53,12 @@ pub enum BroadcastError {
 impl std::fmt::Display for BroadcastError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BroadcastError::CheckTxFailed { code, log } => write!(f, "broadcast failed (code {code}): {log}"),
-            BroadcastError::MempoolRejected { reason } => write!(f, "mempool rejected tx: {reason}"),
+            BroadcastError::CheckTxFailed { code, log } => {
+                write!(f, "broadcast failed (code {code}): {log}")
+            }
+            BroadcastError::MempoolRejected { reason } => {
+                write!(f, "mempool rejected tx: {reason}")
+            }
         }
     }
 }
@@ -128,7 +132,11 @@ impl RpcEndpoint {
         let request_arrives = now + self.latency.sample_one_way(&mut self.rng);
         let served_at = self.queue.submit(request_arrives, service);
         let ready_at = served_at + self.latency.sample_one_way(&mut self.rng);
-        RpcResponse { value, ready_at, response_bytes: profile.response_bytes }
+        RpcResponse {
+            value,
+            ready_at,
+            response_bytes: profile.response_bytes,
+        }
     }
 
     /// `status`: the chain id and latest committed height.
@@ -137,7 +145,11 @@ impl RpcEndpoint {
             let chain = self.chain.borrow();
             (chain.id().to_string(), chain.height())
         };
-        self.respond(now, RequestProfile::small(RequestKind::Status), (id, height))
+        self.respond(
+            now,
+            RequestProfile::small(RequestKind::Status),
+            (id, height),
+        )
     }
 
     /// Account sequence query, used by clients to sign their next
@@ -166,9 +178,9 @@ impl RpcEndpoint {
             xcc_tendermint::node::SubmitError::CheckTxFailed { code, log } => {
                 BroadcastError::CheckTxFailed { code, log }
             }
-            xcc_tendermint::node::SubmitError::Mempool(err) => {
-                BroadcastError::MempoolRejected { reason: err.to_string() }
-            }
+            xcc_tendermint::node::SubmitError::Mempool(err) => BroadcastError::MempoolRejected {
+                reason: err.to_string(),
+            },
         });
         self.respond(
             now,
@@ -190,7 +202,11 @@ impl RpcEndpoint {
 
     /// The execution results of every transaction committed at `height`
     /// (the `tx_search tx.height=X` query the analysis tooling uses).
-    pub fn block_tx_results(&mut self, now: SimTime, height: u64) -> RpcResponse<Vec<TxResultView>> {
+    pub fn block_tx_results(
+        &mut self,
+        now: SimTime,
+        height: u64,
+    ) -> RpcResponse<Vec<TxResultView>> {
         let (views, bytes) = self.collect_block_results(height);
         self.respond(
             now,
@@ -323,7 +339,10 @@ impl RpcEndpoint {
                 let height = latest.block.header.height;
                 ClientUpdate {
                     header: latest.block.header.clone(),
-                    commit: chain.commit_for(height).cloned().expect("latest block has a commit"),
+                    commit: chain
+                        .commit_for(height)
+                        .cloned()
+                        .expect("latest block has a commit"),
                     validators: chain.validators().clone(),
                     ibc_root: chain.app().ibc().commitment_root(),
                 }
@@ -436,18 +455,15 @@ impl RpcEndpoint {
     /// Extracts the IBC packets sent in the block at `height` over the given
     /// channel end, in event order (used by tests and the analysis pipeline;
     /// the relayer itself goes through the WebSocket path).
-    pub fn packets_sent_at(
-        &self,
-        height: u64,
-        port: &PortId,
-        channel: &ChannelId,
-    ) -> Vec<Packet> {
+    pub fn packets_sent_at(&self, height: u64, port: &PortId, channel: &ChannelId) -> Vec<Packet> {
         let (events, _) = self.block_events(height);
         events
             .iter()
             .filter(|(_, code, _)| *code == 0)
             .flat_map(|(_, _, events)| events.iter())
-            .filter(|e| e.kind == ibc_events::SEND_PACKET && ibc_events::is_for_channel(e, port, channel))
+            .filter(|e| {
+                e.kind == ibc_events::SEND_PACKET && ibc_events::is_for_channel(e, port, channel)
+            })
             .filter_map(ibc_events::packet_from_event)
             .collect()
     }
@@ -457,15 +473,14 @@ impl RpcEndpoint {
 mod tests {
     use super::*;
     use xcc_chain::chain::Chain;
+    use xcc_chain::coin::Coin;
     use xcc_chain::genesis::GenesisConfig;
     use xcc_chain::msg::Msg;
-    use xcc_chain::coin::Coin;
 
     fn endpoint(latency_ms: u64) -> RpcEndpoint {
-        let chain = Chain::new(
-            GenesisConfig::new("chain-a").with_funded_accounts("user", 3, 100_000_000),
-        )
-        .into_shared();
+        let chain =
+            Chain::new(GenesisConfig::new("chain-a").with_funded_accounts("user", 3, 100_000_000))
+                .into_shared();
         RpcEndpoint::new(
             chain,
             RpcCostModel::default(),
@@ -478,7 +493,11 @@ mod tests {
         Tx::new(
             "user-0".into(),
             seq,
-            vec![Msg::BankSend { from: "user-0".into(), to: "user-1".into(), amount: Coin::new("uatom", 1) }],
+            vec![Msg::BankSend {
+                from: "user-0".into(),
+                to: "user-1".into(),
+                amount: Coin::new("uatom", 1),
+            }],
             "uatom",
         )
     }
@@ -499,10 +518,15 @@ mod tests {
         assert_eq!(rpc.chain().borrow().mempool_size(), 1);
 
         // Stale sequence: the paper's "account sequence mismatch".
-        let err = rpc.broadcast_tx_sync(SimTime::ZERO, &bank_tx(0)).value.unwrap_err();
+        let err = rpc
+            .broadcast_tx_sync(SimTime::ZERO, &bank_tx(0))
+            .value
+            .unwrap_err();
         match err {
             BroadcastError::MempoolRejected { .. } => panic!("expected CheckTx failure"),
-            BroadcastError::CheckTxFailed { log, .. } => assert!(log.contains("account sequence mismatch")),
+            BroadcastError::CheckTxFailed { log, .. } => {
+                assert!(log.contains("account sequence mismatch"))
+            }
         }
     }
 
@@ -510,7 +534,9 @@ mod tests {
     fn queries_are_served_sequentially() {
         let mut rpc = endpoint(0);
         // Two expensive queries issued at the same instant: the second waits.
-        rpc.chain().borrow_mut().produce_block(SimTime::from_secs(5));
+        rpc.chain()
+            .borrow_mut()
+            .produce_block(SimTime::from_secs(5));
         let first = rpc.block_tx_results(SimTime::from_secs(5), 1);
         let second = rpc.block_tx_results(SimTime::from_secs(5), 1);
         assert!(second.ready_at > first.ready_at);
@@ -526,23 +552,42 @@ mod tests {
         let lan_ready = lan.status(t0).ready_at;
         let wan_ready = wan.status(t0).ready_at;
         let diff = (wan_ready - t0).as_millis() as i64 - (lan_ready - t0).as_millis() as i64;
-        assert!((195..=205).contains(&diff), "round trip difference was {diff}ms");
+        assert!(
+            (195..=205).contains(&diff),
+            "round trip difference was {diff}ms"
+        );
     }
 
     #[test]
     fn account_sequence_tracks_commits() {
         let mut rpc = endpoint(0);
-        assert_eq!(rpc.account_sequence(SimTime::ZERO, &"user-0".into()).value, 0);
-        rpc.broadcast_tx_sync(SimTime::ZERO, &bank_tx(0)).value.unwrap();
-        rpc.chain().borrow_mut().produce_block(SimTime::from_secs(5));
-        assert_eq!(rpc.account_sequence(SimTime::from_secs(5), &"user-0".into()).value, 1);
+        assert_eq!(
+            rpc.account_sequence(SimTime::ZERO, &"user-0".into()).value,
+            0
+        );
+        rpc.broadcast_tx_sync(SimTime::ZERO, &bank_tx(0))
+            .value
+            .unwrap();
+        rpc.chain()
+            .borrow_mut()
+            .produce_block(SimTime::from_secs(5));
+        assert_eq!(
+            rpc.account_sequence(SimTime::from_secs(5), &"user-0".into())
+                .value,
+            1
+        );
     }
 
     #[test]
     fn block_tx_results_and_events_reflect_committed_txs() {
         let mut rpc = endpoint(0);
-        let hash = rpc.broadcast_tx_sync(SimTime::ZERO, &bank_tx(0)).value.unwrap();
-        rpc.chain().borrow_mut().produce_block(SimTime::from_secs(5));
+        let hash = rpc
+            .broadcast_tx_sync(SimTime::ZERO, &bank_tx(0))
+            .value
+            .unwrap();
+        rpc.chain()
+            .borrow_mut()
+            .produce_block(SimTime::from_secs(5));
         let results = rpc.block_tx_results(SimTime::from_secs(5), 1);
         assert_eq!(results.value.len(), 1);
         assert_eq!(results.value[0].hash, hash);
@@ -553,7 +598,10 @@ mod tests {
         assert_eq!(events.len(), 1);
         assert!(bytes > 0);
         // Unknown heights return empty results rather than failing.
-        assert!(rpc.block_tx_results(SimTime::from_secs(5), 99).value.is_empty());
+        assert!(rpc
+            .block_tx_results(SimTime::from_secs(5), 99)
+            .value
+            .is_empty());
         assert_eq!(rpc.block_events(99).0.len(), 0);
     }
 
@@ -565,15 +613,22 @@ mod tests {
         assert_eq!(rpc.tx_status(SimTime::ZERO, &hash).value, TxStatus::Unknown);
         rpc.broadcast_tx_sync(SimTime::ZERO, &tx).value.unwrap();
         assert_eq!(rpc.tx_status(SimTime::ZERO, &hash).value, TxStatus::Pending);
-        rpc.chain().borrow_mut().produce_block(SimTime::from_secs(5));
-        assert_eq!(rpc.tx_status(SimTime::from_secs(5), &hash).value, TxStatus::Committed);
+        rpc.chain()
+            .borrow_mut()
+            .produce_block(SimTime::from_secs(5));
+        assert_eq!(
+            rpc.tx_status(SimTime::from_secs(5), &hash).value,
+            TxStatus::Committed
+        );
     }
 
     #[test]
     fn client_update_data_requires_a_block() {
         let mut rpc = endpoint(0);
         assert!(rpc.client_update_data(SimTime::ZERO).value.is_none());
-        rpc.chain().borrow_mut().produce_block(SimTime::from_secs(5));
+        rpc.chain()
+            .borrow_mut()
+            .produce_block(SimTime::from_secs(5));
         let update = rpc.client_update_data(SimTime::from_secs(5)).value.unwrap();
         assert_eq!(update.header.height, 1);
         assert_eq!(update.commit.height, 1);

@@ -62,12 +62,18 @@ pub struct BlockEventBatch {
 impl BlockEventBatch {
     /// Total number of events across all transactions.
     pub fn event_count(&self) -> usize {
-        self.tx_events.iter().map(|(_, _, events)| events.len()).sum()
+        self.tx_events
+            .iter()
+            .map(|(_, _, events)| events.len())
+            .sum()
     }
 
     /// Number of transactions whose execution succeeded.
     pub fn successful_txs(&self) -> usize {
-        self.tx_events.iter().filter(|(_, code, _)| *code == 0).count()
+        self.tx_events
+            .iter()
+            .filter(|(_, code, _)| *code == 0)
+            .count()
     }
 }
 
@@ -142,7 +148,11 @@ impl WebSocketSubscription {
             });
         }
         self.delivered_blocks += 1;
-        Ok(BlockEventBatch { height, tx_events, payload_bytes })
+        Ok(BlockEventBatch {
+            height,
+            tx_events,
+            payload_bytes,
+        })
     }
 }
 
@@ -158,9 +168,11 @@ mod tests {
     use xcc_sim::{DetRng, LatencyModel, SimTime};
 
     fn rpc_with_block(txs: usize) -> RpcEndpoint {
-        let chain = Chain::new(
-            GenesisConfig::new("chain-a").with_funded_accounts("user", txs.max(1), 100_000_000),
-        )
+        let chain = Chain::new(GenesisConfig::new("chain-a").with_funded_accounts(
+            "user",
+            txs.max(1),
+            100_000_000,
+        ))
         .into_shared();
         let rpc = RpcEndpoint::new(
             chain.clone(),
@@ -209,7 +221,10 @@ mod tests {
         let mut ws = WebSocketSubscription::new(64);
         let err = ws.collect_block_events(&rpc, 1).unwrap_err();
         match err {
-            WsError::FrameTooLarge { payload_bytes, max_bytes } => {
+            WsError::FrameTooLarge {
+                payload_bytes,
+                max_bytes,
+            } => {
                 assert!(payload_bytes > max_bytes);
             }
             other => panic!("unexpected error {other:?}"),

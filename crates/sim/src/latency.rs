@@ -24,9 +24,10 @@ use crate::time::SimDuration;
 /// let lan = LatencyModel::Zero;
 /// assert!(lan.one_way_nominal().is_zero());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub enum LatencyModel {
     /// No network delay (the paper's "0 ms" LAN configuration).
+    #[default]
     Zero,
     /// A fixed one-way delay.
     Constant {
@@ -40,12 +41,6 @@ pub enum LatencyModel {
         /// Largest possible one-way delay.
         max: SimDuration,
     },
-}
-
-impl Default for LatencyModel {
-    fn default() -> Self {
-        LatencyModel::Zero
-    }
 }
 
 impl LatencyModel {

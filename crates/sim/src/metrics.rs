@@ -33,7 +33,10 @@ pub struct Counter {
 impl Counter {
     /// Creates a counter starting at zero.
     pub fn new(name: impl Into<String>) -> Self {
-        Counter { name: name.into(), value: 0 }
+        Counter {
+            name: name.into(),
+            value: 0,
+        }
     }
 
     /// The counter's name.
@@ -125,7 +128,10 @@ pub struct Histogram {
 impl Histogram {
     /// Creates an empty histogram.
     pub fn new(name: impl Into<String>) -> Self {
-        Histogram { name: name.into(), samples: Vec::new() }
+        Histogram {
+            name: name.into(),
+            samples: Vec::new(),
+        }
     }
 
     /// The histogram's name.
@@ -190,7 +196,11 @@ impl Histogram {
         let mean = self.samples.iter().sum::<f64>() / n;
         let var = self.samples.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
         let min = self.samples.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = self.samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let max = self
+            .samples
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         Summary {
             count: self.samples.len(),
             mean,
@@ -227,7 +237,10 @@ pub struct TimeSeries {
 impl TimeSeries {
     /// Creates an empty series.
     pub fn new(name: impl Into<String>) -> Self {
-        TimeSeries { name: name.into(), points: Vec::new() }
+        TimeSeries {
+            name: name.into(),
+            points: Vec::new(),
+        }
     }
 
     /// The series' name.

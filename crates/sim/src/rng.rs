@@ -78,7 +78,10 @@ impl DetRng {
     ///
     /// Panics if `lo >= hi` or either bound is not finite.
     pub fn uniform_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid range [{lo}, {hi})");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid range [{lo}, {hi})"
+        );
         self.inner.gen_range(lo..hi)
     }
 

@@ -191,7 +191,10 @@ mod tests {
     fn backlog_reporting() {
         let mut s = FifoServer::new("rpc");
         s.submit(SimTime::ZERO, SimDuration::from_secs(10));
-        assert_eq!(s.backlog_at(SimTime::from_secs(4)), SimDuration::from_secs(6));
+        assert_eq!(
+            s.backlog_at(SimTime::from_secs(4)),
+            SimDuration::from_secs(6)
+        );
         assert_eq!(s.backlog_at(SimTime::from_secs(20)), SimDuration::ZERO);
         assert_eq!(s.max_backlog(), SimDuration::from_secs(10));
     }

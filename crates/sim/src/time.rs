@@ -21,7 +21,9 @@ use serde::{Deserialize, Serialize};
 /// let t = SimTime::ZERO + SimDuration::from_millis(200);
 /// assert_eq!(t.as_secs_f64(), 0.2);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulated time, measured in nanoseconds.
@@ -34,7 +36,9 @@ pub struct SimTime(u64);
 /// let block_interval = SimDuration::from_secs(5);
 /// assert_eq!(block_interval.as_millis(), 5_000);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -339,7 +343,10 @@ mod tests {
         let d = SimDuration::from_millis(200) * 3;
         assert_eq!(d.as_millis(), 600);
         assert_eq!((d / 2).as_millis(), 300);
-        assert_eq!(d.saturating_sub(SimDuration::from_secs(10)), SimDuration::ZERO);
+        assert_eq!(
+            d.saturating_sub(SimDuration::from_secs(10)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -372,7 +379,10 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: SimDuration = [1u64, 2, 3].iter().map(|s| SimDuration::from_secs(*s)).sum();
+        let total: SimDuration = [1u64, 2, 3]
+            .iter()
+            .map(|s| SimDuration::from_secs(*s))
+            .sum();
         assert_eq!(total, SimDuration::from_secs(6));
     }
 

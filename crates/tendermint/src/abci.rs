@@ -44,12 +44,18 @@ pub struct Event {
 impl Event {
     /// Creates an event with no attributes.
     pub fn new(kind: impl Into<String>) -> Self {
-        Event { kind: kind.into(), attributes: Vec::new() }
+        Event {
+            kind: kind.into(),
+            attributes: Vec::new(),
+        }
     }
 
     /// Builder-style attribute addition.
     pub fn with_attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
-        self.attributes.push(EventAttribute { key: key.into(), value: value.into() });
+        self.attributes.push(EventAttribute {
+            key: key.into(),
+            value: value.into(),
+        });
         self
     }
 
@@ -162,12 +168,30 @@ mod tests {
 
     #[test]
     fn check_and_deliver_result_flags() {
-        let ok = CheckTxResult { code: 0, log: String::new(), gas_wanted: 10, sender: "a".into(), sequence: 0 };
-        let err = CheckTxResult { code: 4, log: "unauthorized".into(), gas_wanted: 0, sender: "a".into(), sequence: 0 };
+        let ok = CheckTxResult {
+            code: 0,
+            log: String::new(),
+            gas_wanted: 10,
+            sender: "a".into(),
+            sequence: 0,
+        };
+        let err = CheckTxResult {
+            code: 4,
+            log: "unauthorized".into(),
+            gas_wanted: 0,
+            sender: "a".into(),
+            sequence: 0,
+        };
         assert!(ok.is_ok());
         assert!(!err.is_ok());
 
-        let d = DeliverTxResult { code: 0, log: String::new(), gas_used: 5, gas_wanted: 10, events: vec![Event::new("x")] };
+        let d = DeliverTxResult {
+            code: 0,
+            log: String::new(),
+            gas_used: 5,
+            gas_wanted: 10,
+            events: vec![Event::new("x")],
+        };
         assert!(d.is_ok());
         assert!(d.encoded_size() > 0);
     }

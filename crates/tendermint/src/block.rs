@@ -300,7 +300,9 @@ mod tests {
 
     #[test]
     fn header_hash_changes_with_any_field() {
-        let data = Data { txs: vec![RawTx::new(vec![9])] };
+        let data = Data {
+            txs: vec![RawTx::new(vec![9])],
+        };
         let h1 = sample_header(1, &data);
         let mut h2 = h1.clone();
         assert_eq!(h1.hash(), h2.hash());
@@ -313,7 +315,9 @@ mod tests {
 
     #[test]
     fn validate_basic_accepts_consistent_block() {
-        let data = Data { txs: vec![RawTx::new(vec![1]), RawTx::new(vec![2])] };
+        let data = Data {
+            txs: vec![RawTx::new(vec![1]), RawTx::new(vec![2])],
+        };
         let block = Block {
             header: sample_header(3, &data),
             data,
@@ -327,11 +331,15 @@ mod tests {
 
     #[test]
     fn validate_basic_rejects_tampered_data() {
-        let data = Data { txs: vec![RawTx::new(vec![1])] };
+        let data = Data {
+            txs: vec![RawTx::new(vec![1])],
+        };
         let header = sample_header(3, &data);
         let tampered = Block {
             header,
-            data: Data { txs: vec![RawTx::new(vec![99])] },
+            data: Data {
+                txs: vec![RawTx::new(vec![99])],
+            },
             evidence: vec![],
             last_commit: None,
         };
@@ -350,7 +358,10 @@ mod tests {
             evidence: vec![],
             last_commit: None,
         };
-        assert_eq!(block.validate_basic(), Err(BlockValidationError::ZeroHeight));
+        assert_eq!(
+            block.validate_basic(),
+            Err(BlockValidationError::ZeroHeight)
+        );
     }
 
     #[test]
@@ -361,7 +372,9 @@ mod tests {
             evidence: vec![],
             last_commit: None,
         };
-        let data = Data { txs: vec![RawTx::new(vec![0u8; 1000])] };
+        let data = Data {
+            txs: vec![RawTx::new(vec![0u8; 1000])],
+        };
         let full = Block {
             header: sample_header(1, &data),
             data,

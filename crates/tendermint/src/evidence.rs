@@ -64,22 +64,25 @@ impl Evidence {
                     && vote_a.height == vote_b.height
                     && vote_a.round == vote_b.round
                     && vote_a.block_id != vote_b.block_id
-                    && vote_a.signature() == crate::vote::sign_vote(
-                        &vote_a.validator,
-                        vote_a.height,
-                        vote_a.round,
-                        vote_a.block_id.as_ref(),
-                    )
-                    && vote_b.signature() == crate::vote::sign_vote(
-                        &vote_b.validator,
-                        vote_b.height,
-                        vote_b.round,
-                        vote_b.block_id.as_ref(),
-                    )
+                    && vote_a.signature()
+                        == crate::vote::sign_vote(
+                            &vote_a.validator,
+                            vote_a.height,
+                            vote_a.round,
+                            vote_a.block_id.as_ref(),
+                        )
+                    && vote_b.signature()
+                        == crate::vote::sign_vote(
+                            &vote_b.validator,
+                            vote_b.height,
+                            vote_b.round,
+                            vote_b.block_id.as_ref(),
+                        )
             }
-            Evidence::LightClientAttack { conflicting_header_hash, .. } => {
-                !conflicting_header_hash.is_zero()
-            }
+            Evidence::LightClientAttack {
+                conflicting_header_hash,
+                ..
+            } => !conflicting_header_hash.is_zero(),
         }
     }
 
@@ -126,7 +129,9 @@ mod tests {
             vote_type: VoteType::Precommit,
             height,
             round: 0,
-            block_id: Some(BlockId { hash: sha256(&[block]) }),
+            block_id: Some(BlockId {
+                hash: sha256(&[block]),
+            }),
             validator: ValidatorAddress::from_name(val),
             timestamp: SimTime::ZERO,
         }

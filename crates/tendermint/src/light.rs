@@ -87,14 +87,19 @@ impl std::fmt::Display for VerificationError {
                 write!(f, "chain id mismatch: expected {expected}, found {found}")
             }
             VerificationError::CommitBlockMismatch => write!(f, "commit is for a different block"),
-            VerificationError::CommitHeightMismatch => write!(f, "commit is for a different height"),
+            VerificationError::CommitHeightMismatch => {
+                write!(f, "commit is for a different height")
+            }
             VerificationError::ValidatorSetMismatch => write!(f, "validator set hash mismatch"),
             VerificationError::InsufficientVotingPower { signed, required } => {
                 write!(f, "insufficient voting power: {signed} < {required}")
             }
             VerificationError::InvalidSignature => write!(f, "invalid commit signature"),
             VerificationError::NonMonotonicHeight { trusted, submitted } => {
-                write!(f, "header height {submitted} does not extend trusted height {trusted}")
+                write!(
+                    f,
+                    "header height {submitted} does not extend trusted height {trusted}"
+                )
             }
         }
     }
@@ -136,7 +141,12 @@ pub fn verify_commit(
             // stale validator sets.
             continue;
         };
-        let expected = sign_vote(&sig.validator, commit.height, commit.round, Some(&commit.block_id));
+        let expected = sign_vote(
+            &sig.validator,
+            commit.height,
+            commit.round,
+            Some(&commit.block_id),
+        );
         if sig.signature != expected {
             return Err(VerificationError::InvalidSignature);
         }
@@ -252,11 +262,23 @@ mod tests {
 
     impl crate::abci::Application for NullApp {
         fn check_tx(&mut self, _tx: &RawTx) -> CheckTxResult {
-            CheckTxResult { code: 0, log: String::new(), gas_wanted: 1, sender: "x".into(), sequence: 0 }
+            CheckTxResult {
+                code: 0,
+                log: String::new(),
+                gas_wanted: 1,
+                sender: "x".into(),
+                sequence: 0,
+            }
         }
         fn begin_block(&mut self, _header: &Header) {}
         fn deliver_tx(&mut self, _tx: &RawTx) -> DeliverTxResult {
-            DeliverTxResult { code: 0, log: String::new(), gas_used: 1, gas_wanted: 1, events: vec![] }
+            DeliverTxResult {
+                code: 0,
+                log: String::new(),
+                gas_used: 1,
+                gas_wanted: 1,
+                events: vec![],
+            }
         }
         fn end_block(&mut self, _height: u64) {}
         fn commit(&mut self) -> Hash {

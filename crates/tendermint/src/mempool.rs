@@ -165,7 +165,9 @@ impl Mempool {
         }
         if self.queue.len() >= self.config.max_txs {
             self.rejected_full += 1;
-            return Err(MempoolError::Full { max_txs: self.config.max_txs });
+            return Err(MempoolError::Full {
+                max_txs: self.config.max_txs,
+            });
         }
         if self.total_bytes + tx.tx.len() > self.config.max_total_bytes {
             self.rejected_full += 1;
@@ -317,13 +319,22 @@ mod tests {
 
     #[test]
     fn capacity_limits_are_enforced() {
-        let mut pool = Mempool::new(MempoolConfig { max_txs: 2, max_total_bytes: 1_000 });
+        let mut pool = Mempool::new(MempoolConfig {
+            max_txs: 2,
+            max_total_bytes: 1_000,
+        });
         pool.add(tx(1, 10, 1, "a")).unwrap();
         pool.add(tx(2, 10, 1, "a")).unwrap();
-        assert!(matches!(pool.add(tx(3, 10, 1, "a")), Err(MempoolError::Full { .. })));
+        assert!(matches!(
+            pool.add(tx(3, 10, 1, "a")),
+            Err(MempoolError::Full { .. })
+        ));
         assert_eq!(pool.rejected_full(), 1);
 
-        let mut pool = Mempool::new(MempoolConfig { max_txs: 100, max_total_bytes: 25 });
+        let mut pool = Mempool::new(MempoolConfig {
+            max_txs: 100,
+            max_total_bytes: 25,
+        });
         pool.add(tx(1, 20, 1, "a")).unwrap();
         assert!(matches!(
             pool.add(tx(2, 20, 1, "a")),
@@ -358,7 +369,11 @@ mod tests {
 
     #[test]
     fn error_display_messages() {
-        assert!(MempoolError::Full { max_txs: 5 }.to_string().contains("full"));
-        assert!(MempoolError::AlreadyPending.to_string().contains("already exists"));
+        assert!(MempoolError::Full { max_txs: 5 }
+            .to_string()
+            .contains("full"));
+        assert!(MempoolError::AlreadyPending
+            .to_string()
+            .contains("already exists"));
     }
 }

@@ -99,7 +99,13 @@ impl MerkleProof {
     }
 
     /// Recomputes the root from the leaf, consuming siblings bottom-up.
-    fn compute_root(&self, leaf: Hash, index: usize, total: usize, used: usize) -> Option<(Hash, usize)> {
+    fn compute_root(
+        &self,
+        leaf: Hash,
+        index: usize,
+        total: usize,
+        used: usize,
+    ) -> Option<(Hash, usize)> {
         match total {
             0 => None,
             1 => Some((leaf, used)),
@@ -197,10 +203,10 @@ mod tests {
             let data = leaves(n);
             let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
             let expected_root = simple_root(refs.iter().copied());
-            for i in 0..n {
+            for (i, leaf) in data.iter().enumerate() {
                 let (root, proof) = prove(refs.iter().copied(), i).expect("valid index");
                 assert_eq!(root, expected_root, "root mismatch for n={n}");
-                assert!(proof.verify(&root, &data[i]), "proof failed for n={n}, i={i}");
+                assert!(proof.verify(&root, leaf), "proof failed for n={n}, i={i}");
             }
         }
     }

@@ -212,7 +212,10 @@ impl<A: Application> Node<A> {
     pub fn submit_tx(&mut self, tx: RawTx, now: SimTime) -> Result<Hash, SubmitError> {
         let check = self.app.check_tx(&tx);
         if !check.is_ok() {
-            return Err(SubmitError::CheckTxFailed { code: check.code, log: check.log });
+            return Err(SubmitError::CheckTxFailed {
+                code: check.code,
+                log: check.log,
+            });
         }
         let hash = tx.hash();
         self.mempool.add(PendingTx {
@@ -466,7 +469,10 @@ mod tests {
         assert_eq!(block2.block.header.last_block_id, b1.block_id);
         // Block 2 carries the commit for block 1.
         assert_eq!(block2.block.last_commit.as_ref().unwrap().height, 1);
-        assert_eq!(block2.block.last_commit.as_ref().unwrap().block_id, b1.block_id);
+        assert_eq!(
+            block2.block.last_commit.as_ref().unwrap().block_id,
+            b1.block_id
+        );
     }
 
     #[test]
@@ -487,7 +493,9 @@ mod tests {
     #[test]
     fn check_tx_rejection_propagates() {
         let mut node = test_node();
-        let err = node.submit_tx(RawTx::new(vec![0xff]), SimTime::ZERO).unwrap_err();
+        let err = node
+            .submit_tx(RawTx::new(vec![0xff]), SimTime::ZERO)
+            .unwrap_err();
         assert!(matches!(err, SubmitError::CheckTxFailed { code: 1, .. }));
         assert_eq!(node.mempool_size(), 0);
     }
@@ -498,7 +506,10 @@ mod tests {
         let tx = RawTx::new(vec![7]);
         node.submit_tx(tx.clone(), SimTime::ZERO).unwrap();
         let err = node.submit_tx(tx, SimTime::ZERO).unwrap_err();
-        assert!(matches!(err, SubmitError::Mempool(MempoolError::AlreadyPending)));
+        assert!(matches!(
+            err,
+            SubmitError::Mempool(MempoolError::AlreadyPending)
+        ));
     }
 
     #[test]
@@ -522,7 +533,10 @@ mod tests {
     #[test]
     fn unknown_tx_status() {
         let node = test_node();
-        assert_eq!(node.tx_status(&RawTx::new(vec![9]).hash()), TxStatus::Unknown);
+        assert_eq!(
+            node.tx_status(&RawTx::new(vec![9]).hash()),
+            TxStatus::Unknown
+        );
         assert!(node.find_tx(&RawTx::new(vec![9]).hash()).is_none());
     }
 

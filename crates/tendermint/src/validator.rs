@@ -85,7 +85,10 @@ impl ValidatorSet {
     pub fn new(validators: Vec<Validator>) -> Self {
         assert!(!validators.is_empty(), "validator set cannot be empty");
         let set = ValidatorSet { validators };
-        assert!(set.total_power() > 0, "validator set must have positive power");
+        assert!(
+            set.total_power() > 0,
+            "validator set must have positive power"
+        );
         set
     }
 

@@ -5,32 +5,30 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use xcc_framework::analysis;
-use xcc_framework::config::{DeploymentConfig, WorkloadConfig};
-use xcc_framework::runner::run_experiment;
-use xcc_framework::scenarios::report_for;
+use xcc_framework::scenarios;
+use xcc_framework::spec::ExperimentSpec;
 use xcc_relayer::telemetry::TransferStep;
 
 fn main() {
-    let deployment = DeploymentConfig {
-        user_accounts: 4,
-        relayer_count: 1,
-        network_rtt_ms: 200,
-        ..DeploymentConfig::default()
-    };
-    let workload = WorkloadConfig {
-        total_transfers: 300,
-        submission_blocks: 1,
-        measurement_blocks: 4,
-        run_to_completion: true,
-        completion_grace_blocks: 60,
-        ..WorkloadConfig::default()
-    };
+    let spec = ExperimentSpec::latency()
+        .named("quickstart")
+        .transfers(300)
+        .submission_blocks(1)
+        .rtt_ms(200)
+        .user_accounts(4)
+        .seed(42);
+    println!("spec:\n{}", spec.to_json());
 
-    let run = run_experiment(&deployment, &workload);
+    // `run_raw` keeps the chains and telemetry around for inspection;
+    // `outcome_from` then computes the same unified outcome `run` would.
+    let run = scenarios::run_raw(&spec);
 
     println!("source blocks produced: {}", run.blocks_a.len());
     println!("destination blocks produced: {}", run.blocks_b.len());
-    println!("transfers committed on source: {}", analysis::committed_transfers(&run));
+    println!(
+        "transfers committed on source: {}",
+        analysis::committed_transfers(&run)
+    );
     for step in TransferStep::ALL {
         println!(
             "  step {:>2} {:<26} completed for {:>4} packets",
@@ -52,11 +50,17 @@ fn main() {
             print!("A h{height} ({} txs):", block.results.len());
             for result in &block.results {
                 let kinds: Vec<&str> = result.events.iter().map(|e| e.kind.as_str()).collect();
-                print!(" [code {} log '{}' events {:?}]", result.code, result.log, &kinds[..kinds.len().min(3)]);
+                print!(
+                    " [code {} log '{}' events {:?}]",
+                    result.code,
+                    result.log,
+                    &kinds[..kinds.len().min(3)]
+                );
             }
             println!();
         }
     }
 
-    println!("{}", report_for("quickstart", &run));
+    let outcome = scenarios::outcome_from(&spec, &run);
+    println!("{}", outcome.to_report());
 }

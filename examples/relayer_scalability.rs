@@ -4,21 +4,25 @@
 //!
 //! Run with: `cargo run --release --example relayer_scalability`
 
-use xcc_framework::scenarios::relayer_throughput;
+use xcc_framework::scenarios;
+use xcc_framework::spec::ExperimentSpec;
 
 fn main() {
-    let rate = 60;
-    let blocks = 12;
+    let base = ExperimentSpec::relayer_throughput()
+        .input_rate(60)
+        .rtt_ms(200)
+        .measurement_blocks(12)
+        .seed(7);
     for relayers in [1usize, 2] {
-        let result = relayer_throughput(rate, relayers, 200, blocks, 7);
+        let outcome = scenarios::run(&base.clone().relayers(relayers));
         println!(
             "{} relayer(s): {:.1} TFPS, completed {}, partial {}, initiated {}, redundant msgs {}",
             relayers,
-            result.throughput_tfps,
-            result.completed,
-            result.partial,
-            result.initiated,
-            result.redundant_packet_errors
+            outcome.throughput_tfps(),
+            outcome.completed(),
+            outcome.partial(),
+            outcome.initiated(),
+            outcome.redundant_packet_errors()
         );
     }
 }

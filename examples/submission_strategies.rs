@@ -1,19 +1,33 @@
-//! Sweeps the transaction submission strategy of Fig. 13: the same number of
-//! transfers spread over 1 to 16 block windows, showing the completion
-//! latency minimum in the middle of the range.
+//! Sweeps the transaction submission strategy of Fig. 13 on the parallel
+//! sweep engine: the same number of transfers spread over 1 to 16 block
+//! windows, showing the completion latency minimum in the middle of the
+//! range.
 //!
 //! Run with: `cargo run --release --example submission_strategies`
 
-use xcc_framework::scenarios::latency_run;
+use xcc_framework::spec::ExperimentSpec;
+use xcc_framework::sweep::SweepGrid;
 
 fn main() {
     let transfers = 1_500;
-    println!("{transfers} transfers, 200 ms RTT");
-    for blocks in [1u64, 2, 4, 8, 16] {
-        let result = latency_run(transfers, blocks, 200, 11);
+    let grid = SweepGrid::new(
+        ExperimentSpec::latency()
+            .named("submission_strategies")
+            .transfers(transfers)
+            .rtt_ms(200)
+            .seed(11),
+    )
+    .submission_blocks([1, 2, 4, 8, 16]);
+
+    println!(
+        "{transfers} transfers, 200 ms RTT ({} sweep points, all cores)",
+        grid.len()
+    );
+    for outcome in grid.run() {
         println!(
             "  submitted over {:>2} block(s): completion latency {:>7.1} s",
-            blocks, result.completion_latency_secs
+            outcome.spec.workload.submission_blocks,
+            outcome.completion_latency_secs()
         );
     }
 }

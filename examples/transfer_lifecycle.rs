@@ -3,16 +3,46 @@
 //!
 //! Run with: `cargo run --release --example transfer_lifecycle`
 
-use xcc_framework::scenarios::latency_run;
+use xcc_framework::scenarios;
+use xcc_framework::spec::ExperimentSpec;
 
 fn main() {
-    let result = latency_run(500, 1, 200, 42);
-    println!("transfers:                {}", result.transfers);
-    println!("completion latency:       {:.1} s", result.completion_latency_secs);
-    println!("transfer phase (1-4):     {:.1} s", result.transfer_phase_secs);
-    println!("receive phase (5-9):      {:.1} s", result.recv_phase_secs);
-    println!("ack phase (10-13):        {:.1} s", result.ack_phase_secs);
-    println!("transfer data pull:       {:.1} s", result.transfer_pull_secs);
-    println!("recv data pull:           {:.1} s", result.recv_pull_secs);
-    println!("share of time in RPC data pulls: {:.0}%", result.data_pull_share * 100.0);
+    let spec = ExperimentSpec::latency()
+        .transfers(500)
+        .submission_blocks(1)
+        .rtt_ms(200)
+        .seed(42);
+    let outcome = scenarios::run(&spec);
+    println!(
+        "transfers:                {}",
+        spec.workload.total_transfers
+    );
+    println!(
+        "completion latency:       {:.1} s",
+        outcome.completion_latency_secs()
+    );
+    println!(
+        "transfer phase (1-4):     {:.1} s",
+        outcome.transfer_phase_secs()
+    );
+    println!(
+        "receive phase (5-9):      {:.1} s",
+        outcome.recv_phase_secs()
+    );
+    println!(
+        "ack phase (10-13):        {:.1} s",
+        outcome.ack_phase_secs()
+    );
+    println!(
+        "transfer data pull:       {:.1} s",
+        outcome.transfer_pull_secs()
+    );
+    println!(
+        "recv data pull:           {:.1} s",
+        outcome.recv_pull_secs()
+    );
+    println!(
+        "share of time in RPC data pulls: {:.0}%",
+        outcome.data_pull_share() * 100.0
+    );
 }

@@ -2,42 +2,54 @@
 //! driven through the public API of the umbrella crate.
 
 use ibc_perf_repro::framework::analysis;
-use ibc_perf_repro::framework::config::{DeploymentConfig, WorkloadConfig};
-use ibc_perf_repro::framework::runner::run_experiment;
 use ibc_perf_repro::framework::scenarios;
+use ibc_perf_repro::framework::spec::ExperimentSpec;
 use ibc_perf_repro::relayer::telemetry::TransferStep;
 
-fn small_deployment(relayers: usize, rtt_ms: u64) -> DeploymentConfig {
-    DeploymentConfig {
-        relayer_count: relayers,
-        network_rtt_ms: rtt_ms,
-        user_accounts: 4,
-        ..DeploymentConfig::default()
-    }
+fn small_latency_spec(transfers: u64, submission_blocks: u64, rtt_ms: u64) -> ExperimentSpec {
+    ExperimentSpec::latency()
+        .transfers(transfers)
+        .submission_blocks(submission_blocks)
+        // Classify completion over a 4-block window (the run itself still
+        // continues to full completion).
+        .measurement_blocks(4)
+        .rtt_ms(rtt_ms)
+        .user_accounts(4)
+        .seed(42)
 }
 
 #[test]
 fn transfers_complete_end_to_end_and_preserve_token_supply() {
-    let workload = WorkloadConfig {
-        total_transfers: 250,
-        submission_blocks: 1,
-        measurement_blocks: 4,
-        run_to_completion: true,
-        completion_grace_blocks: 60,
-        ..WorkloadConfig::default()
-    };
-    let run = run_experiment(&small_deployment(1, 200), &workload);
+    let spec = small_latency_spec(250, 1, 200);
+    let run = scenarios::run_raw(&spec);
 
     assert_eq!(run.submission.submitted, 250);
-    assert_eq!(run.telemetry.count_for_step(TransferStep::AckConfirmation), 250);
+    assert_eq!(
+        run.telemetry.count_for_step(TransferStep::AckConfirmation),
+        250
+    );
     let breakdown = analysis::completion_breakdown(&run);
     assert_eq!(breakdown.completed, 250);
-    assert_eq!(breakdown.partial + breakdown.initiated + breakdown.not_committed, 0);
+    assert_eq!(
+        breakdown.partial + breakdown.initiated + breakdown.not_committed,
+        0
+    );
+
+    // The unified outcome agrees with the raw analysis.
+    let outcome = scenarios::outcome_from(&spec, &run);
+    assert_eq!(outcome.completed(), 250);
+    assert_eq!(outcome.submitted(), 250);
 
     // Escrowed tokens on the source chain equal the vouchers minted on the
     // destination chain (ICS-20 conservation).
-    let escrow = ibc_perf_repro::ibc::transfer::escrow_address(&run.path.port, &run.path.src_channel);
-    let escrowed = run.chain_a.borrow().app().bank().balance(&escrow.as_str().into(), "uatom");
+    let escrow =
+        ibc_perf_repro::ibc::transfer::escrow_address(&run.path.port, &run.path.src_channel);
+    let escrowed = run
+        .chain_a
+        .borrow()
+        .app()
+        .bank()
+        .balance(&escrow.as_str().into(), "uatom");
     let voucher = format!("transfer/{}/uatom", run.path.dst_channel);
     let minted = run.chain_b.borrow().app().bank().total_supply(&voucher);
     assert_eq!(escrowed, 250);
@@ -46,15 +58,7 @@ fn transfers_complete_end_to_end_and_preserve_token_supply() {
 
 #[test]
 fn every_lifecycle_step_is_ordered_for_every_packet() {
-    let workload = WorkloadConfig {
-        total_transfers: 120,
-        submission_blocks: 2,
-        measurement_blocks: 4,
-        run_to_completion: true,
-        completion_grace_blocks: 60,
-        ..WorkloadConfig::default()
-    };
-    let run = run_experiment(&small_deployment(1, 0), &workload);
+    let run = scenarios::run_raw(&small_latency_spec(120, 2, 0));
     let mut fully_completed = 0usize;
     for seq in run.telemetry.sequences() {
         let mut previous = None;
@@ -86,48 +90,70 @@ fn every_lifecycle_step_is_ordered_for_every_packet() {
 
 #[test]
 fn two_relayers_cause_redundancy_and_lower_throughput_than_one() {
-    let one = scenarios::relayer_throughput(60, 1, 200, 10, 3);
-    let two = scenarios::relayer_throughput(60, 2, 200, 10, 3);
-    assert!(two.redundant_packet_errors > 0, "two relayers must produce redundant work");
+    let base = ExperimentSpec::relayer_throughput()
+        .input_rate(60)
+        .rtt_ms(200)
+        .measurement_blocks(10)
+        .seed(3);
+    let one = scenarios::run(&base.clone().relayers(1));
+    let two = scenarios::run(&base.relayers(2));
     assert!(
-        two.throughput_tfps <= one.throughput_tfps * 1.05,
+        two.redundant_packet_errors() > 0,
+        "two relayers must produce redundant work"
+    );
+    assert!(
+        two.throughput_tfps() <= one.throughput_tfps() * 1.05,
         "a second relayer must not improve throughput (one: {:.1}, two: {:.1})",
-        one.throughput_tfps,
-        two.throughput_tfps
+        one.throughput_tfps(),
+        two.throughput_tfps()
     );
 }
 
 #[test]
 fn deterministic_runs_for_equal_seeds() {
-    let a = scenarios::relayer_throughput(40, 1, 200, 6, 9);
-    let b = scenarios::relayer_throughput(40, 1, 200, 6, 9);
+    let spec = ExperimentSpec::relayer_throughput()
+        .input_rate(40)
+        .relayers(1)
+        .rtt_ms(200)
+        .measurement_blocks(6)
+        .seed(9);
+    let a = scenarios::run(&spec);
+    let b = scenarios::run(&spec);
     assert_eq!(a, b);
-    let c = scenarios::relayer_throughput(40, 1, 200, 6, 10);
+    let c = scenarios::run(&spec.seed(10));
     // A different seed may legitimately produce the same aggregate numbers,
     // but the run must at least be well-formed.
-    assert!(c.completed + c.partial + c.initiated + c.not_committed == 40 * 5 * 6);
+    assert_eq!(
+        c.completed() + c.partial() + c.initiated() + c.not_committed(),
+        40 * 5 * 6
+    );
 }
 
 #[test]
 fn splitting_a_large_batch_reduces_completion_latency() {
-    let single = scenarios::latency_run(1_000, 1, 200, 5);
-    let split = scenarios::latency_run(1_000, 4, 200, 5);
-    assert!(single.completion_latency_secs > 0.0);
+    let base = ExperimentSpec::latency()
+        .transfers(1_000)
+        .rtt_ms(200)
+        .seed(5);
+    let single = scenarios::run(&base.clone().submission_blocks(1));
+    let split = scenarios::run(&base.submission_blocks(4));
+    assert!(single.completion_latency_secs() > 0.0);
     assert!(
-        split.completion_latency_secs < single.completion_latency_secs,
+        split.completion_latency_secs() < single.completion_latency_secs(),
         "splitting submission must reduce latency (1 block: {:.0}s, 4 blocks: {:.0}s)",
-        single.completion_latency_secs,
-        split.completion_latency_secs
+        single.completion_latency_secs(),
+        split.completion_latency_secs()
     );
     // The receive phase dominates the transfer and ack phases, as in Fig. 12.
-    assert!(single.recv_phase_secs > single.ack_phase_secs);
+    assert!(single.recv_phase_secs() > single.ack_phase_secs());
 }
 
 #[test]
 fn tendermint_throughput_saturates_with_input_rate() {
-    let low = scenarios::tendermint_throughput(40, 200, 2);
-    let high = scenarios::tendermint_throughput(400, 200, 2);
-    assert!(high.throughput_tfps > low.throughput_tfps);
+    let base = ExperimentSpec::tendermint_throughput().rtt_ms(200).seed(2);
+    let low = scenarios::run(&base.clone().input_rate(40));
+    let high = scenarios::run(&base.input_rate(400));
+    assert!(high.tendermint_throughput_tfps() > low.tendermint_throughput_tfps());
     // At low rates everything requested is committed.
-    assert_eq!(low.committed, low.requests_made);
+    assert_eq!(low.committed(), low.requests_made());
 }

@@ -6,12 +6,12 @@ use ibc_perf_repro::chain::account::AccountKeeper;
 use ibc_perf_repro::chain::bank::BankModule;
 use ibc_perf_repro::chain::coin::Coin;
 use ibc_perf_repro::ibc::commitment::CommitmentStore;
-use ibc_perf_repro::ibc::transfer::{
-    escrow_address, on_recv_packet, refund, send_coins, BankKeeper, FungibleTokenPacketData,
-};
 use ibc_perf_repro::ibc::height::Height;
 use ibc_perf_repro::ibc::ids::{ChannelId, PortId, Sequence};
 use ibc_perf_repro::ibc::packet::Packet;
+use ibc_perf_repro::ibc::transfer::{
+    escrow_address, on_recv_packet, refund, send_coins, BankKeeper, FungibleTokenPacketData,
+};
 use ibc_perf_repro::sim::{FifoServer, SimDuration, SimTime};
 use ibc_perf_repro::tendermint::hash::sha256;
 use ibc_perf_repro::tendermint::merkle::{prove, simple_root};

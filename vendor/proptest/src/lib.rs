@@ -1,0 +1,308 @@
+//! Workspace-local shim for the `proptest` crate.
+//!
+//! The build environment has no route to crates.io, so this crate implements
+//! the subset of proptest the workspace's property tests use: the
+//! [`proptest!`] macro, `any::<T>()`, integer-range strategies, simple
+//! string-pattern strategies, tuple strategies and `prop::collection`'s
+//! `vec`/`btree_map`. Each test body runs against 128 deterministic
+//! pseudo-random cases (no shrinking).
+
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Deterministic pseudo-random source driving test-case generation.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator seeded from the test name, so every run of a given
+    /// test explores the same cases.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: h | 1 }
+    }
+
+    /// The next 64 random bits (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u128) -> u128 {
+        assert!(bound > 0);
+        if bound <= u64::MAX as u128 {
+            (self.next_u64() as u128).wrapping_mul(bound) >> 64
+        } else {
+            let wide = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+            wide % bound
+        }
+    }
+}
+
+/// A source of values for one test parameter.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait ArbitraryValue: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl ArbitraryValue for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl ArbitraryValue for u128 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl ArbitraryValue for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: ArbitraryValue> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing any value of `T`.
+pub fn any<T: ArbitraryValue>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let width = (self.end as u128).wrapping_sub(self.start as u128);
+                ((self.start as u128).wrapping_add(rng.below(width))) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, u128, usize, i32, i64);
+
+/// A `&str` strategy: a restricted character-class pattern such as
+/// `"[a-z]{1,12}"`. Unrecognised patterns fall back to short lowercase
+/// strings.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let (lo, hi, chars) = parse_class_pattern(self).unwrap_or((1, 8, ('a', 'z')));
+        let len = lo + rng.below((hi - lo + 1) as u128) as usize;
+        let span = chars.1 as u32 - chars.0 as u32 + 1;
+        (0..len)
+            .map(|_| char::from_u32(chars.0 as u32 + rng.below(span as u128) as u32).unwrap())
+            .collect()
+    }
+}
+
+/// Parses `[x-y]{lo,hi}` patterns (the only shape used in this workspace).
+fn parse_class_pattern(p: &str) -> Option<(usize, usize, (char, char))> {
+    let rest = p.strip_prefix('[')?;
+    let (class, rest) = rest.split_once(']')?;
+    let mut class_chars = class.chars();
+    let (a, dash, b) = (
+        class_chars.next()?,
+        class_chars.next()?,
+        class_chars.next()?,
+    );
+    if dash != '-' || class_chars.next().is_some() {
+        return None;
+    }
+    let rest = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = rest.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?, (a, b)))
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+}
+
+pub mod prop {
+    //! The `prop::` namespace mirrored from the real crate.
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use super::super::{Strategy, TestRng};
+        use std::collections::BTreeMap;
+        use std::ops::Range;
+
+        /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+        pub struct VecStrategy<S> {
+            element: S,
+            size: Range<usize>,
+        }
+
+        /// Builds a [`VecStrategy`].
+        pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let len = self.size.clone().sample(rng);
+                (0..len).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+
+        /// Strategy for `BTreeMap<K::Value, V::Value>` with approximately
+        /// `size` entries (duplicate keys collapse, as in real proptest).
+        pub struct BTreeMapStrategy<K, V> {
+            key: K,
+            value: V,
+            size: Range<usize>,
+        }
+
+        /// Builds a [`BTreeMapStrategy`].
+        pub fn btree_map<K: Strategy, V: Strategy>(
+            key: K,
+            value: V,
+            size: Range<usize>,
+        ) -> BTreeMapStrategy<K, V>
+        where
+            K::Value: Ord,
+        {
+            BTreeMapStrategy { key, value, size }
+        }
+
+        impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+        where
+            K::Value: Ord,
+        {
+            type Value = BTreeMap<K::Value, V::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let target = self.size.clone().sample(rng);
+                let mut map = BTreeMap::new();
+                // Bounded retries keep the minimum size honoured even when
+                // duplicate keys collapse entries.
+                for _ in 0..target.max(1) * 4 {
+                    if map.len() >= target.max(self.size.start) {
+                        break;
+                    }
+                    map.insert(self.key.sample(rng), self.value.sample(rng));
+                }
+                map
+            }
+        }
+    }
+
+    pub mod sample {
+        //! Index sampling.
+
+        use super::super::{ArbitraryValue, TestRng};
+
+        /// An abstract index into a collection of unknown length.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Index(usize);
+
+        impl Index {
+            /// Projects the abstract index onto a collection of `len` items.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `len` is zero, as in the real crate.
+            pub fn index(&self, len: usize) -> usize {
+                assert!(len > 0, "cannot index an empty collection");
+                self.0 % len
+            }
+        }
+
+        impl ArbitraryValue for Index {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                Index(rng.next_u64() as usize)
+            }
+        }
+    }
+}
+
+/// Runs each property test body against deterministic pseudo-random cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::TestRng::deterministic(stringify!($name));
+                for _case in 0..128u32 {
+                    $(let $arg = $crate::Strategy::sample(&$strat, &mut rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// `assert!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under proptest's spelling.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+pub mod prelude {
+    //! Everything a property-test module imports.
+
+    pub use crate::prop;
+    pub use crate::{any, Any, ArbitraryValue, Strategy, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Re-exported for macro use.
+pub use prop::sample::Index as SampleIndex;

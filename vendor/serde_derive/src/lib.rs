@@ -1,0 +1,353 @@
+//! `#[derive(Serialize, Deserialize)]` for the workspace-local serde shim.
+//!
+//! The build environment has no access to crates.io, so this proc-macro
+//! re-implements the subset of serde's derive that this workspace uses:
+//! non-generic structs (named, tuple/newtype, unit) and enums (unit, tuple
+//! and struct variants), without `#[serde(...)]` attributes. Representation
+//! follows serde's external tagging so derived types round-trip through the
+//! vendored `serde_json`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field list.
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn tokens(input: TokenStream) -> Vec<TokenTree> {
+    input.into_iter().collect()
+}
+
+/// Skips attributes (`# [...]`) and visibility (`pub`, `pub(crate)`) starting
+/// at `i`, returning the next significant index.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // the attribute body group
+                if matches!(toks.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Splits the tokens of a field-list group on top-level commas (commas inside
+/// nested groups or angle brackets do not split).
+fn split_top_level(toks: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut parts: Vec<Vec<TokenTree>> = Vec::new();
+    let mut current: Vec<TokenTree> = Vec::new();
+    let mut angle: i32 = 0;
+    for t in toks {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    parts.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+fn parse_named_fields(group: &[TokenTree]) -> Vec<String> {
+    split_top_level(group)
+        .iter()
+        .filter_map(|part| {
+            let i = skip_attrs_and_vis(part, 0);
+            match part.get(i) {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(group: &[TokenTree]) -> Vec<Variant> {
+    split_top_level(group)
+        .iter()
+        .filter_map(|part| {
+            let i = skip_attrs_and_vis(part, 0);
+            let name = match part.get(i) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                _ => return None,
+            };
+            let fields = match part.get(i + 1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(&tokens(g.stream())))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(split_top_level(&tokens(g.stream())).len())
+                }
+                _ => Fields::Unit,
+            };
+            Some(Variant { name, fields })
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks = tokens(input);
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct or enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive does not support generic type `{name}`"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match toks.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(&tokens(g.stream())))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(split_top_level(&tokens(g.stream())).len())
+                }
+                _ => Fields::Unit,
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(&tokens(g.stream())),
+            }),
+            other => Err(format!("expected enum body, found {other:?}")),
+        },
+        other => Err(format!("cannot derive for `{other}`")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derives `serde::Serialize` (shim version).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let mut body = String::new();
+    let name;
+    match &item {
+        Item::Struct { name: n, fields } => {
+            name = n.clone();
+            match fields {
+                Fields::Named(names) => {
+                    body.push_str("let mut m = Vec::new();\n");
+                    for f in names {
+                        body.push_str(&format!(
+                            "m.push(({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+                        ));
+                    }
+                    body.push_str("::serde::Value::Map(m)\n");
+                }
+                Fields::Tuple(1) => body.push_str("::serde::Serialize::to_value(&self.0)\n"),
+                Fields::Tuple(n) => {
+                    body.push_str("let mut s = Vec::new();\n");
+                    for idx in 0..*n {
+                        body.push_str(&format!(
+                            "s.push(::serde::Serialize::to_value(&self.{idx}));\n"
+                        ));
+                    }
+                    body.push_str("::serde::Value::Seq(s)\n");
+                }
+                Fields::Unit => body.push_str("::serde::Value::Null\n"),
+            }
+        }
+        Item::Enum { name: n, variants } => {
+            name = n.clone();
+            body.push_str("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => body.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),\n"
+                    )),
+                    Fields::Tuple(1) => body.push_str(&format!(
+                        "{name}::{vn}(f0) => ::serde::Value::Map(vec![({vn:?}.to_string(), ::serde::Serialize::to_value(f0))]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        body.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(vec![({vn:?}.to_string(), ::serde::Value::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(names) => {
+                        let items: Vec<String> = names
+                            .iter()
+                            .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value({f}))"))
+                            .collect();
+                        body.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Map(vec![({vn:?}.to_string(), ::serde::Value::Map(vec![{}]))]),\n",
+                            names.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            body.push_str("}\n");
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}}}\n}}\n"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Derives `serde::Deserialize` (shim version).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(e) => return compile_error(&e),
+    };
+    let mut body = String::new();
+    let name;
+    match &item {
+        Item::Struct { name: n, fields } => {
+            name = n.clone();
+            match fields {
+                Fields::Named(names) => {
+                    body.push_str(&format!(
+                        "let m = v.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map for struct {name}\"))?;\n"
+                    ));
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::de_field(m, {f:?})?"))
+                        .collect();
+                    body.push_str(&format!("Ok({name} {{ {} }})\n", inits.join(", ")));
+                }
+                Fields::Tuple(1) => {
+                    body.push_str(&format!(
+                        "Ok({name}(::serde::Deserialize::from_value(v)?))\n"
+                    ));
+                }
+                Fields::Tuple(n) => {
+                    body.push_str(&format!(
+                        "let s = v.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected seq for struct {name}\"))?;\n\
+                         if s.len() != {n} {{ return Err(::serde::Error::custom(\"wrong tuple arity for {name}\")); }}\n"
+                    ));
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                        .collect();
+                    body.push_str(&format!("Ok({name}({}))\n", inits.join(", ")));
+                }
+                Fields::Unit => body.push_str(&format!("let _ = v; Ok({name})\n")),
+            }
+        }
+        Item::Enum { name: n, variants } => {
+            name = n.clone();
+            body.push_str("match v {\n::serde::Value::Str(s) => match s.as_str() {\n");
+            for v in variants {
+                if matches!(v.fields, Fields::Unit) {
+                    let vn = &v.name;
+                    body.push_str(&format!("{vn:?} => Ok({name}::{vn}),\n"));
+                }
+            }
+            body.push_str(&format!(
+                "other => Err(::serde::Error::custom(format!(\"unknown variant {{other}} of {name}\"))),\n}},\n"
+            ));
+            body.push_str("::serde::Value::Map(m) if m.len() == 1 => {\nlet (tag, inner) = (&m[0].0, &m[0].1);\nmatch tag.as_str() {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => {}
+                    Fields::Tuple(1) => body.push_str(&format!(
+                        "{vn:?} => Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    Fields::Tuple(cnt) => {
+                        let inits: Vec<String> = (0..*cnt)
+                            .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                            .collect();
+                        body.push_str(&format!(
+                            "{vn:?} => {{\nlet s = inner.as_seq().ok_or_else(|| ::serde::Error::custom(\"expected seq variant\"))?;\n\
+                             if s.len() != {cnt} {{ return Err(::serde::Error::custom(\"wrong variant arity\")); }}\n\
+                             Ok({name}::{vn}({}))\n}},\n",
+                            inits.join(", ")
+                        ));
+                    }
+                    Fields::Named(names) => {
+                        let inits: Vec<String> = names
+                            .iter()
+                            .map(|f| format!("{f}: ::serde::de_field(mm, {f:?})?"))
+                            .collect();
+                        body.push_str(&format!(
+                            "{vn:?} => {{\nlet mm = inner.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map variant\"))?;\n\
+                             Ok({name}::{vn} {{ {} }})\n}},\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            body.push_str(&format!(
+                "other => Err(::serde::Error::custom(format!(\"unknown variant {{other}} of {name}\"))),\n}}\n}},\n\
+                 _ => Err(::serde::Error::custom(\"expected string or single-entry map for enum {name}\")),\n}}\n"
+            ));
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::core::result::Result<{name}, ::serde::Error> {{\n{body}}}\n}}\n"
+    )
+    .parse()
+    .unwrap()
+}

@@ -1,0 +1,80 @@
+//! Workspace-local shim for the `serde_json` crate, backed by the vendored
+//! `serde` shim's [`Value`](serde::Value) tree and JSON codec.
+
+pub use serde::Error;
+pub use serde::Value;
+
+use serde::{json, Deserialize, Serialize};
+
+/// Serializes a value to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(json::to_json(&value.to_value(), false))
+}
+
+/// Serializes a value to pretty JSON text (2-space indentation).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(json::to_json(&value.to_value(), true))
+}
+
+/// Serializes a value to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserializes a value from JSON text.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    T::from_value(&json::parse(text)?)
+}
+
+/// Deserializes a value from JSON bytes.
+pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
+    let text =
+        std::str::from_utf8(bytes).map_err(|_| Error::custom("invalid UTF-8 in JSON input"))?;
+    from_str(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "5", "-3", "5.5", "\"hi\\n\""] {
+            let v = serde::json::parse(text).unwrap();
+            assert_eq!(serde::json::to_json(&v, false), text);
+        }
+    }
+
+    #[test]
+    fn map_round_trips_pretty() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1.5f64);
+        m.insert("b".to_string(), 2.0f64);
+        let text = to_string_pretty(&m).unwrap();
+        assert!(text.contains("\"a\": 1.5"));
+        assert!(text.contains("\"b\": 2.0"));
+        let back: BTreeMap<String, f64> = from_str(&text).unwrap();
+        assert_eq!(back, m);
+        // Serialize → parse → serialize is byte-identical.
+        assert_eq!(to_string_pretty(&back).unwrap(), text);
+    }
+
+    #[test]
+    fn tuple_map_keys_round_trip() {
+        let mut m: BTreeMap<(String, String), u128> = BTreeMap::new();
+        m.insert(("alice".into(), "uatom".into()), 42);
+        let text = to_string(&m).unwrap();
+        let back: BTreeMap<(String, String), u128> = from_str(&text).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v: Vec<Option<Vec<u8>>> = vec![None, Some(vec![1, 2, 3]), Some(vec![])];
+        let text = to_string(&v).unwrap();
+        assert_eq!(text, "[null,[1,2,3],[]]");
+        let back: Vec<Option<Vec<u8>>> = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+}
