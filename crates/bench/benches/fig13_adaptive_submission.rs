@@ -1,0 +1,8 @@
+//! Strategy counterfactual scenario `fig13_adaptive_submission` (see the registry entry).
+//!
+//! Sweep mode and output format come from `XCC_FULL_SWEEP` / `XCC_OUTPUT`
+//! (see `xcc_framework::sweep`).
+
+fn main() {
+    xcc_bench::run_and_print("fig13_adaptive_submission");
+}

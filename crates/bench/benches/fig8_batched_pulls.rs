@@ -1,0 +1,8 @@
+//! Strategy counterfactual scenario `fig8_batched_pulls` (see the registry entry).
+//!
+//! Sweep mode and output format come from `XCC_FULL_SWEEP` / `XCC_OUTPUT`
+//! (see `xcc_framework::sweep`).
+
+fn main() {
+    xcc_bench::run_and_print("fig8_batched_pulls");
+}

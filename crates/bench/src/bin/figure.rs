@@ -4,6 +4,9 @@
 //! cargo run --release -p xcc-bench --bin figure -- fig8
 //! cargo run --release -p xcc-bench --bin figure -- --list
 //! ```
+//!
+//! Unknown names exit non-zero with the registry listing and, when the name
+//! looks like a typo, a "did you mean" hint.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -13,10 +16,14 @@ fn main() {
         }
         Some(name) => {
             if xcc_framework::registry::get(name).is_none() {
-                eprintln!(
-                    "unknown scenario `{name}`; registered scenarios: {}",
-                    xcc_framework::registry::names().join(", ")
-                );
+                eprintln!("unknown scenario `{name}`");
+                if let Some(candidate) = xcc_framework::registry::suggest(name) {
+                    eprintln!("did you mean `{candidate}`?");
+                }
+                eprintln!("registered scenarios:");
+                for entry in xcc_framework::registry::entries() {
+                    eprintln!("  {:<26} {}", entry.name, entry.title);
+                }
                 std::process::exit(2);
             }
             xcc_bench::run_and_print(name);

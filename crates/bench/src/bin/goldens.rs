@@ -1,0 +1,63 @@
+//! Regenerates the default-strategy golden fixtures used by
+//! `tests/relayer_strategies.rs`.
+//!
+//! The fixtures pin the exact `ScenarioOutcome`s of small fig8/fig9/fig11/
+//! fig12-shaped runs so the determinism tests can prove that the pluggable
+//! relayer pipeline's default strategy reproduces the pre-refactor relayer
+//! bit for bit. Regenerate (and carefully review the diff!) with:
+//!
+//! ```text
+//! cargo run --release -p xcc-bench --bin goldens > tests/fixtures/default_strategy_goldens.json
+//! ```
+
+use xcc_framework::scenarios;
+use xcc_framework::spec::ExperimentSpec;
+
+/// The spec set behind the golden fixtures: one small point per paper figure
+/// the relayer refactor must preserve (Figs. 8, 9, 11 and 12).
+pub fn golden_specs() -> Vec<ExperimentSpec> {
+    vec![
+        ExperimentSpec::relayer_throughput()
+            .named("golden/fig8/rate=20/rtt=0")
+            .relayers(1)
+            .rtt_ms(0)
+            .input_rate(20)
+            .measurement_blocks(5)
+            .seed(42),
+        ExperimentSpec::relayer_throughput()
+            .named("golden/fig8/rate=60/rtt=200")
+            .relayers(1)
+            .rtt_ms(200)
+            .input_rate(60)
+            .measurement_blocks(5)
+            .seed(42),
+        ExperimentSpec::relayer_throughput()
+            .named("golden/fig9/rate=20/rtt=200")
+            .relayers(2)
+            .rtt_ms(200)
+            .input_rate(20)
+            .measurement_blocks(5)
+            .seed(42),
+        ExperimentSpec::relayer_throughput()
+            .named("golden/fig11/rate=60/rtt=200")
+            .relayers(2)
+            .rtt_ms(200)
+            .input_rate(60)
+            .measurement_blocks(5)
+            .seed(42),
+        ExperimentSpec::latency()
+            .named("golden/fig12/transfers=400")
+            .transfers(400)
+            .submission_blocks(1)
+            .rtt_ms(200)
+            .seed(42),
+    ]
+}
+
+fn main() {
+    let outcomes: Vec<_> = golden_specs().iter().map(scenarios::run).collect();
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&outcomes).expect("outcomes serialize")
+    );
+}

@@ -47,6 +47,6 @@ pub fn run_and_print(name: &str) {
 /// Prints the registry: one `name — title` line per scenario.
 pub fn print_scenario_list() {
     for entry in registry::entries() {
-        println!("{:<16} {}", entry.name, entry.title);
+        println!("{:<26} {}", entry.name, entry.title);
     }
 }

@@ -92,13 +92,18 @@ impl Tx {
 
     /// Serialises the transaction into opaque bytes for inclusion in a block.
     ///
-    /// # Panics
-    ///
-    /// Panics if serialisation fails, which would indicate a bug in the
-    /// message definitions rather than a runtime condition.
+    /// The payload is the vendored serde shim's compact binary rendering —
+    /// transactions are encoded and decoded millions of times per experiment,
+    /// and JSON text on this path used to dominate experiment runtime. The
+    /// returned [`RawTx`] still *declares* the exact byte length of the
+    /// compact JSON rendering as its wire size, so every simulated quantity
+    /// derived from transaction size (mempool and block byte limits, block
+    /// processing time, WebSocket frame payloads) is unchanged: JSON remains
+    /// the modelled wire format and survives at the reporting boundary only.
     pub fn encode(&self) -> RawTx {
-        let json = serde_json::to_vec(self).expect("tx serialisation cannot fail");
-        RawTx::new(json)
+        let value = self.to_value();
+        let wire_len = serde::json::encoded_len(&value);
+        RawTx::with_wire_len(serde::binary::to_bytes(&value), wire_len)
     }
 
     /// Decodes a transaction previously produced by [`Tx::encode`].
@@ -107,7 +112,10 @@ impl Tx {
     ///
     /// Fails when the bytes are not a valid encoded transaction.
     pub fn decode(raw: &RawTx) -> Result<Self, TxDecodeError> {
-        serde_json::from_slice(raw.as_bytes()).map_err(|e| TxDecodeError {
+        let value = serde::binary::from_bytes(raw.as_bytes()).map_err(|e| TxDecodeError {
+            reason: e.to_string(),
+        })?;
+        Tx::from_value(&value).map_err(|e| TxDecodeError {
             reason: e.to_string(),
         })
     }
@@ -152,6 +160,23 @@ mod tests {
         assert_eq!(decoded, tx);
         assert_eq!(decoded.msg_count(), 2);
         assert_eq!(tx.hash(), sha256(raw.as_bytes()));
+    }
+
+    #[test]
+    fn wire_length_models_the_json_rendering_exactly() {
+        let msgs: Vec<Msg> = (0..100).map(|i| transfer(i as u128 + 1)).collect();
+        let tx = Tx::new("alice".into(), 7, msgs, "uatom");
+        let raw = tx.encode();
+        let json = serde_json::to_vec(&tx).expect("tx serializes");
+        // The declared wire size is the JSON rendering the real RPC would
+        // carry, while the host payload is the (much smaller) binary form.
+        assert_eq!(raw.len(), json.len());
+        assert!(
+            raw.as_bytes().len() < raw.len(),
+            "binary payload ({}) should undercut the JSON wire size ({})",
+            raw.as_bytes().len(),
+            raw.len()
+        );
     }
 
     #[test]

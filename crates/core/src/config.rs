@@ -5,12 +5,13 @@
 //! modules (Fig. 5 of the paper). The defaults reproduce the paper's
 //! experiment settings (§III-C/D).
 
-use serde::{Deserialize, Serialize};
+use serde::{de_field, Deserialize, Error, Serialize, Value};
 
+use xcc_relayer::strategy::RelayerStrategy;
 use xcc_sim::SimDuration;
 
 /// Parameters of the deployed testnet (the Setup module's input).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DeploymentConfig {
     /// Identifier of the source chain.
     pub source_chain_id: String,
@@ -25,6 +26,9 @@ pub struct DeploymentConfig {
     pub min_block_interval: SimDuration,
     /// Number of relayer instances serving the single cross-chain channel.
     pub relayer_count: usize,
+    /// The pipeline strategy every relayer instance runs; the default is the
+    /// paper's Hermes pipeline (see [`RelayerStrategy`]).
+    pub relayer_strategy: RelayerStrategy,
     /// Number of funded user accounts available to the workload generator.
     pub user_accounts: usize,
     /// Initial balance of every funded account (fee denomination).
@@ -42,10 +46,64 @@ impl Default for DeploymentConfig {
             network_rtt_ms: 200,
             min_block_interval: SimDuration::from_secs(5),
             relayer_count: 1,
+            relayer_strategy: RelayerStrategy::default(),
             user_accounts: 64,
             account_balance: 1_000_000_000_000,
             seed: 42,
         }
+    }
+}
+
+// Hand-written serde impls (instead of the derive) so that configuration
+// JSON written before the `relayer_strategy` field existed still parses: a
+// missing field falls back to the paper-default strategy.
+impl Serialize for DeploymentConfig {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("source_chain_id".into(), self.source_chain_id.to_value()),
+            (
+                "destination_chain_id".into(),
+                self.destination_chain_id.to_value(),
+            ),
+            (
+                "validators_per_chain".into(),
+                self.validators_per_chain.to_value(),
+            ),
+            ("network_rtt_ms".into(), self.network_rtt_ms.to_value()),
+            (
+                "min_block_interval".into(),
+                self.min_block_interval.to_value(),
+            ),
+            ("relayer_count".into(), self.relayer_count.to_value()),
+            ("relayer_strategy".into(), self.relayer_strategy.to_value()),
+            ("user_accounts".into(), self.user_accounts.to_value()),
+            ("account_balance".into(), self.account_balance.to_value()),
+            ("seed".into(), self.seed.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for DeploymentConfig {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| Error::custom("expected object for DeploymentConfig"))?;
+        let relayer_strategy = match map.iter().find(|(k, _)| k == "relayer_strategy") {
+            Some((_, value)) => RelayerStrategy::from_value(value)?,
+            None => RelayerStrategy::default(),
+        };
+        Ok(DeploymentConfig {
+            source_chain_id: de_field(map, "source_chain_id")?,
+            destination_chain_id: de_field(map, "destination_chain_id")?,
+            validators_per_chain: de_field(map, "validators_per_chain")?,
+            network_rtt_ms: de_field(map, "network_rtt_ms")?,
+            min_block_interval: de_field(map, "min_block_interval")?,
+            relayer_count: de_field(map, "relayer_count")?,
+            relayer_strategy,
+            user_accounts: de_field(map, "user_accounts")?,
+            account_balance: de_field(map, "account_balance")?,
+            seed: de_field(map, "seed")?,
+        })
     }
 }
 
@@ -134,8 +192,35 @@ mod tests {
         assert_eq!(d.validators_per_chain, 5);
         assert_eq!(d.network_rtt_ms, 200);
         assert_eq!(d.min_block_interval, SimDuration::from_secs(5));
+        assert_eq!(d.relayer_strategy, RelayerStrategy::default());
         let w = WorkloadConfig::default();
         assert_eq!(w.transfers_per_tx, 100);
+    }
+
+    #[test]
+    fn deployment_round_trips_and_tolerates_pre_strategy_json() {
+        let mut d = DeploymentConfig {
+            relayer_strategy: RelayerStrategy::batched_pulls(),
+            ..DeploymentConfig::default()
+        };
+        d.seed = 7;
+        let json = serde_json::to_string(&d).unwrap();
+        let back: DeploymentConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+
+        // Config JSON written before the strategy field existed still parses,
+        // falling back to the paper-default pipeline.
+        let legacy = json
+            .split_once(",\"relayer_strategy\"")
+            .map(|(head, tail)| {
+                let rest = tail.split_once(",\"user_accounts\"").unwrap().1;
+                format!("{head},\"user_accounts\"{rest}")
+            })
+            .unwrap();
+        assert!(!legacy.contains("relayer_strategy"));
+        let parsed: DeploymentConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(parsed.relayer_strategy, RelayerStrategy::default());
+        assert_eq!(parsed.seed, 7);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! `WebSocketLimitResult`). A [`ScenarioOutcome`] replaces all of them: every
 //! run — regardless of family — produces the full metric set, exposed
 //! through typed accessors and emitted as JSON or CSV through
-//! [`ExecutionReport`](crate::report::ExecutionReport).
+//! [`crate::report::ExecutionReport`].
 
 use std::collections::BTreeMap;
 

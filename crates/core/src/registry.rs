@@ -15,6 +15,8 @@
 //! println!("{report}");
 //! ```
 
+use xcc_relayer::strategy::RelayerStrategy;
+
 use crate::outcome::ScenarioOutcome;
 use crate::report::ExecutionReport;
 use crate::spec::ExperimentSpec;
@@ -22,7 +24,8 @@ use crate::sweep::{SweepGrid, SweepMode};
 
 /// One named, registered scenario.
 pub struct ScenarioEntry {
-    /// The registry key (`fig6` … `fig13`, `table1`, `websocket_limit`).
+    /// The registry key (`fig6` … `fig13`, `table1`, `websocket_limit`, the
+    /// `*_batched_pulls`-style strategy counterfactuals, `smoke`).
     pub name: &'static str,
     /// One-line description shown by `--list`.
     pub title: &'static str,
@@ -67,7 +70,35 @@ pub fn get(name: &str) -> Option<&'static ScenarioEntry> {
     ENTRIES.iter().find(|e| e.name == name)
 }
 
-static ENTRIES: [ScenarioEntry; 10] = [
+/// The registered name closest to `name` (case-insensitive Levenshtein
+/// distance), if any is close enough to plausibly be a typo. Drives the
+/// `figure` CLI's "did you mean" hint.
+pub fn suggest(name: &str) -> Option<&'static str> {
+    let query = name.to_ascii_lowercase();
+    ENTRIES
+        .iter()
+        .map(|e| (edit_distance(&query, e.name), e.name))
+        .filter(|(distance, candidate)| *distance <= candidate.len().div_ceil(2))
+        .min_by_key(|(distance, _)| *distance)
+        .map(|(_, candidate)| candidate)
+}
+
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut previous: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut current = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let substitute = previous[j] + usize::from(ca != cb);
+            current.push(substitute.min(previous[j + 1] + 1).min(current[j] + 1));
+        }
+        previous = current;
+    }
+    previous[b.len()]
+}
+
+static ENTRIES: [ScenarioEntry; 15] = [
     ScenarioEntry {
         name: "fig6",
         title: "Tendermint throughput (TFPS) vs input rate",
@@ -127,6 +158,36 @@ static ENTRIES: [ScenarioEntry; 10] = [
         title: "WebSocket 16 MiB frame-limit challenge",
         grid: websocket_grid,
         render: websocket_render,
+    },
+    ScenarioEntry {
+        name: "fig8_batched_pulls",
+        title: "Fig. 8 counterfactual: batched data pulls",
+        grid: fig8_batched_grid,
+        render: relayer_throughput_render,
+    },
+    ScenarioEntry {
+        name: "fig11_coordinated",
+        title: "Fig. 11 counterfactual: partitioned relayers",
+        grid: fig11_coordinated_grid,
+        render: completion_render,
+    },
+    ScenarioEntry {
+        name: "fig12_parallel_fetch",
+        title: "Fig. 12 counterfactual: concurrent data pulls",
+        grid: fig12_parallel_grid,
+        render: fig12_render,
+    },
+    ScenarioEntry {
+        name: "fig13_adaptive_submission",
+        title: "Fig. 13 counterfactual: adaptive relayer batching",
+        grid: fig13_adaptive_grid,
+        render: fig13_render,
+    },
+    ScenarioEntry {
+        name: "smoke",
+        title: "Cheap end-to-end run for CI smoke checks",
+        grid: smoke_grid,
+        render: completion_render,
     },
 ];
 
@@ -270,6 +331,70 @@ fn websocket_grid(mode: SweepMode) -> SweepGrid {
     )
 }
 
+// -- strategy counterfactuals (the relayer-pipeline "what if?" scenarios) ---
+
+/// Fig. 8's one-relayer sweep with the data pulls batched into one query per
+/// flush — probing how much of the ~90 TFPS cap is the chunked block scans.
+fn fig8_batched_grid(mode: SweepMode) -> SweepGrid {
+    SweepGrid::new(
+        ExperimentSpec::relayer_throughput()
+            .named("fig8_batched_pulls")
+            .relayers(1)
+            .strategy(RelayerStrategy::batched_pulls())
+            .measurement_blocks(relayer_blocks(mode))
+            .seed(42),
+    )
+    .input_rates(relayer_rates(mode))
+    .rtts_ms([0, 200])
+}
+
+/// Fig. 11's two-relayer completion sweep with sequence-partitioned
+/// instances — the redundant-message losses of Figs. 9/11 should vanish.
+fn fig11_coordinated_grid(mode: SweepMode) -> SweepGrid {
+    completion_grid(mode, "fig11_coordinated", 2).strategies([RelayerStrategy::coordinated()])
+}
+
+/// Fig. 12's latency breakdown with the chunked pulls issued concurrently —
+/// probing the sequential-RPC share (~69%) of completion latency.
+fn fig12_parallel_grid(mode: SweepMode) -> SweepGrid {
+    SweepGrid::new(
+        ExperimentSpec::latency()
+            .named("fig12_parallel_fetch")
+            .transfers(mode.pick(1_000, 5_000))
+            .submission_blocks(1)
+            .rtt_ms(200)
+            .strategy(RelayerStrategy::parallel_fetch())
+            .seed(42),
+    )
+}
+
+/// Fig. 13's submission sweep with the relayer batching adaptively on top —
+/// relayer-side generalization of the client-side submission strategies.
+fn fig13_adaptive_grid(mode: SweepMode) -> SweepGrid {
+    SweepGrid::new(
+        ExperimentSpec::latency()
+            .named("fig13_adaptive_submission")
+            .transfers(mode.pick(1_500, 5_000))
+            .rtt_ms(200)
+            .strategy(RelayerStrategy::adaptive_submission(4))
+            .seed(42),
+    )
+    .submission_blocks(mode.pick(vec![1, 2, 4, 8, 16, 32], vec![1, 2, 4, 8, 16, 32, 64]))
+}
+
+/// One cheap, representative end-to-end run (~seconds): CI's smoke check.
+fn smoke_grid(_mode: SweepMode) -> SweepGrid {
+    SweepGrid::new(
+        ExperimentSpec::relayer_throughput()
+            .named("smoke")
+            .relayers(1)
+            .rtt_ms(0)
+            .input_rate(20)
+            .measurement_blocks(4)
+            .seed(42),
+    )
+}
+
 // ---------------------------------------------------------------------------
 // Renderers (the tables the old bench binaries printed)
 // ---------------------------------------------------------------------------
@@ -401,9 +526,13 @@ fn completion_render(outcomes: &[ScenarioOutcome]) -> ExecutionReport {
         .first()
         .map(|o| o.spec.workload.measurement_blocks)
         .unwrap_or(0);
+    let rtt = outcomes
+        .first()
+        .map(|o| o.spec.deployment.network_rtt_ms)
+        .unwrap_or(0);
     let mut report = ExecutionReport::new(name.clone());
     report.add_note(format!(
-        "{name} — completion status, {relayers} relayer(s), 200 ms ({blocks} blocks)"
+        "{name} — completion status, {relayers} relayer(s), {rtt} ms ({blocks} blocks)"
     ));
     report.add_row(format!(
         "{:>12} | {:>10} | {:>10} | {:>10} | {:>14}",
@@ -427,12 +556,14 @@ fn completion_render(outcomes: &[ScenarioOutcome]) -> ExecutionReport {
 }
 
 fn fig12_render(outcomes: &[ScenarioOutcome]) -> ExecutionReport {
-    let mut report = ExecutionReport::new("fig12");
+    let name = outcomes.first().map(fig_name).unwrap_or_default();
+    let mut report = ExecutionReport::new(name.clone());
     let Some(o) = outcomes.first() else {
         return report;
     };
     report.add_note(format!(
-        "Fig. 12 — latency breakdown for {} transfers submitted in one block",
+        "{name} — latency breakdown for {} transfers submitted in one block \
+         (paper baseline: Fig. 12)",
         o.spec.workload.total_transfers
     ));
     report.add_row(format!(
@@ -474,9 +605,11 @@ fn fig13_render(outcomes: &[ScenarioOutcome]) -> ExecutionReport {
         .first()
         .map(|o| o.spec.workload.total_transfers)
         .unwrap_or(0);
-    let mut report = ExecutionReport::new("fig13");
+    let name = outcomes.first().map(fig_name).unwrap_or_default();
+    let mut report = ExecutionReport::new(name.clone());
     report.add_note(format!(
-        "Fig. 13 — completion latency vs submission strategy ({transfers} transfers)"
+        "{name} — completion latency vs submission strategy ({transfers} transfers, \
+         paper baseline: Fig. 13)"
     ));
     report.add_row(format!(
         "{:>14} | {:>22}",
@@ -588,6 +721,11 @@ mod tests {
             "fig13",
             "table1",
             "websocket_limit",
+            "fig8_batched_pulls",
+            "fig11_coordinated",
+            "fig12_parallel_fetch",
+            "fig13_adaptive_submission",
+            "smoke",
         ];
         assert_eq!(names(), expected);
         for name in expected {
@@ -600,6 +738,46 @@ mod tests {
             }
         }
         assert!(get("fig99").is_none());
+    }
+
+    #[test]
+    fn strategy_scenarios_carry_their_strategy_in_every_point() {
+        let cases = [
+            ("fig8_batched_pulls", RelayerStrategy::batched_pulls()),
+            ("fig11_coordinated", RelayerStrategy::coordinated()),
+            ("fig12_parallel_fetch", RelayerStrategy::parallel_fetch()),
+            (
+                "fig13_adaptive_submission",
+                RelayerStrategy::adaptive_submission(4),
+            ),
+        ];
+        for (name, strategy) in cases {
+            let entry = get(name).unwrap_or_else(|| panic!("{name} not registered"));
+            for point in entry.grid(SweepMode::Quick).points() {
+                assert_eq!(
+                    point.deployment.relayer_strategy, strategy,
+                    "{name} point {} lost its strategy",
+                    point.name
+                );
+            }
+        }
+        // The paper scenarios keep the default pipeline.
+        for point in get("fig8").unwrap().grid(SweepMode::Quick).points() {
+            assert_eq!(
+                point.deployment.relayer_strategy,
+                RelayerStrategy::default()
+            );
+        }
+    }
+
+    #[test]
+    fn suggest_finds_close_names_and_rejects_nonsense() {
+        assert_eq!(suggest("fig88"), Some("fig8"));
+        assert_eq!(suggest("FIG12"), Some("fig12"));
+        assert_eq!(suggest("websocket"), Some("websocket_limit"));
+        assert_eq!(suggest("fig8_batched"), Some("fig8_batched_pulls"));
+        assert_eq!(suggest("smok"), Some("smoke"));
+        assert_eq!(suggest("completely-unrelated-zzz"), None);
     }
 
     #[test]

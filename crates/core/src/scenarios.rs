@@ -2,7 +2,7 @@
 //!
 //! [`run`] takes an [`ExperimentSpec`], deploys a fresh testnet, executes the
 //! configured workload and returns the unified
-//! [`ScenarioOutcome`](crate::outcome::ScenarioOutcome) carrying every metric
+//! [`crate::outcome::ScenarioOutcome`] carrying every metric
 //! the paper reports. The positional-argument functions that earlier
 //! revisions exposed (`relayer_throughput(60, 1, 200, 10, 42)` — which one
 //! is the RTT?) survive as thin `#[deprecated]` wrappers over the builder

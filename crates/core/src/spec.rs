@@ -24,6 +24,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use xcc_relayer::strategy::RelayerStrategy;
+
 use crate::config::{DeploymentConfig, WorkloadConfig};
 
 /// The scenario family a spec belongs to — which of the paper's experiment
@@ -235,6 +237,23 @@ impl ExperimentSpec {
     /// Sets the number of relayer instances serving the channel.
     pub fn relayers(mut self, count: usize) -> Self {
         self.deployment.relayer_count = count;
+        self
+    }
+
+    /// Sets the relayer pipeline strategy (event source, data fetcher,
+    /// submission policy, coordination) every instance runs.
+    ///
+    /// ```rust
+    /// use xcc_framework::spec::ExperimentSpec;
+    /// use xcc_relayer::strategy::RelayerStrategy;
+    ///
+    /// let spec = ExperimentSpec::relayer_throughput()
+    ///     .input_rate(60)
+    ///     .strategy(RelayerStrategy::batched_pulls());
+    /// assert_eq!(spec.deployment.relayer_strategy.label(), "batched");
+    /// ```
+    pub fn strategy(mut self, strategy: RelayerStrategy) -> Self {
+        self.deployment.relayer_strategy = strategy;
         self
     }
 

@@ -24,6 +24,8 @@ use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 
+use xcc_relayer::strategy::RelayerStrategy;
+
 use crate::outcome::ScenarioOutcome;
 use crate::scenarios;
 use crate::spec::ExperimentSpec;
@@ -127,6 +129,8 @@ pub struct SweepGrid {
     pub submission_blocks: Vec<u64>,
     /// Total transfer counts (latency / websocket families).
     pub transfer_counts: Vec<u64>,
+    /// Relayer pipeline strategies (see [`RelayerStrategy`]).
+    pub strategies: Vec<RelayerStrategy>,
     /// Explicit seeds; empty means "one point with the base seed".
     pub seeds: Vec<u64>,
 }
@@ -141,6 +145,7 @@ impl SweepGrid {
             rtts_ms: Vec::new(),
             submission_blocks: Vec::new(),
             transfer_counts: Vec::new(),
+            strategies: Vec::new(),
             seeds: Vec::new(),
         }
     }
@@ -175,6 +180,12 @@ impl SweepGrid {
         self
     }
 
+    /// Sets the relayer-strategy axis.
+    pub fn strategies(mut self, strategies: impl IntoIterator<Item = RelayerStrategy>) -> Self {
+        self.strategies = strategies.into_iter().collect();
+        self
+    }
+
     /// Sets the seed axis.
     pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
         self.seeds = seeds.into_iter().collect();
@@ -197,6 +208,7 @@ impl SweepGrid {
             * axis(self.rtts_ms.len())
             * axis(self.submission_blocks.len())
             * axis(self.transfer_counts.len())
+            * axis(self.strategies.len())
             * axis(self.seeds.len())
     }
 
@@ -223,34 +235,40 @@ impl SweepGrid {
                 for rtt in axis(&self.rtts_ms) {
                     for blocks in axis(&self.submission_blocks) {
                         for transfers in axis(&self.transfer_counts) {
-                            for seed in axis(&self.seeds) {
-                                let mut spec = self.base.clone();
-                                let mut name = spec.name.clone();
-                                if let Some(rate) = rate {
-                                    spec = spec.input_rate(rate);
-                                    name.push_str(&format!("/rate={rate}"));
+                            for strategy in axis(&self.strategies) {
+                                for seed in axis(&self.seeds) {
+                                    let mut spec = self.base.clone();
+                                    let mut name = spec.name.clone();
+                                    if let Some(rate) = rate {
+                                        spec = spec.input_rate(rate);
+                                        name.push_str(&format!("/rate={rate}"));
+                                    }
+                                    if let Some(relayers) = relayers {
+                                        spec = spec.relayers(relayers);
+                                        name.push_str(&format!("/relayers={relayers}"));
+                                    }
+                                    if let Some(rtt) = rtt {
+                                        spec = spec.rtt_ms(rtt);
+                                        name.push_str(&format!("/rtt={rtt}"));
+                                    }
+                                    if let Some(transfers) = transfers {
+                                        spec = spec.transfers(transfers);
+                                        name.push_str(&format!("/transfers={transfers}"));
+                                    }
+                                    if let Some(blocks) = blocks {
+                                        spec = spec.submission_blocks(blocks);
+                                        name.push_str(&format!("/blocks={blocks}"));
+                                    }
+                                    if let Some(strategy) = strategy {
+                                        spec = spec.strategy(strategy);
+                                        name.push_str(&format!("/strategy={}", strategy.label()));
+                                    }
+                                    if let Some(seed) = seed {
+                                        spec = spec.seed(seed);
+                                        name.push_str(&format!("/seed={seed}"));
+                                    }
+                                    specs.push(spec.named(name));
                                 }
-                                if let Some(relayers) = relayers {
-                                    spec = spec.relayers(relayers);
-                                    name.push_str(&format!("/relayers={relayers}"));
-                                }
-                                if let Some(rtt) = rtt {
-                                    spec = spec.rtt_ms(rtt);
-                                    name.push_str(&format!("/rtt={rtt}"));
-                                }
-                                if let Some(transfers) = transfers {
-                                    spec = spec.transfers(transfers);
-                                    name.push_str(&format!("/transfers={transfers}"));
-                                }
-                                if let Some(blocks) = blocks {
-                                    spec = spec.submission_blocks(blocks);
-                                    name.push_str(&format!("/blocks={blocks}"));
-                                }
-                                if let Some(seed) = seed {
-                                    spec = spec.seed(seed);
-                                    name.push_str(&format!("/seed={seed}"));
-                                }
-                                specs.push(spec.named(name));
                             }
                         }
                     }

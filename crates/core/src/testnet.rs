@@ -101,6 +101,8 @@ impl Testnet {
             let config = RelayerConfig {
                 source_account: format!("relayer-{r}").into(),
                 destination_account: format!("relayer-{r}").into(),
+                strategy: deployment.relayer_strategy,
+                instances: deployment.relayer_count.max(1),
                 ..RelayerConfig::default()
             };
             let src_rpc = make_rpc(&chain_a, deployment, &rng, &format!("relayer-{r}-src"));

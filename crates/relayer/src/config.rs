@@ -5,6 +5,8 @@ use serde::{Deserialize, Serialize};
 use xcc_chain::account::AccountId;
 use xcc_sim::SimDuration;
 
+use crate::strategy::RelayerStrategy;
+
 /// Configuration of one Hermes-like relayer instance.
 ///
 /// Defaults follow the paper's deployment: at most 100 messages per
@@ -31,6 +33,13 @@ pub struct RelayerConfig {
     /// for packets it may have missed (0 disables clearing, as in the
     /// paper's WebSocket-limit experiment).
     pub clear_interval_blocks: u64,
+    /// The pipeline strategy this instance runs (event source, data fetcher,
+    /// submission policy, coordination). The default reproduces the paper's
+    /// Hermes pipeline.
+    pub strategy: RelayerStrategy,
+    /// How many relayer instances serve the channel in total — the divisor
+    /// the coordination policy partitions work by.
+    pub instances: usize,
 }
 
 impl Default for RelayerConfig {
@@ -43,6 +52,8 @@ impl Default for RelayerConfig {
             event_processing_overhead: SimDuration::from_millis(10),
             per_instance_stagger: SimDuration::from_millis(35),
             clear_interval_blocks: 0,
+            strategy: RelayerStrategy::default(),
+            instances: 1,
         }
     }
 }

@@ -10,7 +10,15 @@
 //!
 //! * [`config::RelayerConfig`] — batching limits, accounts and processing
 //!   overheads;
-//! * [`relayer::Relayer`] — the supervisor + packet-worker pipeline for one
+//! * [`strategy::RelayerStrategy`] — the serde-able description of the
+//!   pipeline: event source, data fetcher, submission policy and
+//!   coordination mode. The default reproduces the paper's Hermes pipeline;
+//!   the other variants open the paper's "what if?" counterfactuals
+//!   (batched/parallel pulls, windowed submission, coordinated instances);
+//! * [`stages`] — the pipeline stage traits ([`stages::EventSource`],
+//!   [`stages::DataFetcher`], [`stages::SubmissionPolicy`],
+//!   [`stages::CoordinationPolicy`]) and their implementations;
+//! * [`relayer::Relayer`] — the thin driver composing the stages for one
 //!   channel, including redundant-packet detection, account-sequence
 //!   management and timeout relaying;
 //! * [`telemetry::TelemetryLog`] — per-packet timestamps for the 13 steps of
@@ -26,4 +34,8 @@
 
 pub mod config;
 pub mod relayer;
+pub mod stages;
+pub mod strategy;
 pub mod telemetry;
+
+pub use strategy::RelayerStrategy;

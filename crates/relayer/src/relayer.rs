@@ -1,12 +1,30 @@
-//! The Hermes-like relayer instance.
+//! The relayer instance: a thin driver over pluggable pipeline stages.
 //!
 //! The architecture mirrors Fig. 4 of the paper: a supervisor subscribed to
-//! both chains' WebSocket event streams hands each new block to the packet
-//! worker for the affected channel direction; the worker pulls packet data
-//! and proofs from the source chain's RPC endpoint (sequentially — this is
-//! the bottleneck), builds batched transactions of at most 100 messages, and
-//! submits them through the chain endpoint, tracking its own account
-//! sequence. Every step is timestamped into the telemetry log.
+//! both chains' event streams hands each new block to the packet worker for
+//! the affected channel direction; the worker pulls packet data and proofs
+//! from the source chain's RPC endpoint, builds batched transactions of at
+//! most 100 messages, and submits them through the chain endpoint, tracking
+//! its own account sequence. Every step is timestamped into the telemetry
+//! log.
+//!
+//! Where the paper's Hermes hard-codes each of those decisions, this driver
+//! delegates them to the trait stages of [`crate::stages`], instantiated
+//! from the [`RelayerStrategy`](crate::strategy::RelayerStrategy) in the
+//! relayer's [`RelayerConfig`]:
+//!
+//! * the [`EventSource`](crate::stages::EventSource) delivers block events
+//!   (WebSocket push vs RPC polling);
+//! * the [`DataFetcher`](crate::stages::DataFetcher) pulls packet data and
+//!   proofs (sequential vs batched vs parallel);
+//! * the [`SubmissionPolicy`](crate::stages::SubmissionPolicy) decides when
+//!   pending packets are relayed (eager vs windowed vs adaptive);
+//! * the [`CoordinationPolicy`](crate::stages::CoordinationPolicy) divides
+//!   work between instances (none vs partition vs leases).
+//!
+//! With the default strategy the driver issues exactly the same RPC calls at
+//! exactly the same simulated instants as the paper's monolithic pipeline —
+//! `tests/relayer_strategies.rs` pins this against golden fixtures.
 
 use std::collections::{BTreeMap, HashSet};
 
@@ -18,10 +36,10 @@ use xcc_ibc::height::Height;
 use xcc_ibc::ids::{ChannelId, ClientId, PortId, Sequence};
 use xcc_ibc::packet::{Acknowledgement, Packet};
 use xcc_rpc::endpoint::{BroadcastError, RpcEndpoint};
-use xcc_rpc::websocket::WebSocketSubscription;
-use xcc_sim::SimTime;
+use xcc_sim::{SimDuration, SimTime};
 
 use crate::config::RelayerConfig;
+use crate::stages::Stages;
 use crate::telemetry::{TelemetryLog, TransferStep};
 
 /// Which side of the relay path a chain plays for this relayer.
@@ -60,6 +78,9 @@ pub struct RelayerStats {
     /// Packets skipped because the destination already received them
     /// (observed redundancy avoided before broadcast).
     pub packets_skipped_already_relayed: u64,
+    /// Packets this instance observed but left to another instance under the
+    /// configured coordination policy.
+    pub packets_left_to_peers: u64,
     /// Broadcast attempts that failed (sequence mismatches, full mempools…).
     pub broadcast_failures: u64,
     /// Blocks whose events could not be collected over the WebSocket.
@@ -71,10 +92,9 @@ pub struct Relayer {
     id: usize,
     config: RelayerConfig,
     path: RelayPath,
+    stages: Stages,
     src_rpc: RpcEndpoint,
     dst_rpc: RpcEndpoint,
-    src_ws: WebSocketSubscription,
-    dst_ws: WebSocketSubscription,
     src_account_seq: u64,
     dst_account_seq: u64,
     src_fee_denom: String,
@@ -83,6 +103,10 @@ pub struct Relayer {
     worker_back_free: SimTime,
     telemetry: TelemetryLog,
     stats: RelayerStats,
+    /// Packets collected but not yet relayed, each with the source height
+    /// that committed it (the submission policy may hold them across source
+    /// blocks; data pulls are priced against the committing block).
+    pending_recv: Vec<(u64, Packet)>,
     /// Packets this relayer has seen sent but not yet observed as received,
     /// kept for timeout detection.
     pending_delivery: BTreeMap<u64, Packet>,
@@ -90,7 +114,8 @@ pub struct Relayer {
 
 impl Relayer {
     /// Creates a relayer instance with its own RPC connections to both
-    /// chains' full nodes.
+    /// chains' full nodes, building the pipeline stages from the strategy in
+    /// `config`.
     pub fn new(
         id: usize,
         config: RelayerConfig,
@@ -106,14 +131,14 @@ impl Relayer {
             .value;
         let src_fee_denom = src_rpc.chain().borrow().app().fee_denom().to_string();
         let dst_fee_denom = dst_rpc.chain().borrow().app().fee_denom().to_string();
+        let stages = config.strategy.build();
         Relayer {
             id,
             config,
             path,
+            stages,
             src_rpc,
             dst_rpc,
-            src_ws: WebSocketSubscription::default(),
-            dst_ws: WebSocketSubscription::default(),
             src_account_seq,
             dst_account_seq,
             src_fee_denom,
@@ -122,6 +147,7 @@ impl Relayer {
             worker_back_free: SimTime::ZERO,
             telemetry: TelemetryLog::new(),
             stats: RelayerStats::default(),
+            pending_recv: Vec::new(),
             pending_delivery: BTreeMap::new(),
         }
     }
@@ -146,6 +172,11 @@ impl Relayer {
         &self.stats
     }
 
+    /// The pipeline stages this instance runs.
+    pub fn stages(&self) -> &Stages {
+        &self.stages
+    }
+
     /// The RPC endpoint this relayer uses towards the source chain.
     pub fn src_rpc(&self) -> &RpcEndpoint {
         &self.src_rpc
@@ -156,14 +187,21 @@ impl Relayer {
         &self.dst_rpc
     }
 
-    /// When a block delivered at `commit_time` is actually handed to this
-    /// relayer's workers: network delivery, event processing overhead and a
-    /// per-instance stagger.
-    fn event_arrival(&self, commit_time: SimTime) -> SimTime {
-        commit_time
-            + self.src_ws.delivery_overhead()
-            + self.config.event_processing_overhead
-            + self.config.per_instance_stagger * self.id as u64
+    /// The relayer-side share of the event delivery delay: fixed processing
+    /// overhead plus the per-instance stagger modelling independently
+    /// scheduled relayer processes.
+    fn relayer_delay(&self) -> SimDuration {
+        self.config.event_processing_overhead + self.config.per_instance_stagger * self.id as u64
+    }
+
+    /// Whether this instance relays `sequence` under the coordination policy.
+    fn assigned(&self, src_height: u64, sequence: Sequence) -> bool {
+        self.stages.coordination.assigned(
+            self.id,
+            self.config.instances.max(1),
+            src_height,
+            sequence,
+        )
     }
 
     /// Handles a newly committed block on the **source** chain: extracts
@@ -171,17 +209,20 @@ impl Relayer {
     /// transactions to the destination chain. Also records acknowledgement
     /// confirmations observed in the block.
     pub fn on_source_block(&mut self, height: u64, commit_time: SimTime) {
-        let event_time = self.event_arrival(commit_time);
-        let batch = match self.src_ws.collect_block_events(&self.src_rpc, height) {
+        let delay = self.relayer_delay();
+        let (event_time, collected) =
+            self.stages
+                .src_events
+                .collect(&mut self.src_rpc, height, commit_time, delay);
+        let batch = match collected {
             Ok(batch) => batch,
-            Err(err) => {
+            Err(message) => {
                 self.stats.event_collection_failures += 1;
-                self.telemetry.record_error(event_time, err.to_string());
+                self.telemetry.record_error(event_time, message);
                 return;
             }
         };
 
-        let mut new_packets: Vec<Packet> = Vec::new();
         for (_hash, code, events) in &batch.tx_events {
             if *code != 0 {
                 continue;
@@ -203,9 +244,13 @@ impl Relayer {
                                 TransferStep::TransferConfirmation,
                                 event_time,
                             );
-                            self.pending_delivery
-                                .insert(packet.sequence.value(), packet.clone());
-                            new_packets.push(packet);
+                            if self.assigned(height, packet.sequence) {
+                                self.pending_delivery
+                                    .insert(packet.sequence.value(), packet.clone());
+                                self.pending_recv.push((height, packet));
+                            } else {
+                                self.stats.packets_left_to_peers += 1;
+                            }
                         }
                     }
                     ibc_events::ACK_PACKET => {
@@ -232,10 +277,18 @@ impl Relayer {
             }
         }
 
-        if new_packets.is_empty() {
+        if self.pending_recv.is_empty() {
             return;
         }
-        self.relay_recv_batch(height, event_time, new_packets);
+        if !self
+            .stages
+            .submission
+            .should_flush(self.pending_recv.len(), self.config.max_msgs_per_tx)
+        {
+            return;
+        }
+        let batch = std::mem::take(&mut self.pending_recv);
+        self.relay_recv_batch(event_time, batch);
     }
 
     /// Handles a newly committed block on the **destination** chain: records
@@ -243,12 +296,16 @@ impl Relayer {
     /// acknowledgement transactions back to the source chain, and submits
     /// timeouts for expired undelivered packets.
     pub fn on_dest_block(&mut self, height: u64, commit_time: SimTime) {
-        let event_time = self.event_arrival(commit_time);
-        let batch = match self.dst_ws.collect_block_events(&self.dst_rpc, height) {
+        let delay = self.relayer_delay();
+        let (event_time, collected) =
+            self.stages
+                .dst_events
+                .collect(&mut self.dst_rpc, height, commit_time, delay);
+        let batch = match collected {
             Ok(batch) => batch,
-            Err(err) => {
+            Err(message) => {
                 self.stats.event_collection_failures += 1;
-                self.telemetry.record_error(event_time, err.to_string());
+                self.telemetry.record_error(event_time, message);
                 return;
             }
         };
@@ -278,7 +335,13 @@ impl Relayer {
                             event_time,
                         );
                         self.pending_delivery.remove(&packet.sequence.value());
-                        acked_packets.push((packet, ack));
+                        // The packet was already counted towards
+                        // `packets_left_to_peers` on the source side if it
+                        // belongs to another instance; here the assignment
+                        // only routes the acknowledgement work.
+                        if self.assigned(height, packet.sequence) {
+                            acked_packets.push((packet, ack));
+                        }
                     }
                 }
             }
@@ -293,20 +356,20 @@ impl Relayer {
     }
 
     /// Pulls data, builds and broadcasts `MsgRecvPacket` batches.
-    fn relay_recv_batch(&mut self, src_height: u64, event_time: SimTime, packets: Vec<Packet>) {
+    fn relay_recv_batch(&mut self, event_time: SimTime, packets: Vec<(u64, Packet)>) {
         let mut t = event_time.max(self.worker_out_free);
 
         // Skip packets the destination has already received (another relayer
         // beat us to them).
-        let sequences: Vec<Sequence> = packets.iter().map(|p| p.sequence).collect();
+        let sequences: Vec<Sequence> = packets.iter().map(|(_, p)| p.sequence).collect();
         let unreceived_resp =
             self.dst_rpc
                 .unreceived_packets(t, &self.path.port, &self.path.dst_channel, &sequences);
         t = unreceived_resp.ready_at;
         let unreceived: HashSet<Sequence> = unreceived_resp.value.into_iter().collect();
-        let to_relay: Vec<&Packet> = packets
+        let to_relay: Vec<&(u64, Packet)> = packets
             .iter()
-            .filter(|p| unreceived.contains(&p.sequence))
+            .filter(|(_, p)| unreceived.contains(&p.sequence))
             .collect();
         let skipped = packets.len() - to_relay.len();
         if skipped > 0 {
@@ -321,27 +384,40 @@ impl Relayer {
             return;
         }
 
-        // Data pull: one query per source transaction (chunk of ≤100 packets),
-        // each priced against the size of the block being queried.
-        let mut proofs: BTreeMap<u64, CommitmentProof> = BTreeMap::new();
+        // Data pull through the configured fetch strategy, one fetch per
+        // origin block so every packet's pull is priced against the block
+        // that committed it (with eager submission there is exactly one
+        // group: the block just handled).
         let chunk_size = self.config.max_msgs_per_tx;
-        for chunk in to_relay.chunks(chunk_size) {
-            let seqs: Vec<Sequence> = chunk.iter().map(|p| p.sequence).collect();
-            let pull = self.src_rpc.pull_packet_data(
+        let mut proofs: BTreeMap<u64, CommitmentProof> = BTreeMap::new();
+        let mut group_start = 0usize;
+        while group_start < to_relay.len() {
+            let group_height = to_relay[group_start].0;
+            let group_end = to_relay[group_start..]
+                .iter()
+                .position(|(h, _)| *h != group_height)
+                .map(|offset| group_start + offset)
+                .unwrap_or(to_relay.len());
+            let group_seqs: Vec<Sequence> = to_relay[group_start..group_end]
+                .iter()
+                .map(|(_, p)| p.sequence)
+                .collect();
+            let fetch = self.stages.fetcher.fetch_packet_data(
+                &mut self.src_rpc,
                 t,
-                src_height,
+                group_height,
                 &self.path.port,
                 &self.path.src_channel,
-                &seqs,
+                &group_seqs,
+                chunk_size,
             );
-            t = pull.ready_at;
-            for (packet, proof) in pull.value {
-                proofs.insert(packet.sequence.value(), proof);
-            }
-            for seq in &seqs {
+            for (seq, at) in &fetch.pull_times {
                 self.telemetry
-                    .record(*seq, TransferStep::TransferDataPull, t);
+                    .record(*seq, TransferStep::TransferDataPull, *at);
             }
+            t = fetch.done_at;
+            proofs.extend(fetch.proofs);
+            group_start = group_end;
         }
 
         // Client update for the destination-side client, then build+broadcast.
@@ -362,7 +438,7 @@ impl Relayer {
         }];
         t = self.broadcast(ChainRole::Destination, t, update_tx_msgs, &[]);
 
-        let to_relay_owned: Vec<Packet> = to_relay.into_iter().cloned().collect();
+        let to_relay_owned: Vec<Packet> = to_relay.into_iter().map(|(_, p)| p.clone()).collect();
         for chunk in to_relay_owned.chunks(chunk_size) {
             t += self.config.build_cost_per_msg * chunk.len() as u64;
             let mut msgs = Vec::with_capacity(chunk.len());
@@ -431,26 +507,24 @@ impl Relayer {
             return;
         }
 
-        // Acknowledgement data pull (the dominant cost in Fig. 12).
-        let mut ack_proofs: BTreeMap<u64, (Acknowledgement, CommitmentProof)> = BTreeMap::new();
+        // Acknowledgement data pull (the dominant cost in Fig. 12), through
+        // the configured fetch strategy.
         let chunk_size = self.config.max_msgs_per_tx;
-        for chunk in to_relay.chunks(chunk_size) {
-            let seqs: Vec<Sequence> = chunk.iter().map(|(p, _)| p.sequence).collect();
-            let pull = self.dst_rpc.pull_ack_data(
-                t,
-                dst_height,
-                &self.path.port,
-                &self.path.dst_channel,
-                &seqs,
-            );
-            t = pull.ready_at;
-            for (seq, ack, proof) in pull.value {
-                ack_proofs.insert(seq.value(), (ack, proof));
-            }
-            for seq in &seqs {
-                self.telemetry.record(*seq, TransferStep::RecvDataPull, t);
-            }
+        let relay_seqs: Vec<Sequence> = to_relay.iter().map(|(p, _)| p.sequence).collect();
+        let fetch = self.stages.fetcher.fetch_ack_data(
+            &mut self.dst_rpc,
+            t,
+            dst_height,
+            &self.path.port,
+            &self.path.dst_channel,
+            &relay_seqs,
+            chunk_size,
+        );
+        for (seq, at) in &fetch.pull_times {
+            self.telemetry.record(*seq, TransferStep::RecvDataPull, *at);
         }
+        t = fetch.done_at;
+        let ack_proofs = fetch.acks;
 
         let update_resp = self.dst_rpc.client_update_data(t);
         t = update_resp.ready_at;
@@ -629,6 +703,7 @@ impl std::fmt::Debug for Relayer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Relayer")
             .field("id", &self.id)
+            .field("stages", &self.stages)
             .field("packets_tracked", &self.telemetry.len())
             .field("stats", &self.stats)
             .finish()

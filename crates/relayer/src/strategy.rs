@@ -1,0 +1,281 @@
+//! Declarative relayer strategies: the serde-able configuration behind the
+//! pluggable pipeline stages.
+//!
+//! The paper measures one fixed relayer pipeline — Hermes' WebSocket
+//! subscription, sequential chunked RPC data pulls, eager per-block
+//! submission and no coordination between instances — and shows that this
+//! pipeline, not consensus, caps cross-chain throughput (Figs. 8 vs 6) and
+//! dominates completion latency (Fig. 12). A [`RelayerStrategy`] names each
+//! of those four pipeline decisions so the "what if?" counterfactuals become
+//! ordinary experiment configuration:
+//!
+//! | Stage | Paper behaviour | Counterfactuals |
+//! |---|---|---|
+//! | [`EventSourceKind`] | WebSocket push (16 MiB frames) | RPC polling |
+//! | [`FetchStrategy`] | sequential chunked pulls | batched, parallel |
+//! | [`SubmissionMode`] | eager per-block | windowed, adaptive |
+//! | [`CoordinationMode`] | none (redundant work) | partition, leases |
+//!
+//! A strategy is plain serde data embedded in the framework's
+//! `DeploymentConfig`, so it round-trips through JSON, sweeps like any other
+//! experiment axis and is selectable from `ExperimentSpec`:
+//!
+//! ```rust
+//! use xcc_relayer::strategy::{FetchStrategy, RelayerStrategy};
+//!
+//! let strategy = RelayerStrategy::batched_pulls();
+//! assert_eq!(strategy.fetcher, FetchStrategy::Batched);
+//! assert_ne!(strategy, RelayerStrategy::default());
+//! assert_eq!(strategy.label(), "batched");
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// How a relayer learns about newly committed blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum EventSourceKind {
+    /// Tendermint's WebSocket `NewBlock` subscription, subject to the 16 MiB
+    /// frame limit the paper's §V deployment challenge runs into.
+    #[default]
+    WebSocket,
+    /// Poll each block's transaction results over the RPC endpoint instead:
+    /// immune to the frame limit, but every block pays a queued RPC query.
+    Polling,
+}
+
+/// How the relayer pulls packet data and proofs back out of a chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum FetchStrategy {
+    /// One chunked query per source transaction, issued back to back — the
+    /// Hermes behaviour whose sequential round trips make up ~69% of
+    /// completion latency in Fig. 12.
+    #[default]
+    Sequential,
+    /// One query for the whole batch: the per-block scan cost is paid once
+    /// (plus a per-item pagination surcharge) instead of once per chunk.
+    Batched,
+    /// The sequential chunked queries, but issued concurrently: the RPC
+    /// server still serves them one at a time, yet queueing and network
+    /// round trips overlap instead of accumulating.
+    Parallel,
+}
+
+/// When the relayer turns collected packets into receive transactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SubmissionMode {
+    /// Relay every block's packets immediately (the paper's behaviour).
+    #[default]
+    Eager,
+    /// Hold packets for a fixed window of source blocks and relay them as
+    /// one larger batch — the relayer-side generalization of the Fig. 13
+    /// submission strategies.
+    Windowed {
+        /// How many pending source blocks to accumulate before relaying.
+        blocks: u64,
+    },
+    /// Relay as soon as a full transaction's worth of packets is pending, or
+    /// when the window expires — batching under load, eager when idle.
+    Adaptive {
+        /// The longest a pending packet may wait, in source blocks.
+        max_window_blocks: u64,
+    },
+}
+
+/// How multiple relayer instances divide the channel's work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum CoordinationMode {
+    /// Every instance relays everything it observes. With more than one
+    /// relayer this loses work to redundant messages, as in Figs. 9 and 11.
+    #[default]
+    None,
+    /// Static partitioning: the instance whose index equals
+    /// `sequence % instance_count` relays a packet, everyone else ignores it.
+    SequencePartition,
+    /// Rotating leadership: for each lease of source blocks exactly one
+    /// instance relays, so a slow leader is replaced at the next lease.
+    LeaderLease {
+        /// Length of one leadership lease in source blocks.
+        lease_blocks: u64,
+    },
+}
+
+/// The full, serializable strategy: one choice per pipeline stage.
+///
+/// `RelayerStrategy::default()` reproduces the paper's Hermes-like pipeline
+/// bit for bit; the named constructors build the counterfactual strategies
+/// the registry's `*_batched_pulls` / `*_parallel_fetch` / `*_coordinated` /
+/// `*_adaptive_submission` scenarios probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct RelayerStrategy {
+    /// Block event delivery.
+    pub event_source: EventSourceKind,
+    /// Packet data / proof retrieval.
+    pub fetcher: FetchStrategy,
+    /// Receive-path submission batching.
+    pub submission: SubmissionMode,
+    /// Work division between relayer instances.
+    pub coordination: CoordinationMode,
+}
+
+impl RelayerStrategy {
+    /// The paper's pipeline: WebSocket events, sequential pulls, eager
+    /// submission, no coordination. Identical to `Default::default()`.
+    pub fn paper_default() -> Self {
+        RelayerStrategy::default()
+    }
+
+    /// The paper pipeline with the data pulls batched into one query.
+    pub fn batched_pulls() -> Self {
+        RelayerStrategy {
+            fetcher: FetchStrategy::Batched,
+            ..RelayerStrategy::default()
+        }
+    }
+
+    /// The paper pipeline with the chunked data pulls issued concurrently.
+    pub fn parallel_fetch() -> Self {
+        RelayerStrategy {
+            fetcher: FetchStrategy::Parallel,
+            ..RelayerStrategy::default()
+        }
+    }
+
+    /// The paper pipeline with sequence-partitioned relayer instances.
+    pub fn coordinated() -> Self {
+        RelayerStrategy {
+            coordination: CoordinationMode::SequencePartition,
+            ..RelayerStrategy::default()
+        }
+    }
+
+    /// The paper pipeline with rotating per-lease leadership.
+    pub fn leader_lease(lease_blocks: u64) -> Self {
+        RelayerStrategy {
+            coordination: CoordinationMode::LeaderLease {
+                lease_blocks: lease_blocks.max(1),
+            },
+            ..RelayerStrategy::default()
+        }
+    }
+
+    /// The paper pipeline with backlog-adaptive submission batching.
+    pub fn adaptive_submission(max_window_blocks: u64) -> Self {
+        RelayerStrategy {
+            submission: SubmissionMode::Adaptive {
+                max_window_blocks: max_window_blocks.max(1),
+            },
+            ..RelayerStrategy::default()
+        }
+    }
+
+    /// The paper pipeline with RPC polling instead of the WebSocket
+    /// subscription (no 16 MiB frame limit).
+    pub fn polling_events() -> Self {
+        RelayerStrategy {
+            event_source: EventSourceKind::Polling,
+            ..RelayerStrategy::default()
+        }
+    }
+
+    /// A short label for sweep-point names and report rows: the non-default
+    /// stage choices joined by `+`, or `"default"`.
+    pub fn label(&self) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        if self.event_source == EventSourceKind::Polling {
+            parts.push("polling");
+        }
+        match self.fetcher {
+            FetchStrategy::Sequential => {}
+            FetchStrategy::Batched => parts.push("batched"),
+            FetchStrategy::Parallel => parts.push("parallel"),
+        }
+        match self.submission {
+            SubmissionMode::Eager => {}
+            SubmissionMode::Windowed { .. } => parts.push("windowed"),
+            SubmissionMode::Adaptive { .. } => parts.push("adaptive"),
+        }
+        match self.coordination {
+            CoordinationMode::None => {}
+            CoordinationMode::SequencePartition => parts.push("partitioned"),
+            CoordinationMode::LeaderLease { .. } => parts.push("leased"),
+        }
+        if parts.is_empty() {
+            "default".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_paper_pipeline() {
+        let s = RelayerStrategy::default();
+        assert_eq!(s, RelayerStrategy::paper_default());
+        assert_eq!(s.event_source, EventSourceKind::WebSocket);
+        assert_eq!(s.fetcher, FetchStrategy::Sequential);
+        assert_eq!(s.submission, SubmissionMode::Eager);
+        assert_eq!(s.coordination, CoordinationMode::None);
+        assert_eq!(s.label(), "default");
+    }
+
+    #[test]
+    fn constructors_change_exactly_one_stage() {
+        assert_eq!(
+            RelayerStrategy::batched_pulls().fetcher,
+            FetchStrategy::Batched
+        );
+        assert_eq!(
+            RelayerStrategy::parallel_fetch().fetcher,
+            FetchStrategy::Parallel
+        );
+        assert_eq!(
+            RelayerStrategy::coordinated().coordination,
+            CoordinationMode::SequencePartition
+        );
+        assert_eq!(
+            RelayerStrategy::leader_lease(0).coordination,
+            CoordinationMode::LeaderLease { lease_blocks: 1 }
+        );
+        assert_eq!(
+            RelayerStrategy::adaptive_submission(4).submission,
+            SubmissionMode::Adaptive {
+                max_window_blocks: 4
+            }
+        );
+        assert_eq!(
+            RelayerStrategy::polling_events().event_source,
+            EventSourceKind::Polling
+        );
+    }
+
+    #[test]
+    fn labels_compose_non_default_stages() {
+        let s = RelayerStrategy {
+            event_source: EventSourceKind::Polling,
+            fetcher: FetchStrategy::Batched,
+            submission: SubmissionMode::Windowed { blocks: 2 },
+            coordination: CoordinationMode::SequencePartition,
+        };
+        assert_eq!(s.label(), "polling+batched+windowed+partitioned");
+    }
+
+    #[test]
+    fn strategies_round_trip_through_the_serde_shim() {
+        for s in [
+            RelayerStrategy::default(),
+            RelayerStrategy::batched_pulls(),
+            RelayerStrategy::parallel_fetch(),
+            RelayerStrategy::coordinated(),
+            RelayerStrategy::leader_lease(8),
+            RelayerStrategy::adaptive_submission(4),
+            RelayerStrategy::polling_events(),
+        ] {
+            let back = RelayerStrategy::from_value(&s.to_value()).unwrap();
+            assert_eq!(back, s);
+        }
+    }
+}

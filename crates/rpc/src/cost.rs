@@ -25,6 +25,10 @@ pub enum RequestKind {
     /// Packet-data pull: the `tx_search`-style query the relayer issues per
     /// source transaction to rebuild packets, including proofs.
     PacketDataPull,
+    /// A batched packet-data pull covering many transactions in one query:
+    /// the block scan is paid once and a per-item pagination surcharge is
+    /// added instead (the "what if pulls were batched?" counterfactual).
+    BatchedDataPull,
     /// Proof query for a single packet commitment or acknowledgement.
     ProofQuery,
     /// Header/commit/validator-set query used to build client updates.
@@ -53,6 +57,10 @@ pub struct RpcCostModel {
     /// Cost of running `CheckTx` during `broadcast_tx_sync`, per message in
     /// the submitted transaction.
     pub broadcast_per_msg: SimDuration,
+    /// Per-requested-item surcharge of a batched data pull: result assembly
+    /// and pagination for every packet the single query returns. Batching
+    /// amortizes the block scan but is not free.
+    pub batched_pull_per_item: SimDuration,
 }
 
 impl Default for RpcCostModel {
@@ -65,6 +73,7 @@ impl Default for RpcCostModel {
             data_pull_per_block_msg_transfer: SimDuration::from_micros(439),
             data_pull_per_block_msg_recv: SimDuration::from_micros(823),
             broadcast_per_msg: SimDuration::from_micros(30),
+            batched_pull_per_item: SimDuration::from_micros(120),
         }
     }
 }
@@ -82,6 +91,8 @@ pub struct RequestProfile {
     /// For data pulls: whether the block being queried is dominated by
     /// receive messages (larger per-message responses).
     pub recv_heavy: bool,
+    /// For batched data pulls: the number of items the single query returns.
+    pub items: usize,
 }
 
 impl RequestProfile {
@@ -92,6 +103,7 @@ impl RequestProfile {
             response_bytes: 512,
             messages: 0,
             recv_heavy: false,
+            items: 0,
         }
     }
 }
@@ -109,6 +121,17 @@ impl RpcCostModel {
                     self.data_pull_per_block_msg_transfer
                 };
                 per_msg * profile.messages as u64
+            }
+            RequestKind::BatchedDataPull => {
+                // One block scan for the whole batch plus a per-item
+                // pagination surcharge, instead of one scan per chunk.
+                let per_msg = if profile.recv_heavy {
+                    self.data_pull_per_block_msg_recv
+                } else {
+                    self.data_pull_per_block_msg_transfer
+                };
+                per_msg * profile.messages as u64
+                    + self.batched_pull_per_item * profile.items as u64
             }
             RequestKind::BlockResults => {
                 // Whole-block queries pay the size cost twice: encoding and
@@ -135,6 +158,7 @@ mod tests {
             response_bytes: 1_200_000,
             messages: 2_000,
             recv_heavy: false,
+            items: 0,
         });
         // …and the recv-heavy equivalent roughly 5.7 s.
         let recv_pull = model.service_time(&RequestProfile {
@@ -142,6 +166,7 @@ mod tests {
             response_bytes: 2_400_000,
             messages: 2_000,
             recv_heavy: true,
+            items: 0,
         });
         let t = transfer_pull.as_secs_f64();
         let r = recv_pull.as_secs_f64();
@@ -163,6 +188,7 @@ mod tests {
                         response_bytes: 70_000,
                         messages: 5_000,
                         recv_heavy: false,
+                        items: 0,
                     })
                     .as_secs_f64()
             })
@@ -175,6 +201,7 @@ mod tests {
                         response_bytes: 140_000,
                         messages: 5_000,
                         recv_heavy: true,
+                        items: 0,
                     })
                     .as_secs_f64()
             })
@@ -190,6 +217,51 @@ mod tests {
     }
 
     #[test]
+    fn batched_pull_amortizes_the_block_scan() {
+        let model = RpcCostModel::default();
+        // Fig. 12 shape: 5,000 packets pulled out of a 5,000-message block.
+        // Sequentially that is 50 chunked pulls, each paying the block scan…
+        let sequential: f64 = (0..50)
+            .map(|_| {
+                model
+                    .service_time(&RequestProfile {
+                        kind: RequestKind::PacketDataPull,
+                        response_bytes: 70_000,
+                        messages: 5_000,
+                        recv_heavy: false,
+                        items: 0,
+                    })
+                    .as_secs_f64()
+            })
+            .sum();
+        // …while one batched query pays it once plus a per-item surcharge.
+        let batched = model
+            .service_time(&RequestProfile {
+                kind: RequestKind::BatchedDataPull,
+                response_bytes: 3_500_000,
+                messages: 5_000,
+                recv_heavy: false,
+                items: 5_000,
+            })
+            .as_secs_f64();
+        assert!(
+            batched * 10.0 < sequential,
+            "batched {batched}s vs sequential {sequential}s"
+        );
+        // The surcharge keeps batching from being free.
+        let unbatched_single = model
+            .service_time(&RequestProfile {
+                kind: RequestKind::PacketDataPull,
+                response_bytes: 3_500_000,
+                messages: 5_000,
+                recv_heavy: false,
+                items: 0,
+            })
+            .as_secs_f64();
+        assert!(batched > unbatched_single);
+    }
+
+    #[test]
     fn service_time_is_monotone_in_size_and_messages() {
         let model = RpcCostModel::default();
         let small = model.service_time(&RequestProfile::small(RequestKind::Status));
@@ -198,6 +270,7 @@ mod tests {
             response_bytes: 10_000_000,
             messages: 0,
             recv_heavy: false,
+            items: 0,
         });
         assert!(big > small);
 
@@ -206,12 +279,14 @@ mod tests {
             response_bytes: 1_000,
             messages: 10,
             recv_heavy: false,
+            items: 0,
         });
         let many = model.service_time(&RequestProfile {
             kind: RequestKind::BroadcastTxSync,
             response_bytes: 1_000,
             messages: 100,
             recv_heavy: false,
+            items: 0,
         });
         assert!(many > few);
     }

@@ -189,6 +189,7 @@ impl RpcEndpoint {
                 response_bytes: 256,
                 messages: msg_count,
                 recv_heavy: false,
+                items: 0,
             },
             value,
         )
@@ -215,6 +216,7 @@ impl RpcEndpoint {
                 response_bytes: bytes,
                 messages: 0,
                 recv_heavy: false,
+                items: 0,
             },
             views,
         )
@@ -263,21 +265,7 @@ impl RpcEndpoint {
         channel: &ChannelId,
         sequences: &[Sequence],
     ) -> RpcResponse<Vec<(Packet, CommitmentProof)>> {
-        let mut out = Vec::with_capacity(sequences.len());
-        let mut bytes = 1024usize;
-        {
-            let chain = self.chain.borrow();
-            let ibc = chain.app().ibc();
-            for seq in sequences {
-                if let (Some(packet), Some(proof)) = (
-                    ibc.sent_packet(port, channel, *seq),
-                    ibc.prove_packet_commitment(port, channel, *seq),
-                ) {
-                    bytes += packet.encoded_size() + proof.encoded_size();
-                    out.push((packet.clone(), proof));
-                }
-            }
-        }
+        let (out, bytes) = self.collect_packet_data(port, channel, sequences);
         let block_msgs = self.block_ibc_messages(height);
         self.respond(
             now,
@@ -286,6 +274,56 @@ impl RpcEndpoint {
                 response_bytes: bytes,
                 messages: block_msgs,
                 recv_heavy: false,
+                items: 0,
+            },
+            out,
+        )
+    }
+
+    fn collect_packet_data(
+        &self,
+        port: &PortId,
+        channel: &ChannelId,
+        sequences: &[Sequence],
+    ) -> (Vec<(Packet, CommitmentProof)>, usize) {
+        let mut out = Vec::with_capacity(sequences.len());
+        let mut bytes = 1024usize;
+        let chain = self.chain.borrow();
+        let ibc = chain.app().ibc();
+        for seq in sequences {
+            if let (Some(packet), Some(proof)) = (
+                ibc.sent_packet(port, channel, *seq),
+                ibc.prove_packet_commitment(port, channel, *seq),
+            ) {
+                bytes += packet.encoded_size() + proof.encoded_size();
+                out.push((packet.clone(), proof));
+            }
+        }
+        (out, bytes)
+    }
+
+    /// A batched variant of [`pull_packet_data`](RpcEndpoint::pull_packet_data)
+    /// covering an arbitrary number of sequences in one query: the block scan
+    /// is paid once for the whole batch, with a per-item pagination surcharge
+    /// (see [`RpcCostModel::batched_pull_per_item`]).
+    pub fn pull_packet_data_batched(
+        &mut self,
+        now: SimTime,
+        height: u64,
+        port: &PortId,
+        channel: &ChannelId,
+        sequences: &[Sequence],
+    ) -> RpcResponse<Vec<(Packet, CommitmentProof)>> {
+        let (out, bytes) = self.collect_packet_data(port, channel, sequences);
+        let block_msgs = self.block_ibc_messages(height);
+        self.respond(
+            now,
+            RequestProfile {
+                kind: RequestKind::BatchedDataPull,
+                response_bytes: bytes,
+                messages: block_msgs,
+                recv_heavy: false,
+                items: sequences.len(),
             },
             out,
         )
@@ -302,21 +340,7 @@ impl RpcEndpoint {
         channel: &ChannelId,
         sequences: &[Sequence],
     ) -> RpcResponse<Vec<(Sequence, Acknowledgement, CommitmentProof)>> {
-        let mut out = Vec::with_capacity(sequences.len());
-        let mut bytes = 1024usize;
-        {
-            let chain = self.chain.borrow();
-            let ibc = chain.app().ibc();
-            for seq in sequences {
-                if let (Some(ack), Some(proof)) = (
-                    ibc.packet_acknowledgement(port, channel, *seq),
-                    ibc.prove_packet_acknowledgement(port, channel, *seq),
-                ) {
-                    bytes += ack.encoded_size() + proof.encoded_size();
-                    out.push((*seq, ack.clone(), proof));
-                }
-            }
-        }
+        let (out, bytes) = self.collect_ack_data(port, channel, sequences);
         let block_msgs = self.block_ibc_messages(height);
         self.respond(
             now,
@@ -325,9 +349,58 @@ impl RpcEndpoint {
                 response_bytes: bytes,
                 messages: block_msgs,
                 recv_heavy: true,
+                items: 0,
             },
             out,
         )
+    }
+
+    /// A batched variant of [`pull_ack_data`](RpcEndpoint::pull_ack_data):
+    /// one recv-heavy query for the whole batch of sequences, with the block
+    /// scan paid once plus the per-item pagination surcharge.
+    pub fn pull_ack_data_batched(
+        &mut self,
+        now: SimTime,
+        height: u64,
+        port: &PortId,
+        channel: &ChannelId,
+        sequences: &[Sequence],
+    ) -> RpcResponse<Vec<(Sequence, Acknowledgement, CommitmentProof)>> {
+        let (out, bytes) = self.collect_ack_data(port, channel, sequences);
+        let block_msgs = self.block_ibc_messages(height);
+        self.respond(
+            now,
+            RequestProfile {
+                kind: RequestKind::BatchedDataPull,
+                response_bytes: bytes,
+                messages: block_msgs,
+                recv_heavy: true,
+                items: sequences.len(),
+            },
+            out,
+        )
+    }
+
+    fn collect_ack_data(
+        &self,
+        port: &PortId,
+        channel: &ChannelId,
+        sequences: &[Sequence],
+    ) -> (Vec<(Sequence, Acknowledgement, CommitmentProof)>, usize) {
+        let mut out = Vec::with_capacity(sequences.len());
+        let mut bytes = 1024usize;
+        let chain = self.chain.borrow();
+        let ibc = chain.app().ibc();
+        for seq in sequences {
+            if let (Some(ack), Some(proof)) = (
+                ibc.packet_acknowledgement(port, channel, *seq),
+                ibc.prove_packet_acknowledgement(port, channel, *seq),
+            ) {
+                bytes += ack.encoded_size() + proof.encoded_size();
+                out.push((*seq, ack.clone(), proof));
+            }
+        }
+        (out, bytes)
     }
 
     /// Header, commit, validator set and IBC root of the latest block,
@@ -355,6 +428,7 @@ impl RpcEndpoint {
                 response_bytes: 2_048,
                 messages: 0,
                 recv_heavy: false,
+                items: 0,
             },
             update,
         )
@@ -381,6 +455,7 @@ impl RpcEndpoint {
                 response_bytes: 128 + sequences.len() * 8,
                 messages: 0,
                 recv_heavy: false,
+                items: 0,
             },
             unreceived,
         )
@@ -408,6 +483,7 @@ impl RpcEndpoint {
                 response_bytes: 128 + sequences.len() * 8,
                 messages: 0,
                 recv_heavy: false,
+                items: 0,
             },
             unacked,
         )

@@ -18,6 +18,13 @@ use xcc_sim::SimTime;
 /// Tendermint treats transaction contents as opaque bytes; validation is the
 /// application's responsibility (via ABCI).
 ///
+/// The simulator distinguishes the in-memory payload from the *modelled wire
+/// size*: applications may ship a compact host encoding while declaring the
+/// byte size the transaction would have on the real JSON-RPC wire (via
+/// [`RawTx::with_wire_len`]). All size accounting — mempool byte limits,
+/// block-size limits, event-frame payloads — uses the wire size, so swapping
+/// the host encoding never changes simulated behaviour.
+///
 /// # Example
 ///
 /// ```rust
@@ -26,40 +33,54 @@ use xcc_sim::SimTime;
 /// let tx = RawTx::new(vec![1, 2, 3]);
 /// assert_eq!(tx.len(), 3);
 /// assert!(!tx.hash().is_zero());
+///
+/// let modelled = RawTx::with_wire_len(vec![1, 2, 3], 120);
+/// assert_eq!(modelled.len(), 120);
+/// assert_eq!(modelled.as_bytes().len(), 3);
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub struct RawTx(pub Vec<u8>);
+pub struct RawTx {
+    bytes: Vec<u8>,
+    wire_len: usize,
+}
 
 impl RawTx {
-    /// Wraps raw transaction bytes.
+    /// Wraps raw transaction bytes whose wire size equals their length.
     pub fn new(bytes: Vec<u8>) -> Self {
-        RawTx(bytes)
+        let wire_len = bytes.len();
+        RawTx { bytes, wire_len }
+    }
+
+    /// Wraps a compact host payload together with the byte size the
+    /// transaction occupies on the modelled wire.
+    pub fn with_wire_len(bytes: Vec<u8>, wire_len: usize) -> Self {
+        RawTx { bytes, wire_len }
     }
 
     /// The transaction hash (used as its identifier, as in `tx_search`).
     pub fn hash(&self) -> Hash {
-        sha256(&self.0)
+        sha256(&self.bytes)
     }
 
-    /// Size of the transaction in bytes.
+    /// Size of the transaction in bytes on the modelled wire.
     pub fn len(&self) -> usize {
-        self.0.len()
+        self.wire_len
     }
 
     /// `true` for an empty transaction.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.wire_len == 0
     }
 
-    /// The raw bytes.
+    /// The raw payload bytes.
     pub fn as_bytes(&self) -> &[u8] {
-        &self.0
+        &self.bytes
     }
 }
 
 impl From<Vec<u8>> for RawTx {
     fn from(bytes: Vec<u8>) -> Self {
-        RawTx(bytes)
+        RawTx::new(bytes)
     }
 }
 

@@ -1,4 +1,4 @@
-//! SHA-256 hashing and the [`Hash`] digest type.
+//! SHA-256 hashing and the [`Hash`](struct@Hash) digest type.
 //!
 //! The workspace deliberately avoids external cryptography crates; this is a
 //! from-scratch FIPS 180-4 SHA-256 implementation used for transaction

@@ -67,6 +67,11 @@ fn registry_lookup_returns_every_figure_name() {
         "fig13",
         "table1",
         "websocket_limit",
+        "fig8_batched_pulls",
+        "fig11_coordinated",
+        "fig12_parallel_fetch",
+        "fig13_adaptive_submission",
+        "smoke",
     ];
     assert_eq!(registry::names(), expected);
     for name in expected {

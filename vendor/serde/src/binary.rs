@@ -1,0 +1,267 @@
+//! A compact binary rendering of [`crate::Value`], shared by the
+//! simulator's transaction hot path.
+//!
+//! The JSON text codec in [`json`](crate::json) is the right tool at the
+//! reporting boundary (specs, outcomes, figures), but rendering and parsing
+//! JSON text for every simulated transaction dominated experiment runtime.
+//! This module serializes the same `Value` data model as a tag-prefixed
+//! binary stream: one tag byte per node, LEB128 varints for lengths and
+//! unsigned integers, little-endian fixed words for signed integers and
+//! floats, and raw UTF-8 for strings.
+//!
+//! The encoding is injective (distinct values produce distinct byte strings)
+//! and self-delimiting, so it is safe to hash and to round-trip:
+//!
+//! ```rust
+//! use serde::{binary, Serialize, Value};
+//!
+//! let v = vec![1u64, 2, 3].to_value();
+//! let bytes = binary::to_bytes(&v);
+//! assert_eq!(binary::from_bytes(&bytes).unwrap(), v);
+//! ```
+
+use crate::{Error, Value};
+
+const TAG_NULL: u8 = 0;
+const TAG_FALSE: u8 = 1;
+const TAG_TRUE: u8 = 2;
+const TAG_I64: u8 = 3;
+const TAG_U128: u8 = 4;
+const TAG_F64: u8 = 5;
+const TAG_STR: u8 = 6;
+const TAG_SEQ: u8 = 7;
+const TAG_MAP: u8 = 8;
+
+/// Serializes a value tree to its compact binary form.
+pub fn to_bytes(v: &Value) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128);
+    write_value(&mut out, v);
+    out
+}
+
+/// Parses a value tree previously produced by [`to_bytes`].
+///
+/// # Errors
+///
+/// Fails on unknown tags, truncated input, invalid UTF-8 in strings, or
+/// trailing bytes after the root value.
+pub fn from_bytes(bytes: &[u8]) -> Result<Value, Error> {
+    let mut pos = 0usize;
+    let value = read_value(bytes, &mut pos)?;
+    if pos != bytes.len() {
+        return Err(Error::custom("trailing bytes after binary value"));
+    }
+    Ok(value)
+}
+
+fn write_varint(out: &mut Vec<u8>, mut n: u128) {
+    loop {
+        let byte = (n & 0x7f) as u8;
+        n >>= 7;
+        if n == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u128, Error> {
+    let mut value = 0u128;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes
+            .get(*pos)
+            .ok_or_else(|| Error::custom("truncated varint"))?;
+        *pos += 1;
+        if shift >= 128 {
+            return Err(Error::custom("varint overflows u128"));
+        }
+        let part = u128::from(byte & 0x7f);
+        // The 19th group only has room for the top two bits of a u128; any
+        // higher bit set would be shifted out silently, breaking injectivity.
+        if shift > 121 && part >> (128 - shift) != 0 {
+            return Err(Error::custom("varint overflows u128"));
+        }
+        value |= part << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+}
+
+fn write_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(false) => out.push(TAG_FALSE),
+        Value::Bool(true) => out.push(TAG_TRUE),
+        Value::I64(n) => {
+            out.push(TAG_I64);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        Value::U128(n) => {
+            out.push(TAG_U128);
+            write_varint(out, *n);
+        }
+        Value::F64(x) => {
+            out.push(TAG_F64);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            write_varint(out, s.len() as u128);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Seq(items) => {
+            out.push(TAG_SEQ);
+            write_varint(out, items.len() as u128);
+            for item in items {
+                write_value(out, item);
+            }
+        }
+        Value::Map(entries) => {
+            out.push(TAG_MAP);
+            write_varint(out, entries.len() as u128);
+            for (key, value) in entries {
+                write_varint(out, key.len() as u128);
+                out.extend_from_slice(key.as_bytes());
+                write_value(out, value);
+            }
+        }
+    }
+}
+
+fn read_exact<'a>(bytes: &'a [u8], pos: &mut usize, len: usize) -> Result<&'a [u8], Error> {
+    let end = pos
+        .checked_add(len)
+        .filter(|end| *end <= bytes.len())
+        .ok_or_else(|| Error::custom("truncated binary value"))?;
+    let slice = &bytes[*pos..end];
+    *pos = end;
+    Ok(slice)
+}
+
+fn read_len(bytes: &[u8], pos: &mut usize) -> Result<usize, Error> {
+    usize::try_from(read_varint(bytes, pos)?).map_err(|_| Error::custom("length overflows usize"))
+}
+
+fn read_string(bytes: &[u8], pos: &mut usize) -> Result<String, Error> {
+    let len = read_len(bytes, pos)?;
+    let raw = read_exact(bytes, pos, len)?;
+    String::from_utf8(raw.to_vec()).map_err(|_| Error::custom("invalid UTF-8 in binary string"))
+}
+
+fn read_value(bytes: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let tag = *bytes
+        .get(*pos)
+        .ok_or_else(|| Error::custom("truncated binary value"))?;
+    *pos += 1;
+    match tag {
+        TAG_NULL => Ok(Value::Null),
+        TAG_FALSE => Ok(Value::Bool(false)),
+        TAG_TRUE => Ok(Value::Bool(true)),
+        TAG_I64 => {
+            let raw: [u8; 8] = read_exact(bytes, pos, 8)?.try_into().expect("8 bytes");
+            Ok(Value::I64(i64::from_le_bytes(raw)))
+        }
+        TAG_U128 => Ok(Value::U128(read_varint(bytes, pos)?)),
+        TAG_F64 => {
+            let raw: [u8; 8] = read_exact(bytes, pos, 8)?.try_into().expect("8 bytes");
+            Ok(Value::F64(f64::from_bits(u64::from_le_bytes(raw))))
+        }
+        TAG_STR => Ok(Value::Str(read_string(bytes, pos)?)),
+        TAG_SEQ => {
+            let len = read_len(bytes, pos)?;
+            // Guard capacity against corrupt headers: each item needs ≥1 byte.
+            let mut items = Vec::with_capacity(len.min(bytes.len() - *pos));
+            for _ in 0..len {
+                items.push(read_value(bytes, pos)?);
+            }
+            Ok(Value::Seq(items))
+        }
+        TAG_MAP => {
+            let len = read_len(bytes, pos)?;
+            let mut entries = Vec::with_capacity(len.min(bytes.len() - *pos));
+            for _ in 0..len {
+                let key = read_string(bytes, pos)?;
+                let value = read_value(bytes, pos)?;
+                entries.push((key, value));
+            }
+            Ok(Value::Map(entries))
+        }
+        other => Err(Error::custom(format!("unknown binary tag {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: Value) {
+        let bytes = to_bytes(&v);
+        assert_eq!(from_bytes(&bytes).unwrap(), v, "round-trip of {v:?}");
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        roundtrip(Value::Null);
+        roundtrip(Value::Bool(true));
+        roundtrip(Value::Bool(false));
+        roundtrip(Value::I64(-42));
+        roundtrip(Value::I64(i64::MIN));
+        roundtrip(Value::U128(0));
+        roundtrip(Value::U128(u128::MAX));
+        roundtrip(Value::F64(3.25));
+        roundtrip(Value::F64(f64::NEG_INFINITY));
+        roundtrip(Value::Str(String::new()));
+        roundtrip(Value::Str("héllo \"json\"\n".into()));
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        roundtrip(Value::Seq(vec![
+            Value::Null,
+            Value::Seq(vec![Value::U128(1), Value::U128(300)]),
+            Value::Map(vec![
+                ("a".into(), Value::Bool(true)),
+                ("b".into(), Value::Str("x".into())),
+            ]),
+        ]));
+        roundtrip(Value::Map(vec![]));
+        roundtrip(Value::Seq(vec![]));
+    }
+
+    #[test]
+    fn truncated_and_garbage_inputs_fail() {
+        assert!(from_bytes(&[]).is_err());
+        assert!(from_bytes(&[255]).is_err());
+        assert!(from_bytes(&[TAG_STR, 5, b'h', b'i']).is_err());
+        let mut ok = to_bytes(&Value::U128(7));
+        ok.push(0);
+        assert!(from_bytes(&ok).is_err(), "trailing bytes must be rejected");
+    }
+
+    #[test]
+    fn varints_with_bits_beyond_u128_are_rejected_not_truncated() {
+        // 18 continuation groups put the 19th at shift 126, where only the
+        // two lowest bits fit; 0x7f there would silently drop five bits.
+        let mut overflowing = vec![TAG_U128];
+        overflowing.extend(std::iter::repeat_n(0x80, 18));
+        overflowing.push(0x7f);
+        assert!(from_bytes(&overflowing).is_err());
+
+        // The maximum value itself still round-trips.
+        let mut max = vec![TAG_U128];
+        max.extend(std::iter::repeat_n(0xff, 18));
+        max.push(0x03);
+        assert_eq!(from_bytes(&max).unwrap(), Value::U128(u128::MAX));
+    }
+
+    #[test]
+    fn encoding_is_much_smaller_than_json_for_numbers() {
+        let v = Value::Seq((0..100u128).map(Value::U128).collect());
+        let json = crate::json::to_json(&v, false);
+        assert!(to_bytes(&v).len() < json.len());
+    }
+}

@@ -1,4 +1,4 @@
-//! JSON text rendering and parsing over [`Value`](crate::Value), shared by
+//! JSON text rendering and parsing over [`crate::Value`], shared by
 //! the `serde_json` shim and by map-key encoding.
 
 use crate::{Error, Value};
@@ -83,6 +83,78 @@ fn write_value(out: &mut String, v: &Value, pretty: bool, depth: usize) {
             out.push('}');
         }
     }
+}
+
+/// The exact byte length of `to_json(v, false)`, computed without rendering
+/// the text. The simulator uses this to model JSON-RPC wire sizes (block
+/// bytes, WebSocket frames) while shipping transactions through the compact
+/// [`binary`](crate::binary) codec.
+pub fn encoded_len(v: &Value) -> usize {
+    match v {
+        Value::Null => 4,
+        Value::Bool(b) => {
+            if *b {
+                4
+            } else {
+                5
+            }
+        }
+        Value::I64(n) => {
+            let sign = usize::from(*n < 0);
+            sign + decimal_len(n.unsigned_abs() as u128)
+        }
+        Value::U128(n) => decimal_len(*n),
+        Value::F64(x) => {
+            if x.is_finite() {
+                // Rare in hot-path values; fall back to the real rendering so
+                // the modelled length can never drift from `to_json`.
+                format!("{x:?}").len()
+            } else {
+                4
+            }
+        }
+        Value::Str(s) => string_len(s),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                2
+            } else {
+                1 + items.len() + items.iter().map(encoded_len).sum::<usize>()
+            }
+        }
+        Value::Map(entries) => {
+            if entries.is_empty() {
+                2
+            } else {
+                1 + entries.len() * 2
+                    + entries
+                        .iter()
+                        .map(|(key, value)| string_len(key) + encoded_len(value))
+                        .sum::<usize>()
+            }
+        }
+    }
+}
+
+fn decimal_len(mut n: u128) -> usize {
+    let mut digits = 1;
+    while n >= 10 {
+        n /= 10;
+        digits += 1;
+    }
+    digits
+}
+
+/// Length of `write_string(s)`: quotes plus per-character escape widths.
+fn string_len(s: &str) -> usize {
+    let mut len = 2;
+    for c in s.chars() {
+        len += match c {
+            '"' | '\\' | '\n' | '\r' | '\t' => 2,
+            c if (c as u32) < 0x20 => 6,
+            c => c.len_utf8(),
+        };
+    }
+    len
 }
 
 fn write_string(out: &mut String, s: &str) {

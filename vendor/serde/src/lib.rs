@@ -396,4 +396,5 @@ impl Deserialize for Value {
     }
 }
 
+pub mod binary;
 pub mod json;

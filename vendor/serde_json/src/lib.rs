@@ -1,5 +1,5 @@
 //! Workspace-local shim for the `serde_json` crate, backed by the vendored
-//! `serde` shim's [`Value`](serde::Value) tree and JSON codec.
+//! `serde` shim's [`serde::Value`] tree and JSON codec.
 
 pub use serde::Error;
 pub use serde::Value;
@@ -37,6 +37,38 @@ pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T, Error> {
 mod tests {
     use super::*;
     use std::collections::BTreeMap;
+
+    #[test]
+    fn encoded_len_matches_rendered_compact_json() {
+        let values = [
+            serde::Value::Null,
+            serde::Value::Bool(true),
+            serde::Value::Bool(false),
+            serde::Value::I64(-1_234_567),
+            serde::Value::U128(u128::MAX),
+            serde::Value::U128(0),
+            serde::Value::F64(5.0),
+            serde::Value::F64(-0.125),
+            serde::Value::Str("quote \" slash \\ tab \t ünïcode \u{1}".into()),
+            serde::Value::Seq(vec![]),
+            serde::Value::Map(vec![]),
+            serde::Value::Seq(vec![
+                serde::Value::U128(10),
+                serde::Value::Map(vec![
+                    ("a\nb".into(), serde::Value::Null),
+                    ("c".into(), serde::Value::Seq(vec![serde::Value::I64(-9)])),
+                ]),
+            ]),
+        ];
+        for v in values {
+            let text = serde::json::to_json(&v, false);
+            assert_eq!(
+                serde::json::encoded_len(&v),
+                text.len(),
+                "encoded_len diverges for {text}"
+            );
+        }
+    }
 
     #[test]
     fn scalars_round_trip() {
