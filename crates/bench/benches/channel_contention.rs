@@ -1,0 +1,9 @@
+//! Multi-channel scenario `channel_contention` (see the registry entry):
+//! skewed per-channel load under each channel policy.
+//!
+//! Sweep mode and output format come from `XCC_FULL_SWEEP` / `XCC_OUTPUT`
+//! (see `xcc_framework::sweep`).
+
+fn main() {
+    xcc_bench::run_and_print("channel_contention");
+}

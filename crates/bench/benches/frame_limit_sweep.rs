@@ -1,0 +1,9 @@
+//! Deployment-limit scenario `frame_limit_sweep` (see the registry entry):
+//! the §V WebSocket frame limit × packet clearing as sweep axes.
+//!
+//! Sweep mode and output format come from `XCC_FULL_SWEEP` / `XCC_OUTPUT`
+//! (see `xcc_framework::sweep`).
+
+fn main() {
+    xcc_bench::run_and_print("frame_limit_sweep");
+}

@@ -1,0 +1,9 @@
+//! Multi-channel scenario `multi_channel_scaling` (see the registry entry):
+//! one relayer serving 1/2/4 concurrent channels.
+//!
+//! Sweep mode and output format come from `XCC_FULL_SWEEP` / `XCC_OUTPUT`
+//! (see `xcc_framework::sweep`).
+
+fn main() {
+    xcc_bench::run_and_print("multi_channel_scaling");
+}

@@ -54,8 +54,43 @@ pub fn golden_specs() -> Vec<ExperimentSpec> {
     ]
 }
 
+/// The spec set behind the multi-channel golden fixture: small two-channel
+/// runs with the default strategy, pinning the per-channel bookkeeping.
+/// Regenerate with:
+///
+/// ```text
+/// cargo run --release -p xcc-bench --bin goldens -- --multi-channel \
+///     > tests/fixtures/multi_channel_goldens.json
+/// ```
+pub fn multi_channel_golden_specs() -> Vec<ExperimentSpec> {
+    vec![
+        ExperimentSpec::relayer_throughput()
+            .named("golden/multi_channel/rate=20/channels=2/rtt=0")
+            .relayers(1)
+            .channels(2)
+            .rtt_ms(0)
+            .input_rate(20)
+            .measurement_blocks(5)
+            .seed(42),
+        ExperimentSpec::relayer_throughput()
+            .named("golden/multi_channel/rate=40/channels=2/rtt=200/weighted")
+            .relayers(1)
+            .channels(2)
+            .channel_weights([3, 1])
+            .rtt_ms(200)
+            .input_rate(40)
+            .measurement_blocks(5)
+            .seed(42),
+    ]
+}
+
 fn main() {
-    let outcomes: Vec<_> = golden_specs().iter().map(scenarios::run).collect();
+    let specs = if std::env::args().any(|a| a == "--multi-channel") {
+        multi_channel_golden_specs()
+    } else {
+        golden_specs()
+    };
+    let outcomes: Vec<_> = specs.iter().map(scenarios::run).collect();
     println!(
         "{}",
         serde_json::to_string_pretty(&outcomes).expect("outcomes serialize")

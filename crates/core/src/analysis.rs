@@ -62,13 +62,22 @@ impl StepBreakdown {
     }
 }
 
-/// Number of transfers committed to the source chain during the run.
+/// Number of transfers committed to the source chain during the run, summed
+/// over every open channel.
 pub fn committed_transfers(run: &RunOutput) -> u64 {
+    (0..run.paths.len())
+        .map(|ch| committed_transfers_on(run, ch))
+        .sum()
+}
+
+/// Number of transfers committed to the source chain on one channel.
+pub fn committed_transfers_on(run: &RunOutput, channel: usize) -> u64 {
+    let path = &run.paths[channel];
     run.chain_a
         .borrow()
         .app()
         .ibc()
-        .sent_sequences(&run.path.port, &run.path.src_channel)
+        .sent_sequences(&path.port, &path.src_channel)
         .len() as u64
 }
 
@@ -120,24 +129,49 @@ pub fn average_block_interval_secs(run: &RunOutput) -> f64 {
 }
 
 /// Classifies every requested transfer at the end of the measurement window
-/// (Figs. 10 and 11).
+/// (Figs. 10 and 11), summed over every open channel.
 pub fn completion_breakdown(run: &RunOutput) -> CompletionBreakdown {
+    let mut total = CompletionBreakdown::default();
+    for channel in 0..run.paths.len() {
+        let b = completion_breakdown_on(run, channel);
+        total.completed += b.completed;
+        total.partial += b.partial;
+        total.initiated += b.initiated;
+        total.not_committed += b.not_committed;
+    }
+    total
+}
+
+/// Classifies one channel's requested transfers at the end of the
+/// measurement window. The per-channel breakdowns sum to
+/// [`completion_breakdown`] by construction — `tests/multi_channel.rs` pins
+/// this invariant.
+pub fn completion_breakdown_on(run: &RunOutput, channel: usize) -> CompletionBreakdown {
     let cutoff = run.measurement_end;
-    let committed = committed_transfers(run);
-    let requested = run.submission.requests_made;
+    let committed = committed_transfers_on(run, channel);
+    let requested: u64 = run
+        .submission_records
+        .iter()
+        .filter(|r| r.channel == channel)
+        .map(|r| r.transfers as u64)
+        .sum();
 
     let mut completed = 0u64;
     let mut partial = 0u64;
     let mut initiated = 0u64;
-    for seq in run.telemetry.sequences() {
+    let ch = channel as u64;
+    for (packet_channel, seq) in run.telemetry.packets() {
+        if packet_channel != ch {
+            continue;
+        }
         let acked = run
             .telemetry
-            .step_time(seq, TransferStep::AckConfirmation)
+            .step_time_on(ch, seq, TransferStep::AckConfirmation)
             .map(|t| t <= cutoff)
             .unwrap_or(false);
         let received = run
             .telemetry
-            .step_time(seq, TransferStep::RecvConfirmation)
+            .step_time_on(ch, seq, TransferStep::RecvConfirmation)
             .map(|t| t <= cutoff)
             .unwrap_or(false);
         if acked {

@@ -5,7 +5,7 @@
 //! modules (Fig. 5 of the paper). The defaults reproduce the paper's
 //! experiment settings (§III-C/D).
 
-use serde::{de_field, Deserialize, Error, Serialize, Value};
+use serde::{de_field, de_field_or_default, Deserialize, Error, Serialize, Value};
 
 use xcc_relayer::strategy::RelayerStrategy;
 use xcc_sim::SimDuration;
@@ -24,8 +24,12 @@ pub struct DeploymentConfig {
     pub network_rtt_ms: u64,
     /// Minimum block interval (the paper configures 5 seconds).
     pub min_block_interval: SimDuration,
-    /// Number of relayer instances serving the single cross-chain channel.
+    /// Number of relayer instances serving the cross-chain channels.
     pub relayer_count: usize,
+    /// Number of concurrent transfer channels opened between the two chains
+    /// (the paper's testbed uses exactly 1). Every relayer serves every
+    /// channel unless the strategy's channel policy dedicates instances.
+    pub channel_count: usize,
     /// The pipeline strategy every relayer instance runs; the default is the
     /// paper's Hermes pipeline (see [`RelayerStrategy`]).
     pub relayer_strategy: RelayerStrategy,
@@ -46,6 +50,7 @@ impl Default for DeploymentConfig {
             network_rtt_ms: 200,
             min_block_interval: SimDuration::from_secs(5),
             relayer_count: 1,
+            channel_count: 1,
             relayer_strategy: RelayerStrategy::default(),
             user_accounts: 64,
             account_balance: 1_000_000_000_000,
@@ -55,8 +60,9 @@ impl Default for DeploymentConfig {
 }
 
 // Hand-written serde impls (instead of the derive) so that configuration
-// JSON written before the `relayer_strategy` field existed still parses: a
-// missing field falls back to the paper-default strategy.
+// JSON written before the `relayer_strategy` / `channel_count` fields
+// existed still parses: missing fields fall back to the paper's
+// single-channel, default-strategy deployment.
 impl Serialize for DeploymentConfig {
     fn to_value(&self) -> Value {
         Value::Map(vec![
@@ -75,6 +81,7 @@ impl Serialize for DeploymentConfig {
                 self.min_block_interval.to_value(),
             ),
             ("relayer_count".into(), self.relayer_count.to_value()),
+            ("channel_count".into(), self.channel_count.to_value()),
             ("relayer_strategy".into(), self.relayer_strategy.to_value()),
             ("user_accounts".into(), self.user_accounts.to_value()),
             ("account_balance".into(), self.account_balance.to_value()),
@@ -92,6 +99,9 @@ impl Deserialize for DeploymentConfig {
             Some((_, value)) => RelayerStrategy::from_value(value)?,
             None => RelayerStrategy::default(),
         };
+        // Missing (pre-multi-channel JSON) and explicit-zero channel counts
+        // both mean the paper's single channel.
+        let channel_count = de_field_or_default::<usize>(map, "channel_count")?.max(1);
         Ok(DeploymentConfig {
             source_chain_id: de_field(map, "source_chain_id")?,
             destination_chain_id: de_field(map, "destination_chain_id")?,
@@ -99,6 +109,7 @@ impl Deserialize for DeploymentConfig {
             network_rtt_ms: de_field(map, "network_rtt_ms")?,
             min_block_interval: de_field(map, "min_block_interval")?,
             relayer_count: de_field(map, "relayer_count")?,
+            channel_count,
             relayer_strategy,
             user_accounts: de_field(map, "user_accounts")?,
             account_balance: de_field(map, "account_balance")?,
@@ -108,7 +119,7 @@ impl Deserialize for DeploymentConfig {
 }
 
 /// Parameters of the benchmark workload (the Benchmark module's input).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkloadConfig {
     /// Total number of cross-chain transfers to request.
     pub total_transfers: u64,
@@ -133,6 +144,63 @@ pub struct WorkloadConfig {
     pub run_to_completion: bool,
     /// Hard cap on additional blocks produced while running to completion.
     pub completion_grace_blocks: u64,
+    /// Relative traffic weights per channel in a multi-channel deployment:
+    /// transaction `i` targets the channel picked by a deterministic
+    /// weighted round-robin over these weights. Empty means uniform
+    /// round-robin across every open channel (and is the only sensible value
+    /// for single-channel deployments).
+    pub channel_weights: Vec<u64>,
+}
+
+// Hand-written serde impls so that workload JSON written before
+// `channel_weights` existed (the golden fixtures) still parses: a missing
+// field falls back to uniform round-robin.
+impl Serialize for WorkloadConfig {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("total_transfers".into(), self.total_transfers.to_value()),
+            ("transfers_per_tx".into(), self.transfers_per_tx.to_value()),
+            (
+                "submission_blocks".into(),
+                self.submission_blocks.to_value(),
+            ),
+            (
+                "measurement_blocks".into(),
+                self.measurement_blocks.to_value(),
+            ),
+            ("timeout_blocks".into(), self.timeout_blocks.to_value()),
+            ("cli_cost_per_tx".into(), self.cli_cost_per_tx.to_value()),
+            (
+                "run_to_completion".into(),
+                self.run_to_completion.to_value(),
+            ),
+            (
+                "completion_grace_blocks".into(),
+                self.completion_grace_blocks.to_value(),
+            ),
+            ("channel_weights".into(), self.channel_weights.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for WorkloadConfig {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| Error::custom("expected object for WorkloadConfig"))?;
+        let channel_weights: Vec<u64> = de_field_or_default(map, "channel_weights")?;
+        Ok(WorkloadConfig {
+            total_transfers: de_field(map, "total_transfers")?,
+            transfers_per_tx: de_field(map, "transfers_per_tx")?,
+            submission_blocks: de_field(map, "submission_blocks")?,
+            measurement_blocks: de_field(map, "measurement_blocks")?,
+            timeout_blocks: de_field(map, "timeout_blocks")?,
+            cli_cost_per_tx: de_field(map, "cli_cost_per_tx")?,
+            run_to_completion: de_field(map, "run_to_completion")?,
+            completion_grace_blocks: de_field(map, "completion_grace_blocks")?,
+            channel_weights,
+        })
+    }
 }
 
 impl Default for WorkloadConfig {
@@ -146,6 +214,7 @@ impl Default for WorkloadConfig {
             cli_cost_per_tx: SimDuration::from_millis(12),
             run_to_completion: true,
             completion_grace_blocks: 400,
+            channel_weights: Vec::new(),
         }
     }
 }
@@ -179,6 +248,34 @@ impl WorkloadConfig {
     /// 5-second blocks, as the paper defines it.
     pub fn input_rate_rps(&self) -> f64 {
         self.transfers_per_window() as f64 / 5.0
+    }
+
+    /// The deterministic channel-targeting pattern for a deployment with
+    /// `channel_count` channels: transaction `i` targets channel
+    /// `pattern[i % pattern.len()]`.
+    ///
+    /// With empty `channel_weights` this is a uniform round-robin
+    /// `[0, 1, …, n-1]`; with weights, each channel appears once per weight
+    /// unit (`[2, 1]` → `[0, 0, 1]`). Channels beyond the weight list get
+    /// weight 0 and receive no traffic; a weight list longer than the
+    /// channel list is truncated.
+    pub fn channel_pattern(&self, channel_count: usize) -> Vec<usize> {
+        let n = channel_count.max(1);
+        if self.channel_weights.is_empty() {
+            return (0..n).collect();
+        }
+        let pattern: Vec<usize> = self
+            .channel_weights
+            .iter()
+            .take(n)
+            .enumerate()
+            .flat_map(|(channel, weight)| std::iter::repeat_n(channel, *weight as usize))
+            .collect();
+        if pattern.is_empty() {
+            (0..n).collect()
+        } else {
+            pattern
+        }
     }
 }
 
@@ -232,6 +329,48 @@ mod tests {
         assert_eq!(w.txs_per_window(), 50);
         assert_eq!(w.total_transfers, 75_000);
         assert!((w.input_rate_rps() - 1_000.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn pre_multi_channel_json_still_parses() {
+        // Deployment / workload JSON written before `channel_count` /
+        // `channel_weights` existed (the golden fixtures) must parse to the
+        // single-channel uniform defaults.
+        let deployment_json = serde_json::to_string(&DeploymentConfig::default()).unwrap();
+        let legacy = deployment_json.replace(",\"channel_count\":1", "");
+        assert!(!legacy.contains("channel_count"));
+        let parsed: DeploymentConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(parsed.channel_count, 1);
+
+        let workload_json = serde_json::to_string(&WorkloadConfig::default()).unwrap();
+        let legacy = workload_json.replace(",\"channel_weights\":[]", "");
+        assert!(!legacy.contains("channel_weights"));
+        let parsed: WorkloadConfig = serde_json::from_str(&legacy).unwrap();
+        assert!(parsed.channel_weights.is_empty());
+        assert_eq!(parsed, WorkloadConfig::default());
+    }
+
+    #[test]
+    fn channel_patterns_follow_weights() {
+        let uniform = WorkloadConfig::default();
+        assert_eq!(uniform.channel_pattern(1), vec![0]);
+        assert_eq!(uniform.channel_pattern(3), vec![0, 1, 2]);
+
+        let weighted = WorkloadConfig {
+            channel_weights: vec![2, 1],
+            ..WorkloadConfig::default()
+        };
+        assert_eq!(weighted.channel_pattern(2), vec![0, 0, 1]);
+        // Extra channels beyond the weight list get no traffic; surplus
+        // weights are truncated to the open channels.
+        assert_eq!(weighted.channel_pattern(3), vec![0, 0, 1]);
+        assert_eq!(weighted.channel_pattern(1), vec![0, 0]);
+        // All-zero weights fall back to uniform round-robin.
+        let zeros = WorkloadConfig {
+            channel_weights: vec![0, 0],
+            ..WorkloadConfig::default()
+        };
+        assert_eq!(zeros.channel_pattern(2), vec![0, 1]);
     }
 
     #[test]

@@ -40,6 +40,11 @@ pub mod keys {
     pub const REDUNDANT_PACKET_ERRORS: &str = "redundant_packet_errors";
     /// Blocks whose event collection failed (WebSocket limit, §V).
     pub const EVENT_COLLECTION_FAILURES: &str = "event_collection_failures";
+    /// Packets relayed by the packet-clear scan instead of event delivery.
+    /// Emitted only when the strategy's `packet_clear_interval` is non-zero,
+    /// so runs without clearing — the golden fixtures included — keep their
+    /// metric maps unchanged.
+    pub const PACKETS_CLEARED: &str = "packets_cleared";
     /// End-to-end completion latency of the batch in seconds (Fig. 13).
     pub const COMPLETION_LATENCY_SECS: &str = "completion_latency_secs";
     /// Duration of the transfer phase (steps 1–4), seconds (Fig. 12).
@@ -54,6 +59,16 @@ pub mod keys {
     pub const RECV_PULL_SECS: &str = "recv_pull_secs";
     /// Fraction of total time spent in RPC data pulls (≈0.69 in the paper).
     pub const DATA_PULL_SHARE: &str = "data_pull_share";
+
+    /// The per-channel variant of a metric key, e.g. `completed[channel-2]`.
+    ///
+    /// Multi-channel runs (`channel_count > 1`) emit the completion metrics
+    /// once per channel under these keys in addition to the aggregates;
+    /// single-channel runs emit only the aggregates, so the paper scenarios'
+    /// metric maps — including the golden fixtures — are unchanged.
+    pub fn on_channel(base: &str, channel: usize) -> String {
+        format!("{base}[channel-{channel}]")
+    }
 }
 
 /// The unified, serializable result of one scenario run.
@@ -169,6 +184,11 @@ impl ScenarioOutcome {
         self.count(keys::EVENT_COLLECTION_FAILURES)
     }
 
+    /// Packets relayed by the packet-clear scan (0 when clearing is off).
+    pub fn packets_cleared(&self) -> u64 {
+        self.count(keys::PACKETS_CLEARED)
+    }
+
     /// End-to-end completion latency of the batch in seconds.
     pub fn completion_latency_secs(&self) -> f64 {
         self.float(keys::COMPLETION_LATENCY_SECS)
@@ -202,6 +222,29 @@ impl ScenarioOutcome {
     /// Fraction of the total time spent in RPC data pulls.
     pub fn data_pull_share(&self) -> f64 {
         self.float(keys::DATA_PULL_SHARE)
+    }
+
+    /// Number of channels the deployment opened.
+    pub fn channel_count(&self) -> usize {
+        self.spec.deployment.channel_count.max(1)
+    }
+
+    /// A per-channel metric (emitted only by multi-channel runs), e.g.
+    /// `metric_on(keys::COMPLETED, 1)`.
+    pub fn metric_on(&self, base: &str, channel: usize) -> Option<f64> {
+        self.metric(&keys::on_channel(base, channel))
+    }
+
+    /// Fully completed transfers of one channel (multi-channel runs only).
+    pub fn completed_on(&self, channel: usize) -> u64 {
+        self.metric_on(keys::COMPLETED, channel).unwrap_or(0.0) as u64
+    }
+
+    /// Completed transfers per second of one channel over the measurement
+    /// window (multi-channel runs only).
+    pub fn throughput_tfps_on(&self, channel: usize) -> f64 {
+        self.metric_on(keys::THROUGHPUT_TFPS, channel)
+            .unwrap_or(0.0)
     }
 
     // -- emission ------------------------------------------------------------

@@ -15,7 +15,7 @@
 //! println!("{report}");
 //! ```
 
-use xcc_relayer::strategy::RelayerStrategy;
+use xcc_relayer::strategy::{ChannelPolicy, RelayerStrategy};
 
 use crate::outcome::ScenarioOutcome;
 use crate::report::ExecutionReport;
@@ -98,7 +98,7 @@ fn edit_distance(a: &str, b: &str) -> usize {
     previous[b.len()]
 }
 
-static ENTRIES: [ScenarioEntry; 15] = [
+static ENTRIES: [ScenarioEntry; 18] = [
     ScenarioEntry {
         name: "fig6",
         title: "Tendermint throughput (TFPS) vs input rate",
@@ -182,6 +182,24 @@ static ENTRIES: [ScenarioEntry; 15] = [
         title: "Fig. 13 counterfactual: adaptive relayer batching",
         grid: fig13_adaptive_grid,
         render: fig13_render,
+    },
+    ScenarioEntry {
+        name: "multi_channel_scaling",
+        title: "Cross-chain throughput vs concurrent channel count",
+        grid: multi_channel_grid,
+        render: multi_channel_render,
+    },
+    ScenarioEntry {
+        name: "frame_limit_sweep",
+        title: "WebSocket frame limit × packet clearing as sweep axes",
+        grid: frame_limit_grid,
+        render: frame_limit_render,
+    },
+    ScenarioEntry {
+        name: "channel_contention",
+        title: "Weighted multi-channel load under channel policies",
+        grid: channel_contention_grid,
+        render: channel_contention_render,
     },
     ScenarioEntry {
         name: "smoke",
@@ -380,6 +398,70 @@ fn fig13_adaptive_grid(mode: SweepMode) -> SweepGrid {
             .seed(42),
     )
     .submission_blocks(mode.pick(vec![1, 2, 4, 8, 16, 32], vec![1, 2, 4, 8, 16, 32, 64]))
+}
+
+// -- multi-channel and deployment-limit scenarios (beyond the paper) --------
+
+/// Does the ~90 TFPS single-relayer cap (Fig. 8) scale with channels, or is
+/// it a per-relayer-process limit? One relayer serves 1/2/4 concurrent
+/// channels under fair-share scheduling at the same total input rate.
+fn multi_channel_grid(mode: SweepMode) -> SweepGrid {
+    SweepGrid::new(
+        ExperimentSpec::relayer_throughput()
+            .named("multi_channel_scaling")
+            .relayers(1)
+            .rtt_ms(200)
+            .measurement_blocks(mode.pick(6, 15))
+            .seed(42),
+    )
+    .input_rates(mode.pick(vec![60, 100, 140], vec![20, 60, 100, 140, 200, 300]))
+    .channel_counts(mode.pick(vec![1, 2, 4], vec![1, 2, 4, 8]))
+}
+
+/// The §V deployment limits as sweep axes: the WebSocket frame limit (`0` =
+/// the 16 MiB default) crossed with packet clearing on/off, over one
+/// oversized submission window. Clearing is the knob that rescues the 81.8%
+/// of transfers the paper reports stuck.
+fn frame_limit_grid(mode: SweepMode) -> SweepGrid {
+    SweepGrid::new(
+        ExperimentSpec::websocket_limit()
+            .named("frame_limit_sweep")
+            .transfers(mode.pick(6_000, 100_000))
+            .seed(42),
+    )
+    .strategies([
+        RelayerStrategy::default(),
+        RelayerStrategy::default().packet_clearing(4),
+    ])
+    // Quick mode's 6,000-transfer window encodes to ~4 MiB of events: the
+    // 1–2 MiB limits trip, the 16 MiB default and above pass.
+    .frame_limits(mode.pick(
+        vec![1 << 20, 2 << 20, 0, 64 << 20],
+        vec![1 << 20, 4 << 20, 8 << 20, 0, 64 << 20, 256 << 20],
+    ))
+}
+
+/// Three channels under a skewed 4:1:1 load, served by three relayers under
+/// each channel policy: fair-share and priority leave all instances
+/// competing on every channel (redundant work, as in Fig. 9), a dedicated
+/// relayer per channel eliminates it.
+fn channel_contention_grid(mode: SweepMode) -> SweepGrid {
+    SweepGrid::new(
+        ExperimentSpec::relayer_throughput()
+            .named("channel_contention")
+            .relayers(3)
+            .channels(3)
+            .channel_weights([4, 1, 1])
+            .rtt_ms(200)
+            .input_rate(mode.pick(60, 120))
+            .measurement_blocks(mode.pick(6, 15))
+            .seed(42),
+    )
+    .strategies([
+        RelayerStrategy::default(),
+        RelayerStrategy::with_channel_policy(ChannelPolicy::Priority),
+        RelayerStrategy::with_channel_policy(ChannelPolicy::Dedicated),
+    ])
 }
 
 /// One cheap, representative end-to-end run (~seconds): CI's smoke check.
@@ -692,6 +774,145 @@ fn websocket_render(outcomes: &[ScenarioOutcome]) -> ExecutionReport {
     report
 }
 
+/// `multi_channel_scaling`: one row per input rate, one TFPS column per
+/// channel count.
+fn multi_channel_render(outcomes: &[ScenarioOutcome]) -> ExecutionReport {
+    let mut report = ExecutionReport::new("multi_channel_scaling");
+    let relayers = outcomes
+        .first()
+        .map(|o| o.spec.deployment.relayer_count)
+        .unwrap_or(1);
+    report.add_note(format!(
+        "multi_channel_scaling — TFPS with {relayers} relayer serving N concurrent \
+         channels (beyond the paper's single-channel testbed)"
+    ));
+    let mut channel_counts: Vec<usize> = outcomes.iter().map(|o| o.channel_count()).collect();
+    channel_counts.sort_unstable();
+    channel_counts.dedup();
+    let mut header = format!("{:>12}", "rate (rps)");
+    for n in &channel_counts {
+        header.push_str(&format!(" | {:>12}", format!("{n} ch (TFPS)")));
+    }
+    report.add_row(header);
+    for (rate, group) in group_by_rate(outcomes) {
+        let mut row = format!("{rate:>12}");
+        for n in &channel_counts {
+            let tfps = group
+                .iter()
+                .find(|o| o.channel_count() == *n)
+                .map(|o| o.throughput_tfps())
+                .unwrap_or(0.0);
+            row.push_str(&format!(" | {tfps:>12.1}"));
+            report.set_metric(format!("tfps_at_{rate}_channels_{n}"), tfps);
+        }
+        report.add_row(row);
+    }
+    report
+}
+
+/// `frame_limit_sweep`: completion under each frame limit, with and without
+/// packet clearing.
+fn frame_limit_render(outcomes: &[ScenarioOutcome]) -> ExecutionReport {
+    let mut report = ExecutionReport::new("frame_limit_sweep");
+    let transfers = outcomes
+        .first()
+        .map(|o| o.requests_made())
+        .unwrap_or_default();
+    report.add_note(format!(
+        "frame_limit_sweep — {transfers} transfers in one window; the §V frame limit \
+         and packet-clear interval as strategy knobs \
+         (paper at 16 MiB, no clearing: 2.5% completed, 81.8% stuck)"
+    ));
+    report.add_row(format!(
+        "{:>14} | {:>9} | {:>10} | {:>10} | {:>10} | {:>8}",
+        "frame limit", "clearing", "completed", "stuck", "cleared", "failures"
+    ));
+    for outcome in outcomes {
+        let strategy = outcome.spec.deployment.relayer_strategy;
+        let frame = match strategy.ws_frame_limit_bytes {
+            0 => "16MiB*".to_string(),
+            bytes if bytes % (1 << 20) == 0 => format!("{}MiB", bytes >> 20),
+            bytes => format!("{bytes}B"),
+        };
+        let clearing = if strategy.packet_clear_interval > 0 {
+            format!("every {}", strategy.packet_clear_interval)
+        } else {
+            "off".to_string()
+        };
+        let requested = outcome.requests_made().max(1);
+        report.add_row(format!(
+            "{:>14} | {:>9} | {:>4} ({:>4.1}%) | {:>10} | {:>10} | {:>8}",
+            frame,
+            clearing,
+            outcome.completed(),
+            100.0 * outcome.completed() as f64 / requested as f64,
+            outcome.stuck(),
+            outcome.packets_cleared(),
+            outcome.event_collection_failures()
+        ));
+        report.set_metric(
+            format!(
+                "completed_at_{}_clear_{}",
+                strategy.ws_frame_limit_bytes, strategy.packet_clear_interval
+            ),
+            outcome.completed() as f64,
+        );
+    }
+    report.add_note("* 0 = Tendermint's 16 MiB default frame limit");
+    report
+}
+
+/// `channel_contention`: one row per channel policy with the aggregate and
+/// per-channel completion under a skewed load.
+fn channel_contention_render(outcomes: &[ScenarioOutcome]) -> ExecutionReport {
+    let mut report = ExecutionReport::new("channel_contention");
+    let (relayers, channels, weights) = outcomes
+        .first()
+        .map(|o| {
+            (
+                o.spec.deployment.relayer_count,
+                o.channel_count(),
+                o.spec.workload.channel_weights.clone(),
+            )
+        })
+        .unwrap_or((0, 0, Vec::new()));
+    report.add_note(format!(
+        "channel_contention — {relayers} relayers, {channels} channels, \
+         weighted load {weights:?}: completion per channel policy"
+    ));
+    let mut header = format!(
+        "{:>12} | {:>10} | {:>14}",
+        "policy", "completed", "redundant msgs"
+    );
+    for ch in 0..channels {
+        header.push_str(&format!(" | {:>8}", format!("ch{ch}")));
+    }
+    report.add_row(header);
+    for outcome in outcomes {
+        let policy = match outcome.spec.deployment.relayer_strategy.channel_policy {
+            ChannelPolicy::FairShare => "fair-share",
+            ChannelPolicy::Priority => "priority",
+            ChannelPolicy::Dedicated => "dedicated",
+        };
+        let mut row = format!(
+            "{:>12} | {:>10} | {:>14}",
+            policy,
+            outcome.completed(),
+            outcome.redundant_packet_errors()
+        );
+        for ch in 0..channels {
+            row.push_str(&format!(" | {:>8}", outcome.completed_on(ch)));
+        }
+        report.add_row(row);
+        report.set_metric(format!("completed_{policy}"), outcome.completed() as f64);
+        report.set_metric(
+            format!("redundant_{policy}"),
+            outcome.redundant_packet_errors() as f64,
+        );
+    }
+    report
+}
+
 /// The registry name embedded in a sweep point's name (`fig8/rate=60/...`).
 fn fig_name(outcome: &ScenarioOutcome) -> String {
     outcome
@@ -725,6 +946,9 @@ mod tests {
             "fig11_coordinated",
             "fig12_parallel_fetch",
             "fig13_adaptive_submission",
+            "multi_channel_scaling",
+            "frame_limit_sweep",
+            "channel_contention",
             "smoke",
         ];
         assert_eq!(names(), expected);
@@ -787,6 +1011,35 @@ mod tests {
             let full = entry.grid(SweepMode::Full).points().len();
             assert!(full >= quick, "{}: full {full} < quick {quick}", entry.name);
         }
+    }
+
+    #[test]
+    fn frame_limit_render_reports_the_cliff_and_the_rescue() {
+        // A miniature frame_limit_sweep: one oversized window against a
+        // 16 KiB frame, with and without clearing, plus a permissive limit.
+        let entry = get("frame_limit_sweep").unwrap();
+        let grid = SweepGrid::new(
+            ExperimentSpec::websocket_limit()
+                .named("frame_limit_sweep")
+                .transfers(400)
+                .seed(42),
+        )
+        .strategies([
+            RelayerStrategy::default(),
+            RelayerStrategy::default().packet_clearing(3),
+        ])
+        .frame_limits([16 << 10, 64 << 20]);
+        let outcomes = run_parallel(&grid.points(), 2);
+        assert_eq!(outcomes.len(), 4);
+        let report = entry.render(&outcomes);
+        assert_eq!(report.rows.len(), 5); // header + 4 rows
+                                          // Tight frame, no clearing: stranded. Tight frame, clearing: rescued.
+        let stranded = report.metric("completed_at_16384_clear_0").unwrap();
+        let cleared = report.metric("completed_at_16384_clear_3").unwrap();
+        let permissive = report.metric("completed_at_67108864_clear_0").unwrap();
+        assert_eq!(stranded, 0.0);
+        assert!(cleared > stranded);
+        assert!(permissive > 0.0);
     }
 
     #[test]

@@ -48,8 +48,10 @@ pub struct RunOutput {
     pub chain_a: SharedChain,
     /// The destination chain at the end of the run.
     pub chain_b: SharedChain,
-    /// The relay path used.
+    /// The primary relay path (channel 0).
     pub path: xcc_relayer::relayer::RelayPath,
+    /// Every relay path used, in channel order (`paths[0] == path`).
+    pub paths: Vec<xcc_relayer::relayer::RelayPath>,
     /// Commit time of the first measurement block (the window start).
     pub measurement_start: SimTime,
     /// Commit time of the last measurement block (the window end).
@@ -66,6 +68,79 @@ enum Ev {
     BlockB,
 }
 
+/// Records receive / acknowledgement confirmations from committed block data
+/// for packets whose events no relayer delivered, at the committing block's
+/// commit time. Existing telemetry entries always win (the record API keeps
+/// the earliest time, and relayer-observed steps are only ever later than
+/// the commit they derive from — so this is a pure gap-filler).
+fn backfill_confirmations(
+    telemetry: &mut TelemetryLog,
+    testnet: &Testnet,
+    blocks_a: &[BlockRecord],
+    blocks_b: &[BlockRecord],
+) {
+    // One pass per direction: `WRITE_ACK` on the destination chain fills
+    // `RecvConfirmation`, `ACK_PACKET` on the source chain fills
+    // `AckConfirmation`.
+    let mut pass = |chain: &xcc_chain::chain::SharedChain,
+                    blocks: &[BlockRecord],
+                    event_kind: &str,
+                    dst_side: bool,
+                    step: TransferStep| {
+        let chain = chain.borrow();
+        for record in blocks {
+            let Some(block) = chain.block_at(record.height) else {
+                continue;
+            };
+            for result in &block.results {
+                if !result.is_ok() {
+                    continue;
+                }
+                for event in &result.events {
+                    if event.kind != event_kind {
+                        continue;
+                    }
+                    let channel = testnet.paths.iter().position(|p| {
+                        let end = if dst_side {
+                            &p.dst_channel
+                        } else {
+                            &p.src_channel
+                        };
+                        ibc_events::is_for_channel(event, &p.port, end)
+                    });
+                    let (Some(channel), Some(packet)) =
+                        (channel, ibc_events::packet_from_event(event))
+                    else {
+                        continue;
+                    };
+                    let channel = channel as u64;
+                    if telemetry
+                        .step_time_on(channel, packet.sequence, step)
+                        .is_none()
+                    {
+                        telemetry.record_on(channel, packet.sequence, step, record.committed_at);
+                    }
+                }
+            }
+        }
+    };
+
+    pass(
+        &testnet.chain_b,
+        blocks_b,
+        ibc_events::WRITE_ACK,
+        true,
+        TransferStep::RecvConfirmation,
+    );
+    pass(
+        &testnet.chain_a,
+        blocks_a,
+        ibc_events::ACK_PACKET,
+        false,
+        TransferStep::AckConfirmation,
+    );
+}
+
 /// Runs one experiment: deploys the testnet, drives block production on both
 /// chains, feeds events to the relayers, submits the workload and returns the
 /// collected raw data.
@@ -75,9 +150,9 @@ pub fn run_experiment(
 ) -> RunOutput {
     let mut testnet = Testnet::build(deployment);
     let workload_rpc = make_rpc(&testnet.chain_a, deployment, &testnet.rng, "workload-cli");
-    let mut workload = WorkloadConnector::new(
+    let mut workload = WorkloadConnector::with_paths(
         workload_config.clone(),
-        testnet.path.clone(),
+        testnet.paths.clone(),
         workload_rpc,
         deployment.user_accounts,
     );
@@ -143,14 +218,15 @@ pub fn run_experiment(
                 } else {
                     let chain = testnet.chain_a.borrow();
                     let ibc = chain.app().ibc();
-                    let sent = ibc.sent_sequences(&testnet.path.port, &testnet.path.src_channel);
-                    let outstanding = ibc
-                        .unacknowledged_packets(
-                            &testnet.path.port,
-                            &testnet.path.src_channel,
-                            &sent,
-                        )
-                        .len();
+                    let outstanding: usize = testnet
+                        .paths
+                        .iter()
+                        .map(|path| {
+                            let sent = ibc.sent_sequences(&path.port, &path.src_channel);
+                            ibc.unacknowledged_packets(&path.port, &path.src_channel, &sent)
+                                .len()
+                        })
+                        .sum();
                     let done = workload.finished_submitting() && outstanding == 0;
                     done || measured >= target_blocks + grace_blocks
                 };
@@ -210,7 +286,8 @@ pub fn run_experiment(
             for event in &result.events {
                 if event.kind == ibc_events::SEND_PACKET {
                     if let Some(packet) = ibc_events::packet_from_event(event) {
-                        telemetry.record(
+                        telemetry.record_on(
+                            record.channel as u64,
                             packet.sequence,
                             TransferStep::TransferBroadcast,
                             record.broadcast_at,
@@ -220,6 +297,16 @@ pub fn run_experiment(
             }
         }
     }
+
+    // The Analysis module reads committed transactions straight off the
+    // chains (the framework's Cross-chain Event Processor pulls block data
+    // over RPC, independently of the relayers' subscriptions), so receive /
+    // acknowledgement confirmations are backfilled at block commit time for
+    // packets the relayers never observed — e.g. events lost to an
+    // oversized WebSocket frame (§V). Steps the relayers did observe keep
+    // their original event-delivery timestamps: the backfill never
+    // overwrites an existing record.
+    backfill_confirmations(&mut telemetry, &testnet, &blocks_a, &blocks_b);
 
     RunOutput {
         blocks_a,
@@ -231,6 +318,7 @@ pub fn run_experiment(
         chain_a: testnet.chain_a.clone(),
         chain_b: testnet.chain_b.clone(),
         path: testnet.path.clone(),
+        paths: testnet.paths.clone(),
         measurement_start,
         measurement_end,
         workload: workload_config.clone(),

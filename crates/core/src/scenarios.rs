@@ -70,6 +70,51 @@ pub fn outcome_from(spec: &ExperimentSpec, run: &RunOutput) -> ScenarioOutcome {
     outcome.set(keys::TRANSFER_PULL_SECS, steps.transfer_pull_secs);
     outcome.set(keys::RECV_PULL_SECS, steps.recv_pull_secs);
     outcome.set(keys::DATA_PULL_SHARE, steps.data_pull_share());
+    // Clearing-enabled runs report how many packets the clear scan rescued;
+    // runs without clearing (the paper's deployment, and every golden
+    // fixture) keep their metric maps unchanged.
+    if run.deployment.relayer_strategy.packet_clear_interval > 0 {
+        outcome.set(
+            keys::PACKETS_CLEARED,
+            run.relayer_stats
+                .iter()
+                .map(|s| s.packets_cleared)
+                .sum::<u64>() as f64,
+        );
+    }
+
+    // Multi-channel runs additionally emit the completion metrics once per
+    // channel; single-channel runs emit only the aggregates so that the
+    // paper scenarios' metric maps (and the golden fixtures) are unchanged.
+    if run.paths.len() > 1 {
+        let window = (run.measurement_end - run.measurement_start).as_secs_f64();
+        for channel in 0..run.paths.len() {
+            let b = analysis::completion_breakdown_on(run, channel);
+            outcome.set(
+                &keys::on_channel(keys::COMPLETED, channel),
+                b.completed as f64,
+            );
+            outcome.set(&keys::on_channel(keys::PARTIAL, channel), b.partial as f64);
+            outcome.set(
+                &keys::on_channel(keys::INITIATED, channel),
+                b.initiated as f64,
+            );
+            outcome.set(
+                &keys::on_channel(keys::NOT_COMMITTED, channel),
+                b.not_committed as f64,
+            );
+            outcome.set(
+                &keys::on_channel(keys::COMMITTED, channel),
+                analysis::committed_transfers_on(run, channel) as f64,
+            );
+            let tfps = if window > 0.0 {
+                b.completed as f64 / window
+            } else {
+                0.0
+            };
+            outcome.set(&keys::on_channel(keys::THROUGHPUT_TFPS, channel), tfps);
+        }
+    }
     outcome
 }
 
@@ -118,7 +163,9 @@ pub fn report_for(name: &str, run: &RunOutput) -> ExecutionReport {
 // Deprecated positional-argument API
 // ---------------------------------------------------------------------------
 
-/// One row of the Tendermint throughput experiments (Table I, Figs. 6 and 7).
+/// One row of the Tendermint throughput experiments — registered as the
+/// `fig6`, `fig7` and `table1` scenarios in [`crate::registry`]
+/// (`figure fig6` on the CLI).
 #[deprecated(
     since = "0.1.0",
     note = "use `ExperimentSpec` + `scenarios::run` and read `ScenarioOutcome` accessors"
@@ -139,10 +186,12 @@ pub struct TendermintRunResult {
     pub committed: u64,
 }
 
-/// Runs one Tendermint-throughput configuration.
+/// Runs one point of the registry's `fig6` / `fig7` / `table1` scenarios
+/// (run the full sweeps with `figure fig6` etc., or
+/// [`crate::registry::get`]`("fig6")` programmatically).
 #[deprecated(
     since = "0.1.0",
-    note = "use `ExperimentSpec::tendermint_throughput().input_rate(..).rtt_ms(..).seed(..)` with `scenarios::run`"
+    note = "use `ExperimentSpec::tendermint_throughput().input_rate(..).rtt_ms(..).seed(..)` with `scenarios::run`, or run the registered `fig6`/`fig7`/`table1` scenarios by name"
 )]
 #[allow(deprecated)]
 pub fn tendermint_throughput(input_rate_rps: u64, rtt_ms: u64, seed: u64) -> TendermintRunResult {
@@ -160,8 +209,9 @@ pub fn tendermint_throughput(input_rate_rps: u64, rtt_ms: u64, seed: u64) -> Ten
     }
 }
 
-/// One data point of the relayer throughput / completion experiments
-/// (Figs. 8–11).
+/// One data point of the relayer throughput / completion experiments —
+/// registered as the `fig8`, `fig9`, `fig10` and `fig11` scenarios in
+/// [`crate::registry`] (`figure fig8` on the CLI).
 #[deprecated(
     since = "0.1.0",
     note = "use `ExperimentSpec` + `scenarios::run` and read `ScenarioOutcome` accessors"
@@ -188,10 +238,12 @@ pub struct RelayerRunResult {
     pub redundant_packet_errors: u64,
 }
 
-/// Runs one relayer-throughput configuration.
+/// Runs one point of the registry's `fig8`–`fig11` scenarios (run the full
+/// sweeps with `figure fig8` etc., or [`crate::registry::get`]`("fig8")`
+/// programmatically).
 #[deprecated(
     since = "0.1.0",
-    note = "use `ExperimentSpec::relayer_throughput().input_rate(..).relayers(..).rtt_ms(..).measurement_blocks(..).seed(..)` with `scenarios::run`"
+    note = "use `ExperimentSpec::relayer_throughput().input_rate(..).relayers(..).rtt_ms(..).measurement_blocks(..).seed(..)` with `scenarios::run`, or run the registered `fig8`/`fig9`/`fig10`/`fig11` scenarios by name"
 )]
 #[allow(deprecated)]
 pub fn relayer_throughput(
@@ -220,8 +272,9 @@ pub fn relayer_throughput(
     }
 }
 
-/// The result of the latency-breakdown experiment (Fig. 12) and of each point
-/// of the submission-strategy experiment (Fig. 13).
+/// The result of the latency-breakdown experiment and of each point of the
+/// submission-strategy experiment — registered as the `fig12` and `fig13`
+/// scenarios in [`crate::registry`] (`figure fig12` on the CLI).
 #[deprecated(
     since = "0.1.0",
     note = "use `ExperimentSpec` + `scenarios::run` and read `ScenarioOutcome` accessors"
@@ -248,10 +301,12 @@ pub struct LatencyRunResult {
     pub data_pull_share: f64,
 }
 
-/// Runs the latency experiment.
+/// Runs one point of the registry's `fig12` / `fig13` scenarios (run the
+/// full sweeps with `figure fig12` etc., or
+/// [`crate::registry::get`]`("fig12")` programmatically).
 #[deprecated(
     since = "0.1.0",
-    note = "use `ExperimentSpec::latency().transfers(..).submission_blocks(..).rtt_ms(..).seed(..)` with `scenarios::run`"
+    note = "use `ExperimentSpec::latency().transfers(..).submission_blocks(..).rtt_ms(..).seed(..)` with `scenarios::run`, or run the registered `fig12`/`fig13` scenarios by name"
 )]
 #[allow(deprecated)]
 pub fn latency_run(
@@ -278,7 +333,9 @@ pub fn latency_run(
     }
 }
 
-/// Result of the WebSocket frame-limit experiment (§V).
+/// Result of the WebSocket frame-limit experiment (§V) — registered as the
+/// `websocket_limit` scenario in [`crate::registry`], superseded as a sweep
+/// by `frame_limit_sweep` (`figure websocket_limit` on the CLI).
 #[deprecated(
     since = "0.1.0",
     note = "use `ExperimentSpec` + `scenarios::run` and read `ScenarioOutcome` accessors"
@@ -296,10 +353,12 @@ pub struct WebSocketLimitResult {
     pub event_collection_failures: u64,
 }
 
-/// Reproduces the WebSocket-limit deployment challenge.
+/// Runs one point of the registry's `websocket_limit` scenario; the
+/// `frame_limit_sweep` scenario sweeps the same limit as a strategy knob
+/// (run either with the `figure` CLI, or via [`crate::registry::get`]).
 #[deprecated(
     since = "0.1.0",
-    note = "use `ExperimentSpec::websocket_limit().transfers(..).seed(..)` with `scenarios::run`"
+    note = "use `ExperimentSpec::websocket_limit().transfers(..).seed(..)` with `scenarios::run`, or run the registered `websocket_limit`/`frame_limit_sweep` scenarios by name"
 )]
 #[allow(deprecated)]
 pub fn websocket_limit_run(transfers: u64, seed: u64) -> WebSocketLimitResult {

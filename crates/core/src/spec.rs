@@ -234,9 +234,45 @@ impl ExperimentSpec {
         self
     }
 
-    /// Sets the number of relayer instances serving the channel.
+    /// Sets the number of relayer instances serving the channels.
     pub fn relayers(mut self, count: usize) -> Self {
         self.deployment.relayer_count = count;
+        self
+    }
+
+    /// Sets the number of concurrent transfer channels opened between the
+    /// two chains (the paper's testbed uses 1).
+    ///
+    /// ```rust
+    /// use xcc_framework::spec::ExperimentSpec;
+    ///
+    /// let spec = ExperimentSpec::relayer_throughput().channels(4);
+    /// assert_eq!(spec.deployment.channel_count, 4);
+    /// ```
+    pub fn channels(mut self, count: usize) -> Self {
+        self.deployment.channel_count = count.max(1);
+        self
+    }
+
+    /// Sets the per-channel traffic weights the workload targets channels
+    /// with (empty = uniform round-robin); see
+    /// [`WorkloadConfig::channel_pattern`].
+    pub fn channel_weights(mut self, weights: impl IntoIterator<Item = u64>) -> Self {
+        self.workload.channel_weights = weights.into_iter().collect();
+        self
+    }
+
+    /// Sets the relayers' WebSocket frame limit in bytes (`0` restores
+    /// Tendermint's 16 MiB default) — the §V deployment limit as a knob.
+    pub fn frame_limit(mut self, bytes: u64) -> Self {
+        self.deployment.relayer_strategy = self.deployment.relayer_strategy.frame_limit(bytes);
+        self
+    }
+
+    /// Sets the relayers' packet-clear interval in source blocks (`0`
+    /// disables clearing, the paper's deployment).
+    pub fn packet_clearing(mut self, blocks: u64) -> Self {
+        self.deployment.relayer_strategy = self.deployment.relayer_strategy.packet_clearing(blocks);
         self
     }
 
@@ -354,6 +390,33 @@ mod tests {
         assert_eq!(spec.resolved_deployment().user_accounts, 50);
         let explicit = spec.user_accounts(7);
         assert_eq!(explicit.resolved_deployment().user_accounts, 7);
+    }
+
+    #[test]
+    fn multi_channel_and_limit_knobs_build_into_the_spec() {
+        let spec = ExperimentSpec::relayer_throughput()
+            .channels(3)
+            .channel_weights([4, 1, 1])
+            .frame_limit(1 << 20)
+            .packet_clearing(5);
+        assert_eq!(spec.deployment.channel_count, 3);
+        assert_eq!(spec.workload.channel_weights, vec![4, 1, 1]);
+        assert_eq!(
+            spec.deployment.relayer_strategy.ws_frame_limit_bytes,
+            1 << 20
+        );
+        assert_eq!(spec.deployment.relayer_strategy.packet_clear_interval, 5);
+        // Channel counts are clamped to at least one.
+        assert_eq!(
+            ExperimentSpec::relayer_throughput()
+                .channels(0)
+                .deployment
+                .channel_count,
+            1
+        );
+        // The knobs survive a JSON round trip.
+        let back = ExperimentSpec::from_json(&spec.to_json()).unwrap();
+        assert_eq!(back, spec);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Declarative parameter sweeps executed on a worker pool.
 //!
 //! A [`SweepGrid`] is a base [`ExperimentSpec`] plus axes (input rates ×
-//! relayer counts × RTTs × submission strategies × transfer counts × seeds).
+//! relayer counts × channel counts × RTTs × submission strategies ×
+//! transfer counts × relayer strategies × WebSocket frame limits × seeds).
 //! [`SweepGrid::points`] expands the cartesian product into a deterministic,
 //! ordered list of specs; [`run_parallel`] executes any spec list on a
 //! `std::thread::scope` worker pool. Because every run is fully determined
@@ -123,6 +124,8 @@ pub struct SweepGrid {
     pub input_rates: Vec<u64>,
     /// Relayer counts.
     pub relayer_counts: Vec<usize>,
+    /// Concurrent channel counts (multi-channel deployments).
+    pub channel_counts: Vec<usize>,
     /// Network round-trip times in milliseconds.
     pub rtts_ms: Vec<u64>,
     /// Submission strategies: block windows the batch is spread over.
@@ -131,6 +134,10 @@ pub struct SweepGrid {
     pub transfer_counts: Vec<u64>,
     /// Relayer pipeline strategies (see [`RelayerStrategy`]).
     pub strategies: Vec<RelayerStrategy>,
+    /// WebSocket frame limits in bytes (`0` = Tendermint's 16 MiB default),
+    /// applied on top of the point's strategy — the §V deployment limit as
+    /// a sweepable axis.
+    pub frame_limits: Vec<u64>,
     /// Explicit seeds; empty means "one point with the base seed".
     pub seeds: Vec<u64>,
 }
@@ -142,10 +149,12 @@ impl SweepGrid {
             base,
             input_rates: Vec::new(),
             relayer_counts: Vec::new(),
+            channel_counts: Vec::new(),
             rtts_ms: Vec::new(),
             submission_blocks: Vec::new(),
             transfer_counts: Vec::new(),
             strategies: Vec::new(),
+            frame_limits: Vec::new(),
             seeds: Vec::new(),
         }
     }
@@ -159,6 +168,12 @@ impl SweepGrid {
     /// Sets the relayer-count axis.
     pub fn relayer_counts(mut self, counts: impl IntoIterator<Item = usize>) -> Self {
         self.relayer_counts = counts.into_iter().collect();
+        self
+    }
+
+    /// Sets the channel-count axis (concurrent channels per deployment).
+    pub fn channel_counts(mut self, counts: impl IntoIterator<Item = usize>) -> Self {
+        self.channel_counts = counts.into_iter().collect();
         self
     }
 
@@ -186,6 +201,14 @@ impl SweepGrid {
         self
     }
 
+    /// Sets the WebSocket frame-limit axis in bytes (`0` = the 16 MiB
+    /// default); combines with the strategy axis, the limit being applied on
+    /// top of each point's strategy.
+    pub fn frame_limits(mut self, limits: impl IntoIterator<Item = u64>) -> Self {
+        self.frame_limits = limits.into_iter().collect();
+        self
+    }
+
     /// Sets the seed axis.
     pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
         self.seeds = seeds.into_iter().collect();
@@ -205,10 +228,12 @@ impl SweepGrid {
         }
         axis(self.input_rates.len())
             * axis(self.relayer_counts.len())
+            * axis(self.channel_counts.len())
             * axis(self.rtts_ms.len())
             * axis(self.submission_blocks.len())
             * axis(self.transfer_counts.len())
             * axis(self.strategies.len())
+            * axis(self.frame_limits.len())
             * axis(self.seeds.len())
     }
 
@@ -232,42 +257,57 @@ impl SweepGrid {
         let mut specs = Vec::with_capacity(self.len());
         for rate in axis(&self.input_rates) {
             for relayers in axis(&self.relayer_counts) {
-                for rtt in axis(&self.rtts_ms) {
-                    for blocks in axis(&self.submission_blocks) {
-                        for transfers in axis(&self.transfer_counts) {
-                            for strategy in axis(&self.strategies) {
-                                for seed in axis(&self.seeds) {
-                                    let mut spec = self.base.clone();
-                                    let mut name = spec.name.clone();
-                                    if let Some(rate) = rate {
-                                        spec = spec.input_rate(rate);
-                                        name.push_str(&format!("/rate={rate}"));
+                for channels in axis(&self.channel_counts) {
+                    for rtt in axis(&self.rtts_ms) {
+                        for blocks in axis(&self.submission_blocks) {
+                            for transfers in axis(&self.transfer_counts) {
+                                for strategy in axis(&self.strategies) {
+                                    for frame_limit in axis(&self.frame_limits) {
+                                        for seed in axis(&self.seeds) {
+                                            let mut spec = self.base.clone();
+                                            let mut name = spec.name.clone();
+                                            if let Some(rate) = rate {
+                                                spec = spec.input_rate(rate);
+                                                name.push_str(&format!("/rate={rate}"));
+                                            }
+                                            if let Some(relayers) = relayers {
+                                                spec = spec.relayers(relayers);
+                                                name.push_str(&format!("/relayers={relayers}"));
+                                            }
+                                            if let Some(channels) = channels {
+                                                spec = spec.channels(channels);
+                                                name.push_str(&format!("/channels={channels}"));
+                                            }
+                                            if let Some(rtt) = rtt {
+                                                spec = spec.rtt_ms(rtt);
+                                                name.push_str(&format!("/rtt={rtt}"));
+                                            }
+                                            if let Some(transfers) = transfers {
+                                                spec = spec.transfers(transfers);
+                                                name.push_str(&format!("/transfers={transfers}"));
+                                            }
+                                            if let Some(blocks) = blocks {
+                                                spec = spec.submission_blocks(blocks);
+                                                name.push_str(&format!("/blocks={blocks}"));
+                                            }
+                                            if let Some(strategy) = strategy {
+                                                spec = spec.strategy(strategy);
+                                                name.push_str(&format!(
+                                                    "/strategy={}",
+                                                    strategy.label()
+                                                ));
+                                            }
+                                            if let Some(frame_limit) = frame_limit {
+                                                spec = spec.frame_limit(frame_limit);
+                                                name.push_str(&format!("/frame={frame_limit}"));
+                                            }
+                                            if let Some(seed) = seed {
+                                                spec = spec.seed(seed);
+                                                name.push_str(&format!("/seed={seed}"));
+                                            }
+                                            specs.push(spec.named(name));
+                                        }
                                     }
-                                    if let Some(relayers) = relayers {
-                                        spec = spec.relayers(relayers);
-                                        name.push_str(&format!("/relayers={relayers}"));
-                                    }
-                                    if let Some(rtt) = rtt {
-                                        spec = spec.rtt_ms(rtt);
-                                        name.push_str(&format!("/rtt={rtt}"));
-                                    }
-                                    if let Some(transfers) = transfers {
-                                        spec = spec.transfers(transfers);
-                                        name.push_str(&format!("/transfers={transfers}"));
-                                    }
-                                    if let Some(blocks) = blocks {
-                                        spec = spec.submission_blocks(blocks);
-                                        name.push_str(&format!("/blocks={blocks}"));
-                                    }
-                                    if let Some(strategy) = strategy {
-                                        spec = spec.strategy(strategy);
-                                        name.push_str(&format!("/strategy={}", strategy.label()));
-                                    }
-                                    if let Some(seed) = seed {
-                                        spec = spec.seed(seed);
-                                        name.push_str(&format!("/seed={seed}"));
-                                    }
-                                    specs.push(spec.named(name));
                                 }
                             }
                         }
@@ -351,6 +391,38 @@ mod tests {
         let grid = SweepGrid::new(base.clone());
         assert_eq!(grid.len(), 1);
         assert_eq!(grid.points(), vec![base]);
+    }
+
+    #[test]
+    fn channel_and_frame_axes_expand_like_any_other() {
+        let grid = SweepGrid::new(
+            ExperimentSpec::relayer_throughput()
+                .input_rate(20)
+                .measurement_blocks(3),
+        )
+        .channel_counts([1, 2])
+        .frame_limits([0, 1 << 20]);
+        assert_eq!(grid.len(), 4);
+        let points = grid.points();
+        assert_eq!(points[0].name, "relayer_throughput/channels=1/frame=0");
+        assert_eq!(
+            points[3].name,
+            "relayer_throughput/channels=2/frame=1048576"
+        );
+        assert_eq!(points[3].deployment.channel_count, 2);
+        assert_eq!(
+            points[3].deployment.relayer_strategy.ws_frame_limit_bytes,
+            1 << 20
+        );
+        // Frame limits compose with the strategy axis.
+        let composed = SweepGrid::new(ExperimentSpec::relayer_throughput())
+            .strategies([RelayerStrategy::batched_pulls()])
+            .frame_limits([4096])
+            .points();
+        assert_eq!(
+            composed[0].deployment.relayer_strategy,
+            RelayerStrategy::batched_pulls().frame_limit(4096)
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
-//! The Setup module: deploys two chains, opens the IBC channel between them
-//! and instantiates the relayers — the automated equivalent of the paper's
-//! testnet deployment scripts.
+//! The Setup module: deploys two chains, opens the configured number of IBC
+//! channels between them and instantiates the relayers — the automated
+//! equivalent of the paper's testnet deployment scripts.
 
 use xcc_chain::chain::{Chain, SharedChain};
 use xcc_chain::genesis::GenesisConfig;
@@ -16,17 +16,20 @@ use xcc_tendermint::params::{ConsensusParams, ConsensusTimingModel};
 
 use crate::config::DeploymentConfig;
 
-/// A fully deployed cross-chain testnet: two chains, an open transfer
-/// channel, and the configured number of relayer instances.
+/// A fully deployed cross-chain testnet: two chains, one or more open
+/// transfer channels, and the configured number of relayer instances.
 pub struct Testnet {
     /// The source chain (transfers originate here).
     pub chain_a: SharedChain,
     /// The destination chain.
     pub chain_b: SharedChain,
-    /// The relayer instances serving the channel.
+    /// The relayer instances serving the channels.
     pub relayers: Vec<Relayer>,
-    /// The relay path (port, channels, clients).
+    /// The primary relay path (channel 0) — the only one in the paper's
+    /// single-channel deployments.
     pub path: RelayPath,
+    /// Every open relay path, in channel order (`paths[0] == path`).
+    pub paths: Vec<RelayPath>,
     /// The deployment configuration used.
     pub deployment: DeploymentConfig,
     /// The experiment's root random stream.
@@ -53,9 +56,9 @@ impl Testnet {
     ///
     /// Both chains produce their first (empty) block, light clients of each
     /// other are created from those headers, and the connection and channel
-    /// handshakes are executed so that the transfer channel is `Open` on both
-    /// ends before the benchmark starts — the work the paper's Setup module
-    /// automates.
+    /// handshakes are executed so that `deployment.channel_count` transfer
+    /// channels are `Open` on both ends before the benchmark starts — the
+    /// work the paper's Setup module automates.
     pub fn build(deployment: &DeploymentConfig) -> Self {
         let rng = DetRng::new(deployment.seed);
 
@@ -94,7 +97,8 @@ impl Testnet {
         chain_a.borrow_mut().produce_block(SimTime::ZERO);
         chain_b.borrow_mut().produce_block(SimTime::ZERO);
 
-        let path = open_channel(&chain_a, &chain_b);
+        let paths = open_channels(&chain_a, &chain_b, deployment.channel_count.max(1));
+        let path = paths[0].clone();
 
         let mut relayers = Vec::with_capacity(deployment.relayer_count);
         for r in 0..deployment.relayer_count {
@@ -107,7 +111,13 @@ impl Testnet {
             };
             let src_rpc = make_rpc(&chain_a, deployment, &rng, &format!("relayer-{r}-src"));
             let dst_rpc = make_rpc(&chain_b, deployment, &rng, &format!("relayer-{r}-dst"));
-            relayers.push(Relayer::new(r, config, path.clone(), src_rpc, dst_rpc));
+            relayers.push(Relayer::with_paths(
+                r,
+                config,
+                paths.clone(),
+                src_rpc,
+                dst_rpc,
+            ));
         }
 
         Testnet {
@@ -115,15 +125,28 @@ impl Testnet {
             chain_b,
             relayers,
             path,
+            paths,
             deployment: deployment.clone(),
             rng,
         }
     }
 }
 
-/// Creates the clients, connection and unordered transfer channel between two
-/// freshly started chains, returning the relay path.
+/// Creates the clients, connection and a single unordered transfer channel
+/// between two freshly started chains, returning the relay path — the
+/// paper's deployment.
 pub fn open_channel(chain_a: &SharedChain, chain_b: &SharedChain) -> RelayPath {
+    open_channels(chain_a, chain_b, 1).remove(0)
+}
+
+/// Creates the clients, one connection, and `count` unordered transfer
+/// channels between two freshly started chains, returning one relay path per
+/// channel in channel-index order.
+///
+/// All channels share the same client pair and connection — as on production
+/// Cosmos hubs, where one connection carries many channels — so per-channel
+/// work differs only in the channel ends themselves.
+pub fn open_channels(chain_a: &SharedChain, chain_b: &SharedChain, count: usize) -> Vec<RelayPath> {
     let header_a = chain_a
         .borrow()
         .block_at(1)
@@ -164,28 +187,32 @@ pub fn open_channel(chain_a: &SharedChain, chain_b: &SharedChain) -> RelayPath {
         .conn_open_confirm(&conn_b)
         .expect("connection in TryOpen");
 
-    // ICS-04: unordered transfer channel, as in the paper's deployment.
+    // ICS-04: unordered transfer channels, as in the paper's deployment
+    // (which opens exactly one).
     let port = PortId::transfer();
-    let (chan_a, _) = ibc_a
-        .chan_open_init(&port, &conn_a, &port, Order::Unordered)
-        .expect("connection open on chain A");
-    let (chan_b, _) = ibc_b
-        .chan_open_try(&port, &conn_b, &port, &chan_a, Order::Unordered)
-        .expect("connection open on chain B");
-    ibc_a
-        .chan_open_ack(&port, &chan_a, &chan_b)
-        .expect("channel in Init");
-    ibc_b
-        .chan_open_confirm(&port, &chan_b)
-        .expect("channel in TryOpen");
-
-    RelayPath {
-        port,
-        src_channel: chan_a,
-        dst_channel: chan_b,
-        client_on_dst: client_on_b,
-        client_on_src: client_on_a,
+    let mut paths = Vec::with_capacity(count.max(1));
+    for _ in 0..count.max(1) {
+        let (chan_a, _) = ibc_a
+            .chan_open_init(&port, &conn_a, &port, Order::Unordered)
+            .expect("connection open on chain A");
+        let (chan_b, _) = ibc_b
+            .chan_open_try(&port, &conn_b, &port, &chan_a, Order::Unordered)
+            .expect("connection open on chain B");
+        ibc_a
+            .chan_open_ack(&port, &chan_a, &chan_b)
+            .expect("channel in Init");
+        ibc_b
+            .chan_open_confirm(&port, &chan_b)
+            .expect("channel in TryOpen");
+        paths.push(RelayPath {
+            port: port.clone(),
+            src_channel: chan_a,
+            dst_channel: chan_b,
+            client_on_dst: client_on_b.clone(),
+            client_on_src: client_on_a.clone(),
+        });
     }
+    paths
 }
 
 #[cfg(test)]
@@ -217,9 +244,46 @@ mod tests {
             .unwrap()
             .is_open());
         assert_eq!(testnet.relayers.len(), 2);
+        assert_eq!(testnet.paths.len(), 1);
+        assert_eq!(testnet.paths[0], testnet.path);
         // Relayer accounts are funded on both chains.
         assert!(a.app().bank().balance(&"relayer-0".into(), "uatom") > 0);
         assert!(b.app().bank().balance(&"relayer-1".into(), "uatom") > 0);
+    }
+
+    #[test]
+    fn build_opens_every_configured_channel() {
+        let deployment = DeploymentConfig {
+            relayer_count: 1,
+            channel_count: 3,
+            user_accounts: 2,
+            ..DeploymentConfig::default()
+        };
+        let testnet = Testnet::build(&deployment);
+        assert_eq!(testnet.paths.len(), 3);
+        let a = testnet.chain_a.borrow();
+        let b = testnet.chain_b.borrow();
+        for (i, path) in testnet.paths.iter().enumerate() {
+            assert_eq!(path.src_channel.index(), Some(i as u64));
+            assert!(a
+                .app()
+                .ibc()
+                .channel(&path.port, &path.src_channel)
+                .unwrap()
+                .is_open());
+            assert!(b
+                .app()
+                .ibc()
+                .channel(&path.port, &path.dst_channel)
+                .unwrap()
+                .is_open());
+            // One connection, one client pair, shared by every channel.
+            assert_eq!(path.client_on_dst, testnet.paths[0].client_on_dst);
+            assert_eq!(path.client_on_src, testnet.paths[0].client_on_src);
+        }
+        assert_eq!(a.app().ibc().channels_on_port(&testnet.path.port).len(), 3);
+        // Every relayer serves every channel.
+        assert_eq!(testnet.relayers[0].paths().len(), 3);
     }
 
     #[test]

@@ -4,6 +4,11 @@
 //! the way the paper's tool does: through the relayer CLI path, batching 100
 //! `MsgTransfer` messages per transaction, using one account per transaction
 //! within a block window to work around the per-account sequence limitation.
+//!
+//! In multi-channel deployments each transaction targets one channel, picked
+//! by the deterministic (weighted) round-robin pattern of
+//! [`WorkloadConfig::channel_pattern`] — uniform rotation by default, or a
+//! skewed load for the `channel_contention` scenario.
 
 use std::collections::BTreeMap;
 
@@ -28,6 +33,8 @@ pub struct SubmissionRecord {
     pub broadcast_at: SimTime,
     /// Number of transfer messages inside.
     pub transfers: usize,
+    /// Index of the channel the transaction's transfers target.
+    pub channel: usize,
     /// Whether `broadcast_tx_sync` accepted it into the mempool.
     pub accepted: bool,
     /// The error message when the broadcast was rejected.
@@ -49,7 +56,11 @@ pub struct SubmissionStats {
 /// The workload generator bound to the relayer CLI / source-chain RPC.
 pub struct WorkloadConnector {
     config: WorkloadConfig,
-    path: RelayPath,
+    paths: Vec<RelayPath>,
+    /// The channel-targeting pattern: transaction `i` targets
+    /// `pattern[i % pattern.len()]`.
+    channel_pattern: Vec<usize>,
+    next_tx: usize,
     rpc: RpcEndpoint,
     users: Vec<AccountId>,
     next_user: usize,
@@ -66,19 +77,43 @@ pub struct WorkloadConnector {
 }
 
 impl WorkloadConnector {
-    /// Creates a workload connector submitting through `rpc` (a full node of
-    /// the source chain).
+    /// Creates a workload connector for a single-channel deployment (the
+    /// paper's testbed), submitting through `rpc` (a full node of the source
+    /// chain).
     pub fn new(
         config: WorkloadConfig,
         path: RelayPath,
         rpc: RpcEndpoint,
         user_count: usize,
     ) -> Self {
+        Self::with_paths(config, vec![path], rpc, user_count)
+    }
+
+    /// Creates a workload connector targeting `paths` (one per open
+    /// channel, in channel order) according to the config's channel pattern.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `paths` is empty — the workload needs at least one
+    /// channel to target.
+    pub fn with_paths(
+        config: WorkloadConfig,
+        paths: Vec<RelayPath>,
+        rpc: RpcEndpoint,
+        user_count: usize,
+    ) -> Self {
+        assert!(
+            !paths.is_empty(),
+            "the workload targets at least one channel"
+        );
         let fee_denom = rpc.chain().borrow().app().fee_denom().to_string();
+        let channel_pattern = config.channel_pattern(paths.len());
         WorkloadConnector {
             remaining: config.total_transfers,
             config,
-            path,
+            paths,
+            channel_pattern,
+            next_tx: 0,
             rpc,
             users: (0..user_count.max(1))
                 .map(|i| AccountId::new(format!("user-{i}")))
@@ -131,6 +166,9 @@ impl WorkloadConnector {
 
             let user = self.users[self.next_user % self.users.len()].clone();
             self.next_user += 1;
+            let channel = self.channel_pattern[self.next_tx % self.channel_pattern.len()];
+            self.next_tx += 1;
+            let path = &self.paths[channel];
 
             // The CLI queries the account's committed sequence before signing,
             // exactly like `hermes tx ft-transfer`. A transaction still waiting
@@ -148,8 +186,8 @@ impl WorkloadConnector {
             let msgs: Vec<Msg> = (0..batch)
                 .map(|_| {
                     Msg::IbcTransfer(TransferParams {
-                        source_port: self.path.port.clone(),
-                        source_channel: self.path.src_channel.clone(),
+                        source_port: path.port.clone(),
+                        source_channel: path.src_channel.clone(),
                         denom: self.fee_denom.clone(),
                         amount: 1,
                         sender: user.to_string(),
@@ -173,6 +211,7 @@ impl WorkloadConnector {
                         tx_hash,
                         broadcast_at: t,
                         transfers: batch,
+                        channel,
                         accepted: true,
                         error: None,
                     });
@@ -183,6 +222,7 @@ impl WorkloadConnector {
                         tx_hash,
                         broadcast_at: t,
                         transfers: batch,
+                        channel,
                         accepted: false,
                         error: Some(err.to_string()),
                     });
@@ -251,6 +291,31 @@ mod tests {
         let error = workload.records()[1].error.as_ref().unwrap();
         assert!(error.contains("account sequence mismatch"), "{error}");
         drop(testnet);
+    }
+
+    #[test]
+    fn weighted_pattern_targets_channels_deterministically() {
+        let deployment = DeploymentConfig {
+            user_accounts: 8,
+            relayer_count: 1,
+            channel_count: 2,
+            network_rtt_ms: 0,
+            ..DeploymentConfig::default()
+        };
+        let testnet = Testnet::build(&deployment);
+        let rpc = make_rpc(&testnet.chain_a, &deployment, &testnet.rng, "workload");
+        let config = WorkloadConfig {
+            total_transfers: 600,
+            submission_blocks: 1,
+            channel_weights: vec![2, 1],
+            ..WorkloadConfig::default()
+        };
+        let mut workload = WorkloadConnector::with_paths(config, testnet.paths.clone(), rpc, 8);
+        workload.submit_window(SimTime::from_secs(5), 1);
+        // Six transactions, pattern [0, 0, 1] → channels 0,0,1,0,0,1.
+        let channels: Vec<usize> = workload.records().iter().map(|r| r.channel).collect();
+        assert_eq!(channels, vec![0, 0, 1, 0, 0, 1]);
+        assert_eq!(workload.stats().submitted, 600);
     }
 
     #[test]

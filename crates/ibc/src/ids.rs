@@ -40,6 +40,14 @@ macro_rules! identifier {
             pub fn as_str(&self) -> &str {
                 &self.0
             }
+
+            /// The counter of a canonical `prefix-N` identifier, if this is
+            /// one (e.g. `channel-3` → `Some(3)`).
+            pub fn index(&self) -> Option<u64> {
+                self.0
+                    .rsplit_once('-')
+                    .and_then(|(_, tail)| tail.parse().ok())
+            }
         }
 
         impl fmt::Display for $name {
@@ -188,5 +196,13 @@ mod tests {
         let b = ChannelId::with_index(1);
         assert!(a < b);
         assert_eq!(a.to_string(), "channel-0");
+    }
+
+    #[test]
+    fn canonical_identifiers_expose_their_index() {
+        assert_eq!(ChannelId::with_index(7).index(), Some(7));
+        assert_eq!(ClientId::with_index(0).index(), Some(0));
+        assert_eq!(PortId::transfer().index(), None);
+        assert_eq!(ChannelId::new("mychannel").index(), None);
     }
 }

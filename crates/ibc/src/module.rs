@@ -55,6 +55,25 @@ pub struct TransferParams {
     pub timeout_timestamp: SimTime,
 }
 
+/// Per-channel packet bookkeeping totals, as seen by one chain.
+///
+/// With several channels open on one port (the multi-channel deployments of
+/// the `multi_channel_scaling` / `channel_contention` scenarios), each
+/// channel keeps fully independent sequence, commitment and acknowledgement
+/// state; this summary exposes the per-channel counters the analysis layer
+/// aggregates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelPacketStats {
+    /// Packets sent on this channel end.
+    pub sent: u64,
+    /// Sent packets whose commitment is still outstanding (neither
+    /// acknowledged nor timed out).
+    pub outstanding: u64,
+    /// Acknowledgements written on this channel end (the receiving side of
+    /// the packet flow).
+    pub acks_written: u64,
+}
+
 /// The IBC module state hosted by one chain.
 #[derive(Debug, Clone)]
 pub struct IbcModule {
@@ -875,6 +894,43 @@ impl IbcModule {
             .filter(|(p, c, _)| p == port && c == channel)
             .map(|(_, _, s)| *s)
             .collect()
+    }
+
+    /// All channel ends bound to `port`, in channel-index order (canonical
+    /// `channel-N` identifiers sort numerically, so this matches the
+    /// testnet's relay-path order even past `channel-9`; non-canonical
+    /// identifiers sort lexicographically after them).
+    pub fn channels_on_port(&self, port: &PortId) -> Vec<ChannelId> {
+        let mut channels: Vec<ChannelId> = self
+            .channels
+            .keys()
+            .filter(|(p, _)| p == port)
+            .map(|(_, c)| c.clone())
+            .collect();
+        channels.sort_by(|a, b| match (a.index(), b.index()) {
+            (Some(x), Some(y)) => x.cmp(&y),
+            (Some(_), None) => std::cmp::Ordering::Less,
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (None, None) => a.cmp(b),
+        });
+        channels
+    }
+
+    /// Per-channel packet bookkeeping totals for one channel end (see
+    /// [`ChannelPacketStats`]).
+    pub fn channel_packet_stats(&self, port: &PortId, channel: &ChannelId) -> ChannelPacketStats {
+        let sent = self.sent_sequences(port, channel);
+        let outstanding = self.unacknowledged_packets(port, channel, &sent).len() as u64;
+        let acks_written = self
+            .acks
+            .keys()
+            .filter(|(p, c, _)| p == port && c == channel)
+            .count() as u64;
+        ChannelPacketStats {
+            sent: sent.len() as u64,
+            outstanding,
+            acks_written,
+        }
     }
 
     // ------------------------------------------------------------------

@@ -29,13 +29,10 @@ pub struct RelayerConfig {
     /// slightly different event arrival and scheduling of independent relayer
     /// processes.
     pub per_instance_stagger: SimDuration,
-    /// Every how many source blocks the relayer performs a packet-clear scan
-    /// for packets it may have missed (0 disables clearing, as in the
-    /// paper's WebSocket-limit experiment).
-    pub clear_interval_blocks: u64,
     /// The pipeline strategy this instance runs (event source, data fetcher,
-    /// submission policy, coordination). The default reproduces the paper's
-    /// Hermes pipeline.
+    /// submission policy, coordination, channel policy, and the
+    /// frame-limit / packet-clear-interval deployment knobs). The default
+    /// reproduces the paper's Hermes pipeline.
     pub strategy: RelayerStrategy,
     /// How many relayer instances serve the channel in total — the divisor
     /// the coordination policy partitions work by.
@@ -51,7 +48,6 @@ impl Default for RelayerConfig {
             build_cost_per_msg: SimDuration::from_micros(1_500),
             event_processing_overhead: SimDuration::from_millis(10),
             per_instance_stagger: SimDuration::from_millis(35),
-            clear_interval_blocks: 0,
             strategy: RelayerStrategy::default(),
             instances: 1,
         }
@@ -73,7 +69,9 @@ mod tests {
     fn defaults_match_hermes_limits() {
         let cfg = RelayerConfig::default();
         assert_eq!(cfg.max_msgs_per_tx, 100);
-        assert_eq!(cfg.clear_interval_blocks, 0);
+        // The packet-clear interval lives on the strategy; the paper's
+        // deployment disables it.
+        assert_eq!(cfg.strategy.packet_clear_interval, 0);
     }
 
     #[test]

@@ -20,13 +20,27 @@
 //! * the [`SubmissionPolicy`](crate::stages::SubmissionPolicy) decides when
 //!   pending packets are relayed (eager vs windowed vs adaptive);
 //! * the [`CoordinationPolicy`](crate::stages::CoordinationPolicy) divides
-//!   work between instances (none vs partition vs leases).
+//!   work between instances (none vs partition vs leases);
+//! * the [`ChannelScheduler`](crate::stages::ChannelScheduler) divides one
+//!   instance's attention between the channels it serves (fair-share vs
+//!   priority vs dedicated-relayer-per-channel).
 //!
-//! With the default strategy the driver issues exactly the same RPC calls at
-//! exactly the same simulated instants as the paper's monolithic pipeline —
-//! `tests/relayer_strategies.rs` pins this against golden fixtures.
+//! Unlike the paper's testbed, a relayer serves a *list* of relay paths:
+//! per-channel packet and acknowledgement bookkeeping is keyed by the
+//! channel's index in that list, and each block's pending batches are
+//! flushed channel by channel in the scheduler's order on the shared packet
+//! worker. With a single channel and the default strategy the driver issues
+//! exactly the same RPC calls at exactly the same simulated instants as the
+//! paper's monolithic pipeline — `tests/relayer_strategies.rs` pins this
+//! against golden fixtures.
+//!
+//! When the strategy's `packet_clear_interval` is non-zero the driver also
+//! runs Hermes' packet-clear scan: every N blocks it checks chain state for
+//! committed-but-unrelayed packets (e.g. those stranded by an oversized
+//! WebSocket frame, §V) and relays them even though their events were never
+//! delivered.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 use xcc_chain::msg::Msg;
 use xcc_chain::tx::Tx;
@@ -34,9 +48,10 @@ use xcc_ibc::commitment::CommitmentProof;
 use xcc_ibc::events as ibc_events;
 use xcc_ibc::height::Height;
 use xcc_ibc::ids::{ChannelId, ClientId, PortId, Sequence};
-use xcc_ibc::packet::{Acknowledgement, Packet};
+use xcc_ibc::packet::Packet;
 use xcc_rpc::endpoint::{BroadcastError, RpcEndpoint};
 use xcc_sim::{SimDuration, SimTime};
+use xcc_tendermint::abci::Event;
 
 use crate::config::RelayerConfig;
 use crate::stages::Stages;
@@ -51,7 +66,7 @@ pub enum ChainRole {
     Destination,
 }
 
-/// The identifiers of the channel the relayer serves.
+/// The identifiers of one channel the relayer serves.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RelayPath {
     /// The port on both ends (`transfer` for ICS-20).
@@ -79,19 +94,21 @@ pub struct RelayerStats {
     /// (observed redundancy avoided before broadcast).
     pub packets_skipped_already_relayed: u64,
     /// Packets this instance observed but left to another instance under the
-    /// configured coordination policy.
+    /// configured coordination policy or channel scheduler.
     pub packets_left_to_peers: u64,
     /// Broadcast attempts that failed (sequence mismatches, full mempools…).
     pub broadcast_failures: u64,
     /// Blocks whose events could not be collected over the WebSocket.
     pub event_collection_failures: u64,
+    /// Packets relayed by the packet-clear scan instead of event delivery.
+    pub packets_cleared: u64,
 }
 
-/// A Hermes-like relayer serving one channel between two chains.
+/// A Hermes-like relayer serving one or more channels between two chains.
 pub struct Relayer {
     id: usize,
     config: RelayerConfig,
-    path: RelayPath,
+    paths: Vec<RelayPath>,
     stages: Stages,
     src_rpc: RpcEndpoint,
     dst_rpc: RpcEndpoint,
@@ -103,26 +120,56 @@ pub struct Relayer {
     worker_back_free: SimTime,
     telemetry: TelemetryLog,
     stats: RelayerStats,
-    /// Packets collected but not yet relayed, each with the source height
-    /// that committed it (the submission policy may hold them across source
-    /// blocks; data pulls are priced against the committing block).
-    pending_recv: Vec<(u64, Packet)>,
+    /// Packets collected but not yet relayed: `(channel index, committing
+    /// source height, packet)` in arrival order (the submission policy may
+    /// hold them across source blocks; data pulls are priced against the
+    /// committing block).
+    pending_recv: Vec<(usize, u64, Packet)>,
     /// Packets this relayer has seen sent but not yet observed as received,
-    /// kept for timeout detection.
-    pending_delivery: BTreeMap<u64, Packet>,
+    /// keyed by `(channel index, sequence)`, kept for timeout detection —
+    /// and, by the clear scan, as the receive path's in-flight set.
+    pending_delivery: BTreeMap<(usize, u64), Packet>,
+    /// Packets whose receive transaction this relayer has broadcast
+    /// successfully but not yet observed committed — the receive path's
+    /// in-flight set, so the clear scan never re-relays a packet that is
+    /// merely sitting in the destination chain's mempool (while packets
+    /// whose broadcast was rejected stay eligible for a future clear).
+    pending_recv_inflight: BTreeSet<(usize, u64)>,
+    /// Packets whose acknowledgement this relayer has broadcast successfully
+    /// but not yet observed committed — the acknowledgement path's in-flight
+    /// set, the clear scan's counterpart filter on the return path.
+    pending_ack: BTreeSet<(usize, u64)>,
 }
 
 impl Relayer {
-    /// Creates a relayer instance with its own RPC connections to both
-    /// chains' full nodes, building the pipeline stages from the strategy in
-    /// `config`.
+    /// Creates a relayer serving a single channel — the paper's deployment.
     pub fn new(
         id: usize,
         config: RelayerConfig,
         path: RelayPath,
+        src_rpc: RpcEndpoint,
+        dst_rpc: RpcEndpoint,
+    ) -> Self {
+        Self::with_paths(id, config, vec![path], src_rpc, dst_rpc)
+    }
+
+    /// Creates a relayer instance with its own RPC connections to both
+    /// chains' full nodes, serving `paths` (one entry per channel, in
+    /// deployment channel order), building the pipeline stages from the
+    /// strategy in `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `paths` is empty — a relayer must serve at least one
+    /// channel.
+    pub fn with_paths(
+        id: usize,
+        config: RelayerConfig,
+        paths: Vec<RelayPath>,
         mut src_rpc: RpcEndpoint,
         mut dst_rpc: RpcEndpoint,
     ) -> Self {
+        assert!(!paths.is_empty(), "a relayer serves at least one channel");
         let src_account_seq = src_rpc
             .account_sequence(SimTime::ZERO, &config.source_account)
             .value;
@@ -135,7 +182,7 @@ impl Relayer {
         Relayer {
             id,
             config,
-            path,
+            paths,
             stages,
             src_rpc,
             dst_rpc,
@@ -149,6 +196,8 @@ impl Relayer {
             stats: RelayerStats::default(),
             pending_recv: Vec::new(),
             pending_delivery: BTreeMap::new(),
+            pending_recv_inflight: BTreeSet::new(),
+            pending_ack: BTreeSet::new(),
         }
     }
 
@@ -157,9 +206,14 @@ impl Relayer {
         self.id
     }
 
-    /// The relay path served.
+    /// The primary relay path (channel 0).
     pub fn path(&self) -> &RelayPath {
-        &self.path
+        &self.paths[0]
+    }
+
+    /// Every relay path served, in deployment channel order.
+    pub fn paths(&self) -> &[RelayPath] {
+        &self.paths
     }
 
     /// The per-step telemetry collected so far.
@@ -204,50 +258,109 @@ impl Relayer {
         )
     }
 
+    /// Whether this instance serves the channel at `channel` at all under
+    /// the channel scheduler.
+    fn serves_channel(&self, channel: usize) -> bool {
+        self.stages
+            .scheduler
+            .serves(self.id, self.config.instances.max(1), channel)
+    }
+
+    /// The channels this instance flushes for the block at `height`, in
+    /// scheduler order, unserved channels filtered out.
+    fn served_flush_order(&self, height: u64) -> Vec<usize> {
+        self.stages
+            .scheduler
+            .flush_order(height, self.paths.len())
+            .into_iter()
+            .filter(|ch| self.serves_channel(*ch))
+            .collect()
+    }
+
+    /// The index of the served channel whose **source** end `event` belongs
+    /// to, if any.
+    fn src_channel_of(&self, event: &Event) -> Option<usize> {
+        self.paths
+            .iter()
+            .position(|p| ibc_events::is_for_channel(event, &p.port, &p.src_channel))
+    }
+
+    /// The index of the served channel whose **destination** end `event`
+    /// belongs to, if any.
+    fn dst_channel_of(&self, event: &Event) -> Option<usize> {
+        self.paths
+            .iter()
+            .position(|p| ibc_events::is_for_channel(event, &p.port, &p.dst_channel))
+    }
+
+    /// Whether the packet-clear scan runs at `height`.
+    fn clear_due(&self, height: u64) -> bool {
+        let interval = self.config.strategy.packet_clear_interval;
+        interval > 0 && height.is_multiple_of(interval)
+    }
+
     /// Handles a newly committed block on the **source** chain: extracts
     /// send-packet events, pulls packet data and proofs, and submits receive
     /// transactions to the destination chain. Also records acknowledgement
-    /// confirmations observed in the block.
+    /// confirmations observed in the block, and — when the strategy's clear
+    /// interval is due — scans chain state for packets whose events were
+    /// never delivered.
     pub fn on_source_block(&mut self, height: u64, commit_time: SimTime) {
         let delay = self.relayer_delay();
         let (event_time, collected) =
             self.stages
                 .src_events
                 .collect(&mut self.src_rpc, height, commit_time, delay);
-        let batch = match collected {
-            Ok(batch) => batch,
+        match collected {
+            Ok(batch) => self.process_source_events(height, commit_time, event_time, &batch),
             Err(message) => {
                 self.stats.event_collection_failures += 1;
                 self.telemetry.record_error(event_time, message);
-                return;
             }
-        };
+        }
+        if self.clear_due(height) {
+            self.clear_unrelayed_recvs(height, event_time);
+        }
+    }
 
+    fn process_source_events(
+        &mut self,
+        height: u64,
+        commit_time: SimTime,
+        event_time: SimTime,
+        batch: &crate::stages::BlockEventBatch,
+    ) {
         for (_hash, code, events) in &batch.tx_events {
             if *code != 0 {
                 continue;
             }
             for event in events {
-                if !ibc_events::is_for_channel(event, &self.path.port, &self.path.src_channel) {
+                let Some(channel) = self.src_channel_of(event) else {
                     continue;
-                }
+                };
                 match event.kind.as_str() {
                     ibc_events::SEND_PACKET => {
                         if let Some(packet) = ibc_events::packet_from_event(event) {
-                            self.telemetry.record(
+                            if !self.serves_channel(channel) {
+                                self.stats.packets_left_to_peers += 1;
+                                continue;
+                            }
+                            self.telemetry.record_on(
+                                channel as u64,
                                 packet.sequence,
                                 TransferStep::TransferMsgExtraction,
                                 event_time,
                             );
-                            self.telemetry.record(
+                            self.telemetry.record_on(
+                                channel as u64,
                                 packet.sequence,
                                 TransferStep::TransferConfirmation,
                                 event_time,
                             );
                             if self.assigned(height, packet.sequence) {
                                 self.pending_delivery
-                                    .insert(packet.sequence.value(), packet.clone());
-                                self.pending_recv.push((height, packet));
+                                    .insert((channel, packet.sequence.value()), packet.clone());
+                                self.pending_recv.push((channel, height, packet));
                             } else {
                                 self.stats.packets_left_to_peers += 1;
                             }
@@ -255,21 +368,36 @@ impl Relayer {
                     }
                     ibc_events::ACK_PACKET => {
                         if let Some(packet) = ibc_events::packet_from_event(event) {
-                            self.telemetry.record(
+                            if !self.serves_channel(channel) {
+                                continue;
+                            }
+                            self.telemetry.record_on(
+                                channel as u64,
                                 packet.sequence,
                                 TransferStep::AckMsgExtraction,
                                 commit_time,
                             );
-                            self.telemetry.record(
+                            self.telemetry.record_on(
+                                channel as u64,
                                 packet.sequence,
                                 TransferStep::AckConfirmation,
                                 commit_time,
                             );
+                            // The acknowledgement is committed: the packet's
+                            // life cycle is over on every in-flight set.
+                            self.pending_ack.remove(&(channel, packet.sequence.value()));
+                            self.pending_recv_inflight
+                                .remove(&(channel, packet.sequence.value()));
+                            self.pending_delivery
+                                .remove(&(channel, packet.sequence.value()));
                         }
                     }
                     ibc_events::TIMEOUT_PACKET => {
                         if let Some(packet) = ibc_events::packet_from_event(event) {
-                            self.pending_delivery.remove(&packet.sequence.value());
+                            self.pending_delivery
+                                .remove(&(channel, packet.sequence.value()));
+                            self.pending_recv_inflight
+                                .remove(&(channel, packet.sequence.value()));
                         }
                     }
                     _ => {}
@@ -287,8 +415,18 @@ impl Relayer {
         {
             return;
         }
-        let batch = std::mem::take(&mut self.pending_recv);
-        self.relay_recv_batch(event_time, batch);
+        let pending = std::mem::take(&mut self.pending_recv);
+        for channel in self.served_flush_order(height) {
+            let batch: Vec<(u64, Packet)> = pending
+                .iter()
+                .filter(|(ch, _, _)| *ch == channel)
+                .map(|(_, h, p)| (*h, p.clone()))
+                .collect();
+            if batch.is_empty() {
+                continue;
+            }
+            self.relay_recv_batch(channel, event_time, batch);
+        }
     }
 
     /// Handles a newly committed block on the **destination** chain: records
@@ -301,62 +439,90 @@ impl Relayer {
             self.stages
                 .dst_events
                 .collect(&mut self.dst_rpc, height, commit_time, delay);
-        let batch = match collected {
-            Ok(batch) => batch,
-            Err(message) => {
-                self.stats.event_collection_failures += 1;
-                self.telemetry.record_error(event_time, message);
-                return;
-            }
-        };
-
-        let mut acked_packets: Vec<(Packet, Acknowledgement)> = Vec::new();
-        for (_hash, code, events) in &batch.tx_events {
-            if *code != 0 {
-                continue;
-            }
-            for event in events {
-                if !ibc_events::is_for_channel(event, &self.path.port, &self.path.dst_channel) {
-                    continue;
-                }
-                if event.kind == ibc_events::WRITE_ACK {
-                    if let (Some(packet), Some(ack)) = (
-                        ibc_events::packet_from_event(event),
-                        ibc_events::ack_from_event(event),
-                    ) {
-                        self.telemetry.record(
-                            packet.sequence,
-                            TransferStep::RecvMsgExtraction,
-                            event_time,
-                        );
-                        self.telemetry.record(
-                            packet.sequence,
-                            TransferStep::RecvConfirmation,
-                            event_time,
-                        );
-                        self.pending_delivery.remove(&packet.sequence.value());
-                        // The packet was already counted towards
-                        // `packets_left_to_peers` on the source side if it
-                        // belongs to another instance; here the assignment
-                        // only routes the acknowledgement work.
-                        if self.assigned(height, packet.sequence) {
-                            acked_packets.push((packet, ack));
+        let mut acked_packets: Vec<(usize, Packet)> = Vec::new();
+        let mut events_delivered = true;
+        match collected {
+            Ok(batch) => {
+                for (_hash, code, events) in &batch.tx_events {
+                    if *code != 0 {
+                        continue;
+                    }
+                    for event in events {
+                        let Some(channel) = self.dst_channel_of(event) else {
+                            continue;
+                        };
+                        if event.kind != ibc_events::WRITE_ACK || !self.serves_channel(channel) {
+                            continue;
+                        }
+                        if let Some(packet) = ibc_events::packet_from_event(event) {
+                            self.telemetry.record_on(
+                                channel as u64,
+                                packet.sequence,
+                                TransferStep::RecvMsgExtraction,
+                                event_time,
+                            );
+                            self.telemetry.record_on(
+                                channel as u64,
+                                packet.sequence,
+                                TransferStep::RecvConfirmation,
+                                event_time,
+                            );
+                            self.pending_delivery
+                                .remove(&(channel, packet.sequence.value()));
+                            self.pending_recv_inflight
+                                .remove(&(channel, packet.sequence.value()));
+                            // The packet was already counted towards
+                            // `packets_left_to_peers` on the source side if it
+                            // belongs to another instance; here the assignment
+                            // only routes the acknowledgement work.
+                            if self.assigned(height, packet.sequence) {
+                                acked_packets.push((channel, packet));
+                            }
                         }
                     }
                 }
             }
+            Err(message) => {
+                self.stats.event_collection_failures += 1;
+                self.telemetry.record_error(event_time, message);
+                events_delivered = false;
+            }
         }
 
-        let dest_height = height;
-        let dest_time = commit_time;
-        if !acked_packets.is_empty() {
-            self.relay_ack_batch(dest_height, event_time, acked_packets);
+        // A failed event collection leaves the supervisor without a block to
+        // hand to the packet workers: neither acknowledgements nor timeouts
+        // are relayed for it, exactly like the pre-knob pipeline (§V's
+        // "neither relayed nor timed out"). Only the clear scan — which
+        // reads chain state, not events — still runs.
+        if events_delivered {
+            let dest_height = height;
+            let dest_time = commit_time;
+            for channel in self.served_flush_order(height) {
+                let batch: Vec<Packet> = acked_packets
+                    .iter()
+                    .filter(|(ch, _)| *ch == channel)
+                    .map(|(_, p)| p.clone())
+                    .collect();
+                if !batch.is_empty() {
+                    self.relay_ack_batch(channel, dest_height, event_time, batch);
+                }
+                self.relay_timeouts(channel, dest_height, dest_time, event_time);
+            }
         }
-        self.relay_timeouts(dest_height, dest_time, event_time);
+        if self.clear_due(height) {
+            self.clear_unrelayed_acks(height, event_time);
+        }
     }
 
-    /// Pulls data, builds and broadcasts `MsgRecvPacket` batches.
-    fn relay_recv_batch(&mut self, event_time: SimTime, packets: Vec<(u64, Packet)>) {
+    /// Filters out packets the destination already received, then pulls
+    /// data, builds and broadcasts `MsgRecvPacket` batches for one channel.
+    fn relay_recv_batch(
+        &mut self,
+        channel: usize,
+        event_time: SimTime,
+        packets: Vec<(u64, Packet)>,
+    ) {
+        let path = self.paths[channel].clone();
         let mut t = event_time.max(self.worker_out_free);
 
         // Skip packets the destination has already received (another relayer
@@ -364,12 +530,13 @@ impl Relayer {
         let sequences: Vec<Sequence> = packets.iter().map(|(_, p)| p.sequence).collect();
         let unreceived_resp =
             self.dst_rpc
-                .unreceived_packets(t, &self.path.port, &self.path.dst_channel, &sequences);
+                .unreceived_packets(t, &path.port, &path.dst_channel, &sequences);
         t = unreceived_resp.ready_at;
         let unreceived: HashSet<Sequence> = unreceived_resp.value.into_iter().collect();
-        let to_relay: Vec<&(u64, Packet)> = packets
+        let to_relay: Vec<(u64, Packet)> = packets
             .iter()
             .filter(|(_, p)| unreceived.contains(&p.sequence))
+            .cloned()
             .collect();
         let skipped = packets.len() - to_relay.len();
         if skipped > 0 {
@@ -383,6 +550,22 @@ impl Relayer {
             self.worker_out_free = t;
             return;
         }
+        self.deliver_recv_batch(channel, t, to_relay);
+    }
+
+    /// The shared delivery tail of the receive path: pulls packet data and
+    /// proofs, updates the destination-side client and broadcasts the
+    /// `MsgRecvPacket` chunks. `packets` must already be filtered to those
+    /// the destination has not received. Returns the number of packets whose
+    /// receive transaction was accepted into the destination mempool.
+    fn deliver_recv_batch(
+        &mut self,
+        channel: usize,
+        start: SimTime,
+        packets: Vec<(u64, Packet)>,
+    ) -> u64 {
+        let path = self.paths[channel].clone();
+        let mut t = start;
 
         // Data pull through the configured fetch strategy, one fetch per
         // origin block so every packet's pull is priced against the block
@@ -391,14 +574,14 @@ impl Relayer {
         let chunk_size = self.config.max_msgs_per_tx;
         let mut proofs: BTreeMap<u64, CommitmentProof> = BTreeMap::new();
         let mut group_start = 0usize;
-        while group_start < to_relay.len() {
-            let group_height = to_relay[group_start].0;
-            let group_end = to_relay[group_start..]
+        while group_start < packets.len() {
+            let group_height = packets[group_start].0;
+            let group_end = packets[group_start..]
                 .iter()
                 .position(|(h, _)| *h != group_height)
                 .map(|offset| group_start + offset)
-                .unwrap_or(to_relay.len());
-            let group_seqs: Vec<Sequence> = to_relay[group_start..group_end]
+                .unwrap_or(packets.len());
+            let group_seqs: Vec<Sequence> = packets[group_start..group_end]
                 .iter()
                 .map(|(_, p)| p.sequence)
                 .collect();
@@ -406,14 +589,14 @@ impl Relayer {
                 &mut self.src_rpc,
                 t,
                 group_height,
-                &self.path.port,
-                &self.path.src_channel,
+                &path.port,
+                &path.src_channel,
                 &group_seqs,
                 chunk_size,
             );
             for (seq, at) in &fetch.pull_times {
                 self.telemetry
-                    .record(*seq, TransferStep::TransferDataPull, *at);
+                    .record_on(channel as u64, *seq, TransferStep::TransferDataPull, *at);
             }
             t = fetch.done_at;
             proofs.extend(fetch.proofs);
@@ -425,31 +608,35 @@ impl Relayer {
         t = update_resp.ready_at;
         let Some(update) = update_resp.value else {
             self.worker_out_free = t;
-            return;
+            return 0;
         };
         let proof_height = Height::at(update.header.height);
 
         // The client update travels in its own transaction ahead of the
         // packet batches.
         let update_tx_msgs = vec![Msg::IbcUpdateClient {
-            client_id: self.path.client_on_dst.clone(),
+            client_id: path.client_on_dst.clone(),
             update: Box::new(update),
             signer: self.config.destination_account.clone(),
         }];
-        t = self.broadcast(ChainRole::Destination, t, update_tx_msgs, &[]);
+        (t, _) = self.broadcast(ChainRole::Destination, t, update_tx_msgs);
 
-        let to_relay_owned: Vec<Packet> = to_relay.into_iter().map(|(_, p)| p.clone()).collect();
-        for chunk in to_relay_owned.chunks(chunk_size) {
+        let mut delivered = 0u64;
+        for chunk in packets.chunks(chunk_size) {
             t += self.config.build_cost_per_msg * chunk.len() as u64;
             let mut msgs = Vec::with_capacity(chunk.len());
             let mut chunk_seqs = Vec::with_capacity(chunk.len());
-            for packet in chunk {
+            for (_, packet) in chunk {
                 let Some(proof) = proofs.get(&packet.sequence.value()) else {
                     continue;
                 };
                 chunk_seqs.push(packet.sequence);
-                self.telemetry
-                    .record(packet.sequence, TransferStep::RecvBuild, t);
+                self.telemetry.record_on(
+                    channel as u64,
+                    packet.sequence,
+                    TransferStep::RecvBuild,
+                    t,
+                );
                 msgs.push(Msg::IbcRecvPacket {
                     packet: packet.clone(),
                     proof_commitment: proof.clone(),
@@ -460,39 +647,51 @@ impl Relayer {
             if msgs.is_empty() {
                 continue;
             }
-            t = self.broadcast(ChainRole::Destination, t, msgs, &chunk_seqs);
+            let accepted;
+            (t, accepted) = self.broadcast(ChainRole::Destination, t, msgs);
             self.stats.recv_txs_submitted += 1;
             for seq in &chunk_seqs {
-                self.telemetry.record(*seq, TransferStep::RecvBroadcast, t);
+                self.telemetry
+                    .record_on(channel as u64, *seq, TransferStep::RecvBroadcast, t);
+                if accepted {
+                    // In flight: the clear scan must not re-relay it. A
+                    // rejected chunk stays eligible for a future clear.
+                    self.pending_recv_inflight.insert((channel, seq.value()));
+                }
+            }
+            if accepted {
+                delivered += chunk_seqs.len() as u64;
             }
         }
         self.worker_out_free = t;
+        delivered
     }
 
     /// Pulls acknowledgement data, builds and broadcasts `MsgAcknowledgement`
-    /// batches back to the source chain.
+    /// batches back to the source chain for one channel. Returns the number
+    /// of acknowledgements accepted into the source mempool.
     fn relay_ack_batch(
         &mut self,
+        channel: usize,
         dst_height: u64,
         event_time: SimTime,
-        acked: Vec<(Packet, Acknowledgement)>,
-    ) {
+        acked: Vec<Packet>,
+    ) -> u64 {
+        let path = self.paths[channel].clone();
         let mut t = event_time.max(self.worker_back_free);
 
         // Skip acknowledgements whose commitments are already cleared on the
         // source chain (another relayer acknowledged them first).
-        let sequences: Vec<Sequence> = acked.iter().map(|(p, _)| p.sequence).collect();
-        let unacked_resp = self.src_rpc.unacknowledged_packets(
-            t,
-            &self.path.port,
-            &self.path.src_channel,
-            &sequences,
-        );
+        let sequences: Vec<Sequence> = acked.iter().map(|p| p.sequence).collect();
+        let unacked_resp =
+            self.src_rpc
+                .unacknowledged_packets(t, &path.port, &path.src_channel, &sequences);
         t = unacked_resp.ready_at;
         let unacked: HashSet<Sequence> = unacked_resp.value.into_iter().collect();
-        let to_relay: Vec<&(Packet, Acknowledgement)> = acked
+        let to_relay: Vec<Packet> = acked
             .iter()
-            .filter(|(p, _)| unacked.contains(&p.sequence))
+            .filter(|p| unacked.contains(&p.sequence))
+            .cloned()
             .collect();
         let skipped = acked.len() - to_relay.len();
         if skipped > 0 {
@@ -504,24 +703,25 @@ impl Relayer {
         }
         if to_relay.is_empty() {
             self.worker_back_free = t;
-            return;
+            return 0;
         }
 
         // Acknowledgement data pull (the dominant cost in Fig. 12), through
         // the configured fetch strategy.
         let chunk_size = self.config.max_msgs_per_tx;
-        let relay_seqs: Vec<Sequence> = to_relay.iter().map(|(p, _)| p.sequence).collect();
+        let relay_seqs: Vec<Sequence> = to_relay.iter().map(|p| p.sequence).collect();
         let fetch = self.stages.fetcher.fetch_ack_data(
             &mut self.dst_rpc,
             t,
             dst_height,
-            &self.path.port,
-            &self.path.dst_channel,
+            &path.port,
+            &path.dst_channel,
             &relay_seqs,
             chunk_size,
         );
         for (seq, at) in &fetch.pull_times {
-            self.telemetry.record(*seq, TransferStep::RecvDataPull, *at);
+            self.telemetry
+                .record_on(channel as u64, *seq, TransferStep::RecvDataPull, *at);
         }
         t = fetch.done_at;
         let ack_proofs = fetch.acks;
@@ -530,29 +730,32 @@ impl Relayer {
         t = update_resp.ready_at;
         let Some(update) = update_resp.value else {
             self.worker_back_free = t;
-            return;
+            return 0;
         };
         let proof_height = Height::at(update.header.height);
         let update_msgs = vec![Msg::IbcUpdateClient {
-            client_id: self.path.client_on_src.clone(),
+            client_id: path.client_on_src.clone(),
             update: Box::new(update),
             signer: self.config.source_account.clone(),
         }];
-        t = self.broadcast(ChainRole::Source, t, update_msgs, &[]);
+        (t, _) = self.broadcast(ChainRole::Source, t, update_msgs);
 
-        let to_relay_owned: Vec<(Packet, Acknowledgement)> =
-            to_relay.into_iter().cloned().collect();
-        for chunk in to_relay_owned.chunks(chunk_size) {
+        let mut acked_submitted = 0u64;
+        for chunk in to_relay.chunks(chunk_size) {
             t += self.config.build_cost_per_msg * chunk.len() as u64;
             let mut msgs = Vec::with_capacity(chunk.len());
             let mut chunk_seqs = Vec::with_capacity(chunk.len());
-            for (packet, _) in chunk {
+            for packet in chunk {
                 let Some((ack, proof)) = ack_proofs.get(&packet.sequence.value()) else {
                     continue;
                 };
                 chunk_seqs.push(packet.sequence);
-                self.telemetry
-                    .record(packet.sequence, TransferStep::AckBuild, t);
+                self.telemetry.record_on(
+                    channel as u64,
+                    packet.sequence,
+                    TransferStep::AckBuild,
+                    t,
+                );
                 msgs.push(Msg::IbcAcknowledgement {
                     packet: packet.clone(),
                     acknowledgement: ack.clone(),
@@ -564,23 +767,43 @@ impl Relayer {
             if msgs.is_empty() {
                 continue;
             }
-            t = self.broadcast(ChainRole::Source, t, msgs, &chunk_seqs);
+            let accepted;
+            (t, accepted) = self.broadcast(ChainRole::Source, t, msgs);
             self.stats.ack_txs_submitted += 1;
             for seq in &chunk_seqs {
-                self.telemetry.record(*seq, TransferStep::AckBroadcast, t);
+                self.telemetry
+                    .record_on(channel as u64, *seq, TransferStep::AckBroadcast, t);
+                if accepted {
+                    // In flight: the clear scan must not re-acknowledge it.
+                    // A rejected chunk stays eligible for a future clear.
+                    self.pending_ack.insert((channel, seq.value()));
+                }
+            }
+            if accepted {
+                acked_submitted += chunk_seqs.len() as u64;
             }
         }
         self.worker_back_free = t;
+        acked_submitted
     }
 
-    /// Detects packets that expired before delivery and submits `MsgTimeout`
-    /// for them on the source chain.
-    fn relay_timeouts(&mut self, dest_height: u64, dest_time: SimTime, event_time: SimTime) {
+    /// Detects packets of one channel that expired before delivery and
+    /// submits `MsgTimeout` for them on the source chain.
+    fn relay_timeouts(
+        &mut self,
+        channel: usize,
+        dest_height: u64,
+        dest_time: SimTime,
+        event_time: SimTime,
+    ) {
+        let path = self.paths[channel].clone();
         let expired: Vec<Packet> = self
             .pending_delivery
-            .values()
-            .filter(|p| p.has_timed_out(Height::at(dest_height), dest_time))
-            .cloned()
+            .iter()
+            .filter(|((ch, _), p)| {
+                *ch == channel && p.has_timed_out(Height::at(dest_height), dest_time)
+            })
+            .map(|(_, p)| p.clone())
             .collect();
         if expired.is_empty() {
             return;
@@ -589,16 +812,14 @@ impl Relayer {
         let mut msgs = Vec::new();
         let mut seqs = Vec::new();
         for packet in expired.iter().take(self.config.max_msgs_per_tx) {
-            let proof_resp = self.dst_rpc.non_receipt_proof(
-                t,
-                &self.path.port,
-                &self.path.dst_channel,
-                packet.sequence,
-            );
+            let proof_resp =
+                self.dst_rpc
+                    .non_receipt_proof(t, &path.port, &path.dst_channel, packet.sequence);
             t = proof_resp.ready_at;
             let Some(proof) = proof_resp.value else {
                 // Already received on the destination: not a timeout.
-                self.pending_delivery.remove(&packet.sequence.value());
+                self.pending_delivery
+                    .remove(&(channel, packet.sequence.value()));
                 continue;
             };
             msgs.push(Msg::IbcTimeout {
@@ -619,30 +840,153 @@ impl Relayer {
         t = update_resp.ready_at;
         if let Some(update) = update_resp.value {
             let update_msgs = vec![Msg::IbcUpdateClient {
-                client_id: self.path.client_on_src.clone(),
+                client_id: path.client_on_src.clone(),
                 update: Box::new(update),
                 signer: self.config.source_account.clone(),
             }];
-            t = self.broadcast(ChainRole::Source, t, update_msgs, &[]);
+            (t, _) = self.broadcast(ChainRole::Source, t, update_msgs);
         }
-        t = self.broadcast(ChainRole::Source, t, msgs, &seqs);
+        (t, _) = self.broadcast(ChainRole::Source, t, msgs);
         self.stats.timeout_txs_submitted += 1;
         for seq in seqs {
-            self.pending_delivery.remove(&seq.value());
+            self.pending_delivery.remove(&(channel, seq.value()));
         }
         self.worker_back_free = t;
     }
 
+    /// The receive half of Hermes' packet-clear scan: for every served
+    /// channel, finds packets that are committed on the source chain, still
+    /// outstanding, assigned to this instance and unknown to the pending
+    /// queue — i.e. packets whose send events were never delivered (§V) —
+    /// and relays them from chain state.
+    fn clear_unrelayed_recvs(&mut self, src_height: u64, start: SimTime) {
+        for channel in self.served_flush_order(src_height) {
+            let path = self.paths[channel].clone();
+            // Chain-state scan: still-committed (unacknowledged, not timed
+            // out) packets on the source end. The relayer co-hosts a full
+            // node, so the scan itself is local; the cross-node queries
+            // below pay RPC cost as usual.
+            let candidates: Vec<Sequence> = {
+                let chain = self.src_rpc.chain().borrow();
+                let ibc = chain.app().ibc();
+                let sent = ibc.sent_sequences(&path.port, &path.src_channel);
+                ibc.unacknowledged_packets(&path.port, &path.src_channel, &sent)
+            }
+            .into_iter()
+            .filter(|seq| self.assigned(src_height, *seq))
+            // Skip packets already in this instance's hands: queued for a
+            // later flush, or successfully broadcast and awaiting
+            // commitment. Packets whose send events were never observed and
+            // packets whose receive broadcast was rejected — the genuinely
+            // stranded ones — survive this filter.
+            .filter(|seq| {
+                !self.pending_recv_inflight.contains(&(channel, seq.value()))
+                    && !self
+                        .pending_recv
+                        .iter()
+                        .any(|(ch, _, p)| *ch == channel && p.sequence == *seq)
+            })
+            .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            // Which of those has the destination not received yet?
+            let t = start.max(self.worker_out_free);
+            let unreceived_resp =
+                self.dst_rpc
+                    .unreceived_packets(t, &path.port, &path.dst_channel, &candidates);
+            let t = unreceived_resp.ready_at;
+            let to_clear: Vec<(u64, Packet)> = {
+                let chain = self.src_rpc.chain().borrow();
+                let ibc = chain.app().ibc();
+                unreceived_resp
+                    .value
+                    .iter()
+                    .filter_map(|seq| ibc.sent_packet(&path.port, &path.src_channel, *seq))
+                    .map(|p| (src_height, p.clone()))
+                    .collect()
+            };
+            if to_clear.is_empty() {
+                self.worker_out_free = t;
+                continue;
+            }
+            self.telemetry.record_error(
+                t,
+                format!(
+                    "clearing {} pending packets on {}",
+                    to_clear.len(),
+                    path.src_channel
+                ),
+            );
+            for (_, packet) in &to_clear {
+                self.pending_delivery
+                    .insert((channel, packet.sequence.value()), packet.clone());
+            }
+            // Count only what actually entered the destination mempool.
+            self.stats.packets_cleared += self.deliver_recv_batch(channel, t, to_clear);
+        }
+    }
+
+    /// The acknowledgement half of the packet-clear scan: packets received
+    /// on the destination whose acknowledgements never made it back (e.g.
+    /// because the write-ack events were lost to the frame limit) are
+    /// re-acknowledged from chain state.
+    fn clear_unrelayed_acks(&mut self, dst_height: u64, start: SimTime) {
+        for channel in self.served_flush_order(dst_height) {
+            let path = self.paths[channel].clone();
+            let candidates: Vec<Packet> = {
+                let chain = self.src_rpc.chain().borrow();
+                let ibc = chain.app().ibc();
+                let sent = ibc.sent_sequences(&path.port, &path.src_channel);
+                ibc.unacknowledged_packets(&path.port, &path.src_channel, &sent)
+                    .into_iter()
+                    .filter(|seq| self.assigned(dst_height, *seq))
+                    // Skip acknowledgements this instance has already
+                    // broadcast and is waiting to see committed.
+                    .filter(|seq| !self.pending_ack.contains(&(channel, seq.value())))
+                    .filter_map(|seq| ibc.sent_packet(&path.port, &path.src_channel, seq).cloned())
+                    .collect()
+            };
+            if candidates.is_empty() {
+                continue;
+            }
+            // Only packets the destination has already received can carry an
+            // acknowledgement; the rest belong to the receive-side clear.
+            // Received-status lives on the destination node, so the scan pays
+            // for the cross-node query like every other destination lookup.
+            let mut t = start.max(self.worker_back_free);
+            let candidate_seqs: Vec<Sequence> = candidates.iter().map(|p| p.sequence).collect();
+            let unreceived_resp =
+                self.dst_rpc
+                    .unreceived_packets(t, &path.port, &path.dst_channel, &candidate_seqs);
+            t = unreceived_resp.ready_at;
+            let unreceived: HashSet<Sequence> = unreceived_resp.value.into_iter().collect();
+            let received: Vec<Packet> = candidates
+                .into_iter()
+                .filter(|p| !unreceived.contains(&p.sequence))
+                .collect();
+            if received.is_empty() {
+                self.worker_back_free = t;
+                continue;
+            }
+            self.telemetry.record_error(
+                t,
+                format!(
+                    "clearing {} pending acknowledgements on {}",
+                    received.len(),
+                    path.dst_channel
+                ),
+            );
+            // Count only what actually entered the source mempool.
+            self.stats.packets_cleared += self.relay_ack_batch(channel, dst_height, t, received);
+        }
+    }
+
     /// Builds, signs and broadcasts a transaction to one of the chains,
     /// handling account-sequence mismatches by re-syncing and retrying once.
-    /// Returns the time at which the broadcast response was received.
-    fn broadcast(
-        &mut self,
-        to: ChainRole,
-        at: SimTime,
-        msgs: Vec<Msg>,
-        _seqs: &[Sequence],
-    ) -> SimTime {
+    /// Returns the time at which the broadcast response was received and
+    /// whether the transaction (or its retry) was accepted into the mempool.
+    fn broadcast(&mut self, to: ChainRole, at: SimTime, msgs: Vec<Msg>) -> (SimTime, bool) {
         let (account, fee_denom, seq) = match to {
             ChainRole::Source => (
                 self.config.source_account.clone(),
@@ -662,11 +1006,15 @@ impl Relayer {
         };
         let resp = rpc.broadcast_tx_sync(at, &tx);
         let mut ready = resp.ready_at;
+        let mut accepted = false;
         match resp.value {
-            Ok(_) => match to {
-                ChainRole::Source => self.src_account_seq += 1,
-                ChainRole::Destination => self.dst_account_seq += 1,
-            },
+            Ok(_) => {
+                accepted = true;
+                match to {
+                    ChainRole::Source => self.src_account_seq += 1,
+                    ChainRole::Destination => self.dst_account_seq += 1,
+                }
+            }
             Err(BroadcastError::CheckTxFailed { log, .. })
                 if log.contains("account sequence mismatch") =>
             {
@@ -680,10 +1028,13 @@ impl Relayer {
                 let retry = rpc.broadcast_tx_sync(ready, &retry_tx);
                 ready = retry.ready_at;
                 match retry.value {
-                    Ok(_) => match to {
-                        ChainRole::Source => self.src_account_seq = new_seq + 1,
-                        ChainRole::Destination => self.dst_account_seq = new_seq + 1,
-                    },
+                    Ok(_) => {
+                        accepted = true;
+                        match to {
+                            ChainRole::Source => self.src_account_seq = new_seq + 1,
+                            ChainRole::Destination => self.dst_account_seq = new_seq + 1,
+                        }
+                    }
                     Err(err) => {
                         self.stats.broadcast_failures += 1;
                         self.telemetry.record_error(ready, err.to_string());
@@ -695,7 +1046,7 @@ impl Relayer {
                 self.telemetry.record_error(ready, err.to_string());
             }
         }
-        ready
+        (ready, accepted)
     }
 }
 
@@ -703,6 +1054,7 @@ impl std::fmt::Debug for Relayer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Relayer")
             .field("id", &self.id)
+            .field("channels", &self.paths.len())
             .field("stages", &self.stages)
             .field("packets_tracked", &self.telemetry.len())
             .field("stats", &self.stats)

@@ -35,7 +35,8 @@ use xcc_rpc::websocket::WebSocketSubscription;
 use xcc_sim::{SimDuration, SimTime};
 
 use crate::strategy::{
-    CoordinationMode, EventSourceKind, FetchStrategy, RelayerStrategy, SubmissionMode,
+    ChannelPolicy, CoordinationMode, EventSourceKind, FetchStrategy, RelayerStrategy,
+    SubmissionMode,
 };
 
 pub use xcc_rpc::websocket::BlockEventBatch;
@@ -50,6 +51,12 @@ pub use xcc_rpc::websocket::BlockEventBatch;
 /// plus the per-instance stagger); implementations add their own transport
 /// delay and return the simulated instant the batch reaches the packet
 /// worker.
+///
+/// The `websocket_limit` and `frame_limit_sweep` registry scenarios exercise
+/// this stage's failure mode — the configured frame limit comes from
+/// [`RelayerStrategy::frame_limit`],
+/// and [`RelayerStrategy::polling_events`]
+/// swaps in the limit-free polling implementation.
 ///
 /// ```rust
 /// use xcc_chain::chain::Chain;
@@ -195,6 +202,12 @@ pub struct FetchedAcks {
 
 /// Pulls packet data and proofs out of a chain's RPC endpoint — the stage
 /// the paper measures as ~69% of completion latency (Fig. 12).
+///
+/// The `fig8_batched_pulls` and `fig12_parallel_fetch` registry scenarios
+/// exercise the non-default fetchers, built from
+/// [`RelayerStrategy::batched_pulls`]
+/// and
+/// [`RelayerStrategy::parallel_fetch`].
 ///
 /// ```rust
 /// use xcc_chain::chain::Chain;
@@ -486,6 +499,10 @@ impl DataFetcher for BatchedFetcher {
 /// Decides, once per source block with pending packets, whether the pending
 /// receive batch is relayed now or held for a larger batch.
 ///
+/// The `fig13_adaptive_submission` registry scenario exercises the
+/// non-default policy, built from
+/// [`RelayerStrategy::adaptive_submission`].
+///
 /// ```rust
 /// use xcc_relayer::stages::{SubmissionPolicy, WindowedSubmission};
 ///
@@ -591,6 +608,12 @@ impl SubmissionPolicy for AdaptiveSubmission {
 
 /// Divides the channel's packets between relayer instances.
 ///
+/// The `fig11_coordinated` registry scenario exercises the non-default
+/// policies, built from
+/// [`RelayerStrategy::coordinated`]
+/// and
+/// [`RelayerStrategy::leader_lease`].
+///
 /// ```rust
 /// use xcc_ibc::ids::Sequence;
 /// use xcc_relayer::stages::{CoordinationPolicy, SequencePartitionCoordination};
@@ -675,6 +698,105 @@ impl CoordinationPolicy for LeaderLeaseCoordination {
 }
 
 // ---------------------------------------------------------------------------
+// Channel scheduler
+// ---------------------------------------------------------------------------
+
+/// Divides a relayer instance's attention between the channels of a
+/// multi-channel deployment: which channels this instance serves at all, and
+/// in which order their pending batches are flushed on the shared packet
+/// worker.
+///
+/// Built from the [`ChannelPolicy`] arm of
+/// [`RelayerStrategy`]; the
+/// `multi_channel_scaling` and `channel_contention` registry scenarios
+/// exercise the non-default policies (see
+/// [`RelayerStrategy::with_channel_policy`]).
+///
+/// ```rust
+/// use xcc_relayer::stages::{ChannelScheduler, DedicatedScheduler, FairShareScheduler};
+///
+/// // Fair share rotates the flush order with the block height...
+/// let fair = FairShareScheduler;
+/// assert_eq!(fair.flush_order(10, 3), vec![1, 2, 0]);
+/// // ...while a dedicated deployment pins channel 2 to instance 0 of 2.
+/// let dedicated = DedicatedScheduler;
+/// assert!(dedicated.serves(0, 2, 2));
+/// assert!(!dedicated.serves(1, 2, 2));
+/// ```
+pub trait ChannelScheduler {
+    /// Whether instance `relayer_id` of `relayer_count` serves the channel
+    /// at `channel_index` at all.
+    fn serves(&self, relayer_id: usize, relayer_count: usize, channel_index: usize) -> bool;
+
+    /// The order in which this instance flushes the deployment's
+    /// `channel_count` channels for the block at `height` (unserved channels
+    /// are filtered by the caller via [`serves`](ChannelScheduler::serves)).
+    fn flush_order(&self, height: u64, channel_count: usize) -> Vec<usize>;
+
+    /// A short name for reports and debugging.
+    fn kind(&self) -> &'static str;
+}
+
+/// Every instance serves every channel; the flush order rotates with the
+/// block height so no channel is systematically relayed last.
+#[derive(Debug, Default)]
+pub struct FairShareScheduler;
+
+impl ChannelScheduler for FairShareScheduler {
+    fn serves(&self, _id: usize, _count: usize, _channel: usize) -> bool {
+        true
+    }
+
+    fn flush_order(&self, height: u64, channel_count: usize) -> Vec<usize> {
+        let n = channel_count.max(1);
+        let start = (height % n as u64) as usize;
+        (0..n).map(|i| (start + i) % n).collect()
+    }
+
+    fn kind(&self) -> &'static str {
+        "fair-share"
+    }
+}
+
+/// Every instance serves every channel in fixed index order: channel 0's
+/// batch always goes out first, lower-priority channels queue behind it.
+#[derive(Debug, Default)]
+pub struct PriorityScheduler;
+
+impl ChannelScheduler for PriorityScheduler {
+    fn serves(&self, _id: usize, _count: usize, _channel: usize) -> bool {
+        true
+    }
+
+    fn flush_order(&self, _height: u64, channel_count: usize) -> Vec<usize> {
+        (0..channel_count.max(1)).collect()
+    }
+
+    fn kind(&self) -> &'static str {
+        "priority"
+    }
+}
+
+/// One relayer instance per channel: instance `channel_index %
+/// relayer_count` serves the channel, every other instance ignores it.
+#[derive(Debug, Default)]
+pub struct DedicatedScheduler;
+
+impl ChannelScheduler for DedicatedScheduler {
+    fn serves(&self, id: usize, count: usize, channel: usize) -> bool {
+        count <= 1 || channel % count == id
+    }
+
+    fn flush_order(&self, _height: u64, channel_count: usize) -> Vec<usize> {
+        (0..channel_count.max(1)).collect()
+    }
+
+    fn kind(&self) -> &'static str {
+        "dedicated"
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Stage bundle
 // ---------------------------------------------------------------------------
 
@@ -691,6 +813,8 @@ pub struct Stages {
     pub submission: Box<dyn SubmissionPolicy>,
     /// Work division between instances.
     pub coordination: Box<dyn CoordinationPolicy>,
+    /// Channel scheduling across a multi-channel deployment.
+    pub scheduler: Box<dyn ChannelScheduler>,
 }
 
 impl std::fmt::Debug for Stages {
@@ -701,6 +825,7 @@ impl std::fmt::Debug for Stages {
             .field("fetcher", &self.fetcher.kind())
             .field("submission", &self.submission.kind())
             .field("coordination", &self.coordination.kind())
+            .field("scheduler", &self.scheduler.kind())
             .finish()
     }
 }
@@ -708,7 +833,10 @@ impl std::fmt::Debug for Stages {
 impl RelayerStrategy {
     fn event_source(&self) -> Box<dyn EventSource> {
         match self.event_source {
-            EventSourceKind::WebSocket => Box::new(WebSocketEventSource::default()),
+            EventSourceKind::WebSocket => match self.ws_frame_limit_bytes {
+                0 => Box::new(WebSocketEventSource::default()),
+                limit => Box::new(WebSocketEventSource::with_frame_limit(limit as usize)),
+            },
             EventSourceKind::Polling => Box::new(PollingEventSource),
         }
     }
@@ -734,12 +862,18 @@ impl RelayerStrategy {
                 Box::new(LeaderLeaseCoordination::new(lease_blocks))
             }
         };
+        let scheduler: Box<dyn ChannelScheduler> = match self.channel_policy {
+            ChannelPolicy::FairShare => Box::new(FairShareScheduler),
+            ChannelPolicy::Priority => Box::new(PriorityScheduler),
+            ChannelPolicy::Dedicated => Box::new(DedicatedScheduler),
+        };
         Stages {
             src_events: self.event_source(),
             dst_events: self.event_source(),
             fetcher,
             submission,
             coordination,
+            scheduler,
         }
     }
 }
@@ -755,19 +889,105 @@ mod tests {
         assert_eq!(default.fetcher.kind(), "sequential");
         assert_eq!(default.submission.kind(), "eager");
         assert_eq!(default.coordination.kind(), "none");
+        assert_eq!(default.scheduler.kind(), "fair-share");
 
         let tuned = RelayerStrategy {
             event_source: crate::strategy::EventSourceKind::Polling,
             fetcher: FetchStrategy::Parallel,
             submission: SubmissionMode::Windowed { blocks: 3 },
             coordination: CoordinationMode::LeaderLease { lease_blocks: 5 },
+            channel_policy: ChannelPolicy::Dedicated,
+            ..RelayerStrategy::default()
         }
         .build();
         assert_eq!(tuned.src_events.kind(), "polling");
         assert_eq!(tuned.fetcher.kind(), "parallel");
         assert_eq!(tuned.submission.kind(), "windowed");
         assert_eq!(tuned.coordination.kind(), "leader-lease");
+        assert_eq!(tuned.scheduler.kind(), "dedicated");
         assert!(format!("{tuned:?}").contains("parallel"));
+    }
+
+    #[test]
+    fn schedulers_rotate_prioritize_and_dedicate() {
+        let fair = FairShareScheduler;
+        assert_eq!(fair.flush_order(0, 3), vec![0, 1, 2]);
+        assert_eq!(fair.flush_order(1, 3), vec![1, 2, 0]);
+        assert_eq!(fair.flush_order(5, 3), vec![2, 0, 1]);
+        assert!(fair.serves(1, 2, 0));
+
+        let priority = PriorityScheduler;
+        for height in [0u64, 3, 17] {
+            assert_eq!(priority.flush_order(height, 3), vec![0, 1, 2]);
+        }
+        assert!(priority.serves(1, 2, 0));
+
+        let dedicated = DedicatedScheduler;
+        // Exactly one of N instances owns each channel.
+        for channel in 0..4usize {
+            let owners = (0..2)
+                .filter(|id| dedicated.serves(*id, 2, channel))
+                .count();
+            assert_eq!(owners, 1);
+        }
+        // Single-instance deployments serve everything.
+        assert!(dedicated.serves(0, 1, 3));
+        // Single-channel deployments reduce every policy to the same plan.
+        for scheduler in [&fair as &dyn ChannelScheduler, &priority, &dedicated] {
+            assert_eq!(scheduler.flush_order(9, 1), vec![0]);
+        }
+    }
+
+    #[test]
+    fn frame_limit_knob_configures_the_event_source() {
+        let mut rpc = {
+            use xcc_chain::chain::Chain;
+            use xcc_chain::coin::Coin;
+            use xcc_chain::genesis::GenesisConfig;
+            use xcc_chain::msg::Msg;
+            use xcc_chain::tx::Tx;
+            use xcc_rpc::cost::RpcCostModel;
+            use xcc_sim::{DetRng, LatencyModel};
+            let chain = Chain::new(GenesisConfig::new("chain-a").with_funded_accounts(
+                "user",
+                2,
+                100_000_000,
+            ))
+            .into_shared();
+            {
+                let mut c = chain.borrow_mut();
+                let tx = Tx::new(
+                    "user-0".into(),
+                    0,
+                    vec![Msg::BankSend {
+                        from: "user-0".into(),
+                        to: "user-1".into(),
+                        amount: Coin::new("uatom", 1),
+                    }],
+                    "uatom",
+                );
+                c.submit_tx(&tx, SimTime::ZERO).unwrap();
+                c.produce_block(SimTime::from_secs(5));
+            }
+            RpcEndpoint::new(
+                chain,
+                RpcCostModel::default(),
+                LatencyModel::Zero,
+                DetRng::new(1),
+            )
+        };
+        // A one-byte limit must fail collection where the default succeeds.
+        let mut tiny = RelayerStrategy::default().frame_limit(1).build();
+        let (_, result) =
+            tiny.src_events
+                .collect(&mut rpc, 1, SimTime::from_secs(5), SimDuration::ZERO);
+        assert!(result.unwrap_err().contains("Failed to collect events"));
+        let mut default = RelayerStrategy::default().build();
+        let (_, result) =
+            default
+                .src_events
+                .collect(&mut rpc, 1, SimTime::from_secs(5), SimDuration::ZERO);
+        assert!(result.is_ok());
     }
 
     #[test]

@@ -29,7 +29,7 @@
 //! assert_eq!(strategy.label(), "batched");
 //! ```
 
-use serde::{Deserialize, Serialize};
+use serde::{de_field, de_field_or_default, Deserialize, Error, Serialize, Value};
 
 /// How a relayer learns about newly committed blocks.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
@@ -99,13 +99,39 @@ pub enum CoordinationMode {
     },
 }
 
-/// The full, serializable strategy: one choice per pipeline stage.
+/// How one relayer instance divides its attention between the channels of a
+/// multi-channel deployment (the per-channel scheduling layer).
+///
+/// With a single channel every policy behaves identically; the policies only
+/// diverge when `DeploymentConfig::channel_count > 1` (the
+/// `multi_channel_scaling` and `channel_contention` registry scenarios).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ChannelPolicy {
+    /// Every instance serves every channel, rotating which channel's batch
+    /// is relayed first each block so no channel is systematically starved.
+    #[default]
+    FairShare,
+    /// Every instance serves every channel in fixed channel-index order:
+    /// channel 0's batch always goes out first, lower-priority channels wait
+    /// behind it on the shared packet worker.
+    Priority,
+    /// Each channel is served only by the instance whose index equals
+    /// `channel_index % relayer_count` — a dedicated relayer process per
+    /// channel, with no redundant work between instances.
+    Dedicated,
+}
+
+/// The full, serializable strategy: one choice per pipeline stage, the
+/// channel scheduling policy, and the deployment-limit knobs.
 ///
 /// `RelayerStrategy::default()` reproduces the paper's Hermes-like pipeline
 /// bit for bit; the named constructors build the counterfactual strategies
 /// the registry's `*_batched_pulls` / `*_parallel_fetch` / `*_coordinated` /
-/// `*_adaptive_submission` scenarios probe.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+/// `*_adaptive_submission` scenarios probe, and the
+/// [`frame_limit`](RelayerStrategy::frame_limit) /
+/// [`packet_clearing`](RelayerStrategy::packet_clearing) knobs turn the §V
+/// deployment limits into sweepable configuration (`frame_limit_sweep`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RelayerStrategy {
     /// Block event delivery.
     pub event_source: EventSourceKind,
@@ -115,6 +141,59 @@ pub struct RelayerStrategy {
     pub submission: SubmissionMode,
     /// Work division between relayer instances.
     pub coordination: CoordinationMode,
+    /// Channel scheduling across a multi-channel deployment.
+    pub channel_policy: ChannelPolicy,
+    /// Maximum WebSocket frame size in bytes for the event subscription;
+    /// `0` means Tendermint's 16 MiB default. Only meaningful with the
+    /// [`EventSourceKind::WebSocket`] event source.
+    pub ws_frame_limit_bytes: u64,
+    /// Every how many source blocks the relayer scans chain state for
+    /// committed-but-unrelayed packets and clears them (Hermes'
+    /// `clear_interval`); `0` disables clearing, as in the paper's
+    /// deployment. Clearing is what rescues transfers stranded by an
+    /// oversized WebSocket frame.
+    pub packet_clear_interval: u64,
+}
+
+// Hand-written serde impls (instead of the derive) so that strategy JSON
+// written before the channel-policy / deployment-limit knobs existed — the
+// golden fixtures included — still parses: missing fields fall back to the
+// paper-default behaviour.
+impl Serialize for RelayerStrategy {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("event_source".into(), self.event_source.to_value()),
+            ("fetcher".into(), self.fetcher.to_value()),
+            ("submission".into(), self.submission.to_value()),
+            ("coordination".into(), self.coordination.to_value()),
+            ("channel_policy".into(), self.channel_policy.to_value()),
+            (
+                "ws_frame_limit_bytes".into(),
+                self.ws_frame_limit_bytes.to_value(),
+            ),
+            (
+                "packet_clear_interval".into(),
+                self.packet_clear_interval.to_value(),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for RelayerStrategy {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| Error::custom("expected object for RelayerStrategy"))?;
+        Ok(RelayerStrategy {
+            event_source: de_field(map, "event_source")?,
+            fetcher: de_field(map, "fetcher")?,
+            submission: de_field(map, "submission")?,
+            coordination: de_field(map, "coordination")?,
+            channel_policy: de_field_or_default(map, "channel_policy")?,
+            ws_frame_limit_bytes: de_field_or_default(map, "ws_frame_limit_bytes")?,
+            packet_clear_interval: de_field_or_default(map, "packet_clear_interval")?,
+        })
+    }
 }
 
 impl RelayerStrategy {
@@ -177,27 +256,62 @@ impl RelayerStrategy {
         }
     }
 
+    /// The paper pipeline with the given channel scheduling policy (only
+    /// meaningful in multi-channel deployments).
+    pub fn with_channel_policy(policy: ChannelPolicy) -> Self {
+        RelayerStrategy {
+            channel_policy: policy,
+            ..RelayerStrategy::default()
+        }
+    }
+
+    /// Returns this strategy with the WebSocket frame limit set to `bytes`
+    /// (`0` restores Tendermint's 16 MiB default). This is the §V deployment
+    /// limit as a sweepable knob — see the `frame_limit_sweep` scenario.
+    pub fn frame_limit(mut self, bytes: u64) -> Self {
+        self.ws_frame_limit_bytes = bytes;
+        self
+    }
+
+    /// Returns this strategy with a packet-clear scan every `blocks` source
+    /// blocks (`0` disables clearing, the paper's deployment).
+    pub fn packet_clearing(mut self, blocks: u64) -> Self {
+        self.packet_clear_interval = blocks;
+        self
+    }
+
     /// A short label for sweep-point names and report rows: the non-default
     /// stage choices joined by `+`, or `"default"`.
     pub fn label(&self) -> String {
-        let mut parts: Vec<&str> = Vec::new();
+        let mut parts: Vec<String> = Vec::new();
         if self.event_source == EventSourceKind::Polling {
-            parts.push("polling");
+            parts.push("polling".to_string());
         }
         match self.fetcher {
             FetchStrategy::Sequential => {}
-            FetchStrategy::Batched => parts.push("batched"),
-            FetchStrategy::Parallel => parts.push("parallel"),
+            FetchStrategy::Batched => parts.push("batched".to_string()),
+            FetchStrategy::Parallel => parts.push("parallel".to_string()),
         }
         match self.submission {
             SubmissionMode::Eager => {}
-            SubmissionMode::Windowed { .. } => parts.push("windowed"),
-            SubmissionMode::Adaptive { .. } => parts.push("adaptive"),
+            SubmissionMode::Windowed { .. } => parts.push("windowed".to_string()),
+            SubmissionMode::Adaptive { .. } => parts.push("adaptive".to_string()),
         }
         match self.coordination {
             CoordinationMode::None => {}
-            CoordinationMode::SequencePartition => parts.push("partitioned"),
-            CoordinationMode::LeaderLease { .. } => parts.push("leased"),
+            CoordinationMode::SequencePartition => parts.push("partitioned".to_string()),
+            CoordinationMode::LeaderLease { .. } => parts.push("leased".to_string()),
+        }
+        match self.channel_policy {
+            ChannelPolicy::FairShare => {}
+            ChannelPolicy::Priority => parts.push("priority".to_string()),
+            ChannelPolicy::Dedicated => parts.push("dedicated".to_string()),
+        }
+        if self.ws_frame_limit_bytes != 0 {
+            parts.push(format!("frame{}", self.ws_frame_limit_bytes));
+        }
+        if self.packet_clear_interval != 0 {
+            parts.push(format!("clear{}", self.packet_clear_interval));
         }
         if parts.is_empty() {
             "default".to_string()
@@ -259,8 +373,20 @@ mod tests {
             fetcher: FetchStrategy::Batched,
             submission: SubmissionMode::Windowed { blocks: 2 },
             coordination: CoordinationMode::SequencePartition,
+            ..RelayerStrategy::default()
         };
         assert_eq!(s.label(), "polling+batched+windowed+partitioned");
+        assert_eq!(
+            RelayerStrategy::with_channel_policy(ChannelPolicy::Dedicated).label(),
+            "dedicated"
+        );
+        assert_eq!(
+            RelayerStrategy::default()
+                .frame_limit(1 << 20)
+                .packet_clearing(5)
+                .label(),
+            "frame1048576+clear5"
+        );
     }
 
     #[test]
@@ -273,9 +399,31 @@ mod tests {
             RelayerStrategy::leader_lease(8),
             RelayerStrategy::adaptive_submission(4),
             RelayerStrategy::polling_events(),
+            RelayerStrategy::with_channel_policy(ChannelPolicy::Priority),
+            RelayerStrategy::default()
+                .frame_limit(4 << 20)
+                .packet_clearing(3),
         ] {
             let back = RelayerStrategy::from_value(&s.to_value()).unwrap();
             assert_eq!(back, s);
         }
+    }
+
+    #[test]
+    fn pre_knob_strategy_json_still_parses_with_default_knobs() {
+        // Strategy JSON written before the channel-policy / frame-limit /
+        // clear-interval fields existed (the golden fixtures) must parse to
+        // the paper-default knobs.
+        let legacy = Value::Map(vec![
+            ("event_source".into(), Value::Str("WebSocket".into())),
+            ("fetcher".into(), Value::Str("Sequential".into())),
+            ("submission".into(), Value::Str("Eager".into())),
+            ("coordination".into(), Value::Str("None".into())),
+        ]);
+        let parsed = RelayerStrategy::from_value(&legacy).unwrap();
+        assert_eq!(parsed, RelayerStrategy::default());
+        assert_eq!(parsed.channel_policy, ChannelPolicy::FairShare);
+        assert_eq!(parsed.ws_frame_limit_bytes, 0);
+        assert_eq!(parsed.packet_clear_interval, 0);
     }
 }

@@ -102,9 +102,17 @@ pub struct RelayerError {
 }
 
 /// The per-packet step log of one relayer instance.
+///
+/// Packets are keyed by `(channel index, sequence)`: packet sequences are
+/// scoped to one channel end, so in multi-channel deployments two distinct
+/// packets legitimately share a sequence number and only the pair is unique.
+/// The sequence-only methods ([`record`](TelemetryLog::record),
+/// [`step_time`](TelemetryLog::step_time)) address channel 0 — the primary
+/// channel, and the only one in every single-channel experiment — while the
+/// `*_on` variants take an explicit channel index.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TelemetryLog {
-    steps: BTreeMap<u64, BTreeMap<TransferStep, SimTime>>,
+    steps: BTreeMap<u64, BTreeMap<u64, BTreeMap<TransferStep, SimTime>>>,
     errors: Vec<RelayerError>,
 }
 
@@ -114,10 +122,27 @@ impl TelemetryLog {
         Self::default()
     }
 
-    /// Records that `step` completed for packet `sequence` at `time`.
-    /// The earliest recorded time wins if a step is recorded twice.
+    /// Records that `step` completed for packet `sequence` of channel 0 at
+    /// `time`. The earliest recorded time wins if a step is recorded twice.
     pub fn record(&mut self, sequence: Sequence, step: TransferStep, time: SimTime) {
-        let entry = self.steps.entry(sequence.value()).or_default();
+        self.record_on(0, sequence, step, time);
+    }
+
+    /// Records that `step` completed for packet `sequence` of the channel at
+    /// index `channel` at `time`; the earliest recorded time wins.
+    pub fn record_on(
+        &mut self,
+        channel: u64,
+        sequence: Sequence,
+        step: TransferStep,
+        time: SimTime,
+    ) {
+        let entry = self
+            .steps
+            .entry(channel)
+            .or_default()
+            .entry(sequence.value())
+            .or_default();
         entry
             .entry(step)
             .and_modify(|t| {
@@ -149,52 +174,110 @@ impl TelemetryLog {
             .count()
     }
 
-    /// The time at which `step` completed for `sequence`, if recorded.
+    /// The time at which `step` completed for `sequence` on channel 0.
     pub fn step_time(&self, sequence: Sequence, step: TransferStep) -> Option<SimTime> {
+        self.step_time_on(0, sequence, step)
+    }
+
+    /// The time at which `step` completed for `sequence` on the channel at
+    /// index `channel`, if recorded.
+    pub fn step_time_on(
+        &self,
+        channel: u64,
+        sequence: Sequence,
+        step: TransferStep,
+    ) -> Option<SimTime> {
         self.steps
-            .get(&sequence.value())
+            .get(&channel)
+            .and_then(|chan| chan.get(&sequence.value()))
             .and_then(|m| m.get(&step))
             .copied()
     }
 
-    /// All completion times recorded for `step`, one per packet, unordered.
+    /// All completion times recorded for `step` across every channel, one
+    /// per packet, unordered.
     pub fn times_for_step(&self, step: TransferStep) -> Vec<SimTime> {
         self.steps
             .values()
+            .flat_map(|chan| chan.values())
             .filter_map(|m| m.get(&step))
             .copied()
             .collect()
     }
 
-    /// Number of packets that completed `step`.
+    /// All completion times recorded for `step` on one channel.
+    pub fn times_for_step_on(&self, channel: u64, step: TransferStep) -> Vec<SimTime> {
+        self.steps
+            .get(&channel)
+            .into_iter()
+            .flat_map(|chan| chan.values())
+            .filter_map(|m| m.get(&step))
+            .copied()
+            .collect()
+    }
+
+    /// Number of packets (across every channel) that completed `step`.
     pub fn count_for_step(&self, step: TransferStep) -> usize {
         self.steps
             .values()
+            .flat_map(|chan| chan.values())
             .filter(|m| m.contains_key(&step))
             .count()
     }
 
-    /// Sequences tracked by this log.
-    pub fn sequences(&self) -> Vec<Sequence> {
-        self.steps.keys().copied().map(Sequence::from).collect()
+    /// Number of packets on one channel that completed `step`.
+    pub fn count_for_step_on(&self, channel: u64, step: TransferStep) -> usize {
+        self.steps
+            .get(&channel)
+            .map(|chan| chan.values().filter(|m| m.contains_key(&step)).count())
+            .unwrap_or(0)
     }
 
-    /// Number of packets tracked.
+    /// The channel indexes with at least one tracked packet.
+    pub fn channels(&self) -> Vec<u64> {
+        self.steps.keys().copied().collect()
+    }
+
+    /// Every tracked packet as a `(channel index, sequence)` pair.
+    pub fn packets(&self) -> Vec<(u64, Sequence)> {
+        self.steps
+            .iter()
+            .flat_map(|(channel, chan)| {
+                chan.keys().map(move |seq| (*channel, Sequence::from(*seq)))
+            })
+            .collect()
+    }
+
+    /// Sequences tracked by this log, one entry per packet. In multi-channel
+    /// deployments the same sequence value can appear once per channel; use
+    /// [`packets`](TelemetryLog::packets) when the channel matters.
+    pub fn sequences(&self) -> Vec<Sequence> {
+        self.steps
+            .values()
+            .flat_map(|chan| chan.keys())
+            .copied()
+            .map(Sequence::from)
+            .collect()
+    }
+
+    /// Number of packets tracked across every channel.
     pub fn len(&self) -> usize {
-        self.steps.len()
+        self.steps.values().map(|chan| chan.len()).sum()
     }
 
     /// `true` when no packets were tracked.
     pub fn is_empty(&self) -> bool {
-        self.steps.is_empty()
+        self.len() == 0
     }
 
     /// Merges another log into this one (used when aggregating the telemetry
     /// of several relayer instances); per step, the earliest time wins.
     pub fn merge(&mut self, other: &TelemetryLog) {
-        for (seq, steps) in &other.steps {
-            for (step, time) in steps {
-                self.record(Sequence::from(*seq), *step, *time);
+        for (channel, chan) in &other.steps {
+            for (seq, steps) in chan {
+                for (step, time) in steps {
+                    self.record_on(*channel, Sequence::from(*seq), *step, *time);
+                }
             }
         }
         self.errors.extend(other.errors.iter().cloned());
@@ -290,5 +373,32 @@ mod tests {
         );
         assert_eq!(a.len(), 2);
         assert_eq!(a.errors().len(), 1);
+    }
+
+    #[test]
+    fn channels_keep_independent_sequence_spaces() {
+        let mut log = TelemetryLog::new();
+        let seq = Sequence::from(1);
+        log.record_on(0, seq, TransferStep::RecvBroadcast, SimTime::from_secs(1));
+        log.record_on(1, seq, TransferStep::RecvBroadcast, SimTime::from_secs(2));
+        // Same sequence on two channels: two distinct packets.
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.channels(), vec![0, 1]);
+        assert_eq!(log.packets(), vec![(0, seq), (1, seq)]);
+        assert_eq!(
+            log.step_time_on(1, seq, TransferStep::RecvBroadcast),
+            Some(SimTime::from_secs(2))
+        );
+        // Channel-agnostic views aggregate; `step_time` addresses channel 0.
+        assert_eq!(log.count_for_step(TransferStep::RecvBroadcast), 2);
+        assert_eq!(log.count_for_step_on(1, TransferStep::RecvBroadcast), 1);
+        assert_eq!(
+            log.times_for_step_on(0, TransferStep::RecvBroadcast).len(),
+            1
+        );
+        assert_eq!(
+            log.step_time(seq, TransferStep::RecvBroadcast),
+            Some(SimTime::from_secs(1))
+        );
     }
 }

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Checks that every scenario named in the README / PAPER.md scenario tables
+# exists in the registry (`figure --list` output), so the docs can never
+# drift ahead of — or behind — the code.
+#
+# A "scenario table row" is any markdown table row whose first column is a
+# single backticked name: `| `name` | ... |`. Rows whose first column is
+# anything else (crate paths, strategy arms, …) are ignored.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+listing=$(cargo run --release -p xcc-bench --bin figure -- --list)
+echo "$listing"
+
+fail=0
+for doc in README.md PAPER.md; do
+    # First-column backticked names of table rows, e.g. "| `fig8` | ...".
+    names=$(sed -n 's/^| *`\([a-z0-9_]*\)` *|.*/\1/p' "$doc" | sort -u)
+    for name in $names; do
+        if ! echo "$listing" | awk '{print $1}' | grep -qx "$name"; then
+            echo "ERROR: $doc names scenario \`$name\` but 'figure --list' does not know it" >&2
+            fail=1
+        fi
+    done
+done
+
+# The docs must also cover every registered scenario at least once.
+for name in $(echo "$listing" | awk '{print $1}'); do
+    if ! grep -q "\`$name\`" README.md PAPER.md; then
+        echo "ERROR: registered scenario \`$name\` is not documented in README.md or PAPER.md" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "scenario docs OK: every documented scenario is registered and vice versa"

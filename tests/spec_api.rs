@@ -71,6 +71,9 @@ fn registry_lookup_returns_every_figure_name() {
         "fig11_coordinated",
         "fig12_parallel_fetch",
         "fig13_adaptive_submission",
+        "multi_channel_scaling",
+        "frame_limit_sweep",
+        "channel_contention",
         "smoke",
     ];
     assert_eq!(registry::names(), expected);

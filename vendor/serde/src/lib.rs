@@ -99,6 +99,19 @@ pub fn de_field<T: Deserialize>(map: &[(String, Value)], name: &str) -> Result<T
     }
 }
 
+/// Like [`de_field`], but a missing field yields `T::default()` instead of
+/// an error — the building block for backward-compatible hand-written
+/// `Deserialize` impls whose newer fields must tolerate older JSON.
+pub fn de_field_or_default<T: Deserialize + Default>(
+    map: &[(String, Value)],
+    name: &str,
+) -> Result<T, Error> {
+    match map.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v),
+        None => Ok(T::default()),
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Primitive impls
 // ---------------------------------------------------------------------------
