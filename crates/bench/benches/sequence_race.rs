@@ -1,0 +1,10 @@
+//! Deployment-challenge scenario `sequence_race` (see the registry entry):
+//! the §V account-sequence race under committed-state resync vs
+//! mempool-aware sequence tracking.
+//!
+//! Sweep mode and output format come from `XCC_FULL_SWEEP` / `XCC_OUTPUT`
+//! (see `xcc_framework::sweep`).
+
+fn main() {
+    xcc_bench::run_and_print("sequence_race");
+}

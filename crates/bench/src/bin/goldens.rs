@@ -1,5 +1,5 @@
-//! Regenerates the default-strategy golden fixtures used by
-//! `tests/relayer_strategies.rs`.
+//! Regenerates — and, with `--check`, verifies — the golden fixtures used by
+//! `tests/relayer_strategies.rs` and `tests/multi_channel.rs`.
 //!
 //! The fixtures pin the exact `ScenarioOutcome`s of small fig8/fig9/fig11/
 //! fig12-shaped runs so the determinism tests can prove that the pluggable
@@ -9,9 +9,16 @@
 //! ```text
 //! cargo run --release -p xcc-bench --bin goldens > tests/fixtures/default_strategy_goldens.json
 //! ```
+//!
+//! In `--check` mode no file is written: every fixture set is regenerated
+//! in-memory and compared against `tests/fixtures/`, and the process exits
+//! non-zero on any drift — CI runs this so the fixtures can never silently
+//! diverge from the code that produces them.
 
 use xcc_framework::scenarios;
 use xcc_framework::spec::ExperimentSpec;
+use xcc_framework::ScenarioOutcome;
+use xcc_relayer::strategy::SequenceTracking;
 
 /// The spec set behind the golden fixtures: one small point per paper figure
 /// the relayer refactor must preserve (Figs. 8, 9, 11 and 12).
@@ -84,13 +91,120 @@ pub fn multi_channel_golden_specs() -> Vec<ExperimentSpec> {
     ]
 }
 
+/// The spec set behind the sequence-race golden fixture: the §V straddled-
+/// commit repro under both sequence-tracking arms, pinning the race's cost
+/// (Resync) and the fixed behaviour (MempoolAware, zero broadcast
+/// failures). Regenerate with:
+///
+/// ```text
+/// cargo run --release -p xcc-bench --bin goldens -- --sequence-race \
+///     > tests/fixtures/sequence_race_goldens.json
+/// ```
+pub fn sequence_race_golden_specs() -> Vec<ExperimentSpec> {
+    let repro = ExperimentSpec::relayer_throughput()
+        .named("golden/sequence_race/rate=40/rtt=0")
+        .relayers(1)
+        .rtt_ms(0)
+        .input_rate(40)
+        .measurement_blocks(6)
+        .seed(42);
+    vec![
+        repro
+            .clone()
+            .named("golden/sequence_race/rate=40/rtt=0/seqtrack=resync")
+            .sequence_tracking(SequenceTracking::Resync),
+        repro
+            .named("golden/sequence_race/rate=40/rtt=0/seqtrack=mempool")
+            .sequence_tracking(SequenceTracking::MempoolAware),
+    ]
+}
+
+/// Every fixture set: the `--check` mode walks all of them.
+fn fixture_sets() -> Vec<(&'static str, Vec<ExperimentSpec>)> {
+    vec![
+        (
+            "tests/fixtures/default_strategy_goldens.json",
+            golden_specs(),
+        ),
+        (
+            "tests/fixtures/multi_channel_goldens.json",
+            multi_channel_golden_specs(),
+        ),
+        (
+            "tests/fixtures/sequence_race_goldens.json",
+            sequence_race_golden_specs(),
+        ),
+    ]
+}
+
+fn regenerate(specs: &[ExperimentSpec]) -> Vec<ScenarioOutcome> {
+    specs.iter().map(scenarios::run).collect()
+}
+
+/// Regenerates every fixture set in-memory and diffs it against the file on
+/// disk. Returns how many fixtures drifted.
+fn check_fixtures() -> usize {
+    let mut drifted = 0;
+    for (path, specs) in fixture_sets() {
+        let on_disk = match std::fs::read_to_string(path) {
+            Ok(contents) => contents,
+            Err(err) => {
+                eprintln!("DRIFT: cannot read {path}: {err}");
+                drifted += 1;
+                continue;
+            }
+        };
+        let pinned: Vec<ScenarioOutcome> = match serde_json::from_str(&on_disk) {
+            Ok(outcomes) => outcomes,
+            Err(err) => {
+                eprintln!("DRIFT: {path} does not parse: {err}");
+                drifted += 1;
+                continue;
+            }
+        };
+        let fresh = regenerate(&specs);
+        if fresh == pinned {
+            println!("ok: {path} ({} outcomes)", fresh.len());
+        } else {
+            drifted += 1;
+            eprintln!("DRIFT: {path} no longer matches the code that produces it");
+            for (fresh, pinned) in fresh.iter().zip(&pinned) {
+                if fresh != pinned {
+                    eprintln!("  {} diverged", pinned.spec.name);
+                }
+            }
+            if fresh.len() != pinned.len() {
+                eprintln!(
+                    "  fixture has {} outcomes, regeneration produced {}",
+                    pinned.len(),
+                    fresh.len()
+                );
+            }
+            eprintln!("  regenerate with the `goldens` bin and review the diff");
+        }
+    }
+    drifted
+}
+
 fn main() {
-    let specs = if std::env::args().any(|a| a == "--multi-channel") {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--check") {
+        let drifted = check_fixtures();
+        if drifted > 0 {
+            eprintln!("{drifted} fixture set(s) drifted");
+            std::process::exit(2);
+        }
+        println!("all golden fixtures match the code that produces them");
+        return;
+    }
+    let specs = if args.iter().any(|a| a == "--multi-channel") {
         multi_channel_golden_specs()
+    } else if args.iter().any(|a| a == "--sequence-race") {
+        sequence_race_golden_specs()
     } else {
         golden_specs()
     };
-    let outcomes: Vec<_> = specs.iter().map(scenarios::run).collect();
+    let outcomes = regenerate(&specs);
     println!(
         "{}",
         serde_json::to_string_pretty(&outcomes).expect("outcomes serialize")

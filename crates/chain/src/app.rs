@@ -126,6 +126,16 @@ impl GaiaApp {
         self.accounts.sequence(address)
     }
 
+    /// The check-state sequence of an account: the sequence `CheckTx` expects
+    /// on that account's next submission. It runs ahead of the committed
+    /// sequence while the account's transactions sit in the mempool, and is
+    /// reset to the committed sequence at every commit — which is exactly
+    /// what strands a client that tracked its own continuation across a
+    /// straddled commit (§V's account-sequence race).
+    pub fn check_account_sequence(&self, address: &AccountId) -> u64 {
+        self.check_accounts.sequence(address)
+    }
+
     /// Executes one message against the application state.
     fn execute_msg(&mut self, msg: &Msg) -> Result<Vec<Event>, String> {
         let ctx = self.host_context();

@@ -120,6 +120,13 @@ impl Chain {
         self.node.mempool_size()
     }
 
+    /// Number of mempool transactions signed by `sender` (the account address
+    /// as a string): the unconfirmed part of that account's sequence window,
+    /// used by the RPC layer's `account_sequence_unconfirmed` query.
+    pub fn mempool_pending_from(&self, sender: &str) -> usize {
+        self.node.mempool_pending_from(sender)
+    }
+
     /// When the latest block was committed.
     pub fn last_block_time(&self) -> SimTime {
         self.node.last_block_time()

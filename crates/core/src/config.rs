@@ -39,6 +39,22 @@ pub struct DeploymentConfig {
     pub account_balance: u128,
     /// Seed for all randomness in the experiment.
     pub seed: u64,
+    /// Per-item pagination surcharge of a batched data pull, in microseconds
+    /// — the `RpcCostModel::batched_pull_per_item` calibration knob as
+    /// deployment configuration, so the PR 2 batched-pull surcharge sweeps
+    /// like every other cost parameter
+    /// ([`SweepGrid::batched_pull_per_items`](crate::sweep::SweepGrid::batched_pull_per_items)).
+    /// The default (120 µs) is the cost model's calibrated value; `0` models
+    /// free pagination.
+    pub batched_pull_per_item_us: u64,
+    /// When true, scenario outcomes additionally report the relayers'
+    /// `broadcast_failures` counter as a metric. Off by default so the
+    /// metric maps of runs that never asked for it — the pre-knob golden
+    /// fixtures included — stay unchanged; the
+    /// [`sequence_tracking`](crate::spec::ExperimentSpec::sequence_tracking)
+    /// spec builder switches it on for both arms of the §V sequence-race
+    /// comparison.
+    pub report_broadcast_failures: bool,
 }
 
 impl Default for DeploymentConfig {
@@ -55,9 +71,16 @@ impl Default for DeploymentConfig {
             user_accounts: 64,
             account_balance: 1_000_000_000_000,
             seed: 42,
+            batched_pull_per_item_us: DEFAULT_BATCHED_PULL_PER_ITEM_US,
+            report_broadcast_failures: false,
         }
     }
 }
+
+/// The cost model's calibrated batched-pull pagination surcharge in
+/// microseconds — the value deployments use unless the
+/// `batched_pull_per_item_us` knob overrides it.
+pub const DEFAULT_BATCHED_PULL_PER_ITEM_US: u64 = 120;
 
 // Hand-written serde impls (instead of the derive) so that configuration
 // JSON written before the `relayer_strategy` / `channel_count` fields
@@ -86,6 +109,14 @@ impl Serialize for DeploymentConfig {
             ("user_accounts".into(), self.user_accounts.to_value()),
             ("account_balance".into(), self.account_balance.to_value()),
             ("seed".into(), self.seed.to_value()),
+            (
+                "batched_pull_per_item_us".into(),
+                self.batched_pull_per_item_us.to_value(),
+            ),
+            (
+                "report_broadcast_failures".into(),
+                self.report_broadcast_failures.to_value(),
+            ),
         ])
     }
 }
@@ -102,6 +133,14 @@ impl Deserialize for DeploymentConfig {
         // Missing (pre-multi-channel JSON) and explicit-zero channel counts
         // both mean the paper's single channel.
         let channel_count = de_field_or_default::<usize>(map, "channel_count")?.max(1);
+        // A missing surcharge field (pre-calibration-axis JSON) means the
+        // cost model's calibrated default; an explicit 0 means free
+        // pagination, so the usual or-default shim does not apply here.
+        let batched_pull_per_item_us =
+            match map.iter().find(|(k, _)| k == "batched_pull_per_item_us") {
+                Some((_, value)) => u64::from_value(value)?,
+                None => DEFAULT_BATCHED_PULL_PER_ITEM_US,
+            };
         Ok(DeploymentConfig {
             source_chain_id: de_field(map, "source_chain_id")?,
             destination_chain_id: de_field(map, "destination_chain_id")?,
@@ -114,6 +153,8 @@ impl Deserialize for DeploymentConfig {
             user_accounts: de_field(map, "user_accounts")?,
             account_balance: de_field(map, "account_balance")?,
             seed: de_field(map, "seed")?,
+            batched_pull_per_item_us,
+            report_broadcast_failures: de_field_or_default(map, "report_broadcast_failures")?,
         })
     }
 }
@@ -348,6 +389,39 @@ mod tests {
         let parsed: WorkloadConfig = serde_json::from_str(&legacy).unwrap();
         assert!(parsed.channel_weights.is_empty());
         assert_eq!(parsed, WorkloadConfig::default());
+    }
+
+    #[test]
+    fn pre_calibration_json_defaults_the_new_knobs() {
+        // Deployment JSON written before the batched-pull calibration /
+        // broadcast-failure reporting knobs existed (the golden fixtures)
+        // must parse to the calibrated surcharge and no extra metrics.
+        let json = serde_json::to_string(&DeploymentConfig::default()).unwrap();
+        let legacy = json
+            .replace(
+                &format!(",\"batched_pull_per_item_us\":{DEFAULT_BATCHED_PULL_PER_ITEM_US}"),
+                "",
+            )
+            .replace(",\"report_broadcast_failures\":false", "");
+        assert!(!legacy.contains("batched_pull_per_item_us"));
+        assert!(!legacy.contains("report_broadcast_failures"));
+        let parsed: DeploymentConfig = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(parsed, DeploymentConfig::default());
+        assert_eq!(
+            parsed.batched_pull_per_item_us,
+            DEFAULT_BATCHED_PULL_PER_ITEM_US
+        );
+        assert!(!parsed.report_broadcast_failures);
+
+        // An explicit zero surcharge (free pagination) survives the round
+        // trip — it is distinct from "field missing".
+        let free = DeploymentConfig {
+            batched_pull_per_item_us: 0,
+            ..DeploymentConfig::default()
+        };
+        let back: DeploymentConfig =
+            serde_json::from_str(&serde_json::to_string(&free).unwrap()).unwrap();
+        assert_eq!(back.batched_pull_per_item_us, 0);
     }
 
     #[test]

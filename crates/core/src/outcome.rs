@@ -45,6 +45,13 @@ pub mod keys {
     /// so runs without clearing — the golden fixtures included — keep their
     /// metric maps unchanged.
     pub const PACKETS_CLEARED: &str = "packets_cleared";
+    /// Failed broadcast attempts across all relayers (§V's account-sequence
+    /// race is the dominant source). Emitted only when the deployment's
+    /// `report_broadcast_failures` knob — switched on by the
+    /// `sequence_tracking` spec builder and the sweep axis — asks for it, or
+    /// when the strategy runs mempool-aware tracking; runs that never asked
+    /// (the golden fixtures included) keep their metric maps unchanged.
+    pub const BROADCAST_FAILURES: &str = "broadcast_failures";
     /// End-to-end completion latency of the batch in seconds (Fig. 13).
     pub const COMPLETION_LATENCY_SECS: &str = "completion_latency_secs";
     /// Duration of the transfer phase (steps 1–4), seconds (Fig. 12).
@@ -187,6 +194,12 @@ impl ScenarioOutcome {
     /// Packets relayed by the packet-clear scan (0 when clearing is off).
     pub fn packets_cleared(&self) -> u64 {
         self.count(keys::PACKETS_CLEARED)
+    }
+
+    /// Failed broadcast attempts across all relayers (0 when the run did not
+    /// report them — see [`keys::BROADCAST_FAILURES`]).
+    pub fn broadcast_failures(&self) -> u64 {
+        self.count(keys::BROADCAST_FAILURES)
     }
 
     /// End-to-end completion latency of the batch in seconds.

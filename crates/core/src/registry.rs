@@ -15,7 +15,7 @@
 //! println!("{report}");
 //! ```
 
-use xcc_relayer::strategy::{ChannelPolicy, RelayerStrategy};
+use xcc_relayer::strategy::{ChannelPolicy, RelayerStrategy, SequenceTracking};
 
 use crate::outcome::ScenarioOutcome;
 use crate::report::ExecutionReport;
@@ -98,7 +98,7 @@ fn edit_distance(a: &str, b: &str) -> usize {
     previous[b.len()]
 }
 
-static ENTRIES: [ScenarioEntry; 18] = [
+static ENTRIES: [ScenarioEntry; 19] = [
     ScenarioEntry {
         name: "fig6",
         title: "Tendermint throughput (TFPS) vs input rate",
@@ -200,6 +200,12 @@ static ENTRIES: [ScenarioEntry; 18] = [
         title: "Weighted multi-channel load under channel policies",
         grid: channel_contention_grid,
         render: channel_contention_render,
+    },
+    ScenarioEntry {
+        name: "sequence_race",
+        title: "§V account-sequence race: resync vs mempool-aware tracking",
+        grid: sequence_race_grid,
+        render: sequence_race_render,
     },
     ScenarioEntry {
         name: "smoke",
@@ -462,6 +468,25 @@ fn channel_contention_grid(mode: SweepMode) -> SweepGrid {
         RelayerStrategy::with_channel_policy(ChannelPolicy::Priority),
         RelayerStrategy::with_channel_policy(ChannelPolicy::Dedicated),
     ])
+}
+
+/// The §V account-sequence race as a strategy comparison: a sustained load
+/// whose relayer flushes straddle destination commits deterministically
+/// (seeded), swept over both sequence-tracking arms. Under `Resync` every
+/// straddle burns a submission window on a duplicate sequence; under
+/// `MempoolAware` the relayer holds the batch one block instead, driving
+/// `broadcast_failures` to zero.
+fn sequence_race_grid(mode: SweepMode) -> SweepGrid {
+    SweepGrid::new(
+        ExperimentSpec::relayer_throughput()
+            .named("sequence_race")
+            .relayers(1)
+            .rtt_ms(200)
+            .input_rate(mode.pick(60, 100))
+            .measurement_blocks(mode.pick(6, 15))
+            .seed(42),
+    )
+    .sequence_trackings([SequenceTracking::Resync, SequenceTracking::MempoolAware])
 }
 
 /// One cheap, representative end-to-end run (~seconds): CI's smoke check.
@@ -913,6 +938,44 @@ fn channel_contention_render(outcomes: &[ScenarioOutcome]) -> ExecutionReport {
     report
 }
 
+/// `sequence_race`: one row per sequence-tracking arm, showing what the §V
+/// race costs and that mempool-aware tracking eliminates it.
+fn sequence_race_render(outcomes: &[ScenarioOutcome]) -> ExecutionReport {
+    let mut report = ExecutionReport::new("sequence_race");
+    let (rate, blocks) = outcomes
+        .first()
+        .map(|o| (rate_of(o), o.spec.workload.measurement_blocks))
+        .unwrap_or((0, 0));
+    report.add_note(format!(
+        "sequence_race — the §V account-sequence race at {rate} rps over {blocks} blocks: \
+         relayer flushes that straddle a destination commit burn a submission window \
+         under committed-state resync; mempool-aware tracking holds the batch instead"
+    ));
+    report.add_row(format!(
+        "{:>10} | {:>10} | {:>10} | {:>18}",
+        "tracking", "completed", "stuck", "broadcast failures"
+    ));
+    for outcome in outcomes {
+        let tracking = outcome.spec.deployment.relayer_strategy.sequence_tracking;
+        report.add_row(format!(
+            "{:>10} | {:>10} | {:>10} | {:>18}",
+            tracking.label(),
+            outcome.completed(),
+            outcome.stuck(),
+            outcome.broadcast_failures()
+        ));
+        report.set_metric(
+            format!("completed_{}", tracking.label()),
+            outcome.completed() as f64,
+        );
+        report.set_metric(
+            format!("broadcast_failures_{}", tracking.label()),
+            outcome.broadcast_failures() as f64,
+        );
+    }
+    report
+}
+
 /// The registry name embedded in a sweep point's name (`fig8/rate=60/...`).
 fn fig_name(outcome: &ScenarioOutcome) -> String {
     outcome
@@ -949,6 +1012,7 @@ mod tests {
             "multi_channel_scaling",
             "frame_limit_sweep",
             "channel_contention",
+            "sequence_race",
             "smoke",
         ];
         assert_eq!(names(), expected);
@@ -1040,6 +1104,38 @@ mod tests {
         assert_eq!(stranded, 0.0);
         assert!(cleared > stranded);
         assert!(permissive > 0.0);
+    }
+
+    #[test]
+    fn sequence_race_render_shows_the_race_and_the_fix() {
+        // A miniature sequence_race: small enough for a unit test, still
+        // deterministically straddling destination commits under Resync.
+        let entry = get("sequence_race").unwrap();
+        let grid = SweepGrid::new(
+            ExperimentSpec::relayer_throughput()
+                .named("sequence_race")
+                .relayers(1)
+                .rtt_ms(0)
+                .input_rate(40)
+                .measurement_blocks(6)
+                .seed(42),
+        )
+        .sequence_trackings([SequenceTracking::Resync, SequenceTracking::MempoolAware]);
+        let outcomes = run_parallel(&grid.points(), 2);
+        assert_eq!(outcomes.len(), 2);
+        let report = entry.render(&outcomes);
+        assert_eq!(report.rows.len(), 3); // header + 2 arms
+        let resync_failures = report.metric("broadcast_failures_resync").unwrap();
+        let mempool_failures = report.metric("broadcast_failures_mempool").unwrap();
+        assert!(resync_failures > 0.0, "the repro must exhibit the race");
+        assert_eq!(mempool_failures, 0.0, "mempool-aware tracking never fails");
+        let resync_completed = report.metric("completed_resync").unwrap();
+        let mempool_completed = report.metric("completed_mempool").unwrap();
+        assert!(
+            mempool_completed >= resync_completed,
+            "holding a straddled batch must not lose throughput \
+             (mempool {mempool_completed} vs resync {resync_completed})"
+        );
     }
 
     #[test]

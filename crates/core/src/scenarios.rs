@@ -82,6 +82,23 @@ pub fn outcome_from(spec: &ExperimentSpec, run: &RunOutput) -> ScenarioOutcome {
                 .sum::<u64>() as f64,
         );
     }
+    // Runs that opted into the sequence-tracking comparison (either arm, via
+    // the spec builder / sweep axis) or run mempool-aware tracking report the
+    // relayers' failed broadcast attempts — the counter the §V sequence race
+    // is measured by. Runs that never asked, the golden fixtures included,
+    // keep their metric maps unchanged.
+    if run.deployment.report_broadcast_failures
+        || run.deployment.relayer_strategy.sequence_tracking
+            == xcc_relayer::strategy::SequenceTracking::MempoolAware
+    {
+        outcome.set(
+            keys::BROADCAST_FAILURES,
+            run.relayer_stats
+                .iter()
+                .map(|s| s.broadcast_failures)
+                .sum::<u64>() as f64,
+        );
+    }
 
     // Multi-channel runs additionally emit the completion metrics once per
     // channel; single-channel runs emit only the aggregates so that the

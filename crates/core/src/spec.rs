@@ -24,7 +24,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use xcc_relayer::strategy::RelayerStrategy;
+use xcc_relayer::strategy::{RelayerStrategy, SequenceTracking};
 
 use crate::config::{DeploymentConfig, WorkloadConfig};
 
@@ -273,6 +273,35 @@ impl ExperimentSpec {
     /// disables clearing, the paper's deployment).
     pub fn packet_clearing(mut self, blocks: u64) -> Self {
         self.deployment.relayer_strategy = self.deployment.relayer_strategy.packet_clearing(blocks);
+        self
+    }
+
+    /// Sets the relayers' account-sequence tracking across straddled commits
+    /// (§V's sequence race) and switches on `broadcast_failures` reporting,
+    /// so both arms of a tracking comparison expose the counter the race is
+    /// measured by.
+    ///
+    /// ```rust
+    /// use xcc_framework::spec::ExperimentSpec;
+    /// use xcc_relayer::strategy::SequenceTracking;
+    ///
+    /// let spec = ExperimentSpec::relayer_throughput()
+    ///     .sequence_tracking(SequenceTracking::MempoolAware);
+    /// assert_eq!(spec.deployment.relayer_strategy.label(), "mempool-seq");
+    /// assert!(spec.deployment.report_broadcast_failures);
+    /// ```
+    pub fn sequence_tracking(mut self, tracking: SequenceTracking) -> Self {
+        self.deployment.relayer_strategy =
+            self.deployment.relayer_strategy.sequence_tracking(tracking);
+        self.deployment.report_broadcast_failures = true;
+        self
+    }
+
+    /// Sets the RPC cost model's batched-pull pagination surcharge in
+    /// microseconds (`0` models free pagination) — the PR 2 batched-pull
+    /// cost as a sweepable calibration knob.
+    pub fn batched_pull_per_item_us(mut self, micros: u64) -> Self {
+        self.deployment.batched_pull_per_item_us = micros;
         self
     }
 

@@ -2,7 +2,8 @@
 //!
 //! A [`SweepGrid`] is a base [`ExperimentSpec`] plus axes (input rates ×
 //! relayer counts × channel counts × RTTs × submission strategies ×
-//! transfer counts × relayer strategies × WebSocket frame limits × seeds).
+//! transfer counts × relayer strategies × WebSocket frame limits ×
+//! sequence-tracking modes × batched-pull surcharges × seeds).
 //! [`SweepGrid::points`] expands the cartesian product into a deterministic,
 //! ordered list of specs; [`run_parallel`] executes any spec list on a
 //! `std::thread::scope` worker pool. Because every run is fully determined
@@ -25,7 +26,7 @@ use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 
-use xcc_relayer::strategy::RelayerStrategy;
+use xcc_relayer::strategy::{RelayerStrategy, SequenceTracking};
 
 use crate::outcome::ScenarioOutcome;
 use crate::scenarios;
@@ -138,6 +139,14 @@ pub struct SweepGrid {
     /// applied on top of the point's strategy — the §V deployment limit as
     /// a sweepable axis.
     pub frame_limits: Vec<u64>,
+    /// Account-sequence tracking modes, applied on top of the point's
+    /// strategy — the §V sequence race as a sweepable axis (every point of
+    /// the axis also reports `broadcast_failures`, the counter the race is
+    /// measured by).
+    pub sequence_trackings: Vec<SequenceTracking>,
+    /// Batched-pull pagination surcharges in microseconds — the PR 2
+    /// batched-query cost model as a calibration axis.
+    pub batched_pull_per_items: Vec<u64>,
     /// Explicit seeds; empty means "one point with the base seed".
     pub seeds: Vec<u64>,
 }
@@ -155,6 +164,8 @@ impl SweepGrid {
             transfer_counts: Vec::new(),
             strategies: Vec::new(),
             frame_limits: Vec::new(),
+            sequence_trackings: Vec::new(),
+            batched_pull_per_items: Vec::new(),
             seeds: Vec::new(),
         }
     }
@@ -209,6 +220,24 @@ impl SweepGrid {
         self
     }
 
+    /// Sets the account-sequence tracking axis; combines with the strategy
+    /// axis, the tracking mode being applied on top of each point's
+    /// strategy. Every point of the axis reports `broadcast_failures`.
+    pub fn sequence_trackings(
+        mut self,
+        trackings: impl IntoIterator<Item = SequenceTracking>,
+    ) -> Self {
+        self.sequence_trackings = trackings.into_iter().collect();
+        self
+    }
+
+    /// Sets the batched-pull pagination surcharge axis in microseconds
+    /// (`0` models free pagination).
+    pub fn batched_pull_per_items(mut self, micros: impl IntoIterator<Item = u64>) -> Self {
+        self.batched_pull_per_items = micros.into_iter().collect();
+        self
+    }
+
     /// Sets the seed axis.
     pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
         self.seeds = seeds.into_iter().collect();
@@ -234,6 +263,8 @@ impl SweepGrid {
             * axis(self.transfer_counts.len())
             * axis(self.strategies.len())
             * axis(self.frame_limits.len())
+            * axis(self.sequence_trackings.len())
+            * axis(self.batched_pull_per_items.len())
             * axis(self.seeds.len())
     }
 
@@ -263,49 +294,75 @@ impl SweepGrid {
                             for transfers in axis(&self.transfer_counts) {
                                 for strategy in axis(&self.strategies) {
                                     for frame_limit in axis(&self.frame_limits) {
-                                        for seed in axis(&self.seeds) {
-                                            let mut spec = self.base.clone();
-                                            let mut name = spec.name.clone();
-                                            if let Some(rate) = rate {
-                                                spec = spec.input_rate(rate);
-                                                name.push_str(&format!("/rate={rate}"));
+                                        for tracking in axis(&self.sequence_trackings) {
+                                            for pull_item in axis(&self.batched_pull_per_items) {
+                                                for seed in axis(&self.seeds) {
+                                                    let mut spec = self.base.clone();
+                                                    let mut name = spec.name.clone();
+                                                    if let Some(rate) = rate {
+                                                        spec = spec.input_rate(rate);
+                                                        name.push_str(&format!("/rate={rate}"));
+                                                    }
+                                                    if let Some(relayers) = relayers {
+                                                        spec = spec.relayers(relayers);
+                                                        name.push_str(&format!(
+                                                            "/relayers={relayers}"
+                                                        ));
+                                                    }
+                                                    if let Some(channels) = channels {
+                                                        spec = spec.channels(channels);
+                                                        name.push_str(&format!(
+                                                            "/channels={channels}"
+                                                        ));
+                                                    }
+                                                    if let Some(rtt) = rtt {
+                                                        spec = spec.rtt_ms(rtt);
+                                                        name.push_str(&format!("/rtt={rtt}"));
+                                                    }
+                                                    if let Some(transfers) = transfers {
+                                                        spec = spec.transfers(transfers);
+                                                        name.push_str(&format!(
+                                                            "/transfers={transfers}"
+                                                        ));
+                                                    }
+                                                    if let Some(blocks) = blocks {
+                                                        spec = spec.submission_blocks(blocks);
+                                                        name.push_str(&format!("/blocks={blocks}"));
+                                                    }
+                                                    if let Some(strategy) = strategy {
+                                                        spec = spec.strategy(strategy);
+                                                        name.push_str(&format!(
+                                                            "/strategy={}",
+                                                            strategy.label()
+                                                        ));
+                                                    }
+                                                    if let Some(frame_limit) = frame_limit {
+                                                        spec = spec.frame_limit(frame_limit);
+                                                        name.push_str(&format!(
+                                                            "/frame={frame_limit}"
+                                                        ));
+                                                    }
+                                                    if let Some(tracking) = tracking {
+                                                        spec = spec.sequence_tracking(tracking);
+                                                        name.push_str(&format!(
+                                                            "/seqtrack={}",
+                                                            tracking.label()
+                                                        ));
+                                                    }
+                                                    if let Some(pull_item) = pull_item {
+                                                        spec = spec
+                                                            .batched_pull_per_item_us(pull_item);
+                                                        name.push_str(&format!(
+                                                            "/pull_item={pull_item}us"
+                                                        ));
+                                                    }
+                                                    if let Some(seed) = seed {
+                                                        spec = spec.seed(seed);
+                                                        name.push_str(&format!("/seed={seed}"));
+                                                    }
+                                                    specs.push(spec.named(name));
+                                                }
                                             }
-                                            if let Some(relayers) = relayers {
-                                                spec = spec.relayers(relayers);
-                                                name.push_str(&format!("/relayers={relayers}"));
-                                            }
-                                            if let Some(channels) = channels {
-                                                spec = spec.channels(channels);
-                                                name.push_str(&format!("/channels={channels}"));
-                                            }
-                                            if let Some(rtt) = rtt {
-                                                spec = spec.rtt_ms(rtt);
-                                                name.push_str(&format!("/rtt={rtt}"));
-                                            }
-                                            if let Some(transfers) = transfers {
-                                                spec = spec.transfers(transfers);
-                                                name.push_str(&format!("/transfers={transfers}"));
-                                            }
-                                            if let Some(blocks) = blocks {
-                                                spec = spec.submission_blocks(blocks);
-                                                name.push_str(&format!("/blocks={blocks}"));
-                                            }
-                                            if let Some(strategy) = strategy {
-                                                spec = spec.strategy(strategy);
-                                                name.push_str(&format!(
-                                                    "/strategy={}",
-                                                    strategy.label()
-                                                ));
-                                            }
-                                            if let Some(frame_limit) = frame_limit {
-                                                spec = spec.frame_limit(frame_limit);
-                                                name.push_str(&format!("/frame={frame_limit}"));
-                                            }
-                                            if let Some(seed) = seed {
-                                                spec = spec.seed(seed);
-                                                name.push_str(&format!("/seed={seed}"));
-                                            }
-                                            specs.push(spec.named(name));
                                         }
                                     }
                                 }
@@ -422,6 +479,45 @@ mod tests {
         assert_eq!(
             composed[0].deployment.relayer_strategy,
             RelayerStrategy::batched_pulls().frame_limit(4096)
+        );
+    }
+
+    #[test]
+    fn sequence_tracking_and_pull_surcharge_axes_expand_like_any_other() {
+        let grid = SweepGrid::new(
+            ExperimentSpec::relayer_throughput()
+                .input_rate(20)
+                .measurement_blocks(3),
+        )
+        .sequence_trackings([SequenceTracking::Resync, SequenceTracking::MempoolAware])
+        .batched_pull_per_items([0, 240]);
+        assert_eq!(grid.len(), 4);
+        let points = grid.points();
+        assert_eq!(
+            points[0].name,
+            "relayer_throughput/seqtrack=resync/pull_item=0us"
+        );
+        assert_eq!(
+            points[3].name,
+            "relayer_throughput/seqtrack=mempool/pull_item=240us"
+        );
+        assert_eq!(
+            points[3].deployment.relayer_strategy.sequence_tracking,
+            SequenceTracking::MempoolAware
+        );
+        assert_eq!(points[3].deployment.batched_pull_per_item_us, 240);
+        // Every point of the tracking axis reports the race's counter.
+        assert!(points
+            .iter()
+            .all(|p| p.deployment.report_broadcast_failures));
+        // The tracking mode composes with the strategy axis.
+        let composed = SweepGrid::new(ExperimentSpec::relayer_throughput())
+            .strategies([RelayerStrategy::batched_pulls()])
+            .sequence_trackings([SequenceTracking::MempoolAware])
+            .points();
+        assert_eq!(
+            composed[0].deployment.relayer_strategy,
+            RelayerStrategy::batched_pulls().sequence_tracking(SequenceTracking::MempoolAware)
         );
     }
 

@@ -36,16 +36,23 @@ pub struct Testnet {
     pub rng: DetRng,
 }
 
-/// Builds an RPC endpoint for a chain using the deployment's latency model.
+/// Builds an RPC endpoint for a chain using the deployment's latency model
+/// and cost-calibration knobs.
 pub fn make_rpc(
     chain: &SharedChain,
     deployment: &DeploymentConfig,
     rng: &DetRng,
     label: &str,
 ) -> RpcEndpoint {
+    let cost = RpcCostModel {
+        batched_pull_per_item: xcc_sim::SimDuration::from_micros(
+            deployment.batched_pull_per_item_us,
+        ),
+        ..RpcCostModel::default()
+    };
     RpcEndpoint::new(
         chain.clone(),
-        RpcCostModel::default(),
+        cost,
         LatencyModel::constant_rtt_ms(deployment.network_rtt_ms),
         rng.fork(label),
     )

@@ -21,6 +21,10 @@
 //! * [`relayer::Relayer`] — the thin driver composing the stages for one
 //!   channel, including redundant-packet detection, account-sequence
 //!   management and timeout relaying;
+//! * [`sequence::SequenceTracker`] — the per-chain account-sequence state
+//!   behind the broadcast path, implementing both arms of
+//!   [`strategy::SequenceTracking`] (the §V sequence race and its
+//!   mempool-aware fix);
 //! * [`telemetry::TelemetryLog`] — per-packet timestamps for the 13 steps of
 //!   a cross-chain transfer (Fig. 12) plus the error log (redundant packets,
 //!   "Failed to collect events", sequence mismatches).
@@ -34,6 +38,7 @@
 
 pub mod config;
 pub mod relayer;
+pub mod sequence;
 pub mod stages;
 pub mod strategy;
 pub mod telemetry;

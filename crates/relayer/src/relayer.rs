@@ -39,6 +39,14 @@
 //! committed-but-unrelayed packets (e.g. those stranded by an oversized
 //! WebSocket frame, §V) and relays them even though their events were never
 //! delivered.
+//!
+//! The broadcast path itself is built around one
+//! [`crate::sequence::SequenceTracker`] per chain (shared
+//! by every channel), whose behaviour across the §V account-sequence race is
+//! the strategy's [`SequenceTracking`] arm: the default committed-state
+//! resync reproduces the paper's lossy recovery, while the mempool-aware
+//! tracker holds a batch whenever the chain's check state straddled a commit
+//! under the relayer's in-flight transactions.
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 
@@ -54,7 +62,9 @@ use xcc_sim::{SimDuration, SimTime};
 use xcc_tendermint::abci::Event;
 
 use crate::config::RelayerConfig;
+use crate::sequence::SequenceTracker;
 use crate::stages::Stages;
+use crate::strategy::SequenceTracking;
 use crate::telemetry::{TelemetryLog, TransferStep};
 
 /// Which side of the relay path a chain plays for this relayer.
@@ -96,7 +106,16 @@ pub struct RelayerStats {
     /// Packets this instance observed but left to another instance under the
     /// configured coordination policy or channel scheduler.
     pub packets_left_to_peers: u64,
-    /// Broadcast attempts that failed (sequence mismatches, full mempools…).
+    /// Broadcast *attempts* that failed (sequence mismatches, full
+    /// mempools…).
+    ///
+    /// Counting semantics (pinned by
+    /// `relayer::tests::both_failed_attempts_of_one_submission_count_twice`):
+    /// this counts failed RPC attempts, not logical submissions — a single
+    /// logical submission whose initial attempt and post-resync retry both
+    /// fail contributes **two**. The counter therefore reads as "how often
+    /// did a broadcast come back rejected", matching what an operator grepping
+    /// relayer logs for failed `broadcast_tx_sync` calls would see.
     pub broadcast_failures: u64,
     /// Blocks whose events could not be collected over the WebSocket.
     pub event_collection_failures: u64,
@@ -112,8 +131,13 @@ pub struct Relayer {
     stages: Stages,
     src_rpc: RpcEndpoint,
     dst_rpc: RpcEndpoint,
-    src_account_seq: u64,
-    dst_account_seq: u64,
+    /// Account-sequence state towards the source chain — one tracker per
+    /// chain, shared by every channel this instance serves, so the channels
+    /// of a multi-channel deployment can never race each other on the
+    /// relayer's own account.
+    src_seq: SequenceTracker,
+    /// Account-sequence state towards the destination chain.
+    dst_seq: SequenceTracker,
     src_fee_denom: String,
     dst_fee_denom: String,
     worker_out_free: SimTime,
@@ -139,6 +163,10 @@ pub struct Relayer {
     /// but not yet observed committed — the acknowledgement path's in-flight
     /// set, the clear scan's counterpart filter on the return path.
     pending_ack: BTreeSet<(usize, u64)>,
+    /// Acknowledgements held back by mempool-aware sequence tracking because
+    /// the source chain's check state straddled a commit; merged into the
+    /// next destination block's acknowledgement batch.
+    deferred_acks: Vec<(usize, Packet)>,
 }
 
 impl Relayer {
@@ -170,12 +198,19 @@ impl Relayer {
         mut dst_rpc: RpcEndpoint,
     ) -> Self {
         assert!(!paths.is_empty(), "a relayer serves at least one channel");
-        let src_account_seq = src_rpc
-            .account_sequence(SimTime::ZERO, &config.source_account)
-            .value;
-        let dst_account_seq = dst_rpc
-            .account_sequence(SimTime::ZERO, &config.destination_account)
-            .value;
+        let tracking = config.strategy.sequence_tracking;
+        let src_seq = SequenceTracker::new(
+            tracking,
+            src_rpc
+                .account_sequence(SimTime::ZERO, &config.source_account)
+                .value,
+        );
+        let dst_seq = SequenceTracker::new(
+            tracking,
+            dst_rpc
+                .account_sequence(SimTime::ZERO, &config.destination_account)
+                .value,
+        );
         let src_fee_denom = src_rpc.chain().borrow().app().fee_denom().to_string();
         let dst_fee_denom = dst_rpc.chain().borrow().app().fee_denom().to_string();
         let stages = config.strategy.build();
@@ -186,8 +221,8 @@ impl Relayer {
             stages,
             src_rpc,
             dst_rpc,
-            src_account_seq,
-            dst_account_seq,
+            src_seq,
+            dst_seq,
             src_fee_denom,
             dst_fee_denom,
             worker_out_free: SimTime::ZERO,
@@ -198,6 +233,7 @@ impl Relayer {
             pending_delivery: BTreeMap::new(),
             pending_recv_inflight: BTreeSet::new(),
             pending_ack: BTreeSet::new(),
+            deferred_acks: Vec::new(),
         }
     }
 
@@ -306,6 +342,10 @@ impl Relayer {
     /// interval is due — scans chain state for packets whose events were
     /// never delivered.
     pub fn on_source_block(&mut self, height: u64, commit_time: SimTime) {
+        // The commit may have reset the source chain's check state under our
+        // in-flight window; a mempool-aware tracker reconciles before the
+        // next broadcast towards that chain.
+        self.src_seq.note_commit();
         let delay = self.relayer_delay();
         let (event_time, collected) =
             self.stages
@@ -434,6 +474,7 @@ impl Relayer {
     /// acknowledgement transactions back to the source chain, and submits
     /// timeouts for expired undelivered packets.
     pub fn on_dest_block(&mut self, height: u64, commit_time: SimTime) {
+        self.dst_seq.note_commit();
         let delay = self.relayer_delay();
         let (event_time, collected) =
             self.stages
@@ -495,6 +536,14 @@ impl Relayer {
         // "neither relayed nor timed out"). Only the clear scan — which
         // reads chain state, not events — still runs.
         if events_delivered {
+            // Acknowledgements held back by a straddled source commit ride
+            // along with this block's batch (mempool-aware tracking only;
+            // the vector is always empty otherwise).
+            if !self.deferred_acks.is_empty() {
+                let mut held = std::mem::take(&mut self.deferred_acks);
+                held.append(&mut acked_packets);
+                acked_packets = held;
+            }
             let dest_height = height;
             let dest_time = commit_time;
             for channel in self.served_flush_order(height) {
@@ -564,8 +613,19 @@ impl Relayer {
         start: SimTime,
         packets: Vec<(u64, Packet)>,
     ) -> u64 {
+        // Mempool-aware sequence tracking: when the destination's check
+        // state straddled a commit under our in-flight window, hold the
+        // batch — it rejoins the pending queue and flushes after the window
+        // drains, instead of burning on a duplicate sequence.
+        let (t_ready, ready) = self.ensure_sequence_ready(ChainRole::Destination, start);
+        if !ready {
+            self.pending_recv
+                .extend(packets.into_iter().map(|(h, p)| (channel, h, p)));
+            self.worker_out_free = t_ready;
+            return 0;
+        }
         let path = self.paths[channel].clone();
-        let mut t = start;
+        let mut t = t_ready;
 
         // Data pull through the configured fetch strategy, one fetch per
         // origin block so every packet's pull is priced against the block
@@ -677,8 +737,18 @@ impl Relayer {
         event_time: SimTime,
         acked: Vec<Packet>,
     ) -> u64 {
+        // Mempool-aware sequence tracking: a straddled source commit defers
+        // the acknowledgements to the next destination block's batch.
+        let start = event_time.max(self.worker_back_free);
+        let (t_ready, ready) = self.ensure_sequence_ready(ChainRole::Source, start);
+        if !ready {
+            self.deferred_acks
+                .extend(acked.into_iter().map(|p| (channel, p)));
+            self.worker_back_free = t_ready;
+            return 0;
+        }
         let path = self.paths[channel].clone();
-        let mut t = event_time.max(self.worker_back_free);
+        let mut t = t_ready;
 
         // Skip acknowledgements whose commitments are already cleared on the
         // source chain (another relayer acknowledged them first).
@@ -808,7 +878,16 @@ impl Relayer {
         if expired.is_empty() {
             return;
         }
-        let mut t = event_time.max(self.worker_back_free);
+        // Mempool-aware sequence tracking: expired packets stay in
+        // `pending_delivery` and are re-examined next block, so a straddled
+        // source commit simply delays the timeout submission.
+        let start = event_time.max(self.worker_back_free);
+        let (t_ready, ready) = self.ensure_sequence_ready(ChainRole::Source, start);
+        if !ready {
+            self.worker_back_free = t_ready;
+            return;
+        }
+        let mut t = t_ready;
         let mut msgs = Vec::new();
         let mut seqs = Vec::new();
         for packet in expired.iter().take(self.config.max_msgs_per_tx) {
@@ -942,8 +1021,17 @@ impl Relayer {
                     .into_iter()
                     .filter(|seq| self.assigned(dst_height, *seq))
                     // Skip acknowledgements this instance has already
-                    // broadcast and is waiting to see committed.
+                    // broadcast and is waiting to see committed, and those a
+                    // straddled source commit is holding in the deferred
+                    // queue — clearing them again would enqueue a duplicate
+                    // `MsgAcknowledgement`.
                     .filter(|seq| !self.pending_ack.contains(&(channel, seq.value())))
+                    .filter(|seq| {
+                        !self
+                            .deferred_acks
+                            .iter()
+                            .any(|(ch, p)| *ch == channel && p.sequence == *seq)
+                    })
                     .filter_map(|seq| ibc.sent_packet(&path.port, &path.src_channel, seq).cloned())
                     .collect()
             };
@@ -982,62 +1070,149 @@ impl Relayer {
         }
     }
 
+    /// Checks — under mempool-aware sequence tracking, after an observed
+    /// commit on the target chain — whether the chain's `CheckTx` will
+    /// accept this relayer's next sequence, by reconciling the per-chain
+    /// [`SequenceTracker`] against the mempool-aware
+    /// `account_sequence_unconfirmed` query.
+    ///
+    /// Returns the time at which the answer is known and whether it is safe
+    /// to broadcast. `false` means the check state straddled a commit while
+    /// this relayer's transactions were still in the target chain's mempool
+    /// (§V's sequence race): the caller must hold its batch for a later
+    /// flush instead of burning it on a duplicate sequence.
+    ///
+    /// Under the default [`SequenceTracking::Resync`] this is free and
+    /// always ready — the paper pipeline's RPC trace is untouched.
+    fn ensure_sequence_ready(&mut self, to: ChainRole, at: SimTime) -> (SimTime, bool) {
+        let (tracker, rpc, account) = match to {
+            ChainRole::Source => (
+                &mut self.src_seq,
+                &mut self.src_rpc,
+                &self.config.source_account,
+            ),
+            ChainRole::Destination => (
+                &mut self.dst_seq,
+                &mut self.dst_rpc,
+                &self.config.destination_account,
+            ),
+        };
+        if tracker.is_held() {
+            // A reconcile already reported the straddle since the last
+            // commit; the check state cannot have changed, so hold without
+            // paying the query again.
+            return (at, false);
+        }
+        if !tracker.needs_reconcile() {
+            return (at, true);
+        }
+        let resp = rpc.account_sequence_unconfirmed(at, account);
+        let ready = tracker.reconcile(&resp.value);
+        if !ready {
+            self.telemetry.record_error(
+                resp.ready_at,
+                format!(
+                    "holding batch: account sequence straddles a commit \
+                     (committed {}, check state {}, {} txs unconfirmed)",
+                    resp.value.committed, resp.value.expected, resp.value.pending
+                ),
+            );
+        }
+        (resp.ready_at, ready)
+    }
+
     /// Builds, signs and broadcasts a transaction to one of the chains,
-    /// handling account-sequence mismatches by re-syncing and retrying once.
-    /// Returns the time at which the broadcast response was received and
-    /// whether the transaction (or its retry) was accepted into the mempool.
+    /// recovering from account-sequence mismatches per the strategy's
+    /// [`SequenceTracking`] arm: `Resync` re-queries the committed sequence
+    /// and retries once (the paper's behaviour); `MempoolAware` reconciles
+    /// against the unconfirmed-aware query and only retries when `CheckTx`
+    /// will actually accept the sequence. Returns the time at which the
+    /// broadcast response was received and whether the transaction (or its
+    /// retry) was accepted into the mempool.
     fn broadcast(&mut self, to: ChainRole, at: SimTime, msgs: Vec<Msg>) -> (SimTime, bool) {
-        let (account, fee_denom, seq) = match to {
+        let (account, fee_denom) = match to {
             ChainRole::Source => (
                 self.config.source_account.clone(),
                 self.src_fee_denom.clone(),
-                self.src_account_seq,
             ),
             ChainRole::Destination => (
                 self.config.destination_account.clone(),
                 self.dst_fee_denom.clone(),
-                self.dst_account_seq,
             ),
         };
-        let tx = Tx::new(account.clone(), seq, msgs.clone(), &fee_denom);
-        let rpc = match to {
-            ChainRole::Source => &mut self.src_rpc,
-            ChainRole::Destination => &mut self.dst_rpc,
+        let (tracker, rpc) = match to {
+            ChainRole::Source => (&mut self.src_seq, &mut self.src_rpc),
+            ChainRole::Destination => (&mut self.dst_seq, &mut self.dst_rpc),
         };
+        let tx = Tx::new(account.clone(), tracker.next(), msgs.clone(), &fee_denom);
         let resp = rpc.broadcast_tx_sync(at, &tx);
         let mut ready = resp.ready_at;
         let mut accepted = false;
         match resp.value {
             Ok(_) => {
                 accepted = true;
-                match to {
-                    ChainRole::Source => self.src_account_seq += 1,
-                    ChainRole::Destination => self.dst_account_seq += 1,
-                }
+                tracker.advance();
             }
             Err(BroadcastError::CheckTxFailed { log, .. })
                 if log.contains("account sequence mismatch") =>
             {
                 self.stats.broadcast_failures += 1;
                 self.telemetry.record_error(ready, log);
-                // Re-sync the sequence from the chain and retry once.
-                let seq_resp = rpc.account_sequence(ready, &account);
-                ready = seq_resp.ready_at;
-                let new_seq = seq_resp.value;
-                let retry_tx = Tx::new(account, new_seq, msgs, &fee_denom);
-                let retry = rpc.broadcast_tx_sync(ready, &retry_tx);
-                ready = retry.ready_at;
-                match retry.value {
-                    Ok(_) => {
-                        accepted = true;
-                        match to {
-                            ChainRole::Source => self.src_account_seq = new_seq + 1,
-                            ChainRole::Destination => self.dst_account_seq = new_seq + 1,
+                match tracker.mode() {
+                    SequenceTracking::Resync => {
+                        // Re-sync the sequence from the chain's *committed*
+                        // state and retry once — stale across a straddled
+                        // commit, which is exactly the §V race.
+                        let seq_resp = rpc.account_sequence(ready, &account);
+                        ready = seq_resp.ready_at;
+                        let new_seq = seq_resp.value;
+                        let retry_tx = Tx::new(account, new_seq, msgs, &fee_denom);
+                        let retry = rpc.broadcast_tx_sync(ready, &retry_tx);
+                        ready = retry.ready_at;
+                        match retry.value {
+                            Ok(_) => {
+                                accepted = true;
+                                tracker.resync(new_seq + 1);
+                            }
+                            Err(err) => {
+                                self.stats.broadcast_failures += 1;
+                                self.telemetry.record_error(ready, err.to_string());
+                                // The retry failed for a non-sequence reason
+                                // (its CheckTx passed or rejected the tx
+                                // without consuming a sequence), so the
+                                // freshly queried sequence is still the
+                                // account's committed truth — keep it
+                                // instead of reverting to the stale value
+                                // that caused the mismatch, which would make
+                                // every subsequent broadcast repeat the
+                                // resync-and-retry dance.
+                                tracker.resync(new_seq);
+                            }
                         }
                     }
-                    Err(err) => {
-                        self.stats.broadcast_failures += 1;
-                        self.telemetry.record_error(ready, err.to_string());
+                    SequenceTracking::MempoolAware => {
+                        // Reconcile against the mempool-aware query; retry
+                        // only when CheckTx will actually accept the
+                        // sequence. A straddle leaves the messages
+                        // unaccepted for the caller to re-flush — never
+                        // burned on a duplicate sequence.
+                        let snap = rpc.account_sequence_unconfirmed(ready, &account);
+                        ready = snap.ready_at;
+                        if tracker.reconcile(&snap.value) {
+                            let retry_tx = Tx::new(account, tracker.next(), msgs, &fee_denom);
+                            let retry = rpc.broadcast_tx_sync(ready, &retry_tx);
+                            ready = retry.ready_at;
+                            match retry.value {
+                                Ok(_) => {
+                                    accepted = true;
+                                    tracker.advance();
+                                }
+                                Err(err) => {
+                                    self.stats.broadcast_failures += 1;
+                                    self.telemetry.record_error(ready, err.to_string());
+                                }
+                            }
+                        }
                     }
                 }
             }
@@ -1059,5 +1234,162 @@ impl std::fmt::Debug for Relayer {
             .field("packets_tracked", &self.telemetry.len())
             .field("stats", &self.stats)
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xcc_chain::chain::Chain;
+    use xcc_chain::coin::Coin;
+    use xcc_chain::genesis::GenesisConfig;
+    use xcc_ibc::ids::{ChannelId, ClientId};
+    use xcc_rpc::cost::RpcCostModel;
+    use xcc_sim::{DetRng, LatencyModel};
+    use xcc_tendermint::mempool::MempoolConfig;
+    use xcc_tendermint::params::{ConsensusParams, ConsensusTimingModel};
+
+    fn chain_with_mempool(id: &str, max_txs: usize) -> xcc_chain::chain::SharedChain {
+        Chain::with_params(
+            GenesisConfig::new(id)
+                .with_account("relayer", 1_000_000_000)
+                .with_funded_accounts("user", 2, 1_000_000_000),
+            ConsensusParams::default(),
+            ConsensusTimingModel::default(),
+            MempoolConfig {
+                max_txs,
+                ..MempoolConfig::default()
+            },
+        )
+        .into_shared()
+    }
+
+    fn rpc_for(chain: &xcc_chain::chain::SharedChain, seed: u64) -> RpcEndpoint {
+        RpcEndpoint::new(
+            chain.clone(),
+            RpcCostModel::default(),
+            LatencyModel::Zero,
+            DetRng::new(seed),
+        )
+    }
+
+    fn test_relayer(dst: &xcc_chain::chain::SharedChain) -> Relayer {
+        let src = chain_with_mempool("src-chain", 5_000);
+        // The broadcast path never touches channel state, so a nominal path
+        // is enough to construct the driver.
+        let path = RelayPath {
+            port: xcc_ibc::ids::PortId::transfer(),
+            src_channel: ChannelId::with_index(0),
+            dst_channel: ChannelId::with_index(0),
+            client_on_dst: ClientId::with_index(0),
+            client_on_src: ClientId::with_index(0),
+        };
+        Relayer::new(
+            0,
+            RelayerConfig::default(),
+            path,
+            rpc_for(&src, 1),
+            rpc_for(dst, 2),
+        )
+    }
+
+    fn bank_msg(amount: u128) -> Msg {
+        Msg::BankSend {
+            from: "relayer".into(),
+            to: "user-0".into(),
+            amount: Coin::new("uatom", amount),
+        }
+    }
+
+    fn user_tx(chain: &xcc_chain::chain::SharedChain, seq: u64) {
+        let tx = xcc_chain::tx::Tx::new(
+            "user-1".into(),
+            seq,
+            vec![Msg::BankSend {
+                from: "user-1".into(),
+                to: "user-0".into(),
+                amount: Coin::new("uatom", 1),
+            }],
+            "uatom",
+        );
+        chain
+            .borrow_mut()
+            .submit_tx(&tx, SimTime::ZERO)
+            .expect("filler tx enters the mempool");
+    }
+
+    /// Pins the `broadcast_failures` counting semantics documented on
+    /// [`RelayerStats`]: a single logical submission whose initial attempt
+    /// and post-resync retry both fail increments the counter **twice** —
+    /// it counts failed attempts, not logical submissions.
+    #[test]
+    fn both_failed_attempts_of_one_submission_count_twice() {
+        // A destination whose mempool holds exactly one transaction, already
+        // occupied by a user's filler tx, and whose committed relayer
+        // sequence has moved past the relayer's local view.
+        let dst = chain_with_mempool("dst-chain", 1);
+        let mut relayer = test_relayer(&dst);
+        {
+            // Desync: someone (a prior relayer run) commits a tx from the
+            // relayer's account.
+            let external = xcc_chain::tx::Tx::new("relayer".into(), 0, vec![bank_msg(7)], "uatom");
+            dst.borrow_mut()
+                .submit_tx(&external, SimTime::ZERO)
+                .unwrap();
+            dst.borrow_mut().produce_block(SimTime::from_secs(5));
+        }
+        user_tx(&dst, 0); // fills the 1-slot mempool
+
+        // Initial attempt: sequence mismatch (local 0, committed 1).
+        // Retry after resync: CheckTx passes at sequence 1, but the mempool
+        // is full — a non-sequence failure. One logical submission, two
+        // counted failures.
+        let (_, accepted) = relayer.broadcast(
+            ChainRole::Destination,
+            SimTime::from_secs(6),
+            vec![bank_msg(1)],
+        );
+        assert!(!accepted);
+        assert_eq!(relayer.stats().broadcast_failures, 2);
+    }
+
+    /// The retry path must persist the freshly queried sequence even when
+    /// the retry fails for a non-sequence reason; otherwise the next
+    /// broadcast repeats the mismatch with the stale value forever.
+    #[test]
+    fn failed_retry_persists_the_resynced_sequence() {
+        let dst = chain_with_mempool("dst-chain", 1);
+        let mut relayer = test_relayer(&dst);
+        {
+            let external = xcc_chain::tx::Tx::new("relayer".into(), 0, vec![bank_msg(7)], "uatom");
+            dst.borrow_mut()
+                .submit_tx(&external, SimTime::ZERO)
+                .unwrap();
+            dst.borrow_mut().produce_block(SimTime::from_secs(5));
+        }
+        user_tx(&dst, 0);
+        let (_, accepted) = relayer.broadcast(
+            ChainRole::Destination,
+            SimTime::from_secs(6),
+            vec![bank_msg(1)],
+        );
+        assert!(!accepted);
+        assert_eq!(relayer.stats().broadcast_failures, 2);
+
+        // Drain the mempool; the next broadcast must reuse the persisted
+        // sequence (1) and succeed first try — no third failure.
+        dst.borrow_mut().produce_block(SimTime::from_secs(10));
+        assert_eq!(dst.borrow().mempool_size(), 0);
+        let (_, accepted) = relayer.broadcast(
+            ChainRole::Destination,
+            SimTime::from_secs(11),
+            vec![bank_msg(2)],
+        );
+        assert!(accepted, "the persisted sequence is accepted directly");
+        assert_eq!(
+            relayer.stats().broadcast_failures,
+            2,
+            "no repeated mismatch from a stale cached sequence"
+        );
     }
 }

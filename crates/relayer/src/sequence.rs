@@ -1,0 +1,200 @@
+//! Per-chain account-sequence tracking for the relayer's broadcast path.
+//!
+//! A relayer signs every transaction with a locally tracked sequence. The
+//! paper's §V "account sequence mismatch" challenge is what happens when
+//! that local view and the chain's `CheckTx` state disagree: across a
+//! *straddled* commit — a block that commits while some of the relayer's
+//! transactions are still in the mempool — the chain resets its check state
+//! to the committed sequence, so the relayer's continuation sequence is
+//! suddenly rejected even though it is the right one.
+//!
+//! A [`SequenceTracker`] owns the local sequence for one chain (one tracker
+//! per chain, shared by every channel the relayer serves, so multi-channel
+//! deployments cannot race themselves) and implements both arms of
+//! [`SequenceTracking`]:
+//!
+//! * [`SequenceTracking::Resync`] — the tracker is a plain counter; on a
+//!   mismatch the relayer re-queries the *committed* sequence and retries
+//!   once (Hermes' behaviour, which burns the window across a straddle);
+//! * [`SequenceTracking::MempoolAware`] — after every observed block commit
+//!   the tracker is *dirty* and must be reconciled against the mempool-aware
+//!   [`UnconfirmedSequence`] query before the next broadcast. Reconciling
+//!   reports whether `CheckTx` will accept the tracker's next sequence; when
+//!   it will not (the check state was reset under the relayer's in-flight
+//!   window), the relayer holds the batch for the next block instead of
+//!   burning it on a duplicate sequence.
+
+use xcc_rpc::endpoint::UnconfirmedSequence;
+
+use crate::strategy::SequenceTracking;
+
+/// The relayer's local account-sequence state towards one chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SequenceTracker {
+    mode: SequenceTracking,
+    next: u64,
+    /// Whether a block commit was observed since the last reconcile — only
+    /// meaningful (and only set) in mempool-aware mode.
+    dirty: bool,
+    /// Whether the last reconcile reported a straddle. Chain state cannot
+    /// change between two block callbacks of the same block, so a held
+    /// verdict is cached until the next observed commit instead of paying
+    /// the mempool-scan query again for every batch of the block.
+    held: bool,
+}
+
+impl SequenceTracker {
+    /// A tracker in `mode`, synced to `initial` (the committed sequence at
+    /// relayer start-up).
+    pub fn new(mode: SequenceTracking, initial: u64) -> Self {
+        SequenceTracker {
+            mode,
+            next: initial,
+            dirty: false,
+            held: false,
+        }
+    }
+
+    /// The tracking mode this tracker runs.
+    pub fn mode(&self) -> SequenceTracking {
+        self.mode
+    }
+
+    /// The sequence the next transaction will be signed with.
+    pub fn next(&self) -> u64 {
+        self.next
+    }
+
+    /// Advances past an accepted broadcast.
+    pub fn advance(&mut self) {
+        self.next += 1;
+    }
+
+    /// Overwrites the local sequence (the Resync arm's post-query reset).
+    pub fn resync(&mut self, sequence: u64) {
+        self.next = sequence;
+    }
+
+    /// Notes a block commit on this tracker's chain. In mempool-aware mode
+    /// the commit may have reset the chain's check state, so the tracker
+    /// must be reconciled before the next broadcast.
+    pub fn note_commit(&mut self) {
+        if self.mode == SequenceTracking::MempoolAware {
+            self.dirty = true;
+            self.held = false;
+        }
+    }
+
+    /// Whether a broadcast must be preceded by a [`reconcile`]
+    /// (mempool-aware mode after an observed commit).
+    ///
+    /// [`reconcile`]: SequenceTracker::reconcile
+    pub fn needs_reconcile(&self) -> bool {
+        self.dirty
+    }
+
+    /// Whether a reconcile already reported a straddle since the last
+    /// observed commit. Batches can be held on this cached verdict without
+    /// re-querying — the chain's check state cannot change until the next
+    /// commit.
+    pub fn is_held(&self) -> bool {
+        self.held
+    }
+
+    /// Reconciles the local sequence against a mempool-aware query and
+    /// returns whether the chain's `CheckTx` will accept the tracker's next
+    /// sequence right now.
+    ///
+    /// `false` means the check state was reset while this account still has
+    /// transactions in the mempool — the §V straddle — and any submission
+    /// would either be rejected or collide with the in-flight window, so the
+    /// caller should hold its batch until after the next commit. The tracker
+    /// stays dirty in that case and is re-checked before the next attempt.
+    pub fn reconcile(&mut self, snapshot: &UnconfirmedSequence) -> bool {
+        // A check state ahead of the local view means the account advanced
+        // without us (never the relayer's own doing in this model, but the
+        // safe recovery is the same): adopt it.
+        if snapshot.expected > self.next {
+            self.next = snapshot.expected;
+        }
+        let ready = snapshot.expected == self.next;
+        if ready {
+            self.dirty = false;
+        } else {
+            self.held = true;
+        }
+        ready
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(committed: u64, expected: u64, pending: u64) -> UnconfirmedSequence {
+        UnconfirmedSequence {
+            committed,
+            expected,
+            pending,
+        }
+    }
+
+    #[test]
+    fn resync_trackers_are_plain_counters() {
+        let mut t = SequenceTracker::new(SequenceTracking::Resync, 5);
+        assert_eq!(t.next(), 5);
+        t.advance();
+        assert_eq!(t.next(), 6);
+        t.note_commit();
+        assert!(!t.needs_reconcile(), "resync mode never reconciles");
+        t.resync(9);
+        assert_eq!(t.next(), 9);
+    }
+
+    #[test]
+    fn mempool_aware_reconciles_after_every_commit() {
+        let mut t = SequenceTracker::new(SequenceTracking::MempoolAware, 0);
+        assert!(!t.needs_reconcile(), "freshly synced trackers are clean");
+        t.advance();
+        t.advance();
+        t.note_commit();
+        assert!(t.needs_reconcile());
+
+        // The commit included both transactions: check state caught up.
+        assert!(t.reconcile(&snapshot(2, 2, 0)));
+        assert!(!t.needs_reconcile());
+        assert_eq!(t.next(), 2);
+    }
+
+    #[test]
+    fn straddled_commits_hold_the_batch_until_the_window_drains() {
+        let mut t = SequenceTracker::new(SequenceTracking::MempoolAware, 0);
+        t.advance(); // seq 0 committed later
+        t.advance(); // seq 1 straddles the commit
+        t.note_commit();
+
+        // One transaction committed, one still pending: the check state was
+        // reset to 1 while the local continuation is 2 — not ready.
+        assert!(!t.reconcile(&snapshot(1, 1, 1)));
+        assert!(t.needs_reconcile(), "held trackers stay dirty");
+        assert_eq!(t.next(), 2, "the local continuation is preserved");
+        // The verdict is cached until the next commit: later batches of the
+        // same block hold without re-querying.
+        assert!(t.is_held());
+
+        // The next commit drains the window; the reset lands on our next.
+        t.note_commit();
+        assert!(!t.is_held(), "a commit invalidates the cached verdict");
+        assert!(t.reconcile(&snapshot(2, 2, 0)));
+        assert_eq!(t.next(), 2);
+        assert!(!t.is_held());
+    }
+
+    #[test]
+    fn reconcile_adopts_a_check_state_that_ran_ahead() {
+        let mut t = SequenceTracker::new(SequenceTracking::MempoolAware, 3);
+        t.note_commit();
+        assert!(t.reconcile(&snapshot(5, 5, 0)));
+        assert_eq!(t.next(), 5);
+    }
+}

@@ -15,6 +15,7 @@
 //! | [`FetchStrategy`] | sequential chunked pulls | batched, parallel |
 //! | [`SubmissionMode`] | eager per-block | windowed, adaptive |
 //! | [`CoordinationMode`] | none (redundant work) | partition, leases |
+//! | [`SequenceTracking`] | committed-state resync (loses straddled windows, §V) | mempool-aware |
 //!
 //! A strategy is plain serde data embedded in the framework's
 //! `DeploymentConfig`, so it round-trips through JSON, sweeps like any other
@@ -99,6 +100,44 @@ pub enum CoordinationMode {
     },
 }
 
+/// How the relayer keeps its account sequences in step with each chain —
+/// the strategy arm behind the paper's §V "account sequence mismatch"
+/// deployment challenge.
+///
+/// The relayer signs every transaction with a locally tracked sequence.
+/// While its transactions sit in a chain's mempool across a block commit
+/// (a *straddled* commit), the chain's `CheckTx` state resets to the
+/// committed sequence, so the relayer's continuation is rejected and the
+/// naive recovery burns an entire submission window on a duplicate
+/// sequence. The two arms differ exactly in that recovery:
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SequenceTracking {
+    /// On a mismatch, re-query the chain's *committed* sequence and retry
+    /// once with it — Hermes' behaviour, and the paper's. Across a straddled
+    /// commit the committed sequence is stale (the relayer's own
+    /// transactions still occupy it in the mempool), so the retry collides
+    /// on-chain and the window's messages are lost.
+    #[default]
+    Resync,
+    /// Track the check-state sequence locally and reconcile against the
+    /// mempool-aware `account_sequence_unconfirmed` query before flushing:
+    /// when the check state was reset under the relayer's in-flight window,
+    /// hold the batch for the next block instead of burning it on a
+    /// duplicate sequence. Straddled commits delay a flush by one block but
+    /// never lose it, and broadcast failures drop to zero.
+    MempoolAware,
+}
+
+impl SequenceTracking {
+    /// A short label for sweep-point names and report rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SequenceTracking::Resync => "resync",
+            SequenceTracking::MempoolAware => "mempool",
+        }
+    }
+}
+
 /// How one relayer instance divides its attention between the channels of a
 /// multi-channel deployment (the per-channel scheduling layer).
 ///
@@ -153,6 +192,9 @@ pub struct RelayerStrategy {
     /// deployment. Clearing is what rescues transfers stranded by an
     /// oversized WebSocket frame.
     pub packet_clear_interval: u64,
+    /// Account-sequence management across straddled commits (§V's sequence
+    /// race). The default reproduces Hermes' lossy committed-state resync.
+    pub sequence_tracking: SequenceTracking,
 }
 
 // Hand-written serde impls (instead of the derive) so that strategy JSON
@@ -175,6 +217,10 @@ impl Serialize for RelayerStrategy {
                 "packet_clear_interval".into(),
                 self.packet_clear_interval.to_value(),
             ),
+            (
+                "sequence_tracking".into(),
+                self.sequence_tracking.to_value(),
+            ),
         ])
     }
 }
@@ -192,6 +238,7 @@ impl Deserialize for RelayerStrategy {
             channel_policy: de_field_or_default(map, "channel_policy")?,
             ws_frame_limit_bytes: de_field_or_default(map, "ws_frame_limit_bytes")?,
             packet_clear_interval: de_field_or_default(map, "packet_clear_interval")?,
+            sequence_tracking: de_field_or_default(map, "sequence_tracking")?,
         })
     }
 }
@@ -280,6 +327,23 @@ impl RelayerStrategy {
         self
     }
 
+    /// Returns this strategy with the given account-sequence tracking mode
+    /// ([`SequenceTracking::Resync`] restores the paper's lossy behaviour).
+    pub fn sequence_tracking(mut self, tracking: SequenceTracking) -> Self {
+        self.sequence_tracking = tracking;
+        self
+    }
+
+    /// The paper pipeline with mempool-aware sequence tracking: straddled
+    /// destination commits delay a flush instead of losing it (see the
+    /// `sequence_race` registry scenario).
+    pub fn mempool_sequences() -> Self {
+        RelayerStrategy {
+            sequence_tracking: SequenceTracking::MempoolAware,
+            ..RelayerStrategy::default()
+        }
+    }
+
     /// A short label for sweep-point names and report rows: the non-default
     /// stage choices joined by `+`, or `"default"`.
     pub fn label(&self) -> String {
@@ -312,6 +376,9 @@ impl RelayerStrategy {
         }
         if self.packet_clear_interval != 0 {
             parts.push(format!("clear{}", self.packet_clear_interval));
+        }
+        if self.sequence_tracking == SequenceTracking::MempoolAware {
+            parts.push("mempool-seq".to_string());
         }
         if parts.is_empty() {
             "default".to_string()
@@ -403,6 +470,7 @@ mod tests {
             RelayerStrategy::default()
                 .frame_limit(4 << 20)
                 .packet_clearing(3),
+            RelayerStrategy::mempool_sequences(),
         ] {
             let back = RelayerStrategy::from_value(&s.to_value()).unwrap();
             assert_eq!(back, s);
@@ -425,5 +493,25 @@ mod tests {
         assert_eq!(parsed.channel_policy, ChannelPolicy::FairShare);
         assert_eq!(parsed.ws_frame_limit_bytes, 0);
         assert_eq!(parsed.packet_clear_interval, 0);
+        assert_eq!(parsed.sequence_tracking, SequenceTracking::Resync);
+    }
+
+    #[test]
+    fn sequence_tracking_knob_builds_and_labels() {
+        let s = RelayerStrategy::mempool_sequences();
+        assert_eq!(s.sequence_tracking, SequenceTracking::MempoolAware);
+        assert_eq!(s.label(), "mempool-seq");
+        assert_eq!(
+            RelayerStrategy::batched_pulls()
+                .sequence_tracking(SequenceTracking::MempoolAware)
+                .label(),
+            "batched+mempool-seq"
+        );
+        assert_eq!(SequenceTracking::Resync.label(), "resync");
+        assert_eq!(SequenceTracking::MempoolAware.label(), "mempool");
+        assert_eq!(
+            RelayerStrategy::default().sequence_tracking(SequenceTracking::Resync),
+            RelayerStrategy::default()
+        );
     }
 }

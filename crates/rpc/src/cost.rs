@@ -22,6 +22,10 @@ pub enum RequestKind {
     Status,
     /// `abci_query` for an account (sequence / balance lookups).
     AccountQuery,
+    /// Mempool-aware account-sequence query: the committed sequence plus the
+    /// account's unconfirmed mempool window (Tendermint's `unconfirmed_txs`
+    /// filtered by sender). Costs a mempool scan on top of the account read.
+    UnconfirmedAccountQuery,
     /// Packet-data pull: the `tx_search`-style query the relayer issues per
     /// source transaction to rebuild packets, including proofs.
     PacketDataPull,
@@ -61,6 +65,10 @@ pub struct RpcCostModel {
     /// and pagination for every packet the single query returns. Batching
     /// amortizes the block scan but is not free.
     pub batched_pull_per_item: SimDuration,
+    /// Per-pending-transaction cost of an unconfirmed-aware account query:
+    /// the node walks its mempool to count the account's in-flight window,
+    /// so the scan grows with the mempool backlog.
+    pub unconfirmed_query_per_pending_tx: SimDuration,
 }
 
 impl Default for RpcCostModel {
@@ -74,6 +82,7 @@ impl Default for RpcCostModel {
             data_pull_per_block_msg_recv: SimDuration::from_micros(823),
             broadcast_per_msg: SimDuration::from_micros(30),
             batched_pull_per_item: SimDuration::from_micros(120),
+            unconfirmed_query_per_pending_tx: SimDuration::from_micros(4),
         }
     }
 }
@@ -132,6 +141,11 @@ impl RpcCostModel {
                 };
                 per_msg * profile.messages as u64
                     + self.batched_pull_per_item * profile.items as u64
+            }
+            RequestKind::UnconfirmedAccountQuery => {
+                // The mempool scan: `items` carries the pending-tx count the
+                // node walked to answer the query.
+                self.unconfirmed_query_per_pending_tx * profile.items as u64
             }
             RequestKind::BlockResults => {
                 // Whole-block queries pay the size cost twice: encoding and
@@ -296,5 +310,29 @@ mod tests {
         let model = RpcCostModel::default();
         let status = model.service_time(&RequestProfile::small(RequestKind::Status));
         assert!(status < SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn unconfirmed_query_scales_with_the_mempool_scan() {
+        let model = RpcCostModel::default();
+        let profile = |items| RequestProfile {
+            kind: RequestKind::UnconfirmedAccountQuery,
+            response_bytes: 512,
+            messages: 0,
+            recv_heavy: false,
+            items,
+        };
+        let empty = model.service_time(&profile(0));
+        let busy = model.service_time(&profile(5_000));
+        assert_eq!(
+            empty,
+            model.service_time(&RequestProfile::small(RequestKind::AccountQuery)),
+            "an empty mempool costs no more than a plain account query"
+        );
+        assert_eq!(
+            busy - empty,
+            model.unconfirmed_query_per_pending_tx * 5_000,
+            "the mempool walk is linear in the backlog"
+        );
     }
 }

@@ -65,6 +65,32 @@ impl std::fmt::Display for BroadcastError {
 
 impl std::error::Error for BroadcastError {}
 
+/// The answer to a mempool-aware account-sequence query
+/// ([`RpcEndpoint::account_sequence_unconfirmed`]): everything a client needs
+/// to pick its next sequence without burning a transaction on the §V
+/// account-sequence race.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnconfirmedSequence {
+    /// The committed sequence — what a plain
+    /// [`account_sequence`](RpcEndpoint::account_sequence) query returns.
+    pub committed: u64,
+    /// The sequence `CheckTx` expects on the account's next submission (the
+    /// node's check state). Runs ahead of `committed` while the account's
+    /// transactions sit in the mempool, and resets to `committed` at every
+    /// block commit.
+    pub expected: u64,
+    /// Number of the account's transactions currently in the mempool.
+    pub pending: u64,
+}
+
+impl UnconfirmedSequence {
+    /// The sequence the account's next *new* transaction will need once the
+    /// mempool drains: the committed sequence plus the unconfirmed window.
+    pub fn unconfirmed(&self) -> u64 {
+        self.committed + self.pending
+    }
+}
+
 /// The execution outcome of one committed transaction, as reported by
 /// `tx_search`-style queries.
 #[derive(Debug, Clone, PartialEq)]
@@ -157,6 +183,42 @@ impl RpcEndpoint {
     pub fn account_sequence(&mut self, now: SimTime, address: &AccountId) -> RpcResponse<u64> {
         let seq = self.chain.borrow().app().account_sequence(address);
         self.respond(now, RequestProfile::small(RequestKind::AccountQuery), seq)
+    }
+
+    /// Mempool-aware account-sequence query: the committed sequence, the
+    /// check-state sequence `CheckTx` currently expects, and the account's
+    /// unconfirmed mempool window — Tendermint's `unconfirmed_txs` filtered
+    /// by sender, folded into one query. The service time pays a scan over
+    /// the whole mempool (the node walks every pending transaction to filter
+    /// by sender), so the query gets slower exactly when it matters most.
+    pub fn account_sequence_unconfirmed(
+        &mut self,
+        now: SimTime,
+        address: &AccountId,
+    ) -> RpcResponse<UnconfirmedSequence> {
+        let (snapshot, mempool_size) = {
+            let chain = self.chain.borrow();
+            let app = chain.app();
+            (
+                UnconfirmedSequence {
+                    committed: app.account_sequence(address),
+                    expected: app.check_account_sequence(address),
+                    pending: chain.mempool_pending_from(address.as_str()) as u64,
+                },
+                chain.mempool_size(),
+            )
+        };
+        self.respond(
+            now,
+            RequestProfile {
+                kind: RequestKind::UnconfirmedAccountQuery,
+                response_bytes: 512,
+                messages: 0,
+                recv_heavy: false,
+                items: mempool_size,
+            },
+            snapshot,
+        )
     }
 
     /// `broadcast_tx_sync`: submit a transaction to the mempool.
@@ -652,6 +714,72 @@ mod tests {
                 .value,
             1
         );
+    }
+
+    #[test]
+    fn unconfirmed_sequence_tracks_the_mempool_window_and_the_check_reset() {
+        let mut rpc = endpoint(0);
+        let idle = rpc
+            .account_sequence_unconfirmed(SimTime::ZERO, &"user-0".into())
+            .value;
+        assert_eq!(
+            idle,
+            UnconfirmedSequence {
+                committed: 0,
+                expected: 0,
+                pending: 0
+            }
+        );
+
+        // Two transactions enter the mempool: the check state runs ahead of
+        // the committed state by exactly the unconfirmed window.
+        rpc.broadcast_tx_sync(SimTime::ZERO, &bank_tx(0))
+            .value
+            .unwrap();
+        rpc.broadcast_tx_sync(SimTime::ZERO, &bank_tx(1))
+            .value
+            .unwrap();
+        let pending = rpc
+            .account_sequence_unconfirmed(SimTime::ZERO, &"user-0".into())
+            .value;
+        assert_eq!(pending.committed, 0);
+        assert_eq!(pending.expected, 2);
+        assert_eq!(pending.pending, 2);
+        assert_eq!(pending.unconfirmed(), 2);
+
+        // A block that commits only the first transaction (the second arrived
+        // after the propose instant) resets the check state below the
+        // unconfirmed window — the §V straddled-commit shape.
+        let straddled = Tx::new(
+            "user-0".into(),
+            2,
+            vec![Msg::BankSend {
+                from: "user-0".into(),
+                to: "user-1".into(),
+                amount: Coin::new("uatom", 2),
+            }],
+            "uatom",
+        );
+        rpc.chain()
+            .borrow_mut()
+            .submit_tx(&straddled, SimTime::from_secs(10))
+            .unwrap();
+        rpc.chain()
+            .borrow_mut()
+            .produce_block(SimTime::from_secs(5));
+        let after = rpc
+            .account_sequence_unconfirmed(SimTime::from_secs(5), &"user-0".into())
+            .value;
+        assert_eq!(after.committed, 2, "the first two transactions committed");
+        assert_eq!(
+            after.pending, 1,
+            "the straddled transaction is still pending"
+        );
+        assert_eq!(
+            after.expected, 2,
+            "the commit reset the check state below the unconfirmed window"
+        );
+        assert_eq!(after.unconfirmed(), 3);
     }
 
     #[test]

@@ -241,6 +241,14 @@ impl Mempool {
         self.total_bytes -= removed_bytes;
     }
 
+    /// Number of pending transactions from one sender — the mempool's share
+    /// of an account's unconfirmed sequence window. This is what the
+    /// unconfirmed-aware account query (`account_sequence_unconfirmed` in the
+    /// RPC layer) adds on top of the committed sequence.
+    pub fn pending_from(&self, sender: &str) -> usize {
+        self.queue.iter().filter(|tx| tx.sender == sender).count()
+    }
+
     /// Pending transaction counts per sender, useful for diagnosing
     /// account-sequence congestion.
     pub fn pending_by_sender(&self) -> HashMap<String, usize> {
@@ -365,6 +373,9 @@ mod tests {
         let by_sender = pool.pending_by_sender();
         assert_eq!(by_sender["alice"], 2);
         assert_eq!(by_sender["bob"], 1);
+        assert_eq!(pool.pending_from("alice"), 2);
+        assert_eq!(pool.pending_from("bob"), 1);
+        assert_eq!(pool.pending_from("carol"), 0);
     }
 
     #[test]

@@ -165,6 +165,13 @@ impl<A: Application> Node<A> {
         self.mempool.len()
     }
 
+    /// Number of mempool transactions from one sender: the unconfirmed part
+    /// of that account's sequence window, surfaced so the RPC layer can
+    /// answer mempool-aware account-sequence queries (§V's sequence race).
+    pub fn mempool_pending_from(&self, sender: &str) -> usize {
+        self.mempool.pending_from(sender)
+    }
+
     /// The committed block at `height`, if any (heights start at 1).
     pub fn block_at(&self, height: u64) -> Option<&CommittedBlock> {
         if height == 0 {

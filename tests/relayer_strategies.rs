@@ -19,10 +19,11 @@ use ibc_perf_repro::chain::tx::Tx;
 use ibc_perf_repro::framework::scenarios;
 use ibc_perf_repro::framework::spec::ExperimentSpec;
 use ibc_perf_repro::framework::ScenarioOutcome;
-use ibc_perf_repro::relayer::strategy::RelayerStrategy;
+use ibc_perf_repro::relayer::strategy::{RelayerStrategy, SequenceTracking};
 use ibc_perf_repro::relayer::telemetry::TransferStep;
 
 const GOLDENS: &str = include_str!("fixtures/default_strategy_goldens.json");
+const SEQUENCE_RACE_GOLDENS: &str = include_str!("fixtures/sequence_race_goldens.json");
 
 #[test]
 fn default_strategy_reproduces_pre_refactor_goldens() {
@@ -168,6 +169,169 @@ fn redundant_message_accounting_sums_to_the_packet_totals() {
         run.telemetry.count_for_step(TransferStep::RecvConfirmation) as u64,
         received_on_b
     );
+}
+
+/// The mempool-aware fix replays its own golden fixture bit for bit — the
+/// counterpart of the default-strategy goldens, captured with the knob on
+/// (regenerate with `goldens --sequence-race`, verify with `goldens
+/// --check`).
+#[test]
+fn sequence_race_outcomes_replay_their_goldens() {
+    let goldens: Vec<ScenarioOutcome> =
+        serde_json::from_str(SEQUENCE_RACE_GOLDENS).expect("sequence-race fixture parses");
+    assert_eq!(goldens.len(), 2, "one golden per sequence-tracking arm");
+    for golden in goldens {
+        assert!(golden.spec.deployment.report_broadcast_failures);
+        let rerun = scenarios::run(&golden.spec);
+        assert_eq!(
+            rerun.metrics, golden.metrics,
+            "{} diverged from its pinned outcome",
+            golden.spec.name
+        );
+    }
+}
+
+/// A spec whose relayer flushes deterministically straddle destination
+/// commits (seeded, so the race reproduces bit for bit): the §V
+/// account-sequence race's permanent repro.
+fn sequence_race_spec() -> ExperimentSpec {
+    ExperimentSpec::relayer_throughput()
+        .input_rate(40)
+        .relayers(1)
+        .rtt_ms(0)
+        .measurement_blocks(6)
+        .seed(42)
+}
+
+/// Counts the transactions committed to the destination chain that failed
+/// on-chain for a non-redundancy reason — the burned submission windows the
+/// §V race leaves behind (a duplicate-sequence retry, or the receive batch
+/// whose client update was lost to one).
+fn burned_windows(run: &ibc_perf_repro::framework::runner::RunOutput) -> u64 {
+    let chain = run.chain_b.borrow();
+    let mut burned = 0u64;
+    for height in 1..=chain.height() {
+        let block = chain.block_at(height).unwrap();
+        for result in &block.results {
+            if !result.is_ok() && !result.log.contains("redundant") {
+                burned += 1;
+            }
+        }
+    }
+    burned
+}
+
+/// The §V straddled-commit race, pinned as a counterfactual pair: the
+/// default `Resync` tracking loses submission windows to duplicate
+/// sequences, and `MempoolAware` tracking makes both the broadcast failures
+/// and the burned windows vanish without losing throughput.
+#[test]
+fn straddled_commits_lose_windows_under_resync_and_none_under_mempool_aware() {
+    let base = sequence_race_spec();
+
+    // Under Resync, the race is visible at every level: failed broadcast
+    // attempts, transactions burned on chain, and a sequence-mismatch error
+    // in the telemetry log.
+    let resync = scenarios::run_raw(&base.clone());
+    let resync_failures: u64 = resync
+        .relayer_stats
+        .iter()
+        .map(|s| s.broadcast_failures)
+        .sum();
+    assert!(
+        resync_failures > 0,
+        "the repro must exhibit the sequence race"
+    );
+    assert!(
+        burned_windows(&resync) > 0,
+        "a straddled commit burns committed transactions under Resync"
+    );
+    assert!(resync
+        .telemetry
+        .errors()
+        .iter()
+        .any(|e| e.message.contains("account sequence mismatch")));
+
+    // Under MempoolAware, the same workload shows neither.
+    let mempool = scenarios::run_raw(
+        &base
+            .clone()
+            .sequence_tracking(SequenceTracking::MempoolAware),
+    );
+    let mempool_failures: u64 = mempool
+        .relayer_stats
+        .iter()
+        .map(|s| s.broadcast_failures)
+        .sum();
+    assert_eq!(
+        mempool_failures, 0,
+        "mempool-aware tracking never burns a broadcast on the race"
+    );
+    assert_eq!(
+        burned_windows(&mempool),
+        0,
+        "no committed transaction fails once straddles hold the batch"
+    );
+    assert!(mempool
+        .telemetry
+        .errors()
+        .iter()
+        .all(|e| !e.message.contains("account sequence mismatch")));
+
+    // Holding a straddled batch delays it one block; it must never cost
+    // completed transfers.
+    let resync_outcome = scenarios::outcome_from(&base.clone(), &resync);
+    let mempool_outcome = scenarios::outcome_from(
+        &base.sequence_tracking(SequenceTracking::MempoolAware),
+        &mempool,
+    );
+    assert!(
+        mempool_outcome.completed() >= resync_outcome.completed(),
+        "mempool-aware completed {} vs resync {}",
+        mempool_outcome.completed(),
+        resync_outcome.completed()
+    );
+    // The race's cost is visible in the outcome metrics only when asked for
+    // (both arms of the comparison report it; plain runs stay pristine).
+    assert_eq!(
+        mempool_outcome.broadcast_failures(),
+        0,
+        "the metric agrees with the stats"
+    );
+    assert!(!resync_outcome.metrics.contains_key("broadcast_failures"));
+}
+
+/// Mempool-aware tracking composed with the packet-clear scan: an
+/// acknowledgement held by a straddled source commit must not be picked up
+/// again by the clear scan (which would enqueue a duplicate
+/// `MsgAcknowledgement` and burn a transaction on-chain). No committed
+/// transaction may fail on either chain, and every transfer still
+/// acknowledges exactly once.
+#[test]
+fn held_acknowledgements_are_not_duplicated_by_the_clear_scan() {
+    let run = scenarios::run_raw(
+        &sequence_race_spec()
+            .packet_clearing(2)
+            .sequence_tracking(SequenceTracking::MempoolAware),
+    );
+    let failures: u64 = run.relayer_stats.iter().map(|s| s.broadcast_failures).sum();
+    assert_eq!(failures, 0);
+    for chain in [&run.chain_a, &run.chain_b] {
+        let chain = chain.borrow();
+        for height in 1..=chain.height() {
+            let block = chain.block_at(height).unwrap();
+            for result in &block.results {
+                assert!(
+                    result.is_ok(),
+                    "committed tx failed at height {height}: {}",
+                    result.log
+                );
+            }
+        }
+    }
+    // Exactly-once acknowledgement per transfer the run completed.
+    let acked = run.telemetry.count_for_step(TransferStep::AckConfirmation);
+    assert!(acked > 0);
 }
 
 #[test]

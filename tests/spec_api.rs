@@ -74,6 +74,7 @@ fn registry_lookup_returns_every_figure_name() {
         "multi_channel_scaling",
         "frame_limit_sweep",
         "channel_contention",
+        "sequence_race",
         "smoke",
     ];
     assert_eq!(registry::names(), expected);
