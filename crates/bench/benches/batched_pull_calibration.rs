@@ -1,0 +1,13 @@
+//! Calibration scenario `batched_pull_calibration` (see the registry
+//! entry): the batched data fetcher's per-item pagination surcharge
+//! (`DeploymentConfig::batched_pull_per_item_us`) swept around the
+//! calibrated 120 µs, from free pagination up to 8× — how sensitive is the
+//! batched fetcher's advantage over Hermes' chunked scans to the cost
+//! model's calibration?
+//!
+//! Sweep mode and output format come from `XCC_FULL_SWEEP` / `XCC_OUTPUT`
+//! (see `xcc_framework::sweep`).
+
+fn main() {
+    xcc_bench::run_and_print("batched_pull_calibration");
+}

@@ -1,0 +1,11 @@
+//! Fleet-topology scenario `dedicated_scaling` (see the registry entry):
+//! one shared relayer process serving N channels (the paper's per-process
+//! ~90 TFPS cap, flat in N) vs a dedicated fleet of one relayer process per
+//! channel, each with its own RPC lanes, which scales with N.
+//!
+//! Sweep mode and output format come from `XCC_FULL_SWEEP` / `XCC_OUTPUT`
+//! (see `xcc_framework::sweep`).
+
+fn main() {
+    xcc_bench::run_and_print("dedicated_scaling");
+}

@@ -18,7 +18,7 @@
 use xcc_framework::scenarios;
 use xcc_framework::spec::ExperimentSpec;
 use xcc_framework::ScenarioOutcome;
-use xcc_relayer::strategy::SequenceTracking;
+use xcc_relayer::strategy::{ChannelPolicy, SequenceTracking};
 
 /// The spec set behind the golden fixtures: one small point per paper figure
 /// the relayer refactor must preserve (Figs. 8, 9, 11 and 12).
@@ -119,6 +119,33 @@ pub fn sequence_race_golden_specs() -> Vec<ExperimentSpec> {
     ]
 }
 
+/// The spec set behind the dedicated-scaling golden fixture: the same
+/// 4-channel, one-`relayer_count` deployment under both channel policies.
+/// The shared-process arm pins the per-process throughput cap (the flat
+/// `multi_channel_scaling` curve), the dedicated arm pins the fleet of one
+/// relayer process per channel breaking it by ≥2× — the acceptance bar
+/// `tests/dedicated_fleet.rs` asserts against this fixture. Regenerate with:
+///
+/// ```text
+/// cargo run --release -p xcc-bench --bin goldens -- --dedicated-scaling \
+///     > tests/fixtures/dedicated_scaling_goldens.json
+/// ```
+pub fn dedicated_scaling_golden_specs() -> Vec<ExperimentSpec> {
+    let base = ExperimentSpec::relayer_throughput()
+        .relayers(1)
+        .channels(4)
+        .rtt_ms(0)
+        .input_rate(120)
+        .measurement_blocks(6)
+        .seed(42);
+    vec![
+        base.clone()
+            .named("golden/dedicated_scaling/rate=120/channels=4/policy=fair-share"),
+        base.named("golden/dedicated_scaling/rate=120/channels=4/policy=dedicated")
+            .channel_policy(ChannelPolicy::Dedicated),
+    ]
+}
+
 /// Every fixture set: the `--check` mode walks all of them.
 fn fixture_sets() -> Vec<(&'static str, Vec<ExperimentSpec>)> {
     vec![
@@ -133,6 +160,10 @@ fn fixture_sets() -> Vec<(&'static str, Vec<ExperimentSpec>)> {
         (
             "tests/fixtures/sequence_race_goldens.json",
             sequence_race_golden_specs(),
+        ),
+        (
+            "tests/fixtures/dedicated_scaling_goldens.json",
+            dedicated_scaling_golden_specs(),
         ),
     ]
 }
@@ -201,6 +232,8 @@ fn main() {
         multi_channel_golden_specs()
     } else if args.iter().any(|a| a == "--sequence-race") {
         sequence_race_golden_specs()
+    } else if args.iter().any(|a| a == "--dedicated-scaling") {
+        dedicated_scaling_golden_specs()
     } else {
         golden_specs()
     };

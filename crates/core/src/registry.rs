@@ -98,7 +98,7 @@ fn edit_distance(a: &str, b: &str) -> usize {
     previous[b.len()]
 }
 
-static ENTRIES: [ScenarioEntry; 19] = [
+static ENTRIES: [ScenarioEntry; 21] = [
     ScenarioEntry {
         name: "fig6",
         title: "Tendermint throughput (TFPS) vs input rate",
@@ -206,6 +206,18 @@ static ENTRIES: [ScenarioEntry; 19] = [
         title: "§V account-sequence race: resync vs mempool-aware tracking",
         grid: sequence_race_grid,
         render: sequence_race_render,
+    },
+    ScenarioEntry {
+        name: "dedicated_scaling",
+        title: "Dedicated per-channel relayer fleet vs one shared process",
+        grid: dedicated_scaling_grid,
+        render: dedicated_scaling_render,
+    },
+    ScenarioEntry {
+        name: "batched_pull_calibration",
+        title: "Batched-pull pagination surcharge calibration sweep",
+        grid: batched_pull_calibration_grid,
+        render: batched_pull_calibration_render,
     },
     ScenarioEntry {
         name: "smoke",
@@ -447,15 +459,17 @@ fn frame_limit_grid(mode: SweepMode) -> SweepGrid {
     ))
 }
 
-/// Three channels under a skewed 4:1:1 load, served by three relayers under
-/// each channel policy: fair-share and priority leave all instances
-/// competing on every channel (redundant work, as in Fig. 9), a dedicated
-/// relayer per channel eliminates it.
+/// Three channels under a skewed 4:1:1 load, one `relayer_count` worth of
+/// capacity under each channel policy: fair-share and priority are a single
+/// process rotating (or prioritising) the three channels on one packet
+/// worker, while `Dedicated` expands into a real fleet of three processes —
+/// one per channel, each with its own RPC lanes — so the busy channel no
+/// longer queues behind (or ahead of) the idle ones.
 fn channel_contention_grid(mode: SweepMode) -> SweepGrid {
     SweepGrid::new(
         ExperimentSpec::relayer_throughput()
             .named("channel_contention")
-            .relayers(3)
+            .relayers(1)
             .channels(3)
             .channel_weights([4, 1, 1])
             .rtt_ms(200)
@@ -468,6 +482,44 @@ fn channel_contention_grid(mode: SweepMode) -> SweepGrid {
         RelayerStrategy::with_channel_policy(ChannelPolicy::Priority),
         RelayerStrategy::with_channel_policy(ChannelPolicy::Dedicated),
     ])
+}
+
+/// Does the ~90 TFPS cap break once "more relayers" means more *processes*?
+/// `ChannelPolicy` × `channel_count`: the shared arm is the paper's one
+/// process serving N channels on one RPC lane pair (flat, as in
+/// `multi_channel_scaling`); the dedicated arm deploys one relayer process
+/// per channel, each with its own lanes, and scales with the channel count.
+fn dedicated_scaling_grid(mode: SweepMode) -> SweepGrid {
+    SweepGrid::new(
+        ExperimentSpec::relayer_throughput()
+            .named("dedicated_scaling")
+            .relayers(1)
+            .rtt_ms(0)
+            .input_rate(mode.pick(120, 200))
+            .measurement_blocks(mode.pick(6, 15))
+            .seed(42),
+    )
+    .channel_counts(mode.pick(vec![1, 2, 4], vec![1, 2, 4, 8]))
+    .channel_policies([ChannelPolicy::FairShare, ChannelPolicy::Dedicated])
+}
+
+/// The PR 4 calibration axis as a scenario: how sensitive is the batched
+/// fetcher's advantage (one block scan per flush instead of one per chunk)
+/// to the per-item pagination surcharge? Sweeps
+/// `DeploymentConfig::batched_pull_per_item_us` over the Fig. 12-shaped
+/// latency run with `RelayerStrategy::batched_pulls`, from free pagination
+/// through 8× the calibrated 120 µs.
+fn batched_pull_calibration_grid(mode: SweepMode) -> SweepGrid {
+    SweepGrid::new(
+        ExperimentSpec::latency()
+            .named("batched_pull_calibration")
+            .transfers(mode.pick(1_000, 5_000))
+            .submission_blocks(1)
+            .rtt_ms(200)
+            .strategy(RelayerStrategy::batched_pulls())
+            .seed(42),
+    )
+    .batched_pull_per_items(mode.pick(vec![0, 120, 480, 960], vec![0, 30, 60, 120, 240, 480, 960]))
 }
 
 /// The §V account-sequence race as a strategy comparison: a sustained load
@@ -902,8 +954,9 @@ fn channel_contention_render(outcomes: &[ScenarioOutcome]) -> ExecutionReport {
         })
         .unwrap_or((0, 0, Vec::new()));
     report.add_note(format!(
-        "channel_contention — {relayers} relayers, {channels} channels, \
-         weighted load {weights:?}: completion per channel policy"
+        "channel_contention — {channels} channels under weighted load {weights:?}: \
+         fair-share / priority are {relayers} shared process(es), dedicated \
+         expands into one relayer process per channel"
     ));
     let mut header = format!(
         "{:>12} | {:>10} | {:>14}",
@@ -933,6 +986,91 @@ fn channel_contention_render(outcomes: &[ScenarioOutcome]) -> ExecutionReport {
         report.set_metric(
             format!("redundant_{policy}"),
             outcome.redundant_packet_errors() as f64,
+        );
+    }
+    report
+}
+
+/// `dedicated_scaling`: one row per channel count with the shared-process
+/// and dedicated-fleet TFPS side by side, plus the scaling ratio.
+fn dedicated_scaling_render(outcomes: &[ScenarioOutcome]) -> ExecutionReport {
+    let mut report = ExecutionReport::new("dedicated_scaling");
+    let rate = outcomes
+        .first()
+        .map(|o| o.input_rate_rps() as u64)
+        .unwrap_or(0);
+    report.add_note(format!(
+        "dedicated_scaling — {rate} rps split over N channels: one shared relayer \
+         process (the paper's per-process ~90 TFPS cap) vs a dedicated fleet of \
+         one process per channel, each with its own RPC lanes"
+    ));
+    report.add_row(format!(
+        "{:>10} | {:>14} | {:>17} | {:>8}",
+        "channels", "shared (TFPS)", "dedicated (TFPS)", "scaling"
+    ));
+    let mut channel_counts: Vec<usize> = outcomes.iter().map(|o| o.channel_count()).collect();
+    channel_counts.sort_unstable();
+    channel_counts.dedup();
+    for n in channel_counts {
+        let arm = |policy: ChannelPolicy| {
+            outcomes
+                .iter()
+                .find(|o| {
+                    o.channel_count() == n
+                        && o.spec.deployment.relayer_strategy.channel_policy == policy
+                })
+                .map(|o| o.throughput_tfps())
+                .unwrap_or(0.0)
+        };
+        let shared = arm(ChannelPolicy::FairShare);
+        let dedicated = arm(ChannelPolicy::Dedicated);
+        let scaling = if shared > 0.0 {
+            dedicated / shared
+        } else {
+            0.0
+        };
+        report.add_row(format!(
+            "{n:>10} | {shared:>14.1} | {dedicated:>17.1} | {scaling:>7.2}x"
+        ));
+        report.set_metric(format!("tfps_shared_channels_{n}"), shared);
+        report.set_metric(format!("tfps_dedicated_channels_{n}"), dedicated);
+        report.set_metric(format!("scaling_at_channels_{n}"), scaling);
+    }
+    report
+}
+
+/// `batched_pull_calibration`: one row per pagination surcharge with the
+/// batch's completion latency and data-pull share.
+fn batched_pull_calibration_render(outcomes: &[ScenarioOutcome]) -> ExecutionReport {
+    let mut report = ExecutionReport::new("batched_pull_calibration");
+    let transfers = outcomes
+        .first()
+        .map(|o| o.spec.workload.total_transfers)
+        .unwrap_or(0);
+    report.add_note(format!(
+        "batched_pull_calibration — {transfers} transfers in one window under \
+         batched data pulls: the per-item pagination surcharge swept around the \
+         calibrated 120 µs (0 = free pagination)"
+    ));
+    report.add_row(format!(
+        "{:>16} | {:>22} | {:>15}",
+        "surcharge (µs)", "completion latency (s)", "data-pull share"
+    ));
+    for outcome in outcomes {
+        let surcharge = outcome.spec.deployment.batched_pull_per_item_us;
+        report.add_row(format!(
+            "{:>16} | {:>22.1} | {:>14.0}%",
+            surcharge,
+            outcome.completion_latency_secs(),
+            outcome.data_pull_share() * 100.0
+        ));
+        report.set_metric(
+            format!("latency_secs_at_{surcharge}us"),
+            outcome.completion_latency_secs(),
+        );
+        report.set_metric(
+            format!("data_pull_share_at_{surcharge}us"),
+            outcome.data_pull_share(),
         );
     }
     report
@@ -1013,6 +1151,8 @@ mod tests {
             "frame_limit_sweep",
             "channel_contention",
             "sequence_race",
+            "dedicated_scaling",
+            "batched_pull_calibration",
             "smoke",
         ];
         assert_eq!(names(), expected);
@@ -1135,6 +1275,67 @@ mod tests {
             mempool_completed >= resync_completed,
             "holding a straddled batch must not lose throughput \
              (mempool {mempool_completed} vs resync {resync_completed})"
+        );
+    }
+
+    #[test]
+    fn dedicated_scaling_render_pairs_the_policy_arms() {
+        // A miniature dedicated_scaling point pair: cheap enough for a unit
+        // test, the full ≥2× scaling claim is pinned by the fixture test.
+        let entry = get("dedicated_scaling").unwrap();
+        let grid = SweepGrid::new(
+            ExperimentSpec::relayer_throughput()
+                .named("dedicated_scaling")
+                .relayers(1)
+                .rtt_ms(0)
+                .input_rate(40)
+                .measurement_blocks(3)
+                .seed(42),
+        )
+        .channel_counts([2])
+        .channel_policies([ChannelPolicy::FairShare, ChannelPolicy::Dedicated]);
+        let points = grid.points();
+        assert_eq!(points.len(), 2);
+        assert_eq!(
+            points[0].name,
+            "dedicated_scaling/channels=2/policy=fair-share"
+        );
+        assert_eq!(
+            points[1].deployment.relayer_strategy.channel_policy,
+            ChannelPolicy::Dedicated
+        );
+        let outcomes = run_parallel(&points, 2);
+        let report = entry.render(&outcomes);
+        assert_eq!(report.rows.len(), 2); // header + 1 channel count
+        assert!(report.metric("tfps_shared_channels_2").unwrap() > 0.0);
+        assert!(report.metric("tfps_dedicated_channels_2").unwrap() > 0.0);
+        assert!(report.metric("scaling_at_channels_2").is_some());
+    }
+
+    #[test]
+    fn batched_pull_calibration_render_orders_surcharges() {
+        let entry = get("batched_pull_calibration").unwrap();
+        let grid = SweepGrid::new(
+            ExperimentSpec::latency()
+                .named("batched_pull_calibration")
+                .transfers(300)
+                .submission_blocks(1)
+                .rtt_ms(0)
+                .strategy(RelayerStrategy::batched_pulls())
+                .seed(42),
+        )
+        .batched_pull_per_items([0, 960]);
+        let outcomes = run_parallel(&grid.points(), 2);
+        assert_eq!(outcomes.len(), 2);
+        let report = entry.render(&outcomes);
+        assert_eq!(report.rows.len(), 3); // header + 2 surcharges
+        let free = report.metric("latency_secs_at_0us").unwrap();
+        let steep = report.metric("latency_secs_at_960us").unwrap();
+        assert!(free > 0.0);
+        assert!(
+            steep >= free,
+            "a steeper pagination surcharge cannot complete faster \
+             ({steep} vs {free})"
         );
     }
 

@@ -1,11 +1,41 @@
-//! The experiment driver: advances both chains, the relayers and the
-//! workload generator in virtual time and collects the raw data the Analysis
-//! module consumes.
+//! The experiment driver: a discrete-event loop advancing both chains, the
+//! relayer processes and the workload generator in virtual time, collecting
+//! the raw data the Analysis module consumes.
+//!
+//! # Event model
+//!
+//! The loop schedules three event kinds:
+//!
+//! * `BlockA` / `BlockB` — one chain produces its next block. The handler
+//!   records the block, **notifies** every relayer process (an O(1) inbox
+//!   push) and schedules one `RelayerWake(id)` per process at the current
+//!   instant; it never runs pipeline code itself.
+//! * `RelayerWake(id)` — process `id` drains its inbox via
+//!   [`Relayer::wake`](xcc_relayer::relayer::Relayer::wake), performing its
+//!   pipeline work on its own virtual-time lane (its per-chain RPC
+//!   endpoints and worker watermarks). A `Some(next)` return re-schedules
+//!   the process at `next`.
+//!
+//! # Determinism
+//!
+//! Ordering at equal timestamps is the scheduler's FIFO contract
+//! (see [`xcc_sim::Scheduler`]): wakes scheduled by one commit run in
+//! process-id order. One extra rule makes the event loop equivalent to the
+//! old synchronous runner *by construction*: a block event popping while
+//! relayer wakes are pending at the same instant **yields** — it re-schedules
+//! itself at the current time, landing behind the wakes in FIFO order. Both
+//! chains' blocks frequently commit on the same 5-second grid, and the §V
+//! sequence race is sensitive to whether a relayer's broadcasts enter a
+//! chain's mempool before or after that chain's same-instant commit; the
+//! yield rule pins the order to "relayer work first", exactly what the
+//! synchronous runner did and what the golden fixtures pin. See
+//! `docs/DETERMINISM.md`.
 
 use xcc_chain::chain::SharedChain;
 use xcc_ibc::events as ibc_events;
 use xcc_relayer::relayer::RelayerStats;
 use xcc_relayer::telemetry::{TelemetryLog, TransferStep};
+use xcc_rpc::endpoint::LaneStats;
 use xcc_sim::{Scheduler, SimDuration, SimTime};
 
 use crate::config::{DeploymentConfig, WorkloadConfig};
@@ -44,6 +74,9 @@ pub struct RunOutput {
     pub submission_records: Vec<SubmissionRecord>,
     /// Per-relayer activity counters.
     pub relayer_stats: Vec<RelayerStats>,
+    /// Per-process RPC lane accounting, one `(source lane, destination
+    /// lane)` pair per relayer process in process-id order.
+    pub rpc_lanes: Vec<(LaneStats, LaneStats)>,
     /// The source chain at the end of the run.
     pub chain_a: SharedChain,
     /// The destination chain at the end of the run.
@@ -64,8 +97,12 @@ pub struct RunOutput {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
+    /// The source chain produces its next block.
     BlockA,
+    /// The destination chain produces its next block.
     BlockB,
+    /// Relayer process `id` drains its inbox and runs its pipeline.
+    RelayerWake(usize),
 }
 
 /// Records receive / acknowledgement confirmations from committed block data
@@ -177,9 +214,45 @@ pub fn run_experiment(
     let target_blocks = workload_config.measurement_blocks;
     let grace_blocks = workload_config.completion_grace_blocks;
     let mut source_running = true;
+    // Relayer wakes outstanding at the current instant. Block events yield
+    // to these (see the module docs): because time advances monotonically,
+    // any outstanding wake scheduled at or before `now` is at exactly `now`,
+    // so a single counter per instant suffices.
+    let mut wakes_due: Vec<(SimTime, usize)> = Vec::new();
+    // The single home of the invariant "wakes_due counts exactly the
+    // `RelayerWake` events in the scheduler": every schedule site records
+    // here, the `RelayerWake` arm decrements.
+    fn note_wakes(wakes_due: &mut Vec<(SimTime, usize)>, at: SimTime, count: usize) {
+        if count == 0 {
+            return;
+        }
+        match wakes_due.iter_mut().find(|(t, _)| *t == at) {
+            Some((_, pending)) => *pending += count,
+            None => wakes_due.push((at, count)),
+        }
+    }
+    let schedule_wakes = |sched: &mut Scheduler<Ev>,
+                          wakes_due: &mut Vec<(SimTime, usize)>,
+                          at: SimTime,
+                          count: usize| {
+        for id in 0..count {
+            sched.schedule_at(at, Ev::RelayerWake(id));
+        }
+        note_wakes(wakes_due, at, count);
+    };
 
     while let Some((t, ev)) = sched.pop() {
+        let wakes_pending_now = wakes_due
+            .iter()
+            .any(|(at, pending)| *at == t && *pending > 0);
         match ev {
+            Ev::BlockA | Ev::BlockB if wakes_pending_now => {
+                // Relayer wakes are already queued at this instant: yield so
+                // the processes run first (FIFO puts the re-scheduled block
+                // behind them), preserving the synchronous runner's
+                // relayer-work-before-next-commit order.
+                sched.schedule_at(t, ev);
+            }
             Ev::BlockA => {
                 let outcome = testnet.chain_a.borrow_mut().produce_block(t);
                 let record = BlockRecord {
@@ -193,9 +266,12 @@ pub fn run_experiment(
                 last_commit_a = outcome.committed_at;
                 blocks_a.push(record);
 
+                // The commit only notifies the relayer processes; their
+                // pipeline work runs at the wake events scheduled below.
                 for relayer in &mut testnet.relayers {
-                    relayer.on_source_block(outcome.height, outcome.committed_at);
+                    relayer.notify_source_block(outcome.height, outcome.committed_at);
                 }
+                schedule_wakes(&mut sched, &mut wakes_due, t, testnet.relayers.len());
 
                 // Measurement bookkeeping: block 2 is the first block that can
                 // contain workload transactions.
@@ -253,14 +329,26 @@ pub fn run_experiment(
                 blocks_b.push(record);
 
                 for relayer in &mut testnet.relayers {
-                    relayer.on_dest_block(outcome.height, outcome.committed_at);
+                    relayer.notify_dest_block(outcome.height, outcome.committed_at);
                 }
+                schedule_wakes(&mut sched, &mut wakes_due, t, testnet.relayers.len());
 
                 // The destination chain keeps producing blocks for as long as
                 // the source side is still running; once the source side has
                 // stopped, pending recvs can no longer complete anyway.
                 if source_running {
                     sched.schedule_at(outcome.committed_at.max(t + min_interval), Ev::BlockB);
+                }
+            }
+            Ev::RelayerWake(id) => {
+                if let Some((_, pending)) = wakes_due.iter_mut().find(|(at, _)| *at == t) {
+                    *pending = pending.saturating_sub(1);
+                }
+                wakes_due.retain(|(at, pending)| *at > t || *pending > 0);
+                if let Some(next) = testnet.relayers[id].wake(t) {
+                    let at = next.max(t);
+                    sched.schedule_at(at, Ev::RelayerWake(id));
+                    note_wakes(&mut wakes_due, at, 1);
                 }
             }
         }
@@ -270,9 +358,11 @@ pub fn run_experiment(
     // timestamps to the packet sequences each committed transaction created.
     let mut telemetry = TelemetryLog::new();
     let mut relayer_stats = Vec::new();
+    let mut rpc_lanes = Vec::new();
     for relayer in &testnet.relayers {
         telemetry.merge(relayer.telemetry());
         relayer_stats.push(*relayer.stats());
+        rpc_lanes.push(relayer.lane_stats());
     }
     {
         let chain = testnet.chain_a.borrow();
@@ -315,6 +405,7 @@ pub fn run_experiment(
         submission: workload.stats(),
         submission_records: workload.records().to_vec(),
         relayer_stats,
+        rpc_lanes,
         chain_a: testnet.chain_a.clone(),
         chain_b: testnet.chain_b.clone(),
         path: testnet.path.clone(),

@@ -24,7 +24,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use xcc_relayer::strategy::{RelayerStrategy, SequenceTracking};
+use xcc_relayer::strategy::{ChannelPolicy, RelayerStrategy, SequenceTracking};
 
 use crate::config::{DeploymentConfig, WorkloadConfig};
 
@@ -259,6 +259,26 @@ impl ExperimentSpec {
     /// [`WorkloadConfig::channel_pattern`].
     pub fn channel_weights(mut self, weights: impl IntoIterator<Item = u64>) -> Self {
         self.workload.channel_weights = weights.into_iter().collect();
+        self
+    }
+
+    /// Sets the strategy's channel policy — how relayer processes divide the
+    /// deployment's channels. [`ChannelPolicy::Dedicated`] changes the fleet
+    /// topology itself: the testnet builds one relayer process per channel
+    /// (times `relayer_count` redundant replicas per channel), each with its
+    /// own RPC lanes, instead of `relayer_count` shared processes.
+    ///
+    /// ```rust
+    /// use xcc_framework::spec::ExperimentSpec;
+    /// use xcc_relayer::strategy::ChannelPolicy;
+    ///
+    /// let spec = ExperimentSpec::relayer_throughput()
+    ///     .channels(4)
+    ///     .channel_policy(ChannelPolicy::Dedicated);
+    /// assert_eq!(spec.deployment.relayer_strategy.label(), "dedicated");
+    /// ```
+    pub fn channel_policy(mut self, policy: ChannelPolicy) -> Self {
+        self.deployment.relayer_strategy.channel_policy = policy;
         self
     }
 

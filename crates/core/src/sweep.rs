@@ -26,7 +26,7 @@ use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
 
-use xcc_relayer::strategy::{RelayerStrategy, SequenceTracking};
+use xcc_relayer::strategy::{ChannelPolicy, RelayerStrategy, SequenceTracking};
 
 use crate::outcome::ScenarioOutcome;
 use crate::scenarios;
@@ -135,6 +135,10 @@ pub struct SweepGrid {
     pub transfer_counts: Vec<u64>,
     /// Relayer pipeline strategies (see [`RelayerStrategy`]).
     pub strategies: Vec<RelayerStrategy>,
+    /// Channel policies, applied on top of the point's strategy — sweeping
+    /// fleet topology (shared processes vs a dedicated process per channel)
+    /// against the channel-count axis.
+    pub channel_policies: Vec<ChannelPolicy>,
     /// WebSocket frame limits in bytes (`0` = Tendermint's 16 MiB default),
     /// applied on top of the point's strategy — the §V deployment limit as
     /// a sweepable axis.
@@ -163,6 +167,7 @@ impl SweepGrid {
             submission_blocks: Vec::new(),
             transfer_counts: Vec::new(),
             strategies: Vec::new(),
+            channel_policies: Vec::new(),
             frame_limits: Vec::new(),
             sequence_trackings: Vec::new(),
             batched_pull_per_items: Vec::new(),
@@ -209,6 +214,16 @@ impl SweepGrid {
     /// Sets the relayer-strategy axis.
     pub fn strategies(mut self, strategies: impl IntoIterator<Item = RelayerStrategy>) -> Self {
         self.strategies = strategies.into_iter().collect();
+        self
+    }
+
+    /// Sets the channel-policy axis; combines with the strategy axis, the
+    /// policy being applied on top of each point's strategy. Sweeping
+    /// [`ChannelPolicy::Dedicated`] against
+    /// [`channel_counts`](SweepGrid::channel_counts) sweeps fleet topology:
+    /// dedicated points deploy one relayer process per channel.
+    pub fn channel_policies(mut self, policies: impl IntoIterator<Item = ChannelPolicy>) -> Self {
+        self.channel_policies = policies.into_iter().collect();
         self
     }
 
@@ -262,6 +277,7 @@ impl SweepGrid {
             * axis(self.submission_blocks.len())
             * axis(self.transfer_counts.len())
             * axis(self.strategies.len())
+            * axis(self.channel_policies.len())
             * axis(self.frame_limits.len())
             * axis(self.sequence_trackings.len())
             * axis(self.batched_pull_per_items.len())
@@ -293,74 +309,87 @@ impl SweepGrid {
                         for blocks in axis(&self.submission_blocks) {
                             for transfers in axis(&self.transfer_counts) {
                                 for strategy in axis(&self.strategies) {
-                                    for frame_limit in axis(&self.frame_limits) {
-                                        for tracking in axis(&self.sequence_trackings) {
-                                            for pull_item in axis(&self.batched_pull_per_items) {
-                                                for seed in axis(&self.seeds) {
-                                                    let mut spec = self.base.clone();
-                                                    let mut name = spec.name.clone();
-                                                    if let Some(rate) = rate {
-                                                        spec = spec.input_rate(rate);
-                                                        name.push_str(&format!("/rate={rate}"));
+                                    for policy in axis(&self.channel_policies) {
+                                        for frame_limit in axis(&self.frame_limits) {
+                                            for tracking in axis(&self.sequence_trackings) {
+                                                for pull_item in axis(&self.batched_pull_per_items)
+                                                {
+                                                    for seed in axis(&self.seeds) {
+                                                        let mut spec = self.base.clone();
+                                                        let mut name = spec.name.clone();
+                                                        if let Some(rate) = rate {
+                                                            spec = spec.input_rate(rate);
+                                                            name.push_str(&format!("/rate={rate}"));
+                                                        }
+                                                        if let Some(relayers) = relayers {
+                                                            spec = spec.relayers(relayers);
+                                                            name.push_str(&format!(
+                                                                "/relayers={relayers}"
+                                                            ));
+                                                        }
+                                                        if let Some(channels) = channels {
+                                                            spec = spec.channels(channels);
+                                                            name.push_str(&format!(
+                                                                "/channels={channels}"
+                                                            ));
+                                                        }
+                                                        if let Some(rtt) = rtt {
+                                                            spec = spec.rtt_ms(rtt);
+                                                            name.push_str(&format!("/rtt={rtt}"));
+                                                        }
+                                                        if let Some(transfers) = transfers {
+                                                            spec = spec.transfers(transfers);
+                                                            name.push_str(&format!(
+                                                                "/transfers={transfers}"
+                                                            ));
+                                                        }
+                                                        if let Some(blocks) = blocks {
+                                                            spec = spec.submission_blocks(blocks);
+                                                            name.push_str(&format!(
+                                                                "/blocks={blocks}"
+                                                            ));
+                                                        }
+                                                        if let Some(strategy) = strategy {
+                                                            spec = spec.strategy(strategy);
+                                                            name.push_str(&format!(
+                                                                "/strategy={}",
+                                                                strategy.label()
+                                                            ));
+                                                        }
+                                                        if let Some(policy) = policy {
+                                                            spec = spec.channel_policy(policy);
+                                                            name.push_str(&format!(
+                                                                "/policy={}",
+                                                                policy.label()
+                                                            ));
+                                                        }
+                                                        if let Some(frame_limit) = frame_limit {
+                                                            spec = spec.frame_limit(frame_limit);
+                                                            name.push_str(&format!(
+                                                                "/frame={frame_limit}"
+                                                            ));
+                                                        }
+                                                        if let Some(tracking) = tracking {
+                                                            spec = spec.sequence_tracking(tracking);
+                                                            name.push_str(&format!(
+                                                                "/seqtrack={}",
+                                                                tracking.label()
+                                                            ));
+                                                        }
+                                                        if let Some(pull_item) = pull_item {
+                                                            spec = spec.batched_pull_per_item_us(
+                                                                pull_item,
+                                                            );
+                                                            name.push_str(&format!(
+                                                                "/pull_item={pull_item}us"
+                                                            ));
+                                                        }
+                                                        if let Some(seed) = seed {
+                                                            spec = spec.seed(seed);
+                                                            name.push_str(&format!("/seed={seed}"));
+                                                        }
+                                                        specs.push(spec.named(name));
                                                     }
-                                                    if let Some(relayers) = relayers {
-                                                        spec = spec.relayers(relayers);
-                                                        name.push_str(&format!(
-                                                            "/relayers={relayers}"
-                                                        ));
-                                                    }
-                                                    if let Some(channels) = channels {
-                                                        spec = spec.channels(channels);
-                                                        name.push_str(&format!(
-                                                            "/channels={channels}"
-                                                        ));
-                                                    }
-                                                    if let Some(rtt) = rtt {
-                                                        spec = spec.rtt_ms(rtt);
-                                                        name.push_str(&format!("/rtt={rtt}"));
-                                                    }
-                                                    if let Some(transfers) = transfers {
-                                                        spec = spec.transfers(transfers);
-                                                        name.push_str(&format!(
-                                                            "/transfers={transfers}"
-                                                        ));
-                                                    }
-                                                    if let Some(blocks) = blocks {
-                                                        spec = spec.submission_blocks(blocks);
-                                                        name.push_str(&format!("/blocks={blocks}"));
-                                                    }
-                                                    if let Some(strategy) = strategy {
-                                                        spec = spec.strategy(strategy);
-                                                        name.push_str(&format!(
-                                                            "/strategy={}",
-                                                            strategy.label()
-                                                        ));
-                                                    }
-                                                    if let Some(frame_limit) = frame_limit {
-                                                        spec = spec.frame_limit(frame_limit);
-                                                        name.push_str(&format!(
-                                                            "/frame={frame_limit}"
-                                                        ));
-                                                    }
-                                                    if let Some(tracking) = tracking {
-                                                        spec = spec.sequence_tracking(tracking);
-                                                        name.push_str(&format!(
-                                                            "/seqtrack={}",
-                                                            tracking.label()
-                                                        ));
-                                                    }
-                                                    if let Some(pull_item) = pull_item {
-                                                        spec = spec
-                                                            .batched_pull_per_item_us(pull_item);
-                                                        name.push_str(&format!(
-                                                            "/pull_item={pull_item}us"
-                                                        ));
-                                                    }
-                                                    if let Some(seed) = seed {
-                                                        spec = spec.seed(seed);
-                                                        name.push_str(&format!("/seed={seed}"));
-                                                    }
-                                                    specs.push(spec.named(name));
                                                 }
                                             }
                                         }

@@ -8,6 +8,7 @@ use xcc_ibc::channel::Order;
 use xcc_ibc::ids::PortId;
 use xcc_relayer::config::RelayerConfig;
 use xcc_relayer::relayer::{RelayPath, Relayer};
+use xcc_relayer::strategy::ChannelPolicy;
 use xcc_rpc::cost::RpcCostModel;
 use xcc_rpc::endpoint::RpcEndpoint;
 use xcc_sim::{DetRng, LatencyModel, SimTime};
@@ -58,6 +59,57 @@ pub fn make_rpc(
     )
 }
 
+/// The relayer-process topology a deployment expands to: one entry per
+/// simulated process. Under [`ChannelPolicy::Dedicated`] the fleet has one
+/// process per channel, times `relayer_count` redundant replicas per channel
+/// (the paper's "more Hermes instances" as real processes); every other
+/// policy keeps the paper's shape of `relayer_count` processes each serving
+/// every channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetSlot {
+    /// The process id (index into `Testnet::relayers`, and the account
+    /// suffix `relayer-<id>`).
+    pub process: usize,
+    /// The single channel this process is pinned to, for dedicated fleets.
+    pub channel: Option<usize>,
+    /// The process's replica index within its coordination group.
+    pub coordination_id: usize,
+    /// The size of the process's coordination group (the divisor work is
+    /// partitioned by).
+    pub group_size: usize,
+}
+
+/// Expands a deployment into its relayer-process fleet, in process-id order.
+///
+/// `Dedicated` builds `channel_count * relayer_count` processes: process `p`
+/// serves channel `p % channel_count` as replica `p / channel_count` of that
+/// channel's `relayer_count`-strong group. With `channel_count == 1` this
+/// degenerates to exactly the non-dedicated shape, so single-channel
+/// dedicated deployments equal the baseline by construction.
+pub fn fleet_plan(deployment: &DeploymentConfig) -> Vec<FleetSlot> {
+    let replicas = deployment.relayer_count;
+    let channels = deployment.channel_count.max(1);
+    if deployment.relayer_strategy.channel_policy == ChannelPolicy::Dedicated {
+        (0..channels * replicas)
+            .map(|p| FleetSlot {
+                process: p,
+                channel: Some(p % channels),
+                coordination_id: p / channels,
+                group_size: replicas,
+            })
+            .collect()
+    } else {
+        (0..replicas)
+            .map(|p| FleetSlot {
+                process: p,
+                channel: None,
+                coordination_id: p,
+                group_size: replicas,
+            })
+            .collect()
+    }
+}
+
 impl Testnet {
     /// Deploys the testnet described by `deployment`.
     ///
@@ -65,9 +117,13 @@ impl Testnet {
     /// other are created from those headers, and the connection and channel
     /// handshakes are executed so that `deployment.channel_count` transfer
     /// channels are `Open` on both ends before the benchmark starts — the
-    /// work the paper's Setup module automates.
+    /// work the paper's Setup module automates. The relayer fleet follows
+    /// [`fleet_plan`]: `relayer_count` shared processes, or one process per
+    /// channel (times `relayer_count` replicas) under
+    /// [`ChannelPolicy::Dedicated`].
     pub fn build(deployment: &DeploymentConfig) -> Self {
         let rng = DetRng::new(deployment.seed);
+        let fleet = fleet_plan(deployment);
 
         let mut genesis_a = GenesisConfig::new(deployment.source_chain_id.clone())
             .with_validators(deployment.validators_per_chain)
@@ -75,7 +131,7 @@ impl Testnet {
         let mut genesis_b = GenesisConfig::new(deployment.destination_chain_id.clone())
             .with_validators(deployment.validators_per_chain)
             .with_funded_accounts("user", deployment.user_accounts, deployment.account_balance);
-        for r in 0..deployment.relayer_count.max(1) {
+        for r in 0..fleet.len().max(1) {
             genesis_a = genesis_a.with_account(format!("relayer-{r}"), deployment.account_balance);
             genesis_b = genesis_b.with_account(format!("relayer-{r}"), deployment.account_balance);
         }
@@ -107,13 +163,16 @@ impl Testnet {
         let paths = open_channels(&chain_a, &chain_b, deployment.channel_count.max(1));
         let path = paths[0].clone();
 
-        let mut relayers = Vec::with_capacity(deployment.relayer_count);
-        for r in 0..deployment.relayer_count {
+        let mut relayers = Vec::with_capacity(fleet.len());
+        for slot in &fleet {
+            let r = slot.process;
             let config = RelayerConfig {
                 source_account: format!("relayer-{r}").into(),
                 destination_account: format!("relayer-{r}").into(),
                 strategy: deployment.relayer_strategy,
-                instances: deployment.relayer_count.max(1),
+                instances: slot.group_size.max(1),
+                channel_assignment: slot.channel,
+                coordination_id: Some(slot.coordination_id),
                 ..RelayerConfig::default()
             };
             let src_rpc = make_rpc(&chain_a, deployment, &rng, &format!("relayer-{r}-src"));
@@ -291,6 +350,106 @@ mod tests {
         assert_eq!(a.app().ibc().channels_on_port(&testnet.path.port).len(), 3);
         // Every relayer serves every channel.
         assert_eq!(testnet.relayers[0].paths().len(), 3);
+    }
+
+    #[test]
+    fn fleet_plan_expands_dedicated_deployments_per_channel() {
+        // Default policies keep the paper's shape: relayer_count processes.
+        let shared = DeploymentConfig {
+            relayer_count: 2,
+            channel_count: 3,
+            ..DeploymentConfig::default()
+        };
+        let plan = fleet_plan(&shared);
+        assert_eq!(plan.len(), 2);
+        assert!(plan.iter().all(|s| s.channel.is_none()));
+        assert_eq!(plan[1].coordination_id, 1);
+        assert_eq!(plan[1].group_size, 2);
+
+        // Dedicated: one process per channel, times the replica count, with
+        // coordination scoped to each channel's replica group.
+        let dedicated = DeploymentConfig {
+            relayer_count: 2,
+            channel_count: 3,
+            relayer_strategy: xcc_relayer::strategy::RelayerStrategy::with_channel_policy(
+                ChannelPolicy::Dedicated,
+            ),
+            ..DeploymentConfig::default()
+        };
+        let plan = fleet_plan(&dedicated);
+        assert_eq!(plan.len(), 6, "3 channels × 2 replicas");
+        for slot in &plan {
+            assert_eq!(slot.channel, Some(slot.process % 3));
+            assert_eq!(slot.coordination_id, slot.process / 3);
+            assert_eq!(slot.group_size, 2);
+        }
+        // Exactly `relayer_count` replicas own each channel.
+        for channel in 0..3 {
+            let replicas = plan.iter().filter(|s| s.channel == Some(channel)).count();
+            assert_eq!(replicas, 2);
+        }
+
+        // One channel degenerates to the non-dedicated shape.
+        let single = DeploymentConfig {
+            relayer_count: 2,
+            channel_count: 1,
+            relayer_strategy: dedicated.relayer_strategy,
+            ..DeploymentConfig::default()
+        };
+        let plan = fleet_plan(&single);
+        assert_eq!(plan.len(), 2);
+        for slot in &plan {
+            assert_eq!(slot.channel, Some(0));
+            assert_eq!(slot.coordination_id, slot.process);
+        }
+
+        // No relayers means no fleet, dedicated or not.
+        let none = DeploymentConfig {
+            relayer_count: 0,
+            channel_count: 4,
+            relayer_strategy: dedicated.relayer_strategy,
+            ..DeploymentConfig::default()
+        };
+        assert!(fleet_plan(&none).is_empty());
+    }
+
+    #[test]
+    fn build_deploys_the_dedicated_fleet_with_funded_accounts() {
+        let deployment = DeploymentConfig {
+            relayer_count: 1,
+            channel_count: 3,
+            user_accounts: 2,
+            relayer_strategy: xcc_relayer::strategy::RelayerStrategy::with_channel_policy(
+                ChannelPolicy::Dedicated,
+            ),
+            ..DeploymentConfig::default()
+        };
+        let testnet = Testnet::build(&deployment);
+        assert_eq!(testnet.relayers.len(), 3, "one process per channel");
+        for (channel, relayer) in testnet.relayers.iter().enumerate() {
+            assert_eq!(relayer.id(), channel);
+            assert_eq!(relayer.channel_assignment(), Some(channel));
+            // Every process still maps the full path list, so telemetry and
+            // clear scans key channels by deployment index.
+            assert_eq!(relayer.paths().len(), 3);
+        }
+        // Every process's account is funded on both chains.
+        let a = testnet.chain_a.borrow();
+        let b = testnet.chain_b.borrow();
+        for r in 0..3 {
+            assert!(
+                a.app()
+                    .bank()
+                    .balance(&format!("relayer-{r}").into(), "uatom")
+                    > 0
+            );
+            assert!(
+                b.app()
+                    .bank()
+                    .balance(&format!("relayer-{r}").into(), "uatom")
+                    > 0
+            );
+        }
     }
 
     #[test]

@@ -25,9 +25,11 @@ pub struct RelayerConfig {
     pub build_cost_per_msg: SimDuration,
     /// Fixed processing overhead when handling one block's event batch.
     pub event_processing_overhead: SimDuration,
-    /// Extra processing stagger applied per relayer index, modelling the
-    /// slightly different event arrival and scheduling of independent relayer
-    /// processes.
+    /// Extra processing stagger applied per replica index within the
+    /// process's coordination group (`coordination_id`, falling back to the
+    /// process id), modelling the slightly different event arrival and
+    /// scheduling of independent relayer processes competing for the same
+    /// work.
     pub per_instance_stagger: SimDuration,
     /// The pipeline strategy this instance runs (event source, data fetcher,
     /// submission policy, coordination, channel policy, and the
@@ -35,8 +37,23 @@ pub struct RelayerConfig {
     /// reproduces the paper's Hermes pipeline.
     pub strategy: RelayerStrategy,
     /// How many relayer instances serve the channel in total — the divisor
-    /// the coordination policy partitions work by.
+    /// the coordination policy partitions work by. For a dedicated fleet
+    /// this is the number of redundant replicas *per channel*, not the fleet
+    /// size.
     pub instances: usize,
+    /// Pins this process to a single channel index: the process serves that
+    /// channel and ignores every other, regardless of the strategy's channel
+    /// scheduler. Set by the testnet builder when
+    /// [`ChannelPolicy::Dedicated`](crate::strategy::ChannelPolicy::Dedicated)
+    /// expands the deployment into one relayer process per channel; `None`
+    /// (the default) leaves channel routing to the scheduler stage.
+    pub channel_assignment: Option<usize>,
+    /// The identity this process presents to the coordination policy, when
+    /// it differs from the process id. A dedicated fleet numbers its
+    /// processes globally but coordinates redundancy *within* each channel's
+    /// replica group, so replicas of different channels reuse coordination
+    /// ids 0..replicas. `None` (the default) uses the process id.
+    pub coordination_id: Option<usize>,
 }
 
 impl Default for RelayerConfig {
@@ -50,6 +67,8 @@ impl Default for RelayerConfig {
             per_instance_stagger: SimDuration::from_millis(35),
             strategy: RelayerStrategy::default(),
             instances: 1,
+            channel_assignment: None,
+            coordination_id: None,
         }
     }
 }

@@ -8,6 +8,17 @@
 //! its own account sequence. Every step is timestamped into the telemetry
 //! log.
 //!
+//! A relayer is a **simulated process**: the experiment runner never calls
+//! pipeline code directly. Block commits only *notify* a process
+//! ([`Relayer::notify_source_block`] / [`Relayer::notify_dest_block`], both
+//! O(1) inbox pushes), and the process performs its work when the runner
+//! delivers its next `RelayerWake` event through [`Relayer::wake`]. Each
+//! process owns its two RPC endpoints — one lane per chain, each with its
+//! own FIFO queue and backlog accounting — so RPC serialization is strictly
+//! per-process: a fleet of dedicated per-channel processes pulls data
+//! concurrently in virtual time where a single process serializes the same
+//! work on one lane pair ([`Relayer::lane_stats`] exposes the accounting).
+//!
 //! Where the paper's Hermes hard-codes each of those decisions, this driver
 //! delegates them to the trait stages of [`crate::stages`], instantiated
 //! from the [`RelayerStrategy`](crate::strategy::RelayerStrategy) in the
@@ -48,7 +59,7 @@
 //! tracker holds a batch whenever the chain's check state straddled a commit
 //! under the relayer's in-flight transactions.
 
-use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
 
 use xcc_chain::msg::Msg;
 use xcc_chain::tx::Tx;
@@ -57,7 +68,7 @@ use xcc_ibc::events as ibc_events;
 use xcc_ibc::height::Height;
 use xcc_ibc::ids::{ChannelId, ClientId, PortId, Sequence};
 use xcc_ibc::packet::Packet;
-use xcc_rpc::endpoint::{BroadcastError, RpcEndpoint};
+use xcc_rpc::endpoint::{BroadcastError, LaneStats, RpcEndpoint};
 use xcc_sim::{SimDuration, SimTime};
 use xcc_tendermint::abci::Event;
 
@@ -66,6 +77,28 @@ use crate::sequence::SequenceTracker;
 use crate::stages::Stages;
 use crate::strategy::SequenceTracking;
 use crate::telemetry::{TelemetryLog, TransferStep};
+
+/// One block-commit notification waiting in a relayer process's inbox.
+///
+/// Delivering a notification is O(1); all pipeline work it implies happens
+/// at the process's next [`Relayer::wake`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockNotice {
+    /// The source chain committed the block at `height`.
+    Source {
+        /// Committed height.
+        height: u64,
+        /// Commit instant.
+        committed_at: SimTime,
+    },
+    /// The destination chain committed the block at `height`.
+    Dest {
+        /// Committed height.
+        height: u64,
+        /// Commit instant.
+        committed_at: SimTime,
+    },
+}
 
 /// Which side of the relay path a chain plays for this relayer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -167,6 +200,10 @@ pub struct Relayer {
     /// the source chain's check state straddled a commit; merged into the
     /// next destination block's acknowledgement batch.
     deferred_acks: Vec<(usize, Packet)>,
+    /// Block-commit notifications not yet processed: the runner (or the
+    /// synchronous `on_*_block` wrappers) drains this in FIFO order at the
+    /// next [`wake`](Relayer::wake).
+    inbox: VecDeque<BlockNotice>,
 }
 
 impl Relayer {
@@ -234,6 +271,7 @@ impl Relayer {
             pending_recv_inflight: BTreeSet::new(),
             pending_ack: BTreeSet::new(),
             deferred_acks: Vec::new(),
+            inbox: VecDeque::new(),
         }
     }
 
@@ -277,26 +315,53 @@ impl Relayer {
         &self.dst_rpc
     }
 
-    /// The relayer-side share of the event delivery delay: fixed processing
-    /// overhead plus the per-instance stagger modelling independently
-    /// scheduled relayer processes.
-    fn relayer_delay(&self) -> SimDuration {
-        self.config.event_processing_overhead + self.config.per_instance_stagger * self.id as u64
+    /// Accounting snapshots of this process's two RPC lanes (source-chain
+    /// lane, destination-chain lane). Every process owns its lanes, so the
+    /// numbers describe exactly the serialization *this* process
+    /// experienced.
+    pub fn lane_stats(&self) -> (LaneStats, LaneStats) {
+        (self.src_rpc.lane_stats(), self.dst_rpc.lane_stats())
     }
 
-    /// Whether this instance relays `sequence` under the coordination policy.
+    /// The channel this process is pinned to, if the deployment dedicated it
+    /// to one (see `RelayerConfig::channel_assignment`).
+    pub fn channel_assignment(&self) -> Option<usize> {
+        self.config.channel_assignment
+    }
+
+    /// The relayer-side share of the event delivery delay: fixed processing
+    /// overhead plus the per-instance stagger modelling independently
+    /// scheduled relayer processes. The stagger indexes by the process's
+    /// replica id within its coordination group (like
+    /// [`assigned`](Relayer::assigned)), so a dedicated fleet's per-channel
+    /// replica group sees exactly the staggers a same-sized shared
+    /// deployment would — fleet position across channels never skews event
+    /// delivery.
+    fn relayer_delay(&self) -> SimDuration {
+        let replica = self.config.coordination_id.unwrap_or(self.id);
+        self.config.event_processing_overhead + self.config.per_instance_stagger * replica as u64
+    }
+
+    /// Whether this instance relays `sequence` under the coordination
+    /// policy. A dedicated-fleet process coordinates under its replica id
+    /// within the channel's replica group (`config.coordination_id`), not
+    /// its global process id.
     fn assigned(&self, src_height: u64, sequence: Sequence) -> bool {
         self.stages.coordination.assigned(
-            self.id,
+            self.config.coordination_id.unwrap_or(self.id),
             self.config.instances.max(1),
             src_height,
             sequence,
         )
     }
 
-    /// Whether this instance serves the channel at `channel` at all under
-    /// the channel scheduler.
+    /// Whether this instance serves the channel at `channel` at all: a
+    /// pinned channel assignment (dedicated fleets) wins, otherwise the
+    /// strategy's channel scheduler decides.
     fn serves_channel(&self, channel: usize) -> bool {
+        if let Some(assigned) = self.config.channel_assignment {
+            return channel == assigned;
+        }
         self.stages
             .scheduler
             .serves(self.id, self.config.instances.max(1), channel)
@@ -335,13 +400,79 @@ impl Relayer {
         interval > 0 && height.is_multiple_of(interval)
     }
 
+    /// Enqueues a source-chain block-commit notification. O(1): all pipeline
+    /// work happens at the next [`wake`](Relayer::wake).
+    pub fn notify_source_block(&mut self, height: u64, committed_at: SimTime) {
+        self.inbox.push_back(BlockNotice::Source {
+            height,
+            committed_at,
+        });
+    }
+
+    /// Enqueues a destination-chain block-commit notification. O(1): all
+    /// pipeline work happens at the next [`wake`](Relayer::wake).
+    pub fn notify_dest_block(&mut self, height: u64, committed_at: SimTime) {
+        self.inbox.push_back(BlockNotice::Dest {
+            height,
+            committed_at,
+        });
+    }
+
+    /// Whether this process has block notifications waiting to be processed.
+    pub fn has_pending_notices(&self) -> bool {
+        !self.inbox.is_empty()
+    }
+
+    /// Runs this relayer process: drains the inbox in FIFO order, performing
+    /// the pipeline work each block notification implies on this process's
+    /// own virtual-time lane (its per-chain RPC endpoints and worker
+    /// watermarks — nothing here touches another process's state).
+    ///
+    /// Returns the instant at which the process next needs a wake *without*
+    /// a block notification, or `None` when every obligation is tied to a
+    /// future block commit (the common case: held batches and deferred
+    /// acknowledgements can only make progress after the next commit, which
+    /// arrives as its own notification). The runner schedules a
+    /// `RelayerWake` event for a `Some` return. Wakes are idempotent: waking
+    /// with an empty inbox is a no-op, so spurious wakes are harmless.
+    pub fn wake(&mut self, _now: SimTime) -> Option<SimTime> {
+        while let Some(notice) = self.inbox.pop_front() {
+            match notice {
+                BlockNotice::Source {
+                    height,
+                    committed_at,
+                } => self.handle_source_block(height, committed_at),
+                BlockNotice::Dest {
+                    height,
+                    committed_at,
+                } => self.handle_dest_block(height, committed_at),
+            }
+        }
+        None
+    }
+
+    /// Synchronous convenience wrapper (notify + immediate wake) for tests
+    /// and hand-driven setups. The experiment runner instead notifies every
+    /// process and schedules per-process `RelayerWake` events.
+    pub fn on_source_block(&mut self, height: u64, commit_time: SimTime) {
+        self.notify_source_block(height, commit_time);
+        self.wake(commit_time);
+    }
+
+    /// Synchronous convenience wrapper (notify + immediate wake); see
+    /// [`on_source_block`](Relayer::on_source_block).
+    pub fn on_dest_block(&mut self, height: u64, commit_time: SimTime) {
+        self.notify_dest_block(height, commit_time);
+        self.wake(commit_time);
+    }
+
     /// Handles a newly committed block on the **source** chain: extracts
     /// send-packet events, pulls packet data and proofs, and submits receive
     /// transactions to the destination chain. Also records acknowledgement
     /// confirmations observed in the block, and — when the strategy's clear
     /// interval is due — scans chain state for packets whose events were
     /// never delivered.
-    pub fn on_source_block(&mut self, height: u64, commit_time: SimTime) {
+    fn handle_source_block(&mut self, height: u64, commit_time: SimTime) {
         // The commit may have reset the source chain's check state under our
         // in-flight window; a mempool-aware tracker reconciles before the
         // next broadcast towards that chain.
@@ -473,7 +604,7 @@ impl Relayer {
     /// receive confirmations, pulls acknowledgement data, submits
     /// acknowledgement transactions back to the source chain, and submits
     /// timeouts for expired undelivered packets.
-    pub fn on_dest_block(&mut self, height: u64, commit_time: SimTime) {
+    fn handle_dest_block(&mut self, height: u64, commit_time: SimTime) {
         self.dst_seq.note_commit();
         let delay = self.relayer_delay();
         let (event_time, collected) =
@@ -1316,6 +1447,71 @@ mod tests {
             .borrow_mut()
             .submit_tx(&tx, SimTime::ZERO)
             .expect("filler tx enters the mempool");
+    }
+
+    /// Pins the wake protocol the runner's event loop is built on: block
+    /// notifications are O(1) inbox pushes, `wake` drains the inbox in FIFO
+    /// order, and spurious wakes (empty inbox) are harmless no-ops.
+    #[test]
+    fn wake_drains_the_inbox_and_spurious_wakes_are_noops() {
+        let dst = chain_with_mempool("dst-chain", 100);
+        let mut relayer = test_relayer(&dst);
+        assert!(!relayer.has_pending_notices());
+        assert_eq!(relayer.wake(SimTime::ZERO), None, "empty wake is a no-op");
+
+        relayer.notify_source_block(1, SimTime::from_secs(5));
+        relayer.notify_dest_block(1, SimTime::from_secs(5));
+        assert!(relayer.has_pending_notices());
+        assert_eq!(
+            relayer.wake(SimTime::from_secs(5)),
+            None,
+            "no time-driven obligations: everything waits on a future commit"
+        );
+        assert!(!relayer.has_pending_notices(), "wake drained the inbox");
+
+        // The synchronous wrapper is notify + immediate wake.
+        relayer.on_source_block(2, SimTime::from_secs(10));
+        assert!(!relayer.has_pending_notices());
+    }
+
+    /// A pinned channel assignment routes every channel decision, and the
+    /// coordination id (replica index within the channel's group) replaces
+    /// the global process id for work division.
+    #[test]
+    fn channel_assignment_and_coordination_id_route_the_fleet() {
+        let dst = chain_with_mempool("dst-chain", 100);
+        let src = chain_with_mempool("src-chain", 100);
+        let path = |i: u64| RelayPath {
+            port: xcc_ibc::ids::PortId::transfer(),
+            src_channel: ChannelId::with_index(i),
+            dst_channel: ChannelId::with_index(i),
+            client_on_dst: ClientId::with_index(0),
+            client_on_src: ClientId::with_index(0),
+        };
+        // Process 3 of a dedicated fleet: pinned to channel 1, replica 1 of
+        // a 2-replica group coordinated by sequence partitioning.
+        let config = RelayerConfig {
+            strategy: crate::strategy::RelayerStrategy::coordinated(),
+            instances: 2,
+            channel_assignment: Some(1),
+            coordination_id: Some(1),
+            ..RelayerConfig::default()
+        };
+        let relayer = Relayer::with_paths(
+            3,
+            config,
+            vec![path(0), path(1), path(2)],
+            rpc_for(&src, 1),
+            rpc_for(&dst, 2),
+        );
+        assert_eq!(relayer.channel_assignment(), Some(1));
+        assert!(!relayer.serves_channel(0));
+        assert!(relayer.serves_channel(1));
+        assert!(!relayer.serves_channel(2));
+        // Sequence partitioning over 2 replicas under coordination id 1:
+        // odd sequences belong to this process, even ones to replica 0.
+        assert!(relayer.assigned(10, Sequence::from(7)));
+        assert!(!relayer.assigned(10, Sequence::from(8)));
     }
 
     /// Pins the `broadcast_failures` counting semantics documented on

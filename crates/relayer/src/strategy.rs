@@ -154,10 +154,24 @@ pub enum ChannelPolicy {
     /// channel 0's batch always goes out first, lower-priority channels wait
     /// behind it on the shared packet worker.
     Priority,
-    /// Each channel is served only by the instance whose index equals
-    /// `channel_index % relayer_count` — a dedicated relayer process per
-    /// channel, with no redundant work between instances.
+    /// A dedicated relayer process per channel: the deployment expands into
+    /// one relayer process for every channel (times `relayer_count`
+    /// redundant replicas per channel), each pinned to its channel with its
+    /// own RPC lanes — real fleet topology, not a rotation order. Hand-built
+    /// relayers without an explicit channel assignment fall back to the
+    /// modular `channel_index % relayer_count` mapping.
     Dedicated,
+}
+
+impl ChannelPolicy {
+    /// A short label for sweep-point names and report rows.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ChannelPolicy::FairShare => "fair-share",
+            ChannelPolicy::Priority => "priority",
+            ChannelPolicy::Dedicated => "dedicated",
+        }
+    }
 }
 
 /// The full, serializable strategy: one choice per pipeline stage, the

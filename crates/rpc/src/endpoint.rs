@@ -91,6 +91,25 @@ impl UnconfirmedSequence {
     }
 }
 
+/// A snapshot of one RPC lane's accounting: every relayer process owns one
+/// endpoint (lane) per chain, each with its own single-server FIFO queue, so
+/// serialization is per-process — a second process's queries never queue
+/// behind the first's. The experiment runner collects one snapshot per lane
+/// at the end of a run ([`lane_stats`](RpcEndpoint::lane_stats)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneStats {
+    /// The lane's diagnostic name (`rpc-<chain-id>`).
+    pub name: String,
+    /// Total queries this lane served.
+    pub queries_served: u64,
+    /// Cumulative time the lane's server spent busy.
+    pub busy_time: SimDuration,
+    /// Cumulative queueing delay over all the lane's queries.
+    pub total_wait: SimDuration,
+    /// Largest observed sojourn time (wait plus service) of any query.
+    pub max_backlog: SimDuration,
+}
+
 /// The execution outcome of one committed transaction, as reported by
 /// `tx_search`-style queries.
 #[derive(Debug, Clone, PartialEq)]
@@ -151,6 +170,18 @@ impl RpcEndpoint {
     /// The queueing backlog a request arriving at `now` would face.
     pub fn backlog_at(&self, now: SimTime) -> SimDuration {
         self.queue.backlog_at(now)
+    }
+
+    /// A snapshot of this lane's accounting (queries served, busy time,
+    /// cumulative wait, worst backlog).
+    pub fn lane_stats(&self) -> LaneStats {
+        LaneStats {
+            name: self.queue.name().to_string(),
+            queries_served: self.queue.jobs_served(),
+            busy_time: self.queue.busy_time(),
+            total_wait: self.queue.total_wait(),
+            max_backlog: self.queue.max_backlog(),
+        }
     }
 
     fn respond<T>(&mut self, now: SimTime, profile: RequestProfile, value: T) -> RpcResponse<T> {
@@ -680,6 +711,43 @@ mod tests {
         assert!(second.ready_at > first.ready_at);
         assert_eq!(rpc.queries_served(), 2);
         assert!(rpc.busy_time() > SimDuration::ZERO);
+        // The lane snapshot mirrors the live accessors and records that the
+        // second query waited behind the first on this lane's queue.
+        let lane = rpc.lane_stats();
+        assert_eq!(lane.name, "rpc-chain-a");
+        assert_eq!(lane.queries_served, 2);
+        assert_eq!(lane.busy_time, rpc.busy_time());
+        assert!(lane.total_wait > SimDuration::ZERO);
+        assert!(lane.max_backlog >= lane.total_wait);
+    }
+
+    #[test]
+    fn separate_lanes_do_not_queue_behind_each_other() {
+        // Two endpoints on the same chain model two relayer processes'
+        // independent RPC connections: the same two expensive queries issued
+        // at the same instant each get an idle server.
+        let chain =
+            Chain::new(GenesisConfig::new("chain-a").with_funded_accounts("user", 3, 100_000_000))
+                .into_shared();
+        chain.borrow_mut().produce_block(SimTime::from_secs(5));
+        let lane_of = |seed| {
+            RpcEndpoint::new(
+                chain.clone(),
+                RpcCostModel::default(),
+                LatencyModel::Zero,
+                DetRng::new(seed),
+            )
+        };
+        let mut a = lane_of(1);
+        let mut b = lane_of(2);
+        let shared_first = a.block_tx_results(SimTime::from_secs(5), 1);
+        let own_lane = b.block_tx_results(SimTime::from_secs(5), 1);
+        assert_eq!(
+            own_lane.ready_at, shared_first.ready_at,
+            "a process with its own lane pays no queueing behind its peer"
+        );
+        assert_eq!(a.lane_stats().total_wait, SimDuration::ZERO);
+        assert_eq!(b.lane_stats().total_wait, SimDuration::ZERO);
     }
 
     #[test]

@@ -43,6 +43,28 @@ impl<E> Ord for Scheduled<E> {
 /// same instant are delivered in insertion order, which makes simulation runs
 /// bit-for-bit reproducible for a given seed and workload.
 ///
+/// # FIFO tie-breaking is a contract, not an accident
+///
+/// Every event carries a monotonically increasing sequence number assigned
+/// at `schedule_*` time, and the heap orders by `(time, seq)`. Two
+/// guarantees follow, and the experiment runner's event loop
+/// (`xcc_framework::runner`) depends on both:
+///
+/// 1. **Insertion order at equal timestamps.** When a block commit notifies
+///    every relayer process, the runner schedules one `RelayerWake` per
+///    process at the same instant; FIFO delivery runs the processes in
+///    ascending id order, deterministically.
+/// 2. **FIFO survives interleaved pops.** The sequence counter is global and
+///    never reset, so an event scheduled *while same-instant events are
+///    being delivered* sorts after everything already queued at that
+///    instant. The runner uses this to make a block event yield to pending
+///    relayer wakes: re-scheduling the block at the current time places it
+///    behind every wake already queued there.
+///
+/// Both properties are pinned by unit tests
+/// (`simultaneous_events_pop_in_insertion_order`,
+/// `fifo_order_survives_interleaved_scheduling_and_pops`).
+///
 /// The scheduler also tracks the current simulation time: popping an event
 /// advances the clock to that event's timestamp.
 ///
@@ -171,6 +193,32 @@ mod tests {
         }
         let order: Vec<u32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    /// Pins the second half of the FIFO contract the experiment runner
+    /// relies on: an event scheduled at time `t` *while same-instant events
+    /// are being popped* is delivered after every event already queued at
+    /// `t`, because the sequence counter is global and never reset. This is
+    /// what lets a block event "yield" to pending relayer wakes by
+    /// re-scheduling itself at the current time.
+    #[test]
+    fn fifo_order_survives_interleaved_scheduling_and_pops() {
+        let mut s = Scheduler::new();
+        let t = SimTime::from_secs(1);
+        s.schedule_at(t, "block-b");
+        s.schedule_at(t, "wake-0");
+        s.schedule_at(t, "wake-1");
+        // The runner pops block-b, sees wakes pending at the same instant,
+        // and re-schedules it: the requeued event must sort after both wakes
+        // (and after anything a wake schedules at the same instant).
+        assert_eq!(s.pop().unwrap().1, "block-b");
+        s.schedule_at(t, "block-b-requeued");
+        assert_eq!(s.pop().unwrap().1, "wake-0");
+        s.schedule_at(t, "scheduled-by-wake-0");
+        assert_eq!(s.pop().unwrap().1, "wake-1");
+        assert_eq!(s.pop().unwrap().1, "block-b-requeued");
+        assert_eq!(s.pop().unwrap().1, "scheduled-by-wake-0");
+        assert!(s.is_empty());
     }
 
     #[test]

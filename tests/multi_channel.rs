@@ -165,10 +165,13 @@ fn dedicated_relayers_eliminate_cross_instance_redundancy() {
         .measurement_blocks(5)
         .seed(3);
     let fair = scenarios::run(&base.clone());
-    let dedicated = scenarios::run(&base.clone().strategy(RelayerStrategy::with_channel_policy(
-        ChannelPolicy::Dedicated,
-    )));
-    let priority = scenarios::run(&base.strategy(RelayerStrategy::with_channel_policy(
+    // `relayer_count` is the per-channel replica count for a dedicated
+    // fleet, so the fair deployment's two shared processes compare against
+    // one dedicated process per channel — the same total fleet size.
+    let dedicated = scenarios::run(&base.clone().relayers(1).strategy(
+        RelayerStrategy::with_channel_policy(ChannelPolicy::Dedicated),
+    ));
+    let priority = scenarios::run(&base.clone().strategy(RelayerStrategy::with_channel_policy(
         ChannelPolicy::Priority,
     )));
     assert!(
@@ -178,10 +181,19 @@ fn dedicated_relayers_eliminate_cross_instance_redundancy() {
     assert_eq!(
         dedicated.redundant_packet_errors(),
         0,
-        "one relayer per channel leaves nothing to duplicate"
+        "one relayer process per channel leaves nothing to duplicate"
+    );
+    // Asking a dedicated fleet for redundancy brings the collisions back:
+    // two replicas per channel compete exactly like two shared instances.
+    let redundant_fleet = scenarios::run(&base.strategy(RelayerStrategy::with_channel_policy(
+        ChannelPolicy::Dedicated,
+    )));
+    assert!(
+        redundant_fleet.redundant_packet_errors() > 0,
+        "two replicas per channel must collide within their channel group"
     );
     // Every policy conserves the requested transfers.
-    for outcome in [&fair, &dedicated, &priority] {
+    for outcome in [&fair, &dedicated, &priority, &redundant_fleet] {
         assert_eq!(
             outcome.completed() + outcome.partial() + outcome.initiated() + outcome.not_committed(),
             outcome.requests_made()

@@ -75,6 +75,8 @@ fn registry_lookup_returns_every_figure_name() {
         "frame_limit_sweep",
         "channel_contention",
         "sequence_race",
+        "dedicated_scaling",
+        "batched_pull_calibration",
         "smoke",
     ];
     assert_eq!(registry::names(), expected);
