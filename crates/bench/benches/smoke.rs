@@ -1,0 +1,9 @@
+//! Smoke scenario: a tiny end-to-end run exercising every subsystem, used
+//! by CI and by the `registry-docs` lint's scenario ↔ bench cross-check.
+//!
+//! Sweep mode and output format come from `XCC_FULL_SWEEP` / `XCC_OUTPUT`
+//! (see `xcc_framework::sweep`).
+
+fn main() {
+    xcc_bench::run_and_print("smoke");
+}

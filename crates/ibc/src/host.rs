@@ -87,8 +87,12 @@ mod tests {
             next_sequence_recv_path(&port, &chan),
             next_sequence_ack_path(&port, &chan),
         ];
-        let unique: std::collections::HashSet<&String> = paths.iter().collect();
-        assert_eq!(unique.len(), paths.len());
+        let mut sorted = paths.clone();
+        sorted.sort();
+        assert!(
+            sorted.windows(2).all(|pair| pair[0] != pair[1]),
+            "store paths must be pairwise distinct: {sorted:?}"
+        );
     }
 
     #[test]

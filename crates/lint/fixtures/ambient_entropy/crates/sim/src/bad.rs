@@ -1,0 +1,11 @@
+//! D3 fixture: ambient entropy sources that would break seeded replay.
+
+pub fn seeds_from_the_os() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn another_ambient_source() -> u64 {
+    let rng = StdRng::from_entropy();
+    rng.gen()
+}

@@ -1,0 +1,24 @@
+//! D1 fixture: unordered hash collections without suppressions, plus one
+//! correctly suppressed site and one suppression missing its reason.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn iterates_a_hash_map(map: &HashMap<String, u64>) -> u64 {
+    map.values().sum()
+}
+
+// xcc-lint: allow(hash-collections, reason = "membership probe only; never iterated")
+pub fn suppressed_ok(set: &HashSet<u64>, x: u64) -> bool {
+    set.contains(&x)
+}
+
+// xcc-lint: allow(hash-collections)
+pub fn suppressed_without_reason(set: &HashSet<u64>) -> usize {
+    set.len()
+}
+
+pub fn fine_in_a_string() -> &'static str {
+    "HashMap in a string literal is not a finding"
+}
+
+// A HashSet in a comment is not a finding either.

@@ -1,0 +1,21 @@
+//! P1 fixture: panic sites in non-test library code with no baseline.
+
+pub fn unwraps(input: Option<u64>) -> u64 {
+    input.unwrap()
+}
+
+pub fn expects(input: Option<u64>) -> u64 {
+    input.expect("fixture")
+}
+
+pub fn panics() {
+    panic!("fixture");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        Some(1u64).unwrap();
+    }
+}

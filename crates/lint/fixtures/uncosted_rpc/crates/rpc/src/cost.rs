@@ -1,0 +1,20 @@
+//! C1 fixture cost model: one unpriced variant, one dead variant, and a
+//! wildcard arm hiding the gap.
+
+pub enum RequestKind {
+    Priced,
+    Unpriced,
+    DeadButPriced,
+}
+
+pub struct Model;
+
+impl Model {
+    pub fn service_time(&self, kind: &RequestKind) -> u64 {
+        match kind {
+            RequestKind::Priced => 10,
+            RequestKind::DeadButPriced => 20,
+            _ => 0,
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! C1 fixture endpoint: one billed method and one RPC that names no
+//! RequestKind at all.
+
+pub struct RpcResponse<T> {
+    pub value: T,
+}
+
+pub struct Endpoint;
+
+impl Endpoint {
+    pub fn billed(&self) -> RpcResponse<u64> {
+        let _kind = RequestKind::Priced;
+        RpcResponse { value: 1 }
+    }
+
+    pub fn free_rider(&self) -> RpcResponse<u64> {
+        RpcResponse { value: 2 }
+    }
+}

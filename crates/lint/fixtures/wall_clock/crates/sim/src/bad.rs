@@ -1,0 +1,10 @@
+//! D2 fixture: wall-clock time sources in simulated code.
+
+use std::time::Instant;
+use std::time::SystemTime;
+
+pub fn measures_wall_time() -> u128 {
+    let start = Instant::now();
+    let _epoch = SystemTime::now();
+    start.elapsed().as_nanos()
+}

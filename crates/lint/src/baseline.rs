@@ -1,0 +1,74 @@
+//! The `panic-in-library` grandfathering baseline.
+//!
+//! The workspace predates the P1 rule by five PRs, so the existing
+//! `unwrap()`/`expect()`/`panic!` sites in non-test library code are
+//! recorded here per file and allowed; only *new* sites (a file's count
+//! rising above its baseline) fail the lint. Counts that *fall below* the
+//! baseline — or files that disappear — are flagged as stale so the file is
+//! regenerated (`xcc-lint --baseline`) and the ratchet only ever tightens.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Workspace-relative location of the checked-in baseline file.
+pub const BASELINE_REL: &str = "crates/lint/panic-baseline.txt";
+
+/// Parses baseline text into `path -> allowed count`, ignoring blank lines
+/// and `#` comments. Lines are `<count> <path>`.
+pub fn parse(text: &str) -> Result<BTreeMap<String, usize>, String> {
+    let mut out = BTreeMap::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (count, path) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| format!("baseline line {}: expected `<count> <path>`", idx + 1))?;
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("baseline line {}: bad count {count:?}", idx + 1))?;
+        out.insert(path.trim().to_string(), count);
+    }
+    Ok(out)
+}
+
+/// Renders per-file counts as baseline text, sorted by path.
+pub fn render(counts: &BTreeMap<String, usize>) -> String {
+    let mut out = String::from(
+        "# xcc-lint panic-in-library baseline: grandfathered unwrap()/expect()/panic! sites\n\
+         # per non-test library file. Regenerate with: cargo run -p xcc-lint -- --baseline\n",
+    );
+    for (path, count) in counts {
+        if *count > 0 {
+            let _ = writeln!(out, "{count} {path}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let mut counts = BTreeMap::new();
+        counts.insert("crates/a/src/lib.rs".to_string(), 3);
+        counts.insert("crates/b/src/x.rs".to_string(), 11);
+        counts.insert("crates/zero/src/clean.rs".to_string(), 0);
+        let text = render(&counts);
+        let parsed = parse(&text).unwrap();
+        assert_eq!(parsed.get("crates/a/src/lib.rs"), Some(&3));
+        assert_eq!(parsed.get("crates/b/src/x.rs"), Some(&11));
+        // Zero-count entries are not written.
+        assert!(!parsed.contains_key("crates/zero/src/clean.rs"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse("nonsense").is_err());
+        assert!(parse("x crates/a.rs").is_err());
+        assert!(parse("# comment\n\n2 crates/a.rs\n").is_ok());
+    }
+}

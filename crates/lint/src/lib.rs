@@ -1,0 +1,61 @@
+//! # xcc-lint — determinism & costing auditor for the workspace
+//!
+//! The simulator's headline guarantee is bit-identical replay: the same
+//! `ExperimentSpec` must produce the same event trace and the same golden
+//! fixtures on every machine, forever. That guarantee is easy to break with
+//! one innocuous line — iterating a `HashMap`, reading `Instant::now()`,
+//! seeding from `thread_rng()` — and such breaks surface only later, as a
+//! flaky `goldens --check` failure that is miserable to bisect.
+//!
+//! `xcc-lint` moves that class of failure from replay time to lint time. It
+//! is a dependency-free static auditor (no `rustc` internals, no `syn`;
+//! crates.io is unreachable in this environment) built on a comment- and
+//! string-aware scrubbing scanner ([`lexer::Scrubbed`]). Six rules run over
+//! `crates/*/src`, `tests/`, and friends:
+//!
+//! * **D1 `hash-collections`** — no `HashMap`/`HashSet` without a per-site
+//!   justified suppression.
+//! * **D2 `wall-clock`** — no `SystemTime`/`Instant`.
+//! * **D3 `ambient-entropy`** — no `thread_rng`/`OsRng`/`from_entropy`/
+//!   `getrandom`.
+//! * **C1 `uncosted-rpc`** — every `RpcEndpoint` RPC method names a
+//!   `RequestKind`, every kind has an explicit `service_time` arm (no
+//!   wildcard), and no kind is dead.
+//! * **P1 `panic-in-library`** — `unwrap()`/`expect()`/`panic!` in non-test
+//!   library code is ratcheted by `panic-baseline.txt`.
+//! * **R1 `registry-docs`** — scenario registry ↔ bench targets ↔
+//!   README/PAPER rows stay consistent.
+//!
+//! Plus a meta-rule, `suppression`, that keeps the escape hatch honest:
+//! suppressions must be well-formed, carry a reason, name a known rule, and
+//! actually match a finding.
+//!
+//! Run it as CI does:
+//!
+//! ```text
+//! cargo run --release -p xcc-lint -- --check
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+pub use report::{to_json, Finding};
+pub use rules::{run, Config, Outcome, RuleId};
+
+/// Recomputes and writes `panic-baseline.txt` under `root`. Returns the
+/// number of grandfathered panic sites recorded.
+pub fn regenerate_baseline(root: &Path) -> io::Result<usize> {
+    let counts = rules::current_panic_counts(root)?;
+    let total: usize = counts.values().sum();
+    fs::write(root.join(baseline::BASELINE_REL), baseline::render(&counts))?;
+    Ok(total)
+}

@@ -1,0 +1,107 @@
+//! Finding representation and the text / JSON reporters.
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule that fired (e.g. `hash-collections`).
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line of the finding (0 when the finding is file-level).
+    pub line: usize,
+    /// Human-readable description of the violation and how to fix it.
+    pub message: String,
+}
+
+impl Finding {
+    /// The conventional one-line text rendering (`path:line: [rule] msg`).
+    pub fn render(&self) -> String {
+        if self.line > 0 {
+            format!(
+                "{}:{}: [{}] {}",
+                self.path, self.line, self.rule, self.message
+            )
+        } else {
+            format!("{}: [{}] {}", self.path, self.rule, self.message)
+        }
+    }
+}
+
+/// Renders findings as a JSON document (hand-rolled: the auditor is
+/// dependency-free by design, including the vendored serde shims).
+pub fn to_json(findings: &[Finding], files_scanned: usize) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (idx, f) in findings.iter().enumerate() {
+        if idx > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {");
+        out.push_str(&format!("\"rule\": {}, ", json_str(f.rule)));
+        out.push_str(&format!("\"path\": {}, ", json_str(&f.path)));
+        out.push_str(&format!("\"line\": {}, ", f.line));
+        out.push_str(&format!("\"message\": {}", json_str(&f.message)));
+        out.push('}');
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+    out.push_str(&format!("  \"files_scanned\": {files_scanned},\n"));
+    out.push_str(&format!("  \"finding_count\": {}\n", findings.len()));
+    out.push_str("}\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let findings = vec![Finding {
+            rule: "wall-clock",
+            path: "crates/sim/src/time.rs".into(),
+            line: 3,
+            message: "say \"no\" to\nwall clocks".into(),
+        }];
+        let json = to_json(&findings, 7);
+        assert!(json.contains("\"rule\": \"wall-clock\""));
+        assert!(json.contains("\\\"no\\\" to\\nwall"));
+        assert!(json.contains("\"files_scanned\": 7"));
+        assert!(json.contains("\"finding_count\": 1"));
+    }
+
+    #[test]
+    fn render_includes_line_only_when_known() {
+        let with_line = Finding {
+            rule: "panic-in-library",
+            path: "a.rs".into(),
+            line: 9,
+            message: "m".into(),
+        };
+        assert_eq!(with_line.render(), "a.rs:9: [panic-in-library] m");
+        let file_level = Finding {
+            line: 0,
+            ..with_line
+        };
+        assert_eq!(file_level.render(), "a.rs: [panic-in-library] m");
+    }
+}

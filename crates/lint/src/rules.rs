@@ -1,0 +1,1044 @@
+//! The rule set.
+//!
+//! | Id | Rule | Contract it guards |
+//! |----|------|--------------------|
+//! | D1 | `hash-collections` | no `HashMap`/`HashSet` — iteration order would break schedule equivalence |
+//! | D2 | `wall-clock` | no `std::time::{SystemTime, Instant}` — all time is `xcc_sim::SimTime` |
+//! | D3 | `ambient-entropy` | no `thread_rng`/OS-seeded RNG — seeds derive from `ExperimentSpec` |
+//! | C1 | `uncosted-rpc` | every `RpcEndpoint` RPC method names a `RequestKind`, and every kind has an explicit costing arm |
+//! | P1 | `panic-in-library` | no new `unwrap()`/`expect()`/`panic!` in non-test library code beyond the baseline |
+//! | R1 | `registry-docs` | scenario ↔ bench-target ↔ README/PAPER-row consistency |
+//!
+//! D-rules accept per-site suppressions: `// xcc-lint: allow(<rule>,
+//! reason = "...")` on the offending line or the line above. The reason is
+//! mandatory, and suppressions that stop matching anything are themselves
+//! findings, so the escape hatch cannot rot.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::baseline;
+use crate::lexer::{word_occurrences, Scrubbed};
+use crate::report::Finding;
+
+/// Identifier of one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// D1: no `HashMap`/`HashSet` without a justified suppression.
+    HashCollections,
+    /// D2: no `SystemTime`/`Instant`.
+    WallClock,
+    /// D3: no ambient entropy sources.
+    AmbientEntropy,
+    /// C1: every RPC method cross-checked against `RequestKind` costing.
+    UncostedRpc,
+    /// P1: panic sites in library code ratcheted by the baseline.
+    PanicInLibrary,
+    /// R1: scenario registry ↔ bench targets ↔ scenario docs.
+    RegistryDocs,
+    /// Meta-rule: `xcc-lint: allow(...)` comments must be well-formed,
+    /// carry a reason, name a known rule and still match a finding.
+    Suppression,
+}
+
+impl RuleId {
+    /// Every rule, in report order.
+    pub const ALL: [RuleId; 7] = [
+        RuleId::HashCollections,
+        RuleId::WallClock,
+        RuleId::AmbientEntropy,
+        RuleId::UncostedRpc,
+        RuleId::PanicInLibrary,
+        RuleId::RegistryDocs,
+        RuleId::Suppression,
+    ];
+
+    /// The rule's kebab-case name (as used by `--rule` and suppressions).
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::HashCollections => "hash-collections",
+            RuleId::WallClock => "wall-clock",
+            RuleId::AmbientEntropy => "ambient-entropy",
+            RuleId::UncostedRpc => "uncosted-rpc",
+            RuleId::PanicInLibrary => "panic-in-library",
+            RuleId::RegistryDocs => "registry-docs",
+            RuleId::Suppression => "suppression",
+        }
+    }
+
+    /// The rule's short catalogue code (`D1`…`R1`).
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleId::HashCollections => "D1",
+            RuleId::WallClock => "D2",
+            RuleId::AmbientEntropy => "D3",
+            RuleId::UncostedRpc => "C1",
+            RuleId::PanicInLibrary => "P1",
+            RuleId::RegistryDocs => "R1",
+            RuleId::Suppression => "S0",
+        }
+    }
+
+    /// Parses a rule name (accepts the catalogue code too).
+    pub fn parse(name: &str) -> Option<RuleId> {
+        RuleId::ALL
+            .into_iter()
+            .find(|r| r.name() == name || r.code().eq_ignore_ascii_case(name))
+    }
+}
+
+/// What to lint and which rules to run.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Workspace root (the directory holding `Cargo.toml` and `crates/`).
+    pub root: PathBuf,
+    /// The rules to run.
+    pub rules: Vec<RuleId>,
+}
+
+impl Config {
+    /// All rules over `root`.
+    pub fn all_rules(root: impl Into<PathBuf>) -> Config {
+        Config {
+            root: root.into(),
+            rules: RuleId::ALL.to_vec(),
+        }
+    }
+
+    fn enabled(&self, rule: RuleId) -> bool {
+        self.rules.contains(&rule)
+    }
+}
+
+/// The result of a lint run.
+#[derive(Debug)]
+pub struct Outcome {
+    /// Findings, sorted by (path, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of Rust files scanned.
+    pub files_scanned: usize,
+}
+
+/// One scanned Rust source file.
+struct SourceFile {
+    rel: String,
+    scrub: Scrubbed,
+}
+
+/// Runs the configured rules over the workspace.
+pub fn run(config: &Config) -> io::Result<Outcome> {
+    let files = scan_workspace(&config.root)?;
+    let mut findings = Vec::new();
+
+    if config.enabled(RuleId::HashCollections) {
+        word_ban(
+            &files,
+            RuleId::HashCollections,
+            &["HashMap", "HashSet"],
+            "unordered hash collection; iterating one breaks schedule equivalence — use \
+             BTreeMap/BTreeSet/Vec, or suppress with a reason if provably never iterated",
+            &mut findings,
+        );
+    }
+    if config.enabled(RuleId::WallClock) {
+        word_ban(
+            &files,
+            RuleId::WallClock,
+            &["SystemTime", "Instant"],
+            "wall-clock time source; simulated code must use xcc_sim::SimTime only",
+            &mut findings,
+        );
+    }
+    if config.enabled(RuleId::AmbientEntropy) {
+        word_ban(
+            &files,
+            RuleId::AmbientEntropy,
+            &["thread_rng", "OsRng", "from_entropy", "getrandom"],
+            "ambient entropy source; all randomness must derive from the ExperimentSpec seed \
+             via xcc_sim::DetRng",
+            &mut findings,
+        );
+    }
+    if config.enabled(RuleId::UncostedRpc) {
+        uncosted_rpc(&files, &mut findings);
+    }
+    if config.enabled(RuleId::PanicInLibrary) {
+        panic_in_library(&config.root, &files, &mut findings);
+    }
+    if config.enabled(RuleId::RegistryDocs) {
+        registry_docs(&config.root, &files, &mut findings);
+    }
+    if config.enabled(RuleId::Suppression) {
+        suppression_hygiene(config, &files, &mut findings);
+    }
+
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    Ok(Outcome {
+        findings,
+        files_scanned: files.len(),
+    })
+}
+
+/// Recomputes the P1 per-file counts for `--baseline` regeneration.
+pub fn current_panic_counts(root: &Path) -> io::Result<BTreeMap<String, usize>> {
+    let files = scan_workspace(root)?;
+    Ok(files
+        .iter()
+        .filter(|f| in_panic_scope(&f.rel))
+        .map(|f| (f.rel.clone(), panic_sites(&f.scrub).len()))
+        .filter(|(_, count)| *count > 0)
+        .collect())
+}
+
+// ---------------------------------------------------------------------------
+// File discovery
+// ---------------------------------------------------------------------------
+
+/// Collects the Rust files the rules walk: `crates/*/src` (recursively),
+/// `crates/bench/benches`, and the umbrella `src/`, `tests/`, `examples/`.
+/// `vendor/` and `target/` are never scanned.
+fn scan_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in fs::read_dir(&crates)? {
+            let dir = entry?.path();
+            collect_rs(&dir.join("src"), &mut paths)?;
+            collect_rs(&dir.join("benches"), &mut paths)?;
+        }
+    }
+    for top in ["src", "tests", "examples"] {
+        collect_rs(&root.join(top), &mut paths)?;
+    }
+    paths.sort();
+
+    let mut files = Vec::with_capacity(paths.len());
+    for path in paths {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let source = fs::read_to_string(&path)?;
+        files.push(SourceFile {
+            rel,
+            scrub: Scrubbed::scan(&source),
+        });
+    }
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// D1 / D2 / D3: banned-word rules
+// ---------------------------------------------------------------------------
+
+fn word_ban(
+    files: &[SourceFile],
+    rule: RuleId,
+    words: &[&str],
+    why: &str,
+    findings: &mut Vec<Finding>,
+) {
+    for file in files {
+        for word in words {
+            for (line, _col) in word_occurrences(&file.scrub.code, word) {
+                if let Some(supp) = file.scrub.suppression_for(rule.name(), line) {
+                    supp.used.set(true);
+                    continue;
+                }
+                findings.push(Finding {
+                    rule: rule.name(),
+                    path: file.rel.clone(),
+                    line,
+                    message: format!("`{word}`: {why}"),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// C1: uncosted-rpc
+// ---------------------------------------------------------------------------
+
+const COST_RS: &str = "crates/rpc/src/cost.rs";
+const ENDPOINT_RS: &str = "crates/rpc/src/endpoint.rs";
+
+fn uncosted_rpc(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    let cost = files.iter().find(|f| f.rel == COST_RS);
+    let endpoint = files.iter().find(|f| f.rel == ENDPOINT_RS);
+    let (Some(cost), Some(endpoint)) = (cost, endpoint) else {
+        // Not an rpc-bearing tree (e.g. a fixture workspace for another
+        // rule); flag a half-present pair, otherwise stay silent.
+        if let Some(present) = cost.or(endpoint) {
+            findings.push(Finding {
+                rule: RuleId::UncostedRpc.name(),
+                path: present.rel.clone(),
+                line: 0,
+                message: format!(
+                    "found {} without its counterpart ({COST_RS} + {ENDPOINT_RS} must move \
+                     together for the costing cross-check)",
+                    present.rel
+                ),
+            });
+        }
+        return;
+    };
+
+    let cost_flat = Flat::new(&cost.scrub.code);
+    let endpoint_flat = Flat::new(&endpoint.scrub.code);
+
+    // 1. The RequestKind variants declared in cost.rs.
+    let variants = enum_variants(&cost_flat, "RequestKind");
+    if variants.is_empty() {
+        findings.push(Finding {
+            rule: RuleId::UncostedRpc.name(),
+            path: cost.rel.clone(),
+            line: 0,
+            message: "could not find `enum RequestKind` (did the costing enum move?)".into(),
+        });
+        return;
+    }
+
+    // 2. The variants service_time prices explicitly, and whether a
+    //    wildcard arm hides unpriced ones.
+    let Some((body_start, body)) = fn_body(&cost_flat, "service_time") else {
+        findings.push(Finding {
+            rule: RuleId::UncostedRpc.name(),
+            path: cost.rel.clone(),
+            line: 0,
+            message: "could not find `fn service_time` in the cost model".into(),
+        });
+        return;
+    };
+    let priced: BTreeSet<String> = path_refs(body, "RequestKind")
+        .into_iter()
+        .map(|(_, name)| name)
+        .collect();
+    if let Some(pos) = wildcard_arm(body) {
+        findings.push(Finding {
+            rule: RuleId::UncostedRpc.name(),
+            path: cost.rel.clone(),
+            line: cost_flat.line_of(body_start + pos),
+            message: "wildcard `_ =>` arm in service_time defeats the costing cross-check; \
+                      price every RequestKind variant explicitly"
+                .into(),
+        });
+    }
+    for (variant, line) in &variants {
+        if !priced.contains(variant) {
+            findings.push(Finding {
+                rule: RuleId::UncostedRpc.name(),
+                path: cost.rel.clone(),
+                line: *line,
+                message: format!(
+                    "RequestKind::{variant} has no explicit costing arm in \
+                     RpcCostModel::service_time — a request of this kind would ship free"
+                ),
+            });
+        }
+    }
+
+    // 3. Every variant must be exercised by some endpoint method…
+    let used: BTreeSet<String> = path_refs(&endpoint_flat.text, "RequestKind")
+        .into_iter()
+        .map(|(_, name)| name)
+        .collect();
+    for (variant, line) in &variants {
+        if !used.contains(variant) {
+            findings.push(Finding {
+                rule: RuleId::UncostedRpc.name(),
+                path: cost.rel.clone(),
+                line: *line,
+                message: format!(
+                    "RequestKind::{variant} is priced but never issued by any RpcEndpoint \
+                     method — dead costing arm"
+                ),
+            });
+        }
+    }
+
+    // 4. …and every public RPC method must name the kind it is billed as.
+    for method in public_fns(&endpoint_flat) {
+        if endpoint.scrub.is_test_line(method.line) {
+            continue;
+        }
+        if !method.signature.contains("RpcResponse") {
+            continue;
+        }
+        if !method.body.contains("RequestKind") {
+            findings.push(Finding {
+                rule: RuleId::UncostedRpc.name(),
+                path: endpoint.rel.clone(),
+                line: method.line,
+                message: format!(
+                    "pub fn {} returns an RpcResponse but names no RequestKind — every RPC \
+                     call must pass a RequestProfile so it pays a costing arm",
+                    method.name
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// P1: panic-in-library
+// ---------------------------------------------------------------------------
+
+/// P1 covers non-test library code: crate sources outside `src/bin/` (bench
+/// drivers, the umbrella tests/ and examples/ trees are exempt).
+fn in_panic_scope(rel: &str) -> bool {
+    rel.starts_with("crates/") && rel.contains("/src/") && !rel.contains("/src/bin/")
+}
+
+/// Unsuppressed, non-test `unwrap()` / `expect()` / `panic!` lines.
+fn panic_sites(scrub: &Scrubbed) -> Vec<usize> {
+    let mut lines = Vec::new();
+    for (word, tail) in [("unwrap", "("), ("expect", "("), ("panic", "!")] {
+        for (line, col) in word_occurrences(&scrub.code, word) {
+            let code_line = &scrub.code[line - 1];
+            if !code_line[col + word.len()..].starts_with(tail) {
+                continue;
+            }
+            if scrub.is_test_line(line) {
+                continue;
+            }
+            if let Some(supp) = scrub.suppression_for(RuleId::PanicInLibrary.name(), line) {
+                supp.used.set(true);
+                continue;
+            }
+            lines.push(line);
+        }
+    }
+    lines.sort_unstable();
+    lines
+}
+
+fn panic_in_library(root: &Path, files: &[SourceFile], findings: &mut Vec<Finding>) {
+    let baseline_path = root.join(baseline::BASELINE_REL);
+    let allowed = match fs::read_to_string(&baseline_path) {
+        Ok(text) => match baseline::parse(&text) {
+            Ok(map) => map,
+            Err(err) => {
+                findings.push(Finding {
+                    rule: RuleId::PanicInLibrary.name(),
+                    path: baseline::BASELINE_REL.into(),
+                    line: 0,
+                    message: format!("unreadable baseline: {err}"),
+                });
+                return;
+            }
+        },
+        // No baseline checked in: everything counts as new.
+        Err(_) => BTreeMap::new(),
+    };
+
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for file in files.iter().filter(|f| in_panic_scope(&f.rel)) {
+        seen.insert(&file.rel);
+        let sites = panic_sites(&file.scrub);
+        let budget = allowed.get(&file.rel).copied().unwrap_or(0);
+        if sites.len() > budget {
+            findings.push(Finding {
+                rule: RuleId::PanicInLibrary.name(),
+                path: file.rel.clone(),
+                line: sites.last().copied().unwrap_or(0),
+                message: format!(
+                    "{} panic site(s) (unwrap/expect/panic!) but the baseline allows {budget}: \
+                     return an error, annotate the new site with `// xcc-lint: \
+                     allow(panic-in-library, reason = \"...\")`, or regenerate with --baseline",
+                    sites.len()
+                ),
+            });
+        } else if sites.len() < budget {
+            findings.push(Finding {
+                rule: RuleId::PanicInLibrary.name(),
+                path: file.rel.clone(),
+                line: 0,
+                message: format!(
+                    "stale baseline: allows {budget} panic site(s) but only {} remain — \
+                     regenerate with --baseline so the ratchet tightens",
+                    sites.len()
+                ),
+            });
+        }
+    }
+    for (path, budget) in &allowed {
+        if !seen.contains(path.as_str()) {
+            findings.push(Finding {
+                rule: RuleId::PanicInLibrary.name(),
+                path: baseline::BASELINE_REL.into(),
+                line: 0,
+                message: format!(
+                    "stale baseline: lists {path} ({budget} site(s)) but the file no longer \
+                     exists — regenerate with --baseline"
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R1: registry-docs
+// ---------------------------------------------------------------------------
+
+const REGISTRY_RS: &str = "crates/core/src/registry.rs";
+const BENCH_MANIFEST: &str = "crates/bench/Cargo.toml";
+const DOC_FILES: [&str; 2] = ["README.md", "PAPER.md"];
+
+fn registry_docs(root: &Path, files: &[SourceFile], findings: &mut Vec<Finding>) {
+    let Some(registry) = files.iter().find(|f| f.rel == REGISTRY_RS) else {
+        return; // not a registry-bearing tree (fixture workspaces)
+    };
+    let r1 = RuleId::RegistryDocs.name();
+
+    // Scenario names: `name: "<lit>"` struct fields in the registry source.
+    let mut scenarios: BTreeMap<String, usize> = BTreeMap::new();
+    for lit in &registry.scrub.strings {
+        let code_line = &registry.scrub.code[lit.line - 1];
+        let before = code_line[..lit.col].trim_end();
+        let field = before.strip_suffix(':').map(str::trim_end);
+        if field.is_some_and(|f| f.ends_with("name") && !f.ends_with("_name")) {
+            scenarios.entry(lit.value.clone()).or_insert(lit.line);
+        }
+    }
+    if scenarios.is_empty() {
+        findings.push(Finding {
+            rule: r1,
+            path: registry.rel.clone(),
+            line: 0,
+            message: "no `name: \"...\"` scenario entries found — did the registry move?".into(),
+        });
+        return;
+    }
+
+    // Bench targets from the manifest, and the scenario names each
+    // bench source actually references.
+    let manifest = fs::read_to_string(root.join(BENCH_MANIFEST)).unwrap_or_default();
+    let bench_targets = manifest_targets(&manifest, "bench");
+    let bench_files: Vec<&SourceFile> = files
+        .iter()
+        .filter(|f| f.rel.starts_with("crates/bench/benches/"))
+        .collect();
+
+    let mut covered: BTreeSet<&str> = BTreeSet::new();
+    for bench in &bench_files {
+        let stem = bench
+            .rel
+            .trim_start_matches("crates/bench/benches/")
+            .trim_end_matches(".rs");
+        if !bench_targets.iter().any(|(name, _)| name == stem) {
+            findings.push(Finding {
+                rule: r1,
+                path: bench.rel.clone(),
+                line: 0,
+                message: format!(
+                    "bench source has no matching [[bench]] target `{stem}` in {BENCH_MANIFEST}"
+                ),
+            });
+        }
+        let mut refs = 0;
+        for lit in &bench.scrub.strings {
+            if let Some(name) = scenarios.keys().find(|n| n.as_str() == lit.value) {
+                covered.insert(name);
+                refs += 1;
+            }
+        }
+        if refs == 0 {
+            findings.push(Finding {
+                rule: r1,
+                path: bench.rel.clone(),
+                line: 0,
+                message: "bench target runs no registered scenario (no string literal matches \
+                          a registry name)"
+                    .into(),
+            });
+        }
+    }
+    for (target, line) in &bench_targets {
+        let src = format!("crates/bench/benches/{target}.rs");
+        if !bench_files.iter().any(|f| f.rel == src) {
+            findings.push(Finding {
+                rule: r1,
+                path: BENCH_MANIFEST.into(),
+                line: *line,
+                message: format!("[[bench]] target `{target}` has no source file at {src}"),
+            });
+        }
+    }
+    for (name, line) in &scenarios {
+        if !covered.contains(name.as_str()) {
+            findings.push(Finding {
+                rule: r1,
+                path: registry.rel.clone(),
+                line: *line,
+                message: format!(
+                    "scenario `{name}` has no bench target under crates/bench/benches/ \
+                     referencing it"
+                ),
+            });
+        }
+    }
+
+    // Doc rows: every documented scenario is registered, every registered
+    // scenario is documented.
+    let mut doc_text = String::new();
+    for doc in DOC_FILES {
+        let text = fs::read_to_string(root.join(doc)).unwrap_or_default();
+        for (idx, row_name) in doc_row_names(&text) {
+            if !scenarios.contains_key(&row_name) {
+                findings.push(Finding {
+                    rule: r1,
+                    path: doc.into(),
+                    line: idx,
+                    message: format!(
+                        "table row names scenario `{row_name}` but the registry does not \
+                         know it"
+                    ),
+                });
+            }
+        }
+        doc_text.push_str(&text);
+    }
+    for (name, line) in &scenarios {
+        if !doc_text.contains(&format!("`{name}`")) {
+            findings.push(Finding {
+                rule: r1,
+                path: registry.rel.clone(),
+                line: *line,
+                message: format!("scenario `{name}` is not documented in README.md or PAPER.md"),
+            });
+        }
+    }
+}
+
+/// `[[kind]]` target names (with their line numbers) from a Cargo manifest.
+fn manifest_targets(manifest: &str, kind: &str) -> Vec<(String, usize)> {
+    let header = format!("[[{kind}]]");
+    let mut out = Vec::new();
+    let mut in_section = false;
+    for (idx, line) in manifest.lines().enumerate() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_section = line == header;
+            continue;
+        }
+        if in_section {
+            if let Some(value) = line.strip_prefix("name") {
+                let name = value.trim_start().trim_start_matches('=').trim();
+                let name = name.trim_matches('"');
+                if !name.is_empty() {
+                    out.push((name.to_string(), idx + 1));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Markdown table rows whose first column is a single backticked
+/// `[a-z0-9_]+` name, as `(line, name)`.
+fn doc_row_names(text: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let Some(rest) = line.trim_start().strip_prefix('|') else {
+            continue;
+        };
+        let Some(cell) = rest.split('|').next() else {
+            continue;
+        };
+        let cell = cell.trim();
+        let Some(name) = cell.strip_prefix('`').and_then(|c| c.strip_suffix('`')) else {
+            continue;
+        };
+        if !name.is_empty()
+            && name
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        {
+            out.push((idx + 1, name.to_string()));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// S0: suppression hygiene
+// ---------------------------------------------------------------------------
+
+fn suppression_hygiene(config: &Config, files: &[SourceFile], findings: &mut Vec<Finding>) {
+    let s0 = RuleId::Suppression.name();
+    for file in files {
+        for supp in &file.scrub.suppressions {
+            if supp.malformed {
+                findings.push(Finding {
+                    rule: s0,
+                    path: file.rel.clone(),
+                    line: supp.line,
+                    message: format!(
+                        "malformed xcc-lint comment ({}); expected `xcc-lint: allow(rule, \
+                         reason = \"...\")`",
+                        supp.rule
+                    ),
+                });
+                continue;
+            }
+            let Some(rule) = RuleId::parse(&supp.rule) else {
+                findings.push(Finding {
+                    rule: s0,
+                    path: file.rel.clone(),
+                    line: supp.line,
+                    message: format!("suppression names unknown rule `{}`", supp.rule),
+                });
+                continue;
+            };
+            if supp.reason.is_none() {
+                findings.push(Finding {
+                    rule: s0,
+                    path: file.rel.clone(),
+                    line: supp.line,
+                    message: format!(
+                        "suppression of `{}` without a reason — the reason is mandatory: \
+                         allow({}, reason = \"...\")",
+                        supp.rule, supp.rule
+                    ),
+                });
+            }
+            // Only judge usefulness when the suppressed rule actually ran.
+            if config.enabled(rule) && !supp.used.get() {
+                findings.push(Finding {
+                    rule: s0,
+                    path: file.rel.clone(),
+                    line: supp.line,
+                    message: format!(
+                        "unused suppression: no `{}` finding on this or the next line — \
+                         delete it",
+                        supp.rule
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flattened-code helpers for the structural rules
+// ---------------------------------------------------------------------------
+
+/// Scrubbed code joined into one string with line-start offsets, so byte
+/// positions map back to 1-based lines.
+struct Flat {
+    text: String,
+    starts: Vec<usize>,
+}
+
+impl Flat {
+    fn new(code: &[String]) -> Flat {
+        let mut text = String::new();
+        let mut starts = Vec::with_capacity(code.len());
+        for line in code {
+            starts.push(text.len());
+            text.push_str(line);
+            text.push('\n');
+        }
+        Flat { text, starts }
+    }
+
+    fn line_of(&self, pos: usize) -> usize {
+        match self.starts.binary_search(&pos) {
+            Ok(idx) => idx + 1,
+            Err(idx) => idx,
+        }
+    }
+}
+
+fn is_word_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Whole-word occurrences of `word` in `text` (byte positions).
+fn word_positions(text: &str, word: &str) -> Vec<usize> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0usize;
+    while let Some(pos) = text[from..].find(word) {
+        let at = from + pos;
+        let end = at + word.len();
+        let before_ok = at == 0 || !is_word_byte(bytes[at - 1]);
+        let after_ok = end >= bytes.len() || !is_word_byte(bytes[end]);
+        if before_ok && after_ok {
+            out.push(at);
+        }
+        from = end;
+    }
+    out
+}
+
+/// The next identifier at or after `from`, with its start position.
+fn next_word(text: &str, from: usize) -> Option<(String, usize)> {
+    let bytes = text.as_bytes();
+    let mut i = from;
+    while i < bytes.len() && !is_word_byte(bytes[i]) {
+        i += 1;
+    }
+    let start = i;
+    while i < bytes.len() && is_word_byte(bytes[i]) {
+        i += 1;
+    }
+    (i > start).then(|| (text[start..i].to_string(), start))
+}
+
+/// The previous identifier strictly before `pos`.
+fn prev_word(text: &str, pos: usize) -> Option<String> {
+    let bytes = text.as_bytes();
+    let mut end = pos;
+    while end > 0 && !is_word_byte(bytes[end - 1]) {
+        end -= 1;
+    }
+    let mut start = end;
+    while start > 0 && is_word_byte(bytes[start - 1]) {
+        start -= 1;
+    }
+    (end > start).then(|| text[start..end].to_string())
+}
+
+/// Byte position just past the matching `}` for the `{` at `open`.
+fn matching_brace(text: &str, open: usize) -> Option<usize> {
+    let bytes = text.as_bytes();
+    let mut depth = 0usize;
+    for (off, &b) in bytes[open..].iter().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(open + off + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Variant names (with lines) of `enum <name> { ... }` in flattened code.
+/// Identifiers nested inside `()`/`[]`/`{}` within the body (payloads,
+/// attribute arguments) are ignored.
+fn enum_variants(flat: &Flat, name: &str) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    for pos in word_positions(&flat.text, "enum") {
+        let Some((word, word_pos)) = next_word(&flat.text, pos + 4) else {
+            continue;
+        };
+        if word != name {
+            continue;
+        }
+        let Some(open) = flat.text[word_pos..].find('{').map(|n| word_pos + n) else {
+            continue;
+        };
+        let Some(end) = matching_brace(&flat.text, open) else {
+            continue;
+        };
+        let body = &flat.text[open + 1..end - 1];
+        let bytes = body.as_bytes();
+        let mut depth = 0usize;
+        let mut i = 0usize;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'(' | b'[' | b'{' => {
+                    depth += 1;
+                    i += 1;
+                }
+                b')' | b']' | b'}' => {
+                    depth = depth.saturating_sub(1);
+                    i += 1;
+                }
+                b if depth == 0 && is_word_byte(b) => {
+                    let start = i;
+                    while i < bytes.len() && is_word_byte(bytes[i]) {
+                        i += 1;
+                    }
+                    let ident = &body[start..i];
+                    out.push((ident.to_string(), flat.line_of(open + 1 + start)));
+                }
+                _ => i += 1,
+            }
+        }
+        break;
+    }
+    out
+}
+
+/// The body of `fn <name>` (position of `{` + the text inside it).
+fn fn_body<'a>(flat: &'a Flat, name: &str) -> Option<(usize, &'a str)> {
+    for pos in word_positions(&flat.text, name) {
+        if prev_word(&flat.text, pos).as_deref() != Some("fn") {
+            continue;
+        }
+        let open = flat.text[pos..].find('{').map(|n| pos + n)?;
+        let end = matching_brace(&flat.text, open)?;
+        return Some((open, &flat.text[open..end]));
+    }
+    None
+}
+
+/// `Prefix::Ident` references in `text`, as (position, ident).
+fn path_refs(text: &str, prefix: &str) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for pos in word_positions(text, prefix) {
+        let after = &text[pos + prefix.len()..];
+        let trimmed = after.trim_start();
+        if let Some(path_rest) = trimmed.strip_prefix("::") {
+            if let Some((ident, _)) = next_word(path_rest, 0) {
+                out.push((pos, ident));
+            }
+        }
+    }
+    out
+}
+
+/// Position of a `_ =>` wildcard match arm in `text`, if any.
+fn wildcard_arm(text: &str) -> Option<usize> {
+    let bytes = text.as_bytes();
+    for pos in word_positions(text, "_") {
+        let mut j = pos + 1;
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if text[j..].starts_with("=>") {
+            return Some(pos);
+        }
+    }
+    None
+}
+
+/// A `pub fn` found in flattened code.
+struct PublicFn {
+    name: String,
+    line: usize,
+    signature: String,
+    body: String,
+}
+
+/// Every `pub fn` with a braced body (methods included).
+fn public_fns(flat: &Flat) -> Vec<PublicFn> {
+    let mut out = Vec::new();
+    for pos in word_positions(&flat.text, "fn") {
+        if prev_word(&flat.text, pos).as_deref() != Some("pub") {
+            continue;
+        }
+        let Some((name, name_pos)) = next_word(&flat.text, pos + 2) else {
+            continue;
+        };
+        let sig_end = flat.text[name_pos..]
+            .find(['{', ';'])
+            .map(|n| name_pos + n)
+            .unwrap_or(flat.text.len());
+        if !flat.text[sig_end..].starts_with('{') {
+            continue;
+        }
+        let Some(end) = matching_brace(&flat.text, sig_end) else {
+            continue;
+        };
+        out.push(PublicFn {
+            name,
+            line: flat.line_of(pos),
+            signature: flat.text[name_pos..sig_end].to_string(),
+            body: flat.text[sig_end..end].to_string(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(src: &str) -> Flat {
+        Flat::new(&Scrubbed::scan(src).code)
+    }
+
+    #[test]
+    fn enum_variants_skip_payloads_and_attrs() {
+        let f = flat(
+            "pub enum RequestKind {\n    /// doc\n    Alpha,\n    #[cfg(feature = \"x\")]\n    \
+             Beta(usize),\n    Gamma { inner: u8 },\n}\n",
+        );
+        let names: Vec<String> = enum_variants(&f, "RequestKind")
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(names, ["Alpha", "Beta", "Gamma"]);
+    }
+
+    #[test]
+    fn fn_body_and_path_refs() {
+        let f = flat(
+            "impl M {\n    pub fn service_time(&self) -> u64 {\n        match k {\n            \
+             RequestKind::Alpha => 1,\n            _ => 0,\n        }\n    }\n}\n",
+        );
+        let (_, body) = fn_body(&f, "service_time").unwrap();
+        let refs: Vec<String> = path_refs(body, "RequestKind")
+            .into_iter()
+            .map(|(_, n)| n)
+            .collect();
+        assert_eq!(refs, ["Alpha"]);
+        assert!(wildcard_arm(body).is_some());
+    }
+
+    #[test]
+    fn public_fns_capture_signature_and_body() {
+        let f = flat(
+            "impl E {\n    pub fn status(&mut self) -> RpcResponse<u64> {\n        \
+             self.respond(RequestKind::Status)\n    }\n    fn private_helper(&self) {}\n}\n",
+        );
+        let fns = public_fns(&f);
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "status");
+        assert!(fns[0].signature.contains("RpcResponse"));
+        assert!(fns[0].body.contains("RequestKind"));
+    }
+
+    #[test]
+    fn manifest_targets_and_doc_rows() {
+        let manifest = "[package]\nname = \"xcc-bench\"\n\n[[bench]]\nname = \"fig6\"\n\
+                        harness = false\n\n[[bin]]\nname = \"figure\"\n";
+        assert_eq!(
+            manifest_targets(manifest, "bench"),
+            vec![("fig6".into(), 5)]
+        );
+        assert_eq!(
+            manifest_targets(manifest, "bin"),
+            vec![("figure".into(), 9)]
+        );
+
+        let md = "| Scenario | What |\n|---|---|\n| `fig6` | throughput |\n| plain | no |\n";
+        assert_eq!(doc_row_names(md), vec![(3, "fig6".into())]);
+    }
+
+    #[test]
+    fn wildcard_arm_ignores_underscore_bindings() {
+        assert!(wildcard_arm("let _x = 1; match y { _ => 2 }").is_some());
+        assert!(wildcard_arm("let _ignored = 1; f(_a);").is_none());
+    }
+}

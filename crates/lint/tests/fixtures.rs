@@ -1,0 +1,209 @@
+//! End-to-end tests: each rule's bad fixture must fail `--check` with
+//! exit code 2 and report the expected findings, and the real workspace
+//! must be lint-clean.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use xcc_lint::{rules, Config, RuleId};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name)
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+fn run_rules(root: &Path, rule_names: &[&str]) -> Vec<(String, String)> {
+    let mut rules_on: Vec<RuleId> = rule_names
+        .iter()
+        .map(|n| RuleId::parse(n).expect("known rule"))
+        .collect();
+    rules_on.push(RuleId::Suppression);
+    let outcome = rules::run(&Config {
+        root: root.to_path_buf(),
+        rules: rules_on,
+    })
+    .expect("scan succeeds");
+    outcome
+        .findings
+        .into_iter()
+        .map(|f| (f.rule.to_string(), f.message))
+        .collect()
+}
+
+fn check_exit_code(root: &Path, rule: &str) -> i32 {
+    let output = Command::new(env!("CARGO_BIN_EXE_xcc-lint"))
+        .args(["--check", "--rule", rule, "--root"])
+        .arg(root)
+        .output()
+        .expect("binary runs");
+    output.status.code().expect("exit code")
+}
+
+#[test]
+fn hash_collections_fixture_fails() {
+    let root = fixture("hash_collections");
+    let findings = run_rules(&root, &["hash-collections"]);
+    let d1 = findings
+        .iter()
+        .filter(|(r, _)| r == "hash-collections")
+        .count();
+    // The iterated map, the unsuppressed use-line names, and the set whose
+    // suppression is rejected for lacking a reason; the string literal and
+    // the comment must not fire.
+    assert!(
+        d1 >= 3,
+        "expected at least 3 D1 findings, got: {findings:?}"
+    );
+    assert!(
+        findings
+            .iter()
+            .any(|(r, m)| r == "suppression" && m.contains("without a reason")),
+        "missing-reason suppression must be flagged: {findings:?}"
+    );
+    assert_eq!(check_exit_code(&root, "hash-collections"), 2);
+}
+
+#[test]
+fn wall_clock_fixture_fails() {
+    let root = fixture("wall_clock");
+    let findings = run_rules(&root, &["wall-clock"]);
+    assert!(
+        findings.iter().any(|(_, m)| m.contains("`Instant`"))
+            && findings.iter().any(|(_, m)| m.contains("`SystemTime`")),
+        "both time sources must be flagged: {findings:?}"
+    );
+    assert_eq!(check_exit_code(&root, "wall-clock"), 2);
+}
+
+#[test]
+fn ambient_entropy_fixture_fails() {
+    let root = fixture("ambient_entropy");
+    let findings = run_rules(&root, &["ambient-entropy"]);
+    assert!(
+        findings.iter().any(|(_, m)| m.contains("`thread_rng`"))
+            && findings.iter().any(|(_, m)| m.contains("`from_entropy`")),
+        "both entropy sources must be flagged: {findings:?}"
+    );
+    assert_eq!(check_exit_code(&root, "ambient-entropy"), 2);
+}
+
+#[test]
+fn uncosted_rpc_fixture_fails() {
+    let root = fixture("uncosted_rpc");
+    let findings = run_rules(&root, &["uncosted-rpc"]);
+    assert!(
+        findings.iter().any(|(_, m)| m.contains("Unpriced")),
+        "unpriced variant must be flagged: {findings:?}"
+    );
+    assert!(
+        findings.iter().any(|(_, m)| m.contains("wildcard")),
+        "wildcard arm must be flagged: {findings:?}"
+    );
+    assert!(
+        findings.iter().any(|(_, m)| m.contains("free_rider")),
+        "RPC method naming no RequestKind must be flagged: {findings:?}"
+    );
+    assert!(
+        findings.iter().any(|(_, m)| m.contains("DeadButPriced")),
+        "dead costing arm must be flagged: {findings:?}"
+    );
+    assert_eq!(check_exit_code(&root, "uncosted-rpc"), 2);
+}
+
+#[test]
+fn panic_in_library_fixture_fails() {
+    let root = fixture("panic_in_library");
+    let findings = run_rules(&root, &["panic-in-library"]);
+    assert!(
+        findings
+            .iter()
+            .any(|(r, m)| r == "panic-in-library" && m.contains("3 panic site(s)")),
+        "the three library sites must be counted (test code exempt): {findings:?}"
+    );
+    assert_eq!(check_exit_code(&root, "panic-in-library"), 2);
+}
+
+#[test]
+fn registry_docs_fixture_fails() {
+    let root = fixture("registry_docs");
+    let findings = run_rules(&root, &["registry-docs"]);
+    let has = |needle: &str| findings.iter().any(|(_, m)| m.contains(needle));
+    assert!(has("`benchless` has no bench target"), "{findings:?}");
+    assert!(has("`undocumented` is not documented"), "{findings:?}");
+    assert!(
+        has("`phantom`"),
+        "phantom doc row must be flagged: {findings:?}"
+    );
+    assert!(has("`ghost` has no source file"), "{findings:?}");
+    assert!(has("no matching [[bench]] target `orphan`"), "{findings:?}");
+    assert!(
+        has("runs no registered scenario"),
+        "orphan bench references nothing: {findings:?}"
+    );
+    assert!(
+        !findings.iter().any(|(_, m)| m.contains("`covered`")),
+        "the fully-consistent scenario must stay silent: {findings:?}"
+    );
+    assert_eq!(check_exit_code(&root, "registry-docs"), 2);
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = workspace_root();
+    let outcome = rules::run(&Config::all_rules(&root)).expect("scan succeeds");
+    assert!(
+        outcome.findings.is_empty(),
+        "the workspace must be lint-clean:\n{}",
+        outcome
+            .findings
+            .iter()
+            .map(|f| f.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        outcome.files_scanned > 50,
+        "sanity: the walker found only {} files",
+        outcome.files_scanned
+    );
+}
+
+#[test]
+fn cli_json_and_exit_codes() {
+    let bin = env!("CARGO_BIN_EXE_xcc-lint");
+
+    // Clean tree in check mode: exit 0.
+    let clean = Command::new(bin)
+        .args(["--check", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("binary runs");
+    assert_eq!(clean.status.code(), Some(0), "workspace check must pass");
+
+    // JSON output on a bad fixture parses the expected shape.
+    let json_out = Command::new(bin)
+        .args(["--json", "--rule", "wall-clock", "--root"])
+        .arg(fixture("wall_clock"))
+        .output()
+        .expect("binary runs");
+    let json = String::from_utf8_lossy(&json_out.stdout);
+    assert!(json.contains("\"rule\": \"wall-clock\""), "{json}");
+    assert!(json.contains("\"finding_count\""), "{json}");
+    // Without --check, findings do not change the exit code.
+    assert_eq!(json_out.status.code(), Some(0));
+
+    // Unknown rule: usage error.
+    let bad = Command::new(bin)
+        .args(["--rule", "no-such-rule"])
+        .output()
+        .expect("binary runs");
+    assert_eq!(bad.status.code(), Some(1));
+}

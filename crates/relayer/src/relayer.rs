@@ -59,7 +59,7 @@
 //! tracker holds a batch whenever the chain's check state straddled a commit
 //! under the relayer's in-flight transactions.
 
-use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use xcc_chain::msg::Msg;
 use xcc_chain::tx::Tx;
@@ -712,7 +712,7 @@ impl Relayer {
             self.dst_rpc
                 .unreceived_packets(t, &path.port, &path.dst_channel, &sequences);
         t = unreceived_resp.ready_at;
-        let unreceived: HashSet<Sequence> = unreceived_resp.value.into_iter().collect();
+        let unreceived: BTreeSet<Sequence> = unreceived_resp.value.into_iter().collect();
         let to_relay: Vec<(u64, Packet)> = packets
             .iter()
             .filter(|(_, p)| unreceived.contains(&p.sequence))
@@ -888,7 +888,7 @@ impl Relayer {
             self.src_rpc
                 .unacknowledged_packets(t, &path.port, &path.src_channel, &sequences);
         t = unacked_resp.ready_at;
-        let unacked: HashSet<Sequence> = unacked_resp.value.into_iter().collect();
+        let unacked: BTreeSet<Sequence> = unacked_resp.value.into_iter().collect();
         let to_relay: Vec<Packet> = acked
             .iter()
             .filter(|p| unacked.contains(&p.sequence))
@@ -1179,7 +1179,7 @@ impl Relayer {
                 self.dst_rpc
                     .unreceived_packets(t, &path.port, &path.dst_channel, &candidate_seqs);
             t = unreceived_resp.ready_at;
-            let unreceived: HashSet<Sequence> = unreceived_resp.value.into_iter().collect();
+            let unreceived: BTreeSet<Sequence> = unreceived_resp.value.into_iter().collect();
             let received: Vec<Packet> = candidates
                 .into_iter()
                 .filter(|p| !unreceived.contains(&p.sequence))

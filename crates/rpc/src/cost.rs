@@ -152,7 +152,15 @@ impl RpcCostModel {
                 // pagination overhead (the paper's 331,706-line responses).
                 size_cost
             }
-            _ => SimDuration::ZERO,
+            // Metadata lookups answered from indexed state: no per-message
+            // work beyond the base fee and response-size cost. Each variant
+            // is priced explicitly so the `uncosted-rpc` lint can prove no
+            // RequestKind ships without a costing decision.
+            RequestKind::Status
+            | RequestKind::AccountQuery
+            | RequestKind::ProofQuery
+            | RequestKind::ClientUpdateData
+            | RequestKind::UnreceivedQuery => SimDuration::ZERO,
         };
         self.base + size_cost + kind_cost
     }

@@ -6,7 +6,8 @@
 //! of the failure modes behind the submission drop-off at very high input
 //! rates in Table I of the paper.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+// xcc-lint: allow(hash-collections, reason = "HashSet used for membership checks only; never iterated")
+use std::collections::{BTreeMap, HashSet, VecDeque};
 
 use serde::{Deserialize, Serialize};
 
@@ -106,6 +107,7 @@ impl std::error::Error for MempoolError {}
 pub struct Mempool {
     config: MempoolConfig,
     queue: VecDeque<PendingTx>,
+    // xcc-lint: allow(hash-collections, reason = "O(1) duplicate-hash membership; iteration never observes it")
     hashes: HashSet<Hash>,
     total_bytes: usize,
     rejected_full: u64,
@@ -117,6 +119,7 @@ impl Mempool {
         Mempool {
             config,
             queue: VecDeque::new(),
+            // xcc-lint: allow(hash-collections, reason = "membership-only set, see field declaration")
             hashes: HashSet::new(),
             total_bytes: 0,
             rejected_full: 0,
@@ -225,6 +228,7 @@ impl Mempool {
 
     /// Removes transactions that were committed in a block.
     pub fn remove_committed(&mut self, hashes: &[Hash]) {
+        // xcc-lint: allow(hash-collections, reason = "contains-only probe inside retain; order never observed")
         let committed: HashSet<&Hash> = hashes.iter().collect();
         let mut removed_bytes = 0usize;
         self.queue.retain(|tx| {
@@ -251,8 +255,8 @@ impl Mempool {
 
     /// Pending transaction counts per sender, useful for diagnosing
     /// account-sequence congestion.
-    pub fn pending_by_sender(&self) -> HashMap<String, usize> {
-        let mut by_sender = HashMap::new();
+    pub fn pending_by_sender(&self) -> BTreeMap<String, usize> {
+        let mut by_sender = BTreeMap::new();
         for tx in &self.queue {
             *by_sender.entry(tx.sender.clone()).or_insert(0) += 1;
         }

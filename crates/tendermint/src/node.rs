@@ -7,6 +7,7 @@
 //! and the node reports how long consensus and block processing took so the
 //! driver can schedule the next block.
 
+// xcc-lint: allow(hash-collections, reason = "tx_index is a point-lookup index; iteration never observes it")
 use std::collections::HashMap;
 
 use crate::abci::{Application, DeliverTxResult};
@@ -91,6 +92,7 @@ pub struct Node<A: Application> {
     app: A,
     mempool: Mempool,
     blocks: Vec<CommittedBlock>,
+    // xcc-lint: allow(hash-collections, reason = "hash -> (height, index) point lookups only; never iterated")
     tx_index: HashMap<Hash, (u64, usize)>,
     last_app_hash: Hash,
     last_results_hash: Hash,
@@ -116,6 +118,7 @@ impl<A: Application> Node<A> {
             app,
             mempool: Mempool::new(mempool_config),
             blocks: Vec::new(),
+            // xcc-lint: allow(hash-collections, reason = "point-lookup index, see field declaration")
             tx_index: HashMap::new(),
             last_app_hash: Hash::ZERO,
             last_results_hash: Hash::ZERO,

@@ -12,7 +12,7 @@
 //! * **Counterfactual behaviour**: each non-default strategy moves the
 //!   metric the paper says it should.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use ibc_perf_repro::chain::msg::Msg;
 use ibc_perf_repro::chain::tx::Tx;
@@ -101,7 +101,7 @@ fn redundant_message_accounting_sums_to_the_packet_totals() {
         .sent_sequences(&run.path.port, &run.path.src_channel);
     let received_on_b = {
         let chain_b = run.chain_b.borrow();
-        let unreceived: HashSet<_> = chain_b
+        let unreceived: BTreeSet<_> = chain_b
             .app()
             .ibc()
             .unreceived_packets(&run.path.port, &run.path.dst_channel, &sent)
