@@ -217,8 +217,62 @@ fn check_fixtures() -> usize {
     drifted
 }
 
+/// `--bench` mode: times the release-mode replay of every golden fixture set
+/// and writes `BENCH_golden.json` at the workspace root, so the replay cost
+/// trajectory stays visible across PRs. "Events" are fully completed
+/// transfers — the unit every golden scenario produces and the denominator
+/// the paper's throughput figures use.
+fn bench_fixtures() -> std::io::Result<()> {
+    let mut set_rows = String::new();
+    let mut total_secs = 0.0_f64;
+    let mut total_completed = 0_u64;
+    for (path, specs) in fixture_sets() {
+        // xcc-lint: allow(wall-clock, reason = "bench harness timing only: measures the host replaying the fixtures, never feeds simulated state")
+        let start = std::time::Instant::now();
+        let outcomes = regenerate(&specs);
+        let secs = start.elapsed().as_secs_f64();
+        let completed: u64 = outcomes.iter().map(|o| o.completed()).sum();
+        total_secs += secs;
+        total_completed += completed;
+        if !set_rows.is_empty() {
+            set_rows.push_str(",\n");
+        }
+        set_rows.push_str(&format!(
+            "    {{\n      \"fixture\": \"{path}\",\n      \"outcomes\": {},\n      \
+             \"completed_transfers\": {completed},\n      \"wall_clock_secs\": {secs:.3},\n      \
+             \"events_per_sec\": {:.1}\n    }}",
+            outcomes.len(),
+            rate(completed, secs),
+        ));
+        eprintln!("bench: {path}: {secs:.3}s, {completed} completed transfers");
+    }
+    let report = format!(
+        "{{\n  \"harness\": \"goldens --bench\",\n  \"event_unit\": \"completed_transfers\",\n  \
+         \"sets\": [\n{set_rows}\n  ],\n  \"total\": {{\n    \"wall_clock_secs\": \
+         {total_secs:.3},\n    \"completed_transfers\": {total_completed},\n    \
+         \"events_per_sec\": {:.1}\n  }}\n}}\n",
+        rate(total_completed, total_secs),
+    );
+    std::fs::write("BENCH_golden.json", &report)?;
+    println!("{report}");
+    eprintln!("bench: wrote BENCH_golden.json");
+    Ok(())
+}
+
+fn rate(events: u64, secs: f64) -> f64 {
+    if secs > 0.0 {
+        events as f64 / secs
+    } else {
+        0.0
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--bench") {
+        bench_fixtures().expect("bench report written");
+        return;
+    }
     if args.iter().any(|a| a == "--check") {
         let drifted = check_fixtures();
         if drifted > 0 {

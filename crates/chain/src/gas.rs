@@ -31,6 +31,7 @@ pub const MSG_UPDATE_CLIENT_GAS: u64 = 110_000;
 pub const MSG_BANK_SEND_GAS: u64 = 25_000;
 
 /// The gas price the paper configures in Hermes: 0.01 tokens per unit of gas.
+// xcc-lint: allow(float-determinism, reason = "paper-fixed constant; every fee passes through fee_for_gas, which ceils to an integer")
 pub const GAS_PRICE: f64 = 0.01;
 
 /// Errors produced by the gas meter.
@@ -114,6 +115,7 @@ impl GasMeter {
 /// The fee (in the fee denomination) for a transaction consuming `gas` units
 /// at the paper's configured gas price.
 pub fn fee_for_gas(gas: u64) -> u128 {
+    // xcc-lint: allow(float-determinism, reason = "gas fits in 53 bits and 0.01 * gas ceiled to an integer is exact on any IEEE-754 double")
     (gas as f64 * GAS_PRICE).ceil() as u128
 }
 

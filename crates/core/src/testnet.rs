@@ -5,6 +5,7 @@
 use xcc_chain::chain::{Chain, SharedChain};
 use xcc_chain::genesis::GenesisConfig;
 use xcc_ibc::channel::Order;
+use xcc_ibc::error::IbcError;
 use xcc_ibc::ids::PortId;
 use xcc_relayer::config::RelayerConfig;
 use xcc_relayer::relayer::{RelayPath, Relayer};
@@ -198,11 +199,61 @@ impl Testnet {
     }
 }
 
+/// Why testnet setup failed: a precondition of the client/connection/channel
+/// handshake sequence did not hold.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SetupError {
+    /// A chain has not committed the genesis block the light clients
+    /// bootstrap from (`produce_block` was never called before setup).
+    MissingGenesisBlock {
+        /// The id of the chain missing its block.
+        chain: String,
+    },
+    /// An IBC handshake step was rejected by the host chain.
+    Handshake {
+        /// The handshake step that failed (e.g. `conn_open_try`).
+        step: &'static str,
+        /// The rejection reported by the IBC module.
+        source: IbcError,
+    },
+}
+
+impl std::fmt::Display for SetupError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SetupError::MissingGenesisBlock { chain } => write!(
+                f,
+                "chain {chain} has no committed genesis block to bootstrap light clients from"
+            ),
+            SetupError::Handshake { step, source } => {
+                write!(f, "IBC handshake step {step} failed: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SetupError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SetupError::MissingGenesisBlock { .. } => None,
+            SetupError::Handshake { source, .. } => Some(source),
+        }
+    }
+}
+
 /// Creates the clients, connection and a single unordered transfer channel
 /// between two freshly started chains, returning the relay path — the
 /// paper's deployment.
 pub fn open_channel(chain_a: &SharedChain, chain_b: &SharedChain) -> RelayPath {
     open_channels(chain_a, chain_b, 1).remove(0)
+}
+
+/// Infallible front end of [`try_open_channels`], for the common case of
+/// chains this module itself deployed (where the preconditions hold by
+/// construction).
+pub fn open_channels(chain_a: &SharedChain, chain_b: &SharedChain, count: usize) -> Vec<RelayPath> {
+    // xcc-lint: allow(panic-in-library, reason = "deployment invariant: Testnet::build commits genesis on both chains before handshaking, and handshake steps are sequenced in protocol order")
+    try_open_channels(chain_a, chain_b, count).expect("handshake preconditions hold")
 }
 
 /// Creates the clients, one connection, and `count` unordered transfer
@@ -212,21 +263,27 @@ pub fn open_channel(chain_a: &SharedChain, chain_b: &SharedChain) -> RelayPath {
 /// All channels share the same client pair and connection — as on production
 /// Cosmos hubs, where one connection carries many channels — so per-channel
 /// work differs only in the channel ends themselves.
-pub fn open_channels(chain_a: &SharedChain, chain_b: &SharedChain, count: usize) -> Vec<RelayPath> {
-    let header_a = chain_a
-        .borrow()
-        .block_at(1)
-        .expect("chain A produced its genesis block")
-        .block
-        .header
-        .clone();
-    let header_b = chain_b
-        .borrow()
-        .block_at(1)
-        .expect("chain B produced its genesis block")
-        .block
-        .header
-        .clone();
+///
+/// Fails with [`SetupError`] if either chain has not committed its genesis
+/// block, or if any handshake step is rejected.
+pub fn try_open_channels(
+    chain_a: &SharedChain,
+    chain_b: &SharedChain,
+    count: usize,
+) -> Result<Vec<RelayPath>, SetupError> {
+    let missing = |chain: &SharedChain| SetupError::MissingGenesisBlock {
+        chain: chain.borrow().id().to_string(),
+    };
+    let step = |step: &'static str| move |source: IbcError| SetupError::Handshake { step, source };
+
+    let header_a = match chain_a.borrow().block_at(1) {
+        Some(committed) => committed.block.header.clone(),
+        None => return Err(missing(chain_a)),
+    };
+    let header_b = match chain_b.borrow().block_at(1) {
+        Some(committed) => committed.block.header.clone(),
+        None => return Err(missing(chain_b)),
+    };
     let root_a = chain_a.borrow().app().ibc().commitment_root();
     let root_b = chain_b.borrow().app().ibc().commitment_root();
 
@@ -242,16 +299,16 @@ pub fn open_channels(chain_a: &SharedChain, chain_b: &SharedChain, count: usize)
     // ICS-03: connection handshake.
     let (conn_a, _) = ibc_a
         .conn_open_init(&client_on_a, &client_on_b)
-        .expect("client exists on chain A");
+        .map_err(step("conn_open_init"))?;
     let (conn_b, _) = ibc_b
         .conn_open_try(&client_on_b, &client_on_a, &conn_a)
-        .expect("client exists on chain B");
+        .map_err(step("conn_open_try"))?;
     ibc_a
         .conn_open_ack(&conn_a, &conn_b)
-        .expect("connection in Init");
+        .map_err(step("conn_open_ack"))?;
     ibc_b
         .conn_open_confirm(&conn_b)
-        .expect("connection in TryOpen");
+        .map_err(step("conn_open_confirm"))?;
 
     // ICS-04: unordered transfer channels, as in the paper's deployment
     // (which opens exactly one).
@@ -260,16 +317,16 @@ pub fn open_channels(chain_a: &SharedChain, chain_b: &SharedChain, count: usize)
     for _ in 0..count.max(1) {
         let (chan_a, _) = ibc_a
             .chan_open_init(&port, &conn_a, &port, Order::Unordered)
-            .expect("connection open on chain A");
+            .map_err(step("chan_open_init"))?;
         let (chan_b, _) = ibc_b
             .chan_open_try(&port, &conn_b, &port, &chan_a, Order::Unordered)
-            .expect("connection open on chain B");
+            .map_err(step("chan_open_try"))?;
         ibc_a
             .chan_open_ack(&port, &chan_a, &chan_b)
-            .expect("channel in Init");
+            .map_err(step("chan_open_ack"))?;
         ibc_b
             .chan_open_confirm(&port, &chan_b)
-            .expect("channel in TryOpen");
+            .map_err(step("chan_open_confirm"))?;
         paths.push(RelayPath {
             port: port.clone(),
             src_channel: chan_a,
@@ -278,7 +335,7 @@ pub fn open_channels(chain_a: &SharedChain, chain_b: &SharedChain, count: usize)
             client_on_src: client_on_a.clone(),
         });
     }
-    paths
+    Ok(paths)
 }
 
 #[cfg(test)]
@@ -350,6 +407,41 @@ mod tests {
         assert_eq!(a.app().ibc().channels_on_port(&testnet.path.port).len(), 3);
         // Every relayer serves every channel.
         assert_eq!(testnet.relayers[0].paths().len(), 3);
+    }
+
+    #[test]
+    fn setup_without_genesis_block_reports_which_chain() {
+        let fresh = |id: &str| {
+            Chain::with_params(
+                GenesisConfig::new(id).with_validators(1),
+                ConsensusParams::default(),
+                ConsensusTimingModel::default(),
+                MempoolConfig::default(),
+            )
+            .into_shared()
+        };
+        let a = fresh("chain-a");
+        let b = fresh("chain-b");
+        // Neither chain has produced a block: the source chain is reported.
+        let err = try_open_channels(&a, &b, 1).unwrap_err();
+        match &err {
+            SetupError::MissingGenesisBlock { chain } => assert_eq!(chain, "chain-a"),
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(err.to_string().contains("chain-a"));
+        // With the source chain bootstrapped, the destination is next.
+        a.borrow_mut().produce_block(SimTime::ZERO);
+        let err = try_open_channels(&a, &b, 1).unwrap_err();
+        assert_eq!(
+            err,
+            SetupError::MissingGenesisBlock {
+                chain: "chain-b".into()
+            }
+        );
+        // Both bootstrapped: the handshake succeeds end to end.
+        b.borrow_mut().produce_block(SimTime::ZERO);
+        let paths = try_open_channels(&a, &b, 2).unwrap();
+        assert_eq!(paths.len(), 2);
     }
 
     #[test]

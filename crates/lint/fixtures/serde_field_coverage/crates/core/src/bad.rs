@@ -1,0 +1,45 @@
+//! S1 fixture: hand-written serde impls that drift from the struct they
+//! serialize, plus the three suppression-hygiene shapes (unused, malformed,
+//! wrong-rule) parked on S1 sites.
+
+/// The experiment knobs with hand-rolled serde.
+pub struct Knobs {
+    // xcc-lint: allow(serde-field-coverage, reason = "unused: alpha is covered by both impls")
+    pub alpha: u64,
+    pub beta: u64,
+    /// Never named in either impl: one missing-field finding per impl.
+    pub delta: u64,
+    // xcc-lint: allow(serde-field-coverage, reason = "runtime-only cache; intentionally dropped from the JSON round-trip")
+    pub hidden: u64,
+}
+
+impl Serialize for Knobs {
+    fn serialize(&self, out: &mut Writer) {
+        out.field("alpha", self.alpha);
+        out.field("beta", self.beta);
+    }
+}
+
+// xcc-lint: allow(serde-field-coverage
+impl Deserialize for Knobs {
+    fn deserialize(map: &Map) -> Self {
+        Knobs {
+            alpha: get(map, "alpha"),
+            beta: get(map, "beta"),
+            // xcc-lint: allow(wall-clock, reason = "wrong rule: does not absorb the stale key below")
+            delta: get(map, "epsilon"),
+            hidden: 0,
+        }
+    }
+}
+
+/// A struct with no hand-written impls stays silent.
+pub struct Derived {
+    pub left: u64,
+    pub right: u64,
+}
+
+// Keys inside comments are not keys: "phantom" never fires.
+pub fn fine_in_a_string() -> &'static str {
+    "CamelCase and spaced strings are not field keys"
+}

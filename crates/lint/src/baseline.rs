@@ -1,17 +1,22 @@
-//! The `panic-in-library` grandfathering baseline.
+//! The grandfathering baselines (ratchets).
 //!
-//! The workspace predates the P1 rule by five PRs, so the existing
-//! `unwrap()`/`expect()`/`panic!` sites in non-test library code are
-//! recorded here per file and allowed; only *new* sites (a file's count
-//! rising above its baseline) fail the lint. Counts that *fall below* the
-//! baseline — or files that disappear — are flagged as stale so the file is
-//! regenerated (`xcc-lint --baseline`) and the ratchet only ever tightens.
+//! The workspace predates the P1 rule by five PRs and the D4 rule by six,
+//! so the existing `unwrap()`/`expect()`/`panic!` sites — and the existing
+//! `f32`/`f64` sites in simulated code — are recorded per file and allowed;
+//! only *new* sites (a file's count rising above its baseline) fail the
+//! lint. Counts that *fall below* the baseline — or files that disappear —
+//! are flagged as stale so the file is regenerated (`xcc-lint --baseline`)
+//! and each ratchet only ever tightens. Both files share the same
+//! `<count> <path>` line format.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-/// Workspace-relative location of the checked-in baseline file.
+/// Workspace-relative location of the checked-in P1 baseline file.
 pub const BASELINE_REL: &str = "crates/lint/panic-baseline.txt";
+
+/// Workspace-relative location of the checked-in D4 baseline file.
+pub const FLOAT_BASELINE_REL: &str = "crates/lint/float-baseline.txt";
 
 /// Parses baseline text into `path -> allowed count`, ignoring blank lines
 /// and `#` comments. Lines are `<count> <path>`.
@@ -35,10 +40,24 @@ pub fn parse(text: &str) -> Result<BTreeMap<String, usize>, String> {
 
 /// Renders per-file counts as baseline text, sorted by path.
 pub fn render(counts: &BTreeMap<String, usize>) -> String {
-    let mut out = String::from(
+    render_titled(
         "# xcc-lint panic-in-library baseline: grandfathered unwrap()/expect()/panic! sites\n\
          # per non-test library file. Regenerate with: cargo run -p xcc-lint -- --baseline\n",
-    );
+        counts,
+    )
+}
+
+/// Renders the D4 float baseline, sorted by path.
+pub fn render_float(counts: &BTreeMap<String, usize>) -> String {
+    render_titled(
+        "# xcc-lint float-determinism baseline: grandfathered f32/f64 sites per non-test\n\
+         # sim/chain/tendermint/relayer file. Regenerate with: cargo run -p xcc-lint -- --baseline\n",
+        counts,
+    )
+}
+
+fn render_titled(header: &str, counts: &BTreeMap<String, usize>) -> String {
+    let mut out = String::from(header);
     for (path, count) in counts {
         if *count > 0 {
             let _ = writeln!(out, "{count} {path}");

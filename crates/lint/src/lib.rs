@@ -10,17 +10,27 @@
 //! `xcc-lint` moves that class of failure from replay time to lint time. It
 //! is a dependency-free static auditor (no `rustc` internals, no `syn`;
 //! crates.io is unreachable in this environment) built on a comment- and
-//! string-aware scrubbing scanner ([`lexer::Scrubbed`]). Six rules run over
-//! `crates/*/src`, `tests/`, and friends:
+//! string-aware scrubbing scanner ([`lexer::Scrubbed`]) and a shallow
+//! [workspace item graph](items) parsed from the scrubbed token stream.
+//! Ten rules run over `crates/*/src`, `tests/`, and friends:
 //!
 //! * **D1 `hash-collections`** — no `HashMap`/`HashSet` without a per-site
 //!   justified suppression.
 //! * **D2 `wall-clock`** — no `SystemTime`/`Instant`.
 //! * **D3 `ambient-entropy`** — no `thread_rng`/`OsRng`/`from_entropy`/
 //!   `getrandom`.
+//! * **D4 `float-determinism`** — `f32`/`f64` in sim/chain/tendermint/
+//!   relayer code is annotated or ratcheted by `float-baseline.txt`.
 //! * **C1 `uncosted-rpc`** — every `RpcEndpoint` RPC method names a
 //!   `RequestKind`, every kind has an explicit `service_time` arm (no
 //!   wildcard), and no kind is dead.
+//! * **C2 `lane-bypass`** — outside `crates/rpc`, no direct `RpcResponse`
+//!   construction and no cost-table (`service_time`) access.
+//! * **S1 `serde-field-coverage`** — hand-written `Serialize`/`Deserialize`
+//!   impls name every field of their struct, and every key maps to a live
+//!   field.
+//! * **K1 `dead-knob`** — every pub config field and `SweepGrid` axis is
+//!   read outside its defining file.
 //! * **P1 `panic-in-library`** — `unwrap()`/`expect()`/`panic!` in non-test
 //!   library code is ratcheted by `panic-baseline.txt`.
 //! * **R1 `registry-docs`** — scenario registry ↔ bench targets ↔
@@ -40,6 +50,7 @@
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod items;
 pub mod lexer;
 pub mod report;
 pub mod rules;
@@ -51,11 +62,18 @@ use std::path::Path;
 pub use report::{to_json, Finding};
 pub use rules::{run, Config, Outcome, RuleId};
 
-/// Recomputes and writes `panic-baseline.txt` under `root`. Returns the
-/// number of grandfathered panic sites recorded.
-pub fn regenerate_baseline(root: &Path) -> io::Result<usize> {
-    let counts = rules::current_panic_counts(root)?;
-    let total: usize = counts.values().sum();
-    fs::write(root.join(baseline::BASELINE_REL), baseline::render(&counts))?;
-    Ok(total)
+/// Recomputes and writes both ratchet baselines (`panic-baseline.txt` and
+/// `float-baseline.txt`) under `root`. Returns the number of grandfathered
+/// (panic, float) sites recorded.
+pub fn regenerate_baseline(root: &Path) -> io::Result<(usize, usize)> {
+    let panics = rules::current_panic_counts(root)?;
+    let floats = rules::current_float_counts(root)?;
+    let panic_total: usize = panics.values().sum();
+    let float_total: usize = floats.values().sum();
+    fs::write(root.join(baseline::BASELINE_REL), baseline::render(&panics))?;
+    fs::write(
+        root.join(baseline::FLOAT_BASELINE_REL),
+        baseline::render_float(&floats),
+    )?;
+    Ok((panic_total, float_total))
 }

@@ -20,7 +20,8 @@ USAGE:
 OPTIONS:
     --check            exit 2 when any finding is reported (CI mode)
     --json             emit findings as JSON instead of text lines
-    --baseline         regenerate crates/lint/panic-baseline.txt and exit
+    --github           emit findings as GitHub Actions ::error annotations
+    --baseline         regenerate crates/lint/{panic,float}-baseline.txt and exit
     --rule <name>      run only this rule (repeatable); names or codes (D1..R1)
     --skip-rule <name> run all rules except this one (repeatable)
     --root <path>      workspace root to lint (default: current directory)
@@ -31,6 +32,7 @@ OPTIONS:
 struct Args {
     check: bool,
     json: bool,
+    github: bool,
     baseline: bool,
     list_rules: bool,
     root: PathBuf,
@@ -42,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         check: false,
         json: false,
+        github: false,
         baseline: false,
         list_rules: false,
         root: PathBuf::from("."),
@@ -53,6 +56,7 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--check" => args.check = true,
             "--json" => args.json = true,
+            "--github" => args.github = true,
             "--baseline" => args.baseline = true,
             "--list-rules" => args.list_rules = true,
             "--help" | "-h" => return Err(String::new()),
@@ -104,10 +108,12 @@ fn main() -> ExitCode {
 
     if args.baseline {
         return match regenerate_baseline(&args.root) {
-            Ok(total) => {
+            Ok((panics, floats)) => {
                 println!(
-                    "xcc-lint: wrote {} ({total} grandfathered panic site(s))",
-                    xcc_lint::baseline::BASELINE_REL
+                    "xcc-lint: wrote {} ({panics} grandfathered panic site(s)) and {} \
+                     ({floats} grandfathered float site(s))",
+                    xcc_lint::baseline::BASELINE_REL,
+                    xcc_lint::baseline::FLOAT_BASELINE_REL
                 );
                 ExitCode::SUCCESS
             }
@@ -144,6 +150,15 @@ fn main() -> ExitCode {
 
     if args.json {
         print!("{}", to_json(&outcome.findings, outcome.files_scanned));
+    } else if args.github {
+        for finding in &outcome.findings {
+            println!("{}", finding.render_github());
+        }
+        println!(
+            "xcc-lint: {} finding(s) across {} file(s)",
+            outcome.findings.len(),
+            outcome.files_scanned
+        );
     } else {
         for finding in &outcome.findings {
             println!("{}", finding.render());

@@ -5,7 +5,11 @@
 //! | D1 | `hash-collections` | no `HashMap`/`HashSet` — iteration order would break schedule equivalence |
 //! | D2 | `wall-clock` | no `std::time::{SystemTime, Instant}` — all time is `xcc_sim::SimTime` |
 //! | D3 | `ambient-entropy` | no `thread_rng`/OS-seeded RNG — seeds derive from `ExperimentSpec` |
+//! | D4 | `float-determinism` | `f32`/`f64` in sim/chain/tendermint/relayer code is annotated or baselined |
 //! | C1 | `uncosted-rpc` | every `RpcEndpoint` RPC method names a `RequestKind`, and every kind has an explicit costing arm |
+//! | C2 | `lane-bypass` | outside `crates/rpc`, no direct `RpcResponse` construction or cost-table access |
+//! | S1 | `serde-field-coverage` | hand-written `Serialize`/`Deserialize` impls name every struct field, and no stale keys |
+//! | K1 | `dead-knob` | every pub config field / `SweepGrid` axis is read outside its defining file |
 //! | P1 | `panic-in-library` | no new `unwrap()`/`expect()`/`panic!` in non-test library code beyond the baseline |
 //! | R1 | `registry-docs` | scenario ↔ bench-target ↔ README/PAPER-row consistency |
 //!
@@ -13,6 +17,11 @@
 //! reason = "...")` on the offending line or the line above. The reason is
 //! mandatory, and suppressions that stop matching anything are themselves
 //! findings, so the escape hatch cannot rot.
+//!
+//! The token-level rules (D1–D3, D4, C2, P1) work straight off the scrubbed
+//! lines; the structural rules (C1, S1, K1) consume the
+//! [workspace item graph](crate::items) so they survive reformatting and
+//! follow items when they move.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
@@ -20,6 +29,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::baseline;
+use crate::items::{self, FileItems, Flat};
 use crate::lexer::{word_occurrences, Scrubbed};
 use crate::report::Finding;
 
@@ -32,8 +42,16 @@ pub enum RuleId {
     WallClock,
     /// D3: no ambient entropy sources.
     AmbientEntropy,
+    /// D4: `f32`/`f64` in simulated code ratcheted by the float baseline.
+    FloatDeterminism,
     /// C1: every RPC method cross-checked against `RequestKind` costing.
     UncostedRpc,
+    /// C2: no `RpcResponse` construction or cost-table access outside `crates/rpc`.
+    LaneBypass,
+    /// S1: hand-written serde impls cover every field, with no stale keys.
+    SerdeFieldCoverage,
+    /// K1: pub config knobs and sweep axes must be read somewhere.
+    DeadKnob,
     /// P1: panic sites in library code ratcheted by the baseline.
     PanicInLibrary,
     /// R1: scenario registry ↔ bench targets ↔ scenario docs.
@@ -45,11 +63,15 @@ pub enum RuleId {
 
 impl RuleId {
     /// Every rule, in report order.
-    pub const ALL: [RuleId; 7] = [
+    pub const ALL: [RuleId; 11] = [
         RuleId::HashCollections,
         RuleId::WallClock,
         RuleId::AmbientEntropy,
+        RuleId::FloatDeterminism,
         RuleId::UncostedRpc,
+        RuleId::LaneBypass,
+        RuleId::SerdeFieldCoverage,
+        RuleId::DeadKnob,
         RuleId::PanicInLibrary,
         RuleId::RegistryDocs,
         RuleId::Suppression,
@@ -61,7 +83,11 @@ impl RuleId {
             RuleId::HashCollections => "hash-collections",
             RuleId::WallClock => "wall-clock",
             RuleId::AmbientEntropy => "ambient-entropy",
+            RuleId::FloatDeterminism => "float-determinism",
             RuleId::UncostedRpc => "uncosted-rpc",
+            RuleId::LaneBypass => "lane-bypass",
+            RuleId::SerdeFieldCoverage => "serde-field-coverage",
+            RuleId::DeadKnob => "dead-knob",
             RuleId::PanicInLibrary => "panic-in-library",
             RuleId::RegistryDocs => "registry-docs",
             RuleId::Suppression => "suppression",
@@ -74,7 +100,11 @@ impl RuleId {
             RuleId::HashCollections => "D1",
             RuleId::WallClock => "D2",
             RuleId::AmbientEntropy => "D3",
+            RuleId::FloatDeterminism => "D4",
             RuleId::UncostedRpc => "C1",
+            RuleId::LaneBypass => "C2",
+            RuleId::SerdeFieldCoverage => "S1",
+            RuleId::DeadKnob => "K1",
             RuleId::PanicInLibrary => "P1",
             RuleId::RegistryDocs => "R1",
             RuleId::Suppression => "S0",
@@ -115,7 +145,7 @@ impl Config {
 /// The result of a lint run.
 #[derive(Debug)]
 pub struct Outcome {
-    /// Findings, sorted by (path, line, rule).
+    /// Findings, sorted by (path, line, col, rule).
     pub findings: Vec<Finding>,
     /// Number of Rust files scanned.
     pub files_scanned: usize,
@@ -125,6 +155,7 @@ pub struct Outcome {
 struct SourceFile {
     rel: String,
     scrub: Scrubbed,
+    items: FileItems,
 }
 
 /// Runs the configured rules over the workspace.
@@ -161,8 +192,20 @@ pub fn run(config: &Config) -> io::Result<Outcome> {
             &mut findings,
         );
     }
+    if config.enabled(RuleId::FloatDeterminism) {
+        float_determinism(&config.root, &files, &mut findings);
+    }
     if config.enabled(RuleId::UncostedRpc) {
         uncosted_rpc(&files, &mut findings);
+    }
+    if config.enabled(RuleId::LaneBypass) {
+        lane_bypass(&files, &mut findings);
+    }
+    if config.enabled(RuleId::SerdeFieldCoverage) {
+        serde_field_coverage(&files, &mut findings);
+    }
+    if config.enabled(RuleId::DeadKnob) {
+        dead_knob(&files, &mut findings);
     }
     if config.enabled(RuleId::PanicInLibrary) {
         panic_in_library(&config.root, &files, &mut findings);
@@ -174,8 +217,9 @@ pub fn run(config: &Config) -> io::Result<Outcome> {
         suppression_hygiene(config, &files, &mut findings);
     }
 
-    findings
-        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
     Ok(Outcome {
         findings,
         files_scanned: files.len(),
@@ -189,6 +233,17 @@ pub fn current_panic_counts(root: &Path) -> io::Result<BTreeMap<String, usize>> 
         .iter()
         .filter(|f| in_panic_scope(&f.rel))
         .map(|f| (f.rel.clone(), panic_sites(&f.scrub).len()))
+        .filter(|(_, count)| *count > 0)
+        .collect())
+}
+
+/// Recomputes the D4 per-file counts for `--baseline` regeneration.
+pub fn current_float_counts(root: &Path) -> io::Result<BTreeMap<String, usize>> {
+    let files = scan_workspace(root)?;
+    Ok(files
+        .iter()
+        .filter(|f| in_float_scope(&f.rel))
+        .map(|f| (f.rel.clone(), float_sites(&f.scrub).len()))
         .filter(|(_, count)| *count > 0)
         .collect())
 }
@@ -225,10 +280,9 @@ fn scan_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
             .collect::<Vec<_>>()
             .join("/");
         let source = fs::read_to_string(&path)?;
-        files.push(SourceFile {
-            rel,
-            scrub: Scrubbed::scan(&source),
-        });
+        let scrub = Scrubbed::scan(&source);
+        let items = FileItems::parse(&rel, &scrub);
+        files.push(SourceFile { rel, scrub, items });
     }
     Ok(files)
 }
@@ -261,7 +315,7 @@ fn word_ban(
 ) {
     for file in files {
         for word in words {
-            for (line, _col) in word_occurrences(&file.scrub.code, word) {
+            for (line, col) in word_occurrences(&file.scrub.code, word) {
                 if let Some(supp) = file.scrub.suppression_for(rule.name(), line) {
                     supp.used.set(true);
                     continue;
@@ -270,9 +324,116 @@ fn word_ban(
                     rule: rule.name(),
                     path: file.rel.clone(),
                     line,
+                    col: col + 1,
                     message: format!("`{word}`: {why}"),
                 });
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// D4: float-determinism
+// ---------------------------------------------------------------------------
+
+/// D4 covers the crates whose code feeds simulated state or metrics.
+fn in_float_scope(rel: &str) -> bool {
+    [
+        "crates/sim/src/",
+        "crates/chain/src/",
+        "crates/tendermint/src/",
+        "crates/relayer/src/",
+    ]
+    .iter()
+    .any(|prefix| rel.starts_with(prefix))
+}
+
+/// Unsuppressed, non-test `f32`/`f64` token lines.
+fn float_sites(scrub: &Scrubbed) -> Vec<usize> {
+    let mut lines = Vec::new();
+    for word in ["f32", "f64"] {
+        for (line, _col) in word_occurrences(&scrub.code, word) {
+            if scrub.is_test_line(line) {
+                continue;
+            }
+            if let Some(supp) = scrub.suppression_for(RuleId::FloatDeterminism.name(), line) {
+                supp.used.set(true);
+                continue;
+            }
+            lines.push(line);
+        }
+    }
+    lines.sort_unstable();
+    lines.dedup();
+    lines
+}
+
+fn float_determinism(root: &Path, files: &[SourceFile], findings: &mut Vec<Finding>) {
+    let d4 = RuleId::FloatDeterminism.name();
+    let baseline_path = root.join(baseline::FLOAT_BASELINE_REL);
+    let allowed = match fs::read_to_string(&baseline_path) {
+        Ok(text) => match baseline::parse(&text) {
+            Ok(map) => map,
+            Err(err) => {
+                findings.push(Finding {
+                    rule: d4,
+                    path: baseline::FLOAT_BASELINE_REL.into(),
+                    line: 0,
+                    col: 0,
+                    message: format!("unreadable baseline: {err}"),
+                });
+                return;
+            }
+        },
+        // No baseline checked in: everything counts as new.
+        Err(_) => BTreeMap::new(),
+    };
+
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for file in files.iter().filter(|f| in_float_scope(&f.rel)) {
+        seen.insert(&file.rel);
+        let sites = float_sites(&file.scrub);
+        let budget = allowed.get(&file.rel).copied().unwrap_or(0);
+        if sites.len() > budget {
+            findings.push(Finding {
+                rule: d4,
+                path: file.rel.clone(),
+                line: sites.last().copied().unwrap_or(0),
+                col: 0,
+                message: format!(
+                    "{} f32/f64 site(s) but the float baseline allows {budget}: float \
+                     arithmetic feeding simulated state is a cross-platform determinism \
+                     hazard — use integer micro-units, annotate the site with `// xcc-lint: \
+                     allow(float-determinism, reason = \"...\")`, or regenerate with --baseline",
+                    sites.len()
+                ),
+            });
+        } else if sites.len() < budget {
+            findings.push(Finding {
+                rule: d4,
+                path: file.rel.clone(),
+                line: 0,
+                col: 0,
+                message: format!(
+                    "stale float baseline: allows {budget} f32/f64 site(s) but only {} remain — \
+                     regenerate with --baseline so the ratchet tightens",
+                    sites.len()
+                ),
+            });
+        }
+    }
+    for (path, budget) in &allowed {
+        if !seen.contains(path.as_str()) {
+            findings.push(Finding {
+                rule: d4,
+                path: baseline::FLOAT_BASELINE_REL.into(),
+                line: 0,
+                col: 0,
+                message: format!(
+                    "stale float baseline: lists {path} ({budget} site(s)) but the file no \
+                     longer exists — regenerate with --baseline"
+                ),
+            });
         }
     }
 }
@@ -295,6 +456,7 @@ fn uncosted_rpc(files: &[SourceFile], findings: &mut Vec<Finding>) {
                 rule: RuleId::UncostedRpc.name(),
                 path: present.rel.clone(),
                 line: 0,
+                col: 0,
                 message: format!(
                     "found {} without its counterpart ({COST_RS} + {ENDPOINT_RS} must move \
                      together for the costing cross-check)",
@@ -305,82 +467,88 @@ fn uncosted_rpc(files: &[SourceFile], findings: &mut Vec<Finding>) {
         return;
     };
 
-    let cost_flat = Flat::new(&cost.scrub.code);
-    let endpoint_flat = Flat::new(&endpoint.scrub.code);
-
     // 1. The RequestKind variants declared in cost.rs.
-    let variants = enum_variants(&cost_flat, "RequestKind");
-    if variants.is_empty() {
+    let Some(kinds) = cost.items.enum_named("RequestKind") else {
         findings.push(Finding {
             rule: RuleId::UncostedRpc.name(),
             path: cost.rel.clone(),
             line: 0,
+            col: 0,
             message: "could not find `enum RequestKind` (did the costing enum move?)".into(),
         });
         return;
-    }
+    };
 
     // 2. The variants service_time prices explicitly, and whether a
     //    wildcard arm hides unpriced ones.
-    let Some((body_start, body)) = fn_body(&cost_flat, "service_time") else {
+    let Some(cost_fn) = cost.items.all_fns().find(|f| f.name == "service_time") else {
         findings.push(Finding {
             rule: RuleId::UncostedRpc.name(),
             path: cost.rel.clone(),
             line: 0,
+            col: 0,
             message: "could not find `fn service_time` in the cost model".into(),
         });
         return;
     };
-    let priced: BTreeSet<String> = path_refs(body, "RequestKind")
+    let priced: BTreeSet<String> = path_refs(&cost_fn.body, "RequestKind")
         .into_iter()
         .map(|(_, name)| name)
         .collect();
-    if let Some(pos) = wildcard_arm(body) {
-        findings.push(Finding {
-            rule: RuleId::UncostedRpc.name(),
-            path: cost.rel.clone(),
-            line: cost_flat.line_of(body_start + pos),
-            message: "wildcard `_ =>` arm in service_time defeats the costing cross-check; \
-                      price every RequestKind variant explicitly"
-                .into(),
-        });
-    }
-    for (variant, line) in &variants {
-        if !priced.contains(variant) {
+    for arm in items::match_arms(&cost_fn.body) {
+        if arm.pattern == "_" || arm.pattern.starts_with("_ if") {
             findings.push(Finding {
                 rule: RuleId::UncostedRpc.name(),
                 path: cost.rel.clone(),
-                line: *line,
+                line: cost_fn.body_line(arm.offset),
+                col: 0,
+                message: "wildcard `_ =>` arm in service_time defeats the costing cross-check; \
+                          price every RequestKind variant explicitly"
+                    .into(),
+            });
+        }
+    }
+    for variant in &kinds.variants {
+        if !priced.contains(&variant.name) {
+            findings.push(Finding {
+                rule: RuleId::UncostedRpc.name(),
+                path: cost.rel.clone(),
+                line: variant.line,
+                col: 0,
                 message: format!(
-                    "RequestKind::{variant} has no explicit costing arm in \
-                     RpcCostModel::service_time — a request of this kind would ship free"
+                    "RequestKind::{} has no explicit costing arm in \
+                     RpcCostModel::service_time — a request of this kind would ship free",
+                    variant.name
                 ),
             });
         }
     }
 
     // 3. Every variant must be exercised by some endpoint method…
+    let endpoint_flat = Flat::new(&endpoint.scrub.code);
     let used: BTreeSet<String> = path_refs(&endpoint_flat.text, "RequestKind")
         .into_iter()
         .map(|(_, name)| name)
         .collect();
-    for (variant, line) in &variants {
-        if !used.contains(variant) {
+    for variant in &kinds.variants {
+        if !used.contains(&variant.name) {
             findings.push(Finding {
                 rule: RuleId::UncostedRpc.name(),
                 path: cost.rel.clone(),
-                line: *line,
+                line: variant.line,
+                col: 0,
                 message: format!(
-                    "RequestKind::{variant} is priced but never issued by any RpcEndpoint \
-                     method — dead costing arm"
+                    "RequestKind::{} is priced but never issued by any RpcEndpoint \
+                     method — dead costing arm",
+                    variant.name
                 ),
             });
         }
     }
 
     // 4. …and every public RPC method must name the kind it is billed as.
-    for method in public_fns(&endpoint_flat) {
-        if endpoint.scrub.is_test_line(method.line) {
+    for method in endpoint.items.all_fns() {
+        if !method.is_pub || endpoint.scrub.is_test_line(method.line) {
             continue;
         }
         if !method.signature.contains("RpcResponse") {
@@ -391,12 +559,251 @@ fn uncosted_rpc(files: &[SourceFile], findings: &mut Vec<Finding>) {
                 rule: RuleId::UncostedRpc.name(),
                 path: endpoint.rel.clone(),
                 line: method.line,
+                col: 0,
                 message: format!(
                     "pub fn {} returns an RpcResponse but names no RequestKind — every RPC \
                      call must pass a RequestProfile so it pays a costing arm",
                     method.name
                 ),
             });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// C2: lane-bypass
+// ---------------------------------------------------------------------------
+
+/// C2 covers library code outside the rpc crate itself.
+fn in_lane_scope(rel: &str) -> bool {
+    rel.starts_with("crates/") && rel.contains("/src/") && !rel.starts_with("crates/rpc/")
+}
+
+fn lane_bypass(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    let c2 = RuleId::LaneBypass.name();
+    for file in files.iter().filter(|f| in_lane_scope(&f.rel)) {
+        // Direct response construction: `RpcResponse {` (a struct literal).
+        // Type positions (`-> RpcResponse<u64>`) have `<` or `)` after the
+        // word and stay silent.
+        for (line, col) in word_occurrences(&file.scrub.code, "RpcResponse") {
+            let rest = file.scrub.code[line - 1][col + "RpcResponse".len()..].trim_start();
+            if !rest.starts_with('{') {
+                continue;
+            }
+            if file.scrub.is_test_line(line) {
+                continue;
+            }
+            if let Some(supp) = file.scrub.suppression_for(c2, line) {
+                supp.used.set(true);
+                continue;
+            }
+            findings.push(Finding {
+                rule: c2,
+                path: file.rel.clone(),
+                line,
+                col: col + 1,
+                message: "direct `RpcResponse { .. }` construction outside crates/rpc — a \
+                          hand-built response bypasses lane costing; issue the request through \
+                          an RpcEndpoint lane method"
+                    .into(),
+            });
+        }
+        // Direct cost-table access: calling service_time outside the lane
+        // scheduler re-prices a request without occupying a lane slot.
+        for (line, col) in word_occurrences(&file.scrub.code, "service_time") {
+            if file.scrub.is_test_line(line) {
+                continue;
+            }
+            if let Some(supp) = file.scrub.suppression_for(c2, line) {
+                supp.used.set(true);
+                continue;
+            }
+            findings.push(Finding {
+                rule: c2,
+                path: file.rel.clone(),
+                line,
+                col: col + 1,
+                message: "direct cost-table access (`service_time`) outside crates/rpc — \
+                          request pricing belongs to the lane scheduler; issue the request \
+                          through an RpcEndpoint lane method"
+                    .into(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// S1: serde-field-coverage
+// ---------------------------------------------------------------------------
+
+/// Whether a string literal looks like a field key (`snake_case` ident).
+fn is_ident_like(s: &str) -> bool {
+    let mut chars = s.chars();
+    let Some(first) = chars.next() else {
+        return false;
+    };
+    (first.is_ascii_lowercase() || first == '_')
+        && chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+}
+
+fn serde_field_coverage(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    let s1 = RuleId::SerdeFieldCoverage.name();
+    for (fi, file) in files.iter().enumerate() {
+        for imp in &file.items.impls {
+            let Some(trait_name) = imp.trait_name.as_deref() else {
+                continue;
+            };
+            if trait_name != "Serialize" && trait_name != "Deserialize" {
+                continue;
+            }
+            if file.scrub.is_test_line(imp.line) {
+                continue;
+            }
+            // Locate the struct being (de)serialized: same file first, then
+            // anywhere in the workspace. Enums and remote types have no
+            // named fields to cross-check.
+            let target =
+                file.items
+                    .struct_named(&imp.type_name)
+                    .map(|s| (fi, s))
+                    .or_else(|| {
+                        files.iter().enumerate().find_map(|(oi, of)| {
+                            of.items.struct_named(&imp.type_name).map(|s| (oi, s))
+                        })
+                    });
+            let Some((si, strukt)) = target else {
+                continue;
+            };
+            if strukt.fields.is_empty() {
+                continue;
+            }
+            let struct_file = &files[si];
+
+            // The field keys the impl names: ident-like string literals
+            // within its extent.
+            let keys: Vec<_> = file
+                .scrub
+                .strings
+                .iter()
+                .filter(|lit| lit.line >= imp.line && lit.line <= imp.end_line)
+                .filter(|lit| is_ident_like(&lit.value))
+                .collect();
+
+            for field in &strukt.fields {
+                if keys.iter().any(|k| k.value == field.name) {
+                    continue;
+                }
+                if let Some(supp) = struct_file.scrub.suppression_for(s1, field.line) {
+                    supp.used.set(true);
+                    continue;
+                }
+                findings.push(Finding {
+                    rule: s1,
+                    path: struct_file.rel.clone(),
+                    line: field.line,
+                    col: 0,
+                    message: format!(
+                        "field `{}` of `{}` is never named as a key in the hand-written \
+                         `impl {trait_name}` ({}:{}) — the knob would silently drop out of \
+                         the JSON round-trip",
+                        field.name, imp.type_name, file.rel, imp.line
+                    ),
+                });
+            }
+            for key in &keys {
+                if strukt.fields.iter().any(|f| f.name == key.value) {
+                    continue;
+                }
+                if let Some(supp) = file.scrub.suppression_for(s1, key.line) {
+                    supp.used.set(true);
+                    continue;
+                }
+                findings.push(Finding {
+                    rule: s1,
+                    path: file.rel.clone(),
+                    line: key.line,
+                    col: key.col + 1,
+                    message: format!(
+                        "`impl {trait_name} for {}` names key \"{}\" but the struct has no \
+                         such field — stale key",
+                        imp.type_name, key.value
+                    ),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// K1: dead-knob
+// ---------------------------------------------------------------------------
+
+/// The config types whose pub fields are experiment knobs.
+const KNOB_TYPES: [&str; 3] = ["DeploymentConfig", "RelayerStrategy", "WorkloadConfig"];
+
+fn dead_knob(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    let k1 = RuleId::DeadKnob.name();
+    let read_outside = |fi: usize, word: &str| {
+        files
+            .iter()
+            .enumerate()
+            .any(|(oi, of)| oi != fi && !word_occurrences(&of.scrub.code, word).is_empty())
+    };
+    for (fi, file) in files.iter().enumerate() {
+        for strukt in &file.items.structs {
+            if !KNOB_TYPES.contains(&strukt.name.as_str()) {
+                continue;
+            }
+            for field in strukt.fields.iter().filter(|f| f.is_pub) {
+                if read_outside(fi, &field.name) {
+                    continue;
+                }
+                if let Some(supp) = file.scrub.suppression_for(k1, field.line) {
+                    supp.used.set(true);
+                    continue;
+                }
+                findings.push(Finding {
+                    rule: k1,
+                    path: file.rel.clone(),
+                    line: field.line,
+                    col: 0,
+                    message: format!(
+                        "pub knob `{}.{}` is never read outside its defining file — config \
+                         plumbed nowhere silently no-ops in every sweep",
+                        strukt.name, field.name
+                    ),
+                });
+            }
+        }
+        // SweepGrid axis methods: each pub axis must be exercised somewhere
+        // (a bench, a test, the env-var front end of another file).
+        for imp in &file.items.impls {
+            if imp.type_name != "SweepGrid" || imp.trait_name.is_some() {
+                continue;
+            }
+            for method in imp.methods.iter().filter(|m| m.is_pub) {
+                if file.scrub.is_test_line(method.line) {
+                    continue;
+                }
+                if read_outside(fi, &method.name) {
+                    continue;
+                }
+                if let Some(supp) = file.scrub.suppression_for(k1, method.line) {
+                    supp.used.set(true);
+                    continue;
+                }
+                findings.push(Finding {
+                    rule: k1,
+                    path: file.rel.clone(),
+                    line: method.line,
+                    col: 0,
+                    message: format!(
+                        "SweepGrid axis `{}` is never called outside its defining file — a \
+                         sweep axis nothing drives is dead config surface",
+                        method.name
+                    ),
+                });
+            }
         }
     }
 }
@@ -444,6 +851,7 @@ fn panic_in_library(root: &Path, files: &[SourceFile], findings: &mut Vec<Findin
                     rule: RuleId::PanicInLibrary.name(),
                     path: baseline::BASELINE_REL.into(),
                     line: 0,
+                    col: 0,
                     message: format!("unreadable baseline: {err}"),
                 });
                 return;
@@ -463,6 +871,7 @@ fn panic_in_library(root: &Path, files: &[SourceFile], findings: &mut Vec<Findin
                 rule: RuleId::PanicInLibrary.name(),
                 path: file.rel.clone(),
                 line: sites.last().copied().unwrap_or(0),
+                col: 0,
                 message: format!(
                     "{} panic site(s) (unwrap/expect/panic!) but the baseline allows {budget}: \
                      return an error, annotate the new site with `// xcc-lint: \
@@ -475,6 +884,7 @@ fn panic_in_library(root: &Path, files: &[SourceFile], findings: &mut Vec<Findin
                 rule: RuleId::PanicInLibrary.name(),
                 path: file.rel.clone(),
                 line: 0,
+                col: 0,
                 message: format!(
                     "stale baseline: allows {budget} panic site(s) but only {} remain — \
                      regenerate with --baseline so the ratchet tightens",
@@ -489,6 +899,7 @@ fn panic_in_library(root: &Path, files: &[SourceFile], findings: &mut Vec<Findin
                 rule: RuleId::PanicInLibrary.name(),
                 path: baseline::BASELINE_REL.into(),
                 line: 0,
+                col: 0,
                 message: format!(
                     "stale baseline: lists {path} ({budget} site(s)) but the file no longer \
                      exists — regenerate with --baseline"
@@ -527,6 +938,7 @@ fn registry_docs(root: &Path, files: &[SourceFile], findings: &mut Vec<Finding>)
             rule: r1,
             path: registry.rel.clone(),
             line: 0,
+            col: 0,
             message: "no `name: \"...\"` scenario entries found — did the registry move?".into(),
         });
         return;
@@ -552,6 +964,7 @@ fn registry_docs(root: &Path, files: &[SourceFile], findings: &mut Vec<Finding>)
                 rule: r1,
                 path: bench.rel.clone(),
                 line: 0,
+                col: 0,
                 message: format!(
                     "bench source has no matching [[bench]] target `{stem}` in {BENCH_MANIFEST}"
                 ),
@@ -569,6 +982,7 @@ fn registry_docs(root: &Path, files: &[SourceFile], findings: &mut Vec<Finding>)
                 rule: r1,
                 path: bench.rel.clone(),
                 line: 0,
+                col: 0,
                 message: "bench target runs no registered scenario (no string literal matches \
                           a registry name)"
                     .into(),
@@ -582,6 +996,7 @@ fn registry_docs(root: &Path, files: &[SourceFile], findings: &mut Vec<Finding>)
                 rule: r1,
                 path: BENCH_MANIFEST.into(),
                 line: *line,
+                col: 0,
                 message: format!("[[bench]] target `{target}` has no source file at {src}"),
             });
         }
@@ -592,6 +1007,7 @@ fn registry_docs(root: &Path, files: &[SourceFile], findings: &mut Vec<Finding>)
                 rule: r1,
                 path: registry.rel.clone(),
                 line: *line,
+                col: 0,
                 message: format!(
                     "scenario `{name}` has no bench target under crates/bench/benches/ \
                      referencing it"
@@ -611,6 +1027,7 @@ fn registry_docs(root: &Path, files: &[SourceFile], findings: &mut Vec<Finding>)
                     rule: r1,
                     path: doc.into(),
                     line: idx,
+                    col: 0,
                     message: format!(
                         "table row names scenario `{row_name}` but the registry does not \
                          know it"
@@ -626,6 +1043,7 @@ fn registry_docs(root: &Path, files: &[SourceFile], findings: &mut Vec<Finding>)
                 rule: r1,
                 path: registry.rel.clone(),
                 line: *line,
+                col: 0,
                 message: format!("scenario `{name}` is not documented in README.md or PAPER.md"),
             });
         }
@@ -695,6 +1113,7 @@ fn suppression_hygiene(config: &Config, files: &[SourceFile], findings: &mut Vec
                     rule: s0,
                     path: file.rel.clone(),
                     line: supp.line,
+                    col: 0,
                     message: format!(
                         "malformed xcc-lint comment ({}); expected `xcc-lint: allow(rule, \
                          reason = \"...\")`",
@@ -708,6 +1127,7 @@ fn suppression_hygiene(config: &Config, files: &[SourceFile], findings: &mut Vec
                     rule: s0,
                     path: file.rel.clone(),
                     line: supp.line,
+                    col: 0,
                     message: format!("suppression names unknown rule `{}`", supp.rule),
                 });
                 continue;
@@ -717,6 +1137,7 @@ fn suppression_hygiene(config: &Config, files: &[SourceFile], findings: &mut Vec
                     rule: s0,
                     path: file.rel.clone(),
                     line: supp.line,
+                    col: 0,
                     message: format!(
                         "suppression of `{}` without a reason — the reason is mandatory: \
                          allow({}, reason = \"...\")",
@@ -730,6 +1151,7 @@ fn suppression_hygiene(config: &Config, files: &[SourceFile], findings: &mut Vec
                     rule: s0,
                     path: file.rel.clone(),
                     line: supp.line,
+                    col: 0,
                     message: format!(
                         "unused suppression: no `{}` finding on this or the next line — \
                          delete it",
@@ -742,230 +1164,20 @@ fn suppression_hygiene(config: &Config, files: &[SourceFile], findings: &mut Vec
 }
 
 // ---------------------------------------------------------------------------
-// Flattened-code helpers for the structural rules
+// Rule-local text helpers
 // ---------------------------------------------------------------------------
-
-/// Scrubbed code joined into one string with line-start offsets, so byte
-/// positions map back to 1-based lines.
-struct Flat {
-    text: String,
-    starts: Vec<usize>,
-}
-
-impl Flat {
-    fn new(code: &[String]) -> Flat {
-        let mut text = String::new();
-        let mut starts = Vec::with_capacity(code.len());
-        for line in code {
-            starts.push(text.len());
-            text.push_str(line);
-            text.push('\n');
-        }
-        Flat { text, starts }
-    }
-
-    fn line_of(&self, pos: usize) -> usize {
-        match self.starts.binary_search(&pos) {
-            Ok(idx) => idx + 1,
-            Err(idx) => idx,
-        }
-    }
-}
-
-fn is_word_byte(b: u8) -> bool {
-    b.is_ascii_alphanumeric() || b == b'_'
-}
-
-/// Whole-word occurrences of `word` in `text` (byte positions).
-fn word_positions(text: &str, word: &str) -> Vec<usize> {
-    let bytes = text.as_bytes();
-    let mut out = Vec::new();
-    let mut from = 0usize;
-    while let Some(pos) = text[from..].find(word) {
-        let at = from + pos;
-        let end = at + word.len();
-        let before_ok = at == 0 || !is_word_byte(bytes[at - 1]);
-        let after_ok = end >= bytes.len() || !is_word_byte(bytes[end]);
-        if before_ok && after_ok {
-            out.push(at);
-        }
-        from = end;
-    }
-    out
-}
-
-/// The next identifier at or after `from`, with its start position.
-fn next_word(text: &str, from: usize) -> Option<(String, usize)> {
-    let bytes = text.as_bytes();
-    let mut i = from;
-    while i < bytes.len() && !is_word_byte(bytes[i]) {
-        i += 1;
-    }
-    let start = i;
-    while i < bytes.len() && is_word_byte(bytes[i]) {
-        i += 1;
-    }
-    (i > start).then(|| (text[start..i].to_string(), start))
-}
-
-/// The previous identifier strictly before `pos`.
-fn prev_word(text: &str, pos: usize) -> Option<String> {
-    let bytes = text.as_bytes();
-    let mut end = pos;
-    while end > 0 && !is_word_byte(bytes[end - 1]) {
-        end -= 1;
-    }
-    let mut start = end;
-    while start > 0 && is_word_byte(bytes[start - 1]) {
-        start -= 1;
-    }
-    (end > start).then(|| text[start..end].to_string())
-}
-
-/// Byte position just past the matching `}` for the `{` at `open`.
-fn matching_brace(text: &str, open: usize) -> Option<usize> {
-    let bytes = text.as_bytes();
-    let mut depth = 0usize;
-    for (off, &b) in bytes[open..].iter().enumerate() {
-        match b {
-            b'{' => depth += 1,
-            b'}' => {
-                depth -= 1;
-                if depth == 0 {
-                    return Some(open + off + 1);
-                }
-            }
-            _ => {}
-        }
-    }
-    None
-}
-
-/// Variant names (with lines) of `enum <name> { ... }` in flattened code.
-/// Identifiers nested inside `()`/`[]`/`{}` within the body (payloads,
-/// attribute arguments) are ignored.
-fn enum_variants(flat: &Flat, name: &str) -> Vec<(String, usize)> {
-    let mut out = Vec::new();
-    for pos in word_positions(&flat.text, "enum") {
-        let Some((word, word_pos)) = next_word(&flat.text, pos + 4) else {
-            continue;
-        };
-        if word != name {
-            continue;
-        }
-        let Some(open) = flat.text[word_pos..].find('{').map(|n| word_pos + n) else {
-            continue;
-        };
-        let Some(end) = matching_brace(&flat.text, open) else {
-            continue;
-        };
-        let body = &flat.text[open + 1..end - 1];
-        let bytes = body.as_bytes();
-        let mut depth = 0usize;
-        let mut i = 0usize;
-        while i < bytes.len() {
-            match bytes[i] {
-                b'(' | b'[' | b'{' => {
-                    depth += 1;
-                    i += 1;
-                }
-                b')' | b']' | b'}' => {
-                    depth = depth.saturating_sub(1);
-                    i += 1;
-                }
-                b if depth == 0 && is_word_byte(b) => {
-                    let start = i;
-                    while i < bytes.len() && is_word_byte(bytes[i]) {
-                        i += 1;
-                    }
-                    let ident = &body[start..i];
-                    out.push((ident.to_string(), flat.line_of(open + 1 + start)));
-                }
-                _ => i += 1,
-            }
-        }
-        break;
-    }
-    out
-}
-
-/// The body of `fn <name>` (position of `{` + the text inside it).
-fn fn_body<'a>(flat: &'a Flat, name: &str) -> Option<(usize, &'a str)> {
-    for pos in word_positions(&flat.text, name) {
-        if prev_word(&flat.text, pos).as_deref() != Some("fn") {
-            continue;
-        }
-        let open = flat.text[pos..].find('{').map(|n| pos + n)?;
-        let end = matching_brace(&flat.text, open)?;
-        return Some((open, &flat.text[open..end]));
-    }
-    None
-}
 
 /// `Prefix::Ident` references in `text`, as (position, ident).
 fn path_refs(text: &str, prefix: &str) -> Vec<(usize, String)> {
     let mut out = Vec::new();
-    for pos in word_positions(text, prefix) {
+    for pos in items::word_positions(text, prefix) {
         let after = &text[pos + prefix.len()..];
         let trimmed = after.trim_start();
         if let Some(path_rest) = trimmed.strip_prefix("::") {
-            if let Some((ident, _)) = next_word(path_rest, 0) {
+            if let Some((ident, _)) = items::next_word(path_rest, 0) {
                 out.push((pos, ident));
             }
         }
-    }
-    out
-}
-
-/// Position of a `_ =>` wildcard match arm in `text`, if any.
-fn wildcard_arm(text: &str) -> Option<usize> {
-    let bytes = text.as_bytes();
-    for pos in word_positions(text, "_") {
-        let mut j = pos + 1;
-        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
-            j += 1;
-        }
-        if text[j..].starts_with("=>") {
-            return Some(pos);
-        }
-    }
-    None
-}
-
-/// A `pub fn` found in flattened code.
-struct PublicFn {
-    name: String,
-    line: usize,
-    signature: String,
-    body: String,
-}
-
-/// Every `pub fn` with a braced body (methods included).
-fn public_fns(flat: &Flat) -> Vec<PublicFn> {
-    let mut out = Vec::new();
-    for pos in word_positions(&flat.text, "fn") {
-        if prev_word(&flat.text, pos).as_deref() != Some("pub") {
-            continue;
-        }
-        let Some((name, name_pos)) = next_word(&flat.text, pos + 2) else {
-            continue;
-        };
-        let sig_end = flat.text[name_pos..]
-            .find(['{', ';'])
-            .map(|n| name_pos + n)
-            .unwrap_or(flat.text.len());
-        if !flat.text[sig_end..].starts_with('{') {
-            continue;
-        }
-        let Some(end) = matching_brace(&flat.text, sig_end) else {
-            continue;
-        };
-        out.push(PublicFn {
-            name,
-            line: flat.line_of(pos),
-            signature: flat.text[name_pos..sig_end].to_string(),
-            body: flat.text[sig_end..end].to_string(),
-        });
     }
     out
 }
@@ -974,49 +1186,27 @@ fn public_fns(flat: &Flat) -> Vec<PublicFn> {
 mod tests {
     use super::*;
 
-    fn flat(src: &str) -> Flat {
-        Flat::new(&Scrubbed::scan(src).code)
+    #[test]
+    fn path_refs_extract_variant_names() {
+        let refs: Vec<String> = path_refs(
+            "match k { RequestKind::Alpha => 1, RequestKind :: Beta => 2, Other::X => 3 }",
+            "RequestKind",
+        )
+        .into_iter()
+        .map(|(_, n)| n)
+        .collect();
+        assert_eq!(refs, ["Alpha", "Beta"]);
     }
 
     #[test]
-    fn enum_variants_skip_payloads_and_attrs() {
-        let f = flat(
-            "pub enum RequestKind {\n    /// doc\n    Alpha,\n    #[cfg(feature = \"x\")]\n    \
-             Beta(usize),\n    Gamma { inner: u8 },\n}\n",
-        );
-        let names: Vec<String> = enum_variants(&f, "RequestKind")
-            .into_iter()
-            .map(|(n, _)| n)
-            .collect();
-        assert_eq!(names, ["Alpha", "Beta", "Gamma"]);
-    }
-
-    #[test]
-    fn fn_body_and_path_refs() {
-        let f = flat(
-            "impl M {\n    pub fn service_time(&self) -> u64 {\n        match k {\n            \
-             RequestKind::Alpha => 1,\n            _ => 0,\n        }\n    }\n}\n",
-        );
-        let (_, body) = fn_body(&f, "service_time").unwrap();
-        let refs: Vec<String> = path_refs(body, "RequestKind")
-            .into_iter()
-            .map(|(_, n)| n)
-            .collect();
-        assert_eq!(refs, ["Alpha"]);
-        assert!(wildcard_arm(body).is_some());
-    }
-
-    #[test]
-    fn public_fns_capture_signature_and_body() {
-        let f = flat(
-            "impl E {\n    pub fn status(&mut self) -> RpcResponse<u64> {\n        \
-             self.respond(RequestKind::Status)\n    }\n    fn private_helper(&self) {}\n}\n",
-        );
-        let fns = public_fns(&f);
-        assert_eq!(fns.len(), 1);
-        assert_eq!(fns[0].name, "status");
-        assert!(fns[0].signature.contains("RpcResponse"));
-        assert!(fns[0].body.contains("RequestKind"));
+    fn ident_like_filters_field_keys() {
+        assert!(is_ident_like("relayer_strategy"));
+        assert!(is_ident_like("seed"));
+        assert!(is_ident_like("_priv"));
+        assert!(!is_ident_like("expected object for DeploymentConfig"));
+        assert!(!is_ident_like("Fixed"));
+        assert!(!is_ident_like(""));
+        assert!(!is_ident_like("9lives"));
     }
 
     #[test]
@@ -1037,8 +1227,12 @@ mod tests {
     }
 
     #[test]
-    fn wildcard_arm_ignores_underscore_bindings() {
-        assert!(wildcard_arm("let _x = 1; match y { _ => 2 }").is_some());
-        assert!(wildcard_arm("let _ignored = 1; f(_a);").is_none());
+    fn rule_codes_round_trip_through_parse() {
+        for rule in RuleId::ALL {
+            assert_eq!(RuleId::parse(rule.name()), Some(rule));
+            assert_eq!(RuleId::parse(rule.code()), Some(rule));
+            assert_eq!(RuleId::parse(&rule.code().to_lowercase()), Some(rule));
+        }
+        assert_eq!(RuleId::parse("no-such-rule"), None);
     }
 }

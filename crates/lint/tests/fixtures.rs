@@ -156,6 +156,227 @@ fn registry_docs_fixture_fails() {
 }
 
 #[test]
+fn serde_field_coverage_fixture_fails() {
+    let root = fixture("serde_field_coverage");
+    // wall-clock rides along so the wrong-rule suppression is judged unused.
+    let findings = run_rules(&root, &["serde-field-coverage", "wall-clock"]);
+    let s1: Vec<_> = findings
+        .iter()
+        .filter(|(r, _)| r == "serde-field-coverage")
+        .collect();
+    // `delta` is missing from both hand-written impls: one finding each.
+    assert_eq!(
+        s1.iter().filter(|(_, m)| m.contains("`delta`")).count(),
+        2,
+        "{findings:?}"
+    );
+    assert!(
+        s1.iter()
+            .any(|(_, m)| m.contains("\"epsilon\"") && m.contains("stale key")),
+        "stale key must be flagged: {findings:?}"
+    );
+    // The suppressed field stays silent.
+    assert!(
+        !findings.iter().any(|(_, m)| m.contains("hidden")),
+        "suppressed field must not fire: {findings:?}"
+    );
+    let s0 = |needle: &str| {
+        findings
+            .iter()
+            .any(|(r, m)| r == "suppression" && m.contains(needle))
+    };
+    assert!(s0("malformed xcc-lint comment"), "{findings:?}");
+    assert!(
+        s0("unused suppression: no `serde-field-coverage` finding"),
+        "{findings:?}"
+    );
+    assert!(
+        s0("unused suppression: no `wall-clock` finding"),
+        "wrong-rule suppression must read as unused: {findings:?}"
+    );
+    assert_eq!(check_exit_code(&root, "serde-field-coverage"), 2);
+}
+
+#[test]
+fn dead_knob_fixture_fails() {
+    let root = fixture("dead_knob");
+    let findings = run_rules(&root, &["dead-knob"]);
+    let has = |needle: &str| findings.iter().any(|(_, m)| m.contains(needle));
+    assert!(has("`DeploymentConfig.orphan_knob`"), "{findings:?}");
+    assert!(has("axis `orphan_axis`"), "{findings:?}");
+    // Alive, suppressed, non-pub, and non-knob-type names stay silent.
+    for quiet in [
+        "used_knob",
+        "parked_knob",
+        "internal_counter",
+        "unread_scratch",
+        "used_axis",
+        "expand",
+    ] {
+        assert!(!has(quiet), "`{quiet}` must not be flagged: {findings:?}");
+    }
+    assert_eq!(check_exit_code(&root, "dead-knob"), 2);
+}
+
+#[test]
+fn float_determinism_fixture_fails() {
+    let root = fixture("float_determinism");
+    // panic-in-library rides along so the wrong-rule suppression is judged.
+    let findings = run_rules(&root, &["float-determinism", "panic-in-library"]);
+    assert!(
+        findings.iter().any(|(r, m)| r == "float-determinism"
+            && m.contains("3 f32/f64 site(s) but the float baseline allows 0")),
+        "the annotated site must be absorbed and tests exempted, leaving 3: {findings:?}"
+    );
+    assert!(
+        findings.iter().any(|(r, m)| r == "float-determinism"
+            && m.contains("ghost.rs")
+            && m.contains("no longer exists")),
+        "the stale baseline entry must be flagged: {findings:?}"
+    );
+    let unused = findings
+        .iter()
+        .filter(|(r, m)| r == "suppression" && m.contains("unused suppression"))
+        .count();
+    assert_eq!(
+        unused, 2,
+        "the no-op float annotation and the wrong-rule annotation: {findings:?}"
+    );
+    assert_eq!(check_exit_code(&root, "float-determinism"), 2);
+}
+
+#[test]
+fn lane_bypass_fixture_fails() {
+    let root = fixture("lane_bypass");
+    let findings = run_rules(&root, &["lane-bypass"]);
+    let c2: Vec<_> = findings
+        .iter()
+        .filter(|(r, _)| r == "lane-bypass")
+        .collect();
+    assert!(
+        c2.iter()
+            .any(|(_, m)| m.contains("`RpcResponse { .. }` construction")),
+        "hand-built response must be flagged: {findings:?}"
+    );
+    assert!(
+        c2.iter().any(|(_, m)| m.contains("`service_time`")),
+        "direct cost-table access must be flagged: {findings:?}"
+    );
+    // The suppressed shim, the type position, and the test harness are the
+    // only other sites — exactly two findings.
+    assert_eq!(c2.len(), 2, "{findings:?}");
+    assert!(
+        !findings.iter().any(|(r, _)| r == "suppression"),
+        "both shim suppressions are used: {findings:?}"
+    );
+    assert_eq!(check_exit_code(&root, "lane-bypass"), 2);
+}
+
+/// The ISSUE's seeded mutation: start from an S1-clean mini-workspace,
+/// comment out one field key in the hand-written `Deserialize`, and the rule
+/// must catch the drift.
+#[test]
+fn serde_mutation_commenting_out_a_key_is_caught() {
+    let clean = r#"pub struct Knobs {
+    pub alpha: u64,
+    pub beta: u64,
+}
+
+impl Serialize for Knobs {
+    fn serialize(&self, out: &mut Writer) {
+        out.field("alpha", self.alpha);
+        out.field("beta", self.beta);
+    }
+}
+
+impl Deserialize for Knobs {
+    fn deserialize(map: &Map) -> Self {
+        Knobs {
+            alpha: get(map, "alpha"),
+            beta: get(map, "beta"),
+        }
+    }
+}
+"#;
+    let root = std::env::temp_dir().join(format!("xcc-lint-s1-mutation-{}", std::process::id()));
+    let src = root.join("crates/core/src");
+    std::fs::create_dir_all(&src).expect("temp workspace");
+    let file = src.join("knobs.rs");
+
+    std::fs::write(&file, clean).expect("write clean");
+    assert!(
+        run_rules(&root, &["serde-field-coverage"]).is_empty(),
+        "the unmutated workspace must be S1-clean"
+    );
+
+    let mutated = clean.replace(
+        "            beta: get(map, \"beta\"),",
+        "            // beta: get(map, \"beta\"),",
+    );
+    assert_ne!(mutated, clean, "mutation must apply");
+    std::fs::write(&file, mutated).expect("write mutant");
+    let findings = run_rules(&root, &["serde-field-coverage"]);
+    assert!(
+        findings.iter().any(|(r, m)| r == "serde-field-coverage"
+            && m.contains("`beta`")
+            && m.contains("Deserialize")),
+        "S1 must catch the commented-out key: {findings:?}"
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Satellite guarantee: findings come out sorted by (path, line, col, rule)
+/// and paths stay workspace-relative even under an absolute `--root`.
+#[test]
+fn findings_are_sorted_and_paths_stay_workspace_relative() {
+    let root = fixture("serde_field_coverage")
+        .canonicalize()
+        .expect("fixture resolves");
+    assert!(root.is_absolute());
+
+    let outcome = rules::run(&Config {
+        root: root.clone(),
+        rules: vec![
+            RuleId::SerdeFieldCoverage,
+            RuleId::WallClock,
+            RuleId::Suppression,
+        ],
+    })
+    .expect("scan succeeds");
+    assert!(outcome.findings.len() > 3, "fixture must produce findings");
+    for f in &outcome.findings {
+        assert!(
+            f.path.starts_with("crates/"),
+            "path must be workspace-relative, got `{}`",
+            f.path
+        );
+    }
+    let keys: Vec<_> = outcome
+        .findings
+        .iter()
+        .map(|f| (f.path.clone(), f.line, f.col, f.rule))
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort();
+    assert_eq!(keys, sorted, "findings must come out pre-sorted");
+
+    // And the binary's GitHub mode renders one annotation per finding.
+    let gh = Command::new(env!("CARGO_BIN_EXE_xcc-lint"))
+        .args(["--github", "--rule", "serde-field-coverage", "--root"])
+        .arg(&root)
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&gh.stdout);
+    assert!(
+        stdout
+            .lines()
+            .any(|l| l.starts_with("::error file=crates/") && l.contains("title=xcc-lint")),
+        "github annotations must use relative paths: {stdout}"
+    );
+}
+
+#[test]
 fn workspace_is_lint_clean() {
     let root = workspace_root();
     let outcome = rules::run(&Config::all_rules(&root)).expect("scan succeeds");

@@ -122,6 +122,7 @@ impl FifoServer {
 
     /// Fraction of the interval `[SimTime::ZERO, horizon]` the server spent
     /// busy. Returns `0.0` for a zero-length horizon.
+    // xcc-lint: allow(float-determinism, reason = "reporting-only ratio; read by renderers, never fed back into simulated state")
     pub fn utilization(&self, horizon: SimTime) -> f64 {
         if horizon == SimTime::ZERO {
             return 0.0;

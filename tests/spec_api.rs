@@ -140,6 +140,32 @@ fn parallel_sweep_is_byte_identical_to_sequential() {
 }
 
 #[test]
+fn relayer_and_transfer_axes_expand_the_grid() {
+    // The fleet-size and workload-size axes: every combination becomes a
+    // point, and the axis values land on the right spec fields.
+    let grid = SweepGrid::new(
+        ExperimentSpec::latency()
+            .transfers(100)
+            .submission_blocks(1)
+            .seed(42),
+    )
+    .relayer_counts([1, 2, 4])
+    .transfer_counts([100, 1_000]);
+    let specs = grid.points();
+    assert_eq!(specs.len(), 6);
+
+    let mut fleet_sizes: Vec<usize> = specs.iter().map(|p| p.deployment.relayer_count).collect();
+    fleet_sizes.sort_unstable();
+    fleet_sizes.dedup();
+    assert_eq!(fleet_sizes, [1, 2, 4]);
+
+    let mut transfers: Vec<u64> = specs.iter().map(|p| p.workload.total_transfers).collect();
+    transfers.sort_unstable();
+    transfers.dedup();
+    assert_eq!(transfers, [100, 1_000]);
+}
+
+#[test]
 fn derived_seeds_give_points_independent_streams() {
     let grid = SweepGrid::new(ExperimentSpec::tendermint_throughput().seed(42)).derived_seeds(3);
     let seeds: Vec<u64> = grid.points().iter().map(|p| p.deployment.seed).collect();
