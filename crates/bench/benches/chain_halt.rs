@@ -1,0 +1,10 @@
+//! Fault-injection scenario `chain_halt` (see the registry entry): the
+//! source chain halting outright, or stretching its block interval, against
+//! a steady-state control arm.
+//!
+//! Sweep mode and output format come from `XCC_FULL_SWEEP` / `XCC_OUTPUT`
+//! (see `xcc_framework::sweep`).
+
+fn main() {
+    xcc_bench::run_and_print("chain_halt");
+}

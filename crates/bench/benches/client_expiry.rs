@@ -1,0 +1,10 @@
+//! Fault-injection scenario `client_expiry` (see the registry entry): a
+//! light client expiring mid-run and stranding its channel, against a
+//! healthy control arm.
+//!
+//! Sweep mode and output format come from `XCC_FULL_SWEEP` / `XCC_OUTPUT`
+//! (see `xcc_framework::sweep`).
+
+fn main() {
+    xcc_bench::run_and_print("client_expiry");
+}

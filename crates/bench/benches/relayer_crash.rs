@@ -1,0 +1,10 @@
+//! Fault-injection scenario `relayer_crash` (see the registry entry): one
+//! relayer process crashing and restarting cold mid-run, packet clearing as
+//! the recovery mechanism, against a no-fault control arm.
+//!
+//! Sweep mode and output format come from `XCC_FULL_SWEEP` / `XCC_OUTPUT`
+//! (see `xcc_framework::sweep`).
+
+fn main() {
+    xcc_bench::run_and_print("relayer_crash");
+}

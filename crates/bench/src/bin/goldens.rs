@@ -15,9 +15,10 @@
 //! non-zero on any drift — CI runs this so the fixtures can never silently
 //! diverge from the code that produces them.
 
+use xcc_framework::registry;
 use xcc_framework::scenarios;
 use xcc_framework::spec::ExperimentSpec;
-use xcc_framework::ScenarioOutcome;
+use xcc_framework::{ScenarioOutcome, SweepMode};
 use xcc_relayer::strategy::{ChannelPolicy, SequenceTracking};
 
 /// The spec set behind the golden fixtures: one small point per paper figure
@@ -146,6 +147,32 @@ pub fn dedicated_scaling_golden_specs() -> Vec<ExperimentSpec> {
     ]
 }
 
+/// The spec set behind one fault-scenario golden fixture: the quick-mode
+/// grid of the registered scenario, each point renamed under the `golden/`
+/// prefix (the sweep already suffixes every point with `/faults=<label>`).
+/// Pulling the grid straight from the registry keeps the fixture in
+/// lockstep with the scenario definition — editing the scenario's grid is a
+/// reviewed fixture regeneration, never a silent drift. Regenerate with:
+///
+/// ```text
+/// cargo run --release -p xcc-bench --bin goldens -- --relayer-crash \
+///     > tests/fixtures/relayer_crash_goldens.json
+/// ```
+///
+/// (and `--chain-halt` / `--client-expiry` for the other two scenarios).
+pub fn fault_scenario_specs(scenario: &str) -> Vec<ExperimentSpec> {
+    let entry = registry::get(scenario).expect("fault scenario is registered");
+    entry
+        .grid(SweepMode::Quick)
+        .points()
+        .into_iter()
+        .map(|spec| {
+            let name = format!("golden/{}", spec.name);
+            spec.named(name)
+        })
+        .collect()
+}
+
 /// Every fixture set: the `--check` mode walks all of them.
 fn fixture_sets() -> Vec<(&'static str, Vec<ExperimentSpec>)> {
     vec![
@@ -164,6 +191,18 @@ fn fixture_sets() -> Vec<(&'static str, Vec<ExperimentSpec>)> {
         (
             "tests/fixtures/dedicated_scaling_goldens.json",
             dedicated_scaling_golden_specs(),
+        ),
+        (
+            "tests/fixtures/relayer_crash_goldens.json",
+            fault_scenario_specs("relayer_crash"),
+        ),
+        (
+            "tests/fixtures/chain_halt_goldens.json",
+            fault_scenario_specs("chain_halt"),
+        ),
+        (
+            "tests/fixtures/client_expiry_goldens.json",
+            fault_scenario_specs("client_expiry"),
         ),
     ]
 }
@@ -288,6 +327,12 @@ fn main() {
         sequence_race_golden_specs()
     } else if args.iter().any(|a| a == "--dedicated-scaling") {
         dedicated_scaling_golden_specs()
+    } else if args.iter().any(|a| a == "--relayer-crash") {
+        fault_scenario_specs("relayer_crash")
+    } else if args.iter().any(|a| a == "--chain-halt") {
+        fault_scenario_specs("chain_halt")
+    } else if args.iter().any(|a| a == "--client-expiry") {
+        fault_scenario_specs("client_expiry")
     } else {
         golden_specs()
     };

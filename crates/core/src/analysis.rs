@@ -266,21 +266,78 @@ pub fn redundant_packet_errors(run: &RunOutput) -> u64 {
         .iter()
         .map(|s| s.packets_skipped_already_relayed)
         .sum();
-    let failed_txs = {
-        let chain = run.chain_b.borrow();
-        let mut count = 0u64;
-        for height in 1..=chain.height() {
-            if let Some(block) = chain.block_at(height) {
-                count += block
-                    .results
-                    .iter()
-                    .filter(|r| !r.is_ok() && r.log.contains("redundant"))
-                    .count() as u64;
-            }
+    skipped + double_submitted_packets(run)
+}
+
+/// Number of receive transactions the destination chain *committed and
+/// failed* as redundant — a packet physically submitted twice.
+///
+/// This deliberately excludes relayer-side skips (a skip is the dedup
+/// machinery working): after a crash-and-restart, a relayer that lost its
+/// in-memory pending queues may re-relay packets it already delivered, and
+/// only an on-chain redundant failure proves a genuine double submission.
+/// The fault scenarios and `tests/fault_recovery.rs` pin this at zero for a
+/// single restarted relayer.
+pub fn double_submitted_packets(run: &RunOutput) -> u64 {
+    let chain = run.chain_b.borrow();
+    let mut count = 0u64;
+    for height in 1..=chain.height() {
+        if let Some(block) = chain.block_at(height) {
+            count += block
+                .results
+                .iter()
+                .filter(|r| !r.is_ok() && r.log.contains("redundant"))
+                .count() as u64;
         }
-        count
-    };
-    skipped + failed_txs
+    }
+    count
+}
+
+/// Packets committed on the source chain whose commitment is still
+/// outstanding when the run ends: neither acknowledged nor timed out. With an
+/// expired client (the `ClientExpiry` fault) and no workload timeout these
+/// are the transfers stranded forever; with timeouts configured they drain
+/// back to zero as refunds land.
+pub fn stranded_packets(run: &RunOutput) -> u64 {
+    let chain = run.chain_a.borrow();
+    let ibc = chain.app().ibc();
+    run.paths
+        .iter()
+        .map(|path| {
+            let sent = ibc.sent_sequences(&path.port, &path.src_channel);
+            ibc.unacknowledged_packets(&path.port, &path.src_channel, &sent)
+                .len() as u64
+        })
+        .sum()
+}
+
+/// Seconds from the fault plan's first fault until the first transfer
+/// completion (source-chain acknowledgement) at or after it. `None` when the
+/// plan is empty or nothing completed after the fault — the scenario layer
+/// reports that as "no recovery observed".
+pub fn time_to_first_completed_after_fault(run: &RunOutput) -> Option<f64> {
+    let fault_at = SimTime::ZERO + run.deployment.fault_plan.first_fault_at()?;
+    first_step_at_or_after(run, TransferStep::AckConfirmation, fault_at)
+        .map(|t| (t - fault_at).as_secs_f64())
+}
+
+/// Seconds from the last `RelayerRestart` in the fault plan until the first
+/// receive confirmation at or after it — the restarted process's time to
+/// resume useful delivery. `None` when the plan schedules no restart or no
+/// recv ever confirmed afterwards.
+pub fn recovery_secs(run: &RunOutput) -> Option<f64> {
+    let restart_at = SimTime::ZERO + run.deployment.fault_plan.last_restart_at()?;
+    first_step_at_or_after(run, TransferStep::RecvConfirmation, restart_at)
+        .map(|t| (t - restart_at).as_secs_f64())
+}
+
+/// The earliest telemetry time for `step` at or after `cutoff`.
+fn first_step_at_or_after(run: &RunOutput, step: TransferStep, cutoff: SimTime) -> Option<SimTime> {
+    run.telemetry
+        .times_for_step(step)
+        .into_iter()
+        .filter(|t| *t >= cutoff)
+        .min()
 }
 
 #[cfg(test)]
@@ -329,6 +386,53 @@ mod tests {
         assert!(series.last_value().unwrap() <= 100.0 + 1e-9);
 
         assert!(completion_latency(&run).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn fault_metrics_track_a_crash_and_restart_run() {
+        use crate::fault::{FaultEvent, FaultPlan};
+        use xcc_relayer::strategy::RelayerStrategy;
+        use xcc_sim::SimDuration;
+
+        let deployment = DeploymentConfig {
+            user_accounts: 2,
+            relayer_count: 1,
+            network_rtt_ms: 0,
+            relayer_strategy: RelayerStrategy::default().packet_clearing(2),
+            // Crash before the first transfer block commits, restart two
+            // blocks later: the restarted process must recover the missed
+            // work via inbox replay and the packet-clear scan.
+            fault_plan: FaultPlan::new([
+                FaultEvent::RelayerCrash {
+                    relayer: 0,
+                    at: SimDuration::from_secs(4),
+                },
+                FaultEvent::RelayerRestart {
+                    relayer: 0,
+                    at: SimDuration::from_secs(16),
+                },
+            ]),
+            ..DeploymentConfig::default()
+        };
+        let workload = WorkloadConfig {
+            total_transfers: 60,
+            submission_blocks: 1,
+            measurement_blocks: 4,
+            run_to_completion: true,
+            completion_grace_blocks: 40,
+            ..WorkloadConfig::default()
+        };
+        let run = run_experiment(&deployment, &workload);
+        // Everything recovers: no packet is submitted twice on-chain, none
+        // stay stranded, and both recovery clocks produce a reading.
+        assert_eq!(double_submitted_packets(&run), 0);
+        assert_eq!(stranded_packets(&run), 0);
+        assert!(recovery_secs(&run).is_some());
+        assert!(time_to_first_completed_after_fault(&run).unwrap() >= 0.0);
+        assert_eq!(
+            run.telemetry.count_for_step(TransferStep::AckConfirmation),
+            60
+        );
     }
 
     #[test]

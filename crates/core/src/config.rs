@@ -10,6 +10,8 @@ use serde::{de_field, de_field_or_default, Deserialize, Error, Serialize, Value}
 use xcc_relayer::strategy::RelayerStrategy;
 use xcc_sim::SimDuration;
 
+use crate::fault::FaultPlan;
+
 /// Parameters of the deployed testnet (the Setup module's input).
 #[derive(Debug, Clone, PartialEq)]
 pub struct DeploymentConfig {
@@ -55,6 +57,12 @@ pub struct DeploymentConfig {
     /// spec builder switches it on for both arms of the §V sequence-race
     /// comparison.
     pub report_broadcast_failures: bool,
+    /// The deterministic fault schedule injected into the run (relayer
+    /// crash/restart, chain halt, block stretch, light-client expiry). The
+    /// default is the empty plan, which schedules nothing — runs and fixtures
+    /// written before fault injection existed are bit-identical to an
+    /// explicit empty plan (see docs/DETERMINISM.md).
+    pub fault_plan: FaultPlan,
 }
 
 impl Default for DeploymentConfig {
@@ -73,6 +81,7 @@ impl Default for DeploymentConfig {
             seed: 42,
             batched_pull_per_item_us: DEFAULT_BATCHED_PULL_PER_ITEM_US,
             report_broadcast_failures: false,
+            fault_plan: FaultPlan::default(),
         }
     }
 }
@@ -117,6 +126,7 @@ impl Serialize for DeploymentConfig {
                 "report_broadcast_failures".into(),
                 self.report_broadcast_failures.to_value(),
             ),
+            ("fault_plan".into(), self.fault_plan.to_value()),
         ])
     }
 }
@@ -155,6 +165,9 @@ impl Deserialize for DeploymentConfig {
             seed: de_field(map, "seed")?,
             batched_pull_per_item_us,
             report_broadcast_failures: de_field_or_default(map, "report_broadcast_failures")?,
+            // Missing (pre-fault-injection JSON, every earlier golden
+            // fixture) means the empty plan: inject nothing.
+            fault_plan: de_field_or_default(map, "fault_plan")?,
         })
     }
 }
@@ -422,6 +435,36 @@ mod tests {
         let back: DeploymentConfig =
             serde_json::from_str(&serde_json::to_string(&free).unwrap()).unwrap();
         assert_eq!(back.batched_pull_per_item_us, 0);
+    }
+
+    #[test]
+    fn pre_fault_json_still_parses_to_the_empty_plan() {
+        // Deployment JSON written before fault injection existed (every
+        // earlier golden fixture) must parse to the empty fault plan, and an
+        // explicit plan must survive a round trip.
+        let json = serde_json::to_string(&DeploymentConfig::default()).unwrap();
+        let legacy = json.replace(",\"fault_plan\":{\"events\":[]}", "");
+        assert!(!legacy.contains("fault_plan"));
+        let parsed: DeploymentConfig = serde_json::from_str(&legacy).unwrap();
+        assert!(parsed.fault_plan.is_empty());
+        assert_eq!(parsed, DeploymentConfig::default());
+
+        let faulted = DeploymentConfig {
+            fault_plan: FaultPlan::new([
+                crate::fault::FaultEvent::RelayerCrash {
+                    relayer: 0,
+                    at: SimDuration::from_secs(16),
+                },
+                crate::fault::FaultEvent::RelayerRestart {
+                    relayer: 0,
+                    at: SimDuration::from_secs(26),
+                },
+            ]),
+            ..DeploymentConfig::default()
+        };
+        let back: DeploymentConfig =
+            serde_json::from_str(&serde_json::to_string(&faulted).unwrap()).unwrap();
+        assert_eq!(back, faulted);
     }
 
     #[test]

@@ -52,6 +52,26 @@ pub mod keys {
     /// when the strategy runs mempool-aware tracking; runs that never asked
     /// (the golden fixtures included) keep their metric maps unchanged.
     pub const BROADCAST_FAILURES: &str = "broadcast_failures";
+    /// Receive transactions the destination chain committed *and failed* as
+    /// redundant — a packet physically submitted twice, the signature of a
+    /// relayer that lost its dedup state across a crash. Emitted (with the
+    /// other fault metrics below) only when the deployment's `fault_plan` is
+    /// non-empty, so fault-free runs — the pre-fault golden fixtures
+    /// included — keep their metric maps unchanged.
+    pub const DOUBLE_SUBMITTED: &str = "double_submitted";
+    /// Source-chain packets still outstanding (neither acknowledged nor
+    /// timed out) when the run ended. Fault runs only; see
+    /// [`DOUBLE_SUBMITTED`].
+    pub const STRANDED_PACKETS: &str = "stranded_packets";
+    /// Seconds from the first fault to the first transfer completion at or
+    /// after it. Fault runs only, and omitted when nothing completed after
+    /// the fault; see [`DOUBLE_SUBMITTED`].
+    pub const FIRST_COMPLETION_AFTER_FAULT_SECS: &str = "first_completion_after_fault_secs";
+    /// Seconds from the last relayer restart to the first receive
+    /// confirmation at or after it — the restarted process's time to resume
+    /// useful delivery. Fault runs only, and omitted when the plan has no
+    /// restart or nothing was received afterwards; see [`DOUBLE_SUBMITTED`].
+    pub const RECOVERY_SECS: &str = "recovery_secs";
     /// End-to-end completion latency of the batch in seconds (Fig. 13).
     pub const COMPLETION_LATENCY_SECS: &str = "completion_latency_secs";
     /// Duration of the transfer phase (steps 1–4), seconds (Fig. 12).
@@ -200,6 +220,30 @@ impl ScenarioOutcome {
     /// report them — see [`keys::BROADCAST_FAILURES`]).
     pub fn broadcast_failures(&self) -> u64 {
         self.count(keys::BROADCAST_FAILURES)
+    }
+
+    /// Packets the destination chain rejected on-chain as redundant (0 for
+    /// fault-free runs, which do not emit the key).
+    pub fn double_submitted(&self) -> u64 {
+        self.count(keys::DOUBLE_SUBMITTED)
+    }
+
+    /// Packets still outstanding on the source chain at the end of the run
+    /// (0 for fault-free runs, which do not emit the key).
+    pub fn stranded_packets(&self) -> u64 {
+        self.count(keys::STRANDED_PACKETS)
+    }
+
+    /// Seconds from the first fault to the first completion after it, when
+    /// the run recorded one.
+    pub fn first_completion_after_fault_secs(&self) -> Option<f64> {
+        self.metric(keys::FIRST_COMPLETION_AFTER_FAULT_SECS)
+    }
+
+    /// Seconds from the last relayer restart to the first receive
+    /// confirmation after it, when the run recorded one.
+    pub fn recovery_secs(&self) -> Option<f64> {
+        self.metric(keys::RECOVERY_SECS)
     }
 
     /// End-to-end completion latency of the batch in seconds.

@@ -15,6 +15,16 @@
 //!   pipeline work on its own virtual-time lane (its per-chain RPC
 //!   endpoints and worker watermarks). A `Some(next)` return re-schedules
 //!   the process at `next`.
+//! * `Fault(idx)` — the `idx`-th entry of the deployment's compiled
+//!   [`FaultPlan`](crate::fault::FaultPlan) fires: a relayer process
+//!   crashes or restarts, a chain halts or stretches its block interval, or
+//!   a light client's trust period lapses. All fault events are scheduled
+//!   up-front before the loop starts, so an **empty plan schedules
+//!   nothing** and the event sequence — and therefore every golden fixture —
+//!   is bit-identical to a run without fault support. At equal timestamps
+//!   a fault's up-front insertion order places it before that instant's
+//!   block and wake events (scheduler FIFO), so a fault always applies
+//!   before the chains and relayers act on the same tick.
 //!
 //! # Determinism
 //!
@@ -36,7 +46,7 @@ use xcc_ibc::events as ibc_events;
 use xcc_relayer::relayer::RelayerStats;
 use xcc_relayer::telemetry::{TelemetryLog, TransferStep};
 use xcc_rpc::endpoint::LaneStats;
-use xcc_sim::{Scheduler, SimDuration, SimTime};
+use xcc_sim::{FaultKind, Scheduler, SimDuration, SimTime};
 
 use crate::config::{DeploymentConfig, WorkloadConfig};
 use crate::testnet::{make_rpc, Testnet};
@@ -103,6 +113,8 @@ enum Ev {
     BlockB,
     /// Relayer process `id` drains its inbox and runs its pipeline.
     RelayerWake(usize),
+    /// Entry `idx` of the deployment's compiled fault timeline fires.
+    Fault(usize),
 }
 
 /// Records receive / acknowledgement confirmations from committed block data
@@ -200,6 +212,30 @@ pub fn run_experiment(
     sched.schedule_at(SimTime::ZERO + min_interval, Ev::BlockA);
     sched.schedule_at(SimTime::ZERO + min_interval, Ev::BlockB);
 
+    // Schedule every fault event up-front. An empty plan compiles to an
+    // empty timeline and performs zero scheduler calls here, which keeps the
+    // scheduler's insertion-sequence stream — and with it every pre-fault
+    // golden fixture — bit-identical (see docs/DETERMINISM.md).
+    let faults = deployment.fault_plan.compile();
+    for idx in 0..faults.len() {
+        if let Some((at, _)) = faults.get(idx) {
+            sched.schedule_at(at, Ev::Fault(idx));
+        }
+    }
+    // Per-chain fault state, indexed by fault-service id (0 = source chain A,
+    // 1 = destination chain B): when a halt ends, and the (factor, until)
+    // window of a block-interval stretch.
+    let mut halt_until = [SimTime::ZERO; 2];
+    let mut stretch = [(1u64, SimTime::ZERO); 2];
+    let block_interval = |stretch: &[(u64, SimTime); 2], service: usize, t: SimTime| {
+        let (factor, until) = stretch[service];
+        if t < until {
+            min_interval * factor
+        } else {
+            min_interval
+        }
+    };
+
     let mut blocks_a: Vec<BlockRecord> = Vec::new();
     let mut blocks_b: Vec<BlockRecord> = Vec::new();
     let mut last_commit_a = SimTime::ZERO;
@@ -252,6 +288,14 @@ pub fn run_experiment(
                 // behind them), preserving the synchronous runner's
                 // relayer-work-before-next-commit order.
                 sched.schedule_at(t, ev);
+            }
+            // A halted chain (`ChainHalt` fault) produces no block until the
+            // halt window ends; its block event parks at the halt deadline.
+            Ev::BlockA if t < halt_until[0] => {
+                sched.schedule_at(halt_until[0], Ev::BlockA);
+            }
+            Ev::BlockB if t < halt_until[1] => {
+                sched.schedule_at(halt_until[1], Ev::BlockB);
             }
             Ev::BlockA => {
                 let outcome = testnet.chain_a.borrow_mut().produce_block(t);
@@ -307,7 +351,8 @@ pub fn run_experiment(
                     done || measured >= target_blocks + grace_blocks
                 };
                 if !stop {
-                    sched.schedule_at(outcome.committed_at.max(t + min_interval), Ev::BlockA);
+                    let interval = block_interval(&stretch, 0, t);
+                    sched.schedule_at(outcome.committed_at.max(t + interval), Ev::BlockA);
                 } else {
                     source_running = false;
                     if measurement_end == SimTime::ZERO {
@@ -337,7 +382,8 @@ pub fn run_experiment(
                 // the source side is still running; once the source side has
                 // stopped, pending recvs can no longer complete anyway.
                 if source_running {
-                    sched.schedule_at(outcome.committed_at.max(t + min_interval), Ev::BlockB);
+                    let interval = block_interval(&stretch, 1, t);
+                    sched.schedule_at(outcome.committed_at.max(t + interval), Ev::BlockB);
                 }
             }
             Ev::RelayerWake(id) => {
@@ -349,6 +395,58 @@ pub fn run_experiment(
                     let at = next.max(t);
                     sched.schedule_at(at, Ev::RelayerWake(id));
                     note_wakes(&mut wakes_due, at, 1);
+                }
+            }
+            Ev::Fault(idx) => {
+                let Some((_, kind)) = faults.get(idx) else {
+                    continue;
+                };
+                match kind {
+                    // Out-of-range process / path indices are tolerated so a
+                    // sweep can apply one plan across deployments of
+                    // different sizes: the fault simply has no target.
+                    FaultKind::ProcessCrash { process } => {
+                        if let Some(relayer) = testnet.relayers.get_mut(process) {
+                            relayer.crash(t);
+                        }
+                    }
+                    FaultKind::ProcessRestart { process } => {
+                        if let Some(relayer) = testnet.relayers.get_mut(process) {
+                            relayer.restart(t);
+                            // Rejoin through the ordinary wake protocol so the
+                            // replayed inbox drains on the process's own lane.
+                            sched.schedule_at(t, Ev::RelayerWake(process));
+                            note_wakes(&mut wakes_due, t, 1);
+                        }
+                    }
+                    FaultKind::ServiceHalt { service, duration } => {
+                        if service < halt_until.len() {
+                            halt_until[service] = halt_until[service].max(t + duration);
+                        }
+                    }
+                    FaultKind::ServiceStretch {
+                        service,
+                        factor,
+                        duration,
+                    } => {
+                        if service < stretch.len() {
+                            stretch[service] = (factor.max(1), t + duration);
+                        }
+                    }
+                    FaultKind::TrustExpiry { subject } => {
+                        // The trust period of the client *on the destination
+                        // chain* lapses: recv verification for this path is
+                        // stranded until out-of-band recovery (not modelled),
+                        // while source-side ack/timeout handling stays live.
+                        if let Some(path) = testnet.paths.get(subject) {
+                            let _ = testnet
+                                .chain_b
+                                .borrow_mut()
+                                .app_mut()
+                                .ibc_mut()
+                                .expire_client(&path.client_on_dst);
+                        }
+                    }
                 }
             }
         }

@@ -100,6 +100,28 @@ pub fn outcome_from(spec: &ExperimentSpec, run: &RunOutput) -> ScenarioOutcome {
         );
     }
 
+    // Fault-injected runs report the recovery metrics; runs with an empty
+    // fault plan — every pre-fault scenario and golden fixture — keep their
+    // metric maps unchanged. The two recovery clocks are omitted (not zero)
+    // when the run never recovered, so a stranded run is distinguishable
+    // from an instant recovery.
+    if !run.deployment.fault_plan.is_empty() {
+        outcome.set(
+            keys::DOUBLE_SUBMITTED,
+            analysis::double_submitted_packets(run) as f64,
+        );
+        outcome.set(
+            keys::STRANDED_PACKETS,
+            analysis::stranded_packets(run) as f64,
+        );
+        if let Some(secs) = analysis::time_to_first_completed_after_fault(run) {
+            outcome.set(keys::FIRST_COMPLETION_AFTER_FAULT_SECS, secs);
+        }
+        if let Some(secs) = analysis::recovery_secs(run) {
+            outcome.set(keys::RECOVERY_SECS, secs);
+        }
+    }
+
     // Multi-channel runs additionally emit the completion metrics once per
     // channel; single-channel runs emit only the aggregates so that the
     // paper scenarios' metric maps (and the golden fixtures) are unchanged.

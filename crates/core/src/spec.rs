@@ -27,6 +27,7 @@ use serde::{Deserialize, Serialize};
 use xcc_relayer::strategy::{ChannelPolicy, RelayerStrategy, SequenceTracking};
 
 use crate::config::{DeploymentConfig, WorkloadConfig};
+use crate::fault::FaultPlan;
 
 /// The scenario family a spec belongs to — which of the paper's experiment
 /// shapes it reproduces. The family selects builder defaults; every family's
@@ -339,6 +340,26 @@ impl ExperimentSpec {
     /// ```
     pub fn strategy(mut self, strategy: RelayerStrategy) -> Self {
         self.deployment.relayer_strategy = strategy;
+        self
+    }
+
+    /// Sets the deterministic fault schedule the runner injects (relayer
+    /// crashes/restarts, chain halts, block stretches, client expiries).
+    /// The default is the empty plan, which schedules nothing.
+    ///
+    /// ```rust
+    /// use xcc_framework::fault::{FaultEvent, FaultPlan};
+    /// use xcc_framework::spec::ExperimentSpec;
+    /// use xcc_sim::SimDuration;
+    ///
+    /// let spec = ExperimentSpec::relayer_throughput().fault_plan(FaultPlan::new([
+    ///     FaultEvent::RelayerCrash { relayer: 0, at: SimDuration::from_secs(16) },
+    ///     FaultEvent::RelayerRestart { relayer: 0, at: SimDuration::from_secs(26) },
+    /// ]));
+    /// assert_eq!(spec.deployment.fault_plan.label(), "crash0@16s+restart0@26s");
+    /// ```
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.deployment.fault_plan = plan;
         self
     }
 

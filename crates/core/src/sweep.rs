@@ -3,7 +3,8 @@
 //! A [`SweepGrid`] is a base [`ExperimentSpec`] plus axes (input rates ×
 //! relayer counts × channel counts × RTTs × submission strategies ×
 //! transfer counts × relayer strategies × WebSocket frame limits ×
-//! sequence-tracking modes × batched-pull surcharges × seeds).
+//! sequence-tracking modes × batched-pull surcharges × fault plans ×
+//! seeds).
 //! [`SweepGrid::points`] expands the cartesian product into a deterministic,
 //! ordered list of specs; [`run_parallel`] executes any spec list on a
 //! `std::thread::scope` worker pool. Because every run is fully determined
@@ -28,6 +29,7 @@ use serde::{Deserialize, Serialize};
 
 use xcc_relayer::strategy::{ChannelPolicy, RelayerStrategy, SequenceTracking};
 
+use crate::fault::FaultPlan;
 use crate::outcome::ScenarioOutcome;
 use crate::scenarios;
 use crate::spec::ExperimentSpec;
@@ -151,6 +153,10 @@ pub struct SweepGrid {
     /// Batched-pull pagination surcharges in microseconds — the PR 2
     /// batched-query cost model as a calibration axis.
     pub batched_pull_per_items: Vec<u64>,
+    /// Fault schedules, one run per plan — comparing a faulty arm against
+    /// [`FaultPlan::none`] in one grid is how the recovery scenarios
+    /// (`relayer_crash`, `chain_halt`, `client_expiry`) are built.
+    pub fault_plans: Vec<FaultPlan>,
     /// Explicit seeds; empty means "one point with the base seed".
     pub seeds: Vec<u64>,
 }
@@ -171,6 +177,7 @@ impl SweepGrid {
             frame_limits: Vec::new(),
             sequence_trackings: Vec::new(),
             batched_pull_per_items: Vec::new(),
+            fault_plans: Vec::new(),
             seeds: Vec::new(),
         }
     }
@@ -253,6 +260,13 @@ impl SweepGrid {
         self
     }
 
+    /// Sets the fault-plan axis. Each plan runs as its own point; include
+    /// [`FaultPlan::none`] to keep a fault-free control arm in the grid.
+    pub fn fault_plans(mut self, plans: impl IntoIterator<Item = FaultPlan>) -> Self {
+        self.fault_plans = plans.into_iter().collect();
+        self
+    }
+
     /// Sets the seed axis.
     pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
         self.seeds = seeds.into_iter().collect();
@@ -281,6 +295,7 @@ impl SweepGrid {
             * axis(self.frame_limits.len())
             * axis(self.sequence_trackings.len())
             * axis(self.batched_pull_per_items.len())
+            * axis(self.fault_plans.len())
             * axis(self.seeds.len())
     }
 
@@ -300,6 +315,15 @@ impl SweepGrid {
                 values.iter().copied().map(Some).collect()
             }
         }
+        // Same expansion for non-`Copy` axis values (fault plans own their
+        // event lists): absent axis → one `None` point keeping the base.
+        fn axis_ref<T>(values: &[T]) -> Vec<Option<&T>> {
+            if values.is_empty() {
+                vec![None]
+            } else {
+                values.iter().map(Some).collect()
+            }
+        }
 
         let mut specs = Vec::with_capacity(self.len());
         for rate in axis(&self.input_rates) {
@@ -314,81 +338,101 @@ impl SweepGrid {
                                             for tracking in axis(&self.sequence_trackings) {
                                                 for pull_item in axis(&self.batched_pull_per_items)
                                                 {
-                                                    for seed in axis(&self.seeds) {
-                                                        let mut spec = self.base.clone();
-                                                        let mut name = spec.name.clone();
-                                                        if let Some(rate) = rate {
-                                                            spec = spec.input_rate(rate);
-                                                            name.push_str(&format!("/rate={rate}"));
+                                                    for plan in axis_ref(&self.fault_plans) {
+                                                        for seed in axis(&self.seeds) {
+                                                            let mut spec = self.base.clone();
+                                                            let mut name = spec.name.clone();
+                                                            if let Some(rate) = rate {
+                                                                spec = spec.input_rate(rate);
+                                                                name.push_str(&format!(
+                                                                    "/rate={rate}"
+                                                                ));
+                                                            }
+                                                            if let Some(relayers) = relayers {
+                                                                spec = spec.relayers(relayers);
+                                                                name.push_str(&format!(
+                                                                    "/relayers={relayers}"
+                                                                ));
+                                                            }
+                                                            if let Some(channels) = channels {
+                                                                spec = spec.channels(channels);
+                                                                name.push_str(&format!(
+                                                                    "/channels={channels}"
+                                                                ));
+                                                            }
+                                                            if let Some(rtt) = rtt {
+                                                                spec = spec.rtt_ms(rtt);
+                                                                name.push_str(&format!(
+                                                                    "/rtt={rtt}"
+                                                                ));
+                                                            }
+                                                            if let Some(transfers) = transfers {
+                                                                spec = spec.transfers(transfers);
+                                                                name.push_str(&format!(
+                                                                    "/transfers={transfers}"
+                                                                ));
+                                                            }
+                                                            if let Some(blocks) = blocks {
+                                                                spec =
+                                                                    spec.submission_blocks(blocks);
+                                                                name.push_str(&format!(
+                                                                    "/blocks={blocks}"
+                                                                ));
+                                                            }
+                                                            if let Some(strategy) = strategy {
+                                                                spec = spec.strategy(strategy);
+                                                                name.push_str(&format!(
+                                                                    "/strategy={}",
+                                                                    strategy.label()
+                                                                ));
+                                                            }
+                                                            if let Some(policy) = policy {
+                                                                spec = spec.channel_policy(policy);
+                                                                name.push_str(&format!(
+                                                                    "/policy={}",
+                                                                    policy.label()
+                                                                ));
+                                                            }
+                                                            if let Some(frame_limit) = frame_limit {
+                                                                spec =
+                                                                    spec.frame_limit(frame_limit);
+                                                                name.push_str(&format!(
+                                                                    "/frame={frame_limit}"
+                                                                ));
+                                                            }
+                                                            if let Some(tracking) = tracking {
+                                                                spec = spec
+                                                                    .sequence_tracking(tracking);
+                                                                name.push_str(&format!(
+                                                                    "/seqtrack={}",
+                                                                    tracking.label()
+                                                                ));
+                                                            }
+                                                            if let Some(pull_item) = pull_item {
+                                                                spec = spec
+                                                                    .batched_pull_per_item_us(
+                                                                        pull_item,
+                                                                    );
+                                                                name.push_str(&format!(
+                                                                    "/pull_item={pull_item}us"
+                                                                ));
+                                                            }
+                                                            if let Some(plan) = plan {
+                                                                spec =
+                                                                    spec.fault_plan(plan.clone());
+                                                                name.push_str(&format!(
+                                                                    "/faults={}",
+                                                                    plan.label()
+                                                                ));
+                                                            }
+                                                            if let Some(seed) = seed {
+                                                                spec = spec.seed(seed);
+                                                                name.push_str(&format!(
+                                                                    "/seed={seed}"
+                                                                ));
+                                                            }
+                                                            specs.push(spec.named(name));
                                                         }
-                                                        if let Some(relayers) = relayers {
-                                                            spec = spec.relayers(relayers);
-                                                            name.push_str(&format!(
-                                                                "/relayers={relayers}"
-                                                            ));
-                                                        }
-                                                        if let Some(channels) = channels {
-                                                            spec = spec.channels(channels);
-                                                            name.push_str(&format!(
-                                                                "/channels={channels}"
-                                                            ));
-                                                        }
-                                                        if let Some(rtt) = rtt {
-                                                            spec = spec.rtt_ms(rtt);
-                                                            name.push_str(&format!("/rtt={rtt}"));
-                                                        }
-                                                        if let Some(transfers) = transfers {
-                                                            spec = spec.transfers(transfers);
-                                                            name.push_str(&format!(
-                                                                "/transfers={transfers}"
-                                                            ));
-                                                        }
-                                                        if let Some(blocks) = blocks {
-                                                            spec = spec.submission_blocks(blocks);
-                                                            name.push_str(&format!(
-                                                                "/blocks={blocks}"
-                                                            ));
-                                                        }
-                                                        if let Some(strategy) = strategy {
-                                                            spec = spec.strategy(strategy);
-                                                            name.push_str(&format!(
-                                                                "/strategy={}",
-                                                                strategy.label()
-                                                            ));
-                                                        }
-                                                        if let Some(policy) = policy {
-                                                            spec = spec.channel_policy(policy);
-                                                            name.push_str(&format!(
-                                                                "/policy={}",
-                                                                policy.label()
-                                                            ));
-                                                        }
-                                                        if let Some(frame_limit) = frame_limit {
-                                                            spec = spec.frame_limit(frame_limit);
-                                                            name.push_str(&format!(
-                                                                "/frame={frame_limit}"
-                                                            ));
-                                                        }
-                                                        if let Some(tracking) = tracking {
-                                                            spec = spec.sequence_tracking(tracking);
-                                                            name.push_str(&format!(
-                                                                "/seqtrack={}",
-                                                                tracking.label()
-                                                            ));
-                                                        }
-                                                        if let Some(pull_item) = pull_item {
-                                                            spec = spec.batched_pull_per_item_us(
-                                                                pull_item,
-                                                            );
-                                                            name.push_str(&format!(
-                                                                "/pull_item={pull_item}us"
-                                                            ));
-                                                        }
-                                                        if let Some(seed) = seed {
-                                                            spec = spec.seed(seed);
-                                                            name.push_str(&format!("/seed={seed}"));
-                                                        }
-                                                        specs.push(spec.named(name));
                                                     }
                                                 }
                                             }
@@ -548,6 +592,40 @@ mod tests {
             composed[0].deployment.relayer_strategy,
             RelayerStrategy::batched_pulls().sequence_tracking(SequenceTracking::MempoolAware)
         );
+    }
+
+    #[test]
+    fn fault_plan_axis_expands_with_control_arm_and_labels() {
+        use crate::fault::{FaultEvent, FaultPlan};
+        use xcc_sim::SimDuration;
+
+        let crash_plan = FaultPlan::new([
+            FaultEvent::RelayerCrash {
+                relayer: 0,
+                at: SimDuration::from_secs(16),
+            },
+            FaultEvent::RelayerRestart {
+                relayer: 0,
+                at: SimDuration::from_secs(26),
+            },
+        ]);
+        let grid = SweepGrid::new(
+            ExperimentSpec::relayer_throughput()
+                .input_rate(20)
+                .measurement_blocks(3),
+        )
+        .fault_plans([FaultPlan::none(), crash_plan.clone()])
+        .seeds([1, 2]);
+        assert_eq!(grid.len(), 4);
+        let points = grid.points();
+        assert_eq!(points[0].name, "relayer_throughput/faults=none/seed=1");
+        assert_eq!(
+            points[3].name,
+            "relayer_throughput/faults=crash0@16s+restart0@26s/seed=2"
+        );
+        assert!(points[0].deployment.fault_plan.is_empty());
+        assert_eq!(points[3].deployment.fault_plan, crash_plan);
+        assert_eq!(points[3].deployment.seed, 2);
     }
 
     #[test]

@@ -25,6 +25,13 @@ pub struct ClientState {
     pub latest_height: Height,
     /// Whether the client has been frozen due to misbehaviour.
     pub frozen: bool,
+    /// Whether the client's trust period has lapsed (`ClientExpiry` fault).
+    ///
+    /// Unlike freezing, expiry cannot be repaired by in-band messages: real
+    /// IBC requires a governance-style client substitution, which the
+    /// simulation does not model, so an expired client strands its channel
+    /// for the remainder of the run.
+    pub expired: bool,
 }
 
 impl ClientState {
@@ -34,6 +41,7 @@ impl ClientState {
             chain_id: chain_id.into(),
             latest_height,
             frozen: false,
+            expired: false,
         }
     }
 }
@@ -127,12 +135,17 @@ impl ClientRecord {
     ///
     /// # Errors
     ///
-    /// Fails if the client is frozen or light-client verification rejects the
-    /// header.
+    /// Fails if the client is frozen or expired, or light-client verification
+    /// rejects the header.
     pub fn update(&mut self, update: &ClientUpdate) -> Result<Height, IbcError> {
         if self.client_state.frozen {
             return Err(IbcError::ClientUpdateFailed {
                 reason: format!("client {} is frozen", self.client_id),
+            });
+        }
+        if self.client_state.expired {
+            return Err(IbcError::ClientExpired {
+                client_id: self.client_id.clone(),
             });
         }
         self.light_client
@@ -158,6 +171,17 @@ impl ClientRecord {
     /// Freezes the client (misbehaviour handling).
     pub fn freeze(&mut self) {
         self.client_state.frozen = true;
+    }
+
+    /// Marks the client's trust period as lapsed (`ClientExpiry` fault).
+    /// Irreversible within a run; see [`ClientState::expired`].
+    pub fn expire(&mut self) {
+        self.client_state.expired = true;
+    }
+
+    /// Whether the client's trust period has lapsed.
+    pub fn is_expired(&self) -> bool {
+        self.client_state.expired
     }
 }
 
@@ -266,6 +290,28 @@ mod tests {
             client.update(&update_for(&node, 2, sha256(b"root-2"))),
             Err(IbcError::ClientUpdateFailed { .. })
         ));
+    }
+
+    #[test]
+    fn update_rejects_expired_clients_permanently() {
+        let node = source_chain(2);
+        let mut client = ClientRecord::create(
+            ClientId::with_index(0),
+            &node.block_at(1).unwrap().block.header,
+            sha256(b"root-1"),
+        );
+        assert!(!client.is_expired());
+        client.expire();
+        assert!(client.is_expired());
+        // A perfectly valid header is rejected once the trust period lapsed:
+        // unlike a stale cache, there is no in-band recovery.
+        assert!(matches!(
+            client.update(&update_for(&node, 2, sha256(b"root-2"))),
+            Err(IbcError::ClientExpired { .. })
+        ));
+        // Consensus states verified before expiry remain readable (timeout
+        // proofs still work against pre-expiry roots).
+        assert!(client.consensus_state(Height::at(1)).is_some());
     }
 
     #[test]

@@ -33,6 +33,14 @@ pub enum IbcError {
         /// Underlying verification failure.
         reason: String,
     },
+    /// The light client's trust period has lapsed: updates and proof
+    /// verification are permanently rejected until out-of-band recovery
+    /// (governance-style client substitution, which the simulation does not
+    /// model). Injected by the `ClientExpiry` fault event.
+    ClientExpired {
+        /// The expired client.
+        client_id: ClientId,
+    },
     /// The client has no consensus state at the height a proof refers to.
     ConsensusStateNotFound {
         /// The client queried.
@@ -103,6 +111,9 @@ impl std::fmt::Display for IbcError {
             }
             IbcError::InvalidState { reason } => write!(f, "invalid state: {reason}"),
             IbcError::ClientUpdateFailed { reason } => write!(f, "client update failed: {reason}"),
+            IbcError::ClientExpired { client_id } => {
+                write!(f, "client {client_id} expired: trust period lapsed")
+            }
             IbcError::ConsensusStateNotFound { client_id, height } => {
                 write!(
                     f,
@@ -182,5 +193,15 @@ mod tests {
         assert!(errors[1].contains("transfer/channel-2"));
         assert!(errors[2].contains("timed out"));
         assert!(errors[3].contains("insufficient funds"));
+    }
+
+    #[test]
+    fn expired_client_error_names_the_client_and_cause() {
+        let err = IbcError::ClientExpired {
+            client_id: ClientId::with_index(1),
+        };
+        let text = err.to_string();
+        assert!(text.contains("07-tendermint-1"));
+        assert!(text.contains("trust period lapsed"));
     }
 }

@@ -170,6 +170,25 @@ impl IbcModule {
             .with_attr("consensus_height", height.to_string())])
     }
 
+    /// Marks a hosted client's trust period as lapsed (the `ClientExpiry`
+    /// fault event). From then on, updates and proof verification against
+    /// this client fail with [`IbcError::ClientExpired`]; timeouts keep
+    /// working against consensus states verified before expiry.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the client does not exist.
+    pub fn expire_client(&mut self, client_id: &ClientId) -> Result<(), IbcError> {
+        let record = self
+            .clients
+            .get_mut(client_id)
+            .ok_or_else(|| IbcError::ClientNotFound {
+                client_id: client_id.clone(),
+            })?;
+        record.expire();
+        Ok(())
+    }
+
     /// Read access to a hosted client.
     pub fn client(&self, client_id: &ClientId) -> Option<&ClientRecord> {
         self.clients.get(client_id)
@@ -1016,6 +1035,15 @@ impl IbcModule {
                 .ok_or_else(|| IbcError::ClientNotFound {
                     client_id: connection.client_id.clone(),
                 })?;
+        // An expired client can no longer vouch for any counterparty root:
+        // every recv/ack verification on this connection is stranded until
+        // out-of-band recovery (which the simulation does not model). The
+        // timeout path reads consensus states directly and stays usable.
+        if client.is_expired() {
+            return Err(IbcError::ClientExpired {
+                client_id: connection.client_id.clone(),
+            });
+        }
         // Exact height first, then the closest below (proofs may be generated
         // a block behind the latest client update).
         if let Some(cs) = client.consensus_state(proof_height) {
@@ -1437,6 +1465,48 @@ mod tests {
         assert!(b
             .unreceived_packets(&port, &chan_b, &[packet.sequence])
             .is_empty());
+    }
+
+    #[test]
+    fn expired_client_strands_recv_but_not_timeout() {
+        let (mut a, mut b, chan_a, chan_b) = connected_pair();
+        let port = PortId::transfer();
+        let mut bank_a = TestBank::default();
+        let mut bank_b = TestBank::default();
+        bank_a.set("alice", "uatom", 100);
+
+        // Packet sent before the fault; B learned A's root at height 3.
+        let (packet, _) = a
+            .send_transfer(&ctx(2), &mut bank_a, &transfer_params(&chan_a, 10, 6))
+            .unwrap();
+        sync_root(&mut b, &a, 3);
+
+        // Trust period lapses on B's client tracking A.
+        b.expire_client(&ClientId::with_index(0)).unwrap();
+        let proof = a
+            .prove_packet_commitment(&port, &chan_a, packet.sequence)
+            .unwrap();
+        let err = b
+            .recv_packet(&ctx(3), &mut bank_b, &packet, &proof, Height::at(3))
+            .unwrap_err();
+        assert!(matches!(err, IbcError::ClientExpired { .. }));
+        assert!(!b.has_receipt(&port, &chan_b, packet.sequence));
+
+        // The sender-side timeout path reads pre-expiry consensus states
+        // directly and still refunds once the packet expires.
+        sync_root(&mut a, &b, 7);
+        let non_receipt = b
+            .prove_packet_non_receipt(&port, &chan_b, packet.sequence)
+            .unwrap();
+        a.timeout_packet(&ctx(7), &mut bank_a, &packet, &non_receipt, Height::at(7))
+            .unwrap();
+        assert_eq!(bank_a.get("alice", "uatom"), 100);
+
+        // Expiring an unknown client reports ClientNotFound.
+        assert!(matches!(
+            b.expire_client(&ClientId::with_index(9)),
+            Err(IbcError::ClientNotFound { .. })
+        ));
     }
 
     #[test]

@@ -71,6 +71,7 @@ use xcc_ibc::packet::Packet;
 use xcc_rpc::endpoint::{BroadcastError, LaneStats, RpcEndpoint};
 use xcc_sim::{SimDuration, SimTime};
 use xcc_tendermint::abci::Event;
+use xcc_tendermint::hash::Hash;
 
 use crate::config::RelayerConfig;
 use crate::sequence::SequenceTracker;
@@ -156,6 +157,13 @@ pub struct RelayerStats {
     pub packets_cleared: u64,
 }
 
+/// How many missed block heights per chain a restarting relayer replays
+/// into its own inbox (most recent first — older gaps are the packet-clear
+/// scan's job). Bounds the restart backlog no matter how long the process
+/// was down, so a crashed process's memory of the outage is O(1) and its
+/// restart work is O(window).
+pub const RESTART_REPLAY_WINDOW: u64 = 32;
+
 /// A Hermes-like relayer serving one or more channels between two chains.
 pub struct Relayer {
     id: usize,
@@ -196,6 +204,21 @@ pub struct Relayer {
     /// but not yet observed committed — the acknowledgement path's in-flight
     /// set, the clear scan's counterpart filter on the return path.
     pending_ack: BTreeSet<(usize, u64)>,
+    /// Receive transactions accepted into the destination mempool but not
+    /// yet observed committed, by transaction hash, with the in-flight
+    /// markers each carries. A transaction that commits **failed** (§V's
+    /// account-sequence race striking at DeliverTx) emits no packet events,
+    /// so watching the per-transaction commit result is the only way to
+    /// learn that its packets never arrived: on observing a failed commit
+    /// the markers are released from `pending_recv_inflight` so the next
+    /// packet-clear scan picks the packets up again. Entries leave the list
+    /// on *any* commit of their hash, keeping it bounded by the mempool.
+    inflight_recv_txs: Vec<(Hash, Vec<(usize, u64)>)>,
+    /// Acknowledgement transactions accepted into the source mempool but
+    /// not yet observed committed — the return path's counterpart of
+    /// `inflight_recv_txs`, releasing `pending_ack` markers when an
+    /// acknowledgement transaction commits failed.
+    inflight_ack_txs: Vec<(Hash, Vec<(usize, u64)>)>,
     /// Acknowledgements held back by mempool-aware sequence tracking because
     /// the source chain's check state straddled a commit; merged into the
     /// next destination block's acknowledgement batch.
@@ -204,6 +227,20 @@ pub struct Relayer {
     /// synchronous `on_*_block` wrappers) drains this in FIFO order at the
     /// next [`wake`](Relayer::wake).
     inbox: VecDeque<BlockNotice>,
+    /// Whether the process is currently crashed: notifications are absorbed
+    /// into the O(1) missed-height slots instead of the inbox, and wakes are
+    /// no-ops until [`restart`](Relayer::restart).
+    crashed: bool,
+    /// The newest source-chain block committed while crashed, if any —
+    /// everything the process needs to rebuild a bounded inbox at restart.
+    missed_src: Option<u64>,
+    /// The newest destination-chain block committed while crashed, if any.
+    missed_dst: Option<u64>,
+    /// The highest source-chain height this process has handled, the low
+    /// watermark of the restart replay.
+    last_src_processed: u64,
+    /// The highest destination-chain height this process has handled.
+    last_dst_processed: u64,
 }
 
 impl Relayer {
@@ -270,8 +307,15 @@ impl Relayer {
             pending_delivery: BTreeMap::new(),
             pending_recv_inflight: BTreeSet::new(),
             pending_ack: BTreeSet::new(),
+            inflight_recv_txs: Vec::new(),
+            inflight_ack_txs: Vec::new(),
             deferred_acks: Vec::new(),
             inbox: VecDeque::new(),
+            crashed: false,
+            missed_src: None,
+            missed_dst: None,
+            last_src_processed: 0,
+            last_dst_processed: 0,
         }
     }
 
@@ -402,7 +446,17 @@ impl Relayer {
 
     /// Enqueues a source-chain block-commit notification. O(1): all pipeline
     /// work happens at the next [`wake`](Relayer::wake).
+    ///
+    /// While the process is crashed the notification collapses into the O(1)
+    /// missed-height slot instead of the inbox: a long outage can neither
+    /// grow the crashed process's memory unboundedly nor be silently
+    /// forgotten — [`restart`](Relayer::restart) replays the most recent
+    /// [`RESTART_REPLAY_WINDOW`] missed heights from the slot.
     pub fn notify_source_block(&mut self, height: u64, committed_at: SimTime) {
+        if self.crashed {
+            self.missed_src = Some(self.missed_src.unwrap_or(0).max(height));
+            return;
+        }
         self.inbox.push_back(BlockNotice::Source {
             height,
             committed_at,
@@ -410,8 +464,14 @@ impl Relayer {
     }
 
     /// Enqueues a destination-chain block-commit notification. O(1): all
-    /// pipeline work happens at the next [`wake`](Relayer::wake).
+    /// pipeline work happens at the next [`wake`](Relayer::wake). Crashed
+    /// processes absorb it into the missed-height slot; see
+    /// [`notify_source_block`](Relayer::notify_source_block).
     pub fn notify_dest_block(&mut self, height: u64, committed_at: SimTime) {
+        if self.crashed {
+            self.missed_dst = Some(self.missed_dst.unwrap_or(0).max(height));
+            return;
+        }
         self.inbox.push_back(BlockNotice::Dest {
             height,
             committed_at,
@@ -436,6 +496,11 @@ impl Relayer {
     /// `RelayerWake` event for a `Some` return. Wakes are idempotent: waking
     /// with an empty inbox is a no-op, so spurious wakes are harmless.
     pub fn wake(&mut self, _now: SimTime) -> Option<SimTime> {
+        if self.crashed {
+            // A crashed process does no work; pending wakes fall through
+            // harmlessly, like wakes delivered to an empty inbox.
+            return None;
+        }
         while let Some(notice) = self.inbox.pop_front() {
             match notice {
                 BlockNotice::Source {
@@ -466,6 +531,93 @@ impl Relayer {
         self.wake(commit_time);
     }
 
+    /// Whether the process is currently crashed (between a
+    /// [`crash`](Relayer::crash) and the matching
+    /// [`restart`](Relayer::restart)).
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Crashes the process at `now`: every piece of in-memory pipeline state
+    /// — pending packet queues, in-flight sets, deferred acknowledgements,
+    /// the inbox and both [`SequenceTracker`] caches — is lost, exactly as
+    /// for a killed OS process. What survives is what lives *outside* the
+    /// process: chain state, and the experiment's measurement tape (the
+    /// telemetry log and stats aggregate the process's lifetime across
+    /// incarnations, the way a scrape target's history outlives one
+    /// process). Until [`restart`](Relayer::restart), notifications collapse
+    /// into the missed-height slots and wakes are no-ops.
+    pub fn crash(&mut self, now: SimTime) {
+        self.crashed = true;
+        self.pending_recv.clear();
+        self.pending_delivery.clear();
+        self.pending_recv_inflight.clear();
+        self.pending_ack.clear();
+        self.inflight_recv_txs.clear();
+        self.inflight_ack_txs.clear();
+        self.deferred_acks.clear();
+        self.inbox.clear();
+        self.missed_src = None;
+        self.missed_dst = None;
+        self.telemetry
+            .record_error(now, format!("relayer process {} crashed", self.id));
+    }
+
+    /// Restarts the crashed process cold at `now`: both account-sequence
+    /// trackers are re-seeded from the chains' committed state over this
+    /// process's own RPC lanes (the cold-cache resync a real relayer does at
+    /// boot), the worker watermarks move to `now`, and the most recent
+    /// [`RESTART_REPLAY_WINDOW`] block heights missed on each chain are
+    /// replayed into the inbox so the process catches up through its normal
+    /// wake path. Gaps older than the window are left to the packet-clear
+    /// scan, which reads chain state rather than events. A no-op on a
+    /// process that is not crashed.
+    pub fn restart(&mut self, now: SimTime) {
+        if !self.crashed {
+            return;
+        }
+        self.crashed = false;
+        let tracking = self.config.strategy.sequence_tracking;
+        self.src_seq = SequenceTracker::new(
+            tracking,
+            self.src_rpc
+                .account_sequence(now, &self.config.source_account)
+                .value,
+        );
+        self.dst_seq = SequenceTracker::new(
+            tracking,
+            self.dst_rpc
+                .account_sequence(now, &self.config.destination_account)
+                .value,
+        );
+        self.worker_out_free = now;
+        self.worker_back_free = now;
+        self.telemetry
+            .record_error(now, format!("relayer process {} restarted", self.id));
+        // Bounded replay: the missed slots carry only the newest height per
+        // chain, so the backlog is the window, never the outage length.
+        if let Some(newest) = self.missed_src.take() {
+            let from =
+                (self.last_src_processed + 1).max(newest.saturating_sub(RESTART_REPLAY_WINDOW - 1));
+            for height in from..=newest {
+                self.inbox.push_back(BlockNotice::Source {
+                    height,
+                    committed_at: now,
+                });
+            }
+        }
+        if let Some(newest) = self.missed_dst.take() {
+            let from =
+                (self.last_dst_processed + 1).max(newest.saturating_sub(RESTART_REPLAY_WINDOW - 1));
+            for height in from..=newest {
+                self.inbox.push_back(BlockNotice::Dest {
+                    height,
+                    committed_at: now,
+                });
+            }
+        }
+    }
+
     /// Handles a newly committed block on the **source** chain: extracts
     /// send-packet events, pulls packet data and proofs, and submits receive
     /// transactions to the destination chain. Also records acknowledgement
@@ -473,6 +625,7 @@ impl Relayer {
     /// interval is due — scans chain state for packets whose events were
     /// never delivered.
     fn handle_source_block(&mut self, height: u64, commit_time: SimTime) {
+        self.last_src_processed = self.last_src_processed.max(height);
         // The commit may have reset the source chain's check state under our
         // in-flight window; a mempool-aware tracker reconciles before the
         // next broadcast towards that chain.
@@ -501,7 +654,8 @@ impl Relayer {
         event_time: SimTime,
         batch: &crate::stages::BlockEventBatch,
     ) {
-        for (_hash, code, events) in &batch.tx_events {
+        for (hash, code, events) in &batch.tx_events {
+            self.note_committed_tx(ChainRole::Source, hash, *code, event_time);
             if *code != 0 {
                 continue;
             }
@@ -600,11 +754,52 @@ impl Relayer {
         }
     }
 
+    /// Settles the in-flight transaction list for `on` against one
+    /// committed transaction: a tracked transaction leaves the list as soon
+    /// as its hash commits, and a **failed** commit (code != 0 — §V's
+    /// account-sequence race striking at DeliverTx rather than CheckTx)
+    /// additionally releases the packet markers it carried. A failed
+    /// transaction emits no packet events, so without this release its
+    /// packets would stay marked "in flight" forever and the packet-clear
+    /// scan — which deliberately skips in-flight packets — could never
+    /// rescue them.
+    fn note_committed_tx(&mut self, on: ChainRole, hash: &Hash, code: u32, at: SimTime) {
+        let (txs, markers_in_flight) = match on {
+            ChainRole::Source => (&mut self.inflight_ack_txs, &mut self.pending_ack),
+            ChainRole::Destination => {
+                (&mut self.inflight_recv_txs, &mut self.pending_recv_inflight)
+            }
+        };
+        let Some(pos) = txs.iter().position(|(h, _)| h == hash) else {
+            return;
+        };
+        let (_, markers) = txs.remove(pos);
+        if code == 0 {
+            return;
+        }
+        for marker in &markers {
+            markers_in_flight.remove(marker);
+        }
+        let kind = match on {
+            ChainRole::Source => "acknowledgement",
+            ChainRole::Destination => "receive",
+        };
+        self.telemetry.record_error(
+            at,
+            format!(
+                "{kind} tx committed with code {code}: released {} in-flight packet \
+                 markers to the clear scan",
+                markers.len()
+            ),
+        );
+    }
+
     /// Handles a newly committed block on the **destination** chain: records
     /// receive confirmations, pulls acknowledgement data, submits
     /// acknowledgement transactions back to the source chain, and submits
     /// timeouts for expired undelivered packets.
     fn handle_dest_block(&mut self, height: u64, commit_time: SimTime) {
+        self.last_dst_processed = self.last_dst_processed.max(height);
         self.dst_seq.note_commit();
         let delay = self.relayer_delay();
         let (event_time, collected) =
@@ -615,7 +810,8 @@ impl Relayer {
         let mut events_delivered = true;
         match collected {
             Ok(batch) => {
-                for (_hash, code, events) in &batch.tx_events {
+                for (hash, code, events) in &batch.tx_events {
+                    self.note_committed_tx(ChainRole::Destination, hash, *code, event_time);
                     if *code != 0 {
                         continue;
                     }
@@ -838,20 +1034,26 @@ impl Relayer {
             if msgs.is_empty() {
                 continue;
             }
-            let accepted;
-            (t, accepted) = self.broadcast(ChainRole::Destination, t, msgs);
+            let tx_hash;
+            (t, tx_hash) = self.broadcast(ChainRole::Destination, t, msgs);
             self.stats.recv_txs_submitted += 1;
             for seq in &chunk_seqs {
                 self.telemetry
                     .record_on(channel as u64, *seq, TransferStep::RecvBroadcast, t);
-                if accepted {
-                    // In flight: the clear scan must not re-relay it. A
-                    // rejected chunk stays eligible for a future clear.
-                    self.pending_recv_inflight.insert((channel, seq.value()));
-                }
             }
-            if accepted {
-                delivered += chunk_seqs.len() as u64;
+            if let Some(hash) = tx_hash {
+                // In flight: the clear scan must not re-relay these until
+                // the transaction's commit result is known. A rejected
+                // chunk stays eligible for a future clear.
+                let markers: Vec<(usize, u64)> = chunk_seqs
+                    .iter()
+                    .map(|seq| (channel, seq.value()))
+                    .collect();
+                for marker in &markers {
+                    self.pending_recv_inflight.insert(*marker);
+                }
+                delivered += markers.len() as u64;
+                self.inflight_recv_txs.push((hash, markers));
             }
         }
         self.worker_out_free = t;
@@ -968,20 +1170,26 @@ impl Relayer {
             if msgs.is_empty() {
                 continue;
             }
-            let accepted;
-            (t, accepted) = self.broadcast(ChainRole::Source, t, msgs);
+            let tx_hash;
+            (t, tx_hash) = self.broadcast(ChainRole::Source, t, msgs);
             self.stats.ack_txs_submitted += 1;
             for seq in &chunk_seqs {
                 self.telemetry
                     .record_on(channel as u64, *seq, TransferStep::AckBroadcast, t);
-                if accepted {
-                    // In flight: the clear scan must not re-acknowledge it.
-                    // A rejected chunk stays eligible for a future clear.
-                    self.pending_ack.insert((channel, seq.value()));
-                }
             }
-            if accepted {
-                acked_submitted += chunk_seqs.len() as u64;
+            if let Some(hash) = tx_hash {
+                // In flight: the clear scan must not re-acknowledge these
+                // until the transaction's commit result is known. A
+                // rejected chunk stays eligible for a future clear.
+                let markers: Vec<(usize, u64)> = chunk_seqs
+                    .iter()
+                    .map(|seq| (channel, seq.value()))
+                    .collect();
+                for marker in &markers {
+                    self.pending_ack.insert(*marker);
+                }
+                acked_submitted += markers.len() as u64;
+                self.inflight_ack_txs.push((hash, markers));
             }
         }
         self.worker_back_free = t;
@@ -1258,9 +1466,13 @@ impl Relayer {
     /// and retries once (the paper's behaviour); `MempoolAware` reconciles
     /// against the unconfirmed-aware query and only retries when `CheckTx`
     /// will actually accept the sequence. Returns the time at which the
-    /// broadcast response was received and whether the transaction (or its
-    /// retry) was accepted into the mempool.
-    fn broadcast(&mut self, to: ChainRole, at: SimTime, msgs: Vec<Msg>) -> (SimTime, bool) {
+    /// broadcast response was received and, when the transaction (or its
+    /// retry) was accepted into the mempool, the hash of the transaction
+    /// that was actually accepted — under `Resync` a retry is a *different*
+    /// transaction (new sequence, new hash), and callers tracking the
+    /// mempool-to-commit window must watch the accepted hash, not the
+    /// first attempt's.
+    fn broadcast(&mut self, to: ChainRole, at: SimTime, msgs: Vec<Msg>) -> (SimTime, Option<Hash>) {
         let (account, fee_denom) = match to {
             ChainRole::Source => (
                 self.config.source_account.clone(),
@@ -1278,10 +1490,10 @@ impl Relayer {
         let tx = Tx::new(account.clone(), tracker.next(), msgs.clone(), &fee_denom);
         let resp = rpc.broadcast_tx_sync(at, &tx);
         let mut ready = resp.ready_at;
-        let mut accepted = false;
+        let mut accepted = None;
         match resp.value {
             Ok(_) => {
-                accepted = true;
+                accepted = Some(tx.hash());
                 tracker.advance();
             }
             Err(BroadcastError::CheckTxFailed { log, .. })
@@ -1302,7 +1514,7 @@ impl Relayer {
                         ready = retry.ready_at;
                         match retry.value {
                             Ok(_) => {
-                                accepted = true;
+                                accepted = Some(retry_tx.hash());
                                 tracker.resync(new_seq + 1);
                             }
                             Err(err) => {
@@ -1335,7 +1547,7 @@ impl Relayer {
                             ready = retry.ready_at;
                             match retry.value {
                                 Ok(_) => {
-                                    accepted = true;
+                                    accepted = Some(retry_tx.hash());
                                     tracker.advance();
                                 }
                                 Err(err) => {
@@ -1545,7 +1757,7 @@ mod tests {
             SimTime::from_secs(6),
             vec![bank_msg(1)],
         );
-        assert!(!accepted);
+        assert!(accepted.is_none());
         assert_eq!(relayer.stats().broadcast_failures, 2);
     }
 
@@ -1569,7 +1781,7 @@ mod tests {
             SimTime::from_secs(6),
             vec![bank_msg(1)],
         );
-        assert!(!accepted);
+        assert!(accepted.is_none());
         assert_eq!(relayer.stats().broadcast_failures, 2);
 
         // Drain the mempool; the next broadcast must reuse the persisted
@@ -1581,11 +1793,177 @@ mod tests {
             SimTime::from_secs(11),
             vec![bank_msg(2)],
         );
-        assert!(accepted, "the persisted sequence is accepted directly");
+        assert!(
+            accepted.is_some(),
+            "the persisted sequence is accepted directly"
+        );
         assert_eq!(
             relayer.stats().broadcast_failures,
             2,
             "no repeated mismatch from a stale cached sequence"
         );
+    }
+
+    /// Pins the crashed-process notification semantics the fault subsystem
+    /// relies on: notices delivered to a crashed process collapse into O(1)
+    /// missed-height slots (never an unbounded inbox, never silently
+    /// dropped), and restart replays at most [`RESTART_REPLAY_WINDOW`]
+    /// heights per chain through the normal inbox.
+    #[test]
+    fn crashed_process_bounds_notices_and_replays_a_window_on_restart() {
+        let dst = chain_with_mempool("dst-chain", 100);
+        let mut relayer = test_relayer(&dst);
+        relayer.on_source_block(1, SimTime::from_secs(5));
+        assert_eq!(relayer.last_src_processed, 1);
+
+        relayer.crash(SimTime::from_secs(6));
+        assert!(relayer.is_crashed());
+        // A long outage: 100 source and 3 destination commits arrive.
+        for height in 2..=101 {
+            relayer.notify_source_block(height, SimTime::from_secs(5 * height));
+        }
+        for height in 1..=3 {
+            relayer.notify_dest_block(height, SimTime::from_secs(5 * height));
+        }
+        assert!(
+            !relayer.has_pending_notices(),
+            "crashed processes keep no inbox"
+        );
+        assert_eq!(relayer.missed_src, Some(101));
+        assert_eq!(relayer.missed_dst, Some(3));
+        assert_eq!(
+            relayer.wake(SimTime::from_secs(500)),
+            None,
+            "wakes are no-ops while crashed"
+        );
+
+        relayer.restart(SimTime::from_secs(520));
+        assert!(!relayer.is_crashed());
+        // Source replay is capped to the newest RESTART_REPLAY_WINDOW
+        // heights; the short destination gap replays in full.
+        assert_eq!(
+            relayer.inbox.len() as u64,
+            RESTART_REPLAY_WINDOW + 3,
+            "replay backlog is bounded by the window"
+        );
+        let first = relayer.inbox.front().copied().unwrap();
+        assert_eq!(
+            first,
+            BlockNotice::Source {
+                height: 102 - RESTART_REPLAY_WINDOW,
+                committed_at: SimTime::from_secs(520),
+            }
+        );
+        assert_eq!(relayer.missed_src, None);
+        assert_eq!(relayer.missed_dst, None);
+    }
+
+    /// A crash loses every piece of in-memory pipeline state; restarting
+    /// while not crashed is a no-op.
+    #[test]
+    fn crash_wipes_pipeline_state_and_restart_is_idempotent() {
+        let dst = chain_with_mempool("dst-chain", 100);
+        let mut relayer = test_relayer(&dst);
+        let packet = Packet {
+            sequence: Sequence::from(1),
+            source_port: xcc_ibc::ids::PortId::transfer(),
+            source_channel: ChannelId::with_index(0),
+            destination_port: xcc_ibc::ids::PortId::transfer(),
+            destination_channel: ChannelId::with_index(0),
+            data: Vec::new(),
+            timeout_height: Height::at(0),
+            timeout_timestamp: SimTime::ZERO,
+        };
+        relayer.pending_recv.push((0, 1, packet.clone()));
+        relayer.pending_delivery.insert((0, 1), packet.clone());
+        relayer.pending_recv_inflight.insert((0, 1));
+        relayer.pending_ack.insert((0, 1));
+        relayer.deferred_acks.push((0, packet));
+        relayer.notify_source_block(1, SimTime::from_secs(5));
+
+        relayer.crash(SimTime::from_secs(6));
+        assert!(relayer.pending_recv.is_empty());
+        assert!(relayer.pending_delivery.is_empty());
+        assert!(relayer.pending_recv_inflight.is_empty());
+        assert!(relayer.pending_ack.is_empty());
+        assert!(relayer.deferred_acks.is_empty());
+        assert!(relayer.inbox.is_empty());
+
+        // Restart on a healthy process changes nothing.
+        relayer.restart(SimTime::from_secs(7));
+        let lanes_before = relayer.lane_stats();
+        relayer.restart(SimTime::from_secs(8));
+        assert_eq!(relayer.lane_stats(), lanes_before);
+    }
+
+    /// The cold-cache resync: a restarted process re-reads its account
+    /// sequence from committed chain state, so a sequence consumed by its
+    /// previous incarnation never causes a mismatch after restart.
+    #[test]
+    fn restart_reseeds_sequence_trackers_from_committed_state() {
+        let dst = chain_with_mempool("dst-chain", 100);
+        let mut relayer = test_relayer(&dst);
+        // The previous incarnation's tx commits while we are down.
+        let external = xcc_chain::tx::Tx::new("relayer".into(), 0, vec![bank_msg(7)], "uatom");
+        dst.borrow_mut()
+            .submit_tx(&external, SimTime::ZERO)
+            .unwrap();
+        relayer.crash(SimTime::from_secs(1));
+        dst.borrow_mut().produce_block(SimTime::from_secs(5));
+
+        relayer.restart(SimTime::from_secs(6));
+        let (_, accepted) = relayer.broadcast(
+            ChainRole::Destination,
+            SimTime::from_secs(7),
+            vec![bank_msg(1)],
+        );
+        assert!(accepted.is_some(), "restart re-seeded the tracker cold");
+        assert_eq!(relayer.stats().broadcast_failures, 0);
+    }
+
+    /// §V's account-sequence race can also strike at DeliverTx: a receive
+    /// transaction enters the mempool, then commits *failed*. A failed
+    /// transaction emits no packet events, so only the per-transaction
+    /// commit watch can release the in-flight markers — without it the
+    /// packet-clear scan, which skips in-flight packets, could never rescue
+    /// the stranded packets.
+    #[test]
+    fn failed_tx_commit_releases_inflight_markers_to_the_clear_scan() {
+        let dst = chain_with_mempool("dst-chain", 100);
+        let mut relayer = test_relayer(&dst);
+        let hash_ok = Hash([1; 32]);
+        let hash_bad = Hash([2; 32]);
+        relayer.pending_recv_inflight.insert((0, 1));
+        relayer.pending_recv_inflight.insert((0, 2));
+        relayer.pending_recv_inflight.insert((0, 3));
+        relayer.inflight_recv_txs.push((hash_ok, vec![(0, 1)]));
+        relayer
+            .inflight_recv_txs
+            .push((hash_bad, vec![(0, 2), (0, 3)]));
+
+        // An untracked hash is some other account's transaction: a no-op.
+        relayer.note_committed_tx(ChainRole::Destination, &Hash([9; 32]), 5, SimTime::ZERO);
+        assert_eq!(relayer.pending_recv_inflight.len(), 3);
+
+        // A successful commit retires the tracked transaction but keeps the
+        // markers: the same block's WRITE_ACK events remove those.
+        relayer.note_committed_tx(ChainRole::Destination, &hash_ok, 0, SimTime::ZERO);
+        assert!(relayer.pending_recv_inflight.contains(&(0, 1)));
+        assert_eq!(relayer.inflight_recv_txs.len(), 1);
+
+        // A failed commit releases its markers, so the next clear scan sees
+        // the packets as eligible again.
+        relayer.note_committed_tx(ChainRole::Destination, &hash_bad, 5, SimTime::from_secs(1));
+        assert!(relayer.pending_recv_inflight.contains(&(0, 1)));
+        assert!(!relayer.pending_recv_inflight.contains(&(0, 2)));
+        assert!(!relayer.pending_recv_inflight.contains(&(0, 3)));
+        assert!(relayer.inflight_recv_txs.is_empty());
+
+        // The acknowledgement path mirrors the receive path.
+        relayer.pending_ack.insert((0, 4));
+        relayer.inflight_ack_txs.push((hash_bad, vec![(0, 4)]));
+        relayer.note_committed_tx(ChainRole::Source, &hash_bad, 5, SimTime::from_secs(2));
+        assert!(relayer.pending_ack.is_empty());
+        assert!(relayer.inflight_ack_txs.is_empty());
     }
 }

@@ -1,0 +1,153 @@
+//! Domain-neutral fault events for discrete-event simulations.
+//!
+//! A fault is something the environment does *to* the simulated system at a
+//! scheduled instant: a process loses its in-memory state, a service stops
+//! answering for a while, a trust anchor lapses. This module only knows about
+//! those abstract shapes — which process, which service, when, for how long —
+//! expressed over [`SimTime`]/[`SimDuration`]. What "process 0" or
+//! "service 1" *means* is the embedding runner's business (the IBC runner
+//! maps processes to relayers, services to chains and trust subjects to relay
+//! paths).
+//!
+//! Determinism contract: a [`FaultTimeline`] is an ordered list that the
+//! runner schedules up-front, before the event loop starts. An **empty**
+//! timeline therefore performs zero scheduler calls, leaving the scheduler's
+//! tie-break sequence numbers — and with them every downstream event ordering
+//! — exactly as they were before fault injection existed. That is why golden
+//! fixtures recorded without faults replay bit-identically (see
+//! docs/DETERMINISM.md).
+
+use crate::time::{SimDuration, SimTime};
+
+/// One kind of fault, addressed by abstract process/service/subject indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Process `process` crashes: it loses all in-memory state and stops
+    /// reacting to notifications until a matching [`FaultKind::ProcessRestart`].
+    ProcessCrash {
+        /// Index of the crashing process.
+        process: usize,
+    },
+    /// Process `process` restarts cold: it rebuilds its caches from the
+    /// outside world and rejoins the simulation's wake protocol.
+    ProcessRestart {
+        /// Index of the restarting process.
+        process: usize,
+    },
+    /// Service `service` stops making progress for `duration` starting at the
+    /// event's scheduled time (a chain halt: no blocks are produced).
+    ServiceHalt {
+        /// Index of the halted service.
+        service: usize,
+        /// How long the service stays halted.
+        duration: SimDuration,
+    },
+    /// Service `service` runs `factor`× slower for `duration` starting at the
+    /// event's scheduled time (a block-interval stretch). `factor` is an
+    /// integer multiplier so stretched schedules stay exactly representable.
+    ServiceStretch {
+        /// Index of the slowed service.
+        service: usize,
+        /// Integer slow-down multiplier applied to the service's period.
+        factor: u64,
+        /// How long the slow-down window lasts.
+        duration: SimDuration,
+    },
+    /// The trust anchor for `subject` lapses permanently (a light-client
+    /// trust-period expiry): verification against it fails from this instant.
+    TrustExpiry {
+        /// Index of the trust subject (the runner's relay-path index).
+        subject: usize,
+    },
+}
+
+/// A deterministic schedule of fault events: `(time, kind)` pairs held in
+/// time order (ties keep insertion order, mirroring the scheduler's FIFO
+/// tie-break).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultTimeline {
+    events: Vec<(SimTime, FaultKind)>,
+}
+
+impl FaultTimeline {
+    /// An empty timeline (injects nothing, schedules nothing).
+    pub fn new() -> Self {
+        FaultTimeline { events: Vec::new() }
+    }
+
+    /// Builds a timeline from `(time, kind)` pairs, stable-sorting them by
+    /// time so equal-time events keep the order they were given in.
+    pub fn from_events(events: impl IntoIterator<Item = (SimTime, FaultKind)>) -> Self {
+        let mut events: Vec<(SimTime, FaultKind)> = events.into_iter().collect();
+        events.sort_by_key(|(at, _)| *at);
+        FaultTimeline { events }
+    }
+
+    /// Whether the timeline holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The number of scheduled fault events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The event at `index`, if any.
+    pub fn get(&self, index: usize) -> Option<(SimTime, FaultKind)> {
+        self.events.get(index).copied()
+    }
+
+    /// Iterates the `(time, kind)` pairs in schedule order.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, FaultKind)> + '_ {
+        self.events.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_events_sorts_by_time_keeping_insertion_order_on_ties() {
+        let t = |s| SimTime::from_secs(s);
+        let crash = FaultKind::ProcessCrash { process: 0 };
+        let restart = FaultKind::ProcessRestart { process: 0 };
+        let expiry = FaultKind::TrustExpiry { subject: 1 };
+        let timeline = FaultTimeline::from_events([(t(9), restart), (t(3), crash), (t(3), expiry)]);
+        assert_eq!(timeline.len(), 3);
+        assert_eq!(timeline.get(0), Some((t(3), crash)));
+        assert_eq!(timeline.get(1), Some((t(3), expiry)));
+        assert_eq!(timeline.get(2), Some((t(9), restart)));
+        assert_eq!(timeline.get(3), None);
+    }
+
+    #[test]
+    fn empty_timeline_is_empty_and_iterates_nothing() {
+        let timeline = FaultTimeline::new();
+        assert!(timeline.is_empty());
+        assert_eq!(timeline.len(), 0);
+        assert_eq!(timeline.iter().count(), 0);
+        assert_eq!(FaultTimeline::default(), timeline);
+    }
+
+    #[test]
+    fn durations_travel_with_their_events() {
+        let halt = FaultKind::ServiceHalt {
+            service: 0,
+            duration: SimDuration::from_secs(30),
+        };
+        let stretch = FaultKind::ServiceStretch {
+            service: 1,
+            factor: 4,
+            duration: SimDuration::from_secs(20),
+        };
+        let timeline = FaultTimeline::from_events([
+            (SimTime::from_secs(5), halt),
+            (SimTime::from_secs(6), stretch),
+        ]);
+        let collected: Vec<_> = timeline.iter().collect();
+        assert_eq!(collected[0].1, halt);
+        assert_eq!(collected[1].1, stretch);
+    }
+}

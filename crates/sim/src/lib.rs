@@ -14,6 +14,8 @@
 //!   ([`FifoServer`]),
 //! * network latency models (constant RTT, uniform jitter) ([`LatencyModel`]),
 //! * deterministic random number streams ([`DetRng`]),
+//! * domain-neutral fault events and timelines for dependability experiments
+//!   ([`FaultKind`], [`FaultTimeline`]),
 //! * metric recorders (counters, histograms, time series) used by the
 //!   analysis pipeline ([`metrics`]).
 //!
@@ -40,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fault;
 mod latency;
 pub mod metrics;
 mod rng;
@@ -47,6 +50,7 @@ mod scheduler;
 mod server;
 mod time;
 
+pub use fault::{FaultKind, FaultTimeline};
 pub use latency::LatencyModel;
 pub use rng::DetRng;
 pub use scheduler::Scheduler;

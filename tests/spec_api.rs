@@ -77,6 +77,9 @@ fn registry_lookup_returns_every_figure_name() {
         "sequence_race",
         "dedicated_scaling",
         "batched_pull_calibration",
+        "relayer_crash",
+        "chain_halt",
+        "client_expiry",
         "smoke",
     ];
     assert_eq!(registry::names(), expected);

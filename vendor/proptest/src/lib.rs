@@ -261,20 +261,51 @@ pub mod prop {
     }
 }
 
+/// Per-block test-runner configuration, mirroring the real crate's
+/// `ProptestConfig` as far as this workspace uses it: the case count. The
+/// default 128 suits cheap in-memory properties; properties whose body runs
+/// a whole simulation dial it down with
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many deterministic pseudo-random cases each test body runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
 /// Runs each property test body against deterministic pseudo-random cases.
 #[macro_export]
 macro_rules! proptest {
-    ($($(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block)+) => {
+    (#![proptest_config($cfg:expr)] $($(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block)+) => {
         $(
             $(#[$meta])*
             fn $name() {
+                let cases = $crate::ProptestConfig::from($cfg).cases;
                 let mut rng = $crate::TestRng::deterministic(stringify!($name));
-                for _case in 0..128u32 {
+                for _case in 0..cases {
                     $(let $arg = $crate::Strategy::sample(&$strat, &mut rng);)+
                     $body
                 }
             }
         )+
+    };
+    ($($(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block)+) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])* fn $name ( $($arg in $strat),+ ) $body)+
+        }
     };
 }
 
@@ -300,7 +331,7 @@ pub mod prelude {
     //! Everything a property-test module imports.
 
     pub use crate::prop;
-    pub use crate::{any, Any, ArbitraryValue, Strategy, TestRng};
+    pub use crate::{any, Any, ArbitraryValue, ProptestConfig, Strategy, TestRng};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
 }
 
