@@ -1,0 +1,10 @@
+//! Topology scenario `hub_spoke_scaling` (see the registry entry): a hub and
+//! three spokes with every transfer forwarded at the hub as a second IBC leg,
+//! against the single-pair baseline arm of the same spec.
+//!
+//! Sweep mode and output format come from `XCC_FULL_SWEEP` / `XCC_OUTPUT`
+//! (see `xcc_framework::sweep`).
+
+fn main() {
+    xcc_bench::run_and_print("hub_spoke_scaling");
+}

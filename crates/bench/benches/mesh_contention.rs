@@ -1,0 +1,10 @@
+//! Topology scenario `mesh_contention` (see the registry entry): a 3-chain
+//! full mesh with one relayer process per directed channel, against the
+//! single-pair baseline arm of the same spec.
+//!
+//! Sweep mode and output format come from `XCC_FULL_SWEEP` / `XCC_OUTPUT`
+//! (see `xcc_framework::sweep`).
+
+fn main() {
+    xcc_bench::run_and_print("mesh_contention");
+}

@@ -161,7 +161,31 @@ pub fn dedicated_scaling_golden_specs() -> Vec<ExperimentSpec> {
 ///
 /// (and `--chain-halt` / `--client-expiry` for the other two scenarios).
 pub fn fault_scenario_specs(scenario: &str) -> Vec<ExperimentSpec> {
-    let entry = registry::get(scenario).expect("fault scenario is registered");
+    registry_scenario_specs(scenario)
+}
+
+/// The spec set behind one topology-scenario golden fixture: the quick-mode
+/// grid of the registered scenario, each point renamed under the `golden/`
+/// prefix (the sweep already suffixes every point with `/topo=<label>`).
+/// The hub fixture pins the measured hub-vs-pair aggregate throughput and
+/// the per-hop latency breakdown. Regenerate with:
+///
+/// ```text
+/// cargo run --release -p xcc-bench --bin goldens -- --hub-spoke \
+///     > tests/fixtures/hub_spoke_scaling_goldens.json
+/// ```
+///
+/// (and `--mesh` for `mesh_contention`).
+pub fn topology_scenario_specs(scenario: &str) -> Vec<ExperimentSpec> {
+    registry_scenario_specs(scenario)
+}
+
+/// The quick-mode grid of a registered scenario, each point renamed under
+/// the `golden/` prefix. Pulling the grid straight from the registry keeps
+/// the fixture in lockstep with the scenario definition — editing the
+/// scenario's grid is a reviewed fixture regeneration, never a silent drift.
+fn registry_scenario_specs(scenario: &str) -> Vec<ExperimentSpec> {
+    let entry = registry::get(scenario).expect("scenario is registered");
     entry
         .grid(SweepMode::Quick)
         .points()
@@ -203,6 +227,14 @@ fn fixture_sets() -> Vec<(&'static str, Vec<ExperimentSpec>)> {
         (
             "tests/fixtures/client_expiry_goldens.json",
             fault_scenario_specs("client_expiry"),
+        ),
+        (
+            "tests/fixtures/hub_spoke_scaling_goldens.json",
+            topology_scenario_specs("hub_spoke_scaling"),
+        ),
+        (
+            "tests/fixtures/mesh_contention_goldens.json",
+            topology_scenario_specs("mesh_contention"),
         ),
     ]
 }
@@ -333,6 +365,10 @@ fn main() {
         fault_scenario_specs("chain_halt")
     } else if args.iter().any(|a| a == "--client-expiry") {
         fault_scenario_specs("client_expiry")
+    } else if args.iter().any(|a| a == "--hub-spoke") {
+        topology_scenario_specs("hub_spoke_scaling")
+    } else if args.iter().any(|a| a == "--mesh") {
+        topology_scenario_specs("mesh_contention")
     } else {
         golden_specs()
     };

@@ -70,10 +70,12 @@ pub fn committed_transfers(run: &RunOutput) -> u64 {
         .sum()
 }
 
-/// Number of transfers committed to the source chain on one channel.
+/// Number of transfers committed to the source chain on one channel (the
+/// channel's own source chain in topology runs).
 pub fn committed_transfers_on(run: &RunOutput, channel: usize) -> u64 {
     let path = &run.paths[channel];
-    run.chain_a
+    let (src, _) = run.path_ends[channel];
+    run.chains[src]
         .borrow()
         .app()
         .ibc()
@@ -279,15 +281,25 @@ pub fn redundant_packet_errors(run: &RunOutput) -> u64 {
 /// The fault scenarios and `tests/fault_recovery.rs` pin this at zero for a
 /// single restarted relayer.
 pub fn double_submitted_packets(run: &RunOutput) -> u64 {
-    let chain = run.chain_b.borrow();
+    // Scan every distinct packet-destination chain (only chain B in the
+    // legacy pair topology).
+    let mut dsts: Vec<usize> = Vec::new();
+    for &(_, dst) in &run.path_ends {
+        if !dsts.contains(&dst) {
+            dsts.push(dst);
+        }
+    }
     let mut count = 0u64;
-    for height in 1..=chain.height() {
-        if let Some(block) = chain.block_at(height) {
-            count += block
-                .results
-                .iter()
-                .filter(|r| !r.is_ok() && r.log.contains("redundant"))
-                .count() as u64;
+    for dst in dsts {
+        let chain = run.chains[dst].borrow();
+        for height in 1..=chain.height() {
+            if let Some(block) = chain.block_at(height) {
+                count += block
+                    .results
+                    .iter()
+                    .filter(|r| !r.is_ok() && r.log.contains("redundant"))
+                    .count() as u64;
+            }
         }
     }
     count
@@ -299,16 +311,67 @@ pub fn double_submitted_packets(run: &RunOutput) -> u64 {
 /// are the transfers stranded forever; with timeouts configured they drain
 /// back to zero as refunds land.
 pub fn stranded_packets(run: &RunOutput) -> u64 {
-    let chain = run.chain_a.borrow();
-    let ibc = chain.app().ibc();
     run.paths
         .iter()
-        .map(|path| {
+        .zip(&run.path_ends)
+        .map(|(path, &(src, _))| {
+            let chain = run.chains[src].borrow();
+            let ibc = chain.app().ibc();
             let sent = ibc.sent_sequences(&path.port, &path.src_channel);
             ibc.unacknowledged_packets(&path.port, &path.src_channel, &sent)
                 .len() as u64
         })
         .sum()
+}
+
+/// Average seconds from transfer broadcast to acknowledgement confirmation
+/// over the packets of one global channel — the completion latency of one
+/// leg of a multi-hop route. `None` when no packet on the channel recorded
+/// both steps.
+pub fn channel_completion_latency(run: &RunOutput, channel: usize) -> Option<f64> {
+    let ch = channel as u64;
+    let mut total = 0.0f64;
+    let mut count = 0u64;
+    for (packet_channel, seq) in run.telemetry.packets() {
+        if packet_channel != ch {
+            continue;
+        }
+        let start = run
+            .telemetry
+            .step_time_on(ch, seq, TransferStep::TransferBroadcast);
+        let end = run
+            .telemetry
+            .step_time_on(ch, seq, TransferStep::AckConfirmation);
+        if let (Some(start), Some(end)) = (start, end) {
+            total += (end - start).as_secs_f64();
+            count += 1;
+        }
+    }
+    if count == 0 {
+        None
+    } else {
+        Some(total / count as f64)
+    }
+}
+
+/// Average seconds the hop forwarder took from a first-leg ack commit to
+/// broadcasting the matching second-leg transaction, over one route's
+/// accepted forwards. `None` when the route forwarded nothing.
+pub fn forward_lag_secs(run: &RunOutput, route: usize) -> Option<f64> {
+    let mut total = 0.0f64;
+    let mut count = 0u64;
+    for record in &run.forwards {
+        if record.route != route || !record.accepted {
+            continue;
+        }
+        total += (record.submitted_at - record.triggered_at).as_secs_f64();
+        count += 1;
+    }
+    if count == 0 {
+        None
+    } else {
+        Some(total / count as f64)
+    }
 }
 
 /// Seconds from the fault plan's first fault until the first transfer
@@ -360,7 +423,7 @@ mod tests {
             completion_grace_blocks: 40,
             ..WorkloadConfig::default()
         };
-        run_experiment(&deployment, &workload)
+        run_experiment(&deployment, &workload).expect("pair deployment builds")
     }
 
     #[test]
@@ -422,7 +485,7 @@ mod tests {
             completion_grace_blocks: 40,
             ..WorkloadConfig::default()
         };
-        let run = run_experiment(&deployment, &workload);
+        let run = run_experiment(&deployment, &workload).expect("pair deployment builds");
         // Everything recovers: no packet is submitted twice on-chain, none
         // stay stranded, and both recovery clocks produce a reading.
         assert_eq!(double_submitted_packets(&run), 0);

@@ -11,6 +11,7 @@ use xcc_relayer::strategy::RelayerStrategy;
 use xcc_sim::SimDuration;
 
 use crate::fault::FaultPlan;
+use crate::topology::{HopRoute, Topology};
 
 /// Parameters of the deployed testnet (the Setup module's input).
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +64,13 @@ pub struct DeploymentConfig {
     /// written before fault injection existed are bit-identical to an
     /// explicit empty plan (see docs/DETERMINISM.md).
     pub fault_plan: FaultPlan,
+    /// The chain graph the testnet deploys. The default (empty) topology is
+    /// the legacy-pair sentinel: it resolves to
+    /// `source_chain_id → destination_chain_id` with `channel_count`
+    /// channels, so spec JSON written before topologies existed (every
+    /// earlier golden fixture) parses to a deployment that behaves
+    /// bit-identically to the old pair path.
+    pub topology: Topology,
 }
 
 impl Default for DeploymentConfig {
@@ -82,6 +90,7 @@ impl Default for DeploymentConfig {
             batched_pull_per_item_us: DEFAULT_BATCHED_PULL_PER_ITEM_US,
             report_broadcast_failures: false,
             fault_plan: FaultPlan::default(),
+            topology: Topology::default(),
         }
     }
 }
@@ -127,6 +136,7 @@ impl Serialize for DeploymentConfig {
                 self.report_broadcast_failures.to_value(),
             ),
             ("fault_plan".into(), self.fault_plan.to_value()),
+            ("topology".into(), self.topology.to_value()),
         ])
     }
 }
@@ -168,6 +178,9 @@ impl Deserialize for DeploymentConfig {
             // Missing (pre-fault-injection JSON, every earlier golden
             // fixture) means the empty plan: inject nothing.
             fault_plan: de_field_or_default(map, "fault_plan")?,
+            // Missing (pre-topology JSON) means the legacy-pair sentinel:
+            // the two-chain line the paper's testbed hard-wires.
+            topology: de_field_or_default(map, "topology")?,
         })
     }
 }
@@ -204,6 +217,13 @@ pub struct WorkloadConfig {
     /// round-robin across every open channel (and is the only sensible value
     /// for single-channel deployments).
     pub channel_weights: Vec<u64>,
+    /// Multi-hop routes: once a transfer submitted on a route's `first_leg`
+    /// channel is acknowledged, the runner forwards it as a fresh transfer on
+    /// the `second_leg` channel (src → hub → dst as two chained IBC
+    /// transfers). Empty (the default, and the value every pre-topology JSON
+    /// parses to) disables forwarding; routes whose channels are out of range
+    /// for the deployed topology are ignored.
+    pub hop_plan: Vec<HopRoute>,
 }
 
 // Hand-written serde impls so that workload JSON written before
@@ -233,6 +253,7 @@ impl Serialize for WorkloadConfig {
                 self.completion_grace_blocks.to_value(),
             ),
             ("channel_weights".into(), self.channel_weights.to_value()),
+            ("hop_plan".into(), self.hop_plan.to_value()),
         ])
     }
 }
@@ -253,6 +274,9 @@ impl Deserialize for WorkloadConfig {
             run_to_completion: de_field(map, "run_to_completion")?,
             completion_grace_blocks: de_field(map, "completion_grace_blocks")?,
             channel_weights,
+            // Missing (pre-topology JSON, every earlier golden fixture)
+            // means no multi-hop forwarding.
+            hop_plan: de_field_or_default(map, "hop_plan")?,
         })
     }
 }
@@ -269,6 +293,7 @@ impl Default for WorkloadConfig {
             run_to_completion: true,
             completion_grace_blocks: 400,
             channel_weights: Vec::new(),
+            hop_plan: Vec::new(),
         }
     }
 }
@@ -465,6 +490,42 @@ mod tests {
         let back: DeploymentConfig =
             serde_json::from_str(&serde_json::to_string(&faulted).unwrap()).unwrap();
         assert_eq!(back, faulted);
+    }
+
+    #[test]
+    fn pre_topology_json_still_parses_to_the_pair_sentinel() {
+        // Deployment / workload JSON written before topologies existed
+        // (every earlier golden fixture) must parse to the legacy-pair
+        // sentinel and an empty hop plan.
+        let json = serde_json::to_string(&DeploymentConfig::default()).unwrap();
+        let legacy = json.replace(",\"topology\":{\"chains\":[],\"edges\":[]}", "");
+        assert!(!legacy.contains("topology"));
+        let parsed: DeploymentConfig = serde_json::from_str(&legacy).unwrap();
+        assert!(parsed.topology.is_legacy_pair());
+        assert_eq!(parsed, DeploymentConfig::default());
+
+        let workload_json = serde_json::to_string(&WorkloadConfig::default()).unwrap();
+        let legacy = workload_json.replace(",\"hop_plan\":[]", "");
+        assert!(!legacy.contains("hop_plan"));
+        let parsed: WorkloadConfig = serde_json::from_str(&legacy).unwrap();
+        assert!(parsed.hop_plan.is_empty());
+        assert_eq!(parsed, WorkloadConfig::default());
+
+        // An explicit topology and hop plan survive a round trip.
+        let meshed = DeploymentConfig {
+            topology: Topology::hub_and_spoke(3),
+            ..DeploymentConfig::default()
+        };
+        let back: DeploymentConfig =
+            serde_json::from_str(&serde_json::to_string(&meshed).unwrap()).unwrap();
+        assert_eq!(back, meshed);
+        let hopped = WorkloadConfig {
+            hop_plan: Topology::hub_and_spoke_routes(3),
+            ..WorkloadConfig::default()
+        };
+        let back: WorkloadConfig =
+            serde_json::from_str(&serde_json::to_string(&hopped).unwrap()).unwrap();
+        assert_eq!(back, hopped);
     }
 
     #[test]

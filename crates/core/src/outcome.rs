@@ -87,6 +87,28 @@ pub mod keys {
     /// Fraction of total time spent in RPC data pulls (≈0.69 in the paper).
     pub const DATA_PULL_SHARE: &str = "data_pull_share";
 
+    /// Set to 1 when the deployment failed to set up (its topology did not
+    /// resolve, or an IBC handshake could not complete) and the run produced
+    /// no data. Successful runs never emit the key, so every pre-existing
+    /// metric map is unchanged.
+    pub const SETUP_FAILED: &str = "setup_failed";
+    /// Second-leg transfers the hop forwarder submitted. Emitted (with the
+    /// hop latency keys below) only when the workload's hop plan has active
+    /// routes, so hop-free runs — the golden fixtures included — keep their
+    /// metric maps unchanged.
+    pub const FORWARDED: &str = "forwarded";
+    /// Average first-leg completion latency in seconds (transfer broadcast →
+    /// ack confirmation on the first-leg channel), aggregated over routes and
+    /// additionally emitted per route via [`on_route`]. Hop-plan runs only;
+    /// see [`FORWARDED`].
+    pub const HOP1_LATENCY_SECS: &str = "hop1_latency_secs";
+    /// Average second-leg completion latency in seconds. Hop-plan runs only;
+    /// see [`FORWARDED`].
+    pub const HOP2_LATENCY_SECS: &str = "hop2_latency_secs";
+    /// Average forwarder lag in seconds (first-leg ack commit → second-leg
+    /// broadcast). Hop-plan runs only; see [`FORWARDED`].
+    pub const FORWARD_LAG_SECS: &str = "forward_lag_secs";
+
     /// The per-channel variant of a metric key, e.g. `completed[channel-2]`.
     ///
     /// Multi-channel runs (`channel_count > 1`) emit the completion metrics
@@ -95,6 +117,12 @@ pub mod keys {
     /// metric maps — including the golden fixtures — are unchanged.
     pub fn on_channel(base: &str, channel: usize) -> String {
         format!("{base}[channel-{channel}]")
+    }
+
+    /// The per-hop-route variant of a metric key, e.g.
+    /// `hop1_latency_secs[route-0]` (hop-plan runs only).
+    pub fn on_route(base: &str, route: usize) -> String {
+        format!("{base}[route-{route}]")
     }
 }
 
@@ -279,6 +307,29 @@ impl ScenarioOutcome {
     /// Fraction of the total time spent in RPC data pulls.
     pub fn data_pull_share(&self) -> f64 {
         self.float(keys::DATA_PULL_SHARE)
+    }
+
+    /// Whether the run failed during setup (topology resolution or IBC
+    /// handshakes) and carries no measurement data.
+    pub fn setup_failed(&self) -> bool {
+        self.count(keys::SETUP_FAILED) != 0
+    }
+
+    /// Second-leg transfers the hop forwarder submitted (0 for hop-free
+    /// runs, which do not emit the key).
+    pub fn forwarded(&self) -> u64 {
+        self.count(keys::FORWARDED)
+    }
+
+    /// Average first-leg completion latency in seconds (hop-plan runs only).
+    pub fn hop1_latency_secs(&self) -> Option<f64> {
+        self.metric(keys::HOP1_LATENCY_SECS)
+    }
+
+    /// Average second-leg completion latency in seconds (hop-plan runs
+    /// only).
+    pub fn hop2_latency_secs(&self) -> Option<f64> {
+        self.metric(keys::HOP2_LATENCY_SECS)
     }
 
     /// Number of channels the deployment opened.

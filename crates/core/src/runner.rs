@@ -1,15 +1,19 @@
-//! The experiment driver: a discrete-event loop advancing both chains, the
-//! relayer processes and the workload generator in virtual time, collecting
-//! the raw data the Analysis module consumes.
+//! The experiment driver: a discrete-event loop advancing every chain of the
+//! deployment's topology, the relayer processes and the workload generator in
+//! virtual time, collecting the raw data the Analysis module consumes.
 //!
 //! # Event model
 //!
 //! The loop schedules three event kinds:
 //!
-//! * `BlockA` / `BlockB` — one chain produces its next block. The handler
-//!   records the block, **notifies** every relayer process (an O(1) inbox
-//!   push) and schedules one `RelayerWake(id)` per process at the current
-//!   instant; it never runs pipeline code itself.
+//! * `Block(chain)` — one chain of the topology produces its next block. The
+//!   handler records the block, **notifies** the relayer processes whose edge
+//!   touches that chain (an O(1) inbox push) and schedules one
+//!   `RelayerWake(id)` per notified process at the current instant; it never
+//!   runs pipeline code itself. Chain 0 is the primary chain: its commits
+//!   anchor the measurement window, drive workload submission and decide when
+//!   the run stops. In the legacy two-chain topology `Block(0)` / `Block(1)`
+//!   are exactly the old `BlockA` / `BlockB` events.
 //! * `RelayerWake(id)` — process `id` drains its inbox via
 //!   [`Relayer::wake`](xcc_relayer::relayer::Relayer::wake), performing its
 //!   pipeline work on its own virtual-time lane (its per-chain RPC
@@ -26,6 +30,15 @@
 //!   block and wake events (scheduler FIFO), so a fault always applies
 //!   before the chains and relayers act on the same tick.
 //!
+//! # Multi-hop forwarding
+//!
+//! When the workload carries a hop plan, a [`HopForwarder`] rides along: at
+//! every block commit it scans the committed block for first-leg packet
+//! acknowledgements and submits the matching second-leg transfers on the mid
+//! chain. A run without hop routes constructs an inert forwarder that
+//! performs no RPC calls and no scheduler interaction, keeping hop-free runs
+//! event-identical.
+//!
 //! # Determinism
 //!
 //! Ordering at equal timestamps is the scheduler's FIFO contract
@@ -33,7 +46,7 @@
 //! process-id order. One extra rule makes the event loop equivalent to the
 //! old synchronous runner *by construction*: a block event popping while
 //! relayer wakes are pending at the same instant **yields** — it re-schedules
-//! itself at the current time, landing behind the wakes in FIFO order. Both
+//! itself at the current time, landing behind the wakes in FIFO order. The
 //! chains' blocks frequently commit on the same 5-second grid, and the §V
 //! sequence race is sensitive to whether a relayer's broadcasts enter a
 //! chain's mempool before or after that chain's same-instant commit; the
@@ -41,16 +54,22 @@
 //! synchronous runner did and what the golden fixtures pin. See
 //! `docs/DETERMINISM.md`.
 
+use std::collections::BTreeMap;
+
 use xcc_chain::chain::SharedChain;
 use xcc_ibc::events as ibc_events;
 use xcc_relayer::relayer::RelayerStats;
 use xcc_relayer::telemetry::{TelemetryLog, TransferStep};
-use xcc_rpc::endpoint::LaneStats;
+use xcc_rpc::endpoint::{LaneStats, RpcEndpoint};
 use xcc_sim::{FaultKind, Scheduler, SimDuration, SimTime};
+use xcc_tendermint::hash::Hash;
 
 use crate::config::{DeploymentConfig, WorkloadConfig};
-use crate::testnet::{make_rpc, Testnet};
-use crate::workload::{SubmissionRecord, SubmissionStats, WorkloadConnector};
+use crate::testnet::{make_rpc, SetupError, Testnet};
+use crate::topology::HopRoute;
+use crate::workload::{
+    ForwardRecord, HopForwarder, SubmissionRecord, SubmissionStats, WorkloadConnector,
+};
 
 /// One committed block as observed by the driver.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,29 +91,44 @@ pub struct BlockRecord {
 
 /// Everything an experiment run produced, handed to the Analysis module.
 pub struct RunOutput {
-    /// Blocks committed on the source chain, in order.
+    /// Blocks committed on the primary chain (`chains[0]`), in order.
     pub blocks_a: Vec<BlockRecord>,
-    /// Blocks committed on the destination chain, in order.
+    /// Blocks committed on the second chain (`chains[1]`), in order.
     pub blocks_b: Vec<BlockRecord>,
-    /// Merged relayer telemetry plus the workload's transfer-broadcast times.
+    /// Blocks committed per chain, indexed like [`RunOutput::chains`]
+    /// (`blocks[0] == blocks_a`, `blocks[1] == blocks_b`).
+    pub blocks: Vec<Vec<BlockRecord>>,
+    /// Merged relayer telemetry plus the workload's transfer-broadcast
+    /// times, keyed by global (edge-major) channel index.
     pub telemetry: TelemetryLog,
     /// Workload submission statistics.
     pub submission: SubmissionStats,
     /// Per-transaction submission records.
     pub submission_records: Vec<SubmissionRecord>,
+    /// Per-transaction second-leg forward records of the hop plan's active
+    /// routes (empty without a hop plan).
+    pub forwards: Vec<ForwardRecord>,
+    /// Aggregate second-leg submission statistics.
+    pub forward_stats: SubmissionStats,
+    /// The hop routes that were actually active (in-range plan entries).
+    pub hop_routes: Vec<HopRoute>,
     /// Per-relayer activity counters.
     pub relayer_stats: Vec<RelayerStats>,
     /// Per-process RPC lane accounting, one `(source lane, destination
     /// lane)` pair per relayer process in process-id order.
     pub rpc_lanes: Vec<(LaneStats, LaneStats)>,
-    /// The source chain at the end of the run.
+    /// The primary chain (`chains[0]`) at the end of the run.
     pub chain_a: SharedChain,
-    /// The destination chain at the end of the run.
+    /// The second chain (`chains[1]`) at the end of the run.
     pub chain_b: SharedChain,
-    /// The primary relay path (channel 0).
+    /// Every chain of the topology at the end of the run, in topology order.
+    pub chains: Vec<SharedChain>,
+    /// The primary relay path (global channel 0).
     pub path: xcc_relayer::relayer::RelayPath,
-    /// Every relay path used, in channel order (`paths[0] == path`).
+    /// Every relay path used, in global channel order (`paths[0] == path`).
     pub paths: Vec<xcc_relayer::relayer::RelayPath>,
+    /// Per global path, the `(src, dst)` chain indices of its edge.
+    pub path_ends: Vec<(usize, usize)>,
     /// Commit time of the first measurement block (the window start).
     pub measurement_start: SimTime,
     /// Commit time of the last measurement block (the window end).
@@ -107,10 +141,8 @@ pub struct RunOutput {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
-    /// The source chain produces its next block.
-    BlockA,
-    /// The destination chain produces its next block.
-    BlockB,
+    /// The chain at this topology index produces its next block.
+    Block(usize),
     /// Relayer process `id` drains its inbox and runs its pipeline.
     RelayerWake(usize),
     /// Entry `idx` of the deployment's compiled fault timeline fires.
@@ -125,19 +157,17 @@ enum Ev {
 fn backfill_confirmations(
     telemetry: &mut TelemetryLog,
     testnet: &Testnet,
-    blocks_a: &[BlockRecord],
-    blocks_b: &[BlockRecord],
+    blocks: &[Vec<BlockRecord>],
 ) {
-    // One pass per direction: `WRITE_ACK` on the destination chain fills
-    // `RecvConfirmation`, `ACK_PACKET` on the source chain fills
-    // `AckConfirmation`.
-    let mut pass = |chain: &xcc_chain::chain::SharedChain,
-                    blocks: &[BlockRecord],
-                    event_kind: &str,
-                    dst_side: bool,
-                    step: TransferStep| {
-        let chain = chain.borrow();
-        for record in blocks {
+    // One pass per chain: a `WRITE_ACK` fills `RecvConfirmation` for a path
+    // whose destination is this chain, an `ACK_PACKET` fills
+    // `AckConfirmation` for a path whose source is this chain. The chain
+    // match matters in topologies — channel identifiers are per-chain
+    // counters, so the same `channel-0` name legitimately exists on several
+    // chains and only the `(chain, port, channel)` triple is unique.
+    for (c, records) in blocks.iter().enumerate() {
+        let chain = testnet.chains[c].borrow();
+        for record in records {
             let Some(block) = chain.block_at(record.height) else {
                 continue;
             };
@@ -146,16 +176,21 @@ fn backfill_confirmations(
                     continue;
                 }
                 for event in &result.events {
-                    if event.kind != event_kind {
+                    let (dst_side, step) = if event.kind == ibc_events::WRITE_ACK {
+                        (true, TransferStep::RecvConfirmation)
+                    } else if event.kind == ibc_events::ACK_PACKET {
+                        (false, TransferStep::AckConfirmation)
+                    } else {
                         continue;
-                    }
-                    let channel = testnet.paths.iter().position(|p| {
-                        let end = if dst_side {
-                            &p.dst_channel
+                    };
+                    let channel = testnet.paths.iter().enumerate().position(|(i, p)| {
+                        let (src, dst) = testnet.path_ends[i];
+                        let (on_chain, end) = if dst_side {
+                            (dst == c, &p.dst_channel)
                         } else {
-                            &p.src_channel
+                            (src == c, &p.src_channel)
                         };
-                        ibc_events::is_for_channel(event, &p.port, end)
+                        on_chain && ibc_events::is_for_channel(event, &p.port, end)
                     });
                     let (Some(channel), Some(packet)) =
                         (channel, ibc_events::packet_from_event(event))
@@ -172,45 +207,125 @@ fn backfill_confirmations(
                 }
             }
         }
-    };
-
-    pass(
-        &testnet.chain_b,
-        blocks_b,
-        ibc_events::WRITE_ACK,
-        true,
-        TransferStep::RecvConfirmation,
-    );
-    pass(
-        &testnet.chain_a,
-        blocks_a,
-        ibc_events::ACK_PACKET,
-        false,
-        TransferStep::AckConfirmation,
-    );
+    }
 }
 
-/// Runs one experiment: deploys the testnet, drives block production on both
-/// chains, feeds events to the relayers, submits the workload and returns the
-/// collected raw data.
+/// Attaches the workload's broadcast timestamp to every packet sequence a
+/// committed transfer transaction created, under the transaction's global
+/// channel index.
+fn attach_broadcast(
+    telemetry: &mut TelemetryLog,
+    chain: &SharedChain,
+    tx_hash: &Hash,
+    channel: usize,
+    broadcast_at: SimTime,
+) {
+    let chain = chain.borrow();
+    let Some((_, _, result)) = chain.find_tx(tx_hash) else {
+        return;
+    };
+    for event in &result.events {
+        if event.kind == ibc_events::SEND_PACKET {
+            if let Some(packet) = ibc_events::packet_from_event(event) {
+                telemetry.record_on(
+                    channel as u64,
+                    packet.sequence,
+                    TransferStep::TransferBroadcast,
+                    broadcast_at,
+                );
+            }
+        }
+    }
+}
+
+/// Runs one experiment: deploys the testnet, drives block production on every
+/// chain of the topology, feeds events to the relayers, submits the workload
+/// (and forwards hop-plan second legs) and returns the collected raw data.
+///
+/// Fails with [`SetupError`] when the deployment's topology does not resolve
+/// or the IBC handshakes cannot complete.
 pub fn run_experiment(
     deployment: &DeploymentConfig,
     workload_config: &WorkloadConfig,
-) -> RunOutput {
-    let mut testnet = Testnet::build(deployment);
-    let workload_rpc = make_rpc(&testnet.chain_a, deployment, &testnet.rng, "workload-cli");
-    let mut workload = WorkloadConnector::with_paths(
+) -> Result<RunOutput, SetupError> {
+    let mut testnet = Testnet::try_build(deployment)?;
+    let chain_count = testnet.chains.len();
+    let path_src: Vec<usize> = testnet.path_ends.iter().map(|&(src, _)| src).collect();
+
+    // One workload endpoint per distinct packet-source chain, in
+    // first-appearance (global channel) order. The primary chain keeps the
+    // historical `workload-cli` RPC label so its forked random stream — and
+    // with it every two-chain golden fixture — is unchanged.
+    let mut rpc_chains: Vec<usize> = Vec::new();
+    for &src in &path_src {
+        if !rpc_chains.contains(&src) {
+            rpc_chains.push(src);
+        }
+    }
+    let workload_rpcs: Vec<RpcEndpoint> = rpc_chains
+        .iter()
+        .map(|&c| {
+            let label = if c == 0 {
+                "workload-cli".to_string()
+            } else {
+                format!("workload-cli-{c}")
+            };
+            make_rpc(&testnet.chains[c], deployment, &testnet.rng, &label)
+        })
+        .collect();
+    let path_rpc: Vec<usize> = path_src
+        .iter()
+        .map(|src| rpc_chains.iter().position(|c| c == src).unwrap_or(0))
+        .collect();
+    let mut workload = WorkloadConnector::for_topology(
         workload_config.clone(),
         testnet.paths.clone(),
-        workload_rpc,
+        path_rpc,
+        workload_rpcs,
+        deployment.user_accounts,
+    );
+
+    // The hop forwarder only exists for in-range routes; hop-free runs get
+    // an inert forwarder with zero endpoints and zero per-block work.
+    let active_routes: Vec<HopRoute> = workload_config
+        .hop_plan
+        .iter()
+        .copied()
+        .filter(|r| {
+            r.first_leg < testnet.paths.len()
+                && r.second_leg < testnet.paths.len()
+                && r.first_leg != r.second_leg
+        })
+        .collect();
+    let mut forwarder_rpcs: BTreeMap<usize, RpcEndpoint> = BTreeMap::new();
+    for route in &active_routes {
+        let src = path_src[route.second_leg];
+        forwarder_rpcs.entry(src).or_insert_with(|| {
+            make_rpc(
+                &testnet.chains[src],
+                deployment,
+                &testnet.rng,
+                &format!("forwarder-cli-{src}"),
+            )
+        });
+    }
+    let mut forwarder = HopForwarder::new(
+        workload_config,
+        active_routes,
+        testnet.paths.clone(),
+        path_src.clone(),
+        forwarder_rpcs,
         deployment.user_accounts,
     );
 
     let min_interval = deployment.min_block_interval;
     let mut sched: Scheduler<Ev> = Scheduler::new();
-    // Both chains committed block 1 during setup at t = 0.
-    sched.schedule_at(SimTime::ZERO + min_interval, Ev::BlockA);
-    sched.schedule_at(SimTime::ZERO + min_interval, Ev::BlockB);
+    // Every chain committed block 1 during setup at t = 0; their block
+    // streams start in topology order (chain 0 first, like the old
+    // `BlockA` / `BlockB` insertion sequence).
+    for c in 0..chain_count {
+        sched.schedule_at(SimTime::ZERO + min_interval, Ev::Block(c));
+    }
 
     // Schedule every fault event up-front. An empty plan compiles to an
     // empty timeline and performs zero scheduler calls here, which keeps the
@@ -222,12 +337,13 @@ pub fn run_experiment(
             sched.schedule_at(at, Ev::Fault(idx));
         }
     }
-    // Per-chain fault state, indexed by fault-service id (0 = source chain A,
-    // 1 = destination chain B): when a halt ends, and the (factor, until)
-    // window of a block-interval stretch.
-    let mut halt_until = [SimTime::ZERO; 2];
-    let mut stretch = [(1u64, SimTime::ZERO); 2];
-    let block_interval = |stretch: &[(u64, SimTime); 2], service: usize, t: SimTime| {
+    // Per-chain fault state, indexed by fault-service id (the chain's
+    // topology index; 0 = the legacy source chain A, 1 = destination B):
+    // when a halt ends, and the (factor, until) window of a block-interval
+    // stretch.
+    let mut halt_until = vec![SimTime::ZERO; chain_count];
+    let mut stretch = vec![(1u64, SimTime::ZERO); chain_count];
+    let block_interval = |stretch: &[(u64, SimTime)], service: usize, t: SimTime| {
         let (factor, until) = stretch[service];
         if t < until {
             min_interval * factor
@@ -236,16 +352,17 @@ pub fn run_experiment(
         }
     };
 
-    let mut blocks_a: Vec<BlockRecord> = Vec::new();
-    let mut blocks_b: Vec<BlockRecord> = Vec::new();
-    let mut last_commit_a = SimTime::ZERO;
-    let mut last_commit_b = SimTime::ZERO;
+    let mut blocks: Vec<Vec<BlockRecord>> = vec![Vec::new(); chain_count];
+    let mut last_commit = vec![SimTime::ZERO; chain_count];
     let mut measurement_start = SimTime::ZERO;
     let mut measurement_end = SimTime::ZERO;
 
     // The first workload window is submitted right away so that its
-    // transactions are available for the first measurement block.
-    workload.submit_window(SimTime::ZERO, testnet.chain_b.borrow().height());
+    // transactions are available for the first measurement block. The height
+    // is read before the call: submitting borrows the target chains, which
+    // may include the one the timeout height is read from.
+    let dest_height = testnet.chains[1].borrow().height();
+    workload.submit_window(SimTime::ZERO, dest_height);
 
     let target_blocks = workload_config.measurement_blocks;
     let grace_blocks = workload_config.completion_grace_blocks;
@@ -267,22 +384,13 @@ pub fn run_experiment(
             None => wakes_due.push((at, count)),
         }
     }
-    let schedule_wakes = |sched: &mut Scheduler<Ev>,
-                          wakes_due: &mut Vec<(SimTime, usize)>,
-                          at: SimTime,
-                          count: usize| {
-        for id in 0..count {
-            sched.schedule_at(at, Ev::RelayerWake(id));
-        }
-        note_wakes(wakes_due, at, count);
-    };
 
     while let Some((t, ev)) = sched.pop() {
         let wakes_pending_now = wakes_due
             .iter()
             .any(|(at, pending)| *at == t && *pending > 0);
         match ev {
-            Ev::BlockA | Ev::BlockB if wakes_pending_now => {
+            Ev::Block(_) if wakes_pending_now => {
                 // Relayer wakes are already queued at this instant: yield so
                 // the processes run first (FIFO puts the re-scheduled block
                 // behind them), preserving the synchronous runner's
@@ -291,99 +399,116 @@ pub fn run_experiment(
             }
             // A halted chain (`ChainHalt` fault) produces no block until the
             // halt window ends; its block event parks at the halt deadline.
-            Ev::BlockA if t < halt_until[0] => {
-                sched.schedule_at(halt_until[0], Ev::BlockA);
+            Ev::Block(c) if t < halt_until[c] => {
+                sched.schedule_at(halt_until[c], ev);
             }
-            Ev::BlockB if t < halt_until[1] => {
-                sched.schedule_at(halt_until[1], Ev::BlockB);
-            }
-            Ev::BlockA => {
-                let outcome = testnet.chain_a.borrow_mut().produce_block(t);
+            Ev::Block(c) => {
+                let outcome = testnet.chains[c].borrow_mut().produce_block(t);
                 let record = BlockRecord {
                     height: outcome.height,
                     proposed_at: t,
                     committed_at: outcome.committed_at,
                     tx_count: outcome.tx_count,
                     events: outcome.included_messages,
-                    interval: outcome.committed_at - last_commit_a,
+                    interval: outcome.committed_at - last_commit[c],
                 };
-                last_commit_a = outcome.committed_at;
-                blocks_a.push(record);
+                last_commit[c] = outcome.committed_at;
+                blocks[c].push(record);
 
-                // The commit only notifies the relayer processes; their
-                // pipeline work runs at the wake events scheduled below.
-                for relayer in &mut testnet.relayers {
-                    relayer.notify_source_block(outcome.height, outcome.committed_at);
+                // The commit only notifies the relayer processes whose edge
+                // touches this chain; their pipeline work runs at the wake
+                // events scheduled below, in ascending process-id order (for
+                // the two-chain topology every relayer touches every chain,
+                // which is exactly the legacy notify-all behaviour).
+                let mut woken = 0;
+                for id in 0..testnet.relayers.len() {
+                    let (src, dst) = testnet.relayer_chains[id];
+                    if src != c && dst != c {
+                        continue;
+                    }
+                    if src == c {
+                        testnet.relayers[id]
+                            .notify_source_block(outcome.height, outcome.committed_at);
+                    }
+                    if dst == c {
+                        testnet.relayers[id]
+                            .notify_dest_block(outcome.height, outcome.committed_at);
+                    }
+                    sched.schedule_at(t, Ev::RelayerWake(id));
+                    woken += 1;
                 }
-                schedule_wakes(&mut sched, &mut wakes_due, t, testnet.relayers.len());
+                note_wakes(&mut wakes_due, t, woken);
 
-                // Measurement bookkeeping: block 2 is the first block that can
-                // contain workload transactions.
-                let measured = blocks_a.len() as u64; // block heights 2, 3, …
-                if measured == 1 {
-                    measurement_start = outcome.committed_at;
-                }
-                if measured == target_blocks {
-                    measurement_end = outcome.committed_at;
-                }
+                // Hop-plan second legs chain off this block's first-leg
+                // acknowledgements; without routes this is a no-op.
+                forwarder.on_block_commit(
+                    c,
+                    outcome.height,
+                    outcome.committed_at,
+                    &testnet.chains[c],
+                );
 
-                if !workload.finished_submitting() {
-                    workload.submit_window(outcome.committed_at, testnet.chain_b.borrow().height());
-                }
-
-                let stop = if measured < target_blocks {
-                    false
-                } else if !workload_config.run_to_completion {
-                    true
-                } else {
-                    let chain = testnet.chain_a.borrow();
-                    let ibc = chain.app().ibc();
-                    let outstanding: usize = testnet
-                        .paths
-                        .iter()
-                        .map(|path| {
-                            let sent = ibc.sent_sequences(&path.port, &path.src_channel);
-                            ibc.unacknowledged_packets(&path.port, &path.src_channel, &sent)
-                                .len()
-                        })
-                        .sum();
-                    let done = workload.finished_submitting() && outstanding == 0;
-                    done || measured >= target_blocks + grace_blocks
-                };
-                if !stop {
-                    let interval = block_interval(&stretch, 0, t);
-                    sched.schedule_at(outcome.committed_at.max(t + interval), Ev::BlockA);
-                } else {
-                    source_running = false;
-                    if measurement_end == SimTime::ZERO {
+                if c == 0 {
+                    // Measurement bookkeeping: block 2 is the first block
+                    // that can contain workload transactions.
+                    let measured = blocks[0].len() as u64; // block heights 2, 3, …
+                    if measured == 1 {
+                        measurement_start = outcome.committed_at;
+                    }
+                    if measured == target_blocks {
                         measurement_end = outcome.committed_at;
                     }
-                }
-            }
-            Ev::BlockB => {
-                let outcome = testnet.chain_b.borrow_mut().produce_block(t);
-                let record = BlockRecord {
-                    height: outcome.height,
-                    proposed_at: t,
-                    committed_at: outcome.committed_at,
-                    tx_count: outcome.tx_count,
-                    events: outcome.included_messages,
-                    interval: outcome.committed_at - last_commit_b,
-                };
-                last_commit_b = outcome.committed_at;
-                blocks_b.push(record);
 
-                for relayer in &mut testnet.relayers {
-                    relayer.notify_dest_block(outcome.height, outcome.committed_at);
-                }
-                schedule_wakes(&mut sched, &mut wakes_due, t, testnet.relayers.len());
+                    if !workload.finished_submitting() {
+                        let dest_height = testnet.chains[1].borrow().height();
+                        workload.submit_window(outcome.committed_at, dest_height);
+                    }
 
-                // The destination chain keeps producing blocks for as long as
-                // the source side is still running; once the source side has
-                // stopped, pending recvs can no longer complete anyway.
-                if source_running {
-                    let interval = block_interval(&stretch, 1, t);
-                    sched.schedule_at(outcome.committed_at.max(t + interval), Ev::BlockB);
+                    let stop = if measured < target_blocks {
+                        false
+                    } else if !workload_config.run_to_completion {
+                        true
+                    } else {
+                        let outstanding: usize = testnet
+                            .paths
+                            .iter()
+                            .zip(&testnet.path_ends)
+                            .map(|(path, &(src, _))| {
+                                let chain = testnet.chains[src].borrow();
+                                let ibc = chain.app().ibc();
+                                let sent = ibc.sent_sequences(&path.port, &path.src_channel);
+                                ibc.unacknowledged_packets(&path.port, &path.src_channel, &sent)
+                                    .len()
+                            })
+                            .sum();
+                        // Forwarded second legs still sitting in a mid
+                        // chain's mempool are not yet `sent`, so the
+                        // outstanding count alone would miss them.
+                        let hops_pending = forwarder.routes().iter().any(|route| {
+                            let src = testnet.path_ends[route.second_leg].0;
+                            testnet.chains[src].borrow().mempool_size() > 0
+                        });
+                        let done =
+                            workload.finished_submitting() && outstanding == 0 && !hops_pending;
+                        done || measured >= target_blocks + grace_blocks
+                    };
+                    if !stop {
+                        let interval = block_interval(&stretch, 0, t);
+                        sched.schedule_at(outcome.committed_at.max(t + interval), Ev::Block(0));
+                    } else {
+                        source_running = false;
+                        if measurement_end == SimTime::ZERO {
+                            measurement_end = outcome.committed_at;
+                        }
+                    }
+                } else {
+                    // The other chains keep producing blocks for as long as
+                    // the primary side is still running; once it has
+                    // stopped, pending recvs can no longer complete anyway.
+                    if source_running {
+                        let interval = block_interval(&stretch, c, t);
+                        sched.schedule_at(outcome.committed_at.max(t + interval), Ev::Block(c));
+                    }
                 }
             }
             Ev::RelayerWake(id) => {
@@ -434,13 +559,14 @@ pub fn run_experiment(
                         }
                     }
                     FaultKind::TrustExpiry { subject } => {
-                        // The trust period of the client *on the destination
-                        // chain* lapses: recv verification for this path is
-                        // stranded until out-of-band recovery (not modelled),
-                        // while source-side ack/timeout handling stays live.
+                        // The trust period of the client *on the path's
+                        // destination chain* lapses: recv verification for
+                        // this path is stranded until out-of-band recovery
+                        // (not modelled), while source-side ack/timeout
+                        // handling stays live.
                         if let Some(path) = testnet.paths.get(subject) {
-                            let _ = testnet
-                                .chain_b
+                            let dst = testnet.path_ends[subject].1;
+                            let _ = testnet.chains[dst]
                                 .borrow_mut()
                                 .app_mut()
                                 .ibc_mut()
@@ -452,38 +578,46 @@ pub fn run_experiment(
         }
     }
 
-    // Merge telemetry from every relayer and attach the workload's broadcast
-    // timestamps to the packet sequences each committed transaction created.
+    // Merge telemetry from every relayer — re-keying each process's
+    // edge-local channel indices into the global edge-major space — and
+    // attach the workload's broadcast timestamps to the packet sequences
+    // each committed transaction created.
     let mut telemetry = TelemetryLog::new();
     let mut relayer_stats = Vec::new();
     let mut rpc_lanes = Vec::new();
-    for relayer in &testnet.relayers {
-        telemetry.merge(relayer.telemetry());
+    for (r, relayer) in testnet.relayers.iter().enumerate() {
+        telemetry.merge_offset(
+            relayer.telemetry(),
+            testnet.relayer_channel_offset[r] as u64,
+        );
         relayer_stats.push(*relayer.stats());
         rpc_lanes.push(relayer.lane_stats());
     }
-    {
-        let chain = testnet.chain_a.borrow();
-        for record in workload.records() {
-            if !record.accepted {
-                continue;
-            }
-            let Some((_, _, result)) = chain.find_tx(&record.tx_hash) else {
-                continue;
-            };
-            for event in &result.events {
-                if event.kind == ibc_events::SEND_PACKET {
-                    if let Some(packet) = ibc_events::packet_from_event(event) {
-                        telemetry.record_on(
-                            record.channel as u64,
-                            packet.sequence,
-                            TransferStep::TransferBroadcast,
-                            record.broadcast_at,
-                        );
-                    }
-                }
-            }
+    for record in workload.records() {
+        if !record.accepted {
+            continue;
         }
+        let src = path_src[record.channel];
+        attach_broadcast(
+            &mut telemetry,
+            &testnet.chains[src],
+            &record.tx_hash,
+            record.channel,
+            record.broadcast_at,
+        );
+    }
+    for record in forwarder.records() {
+        if !record.accepted {
+            continue;
+        }
+        let src = path_src[record.channel];
+        attach_broadcast(
+            &mut telemetry,
+            &testnet.chains[src],
+            &record.tx_hash,
+            record.channel,
+            record.submitted_at,
+        );
     }
 
     // The Analysis module reads committed transactions straight off the
@@ -494,30 +628,37 @@ pub fn run_experiment(
     // oversized WebSocket frame (§V). Steps the relayers did observe keep
     // their original event-delivery timestamps: the backfill never
     // overwrites an existing record.
-    backfill_confirmations(&mut telemetry, &testnet, &blocks_a, &blocks_b);
+    backfill_confirmations(&mut telemetry, &testnet, &blocks);
 
-    RunOutput {
-        blocks_a,
-        blocks_b,
+    Ok(RunOutput {
+        blocks_a: blocks[0].clone(),
+        blocks_b: blocks[1].clone(),
+        blocks,
         telemetry,
         submission: workload.stats(),
         submission_records: workload.records().to_vec(),
+        forwards: forwarder.records().to_vec(),
+        forward_stats: forwarder.stats(),
+        hop_routes: forwarder.routes().to_vec(),
         relayer_stats,
         rpc_lanes,
         chain_a: testnet.chain_a.clone(),
         chain_b: testnet.chain_b.clone(),
+        chains: testnet.chains.clone(),
         path: testnet.path.clone(),
         paths: testnet.paths.clone(),
+        path_ends: testnet.path_ends.clone(),
         measurement_start,
         measurement_end,
         workload: workload_config.clone(),
         deployment: deployment.clone(),
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::Topology;
 
     #[test]
     fn a_small_run_completes_transfers_end_to_end() {
@@ -535,7 +676,7 @@ mod tests {
             completion_grace_blocks: 40,
             ..WorkloadConfig::default()
         };
-        let run = run_experiment(&deployment, &workload);
+        let run = run_experiment(&deployment, &workload).expect("pair deployment builds");
         assert_eq!(run.submission.submitted, 200);
         // All 200 transfers eventually acknowledge back on the source chain.
         assert_eq!(
@@ -544,6 +685,9 @@ mod tests {
         );
         assert!(run.blocks_a.len() >= 4);
         assert!(!run.blocks_b.is_empty());
+        assert_eq!(run.blocks.len(), 2);
+        assert_eq!(run.blocks[0], run.blocks_a);
+        assert!(run.forwards.is_empty());
         assert!(run.measurement_end > run.measurement_start);
         // Funds actually moved: vouchers exist on chain B.
         let voucher = format!("transfer/{}/uatom", run.path.dst_channel);
@@ -557,5 +701,44 @@ mod tests {
             })
             .sum();
         assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn a_hub_run_forwards_second_legs_and_conserves_hops() {
+        let spokes = 2;
+        let deployment = DeploymentConfig {
+            user_accounts: 4,
+            relayer_count: 1,
+            network_rtt_ms: 0,
+            topology: Topology::hub_and_spoke(spokes),
+            ..DeploymentConfig::default()
+        };
+        let workload = WorkloadConfig {
+            total_transfers: 100,
+            submission_blocks: 1,
+            measurement_blocks: 4,
+            run_to_completion: true,
+            completion_grace_blocks: 60,
+            // Direct traffic only enters the spoke→hub legs; the forwarder
+            // owns the hub→spoke legs.
+            channel_weights: vec![1, 1, 0, 0],
+            hop_plan: Topology::hub_and_spoke_routes(spokes),
+            ..WorkloadConfig::default()
+        };
+        let run = run_experiment(&deployment, &workload).expect("hub deployment builds");
+        assert_eq!(run.chains.len(), spokes + 1);
+        assert_eq!(run.hop_routes.len(), spokes);
+        assert_eq!(run.submission.submitted, 100);
+        // Every first-leg ack spawned a second-leg transfer, and every
+        // second leg completed: two acks per transfer overall.
+        assert_eq!(run.forward_stats.submitted, 100);
+        assert!(run
+            .forwards
+            .iter()
+            .all(|f| f.submitted_at >= f.triggered_at));
+        assert_eq!(
+            run.telemetry.count_for_step(TransferStep::AckConfirmation),
+            200
+        );
     }
 }

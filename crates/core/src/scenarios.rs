@@ -15,13 +15,23 @@ use crate::outcome::{keys, ScenarioOutcome};
 use crate::report::ExecutionReport;
 use crate::runner::{run_experiment, RunOutput};
 use crate::spec::ExperimentSpec;
+use crate::testnet::SetupError;
+
+/// Executes a spec end to end and returns its raw data for custom analysis,
+/// or the [`SetupError`] when the deployment cannot be built.
+pub fn try_run_raw(spec: &ExperimentSpec) -> Result<RunOutput, SetupError> {
+    run_experiment(&spec.resolved_deployment(), &spec.workload)
+}
 
 /// Executes a spec end to end and returns its raw data for custom analysis.
 ///
 /// Most callers want [`run`]; this entry point exists for examples and tests
-/// that inspect chains, telemetry or block records directly.
+/// that inspect chains, telemetry or block records directly. Specs whose
+/// deployment can fail to set up (hand-written topologies) should use
+/// [`try_run_raw`].
 pub fn run_raw(spec: &ExperimentSpec) -> RunOutput {
-    run_experiment(&spec.resolved_deployment(), &spec.workload)
+    // xcc-lint: allow(panic-in-library, reason = "convenience front end for tests and examples; the fallible path is try_run_raw")
+    try_run_raw(spec).expect("experiment setup succeeds for this spec")
 }
 
 /// Computes the unified outcome of a finished run.
@@ -122,6 +132,53 @@ pub fn outcome_from(spec: &ExperimentSpec, run: &RunOutput) -> ScenarioOutcome {
         }
     }
 
+    // Topology runs (more than the legacy chain pair) always report the
+    // stranded-packet count, fault plan or not: a healthy multi-chain run
+    // must drain to zero and the CI smoke job pins exactly that. Two-chain
+    // fault-free runs — every pre-existing golden fixture — keep their
+    // metric maps unchanged.
+    if run.chains.len() > 2 && run.deployment.fault_plan.is_empty() {
+        outcome.set(
+            keys::STRANDED_PACKETS,
+            analysis::stranded_packets(run) as f64,
+        );
+    }
+
+    // Hop-plan runs surface the multi-hop decomposition: how many second
+    // legs the forwarder spawned and how long each leg (and the forwarding
+    // gap between them) took, aggregated and per route. Hop-free runs keep
+    // their metric maps unchanged.
+    if !run.hop_routes.is_empty() {
+        outcome.set(keys::FORWARDED, run.forward_stats.submitted as f64);
+        let mut hop1 = Vec::new();
+        let mut hop2 = Vec::new();
+        let mut lag = Vec::new();
+        for (ri, route) in run.hop_routes.iter().enumerate() {
+            if let Some(secs) = analysis::channel_completion_latency(run, route.first_leg) {
+                outcome.set(&keys::on_route(keys::HOP1_LATENCY_SECS, ri), secs);
+                hop1.push(secs);
+            }
+            if let Some(secs) = analysis::channel_completion_latency(run, route.second_leg) {
+                outcome.set(&keys::on_route(keys::HOP2_LATENCY_SECS, ri), secs);
+                hop2.push(secs);
+            }
+            if let Some(secs) = analysis::forward_lag_secs(run, ri) {
+                outcome.set(&keys::on_route(keys::FORWARD_LAG_SECS, ri), secs);
+                lag.push(secs);
+            }
+        }
+        let mean = |values: &[f64]| values.iter().sum::<f64>() / values.len() as f64;
+        if !hop1.is_empty() {
+            outcome.set(keys::HOP1_LATENCY_SECS, mean(&hop1));
+        }
+        if !hop2.is_empty() {
+            outcome.set(keys::HOP2_LATENCY_SECS, mean(&hop2));
+        }
+        if !lag.is_empty() {
+            outcome.set(keys::FORWARD_LAG_SECS, mean(&lag));
+        }
+    }
+
     // Multi-channel runs additionally emit the completion metrics once per
     // channel; single-channel runs emit only the aggregates so that the
     // paper scenarios' metric maps (and the golden fixtures) are unchanged.
@@ -157,11 +214,28 @@ pub fn outcome_from(spec: &ExperimentSpec, run: &RunOutput) -> ScenarioOutcome {
     outcome
 }
 
+/// Deploys, executes and analyses one spec, or reports why setup failed.
+pub fn try_run(spec: &ExperimentSpec) -> Result<ScenarioOutcome, SetupError> {
+    let raw = try_run_raw(spec)?;
+    Ok(outcome_from(spec, &raw))
+}
+
 /// Deploys, executes and analyses one spec: the single entry point every
 /// figure, sweep and test goes through.
+///
+/// A spec whose deployment cannot set up (an invalid hand-written topology,
+/// a failed handshake) still yields an outcome — with the single
+/// `setup_failed` metric set — instead of panicking, so one bad point cannot
+/// take down a whole sweep.
 pub fn run(spec: &ExperimentSpec) -> ScenarioOutcome {
-    let raw = run_raw(spec);
-    outcome_from(spec, &raw)
+    match try_run(spec) {
+        Ok(outcome) => outcome,
+        Err(_) => {
+            let mut outcome = ScenarioOutcome::new(spec.clone());
+            outcome.set(keys::SETUP_FAILED, 1.0);
+            outcome
+        }
+    }
 }
 
 /// Builds an [`ExecutionReport`] from any run output.

@@ -28,6 +28,7 @@ use xcc_relayer::strategy::{ChannelPolicy, RelayerStrategy, SequenceTracking};
 
 use crate::config::{DeploymentConfig, WorkloadConfig};
 use crate::fault::FaultPlan;
+use crate::topology::{HopRoute, Topology};
 
 /// The scenario family a spec belongs to — which of the paper's experiment
 /// shapes it reproduces. The family selects builder defaults; every family's
@@ -360,6 +361,40 @@ impl ExperimentSpec {
     /// ```
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
         self.deployment.fault_plan = plan;
+        self
+    }
+
+    /// Sets the deployment's chain topology (the default sentinel is the
+    /// paper's two-chain pair).
+    ///
+    /// ```rust
+    /// use xcc_framework::spec::ExperimentSpec;
+    /// use xcc_framework::topology::Topology;
+    ///
+    /// let spec = ExperimentSpec::relayer_throughput().topology(Topology::hub_and_spoke(3));
+    /// assert_eq!(spec.deployment.topology.chains.len(), 4);
+    /// ```
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.deployment.topology = topology;
+        self
+    }
+
+    /// Sets the workload's multi-hop plan: each route chains a second
+    /// transfer leg onto completed first legs (src → hub → dst). Routes
+    /// whose channel indices are out of the deployment's range are ignored
+    /// at run time, so one plan can be swept across topologies.
+    ///
+    /// ```rust
+    /// use xcc_framework::spec::ExperimentSpec;
+    /// use xcc_framework::topology::Topology;
+    ///
+    /// let spec = ExperimentSpec::relayer_throughput()
+    ///     .topology(Topology::hub_and_spoke(3))
+    ///     .hop_plan(Topology::hub_and_spoke_routes(3));
+    /// assert_eq!(spec.workload.hop_plan.len(), 3);
+    /// ```
+    pub fn hop_plan(mut self, routes: impl IntoIterator<Item = HopRoute>) -> Self {
+        self.workload.hop_plan = routes.into_iter().collect();
         self
     }
 

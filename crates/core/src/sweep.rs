@@ -4,7 +4,7 @@
 //! relayer counts × channel counts × RTTs × submission strategies ×
 //! transfer counts × relayer strategies × WebSocket frame limits ×
 //! sequence-tracking modes × batched-pull surcharges × fault plans ×
-//! seeds).
+//! topologies × seeds).
 //! [`SweepGrid::points`] expands the cartesian product into a deterministic,
 //! ordered list of specs; [`run_parallel`] executes any spec list on a
 //! `std::thread::scope` worker pool. Because every run is fully determined
@@ -23,7 +23,7 @@
 //!   ([`OutputFormat::from_env`]).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 use serde::{Deserialize, Serialize};
 
@@ -33,6 +33,7 @@ use crate::fault::FaultPlan;
 use crate::outcome::ScenarioOutcome;
 use crate::scenarios;
 use crate::spec::ExperimentSpec;
+use crate::topology::Topology;
 
 /// Quick sweeps keep CI fast; full sweeps reproduce the paper's ranges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -157,6 +158,11 @@ pub struct SweepGrid {
     /// [`FaultPlan::none`] in one grid is how the recovery scenarios
     /// (`relayer_crash`, `chain_halt`, `client_expiry`) are built.
     pub fault_plans: Vec<FaultPlan>,
+    /// Deployment topologies, one run per graph — comparing a hub-and-spoke
+    /// or mesh arm against [`Topology::pair`] in one grid is how the
+    /// topology scenarios (`hub_spoke_scaling`, `mesh_contention`) are
+    /// built.
+    pub topologies: Vec<Topology>,
     /// Explicit seeds; empty means "one point with the base seed".
     pub seeds: Vec<u64>,
 }
@@ -178,6 +184,7 @@ impl SweepGrid {
             sequence_trackings: Vec::new(),
             batched_pull_per_items: Vec::new(),
             fault_plans: Vec::new(),
+            topologies: Vec::new(),
             seeds: Vec::new(),
         }
     }
@@ -267,6 +274,13 @@ impl SweepGrid {
         self
     }
 
+    /// Sets the topology axis. Each graph runs as its own point; include
+    /// [`Topology::pair`] to keep the two-chain baseline arm in the grid.
+    pub fn topologies(mut self, topologies: impl IntoIterator<Item = Topology>) -> Self {
+        self.topologies = topologies.into_iter().collect();
+        self
+    }
+
     /// Sets the seed axis.
     pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
         self.seeds = seeds.into_iter().collect();
@@ -296,6 +310,7 @@ impl SweepGrid {
             * axis(self.sequence_trackings.len())
             * axis(self.batched_pull_per_items.len())
             * axis(self.fault_plans.len())
+            * axis(self.topologies.len())
             * axis(self.seeds.len())
     }
 
@@ -339,99 +354,114 @@ impl SweepGrid {
                                                 for pull_item in axis(&self.batched_pull_per_items)
                                                 {
                                                     for plan in axis_ref(&self.fault_plans) {
-                                                        for seed in axis(&self.seeds) {
-                                                            let mut spec = self.base.clone();
-                                                            let mut name = spec.name.clone();
-                                                            if let Some(rate) = rate {
-                                                                spec = spec.input_rate(rate);
-                                                                name.push_str(&format!(
-                                                                    "/rate={rate}"
-                                                                ));
-                                                            }
-                                                            if let Some(relayers) = relayers {
-                                                                spec = spec.relayers(relayers);
-                                                                name.push_str(&format!(
-                                                                    "/relayers={relayers}"
-                                                                ));
-                                                            }
-                                                            if let Some(channels) = channels {
-                                                                spec = spec.channels(channels);
-                                                                name.push_str(&format!(
-                                                                    "/channels={channels}"
-                                                                ));
-                                                            }
-                                                            if let Some(rtt) = rtt {
-                                                                spec = spec.rtt_ms(rtt);
-                                                                name.push_str(&format!(
-                                                                    "/rtt={rtt}"
-                                                                ));
-                                                            }
-                                                            if let Some(transfers) = transfers {
-                                                                spec = spec.transfers(transfers);
-                                                                name.push_str(&format!(
-                                                                    "/transfers={transfers}"
-                                                                ));
-                                                            }
-                                                            if let Some(blocks) = blocks {
-                                                                spec =
-                                                                    spec.submission_blocks(blocks);
-                                                                name.push_str(&format!(
-                                                                    "/blocks={blocks}"
-                                                                ));
-                                                            }
-                                                            if let Some(strategy) = strategy {
-                                                                spec = spec.strategy(strategy);
-                                                                name.push_str(&format!(
-                                                                    "/strategy={}",
-                                                                    strategy.label()
-                                                                ));
-                                                            }
-                                                            if let Some(policy) = policy {
-                                                                spec = spec.channel_policy(policy);
-                                                                name.push_str(&format!(
-                                                                    "/policy={}",
-                                                                    policy.label()
-                                                                ));
-                                                            }
-                                                            if let Some(frame_limit) = frame_limit {
-                                                                spec =
-                                                                    spec.frame_limit(frame_limit);
-                                                                name.push_str(&format!(
-                                                                    "/frame={frame_limit}"
-                                                                ));
-                                                            }
-                                                            if let Some(tracking) = tracking {
-                                                                spec = spec
-                                                                    .sequence_tracking(tracking);
-                                                                name.push_str(&format!(
-                                                                    "/seqtrack={}",
-                                                                    tracking.label()
-                                                                ));
-                                                            }
-                                                            if let Some(pull_item) = pull_item {
-                                                                spec = spec
-                                                                    .batched_pull_per_item_us(
-                                                                        pull_item,
+                                                        for topo in axis_ref(&self.topologies) {
+                                                            for seed in axis(&self.seeds) {
+                                                                let mut spec = self.base.clone();
+                                                                let mut name = spec.name.clone();
+                                                                if let Some(rate) = rate {
+                                                                    spec = spec.input_rate(rate);
+                                                                    name.push_str(&format!(
+                                                                        "/rate={rate}"
+                                                                    ));
+                                                                }
+                                                                if let Some(relayers) = relayers {
+                                                                    spec = spec.relayers(relayers);
+                                                                    name.push_str(&format!(
+                                                                        "/relayers={relayers}"
+                                                                    ));
+                                                                }
+                                                                if let Some(channels) = channels {
+                                                                    spec = spec.channels(channels);
+                                                                    name.push_str(&format!(
+                                                                        "/channels={channels}"
+                                                                    ));
+                                                                }
+                                                                if let Some(rtt) = rtt {
+                                                                    spec = spec.rtt_ms(rtt);
+                                                                    name.push_str(&format!(
+                                                                        "/rtt={rtt}"
+                                                                    ));
+                                                                }
+                                                                if let Some(transfers) = transfers {
+                                                                    spec =
+                                                                        spec.transfers(transfers);
+                                                                    name.push_str(&format!(
+                                                                        "/transfers={transfers}"
+                                                                    ));
+                                                                }
+                                                                if let Some(blocks) = blocks {
+                                                                    spec = spec
+                                                                        .submission_blocks(blocks);
+                                                                    name.push_str(&format!(
+                                                                        "/blocks={blocks}"
+                                                                    ));
+                                                                }
+                                                                if let Some(strategy) = strategy {
+                                                                    spec = spec.strategy(strategy);
+                                                                    name.push_str(&format!(
+                                                                        "/strategy={}",
+                                                                        strategy.label()
+                                                                    ));
+                                                                }
+                                                                if let Some(policy) = policy {
+                                                                    spec =
+                                                                        spec.channel_policy(policy);
+                                                                    name.push_str(&format!(
+                                                                        "/policy={}",
+                                                                        policy.label()
+                                                                    ));
+                                                                }
+                                                                if let Some(frame_limit) =
+                                                                    frame_limit
+                                                                {
+                                                                    spec = spec
+                                                                        .frame_limit(frame_limit);
+                                                                    name.push_str(&format!(
+                                                                        "/frame={frame_limit}"
+                                                                    ));
+                                                                }
+                                                                if let Some(tracking) = tracking {
+                                                                    spec = spec.sequence_tracking(
+                                                                        tracking,
                                                                     );
-                                                                name.push_str(&format!(
-                                                                    "/pull_item={pull_item}us"
-                                                                ));
+                                                                    name.push_str(&format!(
+                                                                        "/seqtrack={}",
+                                                                        tracking.label()
+                                                                    ));
+                                                                }
+                                                                if let Some(pull_item) = pull_item {
+                                                                    spec = spec
+                                                                        .batched_pull_per_item_us(
+                                                                            pull_item,
+                                                                        );
+                                                                    name.push_str(&format!(
+                                                                        "/pull_item={pull_item}us"
+                                                                    ));
+                                                                }
+                                                                if let Some(plan) = plan {
+                                                                    spec = spec
+                                                                        .fault_plan(plan.clone());
+                                                                    name.push_str(&format!(
+                                                                        "/faults={}",
+                                                                        plan.label()
+                                                                    ));
+                                                                }
+                                                                if let Some(topo) = topo {
+                                                                    spec =
+                                                                        spec.topology(topo.clone());
+                                                                    name.push_str(&format!(
+                                                                        "/topo={}",
+                                                                        topo.label()
+                                                                    ));
+                                                                }
+                                                                if let Some(seed) = seed {
+                                                                    spec = spec.seed(seed);
+                                                                    name.push_str(&format!(
+                                                                        "/seed={seed}"
+                                                                    ));
+                                                                }
+                                                                specs.push(spec.named(name));
                                                             }
-                                                            if let Some(plan) = plan {
-                                                                spec =
-                                                                    spec.fault_plan(plan.clone());
-                                                                name.push_str(&format!(
-                                                                    "/faults={}",
-                                                                    plan.label()
-                                                                ));
-                                                            }
-                                                            if let Some(seed) = seed {
-                                                                spec = spec.seed(seed);
-                                                                name.push_str(&format!(
-                                                                    "/seed={seed}"
-                                                                ));
-                                                            }
-                                                            specs.push(spec.named(name));
                                                         }
                                                     }
                                                 }
@@ -478,17 +508,24 @@ pub fn run_parallel(specs: &[ExperimentSpec], threads: usize) -> Vec<ScenarioOut
                 let index = next.fetch_add(1, Ordering::Relaxed);
                 let Some(spec) = specs.get(index) else { break };
                 let outcome = scenarios::run(spec);
-                *slots[index].lock().expect("sweep slot poisoned") = Some(outcome);
+                // A poisoned slot only means another worker panicked after
+                // completing its own point; this point's outcome is still
+                // valid, so recover the guard and store it.
+                *slots[index].lock().unwrap_or_else(PoisonError::into_inner) = Some(outcome);
             });
         }
     });
 
     slots
         .into_iter()
-        .map(|slot| {
+        .enumerate()
+        .map(|(index, slot)| {
             slot.into_inner()
-                .expect("sweep slot poisoned")
-                .expect("every sweep point was executed")
+                .unwrap_or_else(PoisonError::into_inner)
+                // Every index below `next` was claimed by some worker; if a
+                // slot is still empty (a worker died mid-point), recompute it
+                // sequentially — determinism makes the rerun identical.
+                .unwrap_or_else(|| scenarios::run(&specs[index]))
         })
         .collect()
 }
@@ -625,6 +662,24 @@ mod tests {
         );
         assert!(points[0].deployment.fault_plan.is_empty());
         assert_eq!(points[3].deployment.fault_plan, crash_plan);
+        assert_eq!(points[3].deployment.seed, 2);
+    }
+
+    #[test]
+    fn topology_axis_expands_with_pair_control_arm_and_labels() {
+        let grid = SweepGrid::new(
+            ExperimentSpec::relayer_throughput()
+                .input_rate(20)
+                .measurement_blocks(3),
+        )
+        .topologies([Topology::pair(), Topology::hub_and_spoke(3)])
+        .seeds([1, 2]);
+        assert_eq!(grid.len(), 4);
+        let points = grid.points();
+        assert_eq!(points[0].name, "relayer_throughput/topo=pair/seed=1");
+        assert_eq!(points[3].name, "relayer_throughput/topo=hub-3/seed=2");
+        assert!(points[0].deployment.topology.is_legacy_pair());
+        assert_eq!(points[3].deployment.topology, Topology::hub_and_spoke(3));
         assert_eq!(points[3].deployment.seed, 2);
     }
 

@@ -22,6 +22,8 @@ use xcc_sim::{SimDuration, SimTime};
 use xcc_tendermint::hash::Hash;
 
 use crate::config::WorkloadConfig;
+use crate::topology::HopRoute;
+use xcc_ibc::events as ibc_events;
 use xcc_relayer::relayer::RelayPath;
 
 /// The record of one submitted (or attempted) transfer transaction.
@@ -53,7 +55,14 @@ pub struct SubmissionStats {
     pub rejected: u64,
 }
 
-/// The workload generator bound to the relayer CLI / source-chain RPC.
+/// The workload generator bound to the relayer CLI / source-chain RPCs.
+///
+/// In topology deployments a channel's packets originate on that channel's
+/// own source chain, so the connector holds one RPC endpoint per distinct
+/// source chain and routes each transaction through the endpoint of the
+/// targeted channel. The single-CLI cost model is unchanged: one sequential
+/// CLI process signs and broadcasts every transaction, whichever chain it
+/// lands on.
 pub struct WorkloadConnector {
     config: WorkloadConfig,
     paths: Vec<RelayPath>,
@@ -61,10 +70,14 @@ pub struct WorkloadConnector {
     /// `pattern[i % pattern.len()]`.
     channel_pattern: Vec<usize>,
     next_tx: usize,
-    rpc: RpcEndpoint,
+    /// One RPC endpoint per distinct source chain; `path_rpc[channel]`
+    /// indexes the endpoint serving that channel's source chain.
+    rpcs: Vec<RpcEndpoint>,
+    path_rpc: Vec<usize>,
     users: Vec<AccountId>,
     next_user: usize,
-    fee_denom: String,
+    /// The fee denom of each endpoint's chain, parallel to `rpcs`.
+    fee_denoms: Vec<String>,
     /// The CLI is a single sequential process; this is when it next becomes
     /// free.
     cli_free: SimTime,
@@ -72,8 +85,10 @@ pub struct WorkloadConnector {
     windows_submitted: u64,
     records: Vec<SubmissionRecord>,
     stats: SubmissionStats,
-    /// Locally cached account sequences, refreshed through the RPC.
-    cached_seqs: BTreeMap<AccountId, u64>,
+    /// Locally cached account sequences, refreshed through the RPC; keyed by
+    /// `(endpoint index, account)` since the same account name exists on
+    /// every chain.
+    cached_seqs: BTreeMap<(usize, AccountId), u64>,
 }
 
 impl WorkloadConnector {
@@ -102,11 +117,42 @@ impl WorkloadConnector {
         rpc: RpcEndpoint,
         user_count: usize,
     ) -> Self {
+        let path_rpc = vec![0; paths.len()];
+        Self::for_topology(config, paths, path_rpc, vec![rpc], user_count)
+    }
+
+    /// Creates a workload connector for a topology deployment: `rpcs` holds
+    /// one endpoint per distinct source chain and `path_rpc[channel]` names
+    /// the endpoint whose chain is that channel's packet source.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `paths` is empty, when `path_rpc` is not parallel to
+    /// `paths`, or when an entry of `path_rpc` is out of `rpcs`' range.
+    pub fn for_topology(
+        config: WorkloadConfig,
+        paths: Vec<RelayPath>,
+        path_rpc: Vec<usize>,
+        rpcs: Vec<RpcEndpoint>,
+        user_count: usize,
+    ) -> Self {
         assert!(
             !paths.is_empty(),
             "the workload targets at least one channel"
         );
-        let fee_denom = rpc.chain().borrow().app().fee_denom().to_string();
+        assert_eq!(
+            paths.len(),
+            path_rpc.len(),
+            "path_rpc maps every channel to its source-chain endpoint"
+        );
+        assert!(
+            path_rpc.iter().all(|&r| r < rpcs.len()),
+            "every path_rpc entry indexes into rpcs"
+        );
+        let fee_denoms: Vec<String> = rpcs
+            .iter()
+            .map(|rpc| rpc.chain().borrow().app().fee_denom().to_string())
+            .collect();
         let channel_pattern = config.channel_pattern(paths.len());
         WorkloadConnector {
             remaining: config.total_transfers,
@@ -114,12 +160,13 @@ impl WorkloadConnector {
             paths,
             channel_pattern,
             next_tx: 0,
-            rpc,
+            rpcs,
+            path_rpc,
             users: (0..user_count.max(1))
                 .map(|i| AccountId::new(format!("user-{i}")))
                 .collect(),
             next_user: 0,
-            fee_denom,
+            fee_denoms,
             cli_free: SimTime::ZERO,
             windows_submitted: 0,
             records: Vec::new(),
@@ -169,16 +216,18 @@ impl WorkloadConnector {
             let channel = self.channel_pattern[self.next_tx % self.channel_pattern.len()];
             self.next_tx += 1;
             let path = &self.paths[channel];
+            let endpoint = self.path_rpc[channel];
+            let fee_denom = self.fee_denoms[endpoint].clone();
 
             // The CLI queries the account's committed sequence before signing,
             // exactly like `hermes tx ft-transfer`. A transaction still waiting
             // in the mempool is invisible to this query, which is what causes
             // the account-sequence errors the paper describes (§V) when an
             // account is reused before its previous transaction commits.
-            let seq_resp = self.rpc.account_sequence(t, &user);
+            let seq_resp = self.rpcs[endpoint].account_sequence(t, &user);
             t = seq_resp.ready_at;
             let sequence = seq_resp.value;
-            self.cached_seqs.insert(user.clone(), sequence);
+            self.cached_seqs.insert((endpoint, user.clone()), sequence);
 
             // Building and signing the transaction costs CLI time.
             t += self.config.cli_cost_per_tx + SimDuration::from_micros(40) * batch as u64;
@@ -188,7 +237,7 @@ impl WorkloadConnector {
                     Msg::IbcTransfer(TransferParams {
                         source_port: path.port.clone(),
                         source_channel: path.src_channel.clone(),
-                        denom: self.fee_denom.clone(),
+                        denom: fee_denom.clone(),
                         amount: 1,
                         sender: user.to_string(),
                         receiver: "user-0".to_string(),
@@ -197,16 +246,17 @@ impl WorkloadConnector {
                     })
                 })
                 .collect();
-            let tx = Tx::new(user.clone(), sequence, msgs, &self.fee_denom);
+            let tx = Tx::new(user.clone(), sequence, msgs, &fee_denom);
             let tx_hash = tx.hash();
-            let resp = self.rpc.broadcast_tx_sync(t, &tx);
+            let resp = self.rpcs[endpoint].broadcast_tx_sync(t, &tx);
             t = resp.ready_at;
 
             self.stats.requests_made += batch as u64;
             match resp.value {
                 Ok(_) => {
                     self.stats.submitted += batch as u64;
-                    self.cached_seqs.insert(user.clone(), sequence + 1);
+                    self.cached_seqs
+                        .insert((endpoint, user.clone()), sequence + 1);
                     self.records.push(SubmissionRecord {
                         tx_hash,
                         broadcast_at: t,
@@ -230,6 +280,248 @@ impl WorkloadConnector {
             }
         }
         self.cli_free = t;
+    }
+}
+
+/// The record of one forwarded (second-leg) transfer transaction of a
+/// multi-hop route.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForwardRecord {
+    /// Index of the hop route (into the run's active route list).
+    pub route: usize,
+    /// Hash of the second-leg transaction.
+    pub tx_hash: Hash,
+    /// Commit time of the first-leg acknowledgement that triggered it.
+    pub triggered_at: SimTime,
+    /// When the forwarder CLI broadcast the second-leg transaction.
+    pub submitted_at: SimTime,
+    /// Number of transfer messages inside.
+    pub transfers: usize,
+    /// Global channel index of the second-leg path.
+    pub channel: usize,
+    /// Whether `broadcast_tx_sync` accepted it into the mempool.
+    pub accepted: bool,
+    /// The error message when the broadcast was rejected.
+    pub error: Option<String>,
+}
+
+/// The multi-hop forwarder: chains a second IBC transfer leg onto every
+/// completed first leg of the workload's hop routes.
+///
+/// The forwarder models the paper-style application-level relaying service a
+/// hub operator runs: it watches the first-leg source chain for packet
+/// acknowledgements and, the moment an ack commits, submits a fresh
+/// fee-denom transfer of equal size on the second leg's source chain (the
+/// hub). It deliberately does **not** chain vouchers — the hub forwards out
+/// of its own liquidity, which keeps the two legs independent IBC transfers
+/// and makes per-hop latency separable in analysis.
+///
+/// Like the workload CLI it is one sequential process with its own
+/// virtual-time lane (`cli_free`); it shares the `user-<i>` accounts, which
+/// is safe because its transactions target chains the workload's direct
+/// traffic does not originate on in hop-plan scenarios.
+pub struct HopForwarder {
+    /// Active routes (in-range entries of the workload's hop plan).
+    routes: Vec<HopRoute>,
+    paths: Vec<RelayPath>,
+    /// Per global path, the chain index its packets originate on.
+    path_src: Vec<usize>,
+    /// One endpoint per second-leg source chain, keyed by chain index.
+    rpcs: BTreeMap<usize, RpcEndpoint>,
+    fee_denoms: BTreeMap<usize, String>,
+    users: Vec<AccountId>,
+    next_user: usize,
+    transfers_per_tx: usize,
+    cli_cost_per_tx: SimDuration,
+    cli_free: SimTime,
+    records: Vec<ForwardRecord>,
+    triggered_per_route: Vec<u64>,
+    accepted_per_route: Vec<u64>,
+    stats: SubmissionStats,
+}
+
+impl HopForwarder {
+    /// Creates a forwarder for `routes`. `path_src` maps every global path
+    /// to its source-chain index and `rpcs` holds one endpoint per
+    /// second-leg source chain (keyed by chain index). An empty route list
+    /// produces an inert forwarder that performs no work at all.
+    pub fn new(
+        config: &WorkloadConfig,
+        routes: Vec<HopRoute>,
+        paths: Vec<RelayPath>,
+        path_src: Vec<usize>,
+        rpcs: BTreeMap<usize, RpcEndpoint>,
+        user_count: usize,
+    ) -> Self {
+        let fee_denoms = rpcs
+            .iter()
+            .map(|(chain, rpc)| {
+                let denom = rpc.chain().borrow().app().fee_denom().to_string();
+                (*chain, denom)
+            })
+            .collect();
+        let route_count = routes.len();
+        HopForwarder {
+            routes,
+            paths,
+            path_src,
+            rpcs,
+            fee_denoms,
+            users: (0..user_count.max(1))
+                .map(|i| AccountId::new(format!("user-{i}")))
+                .collect(),
+            next_user: 0,
+            transfers_per_tx: config.transfers_per_tx,
+            cli_cost_per_tx: config.cli_cost_per_tx,
+            cli_free: SimTime::ZERO,
+            records: Vec::new(),
+            triggered_per_route: vec![0; route_count],
+            accepted_per_route: vec![0; route_count],
+            stats: SubmissionStats::default(),
+        }
+    }
+
+    /// The active hop routes.
+    pub fn routes(&self) -> &[HopRoute] {
+        &self.routes
+    }
+
+    /// The per-transaction forward log.
+    pub fn records(&self) -> &[ForwardRecord] {
+        &self.records
+    }
+
+    /// Aggregate second-leg submission statistics.
+    pub fn stats(&self) -> SubmissionStats {
+        self.stats
+    }
+
+    /// First-leg acknowledgements observed for route `route`, i.e. the
+    /// number of second-leg transfers that should eventually exist.
+    pub fn triggered_transfers(&self, route: usize) -> u64 {
+        self.triggered_per_route.get(route).copied().unwrap_or(0)
+    }
+
+    /// Second-leg transfers accepted into a mempool for route `route`.
+    pub fn accepted_transfers(&self, route: usize) -> u64 {
+        self.accepted_per_route.get(route).copied().unwrap_or(0)
+    }
+
+    /// Reacts to a block committing on chain `chain_idx`: scans the block
+    /// for first-leg `ACK_PACKET` events of the active routes and submits
+    /// one second-leg transfer per acknowledged packet (batched like the
+    /// workload CLI). A forwarder with no routes returns immediately.
+    pub fn on_block_commit(
+        &mut self,
+        chain_idx: usize,
+        height: u64,
+        committed_at: SimTime,
+        chain: &xcc_chain::chain::SharedChain,
+    ) {
+        if self.routes.is_empty() {
+            return;
+        }
+        let mut acked: Vec<u64> = vec![0; self.routes.len()];
+        {
+            let chain = chain.borrow();
+            let Some(block) = chain.block_at(height) else {
+                return;
+            };
+            for result in &block.results {
+                if !result.is_ok() {
+                    continue;
+                }
+                for event in &result.events {
+                    if event.kind != ibc_events::ACK_PACKET {
+                        continue;
+                    }
+                    for (ri, route) in self.routes.iter().enumerate() {
+                        if self.path_src[route.first_leg] != chain_idx {
+                            continue;
+                        }
+                        let path = &self.paths[route.first_leg];
+                        if ibc_events::is_for_channel(event, &path.port, &path.src_channel) {
+                            acked[ri] += 1;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut t = self.cli_free.max(committed_at);
+        let mut submitted_any = false;
+        for (ri, &route_acks) in acked.iter().enumerate() {
+            let mut remaining = route_acks;
+            if remaining == 0 {
+                continue;
+            }
+            self.triggered_per_route[ri] += remaining;
+            let route = self.routes[ri];
+            let second = route.second_leg;
+            let src = self.path_src[second];
+            let Some(fee_denom) = self.fee_denoms.get(&src).cloned() else {
+                continue;
+            };
+            while remaining > 0 {
+                let batch = (self.transfers_per_tx as u64).min(remaining) as usize;
+                remaining -= batch as u64;
+                submitted_any = true;
+
+                let user = self.users[self.next_user % self.users.len()].clone();
+                self.next_user += 1;
+                let path = self.paths[second].clone();
+                let Some(rpc) = self.rpcs.get_mut(&src) else {
+                    break;
+                };
+                let seq_resp = rpc.account_sequence(t, &user);
+                t = seq_resp.ready_at;
+                let sequence = seq_resp.value;
+                t += self.cli_cost_per_tx + SimDuration::from_micros(40) * batch as u64;
+
+                let msgs: Vec<Msg> = (0..batch)
+                    .map(|_| {
+                        Msg::IbcTransfer(TransferParams {
+                            source_port: path.port.clone(),
+                            source_channel: path.src_channel.clone(),
+                            denom: fee_denom.clone(),
+                            amount: 1,
+                            sender: user.to_string(),
+                            receiver: "user-0".to_string(),
+                            timeout_height: Height::ZERO,
+                            timeout_timestamp: SimTime::ZERO,
+                        })
+                    })
+                    .collect();
+                let tx = Tx::new(user.clone(), sequence, msgs, &fee_denom);
+                let tx_hash = tx.hash();
+                let resp = rpc.broadcast_tx_sync(t, &tx);
+                t = resp.ready_at;
+
+                self.stats.requests_made += batch as u64;
+                let accepted = resp.value.is_ok();
+                let error = resp.value.err().map(|e| e.to_string());
+                if accepted {
+                    self.stats.submitted += batch as u64;
+                    self.accepted_per_route[ri] += batch as u64;
+                } else {
+                    self.stats.rejected += batch as u64;
+                }
+                self.records.push(ForwardRecord {
+                    route: ri,
+                    tx_hash,
+                    triggered_at: committed_at,
+                    submitted_at: t,
+                    transfers: batch,
+                    channel: second,
+                    accepted,
+                    error,
+                });
+            }
+        }
+        if submitted_any {
+            self.cli_free = t;
+        }
     }
 }
 

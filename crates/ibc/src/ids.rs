@@ -112,6 +112,14 @@ identifier!(
     "port"
 );
 
+identifier!(
+    /// Identifies a chain in a testnet topology, e.g. `ibc-0`. Chain
+    /// identifiers follow the same ICS-24 character rules as the other
+    /// identifiers so they can appear in client/connection metadata.
+    ChainId,
+    "chain"
+);
+
 impl PortId {
     /// The well-known port of the ICS-20 fungible token transfer module.
     pub fn transfer() -> Self {
@@ -204,5 +212,13 @@ mod tests {
         assert_eq!(ClientId::with_index(0).index(), Some(0));
         assert_eq!(PortId::transfer().index(), None);
         assert_eq!(ChannelId::new("mychannel").index(), None);
+    }
+
+    #[test]
+    fn chain_identifiers_follow_ics24_rules() {
+        assert_eq!(ChainId::new("ibc-0").as_str(), "ibc-0");
+        assert_eq!(ChainId::with_index(2).as_str(), "chain-2");
+        assert!(ChainId::from_str("ibc-hub").is_ok());
+        assert!(ChainId::from_str("Gaia").is_err());
     }
 }

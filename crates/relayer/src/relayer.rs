@@ -66,7 +66,7 @@ use xcc_chain::tx::Tx;
 use xcc_ibc::commitment::CommitmentProof;
 use xcc_ibc::events as ibc_events;
 use xcc_ibc::height::Height;
-use xcc_ibc::ids::{ChannelId, ClientId, PortId, Sequence};
+use xcc_ibc::ids::{ChainId, ChannelId, ClientId, PortId, Sequence};
 use xcc_ibc::packet::Packet;
 use xcc_rpc::endpoint::{BroadcastError, LaneStats, RpcEndpoint};
 use xcc_sim::{SimDuration, SimTime};
@@ -111,8 +111,16 @@ pub enum ChainRole {
 }
 
 /// The identifiers of one channel the relayer serves.
+///
+/// A path is keyed by its `(src_chain, dst_chain)` endpoints rather than an
+/// implicit A/B orientation, so the same relayer type serves any edge of an
+/// N-chain topology graph.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RelayPath {
+    /// The chain transfers originate from on this path.
+    pub src_chain: ChainId,
+    /// The chain transfers are delivered to on this path.
+    pub dst_chain: ChainId,
     /// The port on both ends (`transfer` for ICS-20).
     pub port: PortId,
     /// Channel end on the source chain.
@@ -123,6 +131,19 @@ pub struct RelayPath {
     pub client_on_dst: ClientId,
     /// The client hosted on the source chain that tracks the destination.
     pub client_on_src: ClientId,
+}
+
+impl RelayPath {
+    /// The role `chain` plays on this path, if it is one of the endpoints.
+    pub fn role_of(&self, chain: &ChainId) -> Option<ChainRole> {
+        if chain == &self.src_chain {
+            Some(ChainRole::Source)
+        } else if chain == &self.dst_chain {
+            Some(ChainRole::Destination)
+        } else {
+            None
+        }
+    }
 }
 
 /// Aggregate counters describing one relayer's activity.
@@ -1621,6 +1642,8 @@ mod tests {
         // The broadcast path never touches channel state, so a nominal path
         // is enough to construct the driver.
         let path = RelayPath {
+            src_chain: ChainId::new("src-chain"),
+            dst_chain: ChainId::new("dst-chain"),
             port: xcc_ibc::ids::PortId::transfer(),
             src_channel: ChannelId::with_index(0),
             dst_channel: ChannelId::with_index(0),
@@ -1694,6 +1717,8 @@ mod tests {
         let dst = chain_with_mempool("dst-chain", 100);
         let src = chain_with_mempool("src-chain", 100);
         let path = |i: u64| RelayPath {
+            src_chain: ChainId::new("src-chain"),
+            dst_chain: ChainId::new("dst-chain"),
             port: xcc_ibc::ids::PortId::transfer(),
             src_channel: ChannelId::with_index(i),
             dst_channel: ChannelId::with_index(i),

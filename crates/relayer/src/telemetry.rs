@@ -273,10 +273,21 @@ impl TelemetryLog {
     /// Merges another log into this one (used when aggregating the telemetry
     /// of several relayer instances); per step, the earliest time wins.
     pub fn merge(&mut self, other: &TelemetryLog) {
+        self.merge_offset(other, 0);
+    }
+
+    /// Merges another log, shifting every channel index by `channel_offset`.
+    ///
+    /// Relayer processes number channels locally (their first assigned
+    /// channel is 0); when a fleet spans several topology edges the
+    /// aggregator re-keys each process's log into the global edge-major
+    /// channel space by passing the edge's channel offset. An offset of 0 is
+    /// exactly [`merge`](TelemetryLog::merge).
+    pub fn merge_offset(&mut self, other: &TelemetryLog, channel_offset: u64) {
         for (channel, chan) in &other.steps {
             for (seq, steps) in chan {
                 for (step, time) in steps {
-                    self.record_on(*channel, Sequence::from(*seq), *step, *time);
+                    self.record_on(channel + channel_offset, Sequence::from(*seq), *step, *time);
                 }
             }
         }

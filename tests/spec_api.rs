@@ -80,6 +80,8 @@ fn registry_lookup_returns_every_figure_name() {
         "relayer_crash",
         "chain_halt",
         "client_expiry",
+        "hub_spoke_scaling",
+        "mesh_contention",
         "smoke",
     ];
     assert_eq!(registry::names(), expected);
