@@ -15,10 +15,12 @@
 //! non-zero on any drift — CI runs this so the fixtures can never silently
 //! diverge from the code that produces them.
 
+use serde::{Deserialize, Serialize};
+use xcc_bench::timing::Stopwatch;
 use xcc_framework::registry;
 use xcc_framework::scenarios;
 use xcc_framework::spec::ExperimentSpec;
-use xcc_framework::{ScenarioOutcome, SweepMode};
+use xcc_framework::{ScenarioOutcome, SweepMode, WorkProfile};
 use xcc_relayer::strategy::{ChannelPolicy, SequenceTracking};
 
 /// The spec set behind the golden fixtures: one small point per paper figure
@@ -288,46 +290,176 @@ fn check_fixtures() -> usize {
     drifted
 }
 
-/// `--bench` mode: times the release-mode replay of every golden fixture set
-/// and writes `BENCH_golden.json` at the workspace root, so the replay cost
-/// trajectory stays visible across PRs. "Events" are fully completed
-/// transfers — the unit every golden scenario produces and the denominator
-/// the paper's throughput figures use.
-fn bench_fixtures() -> std::io::Result<()> {
-    let mut set_rows = String::new();
+/// One fixture set's row in `BENCH_golden.json`: how long the host took to
+/// replay it, and the exact xcc-prof work counters the replay performed.
+///
+/// `wall_clock_secs`/`events_per_sec` are human-facing and machine-dependent;
+/// `outcomes`/`completed_transfers`/`work` are deterministic and exact-match
+/// checked by `--bench --compare` (see docs/PERFORMANCE.md).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct BenchSet {
+    fixture: String,
+    outcomes: u64,
+    completed_transfers: u64,
+    wall_clock_secs: f64,
+    events_per_sec: f64,
+    work: WorkProfile,
+}
+
+/// The whole-replay totals: every field is the sum over [`BenchSet`] rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct BenchTotal {
+    wall_clock_secs: f64,
+    completed_transfers: u64,
+    events_per_sec: f64,
+    work: WorkProfile,
+}
+
+/// The `BENCH_golden.json` document written by `--bench` and diffed by
+/// `--bench --compare`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct BenchReport {
+    harness: String,
+    event_unit: String,
+    sets: Vec<BenchSet>,
+    total: BenchTotal,
+}
+
+/// Replays every golden fixture set, timing each and collecting its
+/// deterministic work profile. "Events" are fully completed transfers — the
+/// unit every golden scenario produces and the denominator the paper's
+/// throughput figures use.
+fn run_bench() -> BenchReport {
+    let mut sets = Vec::new();
     let mut total_secs = 0.0_f64;
     let mut total_completed = 0_u64;
+    let mut total_work = WorkProfile::default();
     for (path, specs) in fixture_sets() {
-        // xcc-lint: allow(wall-clock, reason = "bench harness timing only: measures the host replaying the fixtures, never feeds simulated state")
-        let start = std::time::Instant::now();
-        let outcomes = regenerate(&specs);
-        let secs = start.elapsed().as_secs_f64();
+        let watch = Stopwatch::start();
+        let mut work = WorkProfile::default();
+        let mut outcomes = Vec::new();
+        for spec in &specs {
+            let run = scenarios::run_raw(spec);
+            work = work.merged(&run.work);
+            outcomes.push(scenarios::outcome_from(spec, &run));
+        }
+        let secs = watch.elapsed_secs();
         let completed: u64 = outcomes.iter().map(|o| o.completed()).sum();
         total_secs += secs;
         total_completed += completed;
-        if !set_rows.is_empty() {
-            set_rows.push_str(",\n");
-        }
-        set_rows.push_str(&format!(
-            "    {{\n      \"fixture\": \"{path}\",\n      \"outcomes\": {},\n      \
-             \"completed_transfers\": {completed},\n      \"wall_clock_secs\": {secs:.3},\n      \
-             \"events_per_sec\": {:.1}\n    }}",
-            outcomes.len(),
-            rate(completed, secs),
-        ));
+        total_work = total_work.merged(&work);
         eprintln!("bench: {path}: {secs:.3}s, {completed} completed transfers");
+        sets.push(BenchSet {
+            fixture: path.to_string(),
+            outcomes: outcomes.len() as u64,
+            completed_transfers: completed,
+            wall_clock_secs: round3(secs),
+            events_per_sec: round1(rate(completed, secs)),
+            work,
+        });
     }
-    let report = format!(
-        "{{\n  \"harness\": \"goldens --bench\",\n  \"event_unit\": \"completed_transfers\",\n  \
-         \"sets\": [\n{set_rows}\n  ],\n  \"total\": {{\n    \"wall_clock_secs\": \
-         {total_secs:.3},\n    \"completed_transfers\": {total_completed},\n    \
-         \"events_per_sec\": {:.1}\n  }}\n}}\n",
-        rate(total_completed, total_secs),
-    );
-    std::fs::write("BENCH_golden.json", &report)?;
-    println!("{report}");
+    BenchReport {
+        harness: "goldens --bench".to_string(),
+        event_unit: "completed_transfers".to_string(),
+        sets,
+        total: BenchTotal {
+            wall_clock_secs: round3(total_secs),
+            completed_transfers: total_completed,
+            events_per_sec: round1(rate(total_completed, total_secs)),
+            work: total_work,
+        },
+    }
+}
+
+/// `--bench` mode: times the release-mode replay of every golden fixture set
+/// and writes `BENCH_golden.json` at the workspace root, so the replay cost
+/// trajectory stays visible across PRs.
+fn bench_fixtures() -> std::io::Result<()> {
+    let report = run_bench();
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write("BENCH_golden.json", format!("{json}\n"))?;
+    println!("{json}");
     eprintln!("bench: wrote BENCH_golden.json");
     Ok(())
+}
+
+/// `--bench --compare` mode: replays every set in-memory and diffs the
+/// deterministic columns against the committed `BENCH_golden.json`. Counter
+/// or outcome drift is a failure (the caller exits 2); wall-clock deltas are
+/// printed but never fail — timings are machine-dependent, counters are not.
+fn compare_bench() -> usize {
+    let committed: BenchReport = match std::fs::read_to_string("BENCH_golden.json") {
+        Ok(contents) => match serde_json::from_str(&contents) {
+            Ok(report) => report,
+            Err(err) => {
+                eprintln!("DRIFT: BENCH_golden.json does not parse: {err}");
+                return 1;
+            }
+        },
+        Err(err) => {
+            eprintln!("DRIFT: cannot read BENCH_golden.json: {err}");
+            return 1;
+        }
+    };
+    let fresh = run_bench();
+    let mut drifted = 0;
+    if fresh.sets.len() != committed.sets.len() {
+        eprintln!(
+            "DRIFT: BENCH_golden.json pins {} set(s), the replay produced {}",
+            committed.sets.len(),
+            fresh.sets.len()
+        );
+        drifted += 1;
+    }
+    for (fresh_set, pinned) in fresh.sets.iter().zip(&committed.sets) {
+        if fresh_set.fixture != pinned.fixture {
+            eprintln!(
+                "DRIFT: set order changed: expected `{}`, got `{}`",
+                pinned.fixture, fresh_set.fixture
+            );
+            drifted += 1;
+            continue;
+        }
+        let mut complaints = Vec::new();
+        if fresh_set.outcomes != pinned.outcomes {
+            complaints.push(format!(
+                "outcomes {} -> {}",
+                pinned.outcomes, fresh_set.outcomes
+            ));
+        }
+        if fresh_set.completed_transfers != pinned.completed_transfers {
+            complaints.push(format!(
+                "completed_transfers {} -> {}",
+                pinned.completed_transfers, fresh_set.completed_transfers
+            ));
+        }
+        if fresh_set.work != pinned.work {
+            complaints.push(format!(
+                "work counters diverged (pinned {:?}, got {:?})",
+                pinned.work, fresh_set.work
+            ));
+        }
+        if complaints.is_empty() {
+            println!(
+                "ok: {} ({:.3}s now vs {:.3}s pinned)",
+                pinned.fixture, fresh_set.wall_clock_secs, pinned.wall_clock_secs
+            );
+        } else {
+            eprintln!("DRIFT: {}: {}", pinned.fixture, complaints.join("; "));
+            drifted += 1;
+        }
+    }
+    if fresh.total.work != committed.total.work
+        || fresh.total.completed_transfers != committed.total.completed_transfers
+    {
+        eprintln!("DRIFT: totals diverged from BENCH_golden.json");
+        drifted += 1;
+    }
+    println!(
+        "wall-clock (informational): {:.3}s now vs {:.3}s pinned",
+        fresh.total.wall_clock_secs, committed.total.wall_clock_secs
+    );
+    drifted
 }
 
 fn rate(events: u64, secs: f64) -> f64 {
@@ -338,9 +470,26 @@ fn rate(events: u64, secs: f64) -> f64 {
     }
 }
 
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+fn round1(x: f64) -> f64 {
+    (x * 10.0).round() / 10.0
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--bench") {
+        if args.iter().any(|a| a == "--compare") {
+            let drifted = compare_bench();
+            if drifted > 0 {
+                eprintln!("{drifted} bench row(s) drifted");
+                std::process::exit(2);
+            }
+            println!("bench counters match BENCH_golden.json");
+            return;
+        }
         bench_fixtures().expect("bench report written");
         return;
     }

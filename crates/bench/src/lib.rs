@@ -12,6 +12,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod timing;
+
 use xcc_framework::outcome;
 use xcc_framework::registry;
 use xcc_framework::sweep::{OutputFormat, SweepMode};

@@ -1,0 +1,41 @@
+//! The bench harness's wall-clock shim — the one place `Instant` is legal.
+//!
+//! The xcc-lint wall-clock rule (D2) bans `Instant`/`SystemTime` everywhere
+//! in the workspace and carries a scoped exemption for exactly this file
+//! (see `WALL_CLOCK_EXEMPT` in `xcc-lint`'s rules, pinned by the rule's
+//! fixture test). The stopwatch measures the *host machine* replaying golden
+//! fixtures, producing the human-facing `wall_clock_secs` numbers in
+//! `BENCH_golden.json`; it never feeds simulated state, which is why the
+//! exemption is sound. The exact-match regression signal is the xcc-prof
+//! work counters, never these timings — see docs/PERFORMANCE.md.
+
+/// A started wall-clock measurement.
+pub struct Stopwatch {
+    started: std::time::Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    #[allow(clippy::new_without_default)]
+    pub fn start() -> Self {
+        Stopwatch {
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Seconds elapsed since [`Stopwatch::start`].
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_reports_non_negative_elapsed_time() {
+        let watch = Stopwatch::start();
+        assert!(watch.elapsed_secs() >= 0.0);
+    }
+}

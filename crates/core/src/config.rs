@@ -71,6 +71,13 @@ pub struct DeploymentConfig {
     /// earlier golden fixture) parses to a deployment that behaves
     /// bit-identically to the old pair path.
     pub topology: Topology,
+    /// When true, scenario outcomes additionally report the run's
+    /// deterministic work counters (`work_*` metrics — see
+    /// [`crate::work::WorkProfile`] and docs/PERFORMANCE.md). Off by
+    /// default, and — unlike every unconditional field above — the key is
+    /// only *serialized* when set, so specs that never asked for profiling
+    /// (every committed golden fixture) keep their JSON bytes unchanged.
+    pub profile_work: bool,
 }
 
 impl Default for DeploymentConfig {
@@ -91,6 +98,7 @@ impl Default for DeploymentConfig {
             report_broadcast_failures: false,
             fault_plan: FaultPlan::default(),
             topology: Topology::default(),
+            profile_work: false,
         }
     }
 }
@@ -106,7 +114,7 @@ pub const DEFAULT_BATCHED_PULL_PER_ITEM_US: u64 = 120;
 // single-channel, default-strategy deployment.
 impl Serialize for DeploymentConfig {
     fn to_value(&self) -> Value {
-        Value::Map(vec![
+        let mut fields = vec![
             ("source_chain_id".into(), self.source_chain_id.to_value()),
             (
                 "destination_chain_id".into(),
@@ -137,7 +145,13 @@ impl Serialize for DeploymentConfig {
             ),
             ("fault_plan".into(), self.fault_plan.to_value()),
             ("topology".into(), self.topology.to_value()),
-        ])
+        ];
+        // Skip-default: emitted only when set, so pre-profiling spec JSON —
+        // every committed golden fixture — serializes byte-identically.
+        if self.profile_work {
+            fields.push(("profile_work".into(), self.profile_work.to_value()));
+        }
+        Value::Map(fields)
     }
 }
 
@@ -181,6 +195,9 @@ impl Deserialize for DeploymentConfig {
             // Missing (pre-topology JSON) means the legacy-pair sentinel:
             // the two-chain line the paper's testbed hard-wires.
             topology: de_field_or_default(map, "topology")?,
+            // Missing (pre-profiling JSON, and every run that did not ask
+            // for counters) means profiling metrics are not emitted.
+            profile_work: de_field_or_default(map, "profile_work")?,
         })
     }
 }

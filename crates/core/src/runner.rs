@@ -61,12 +61,13 @@ use xcc_ibc::events as ibc_events;
 use xcc_relayer::relayer::RelayerStats;
 use xcc_relayer::telemetry::{TelemetryLog, TransferStep};
 use xcc_rpc::endpoint::{LaneStats, RpcEndpoint};
-use xcc_sim::{FaultKind, Scheduler, SimDuration, SimTime};
+use xcc_sim::{prof, FaultKind, Scheduler, SchedulerBackend, SimDuration, SimTime};
 use xcc_tendermint::hash::Hash;
 
 use crate::config::{DeploymentConfig, WorkloadConfig};
 use crate::testnet::{make_rpc, SetupError, Testnet};
 use crate::topology::HopRoute;
+use crate::work::WorkProfile;
 use crate::workload::{
     ForwardRecord, HopForwarder, SubmissionRecord, SubmissionStats, WorkloadConnector,
 };
@@ -137,6 +138,9 @@ pub struct RunOutput {
     pub workload: WorkloadConfig,
     /// The deployment configuration that was executed.
     pub deployment: DeploymentConfig,
+    /// The run's deterministic work profile (xcc-prof counters, setup and
+    /// teardown included) — see [`crate::work`].
+    pub work: WorkProfile,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -248,6 +252,10 @@ pub fn run_experiment(
     deployment: &DeploymentConfig,
     workload_config: &WorkloadConfig,
 ) -> Result<RunOutput, SetupError> {
+    // Counters cover the whole run, setup (handshakes, funding) included:
+    // the profile should account for every unit of work a spec costs, not
+    // just the measurement window.
+    prof::reset();
     let mut testnet = Testnet::try_build(deployment)?;
     let chain_count = testnet.chains.len();
     let path_src: Vec<usize> = testnet.path_ends.iter().map(|&(src, _)| src).collect();
@@ -319,7 +327,15 @@ pub fn run_experiment(
     );
 
     let min_interval = deployment.min_block_interval;
-    let mut sched: Scheduler<Ev> = Scheduler::new();
+    // Both backends pop the exact same `(time, seq)` FIFO sequence
+    // (equivalence-tested in xcc-sim and by the scheduler property tests),
+    // so the choice is pure host-side cost. The xcc-prof counters showed the
+    // runner's queue is tiny — a few hundred events per run, dwarfed by the
+    // work inside each handler — and on that shape the measured golden
+    // replay is faster on the heap than on the hierarchical wheel (whose
+    // cascade bookkeeping only pays off at much higher event rates), so the
+    // heap stays the default. See docs/PERFORMANCE.md.
+    let mut sched: Scheduler<Ev> = Scheduler::with_backend(SchedulerBackend::Heap);
     // Every chain committed block 1 during setup at t = 0; their block
     // streams start in topology order (chain 0 first, like the old
     // `BlockA` / `BlockB` insertion sequence).
@@ -512,6 +528,7 @@ pub fn run_experiment(
                 }
             }
             Ev::RelayerWake(id) => {
+                prof::bump_relayer_wake();
                 if let Some((_, pending)) = wakes_due.iter_mut().find(|(at, _)| *at == t) {
                     *pending = pending.saturating_sub(1);
                 }
@@ -652,6 +669,7 @@ pub fn run_experiment(
         measurement_end,
         workload: workload_config.clone(),
         deployment: deployment.clone(),
+        work: WorkProfile::from_counters(&prof::snapshot()),
     })
 }
 

@@ -7,12 +7,13 @@
 //! and non-membership proofs that counterparty chains verify against the
 //! consensus state recorded by their light clients.
 
+use std::cell::OnceCell;
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 use xcc_tendermint::hash::{hash_fields, Hash};
-use xcc_tendermint::merkle::{prove, simple_root, MerkleProof};
+use xcc_tendermint::merkle::{MerkleProof, MerkleTree};
 
 /// A commitment root: the Merkle root of the IBC store at some height.
 pub type CommitmentRoot = Hash;
@@ -31,9 +32,52 @@ pub type CommitmentRoot = Hash;
 /// let proof = store.prove_membership("commitments/ports/transfer/channels/channel-0/sequences/1").unwrap();
 /// assert!(proof.verify(&root));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// # Proof-generation caching
+///
+/// The Merkle tree over the entries is memoized: building it hashes every
+/// leaf (O(n)), and the relayer's data pulls request one proof per packet
+/// sequence, so the uncached store paid O(n) hashing *per proof* — the
+/// dominant cost of whole-experiment replays. The cache is invalidated by
+/// every mutation ([`set`](CommitmentStore::set) /
+/// [`delete`](CommitmentStore::delete)) and rebuilt lazily on the next
+/// [`root`](CommitmentStore::root) or proof, so roots and proofs stay
+/// bit-identical to the uncached construction (pinned by the equivalence
+/// test in `xcc_tendermint::merkle`).
+#[derive(Debug, Clone, Default)]
 pub struct CommitmentStore {
     entries: BTreeMap<String, Hash>,
+    /// Memoized Merkle tree over `entries`, excluded from comparison and
+    /// the wire format; cleared on every mutation.
+    // xcc-lint: allow(serde-field-coverage, reason = "in-memory memo of the Merkle tree; rebuilt from `entries`, must never itself appear in the wire encoding")
+    tree: OnceCell<MerkleTree>,
+}
+
+impl PartialEq for CommitmentStore {
+    /// Compares the committed entries only: whether the Merkle tree memo is
+    /// built is an evaluation detail, not state.
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+
+impl Eq for CommitmentStore {}
+
+impl Serialize for CommitmentStore {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![("entries".to_string(), self.entries.to_value())])
+    }
+}
+
+impl Deserialize for CommitmentStore {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected map for struct CommitmentStore"))?;
+        Ok(CommitmentStore {
+            entries: serde::de_field(m, "entries")?,
+            tree: OnceCell::new(),
+        })
+    }
 }
 
 /// A membership proof for one path in a [`CommitmentStore`].
@@ -124,6 +168,7 @@ impl CommitmentStore {
     /// Sets the commitment at `path`.
     pub fn set(&mut self, path: impl Into<String>, value: Hash) {
         self.entries.insert(path.into(), value);
+        self.tree.take();
     }
 
     /// Reads the commitment at `path`.
@@ -138,7 +183,11 @@ impl CommitmentStore {
 
     /// Deletes the commitment at `path`, returning it if present.
     pub fn delete(&mut self, path: &str) -> Option<Hash> {
-        self.entries.remove(path)
+        let removed = self.entries.remove(path);
+        if removed.is_some() {
+            self.tree.take();
+        }
+        removed
     }
 
     /// Iterates over paths with the given prefix.
@@ -159,29 +208,34 @@ impl CommitmentStore {
         if self.entries.is_empty() {
             return hash_fields(&[b"empty-ibc-store"]);
         }
-        let leaves: Vec<Vec<u8>> = self
-            .entries
-            .iter()
-            .map(|(k, v)| leaf_encoding(k, v))
-            .collect();
-        simple_root(leaves.iter().map(|l| l.as_slice()))
+        self.tree().root()
     }
 
     /// Produces a membership proof for `path`, if it exists.
     pub fn prove_membership(&self, path: &str) -> Option<CommitmentProof> {
         let value = *self.entries.get(path)?;
-        let leaves: Vec<Vec<u8>> = self
-            .entries
-            .iter()
-            .map(|(k, v)| leaf_encoding(k, v))
-            .collect();
-        let index = self.entries.keys().position(|k| k == path)?;
-        let (root, merkle) = prove(leaves.iter().map(|l| l.as_slice()), index)?;
+        let below = (std::ops::Bound::Unbounded, std::ops::Bound::Excluded(path));
+        let index = self.entries.range::<str, _>(below).count();
+        let tree = self.tree();
+        let merkle = tree.prove(index)?;
         Some(CommitmentProof {
             path: path.to_string(),
             value,
             merkle: Some(merkle),
-            root,
+            root: tree.root(),
+        })
+    }
+
+    /// The memoized Merkle tree over the current entries, built on first use
+    /// after a mutation.
+    fn tree(&self) -> &MerkleTree {
+        self.tree.get_or_init(|| {
+            let leaves: Vec<Vec<u8>> = self
+                .entries
+                .iter()
+                .map(|(k, v)| leaf_encoding(k, v))
+                .collect();
+            MerkleTree::build(leaves.iter().map(|l| l.as_slice()))
         })
     }
 
@@ -274,6 +328,49 @@ mod tests {
         let acks: Vec<&String> = s.iter_prefix("acks/").map(|(k, _)| k).collect();
         assert_eq!(acks.len(), 2);
         assert!(acks.iter().all(|k| k.starts_with("acks/")));
+    }
+
+    #[test]
+    fn memoized_tree_invalidates_on_every_mutation() {
+        let mut cached = CommitmentStore::new();
+        for i in 0..13 {
+            cached.set(
+                format!("commitments/{i}"),
+                sha256(format!("v{i}").as_bytes()),
+            );
+        }
+        // Interleave reads (which build the memo) with mutations: after each
+        // step the root and proofs must equal a fresh, never-mutated store's.
+        let reference = |s: &CommitmentStore| {
+            let mut fresh = CommitmentStore::new();
+            for (k, v) in s.entries.iter() {
+                fresh.set(k.clone(), *v);
+            }
+            fresh
+        };
+        assert_eq!(cached.root(), reference(&cached).root());
+
+        cached.set("commitments/5", sha256(b"rewritten"));
+        assert_eq!(cached.root(), reference(&cached).root());
+        assert_eq!(
+            cached.prove_membership("commitments/5"),
+            reference(&cached).prove_membership("commitments/5")
+        );
+
+        cached.delete("commitments/9");
+        assert_eq!(cached.root(), reference(&cached).root());
+        assert_eq!(
+            cached.prove_membership("commitments/12"),
+            reference(&cached).prove_membership("commitments/12")
+        );
+        assert!(cached
+            .prove_membership("commitments/12")
+            .unwrap()
+            .verify(&cached.root()));
+
+        // A clone carries correct state even if taken mid-memo.
+        let cloned = cached.clone();
+        assert_eq!(cloned.root(), cached.root());
     }
 
     #[test]

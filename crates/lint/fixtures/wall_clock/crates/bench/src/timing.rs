@@ -1,0 +1,7 @@
+//! D2 fixture: the bench timing shim path is the rule's scoped exemption —
+//! `Instant` here must NOT be flagged, with no suppression comment needed.
+
+pub fn host_stopwatch_is_legal_here() -> f64 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_secs_f64()
+}

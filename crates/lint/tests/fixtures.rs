@@ -83,6 +83,36 @@ fn wall_clock_fixture_fails() {
     assert_eq!(check_exit_code(&root, "wall-clock"), 2);
 }
 
+/// The D2 exemption is scoped to the bench timing shim and nowhere else:
+/// the fixture's `crates/bench/src/timing.rs` uses `Instant` with no
+/// suppression comment and must stay silent, while the identical use in
+/// `crates/sim/src/bad.rs` still fails.
+#[test]
+fn wall_clock_exemption_covers_only_the_bench_timing_shim() {
+    let root = fixture("wall_clock");
+    let outcome = rules::run(&Config {
+        root: root.clone(),
+        rules: vec![RuleId::WallClock, RuleId::Suppression],
+    })
+    .expect("scan succeeds");
+    assert!(
+        !outcome
+            .findings
+            .iter()
+            .any(|f| f.path == "crates/bench/src/timing.rs"),
+        "the timing shim must be exempt: {:?}",
+        outcome.findings
+    );
+    assert!(
+        outcome
+            .findings
+            .iter()
+            .any(|f| f.path == "crates/sim/src/bad.rs" && f.message.contains("`Instant`")),
+        "`Instant` outside the shim must still fail: {:?}",
+        outcome.findings
+    );
+}
+
 #[test]
 fn ambient_entropy_fixture_fails() {
     let root = fixture("ambient_entropy");

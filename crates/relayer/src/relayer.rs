@@ -69,7 +69,7 @@ use xcc_ibc::height::Height;
 use xcc_ibc::ids::{ChainId, ChannelId, ClientId, PortId, Sequence};
 use xcc_ibc::packet::Packet;
 use xcc_rpc::endpoint::{BroadcastError, LaneStats, RpcEndpoint};
-use xcc_sim::{SimDuration, SimTime};
+use xcc_sim::{prof, SimDuration, SimTime};
 use xcc_tendermint::abci::Event;
 use xcc_tendermint::hash::Hash;
 
@@ -675,7 +675,7 @@ impl Relayer {
         event_time: SimTime,
         batch: &crate::stages::BlockEventBatch,
     ) {
-        for (hash, code, events) in &batch.tx_events {
+        for (hash, code, events) in batch.tx_events.iter() {
             self.note_committed_tx(ChainRole::Source, hash, *code, event_time);
             if *code != 0 {
                 continue;
@@ -831,7 +831,7 @@ impl Relayer {
         let mut events_delivered = true;
         match collected {
             Ok(batch) => {
-                for (hash, code, events) in &batch.tx_events {
+                for (hash, code, events) in batch.tx_events.iter() {
                     self.note_committed_tx(ChainRole::Destination, hash, *code, event_time);
                     if *code != 0 {
                         continue;
@@ -1312,6 +1312,7 @@ impl Relayer {
                 ibc.unacknowledged_packets(&path.port, &path.src_channel, &sent)
             }
             .into_iter()
+            .inspect(|_| prof::bump_clear_scan_visit())
             .filter(|seq| self.assigned(src_height, *seq))
             // Skip packets already in this instance's hands: queued for a
             // later flush, or successfully broadcast and awaiting
@@ -1379,6 +1380,7 @@ impl Relayer {
                 let sent = ibc.sent_sequences(&path.port, &path.src_channel);
                 ibc.unacknowledged_packets(&path.port, &path.src_channel, &sent)
                     .into_iter()
+                    .inspect(|_| prof::bump_clear_scan_visit())
                     .filter(|seq| self.assigned(dst_height, *seq))
                     // Skip acknowledgements this instance has already
                     // broadcast and is waiting to see committed, and those a
@@ -1508,7 +1510,10 @@ impl Relayer {
             ChainRole::Source => (&mut self.src_seq, &mut self.src_rpc),
             ChainRole::Destination => (&mut self.dst_seq, &mut self.dst_rpc),
         };
-        let tx = Tx::new(account.clone(), tracker.next(), msgs.clone(), &fee_denom);
+        // `msgs` moves into the transaction; the rare retry paths reclaim it
+        // from `tx.msgs` instead of paying an up-front clone on every
+        // broadcast.
+        let tx = Tx::new(account.clone(), tracker.next(), msgs, &fee_denom);
         let resp = rpc.broadcast_tx_sync(at, &tx);
         let mut ready = resp.ready_at;
         let mut accepted = None;
@@ -1530,7 +1535,7 @@ impl Relayer {
                         let seq_resp = rpc.account_sequence(ready, &account);
                         ready = seq_resp.ready_at;
                         let new_seq = seq_resp.value;
-                        let retry_tx = Tx::new(account, new_seq, msgs, &fee_denom);
+                        let retry_tx = Tx::new(account, new_seq, tx.msgs, &fee_denom);
                         let retry = rpc.broadcast_tx_sync(ready, &retry_tx);
                         ready = retry.ready_at;
                         match retry.value {
@@ -1563,7 +1568,7 @@ impl Relayer {
                         let snap = rpc.account_sequence_unconfirmed(ready, &account);
                         ready = snap.ready_at;
                         if tracker.reconcile(&snap.value) {
-                            let retry_tx = Tx::new(account, tracker.next(), msgs, &fee_denom);
+                            let retry_tx = Tx::new(account, tracker.next(), tx.msgs, &fee_denom);
                             let retry = rpc.broadcast_tx_sync(ready, &retry_tx);
                             ready = retry.ready_at;
                             match retry.value {

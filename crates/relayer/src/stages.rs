@@ -151,11 +151,12 @@ impl EventSource for PollingEventSource {
     ) -> (SimTime, Result<BlockEventBatch, String>) {
         let resp = rpc.block_tx_results(commit_time + relayer_delay, height);
         let payload_bytes = resp.response_bytes;
-        let tx_events = resp
-            .value
-            .into_iter()
-            .map(|view| (view.hash, view.code, view.events))
-            .collect();
+        let tx_events = std::rc::Rc::new(
+            resp.value
+                .into_iter()
+                .map(|view| (view.hash, view.code, view.events))
+                .collect::<Vec<_>>(),
+        );
         (
             resp.ready_at,
             Ok(BlockEventBatch {

@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 use serde::{Deserialize, Serialize};
 
 use xcc_ibc::ids::Sequence;
-use xcc_sim::SimTime;
+use xcc_sim::{prof, SimTime};
 
 /// The 13 steps of a complete cross-chain transfer (Fig. 12 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -64,11 +64,26 @@ impl TransferStep {
 
     /// The 1-based index the paper uses for the step.
     pub fn index(&self) -> usize {
-        Self::ALL
-            .iter()
-            .position(|s| s == self)
-            .expect("step is in ALL")
-            + 1
+        self.slot() + 1
+    }
+
+    /// The step's dense 0-based storage slot (`ALL[slot()] == *self`).
+    const fn slot(self) -> usize {
+        match self {
+            TransferStep::TransferBroadcast => 0,
+            TransferStep::TransferMsgExtraction => 1,
+            TransferStep::TransferConfirmation => 2,
+            TransferStep::TransferDataPull => 3,
+            TransferStep::RecvBuild => 4,
+            TransferStep::RecvBroadcast => 5,
+            TransferStep::RecvMsgExtraction => 6,
+            TransferStep::RecvConfirmation => 7,
+            TransferStep::RecvDataPull => 8,
+            TransferStep::AckBuild => 9,
+            TransferStep::AckBroadcast => 10,
+            TransferStep::AckMsgExtraction => 11,
+            TransferStep::AckConfirmation => 12,
+        }
     }
 
     /// A short human-readable label matching the paper's legend.
@@ -101,6 +116,73 @@ pub struct RelayerError {
     pub message: String,
 }
 
+/// Number of storage slots per packet, one per [`TransferStep`].
+const STEP_SLOTS: usize = TransferStep::ALL.len();
+
+/// The recorded step times of one packet, indexed by `TransferStep::slot`.
+type PacketSteps = [Option<SimTime>; STEP_SLOTS];
+
+/// One channel's packet rows, stored densely by sequence offset.
+///
+/// Packet sequences on a channel are consecutive counters handed out by the
+/// chain, so a per-sequence `Vec` row indexed by `sequence - base` replaces
+/// the former per-packet `BTreeMap` without losing sparseness where it
+/// matters: `base` tracks the smallest sequence seen, and the occasional gap
+/// costs one empty 13-slot row instead of a tree node per step.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+struct ChannelLog {
+    /// Sequence value addressed by `rows[0]`.
+    base: u64,
+    rows: Vec<PacketSteps>,
+}
+
+impl ChannelLog {
+    const EMPTY_ROW: PacketSteps = [None; STEP_SLOTS];
+
+    /// The row for `seq`, growing the dense storage in either direction.
+    fn row_mut(&mut self, seq: u64) -> &mut PacketSteps {
+        if self.rows.is_empty() {
+            self.base = seq;
+            self.rows.push(Self::EMPTY_ROW);
+        } else if seq < self.base {
+            let missing = (self.base - seq) as usize;
+            self.rows
+                .splice(0..0, std::iter::repeat_n(Self::EMPTY_ROW, missing));
+            self.base = seq;
+        }
+        let idx = (seq - self.base) as usize;
+        if idx >= self.rows.len() {
+            self.rows.resize(idx + 1, Self::EMPTY_ROW);
+        }
+        &mut self.rows[idx]
+    }
+
+    /// The row for `seq`, if within the stored range.
+    fn row(&self, seq: u64) -> Option<&PacketSteps> {
+        let idx = seq.checked_sub(self.base)?;
+        self.rows.get(idx as usize)
+    }
+
+    /// `(sequence, row)` for every packet with at least one recorded step,
+    /// in ascending sequence order (gap filler rows are skipped).
+    fn tracked(&self) -> impl Iterator<Item = (u64, &PacketSteps)> {
+        let base = self.base;
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(|(_, row)| row.iter().any(Option::is_some))
+            .map(move |(i, row)| (base + i as u64, row))
+    }
+
+    /// Number of packets with at least one recorded step.
+    fn tracked_len(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|row| row.iter().any(Option::is_some))
+            .count()
+    }
+}
+
 /// The per-packet step log of one relayer instance.
 ///
 /// Packets are keyed by `(channel index, sequence)`: packet sequences are
@@ -110,9 +192,14 @@ pub struct RelayerError {
 /// [`step_time`](TelemetryLog::step_time)) address channel 0 — the primary
 /// channel, and the only one in every single-channel experiment — while the
 /// `*_on` variants take an explicit channel index.
+///
+/// Internally each channel stores its packets as dense rows indexed by
+/// sequence offset (see `ChannelLog`); lookups and records are O(1) in the
+/// packet count where the former triple-`BTreeMap` keying paid a tree walk
+/// per step.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TelemetryLog {
-    steps: BTreeMap<u64, BTreeMap<u64, BTreeMap<TransferStep, SimTime>>>,
+    channels: BTreeMap<u64, ChannelLog>,
     errors: Vec<RelayerError>,
 }
 
@@ -137,20 +224,29 @@ impl TelemetryLog {
         step: TransferStep,
         time: SimTime,
     ) {
-        let entry = self
-            .steps
+        prof::bump_telemetry_record();
+        self.record_inner(channel, sequence, step, time);
+    }
+
+    /// The record path shared with [`merge_offset`](TelemetryLog::merge_offset),
+    /// which re-files already-counted records and must not bump the xcc-prof
+    /// counter again.
+    fn record_inner(
+        &mut self,
+        channel: u64,
+        sequence: Sequence,
+        step: TransferStep,
+        time: SimTime,
+    ) {
+        let cell = &mut self
+            .channels
             .entry(channel)
             .or_default()
-            .entry(sequence.value())
-            .or_default();
-        entry
-            .entry(step)
-            .and_modify(|t| {
-                if time < *t {
-                    *t = time;
-                }
-            })
-            .or_insert(time);
+            .row_mut(sequence.value())[step.slot()];
+        match cell {
+            Some(existing) if *existing <= time => {}
+            _ => *cell = Some(time),
+        }
     }
 
     /// Records an error line.
@@ -187,63 +283,66 @@ impl TelemetryLog {
         sequence: Sequence,
         step: TransferStep,
     ) -> Option<SimTime> {
-        self.steps
+        self.channels
             .get(&channel)
-            .and_then(|chan| chan.get(&sequence.value()))
-            .and_then(|m| m.get(&step))
-            .copied()
+            .and_then(|chan| chan.row(sequence.value()))
+            .and_then(|row| row[step.slot()])
     }
 
     /// All completion times recorded for `step` across every channel, one
-    /// per packet, unordered.
+    /// per packet, in (channel, sequence) order.
     pub fn times_for_step(&self, step: TransferStep) -> Vec<SimTime> {
-        self.steps
+        self.channels
             .values()
-            .flat_map(|chan| chan.values())
-            .filter_map(|m| m.get(&step))
-            .copied()
+            .flat_map(|chan| chan.rows.iter())
+            .filter_map(|row| row[step.slot()])
             .collect()
     }
 
     /// All completion times recorded for `step` on one channel.
     pub fn times_for_step_on(&self, channel: u64, step: TransferStep) -> Vec<SimTime> {
-        self.steps
+        self.channels
             .get(&channel)
             .into_iter()
-            .flat_map(|chan| chan.values())
-            .filter_map(|m| m.get(&step))
-            .copied()
+            .flat_map(|chan| chan.rows.iter())
+            .filter_map(|row| row[step.slot()])
             .collect()
     }
 
     /// Number of packets (across every channel) that completed `step`.
     pub fn count_for_step(&self, step: TransferStep) -> usize {
-        self.steps
+        self.channels
             .values()
-            .flat_map(|chan| chan.values())
-            .filter(|m| m.contains_key(&step))
+            .flat_map(|chan| chan.rows.iter())
+            .filter(|row| row[step.slot()].is_some())
             .count()
     }
 
     /// Number of packets on one channel that completed `step`.
     pub fn count_for_step_on(&self, channel: u64, step: TransferStep) -> usize {
-        self.steps
+        self.channels
             .get(&channel)
-            .map(|chan| chan.values().filter(|m| m.contains_key(&step)).count())
+            .map(|chan| {
+                chan.rows
+                    .iter()
+                    .filter(|row| row[step.slot()].is_some())
+                    .count()
+            })
             .unwrap_or(0)
     }
 
     /// The channel indexes with at least one tracked packet.
     pub fn channels(&self) -> Vec<u64> {
-        self.steps.keys().copied().collect()
+        self.channels.keys().copied().collect()
     }
 
     /// Every tracked packet as a `(channel index, sequence)` pair.
     pub fn packets(&self) -> Vec<(u64, Sequence)> {
-        self.steps
+        self.channels
             .iter()
             .flat_map(|(channel, chan)| {
-                chan.keys().map(move |seq| (*channel, Sequence::from(*seq)))
+                chan.tracked()
+                    .map(move |(seq, _)| (*channel, Sequence::from(seq)))
             })
             .collect()
     }
@@ -252,17 +351,15 @@ impl TelemetryLog {
     /// deployments the same sequence value can appear once per channel; use
     /// [`packets`](TelemetryLog::packets) when the channel matters.
     pub fn sequences(&self) -> Vec<Sequence> {
-        self.steps
+        self.channels
             .values()
-            .flat_map(|chan| chan.keys())
-            .copied()
-            .map(Sequence::from)
+            .flat_map(|chan| chan.tracked().map(|(seq, _)| Sequence::from(seq)))
             .collect()
     }
 
     /// Number of packets tracked across every channel.
     pub fn len(&self) -> usize {
-        self.steps.values().map(|chan| chan.len()).sum()
+        self.channels.values().map(ChannelLog::tracked_len).sum()
     }
 
     /// `true` when no packets were tracked.
@@ -284,10 +381,17 @@ impl TelemetryLog {
     /// channel space by passing the edge's channel offset. An offset of 0 is
     /// exactly [`merge`](TelemetryLog::merge).
     pub fn merge_offset(&mut self, other: &TelemetryLog, channel_offset: u64) {
-        for (channel, chan) in &other.steps {
-            for (seq, steps) in chan {
-                for (step, time) in steps {
-                    self.record_on(channel + channel_offset, Sequence::from(*seq), *step, *time);
+        for (channel, chan) in &other.channels {
+            for (seq, row) in chan.tracked() {
+                for (slot, time) in row.iter().enumerate() {
+                    if let Some(time) = *time {
+                        self.record_inner(
+                            channel + channel_offset,
+                            Sequence::from(seq),
+                            TransferStep::ALL[slot],
+                            time,
+                        );
+                    }
                 }
             }
         }
@@ -344,6 +448,29 @@ mod tests {
         assert_eq!(
             log.step_time(Sequence::from(9), TransferStep::RecvBuild),
             None
+        );
+    }
+
+    #[test]
+    fn dense_rows_grow_both_ways_without_phantom_packets() {
+        let mut log = TelemetryLog::new();
+        let step = TransferStep::RecvBroadcast;
+        log.record(Sequence::from(10), step, SimTime::from_secs(1));
+        // Growing downwards and leaving gaps must not invent packets.
+        log.record(Sequence::from(2), step, SimTime::from_secs(2));
+        log.record(Sequence::from(6), step, SimTime::from_secs(3));
+        assert_eq!(log.len(), 3);
+        assert_eq!(
+            log.sequences(),
+            vec![Sequence::from(2), Sequence::from(6), Sequence::from(10)]
+        );
+        assert_eq!(log.count_for_step(step), 3);
+        assert_eq!(log.step_time(Sequence::from(5), step), None);
+        assert_eq!(log.step_time(Sequence::from(1), step), None);
+        assert_eq!(log.step_time(Sequence::from(11), step), None);
+        assert_eq!(
+            log.step_time(Sequence::from(6), step),
+            Some(SimTime::from_secs(3))
         );
     }
 

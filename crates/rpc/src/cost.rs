@@ -43,6 +43,58 @@ pub enum RequestKind {
     UnreceivedQuery,
 }
 
+impl RequestKind {
+    /// Every request kind, in declaration order. The position of a kind in
+    /// this table is its stable xcc-prof counter slot (see
+    /// [`RequestKind::index`]); new kinds must be appended, not inserted.
+    pub const ALL: [RequestKind; 10] = [
+        RequestKind::BroadcastTxSync,
+        RequestKind::Status,
+        RequestKind::AccountQuery,
+        RequestKind::UnconfirmedAccountQuery,
+        RequestKind::PacketDataPull,
+        RequestKind::BatchedDataPull,
+        RequestKind::ProofQuery,
+        RequestKind::ClientUpdateData,
+        RequestKind::BlockResults,
+        RequestKind::UnreceivedQuery,
+    ];
+
+    /// The kind's stable position in [`RequestKind::ALL`], used as its
+    /// work-counter slot in `xcc_sim::prof`.
+    pub fn index(self) -> usize {
+        match self {
+            RequestKind::BroadcastTxSync => 0,
+            RequestKind::Status => 1,
+            RequestKind::AccountQuery => 2,
+            RequestKind::UnconfirmedAccountQuery => 3,
+            RequestKind::PacketDataPull => 4,
+            RequestKind::BatchedDataPull => 5,
+            RequestKind::ProofQuery => 6,
+            RequestKind::ClientUpdateData => 7,
+            RequestKind::BlockResults => 8,
+            RequestKind::UnreceivedQuery => 9,
+        }
+    }
+
+    /// The kind's wire-style snake_case name, used as its key in profiled
+    /// bench output (`BENCH_golden.json`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestKind::BroadcastTxSync => "broadcast_tx_sync",
+            RequestKind::Status => "status",
+            RequestKind::AccountQuery => "account_query",
+            RequestKind::UnconfirmedAccountQuery => "unconfirmed_account_query",
+            RequestKind::PacketDataPull => "packet_data_pull",
+            RequestKind::BatchedDataPull => "batched_data_pull",
+            RequestKind::ProofQuery => "proof_query",
+            RequestKind::ClientUpdateData => "client_update_data",
+            RequestKind::BlockResults => "block_results",
+            RequestKind::UnreceivedQuery => "unreceived_query",
+        }
+    }
+}
+
 /// Service-time parameters of the simulated RPC server.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RpcCostModel {

@@ -6,6 +6,8 @@
 //! [`RpcResponse`] carrying both the result and the simulated time at which
 //! the caller receives it (queueing + service + network round trip).
 
+use std::rc::Rc;
+
 use xcc_chain::account::AccountId;
 use xcc_chain::chain::SharedChain;
 use xcc_chain::tx::Tx;
@@ -14,10 +16,11 @@ use xcc_ibc::commitment::{CommitmentProof, NonMembershipProof};
 use xcc_ibc::events as ibc_events;
 use xcc_ibc::ids::{ChannelId, PortId, Sequence};
 use xcc_ibc::packet::{Acknowledgement, Packet};
+use xcc_sim::prof;
 use xcc_sim::{DetRng, FifoServer, LatencyModel, SimDuration, SimTime};
 use xcc_tendermint::abci::Event;
 use xcc_tendermint::hash::Hash;
-use xcc_tendermint::node::TxStatus;
+use xcc_tendermint::node::{BlockTxEvents, TxStatus};
 
 use crate::cost::{RequestKind, RequestProfile, RpcCostModel};
 
@@ -185,6 +188,7 @@ impl RpcEndpoint {
     }
 
     fn respond<T>(&mut self, now: SimTime, profile: RequestProfile, value: T) -> RpcResponse<T> {
+        prof::bump_rpc_call(profile.kind.index());
         let service = self.cost.service_time(&profile);
         let request_arrives = now + self.latency.sample_one_way(&mut self.rng);
         let served_at = self.queue.submit(request_arrives, service);
@@ -322,9 +326,18 @@ impl RpcEndpoint {
         };
         let mut views = Vec::with_capacity(block.results.len());
         let mut bytes = 512usize;
-        for (tx, result) in block.block.data.txs.iter().zip(&block.results) {
+        // Hashes come from the commit-time event cache instead of re-hashing
+        // every raw transaction on every poll.
+        for ((tx, result), (hash, _, _)) in block
+            .block
+            .data
+            .txs
+            .iter()
+            .zip(&block.results)
+            .zip(block.tx_events.iter())
+        {
             let view = TxResultView {
-                hash: tx.hash(),
+                hash: *hash,
                 height,
                 code: result.code,
                 log: result.log.clone(),
@@ -605,20 +618,15 @@ impl RpcEndpoint {
     /// WebSocket subscription delivers to the relayer when a new block is
     /// committed; the frame-size limit is enforced by
     /// [`crate::websocket::WebSocketSubscription`].
-    pub fn block_events(&self, height: u64) -> (Vec<(Hash, u32, Vec<Event>)>, usize) {
+    pub fn block_events(&self, height: u64) -> (Rc<BlockTxEvents>, usize) {
         let chain = self.chain.borrow();
         let Some(block) = chain.block_at(height) else {
-            return (Vec::new(), 0);
+            return (Rc::new(Vec::new()), 0);
         };
-        let mut out = Vec::with_capacity(block.results.len());
-        let mut bytes = 0usize;
-        for (tx, result) in block.block.data.txs.iter().zip(&block.results) {
-            bytes += result.encoded_size() + 64;
-            // The event subscription also carries the raw transaction bytes.
-            bytes += tx.len();
-            out.push((tx.hash(), result.code, result.events.clone()));
-        }
-        (out, bytes)
+        // Both the tuple list (which includes the event payload *and* the
+        // per-tx hashes) and its encoded size are precomputed once at block
+        // commit; each subscriber shares the same allocation.
+        (Rc::clone(&block.tx_events), block.events_payload_bytes)
     }
 
     /// Extracts the IBC packets sent in the block at `height` over the given

@@ -6,9 +6,10 @@
 //! "Failed to collect events" and — as §V of the paper documents — the
 //! affected packets are neither relayed nor timed out.
 
+use std::rc::Rc;
+
 use xcc_sim::SimDuration;
-use xcc_tendermint::abci::Event;
-use xcc_tendermint::hash::Hash;
+use xcc_tendermint::node::BlockTxEvents;
 
 use crate::endpoint::RpcEndpoint;
 
@@ -53,8 +54,10 @@ impl std::error::Error for WsError {}
 pub struct BlockEventBatch {
     /// Height of the block.
     pub height: u64,
-    /// Per-transaction `(tx hash, result code, events)` in block order.
-    pub tx_events: Vec<(Hash, u32, Vec<Event>)>,
+    /// Per-transaction `(tx hash, result code, events)` in block order,
+    /// shared with the block's commit-time cache (and with every other
+    /// subscriber) rather than cloned per delivery.
+    pub tx_events: Rc<BlockTxEvents>,
     /// Total encoded size of the delivered payload.
     pub payload_bytes: usize,
 }

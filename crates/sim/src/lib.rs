@@ -17,7 +17,10 @@
 //! * domain-neutral fault events and timelines for dependability experiments
 //!   ([`FaultKind`], [`FaultTimeline`]),
 //! * metric recorders (counters, histograms, time series) used by the
-//!   analysis pipeline ([`metrics`]).
+//!   analysis pipeline ([`metrics`]),
+//! * deterministic work counters — the xcc-prof profiling layer whose
+//!   totals are exact-match regression signals, unlike wall-clock
+//!   ([`prof`]).
 //!
 //! # Example
 //!
@@ -45,6 +48,7 @@
 mod fault;
 mod latency;
 pub mod metrics;
+pub mod prof;
 mod rng;
 mod scheduler;
 mod server;
@@ -53,6 +57,6 @@ mod time;
 pub use fault::{FaultKind, FaultTimeline};
 pub use latency::LatencyModel;
 pub use rng::DetRng;
-pub use scheduler::Scheduler;
+pub use scheduler::{Scheduler, SchedulerBackend};
 pub use server::FifoServer;
 pub use time::{SimDuration, SimTime};

@@ -6,6 +6,8 @@
 //! unbalanced tree splits at the largest power of two smaller than the number
 //! of leaves.
 
+use std::collections::BTreeMap;
+
 use serde::{Deserialize, Serialize};
 
 use crate::hash::{sha256, Hash, Sha256};
@@ -148,6 +150,115 @@ where
     ))
 }
 
+/// A fully materialised Merkle tree over a fixed leaf list.
+///
+/// Every subtree root is memoized at build time, so [`MerkleTree::root`] is
+/// O(1) and each [`MerkleTree::prove`] is O(log n) lookups instead of the
+/// O(n) re-hash that [`prove`] pays per call. The root and every proof are
+/// bit-identical to [`simple_root`] / [`prove`] over the same leaves (pinned
+/// by the equivalence test below) — callers that generate many proofs
+/// against one snapshot of the leaves build the tree once and query it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MerkleTree {
+    leaves: Vec<Hash>,
+    /// Subtree root per `(lo, hi)` leaf range of the RFC 6962 recursion.
+    subtrees: BTreeMap<(usize, usize), Hash>,
+    root: Hash,
+}
+
+impl MerkleTree {
+    /// Builds the tree, memoizing every subtree root.
+    pub fn build<'a, I>(leaves: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [u8]>,
+    {
+        let leaves: Vec<Hash> = leaves.into_iter().map(leaf_hash).collect();
+        let mut subtrees = BTreeMap::new();
+        let root = fill_subtrees(&leaves, 0, leaves.len(), &mut subtrees);
+        MerkleTree {
+            leaves,
+            subtrees,
+            root,
+        }
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// `true` when the tree has no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.leaves.is_empty()
+    }
+
+    /// The Merkle root, equal to [`simple_root`] of the same leaves.
+    pub fn root(&self) -> Hash {
+        self.root
+    }
+
+    /// An inclusion proof for the leaf at `index`, equal to the proof
+    /// [`prove`] builds. Returns `None` if `index` is out of range.
+    pub fn prove(&self, index: usize) -> Option<MerkleProof> {
+        if index >= self.leaves.len() {
+            return None;
+        }
+        let mut siblings = Vec::new();
+        self.collect_siblings(0, self.leaves.len(), index, &mut siblings);
+        Some(MerkleProof {
+            index,
+            total: self.leaves.len(),
+            siblings,
+        })
+    }
+
+    fn subtree(&self, lo: usize, hi: usize) -> Hash {
+        self.subtrees
+            .get(&(lo, hi))
+            .copied()
+            // Every range the proof recursion visits was filled at build
+            // time; recompute defensively rather than panic if not.
+            .unwrap_or_else(|| root_of(&self.leaves[lo..hi]))
+    }
+
+    /// Pushes the sibling hashes for `index` bottom-up, mirroring
+    /// `build_proof`'s recursion with memoized subtree roots.
+    fn collect_siblings(&self, lo: usize, hi: usize, index: usize, siblings: &mut Vec<Hash>) {
+        if hi - lo <= 1 {
+            return;
+        }
+        let k = split_point(hi - lo);
+        if index < lo + k {
+            self.collect_siblings(lo, lo + k, index, siblings);
+            siblings.push(self.subtree(lo + k, hi));
+        } else {
+            self.collect_siblings(lo + k, hi, index, siblings);
+            siblings.push(self.subtree(lo, lo + k));
+        }
+    }
+}
+
+/// Computes and memoizes the root of every subtree of `leaves[lo..hi]`.
+fn fill_subtrees(
+    leaves: &[Hash],
+    lo: usize,
+    hi: usize,
+    out: &mut BTreeMap<(usize, usize), Hash>,
+) -> Hash {
+    let h = match hi - lo {
+        0 => sha256(b""),
+        1 => leaves[lo],
+        n => {
+            let k = split_point(n);
+            let left = fill_subtrees(leaves, lo, lo + k, out);
+            let right = fill_subtrees(leaves, lo + k, hi, out);
+            inner_hash(&left, &right)
+        }
+    };
+    out.insert((lo, hi), h);
+    h
+}
+
 fn build_proof(leaves: &[Hash], index: usize, siblings: &mut Vec<Hash>) -> Hash {
     match leaves.len() {
         0 => sha256(b""),
@@ -225,6 +336,28 @@ mod tests {
         let data = leaves(4);
         let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
         assert!(prove(refs.iter().copied(), 4).is_none());
+    }
+
+    #[test]
+    fn memoized_tree_matches_simple_root_and_prove_bit_for_bit() {
+        for n in 0..=17 {
+            let data = leaves(n);
+            let refs: Vec<&[u8]> = data.iter().map(|d| d.as_slice()).collect();
+            let tree = MerkleTree::build(refs.iter().copied());
+            assert_eq!(tree.len(), n);
+            assert_eq!(
+                tree.root(),
+                simple_root(refs.iter().copied()),
+                "root mismatch for n={n}"
+            );
+            for (i, leaf) in data.iter().enumerate() {
+                let (root, reference) = prove(refs.iter().copied(), i).expect("valid index");
+                let cached = tree.prove(i).expect("valid index");
+                assert_eq!(cached, reference, "proof mismatch for n={n}, i={i}");
+                assert!(cached.verify(&root, leaf));
+            }
+            assert!(tree.prove(n).is_none());
+        }
     }
 
     #[test]

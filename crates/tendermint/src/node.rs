@@ -9,8 +9,9 @@
 
 // xcc-lint: allow(hash-collections, reason = "tx_index is a point-lookup index; iteration never observes it")
 use std::collections::HashMap;
+use std::rc::Rc;
 
-use crate::abci::{Application, DeliverTxResult};
+use crate::abci::{Application, DeliverTxResult, Event};
 use crate::block::{evidence_hash, Block, BlockId, Data, Header, RawTx, Version};
 use crate::hash::{hash_fields, Hash};
 use crate::mempool::{Mempool, MempoolConfig, MempoolError, PendingTx};
@@ -52,6 +53,10 @@ impl From<MempoolError> for SubmitError {
     }
 }
 
+/// Per-transaction `(hash, result code, events)` tuples of one block — the
+/// payload a block-event subscription delivers, precomputed at commit time.
+pub type BlockTxEvents = Vec<(Hash, u32, Vec<Event>)>;
+
 /// The stored outcome of executing one block.
 #[derive(Debug, Clone)]
 pub struct CommittedBlock {
@@ -61,6 +66,15 @@ pub struct CommittedBlock {
     pub results: Vec<DeliverTxResult>,
     /// When the block was committed (consensus finished).
     pub committed_at: SimTime,
+    /// The block's event payload, computed once at commit. Shared (`Rc`) so
+    /// every relayer process subscribed to the block receives the same
+    /// allocation instead of re-hashing and re-cloning per subscriber —
+    /// before this cache, `block_events` was the hottest allocation site in
+    /// fleet experiments.
+    pub tx_events: Rc<BlockTxEvents>,
+    /// Encoded size of the event payload plus raw transactions, as carried
+    /// by a WebSocket frame (the §V frame-size accounting).
+    pub events_payload_bytes: usize,
 }
 
 /// Summary of a freshly produced block, returned to the driver.
@@ -337,10 +351,20 @@ impl<A: Application> Node<A> {
         self.last_commit = Some(commit);
         self.last_block_time = committed_at;
         let tx_count = txs.len();
+        // Precompute the event payload every subscriber will ask for, using
+        // the hashes already computed at mempool admission.
+        let mut tx_events = Vec::with_capacity(results.len());
+        let mut events_payload_bytes = 0usize;
+        for ((hash, tx), result) in tx_hashes.iter().zip(&txs).zip(&results) {
+            events_payload_bytes += result.encoded_size() + 64 + tx.len();
+            tx_events.push((*hash, result.code, result.events.clone()));
+        }
         self.blocks.push(CommittedBlock {
             block,
             results,
             committed_at,
+            tx_events: Rc::new(tx_events),
+            events_payload_bytes,
         });
 
         BlockOutcome {
